@@ -1,0 +1,203 @@
+//! The MVAPICH-style adaptive async-progress thread (paper Section 5.1).
+//!
+//! "MVAPICH has proposed a design to address these issues by identifying
+//! scenarios where asynchronous progress is required and putting the async
+//! thread to sleep when it is not required or beneficial." This baseline
+//! sleeps after a run of empty polls and wakes either by timeout or by an
+//! explicit kick from the operation-initiating path.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use mpfa_core::Stream;
+use parking_lot::{Condvar, Mutex};
+
+/// Tuning knobs of the adaptive thread.
+#[derive(Debug, Clone, Copy)]
+pub struct AdaptiveConfig {
+    /// Consecutive no-progress polls before the thread goes to sleep.
+    pub idle_polls_before_sleep: u32,
+    /// Maximum sleep before re-checking (safety timeout).
+    pub max_sleep: Duration,
+}
+
+impl Default for AdaptiveConfig {
+    fn default() -> Self {
+        AdaptiveConfig {
+            idle_polls_before_sleep: 64,
+            max_sleep: Duration::from_millis(1),
+        }
+    }
+}
+
+struct Doze {
+    lock: Mutex<bool>, // "kicked" flag
+    cv: Condvar,
+}
+
+/// An async-progress thread that sleeps when idle.
+pub struct AdaptiveProgressThread {
+    shutdown: Arc<AtomicBool>,
+    iterations: Arc<AtomicU64>,
+    sleeps: Arc<AtomicU64>,
+    doze: Arc<Doze>,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl AdaptiveProgressThread {
+    /// Enable adaptive async progress on `stream`.
+    pub fn enable(stream: &Stream, config: AdaptiveConfig) -> AdaptiveProgressThread {
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let iterations = Arc::new(AtomicU64::new(0));
+        let sleeps = Arc::new(AtomicU64::new(0));
+        let doze = Arc::new(Doze { lock: Mutex::new(false), cv: Condvar::new() });
+        let thread = {
+            let stream = stream.clone();
+            let shutdown = shutdown.clone();
+            let iterations = iterations.clone();
+            let sleeps = sleeps.clone();
+            let doze = doze.clone();
+            std::thread::Builder::new()
+                .name("adaptive-progress".into())
+                .spawn(move || {
+                    let mut idle_streak = 0u32;
+                    while !shutdown.load(Ordering::Acquire) {
+                        let out = stream.progress();
+                        iterations.fetch_add(1, Ordering::Relaxed);
+                        if out.made_progress() || stream.pending_tasks() > 0 {
+                            idle_streak = 0;
+                            continue;
+                        }
+                        idle_streak += 1;
+                        if idle_streak >= config.idle_polls_before_sleep {
+                            sleeps.fetch_add(1, Ordering::Relaxed);
+                            let mut kicked = doze.lock.lock();
+                            if !*kicked {
+                                doze.cv.wait_for(&mut kicked, config.max_sleep);
+                            }
+                            *kicked = false;
+                            idle_streak = 0;
+                        }
+                    }
+                })
+                .expect("spawn adaptive progress thread")
+        };
+        AdaptiveProgressThread { shutdown, iterations, sleeps, doze, thread: Some(thread) }
+    }
+
+    /// Wake the thread (called from operation-initiating paths — the
+    /// "identify scenarios where asynchronous progress is required" half
+    /// of the design).
+    pub fn kick(&self) {
+        let mut kicked = self.doze.lock.lock();
+        *kicked = true;
+        self.doze.cv.notify_one();
+    }
+
+    /// Progress-loop iterations so far.
+    pub fn iterations(&self) -> u64 {
+        self.iterations.load(Ordering::Relaxed)
+    }
+
+    /// Times the thread went to sleep.
+    pub fn sleeps(&self) -> u64 {
+        self.sleeps.load(Ordering::Relaxed)
+    }
+
+    /// Disable and join.
+    pub fn disable(mut self) {
+        self.shutdown.store(true, Ordering::Release);
+        self.kick();
+        if let Some(t) = self.thread.take() {
+            t.join().expect("adaptive progress thread panicked");
+        }
+    }
+}
+
+impl Drop for AdaptiveProgressThread {
+    fn drop(&mut self) {
+        self.shutdown.store(true, Ordering::Release);
+        self.kick();
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpfa_core::{wtime, AsyncPoll, CompletionCounter};
+
+    #[test]
+    fn completes_tasks_like_the_busy_variant() {
+        let stream = Stream::create();
+        let bg = AdaptiveProgressThread::enable(&stream, AdaptiveConfig::default());
+        let done = CompletionCounter::new(1);
+        let d = done.clone();
+        let deadline = wtime() + 0.002;
+        stream.async_start(move |_t| {
+            if wtime() >= deadline {
+                d.done();
+                AsyncPoll::Done
+            } else {
+                AsyncPoll::Pending
+            }
+        });
+        bg.kick();
+        let t0 = wtime();
+        while !done.is_zero() {
+            assert!(wtime() - t0 < 5.0);
+            std::hint::spin_loop();
+        }
+        bg.disable();
+    }
+
+    #[test]
+    fn sleeps_when_idle() {
+        let stream = Stream::create();
+        let bg = AdaptiveProgressThread::enable(
+            &stream,
+            AdaptiveConfig { idle_polls_before_sleep: 4, max_sleep: Duration::from_micros(200) },
+        );
+        // Nothing to do: the thread must start sleeping.
+        let t0 = wtime();
+        while bg.sleeps() == 0 {
+            assert!(wtime() - t0 < 5.0, "never slept");
+            std::hint::spin_loop();
+        }
+        // While sleeping in 200µs bouts, its poll rate is bounded —
+        // unlike the busy baseline, which would spin millions of times.
+        bg.disable();
+    }
+
+    #[test]
+    fn kick_wakes_promptly() {
+        let stream = Stream::create();
+        let bg = AdaptiveProgressThread::enable(
+            &stream,
+            // Effectively never wake by timeout.
+            AdaptiveConfig { idle_polls_before_sleep: 1, max_sleep: Duration::from_secs(10) },
+        );
+        let t0 = wtime();
+        while bg.sleeps() == 0 {
+            assert!(wtime() - t0 < 5.0);
+            std::hint::spin_loop();
+        }
+        let done = CompletionCounter::new(1);
+        let d = done.clone();
+        stream.async_start(move |_t| {
+            d.done();
+            AsyncPoll::Done
+        });
+        bg.kick();
+        let t0 = wtime();
+        while !done.is_zero() {
+            assert!(wtime() - t0 < 5.0, "kick did not wake the thread");
+            std::hint::spin_loop();
+        }
+        bg.disable();
+    }
+}

@@ -1,0 +1,146 @@
+//! Criterion micro-benchmarks over the extension APIs and the runtime —
+//! the per-operation costs underlying every figure:
+//!
+//! * `progress_call/*` — cost of one `MPIX_Stream_progress` (empty / idle
+//!   MPI hooks / N pending tasks) — Figure 7's slope.
+//! * `is_complete` — the `MPIX_Request_is_complete` atomic query —
+//!   Figure 12's per-request cost.
+//! * `request_scan/*` — a Listing 1.6 scan over N pending requests.
+//! * `task_class_cycle` — Listing 1.4's push + drain.
+//! * `allreduce/*` — cooperative 4-rank single-int allreduce, native vs
+//!   user-level — Figure 13's unit of work.
+//! * `p2p_pingpong/*` — small/eager/rendezvous round trips.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mpfa_bench::coop::CoopWorld;
+use mpfa_core::{AsyncPoll, Request, Stream};
+use mpfa_interop::user_coll::my_iallreduce;
+use mpfa_interop::TaskClass;
+use mpfa_mpi::{Op, World, WorldConfig};
+
+fn bench_progress_call(c: &mut Criterion) {
+    let mut g = c.benchmark_group("progress_call");
+    g.measurement_time(Duration::from_millis(800)).warm_up_time(Duration::from_millis(200));
+
+    let bare = Stream::create();
+    g.bench_function("empty", |b| b.iter(|| std::hint::black_box(bare.progress())));
+
+    let procs = World::init(WorldConfig::instant(1));
+    let idle = procs[0].default_stream().clone();
+    g.bench_function("idle_mpi_hooks", |b| b.iter(|| std::hint::black_box(idle.progress())));
+
+    for n in [1usize, 32, 256] {
+        let s = Stream::create();
+        for _ in 0..n {
+            // Never-completing pending tasks: pure poll cost.
+            s.async_start(|_t| AsyncPoll::Pending);
+        }
+        g.bench_with_input(BenchmarkId::new("pending_tasks", n), &n, |b, _| {
+            b.iter(|| std::hint::black_box(s.progress()))
+        });
+    }
+    g.finish();
+}
+
+fn bench_is_complete(c: &mut Criterion) {
+    let stream = Stream::create();
+    let (req, _completer) = Request::pair(&stream);
+    let mut g = c.benchmark_group("request_query");
+    g.measurement_time(Duration::from_millis(600)).warm_up_time(Duration::from_millis(200));
+    g.bench_function("is_complete", |b| b.iter(|| std::hint::black_box(req.is_complete())));
+
+    for n in [16usize, 256, 4096] {
+        let reqs: Vec<Request> = (0..n)
+            .map(|_| {
+                let (r, completer) = Request::pair(&stream);
+                std::mem::forget(completer); // keep pending forever
+                r
+            })
+            .collect();
+        g.bench_with_input(BenchmarkId::new("scan_pending", n), &n, |b, _| {
+            b.iter(|| std::hint::black_box(Request::all_complete(&reqs)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_task_class(c: &mut Criterion) {
+    let mut g = c.benchmark_group("task_class");
+    g.measurement_time(Duration::from_millis(800)).warm_up_time(Duration::from_millis(200));
+    let stream = Stream::create();
+    let class = TaskClass::new(&stream);
+    g.bench_function("push_drain", |b| {
+        b.iter(|| {
+            class.push(|| true, || {});
+            while class.pending() > 0 {
+                stream.progress();
+            }
+        })
+    });
+    g.finish();
+}
+
+fn bench_allreduce(c: &mut Criterion) {
+    let mut g = c.benchmark_group("allreduce_p4");
+    g.measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(400));
+    g.sample_size(30);
+
+    let w = CoopWorld::new(WorldConfig::cluster(4));
+    let comms = w.comms();
+
+    g.bench_function("native", |b| {
+        b.iter(|| {
+            let futs: Vec<_> = comms
+                .iter()
+                .map(|cm| cm.iallreduce(&[cm.rank()], Op::Sum).unwrap())
+                .collect();
+            w.run_until(|| futs.iter().all(|f| f.is_complete()), 30.0).unwrap();
+            std::hint::black_box(futs.into_iter().map(|f| f.take()[0]).sum::<i32>())
+        })
+    });
+
+    g.bench_function("user_level", |b| {
+        b.iter(|| {
+            let futs: Vec<_> = comms
+                .iter()
+                .map(|cm| my_iallreduce(cm, vec![cm.rank()]).unwrap())
+                .collect();
+            w.run_until(|| futs.iter().all(|f| f.is_complete()), 30.0).unwrap();
+            std::hint::black_box(futs.into_iter().map(|f| f.take()[0]).sum::<i32>())
+        })
+    });
+    g.finish();
+}
+
+fn bench_pingpong(c: &mut Criterion) {
+    let mut g = c.benchmark_group("p2p_pingpong");
+    g.measurement_time(Duration::from_secs(1)).warm_up_time(Duration::from_millis(300));
+    g.sample_size(30);
+
+    let w = CoopWorld::new(WorldConfig::instant(2));
+    let comms = w.comms();
+    for (label, bytes) in [("buffered_64B", 64usize), ("eager_4KiB", 4096), ("rendezvous_256KiB", 256 * 1024)] {
+        let payload = vec![0u8; bytes];
+        g.bench_function(label, |b| {
+            b.iter(|| {
+                let r = comms[1].irecv::<u8>(bytes, 0, 1).unwrap();
+                let s = comms[0].isend(&payload, 1, 1).unwrap();
+                w.run_until(|| r.is_complete() && s.is_complete(), 30.0).unwrap();
+                std::hint::black_box(r.take().0.len())
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_progress_call,
+    bench_is_complete,
+    bench_task_class,
+    bench_allreduce,
+    bench_pingpong
+);
+criterion_main!(benches);

@@ -1,0 +1,133 @@
+//! Ablation A5: allreduce algorithm selection — recursive doubling vs
+//! ring (reduce-scatter + allgather) across message sizes.
+//!
+//! Recursive doubling moves the FULL payload log₂P times (latency-optimal
+//! for small messages); the ring moves 2·(P−1)/P of it (bandwidth-optimal
+//! for large ones). The crossover justifies
+//! `Comm::ALLREDUCE_RING_THRESHOLD`.
+
+use mpfa_bench::coop::CoopWorld;
+use mpfa_bench::report::Series;
+use mpfa_core::wtime;
+use mpfa_mpi::{Op, WorldConfig};
+
+const RANKS: usize = 8;
+
+fn measure(
+    w: &CoopWorld,
+    count: usize,
+    reps: usize,
+    ring: bool,
+) -> f64 {
+    let comms = w.comms();
+    let data: Vec<Vec<i64>> = comms
+        .iter()
+        .map(|c| (0..count).map(|i| i as i64 + c.rank() as i64).collect())
+        .collect();
+    // Warmup lap.
+    let run_once = |w: &CoopWorld| {
+        let futs: Vec<_> = comms
+            .iter()
+            .zip(&data)
+            .map(|(c, d)| {
+                if ring {
+                    c.iallreduce_ring(d, Op::Sum).unwrap()
+                } else {
+                    c.iallreduce(d, Op::Sum).unwrap()
+                }
+            })
+            .collect();
+        w.run_until(|| futs.iter().all(|f| f.is_complete()), 60.0)
+            .expect("allreduce converged");
+        std::hint::black_box(futs.into_iter().map(|f| f.take().len()).sum::<usize>())
+    };
+    run_once(w);
+    // Median of per-rep timings: robust against OS preemption spikes.
+    let mut times: Vec<f64> = (0..reps)
+        .map(|_| {
+            let t0 = wtime();
+            run_once(w);
+            wtime() - t0
+        })
+        .collect();
+    times.sort_by(f64::total_cmp);
+    times[times.len() / 2] / RANKS as f64
+}
+
+fn measure_bcast(w: &CoopWorld, count: usize, reps: usize, sag: bool) -> f64 {
+    let comms = w.comms();
+    let payload: Vec<i64> = (0..count as i64).collect();
+    let run_once = |w: &CoopWorld| {
+        let futs: Vec<_> = comms
+            .iter()
+            .map(|c| {
+                if c.rank() == 0 {
+                    if sag {
+                        c.ibcast_sag(Some(&payload), count, 0).unwrap()
+                    } else {
+                        c.ibcast(Some(&payload), count, 0).unwrap()
+                    }
+                } else if sag {
+                    c.ibcast_sag::<i64>(None, count, 0).unwrap()
+                } else {
+                    c.ibcast::<i64>(None, count, 0).unwrap()
+                }
+            })
+            .collect();
+        w.run_until(|| futs.iter().all(|f| f.is_complete()), 60.0)
+            .expect("bcast converged");
+        std::hint::black_box(futs.into_iter().map(|f| f.take().len()).sum::<usize>())
+    };
+    run_once(w);
+    let mut times: Vec<f64> = (0..reps)
+        .map(|_| {
+            let t0 = wtime();
+            run_once(w);
+            wtime() - t0
+        })
+        .collect();
+    times.sort_by(f64::total_cmp);
+    times[times.len() / 2] / RANKS as f64
+}
+
+fn main() {
+    let mut series = Series::new(
+        &format!(
+            "Ablation A5: allreduce per-rank latency by algorithm, {RANKS} ranks, \
+             cluster fabric (threshold = {} bytes)",
+            mpfa_mpi::Comm::ALLREDUCE_RING_THRESHOLD
+        ),
+        "elements_i64",
+        &["rec_doubling_us", "ring_us", "ring/rd"],
+    );
+    let w = CoopWorld::new(WorldConfig::cluster(RANKS));
+    for count in [1usize, 16, 256, 1024, 4096, 16384, 65536] {
+        let reps = (20_000 / (count + 10)).clamp(3, 60);
+        let rd = measure(&w, count, reps, false);
+        let ring = measure(&w, count, reps, true);
+        series.row(count, &[rd * 1e6, ring * 1e6, ring / rd]);
+    }
+    series.print();
+    println!();
+
+    let mut bseries = Series::new(
+        &format!(
+            "Ablation A5b: bcast per-rank latency by algorithm, {RANKS} ranks \
+             (SAG threshold = {} bytes)",
+            mpfa_mpi::Comm::BCAST_SAG_THRESHOLD
+        ),
+        "elements_i64",
+        &["binomial_us", "scatter_allgather_us", "sag/binomial"],
+    );
+    for count in [1usize, 64, 1024, 8192, 65536, 262144] {
+        let reps = (20_000 / (count + 10)).clamp(3, 60);
+        let bin = measure_bcast(&w, count, reps, false);
+        let sag = measure_bcast(&w, count, reps, true);
+        bseries.row(count, &[bin * 1e6, sag * 1e6, sag / bin]);
+    }
+    bseries.print();
+    println!();
+    println!("expected: recursive doubling / binomial win at small counts (fewer");
+    println!("rounds of latency); ring / scatter-allgather win at large counts");
+    println!("(each rank moves ~2/P of the data); crossovers near the thresholds");
+}

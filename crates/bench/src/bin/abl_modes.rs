@@ -1,0 +1,81 @@
+//! Ablation A4: message-mode crossover sweep (the Figure 1 protocol
+//! family, quantified).
+//!
+//! Ping-pong latency vs message size on the cooperative two-rank driver,
+//! annotated with the send mode each size selects (buffered / eager /
+//! rendezvous / pipeline). The protocol thresholds come straight from
+//! `ProtoConfig`; the interesting output is where each protocol's cost
+//! curve takes over.
+
+use mpfa_bench::coop::CoopWorld;
+use mpfa_bench::report::Series;
+use mpfa_core::wtime;
+use mpfa_mpi::protocol::SendMode;
+use mpfa_mpi::WorldConfig;
+
+const REPS: usize = 40;
+
+fn mode_name(mode: SendMode, bytes: usize, chunk: usize) -> &'static str {
+    match mode {
+        SendMode::Buffered => "buffered",
+        SendMode::Eager => "eager",
+        SendMode::Rendezvous => {
+            if bytes > chunk {
+                "pipeline"
+            } else {
+                "rendezvous"
+            }
+        }
+    }
+}
+
+fn main() {
+    let mut cfg = WorldConfig::cluster(2);
+    cfg.proto.buffered_max = 256;
+    cfg.proto.eager_max = 16 * 1024;
+    cfg.proto.chunk = 64 * 1024;
+    cfg.proto.depth = 4;
+    let proto = cfg.proto;
+    let w = CoopWorld::new(cfg);
+    let comms = w.comms();
+    let (c0, c1) = (&comms[0], &comms[1]);
+
+    let mut series = Series::new(
+        "Ablation A4: ping-pong one-way latency vs message size by protocol mode",
+        "bytes",
+        &["one_way_us"],
+    );
+    let mut modes: Vec<&'static str> = Vec::new();
+
+    for shift in [0usize, 4, 6, 8, 10, 12, 14, 16, 18, 20, 22] {
+        let bytes = 1usize << shift;
+        let payload = vec![0xA5u8; bytes];
+        // Warmup lap.
+        for _ in 0..3 {
+            pingpong(&w, c0, c1, &payload);
+        }
+        let t0 = wtime();
+        for _ in 0..REPS {
+            pingpong(&w, c0, c1, &payload);
+        }
+        let one_way = (wtime() - t0) / (2 * REPS) as f64;
+        series.row(bytes, &[one_way * 1e6]);
+        modes.push(mode_name(proto.mode_for(bytes), bytes, proto.chunk));
+    }
+    series.print();
+    println!();
+    println!("mode per row: {modes:?}");
+    println!("expected: latency flat through buffered/eager sizes, a rendezvous");
+    println!("handshake step at the eager threshold, then bandwidth-dominated");
+    println!("growth with chunked pipelining for the largest sizes");
+}
+
+fn pingpong(w: &CoopWorld, c0: &mpfa_mpi::Comm, c1: &mpfa_mpi::Comm, payload: &[u8]) {
+    let n = payload.len();
+    let r1 = c1.irecv::<u8>(n, 0, 1).unwrap();
+    let s1 = c0.isend(payload, 1, 1).unwrap();
+    w.run_until(|| r1.is_complete() && s1.is_complete(), 30.0).expect("ping");
+    let r0 = c0.irecv::<u8>(n, 1, 2).unwrap();
+    let s0 = c1.isend(payload, 0, 2).unwrap();
+    w.run_until(|| r0.is_complete() && s0.is_complete(), 30.0).expect("pong");
+}

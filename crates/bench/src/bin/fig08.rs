@@ -1,0 +1,54 @@
+//! Figure 8: impact of poll-function overhead on event-response latency.
+//!
+//! "Each measurement runs 10 concurrent pending tasks. The delay is
+//! implemented by busy-polling MPI_Wtime." Heavy poll functions delay the
+//! response of every task collated on the stream.
+
+use mpfa_bench::report::{median_us, p95_us, tmean_us, Series};
+use mpfa_bench::workload::{shared_stats, spawn_dummy_with_poll_delay, Lcg};
+use mpfa_core::{wtime, CompletionCounter, Stream};
+
+const NUM_TASKS: usize = 10;
+
+fn run(delay_us: f64, reps: usize) -> mpfa_core::stats::LatencyStats {
+    let mut agg = mpfa_core::stats::LatencyStats::new();
+    for rep in 0..reps {
+        let stream = Stream::create();
+        let stats = shared_stats();
+        let counter = CompletionCounter::new(NUM_TASKS);
+        let mut rng = Lcg::new(7 + rep as u64);
+        let base = wtime();
+        for _ in 0..NUM_TASKS {
+            let deadline = base + 0.0005 + rng.next_f64() * 0.002;
+            spawn_dummy_with_poll_delay(
+                &stream,
+                deadline,
+                delay_us * 1e-6,
+                &stats,
+                &counter,
+            );
+        }
+        while !counter.is_zero() {
+            stream.progress();
+        }
+        agg.merge(&stats.lock());
+    }
+    agg
+}
+
+fn main() {
+    let mut series = Series::new(
+        "Figure 8: progress latency vs per-poll busy delay (10 pending tasks)",
+        "delay_us",
+        &["tmean_us", "median_us", "p95_us"],
+    );
+    run(0.0, 1); // warmup
+    for delay_us in [0.0, 0.5, 1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0] {
+        let stats = run(delay_us, 5);
+        series.row(delay_us, &[tmean_us(&stats), median_us(&stats), p95_us(&stats)]);
+    }
+    series.print();
+    println!();
+    println!("expected shape: latency grows ~linearly with the poll delay");
+    println!("(~ delay x pending/2); MPIX_Async wants lightweight poll functions");
+}

@@ -1,0 +1,63 @@
+//! Figure 9: progress latency vs number of threads driving ONE stream.
+//!
+//! "When multiple threads concurrently execute progress, they contend for
+//! a lock to avoid corrupting the global pending task list. ... the
+//! observed latency increases with the number of concurrent progress
+//! threads. Each measurement runs 10 concurrent pending tasks."
+//!
+//! NOTE (single-core host): beyond the core count, thread timeslicing
+//! adds to the lock contention; the growing shape is preserved, the
+//! mechanism above ~1 thread is partly the scheduler. Compare fig11
+//! (per-thread streams), whose low-thread-count rows stay flat.
+
+use mpfa_bench::report::{median_us, p95_us, tmean_us, Series};
+use mpfa_bench::workload::{shared_stats, spawn_dummy, Lcg};
+use mpfa_core::{wtime, CompletionCounter, Stream};
+
+const NUM_TASKS: usize = 10;
+
+fn run(threads: usize, reps: usize) -> mpfa_core::stats::LatencyStats {
+    let mut agg = mpfa_core::stats::LatencyStats::new();
+    for rep in 0..reps {
+        // One SHARED stream for everybody — the contended configuration.
+        let stream = Stream::create();
+        let stats = shared_stats();
+        let counter = CompletionCounter::new(NUM_TASKS);
+        let mut rng = Lcg::new(11 + rep as u64);
+        let base = wtime();
+        for _ in 0..NUM_TASKS {
+            let deadline = base + 0.0005 + rng.next_f64() * 0.002;
+            spawn_dummy(&stream, deadline, &stats, &counter);
+        }
+        std::thread::scope(|s| {
+            for _ in 0..threads {
+                let stream = stream.clone();
+                let counter = counter.clone();
+                s.spawn(move || {
+                    while !counter.is_zero() {
+                        stream.progress();
+                    }
+                });
+            }
+        });
+        agg.merge(&stats.lock());
+    }
+    agg
+}
+
+fn main() {
+    let mut series = Series::new(
+        "Figure 9: progress latency vs concurrent progress threads on ONE stream (10 tasks)",
+        "threads",
+        &["tmean_us", "median_us", "p95_us"],
+    );
+    run(1, 1); // warmup
+    for threads in [1usize, 2, 3, 4, 6, 8] {
+        let stats = run(threads, 20);
+        series.row(threads, &[tmean_us(&stats), median_us(&stats), p95_us(&stats)]);
+    }
+    series.print();
+    println!();
+    println!("expected shape: latency grows with thread count (engine-lock contention);");
+    println!("contrast fig11 where each thread drives its own stream");
+}

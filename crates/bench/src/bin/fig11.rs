@@ -1,0 +1,63 @@
+//! Figure 11: progress latency vs thread count, one `MPIX_Stream` per
+//! thread (the paper's Listing 1.5).
+//!
+//! "The average progress latency does not increase significantly as the
+//! number of threads increases" — per-thread streams share no lock, so
+//! adding threads adds no contention.
+//!
+//! NOTE (single-core host): rows beyond the core count measure OS
+//! timeslicing, not the runtime; the flat region demonstrating the claim
+//! is the low-thread-count rows (compare the same rows of fig09).
+
+use mpfa_bench::report::{median_us, p95_us, tmean_us, Series};
+use mpfa_bench::workload::{shared_stats, spawn_dummy, Lcg};
+use mpfa_core::{wtime, CompletionCounter, Stream};
+
+const NUM_TASKS: usize = 10;
+
+fn run(threads: usize, reps: usize) -> mpfa_core::stats::LatencyStats {
+    let mut agg = mpfa_core::stats::LatencyStats::new();
+    for rep in 0..reps {
+        let stats = shared_stats();
+        std::thread::scope(|s| {
+            for t in 0..threads {
+                let stats = stats.clone();
+                let seed = 23 + rep as u64 * 64 + t as u64;
+                s.spawn(move || {
+                    // Each thread: its own stream, its own tasks, its own
+                    // progress loop (Listing 1.5's thread_fn).
+                    let stream = Stream::create();
+                    let counter = CompletionCounter::new(NUM_TASKS);
+                    let mut rng = Lcg::new(seed);
+                    let base = wtime();
+                    for _ in 0..NUM_TASKS {
+                        let deadline = base + 0.0005 + rng.next_f64() * 0.002;
+                        spawn_dummy(&stream, deadline, &stats, &counter);
+                    }
+                    while !counter.is_zero() {
+                        stream.progress();
+                    }
+                });
+            }
+        });
+        agg.merge(&stats.lock());
+    }
+    agg
+}
+
+fn main() {
+    let mut series = Series::new(
+        "Figure 11: progress latency vs threads, one MPIX_Stream per thread (10 tasks each)",
+        "threads",
+        &["tmean_us", "median_us", "p95_us"],
+    );
+    run(1, 1); // warmup
+    for threads in [1usize, 2, 3, 4, 6, 8] {
+        let stats = run(threads, 20);
+        series.row(threads, &[tmean_us(&stats), median_us(&stats), p95_us(&stats)]);
+    }
+    series.print();
+    println!();
+    println!("expected shape: flat (no significant growth) while threads <= cores;");
+    println!("the same thread counts in fig09 (shared stream) degrade");
+}

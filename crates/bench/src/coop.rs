@@ -1,0 +1,131 @@
+//! Cooperative multi-rank driver: all ranks progressed round-robin on one
+//! thread.
+//!
+//! On a single-core host, one OS thread per spinning rank measures the
+//! kernel scheduler, not the runtime. This driver instead interleaves
+//! every rank's `MPIX_Stream_progress` on the calling thread, so elapsed
+//! time is the sum of the runtime's software costs — the quantity the
+//! paper's Figure 13 compares between native and user-level collectives.
+//!
+//! Only *nonblocking* operations may be used through this driver: a
+//! blocking wait inside one rank would starve the others (they share the
+//! thread).
+
+use mpfa_core::wtime;
+use mpfa_mpi::{Comm, Proc, World, WorldConfig};
+
+/// A world whose ranks are all driven by the caller's thread.
+pub struct CoopWorld {
+    procs: Vec<Proc>,
+}
+
+impl CoopWorld {
+    /// Boot `cfg` and take ownership of every rank.
+    pub fn new(cfg: WorldConfig) -> CoopWorld {
+        CoopWorld { procs: World::init(cfg) }
+    }
+
+    /// Rank count.
+    pub fn size(&self) -> usize {
+        self.procs.len()
+    }
+
+    /// The per-rank handles.
+    pub fn procs(&self) -> &[Proc] {
+        &self.procs
+    }
+
+    /// A world communicator per rank.
+    pub fn comms(&self) -> Vec<Comm> {
+        self.procs.iter().map(Proc::world_comm).collect()
+    }
+
+    /// One progress sweep: every rank's default stream once.
+    pub fn poll_all(&self) {
+        for p in &self.procs {
+            p.default_stream().progress();
+        }
+    }
+
+    /// Sweep until `cond` holds or `timeout_s` elapses. Returns the number
+    /// of sweeps, or None on timeout.
+    pub fn run_until(&self, mut cond: impl FnMut() -> bool, timeout_s: f64) -> Option<u64> {
+        let deadline = wtime() + timeout_s;
+        let mut sweeps = 0;
+        while !cond() {
+            if wtime() >= deadline {
+                return None;
+            }
+            self.poll_all();
+            sweeps += 1;
+        }
+        Some(sweeps)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpfa_core::Request;
+    use mpfa_mpi::Op;
+
+    #[test]
+    fn coop_point_to_point() {
+        let w = CoopWorld::new(WorldConfig::instant(2));
+        let comms = w.comms();
+        let recv = comms[1].irecv::<i32>(3, 0, 5).unwrap();
+        let send = comms[0].isend(&[1, 2, 3], 1, 5).unwrap();
+        w.run_until(|| recv.is_complete() && send.is_complete(), 5.0)
+            .expect("converged");
+        let (data, _) = recv.take();
+        assert_eq!(data, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn coop_native_allreduce() {
+        let w = CoopWorld::new(WorldConfig::instant(4));
+        let comms = w.comms();
+        let futs: Vec<_> = comms
+            .iter()
+            .map(|c| c.iallreduce(&[c.rank() + 1], Op::Sum).unwrap())
+            .collect();
+        w.run_until(|| futs.iter().all(|f| f.is_complete()), 10.0)
+            .expect("converged");
+        for f in futs {
+            assert_eq!(f.take(), vec![10]);
+        }
+    }
+
+    #[test]
+    fn coop_user_allreduce() {
+        let w = CoopWorld::new(WorldConfig::instant(4));
+        let comms = w.comms();
+        let futs: Vec<_> = comms
+            .iter()
+            .map(|c| mpfa_interop::user_coll::my_iallreduce(c, vec![c.rank()]).unwrap())
+            .collect();
+        w.run_until(|| futs.iter().all(|f| f.is_complete()), 10.0)
+            .expect("converged");
+        for f in futs {
+            assert_eq!(f.take(), vec![6]);
+        }
+    }
+
+    #[test]
+    fn coop_rendezvous_sizes() {
+        let w = CoopWorld::new(WorldConfig::instant(2));
+        let comms = w.comms();
+        let n = 1 << 20;
+        let recv = comms[1].irecv::<u8>(n, 0, 1).unwrap();
+        let send = comms[0].isend(&vec![9u8; n], 1, 1).unwrap();
+        w.run_until(|| recv.is_complete() && Request::is_complete(&send), 10.0)
+            .expect("converged");
+        assert_eq!(recv.take().0.len(), n);
+    }
+
+    #[test]
+    fn run_until_times_out() {
+        let w = CoopWorld::new(WorldConfig::instant(1));
+        assert!(w.run_until(|| false, 0.01).is_none());
+    }
+}

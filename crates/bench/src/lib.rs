@@ -1,0 +1,31 @@
+//! # mpfa-bench — the figure-regeneration harness
+//!
+//! One binary per evaluation figure of *MPI Progress For All* (`fig07` …
+//! `fig13`), plus ablation binaries (`abl_*`) for the design choices
+//! DESIGN.md calls out, plus criterion micro-benchmarks. Each binary
+//! prints the paper's series as an aligned table and as CSV on stdout.
+//!
+//! ## Measurement methodology
+//!
+//! The central metric is **progress latency**: "the average elapsed time
+//! between a task's completion and when the user code responds to the
+//! event" (paper Section 4). Dummy tasks carry a precomputed deadline;
+//! the poll function records `wtime() - deadline` at the poll that
+//! observes the deadline passed.
+//!
+//! ## Single-core adaptation
+//!
+//! The paper's workstation had 8 cores; this container has one. Thread
+//! benchmarks (fig09/fig11) run threads that timeslice on the single
+//! core; their *contrast* (shared stream degrades, per-thread streams do
+//! not, at low thread counts) survives, but absolute numbers above the
+//! core count measure the OS scheduler. Rank-parallel measurements
+//! (fig13, abl_modes) therefore use the [`coop::CoopWorld`] driver: all
+//! ranks progress cooperatively on one thread, so measured time is the
+//! runtime's software cost — exactly the quantity Figure 13 compares.
+
+#![warn(missing_docs)]
+
+pub mod coop;
+pub mod report;
+pub mod workload;

@@ -1,0 +1,112 @@
+//! Table/CSV output helpers so every figure binary prints the same way.
+
+use mpfa_core::stats::LatencyStats;
+
+/// A result series: one row per x value, one or more named columns.
+pub struct Series {
+    title: String,
+    x_label: String,
+    columns: Vec<String>,
+    rows: Vec<(String, Vec<f64>)>,
+}
+
+impl Series {
+    /// Start a series for `title` with the given x-axis label and value
+    /// column names.
+    pub fn new(title: &str, x_label: &str, columns: &[&str]) -> Series {
+        Series {
+            title: title.to_string(),
+            x_label: x_label.to_string(),
+            columns: columns.iter().map(|c| c.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row.
+    pub fn row(&mut self, x: impl ToString, values: &[f64]) {
+        assert_eq!(values.len(), self.columns.len(), "column count mismatch");
+        self.rows.push((x.to_string(), values.to_vec()));
+    }
+
+    /// Render the aligned human table followed by a CSV block.
+    pub fn print(&self) {
+        println!("# {}", self.title);
+        print!("{:>12}", self.x_label);
+        for c in &self.columns {
+            print!(" {c:>16}");
+        }
+        println!();
+        for (x, values) in &self.rows {
+            print!("{x:>12}");
+            for v in values {
+                print!(" {v:>16.4}");
+            }
+            println!();
+        }
+        println!();
+        // Machine-readable block.
+        print!("csv,{}", self.x_label);
+        for c in &self.columns {
+            print!(",{c}");
+        }
+        println!();
+        for (x, values) in &self.rows {
+            print!("csv,{x}");
+            for v in values {
+                print!(",{v:.6}");
+            }
+            println!();
+        }
+    }
+}
+
+/// Shorthand: mean latency of `stats` in microseconds.
+pub fn mean_us(stats: &LatencyStats) -> f64 {
+    stats.mean() * 1e6
+}
+
+/// Shorthand: p95 latency in microseconds.
+pub fn p95_us(stats: &LatencyStats) -> f64 {
+    stats.quantile(0.95) * 1e6
+}
+
+/// Shorthand: median latency in microseconds.
+pub fn median_us(stats: &LatencyStats) -> f64 {
+    stats.median() * 1e6
+}
+
+/// Shorthand: 90%-trimmed mean in microseconds — the robust central
+/// estimate used by the figure binaries (rare multi-millisecond OS
+/// preemption spikes otherwise dominate plain means on a shared host).
+pub fn tmean_us(stats: &LatencyStats) -> f64 {
+    stats.trimmed_mean(0.9) * 1e6
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn series_accepts_matching_rows() {
+        let mut s = Series::new("t", "n", &["a", "b"]);
+        s.row(1, &[1.0, 2.0]);
+        s.row(2, &[3.0, 4.0]);
+        s.print();
+    }
+
+    #[test]
+    #[should_panic(expected = "column count")]
+    fn series_rejects_mismatched_rows() {
+        let mut s = Series::new("t", "n", &["a"]);
+        s.row(1, &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn stat_shorthands() {
+        let mut st = LatencyStats::new();
+        st.add(1e-6);
+        st.add(3e-6);
+        assert!((mean_us(&st) - 2.0).abs() < 1e-9);
+        assert!(p95_us(&st) >= mean_us(&st));
+    }
+}

@@ -1,0 +1,154 @@
+//! Workload generators for the latency benchmarks: the paper's dummy
+//! timed tasks, with deterministic jitter.
+
+use std::sync::Arc;
+
+use mpfa_core::{stats::LatencyStats, wtime, AsyncPoll, CompletionCounter, Stream};
+use parking_lot::Mutex;
+
+/// A small deterministic PRNG (splitmix-style) so runs are repeatable.
+#[derive(Debug, Clone)]
+pub struct Lcg {
+    state: u64,
+}
+
+impl Lcg {
+    /// Seeded generator.
+    pub fn new(seed: u64) -> Lcg {
+        Lcg { state: seed.wrapping_mul(0x9E3779B97F4A7C15) | 1 }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        let z = self.state;
+        let z = (z ^ (z >> 33)).wrapping_mul(0xFF51AFD7ED558CCD);
+        z ^ (z >> 33)
+    }
+
+    /// Uniform f64 in [0, 1).
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// Shared sink for progress-latency samples.
+pub type SharedStats = Arc<Mutex<LatencyStats>>;
+
+/// A fresh shared stats sink.
+pub fn shared_stats() -> SharedStats {
+    Arc::new(Mutex::new(LatencyStats::new()))
+}
+
+/// Start one dummy timed task (the paper's Listing 1.2 pattern): it
+/// completes at `deadline` and records the observation latency into
+/// `stats`. Decrements `counter` on completion.
+pub fn spawn_dummy(
+    stream: &Stream,
+    deadline: f64,
+    stats: &SharedStats,
+    counter: &CompletionCounter,
+) {
+    let stats = stats.clone();
+    let counter = counter.clone();
+    stream.async_start(move |_t| {
+        let now = wtime();
+        if now >= deadline {
+            stats.lock().add(now - deadline);
+            counter.done();
+            AsyncPoll::Done
+        } else {
+            AsyncPoll::Pending
+        }
+    });
+}
+
+/// Start one dummy task with an artificial poll-side delay of
+/// `poll_delay` seconds (busy-polled, the paper's Figure 8 methodology).
+pub fn spawn_dummy_with_poll_delay(
+    stream: &Stream,
+    deadline: f64,
+    poll_delay: f64,
+    stats: &SharedStats,
+    counter: &CompletionCounter,
+) {
+    let stats = stats.clone();
+    let counter = counter.clone();
+    stream.async_start(move |_t| {
+        let now = wtime();
+        if now >= deadline {
+            stats.lock().add(now - deadline);
+            counter.done();
+            AsyncPoll::Done
+        } else {
+            if poll_delay > 0.0 {
+                mpfa_core::spin::busy_wait(poll_delay);
+            }
+            AsyncPoll::Pending
+        }
+    });
+}
+
+/// Run one measurement batch: `n` dummy tasks with deadlines spread
+/// uniformly over `(min_lead, min_lead + window)` seconds from now,
+/// driven by a single progress loop on `stream`. Returns the latency
+/// stats.
+pub fn measure_batch(stream: &Stream, n: usize, min_lead: f64, window: f64, seed: u64) -> LatencyStats {
+    let stats = shared_stats();
+    let counter = CompletionCounter::new(n);
+    let mut rng = Lcg::new(seed);
+    let base = wtime();
+    for _ in 0..n {
+        let deadline = base + min_lead + rng.next_f64() * window;
+        spawn_dummy(stream, deadline, &stats, &counter);
+    }
+    while !counter.is_zero() {
+        stream.progress();
+    }
+    let out = stats.lock().clone();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lcg_is_deterministic() {
+        let mut a = Lcg::new(7);
+        let mut b = Lcg::new(7);
+        for _ in 0..10 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn lcg_f64_in_unit_interval() {
+        let mut r = Lcg::new(3);
+        for _ in 0..1000 {
+            let v = r.next_f64();
+            assert!((0.0..1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn measure_batch_collects_n_samples() {
+        let stream = Stream::create();
+        let stats = measure_batch(&stream, 16, 0.0002, 0.001, 42);
+        assert_eq!(stats.len(), 16);
+        assert!(stats.mean() >= 0.0);
+        assert_eq!(stream.pending_tasks(), 0);
+    }
+
+    #[test]
+    fn poll_delay_task_completes() {
+        let stream = Stream::create();
+        let stats = shared_stats();
+        let counter = CompletionCounter::new(1);
+        spawn_dummy_with_poll_delay(&stream, wtime() + 0.001, 1e-5, &stats, &counter);
+        while !counter.is_zero() {
+            stream.progress();
+        }
+        assert_eq!(stats.lock().len(), 1);
+    }
+}

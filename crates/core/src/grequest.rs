@@ -1,0 +1,230 @@
+//! MPI *generalized requests* (`MPI_Grequest_start` /
+//! `MPI_Grequest_complete`), the tracking-handle half of user-level MPI
+//! extensions (paper Sections 4.6 and 5.2).
+//!
+//! A generalized request wraps a user asynchronous task in a regular
+//! [`Request`] so it can be waited on with the standard completion calls.
+//! As the paper observes, generalized requests on their own provide *no
+//! progress mechanism* — "users are expected to progress the async task
+//! behind the generalized request outside of MPI" — which is exactly the
+//! gap `MPIX_Async` fills: run the task's progression as an async hook, and
+//! call [`Grequest::complete`] from the poll function when it finishes
+//! (Listing 1.7).
+
+use crate::request::{Completer, Request, Status};
+use crate::stream::Stream;
+
+/// User callbacks of a generalized request. The implementing value is the
+/// `extra_state`.
+///
+/// All three callbacks have do-nothing defaults, matching the common case
+/// (the paper's Listing 1.7 uses dummy `query_fn`/`free_fn`/`cancel_fn`).
+pub trait GrequestOps: Send {
+    /// `query_fn`: produce the status reported to waiters. Called once, when
+    /// the request is completed.
+    ///
+    /// (MPI calls `query_fn` lazily when status is queried; completing the
+    /// status eagerly at `Grequest::complete` time is observationally
+    /// equivalent for well-formed callbacks, which may not depend on *when*
+    /// they run.)
+    fn query(&mut self) -> Status {
+        Status::empty()
+    }
+
+    /// `free_fn`: release user resources. Called when the [`Grequest`]
+    /// handle is dropped (after completion or cancellation).
+    fn on_free(&mut self) {}
+
+    /// `cancel_fn`: the operation is being cancelled. `already_complete`
+    /// tells whether completion raced ahead of the cancel.
+    fn on_cancel(&mut self, _already_complete: bool) {}
+}
+
+/// A trivial [`GrequestOps`] with all-default callbacks.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NoopOps;
+impl GrequestOps for NoopOps {}
+
+/// The producer handle of a generalized request.
+///
+/// Completing consumes the handle (`MPI_Grequest_complete`); dropping it
+/// without completing cancels the request (no waiter may hang on an
+/// abandoned operation).
+pub struct Grequest {
+    ops: Box<dyn GrequestOps>,
+    completer: Option<Completer>,
+}
+
+/// Start a generalized request on `stream` — `MPI_Grequest_start`.
+///
+/// Returns the waitable [`Request`] and the [`Grequest`] producer handle.
+pub fn grequest_start(
+    stream: &Stream,
+    ops: impl GrequestOps + 'static,
+) -> (Request, Grequest) {
+    let (request, completer) = Request::pair(stream);
+    (request, Grequest { ops: Box::new(ops), completer: Some(completer) })
+}
+
+impl Grequest {
+    /// `MPI_Grequest_complete`: mark the operation finished. The status
+    /// reported to waiters comes from the ops' `query`.
+    pub fn complete(mut self) {
+        let status = self.ops.query();
+        if let Some(completer) = self.completer.take() {
+            completer.complete(status);
+        }
+    }
+
+    /// `MPI_Cancel` on the generalized request: invokes `cancel_fn` and
+    /// completes the request as cancelled.
+    pub fn cancel(mut self) {
+        let already = self
+            .completer
+            .as_ref()
+            .map(|c| c.request().is_complete())
+            .unwrap_or(true);
+        self.ops.on_cancel(already);
+        if let Some(completer) = self.completer.take() {
+            completer.cancel();
+        }
+    }
+
+    /// A [`Request`] observing this generalized request.
+    pub fn request(&self) -> Request {
+        self.completer
+            .as_ref()
+            .expect("Grequest already completed")
+            .request()
+    }
+}
+
+impl Drop for Grequest {
+    fn drop(&mut self) {
+        // Abandoned without complete(): cancel (Completer::drop would do the
+        // flag, but cancel_fn deserves to run too).
+        if let Some(completer) = self.completer.take() {
+            self.ops.on_cancel(false);
+            completer.cancel();
+        }
+        self.ops.on_free();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::task::{AsyncPoll, AsyncThing};
+    use crate::wtime::wtime;
+    use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    struct Recording {
+        queried: Arc<AtomicUsize>,
+        freed: Arc<AtomicBool>,
+        cancelled: Arc<AtomicBool>,
+        status: Status,
+    }
+
+    impl GrequestOps for Recording {
+        fn query(&mut self) -> Status {
+            self.queried.fetch_add(1, Ordering::Relaxed);
+            self.status
+        }
+        fn on_free(&mut self) {
+            self.freed.store(true, Ordering::Relaxed);
+        }
+        fn on_cancel(&mut self, _already_complete: bool) {
+            self.cancelled.store(true, Ordering::Relaxed);
+        }
+    }
+
+    fn recording() -> (Recording, Arc<AtomicUsize>, Arc<AtomicBool>, Arc<AtomicBool>) {
+        let queried = Arc::new(AtomicUsize::new(0));
+        let freed = Arc::new(AtomicBool::new(false));
+        let cancelled = Arc::new(AtomicBool::new(false));
+        (
+            Recording {
+                queried: queried.clone(),
+                freed: freed.clone(),
+                cancelled: cancelled.clone(),
+                status: Status { source: 9, tag: 8, bytes: 7, cancelled: false },
+            },
+            queried,
+            freed,
+            cancelled,
+        )
+    }
+
+    #[test]
+    fn complete_runs_query_and_publishes_status() {
+        let s = Stream::create();
+        let (ops, queried, freed, cancelled) = recording();
+        let (req, greq) = grequest_start(&s, ops);
+        assert!(!req.is_complete());
+        greq.complete();
+        assert!(req.is_complete());
+        let st = req.status().unwrap();
+        assert_eq!((st.source, st.tag, st.bytes), (9, 8, 7));
+        assert_eq!(queried.load(Ordering::Relaxed), 1);
+        assert!(freed.load(Ordering::Relaxed), "free_fn runs when handle dropped");
+        assert!(!cancelled.load(Ordering::Relaxed));
+    }
+
+    #[test]
+    fn cancel_runs_cancel_fn() {
+        let s = Stream::create();
+        let (ops, queried, freed, cancelled) = recording();
+        let (req, greq) = grequest_start(&s, ops);
+        greq.cancel();
+        assert!(req.is_complete());
+        assert!(req.status().unwrap().cancelled);
+        assert!(cancelled.load(Ordering::Relaxed));
+        assert!(freed.load(Ordering::Relaxed));
+        assert_eq!(queried.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn drop_without_complete_cancels() {
+        let s = Stream::create();
+        let (ops, _queried, freed, cancelled) = recording();
+        let (req, greq) = grequest_start(&s, ops);
+        drop(greq);
+        assert!(req.is_complete());
+        assert!(req.status().unwrap().cancelled);
+        assert!(cancelled.load(Ordering::Relaxed));
+        assert!(freed.load(Ordering::Relaxed));
+    }
+
+    #[test]
+    fn noop_ops_works() {
+        let s = Stream::create();
+        let (req, greq) = grequest_start(&s, NoopOps);
+        greq.complete();
+        assert!(req.is_complete());
+        assert!(!req.status().unwrap().cancelled);
+    }
+
+    #[test]
+    fn listing_1_7_dummy_task_via_async_and_grequest() {
+        // Reproduces the paper's Listing 1.7: an MPIX_Async task completes a
+        // generalized request at a deadline; MPI_Wait on the request drives
+        // progress until then.
+        let s = Stream::create();
+        let (req, greq) = grequest_start(&s, NoopOps);
+        let deadline = wtime() + 0.002;
+        let mut greq = Some(greq);
+        s.async_start(move |_t: &mut AsyncThing| {
+            if wtime() > deadline {
+                greq.take().unwrap().complete();
+                AsyncPoll::Done
+            } else {
+                AsyncPoll::Pending
+            }
+        });
+        let st = req.wait();
+        assert!(!st.cancelled);
+        assert!(wtime() >= deadline);
+        assert_eq!(s.pending_tasks(), 0);
+    }
+}

@@ -1,0 +1,146 @@
+//! Subsystem progress hooks — the internal entries of the collated progress
+//! function (the paper's Listing 1.1).
+//!
+//! A communication runtime (such as `mpfa-mpi`) registers one
+//! [`ProgressHook`] per asynchronous subsystem on each [`Stream`] it serves.
+//! The engine polls hooks ordered by [`SubsystemClass`], mirroring MPICH:
+//! datatype engine, then collective schedules, then shared memory, then the
+//! network module — and stops at the first hook that reports progress.
+//!
+//! [`Stream`]: crate::stream::Stream
+
+use std::fmt;
+
+/// The subsystem classes of MPICH's collated progress, in poll order.
+///
+/// The ordering embodies the paper's Listing 1.1 rationale: "For the
+/// datatype engine, collective, and shared memory (shmem) subsystems, an
+/// empty poll incurs a cost equivalent to reading an atomic variable.
+/// However, this is not always the case with netmod progress, so we place
+/// netmod progress last and skip it whenever progress is made with other
+/// subsystems."
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(u8)]
+pub enum SubsystemClass {
+    /// Asynchronous datatype pack/unpack engine.
+    DatatypeEngine = 0,
+    /// Collective-algorithm schedule progression.
+    CollectiveSched = 1,
+    /// Intra-node shared-memory communication.
+    Shmem = 2,
+    /// Inter-node network-module communication (polled last; its empty poll
+    /// is not free).
+    Netmod = 3,
+    /// Runtime-internal extensions that are not one of MPICH's four classic
+    /// subsystems (polled after netmod).
+    Other = 4,
+}
+
+impl SubsystemClass {
+    /// All classes in poll order.
+    pub const ALL: [SubsystemClass; 5] = [
+        SubsystemClass::DatatypeEngine,
+        SubsystemClass::CollectiveSched,
+        SubsystemClass::Shmem,
+        SubsystemClass::Netmod,
+        SubsystemClass::Other,
+    ];
+
+    /// Bit for skip masks.
+    #[inline]
+    pub(crate) fn bit(self) -> u8 {
+        1u8 << (self as u8)
+    }
+}
+
+impl fmt::Display for SubsystemClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            SubsystemClass::DatatypeEngine => "datatype-engine",
+            SubsystemClass::CollectiveSched => "coll-sched",
+            SubsystemClass::Shmem => "shmem",
+            SubsystemClass::Netmod => "netmod",
+            SubsystemClass::Other => "other",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A subsystem progress hook registered on a stream.
+///
+/// Implementations must be cheap to poll when idle: [`has_work`] should be
+/// a single atomic read, and the engine will not call [`poll`] when it
+/// returns `false`. (This is the "empty poll costs one atomic read"
+/// property the collation policy relies on.)
+///
+/// Hooks are polled while the stream's engine lock is held; a hook must
+/// never re-enter stream progress (the paper prohibits recursive progress).
+///
+/// [`has_work`]: ProgressHook::has_work
+/// [`poll`]: ProgressHook::poll
+pub trait ProgressHook: Send {
+    /// Short diagnostic name.
+    fn name(&self) -> &str;
+
+    /// Which subsystem class this hook belongs to (fixes poll order).
+    fn class(&self) -> SubsystemClass;
+
+    /// Cheap pending-work check. Default: always assume work.
+    fn has_work(&self) -> bool {
+        true
+    }
+
+    /// Advance the subsystem. Returns `true` iff progress was made
+    /// (an event completed, a protocol state advanced, data moved).
+    fn poll(&self) -> bool;
+}
+
+/// Identifier of a registered hook, used to unregister it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct HookId(pub(crate) u64);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_order_matches_listing_1_1() {
+        assert!(SubsystemClass::DatatypeEngine < SubsystemClass::CollectiveSched);
+        assert!(SubsystemClass::CollectiveSched < SubsystemClass::Shmem);
+        assert!(SubsystemClass::Shmem < SubsystemClass::Netmod);
+        assert!(SubsystemClass::Netmod < SubsystemClass::Other);
+    }
+
+    #[test]
+    fn bits_are_distinct() {
+        let mut seen = 0u8;
+        for c in SubsystemClass::ALL {
+            assert_eq!(seen & c.bit(), 0);
+            seen |= c.bit();
+        }
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(SubsystemClass::Netmod.to_string(), "netmod");
+        assert_eq!(SubsystemClass::DatatypeEngine.to_string(), "datatype-engine");
+    }
+
+    struct Noop;
+    impl ProgressHook for Noop {
+        fn name(&self) -> &str {
+            "noop"
+        }
+        fn class(&self) -> SubsystemClass {
+            SubsystemClass::Other
+        }
+        fn poll(&self) -> bool {
+            false
+        }
+    }
+
+    #[test]
+    fn default_has_work_is_true() {
+        assert!(Noop.has_work());
+    }
+}

@@ -1,0 +1,527 @@
+//! Request objects with side-effect-free completion queries — the
+//! `MPIX_Request_is_complete` extension (paper Section 3.4).
+//!
+//! A [`Request`] is the user-visible completion handle of an asynchronous
+//! operation; the runtime completes it through the paired [`Completer`].
+//! [`Request::is_complete`] is a single atomic load — "there are no side
+//! effects that would interfere with other requests or other progress
+//! calls" — which makes it safe (and cheap) to call from inside `MPIX_Async`
+//! poll functions, where invoking progress recursively is prohibited.
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::stream::{Stream, StreamRef};
+use crate::wtime::wtime;
+
+/// Completion status of a finished operation (an `MPI_Status`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Status {
+    /// Source rank of the matched message (receives), or the local rank.
+    pub source: i32,
+    /// Message tag.
+    pub tag: i32,
+    /// Number of payload bytes transferred.
+    pub bytes: usize,
+    /// True if the operation was cancelled rather than completed.
+    pub cancelled: bool,
+}
+
+impl Status {
+    /// A neutral status for operations with no message metadata (sends,
+    /// generalized requests, local tasks).
+    pub const fn empty() -> Status {
+        Status { source: -1, tag: -1, bytes: 0, cancelled: false }
+    }
+
+    /// A cancelled status.
+    pub const fn cancelled() -> Status {
+        Status { source: -1, tag: -1, bytes: 0, cancelled: true }
+    }
+}
+
+impl Default for Status {
+    fn default() -> Self {
+        Status::empty()
+    }
+}
+
+struct RequestInner {
+    complete: AtomicBool,
+    status: Mutex<Status>,
+    stream: StreamRef,
+}
+
+/// The user-facing completion handle of an asynchronous operation.
+///
+/// Cheap to clone. The operation's owner completes it via the paired
+/// [`Completer`]. Waiting drives the stream the request is bound to, so a
+/// bare `req.wait()` works without a progress thread (the MPI `MPI_Wait`
+/// behavior); polling [`Request::is_complete`] does *not* drive progress
+/// (the extension behavior).
+#[derive(Clone)]
+pub struct Request {
+    inner: Arc<RequestInner>,
+}
+
+/// The producer side of a [`Request`]; owned by the runtime code that
+/// performs the operation.
+///
+/// If a `Completer` is dropped without completing, the request is completed
+/// as *cancelled* — an abandoned operation must never hang its waiters.
+pub struct Completer {
+    inner: Arc<RequestInner>,
+    done: bool,
+}
+
+impl Request {
+    /// Create an incomplete request bound to `stream`, plus its completer.
+    pub fn pair(stream: &Stream) -> (Request, Completer) {
+        let inner = Arc::new(RequestInner {
+            complete: AtomicBool::new(false),
+            status: Mutex::new(Status::empty()),
+            stream: stream.weak(),
+        });
+        (Request { inner: inner.clone() }, Completer { inner, done: false })
+    }
+
+    /// Create an already-complete request (e.g. a lightweight/buffered send
+    /// that finished inside the initiation call — Figure 1(a)).
+    pub fn completed(stream: &Stream, status: Status) -> Request {
+        let inner = Arc::new(RequestInner {
+            complete: AtomicBool::new(true),
+            status: Mutex::new(status),
+            stream: stream.weak(),
+        });
+        Request { inner }
+    }
+
+    /// `MPIX_Request_is_complete`: one atomic acquire load, no progress, no
+    /// side effects. Safe to call from inside async poll functions.
+    #[inline]
+    pub fn is_complete(&self) -> bool {
+        self.inner.complete.load(Ordering::Acquire)
+    }
+
+    /// The status, if complete.
+    pub fn status(&self) -> Option<Status> {
+        if self.is_complete() {
+            Some(*self.inner.status.lock())
+        } else {
+            None
+        }
+    }
+
+    /// The stream this request is bound to (if still alive).
+    pub fn stream(&self) -> Option<Stream> {
+        self.inner.stream.upgrade()
+    }
+
+    /// `MPI_Wait`: drive the bound stream's progress until complete.
+    ///
+    /// If the bound stream has been freed, spins on the completion flag
+    /// (some other context must complete the request).
+    pub fn wait(&self) -> Status {
+        while !self.is_complete() {
+            match self.inner.stream.upgrade() {
+                Some(stream) => {
+                    stream.progress();
+                }
+                None => std::hint::spin_loop(),
+            }
+        }
+        *self.inner.status.lock()
+    }
+
+    /// [`Request::wait`] with a timeout; `None` on timeout.
+    pub fn wait_timeout(&self, timeout_s: f64) -> Option<Status> {
+        let deadline = wtime() + timeout_s;
+        while !self.is_complete() {
+            if wtime() >= deadline {
+                return None;
+            }
+            match self.inner.stream.upgrade() {
+                Some(stream) => {
+                    stream.progress();
+                }
+                None => std::hint::spin_loop(),
+            }
+        }
+        Some(*self.inner.status.lock())
+    }
+
+    /// `MPI_Test`: one progress call on the bound stream, then a completion
+    /// check.
+    pub fn test(&self) -> Option<Status> {
+        if self.is_complete() {
+            return Some(*self.inner.status.lock());
+        }
+        if let Some(stream) = self.inner.stream.upgrade() {
+            stream.progress();
+        }
+        self.status()
+    }
+
+    /// `MPI_Waitall` over a slice of requests.
+    pub fn wait_all(requests: &[Request]) -> Vec<Status> {
+        requests.iter().map(Request::wait).collect()
+    }
+
+    /// `MPI_Testall`: true iff all requests are complete (no progress
+    /// driven; combine with explicit stream progress).
+    pub fn all_complete(requests: &[Request]) -> bool {
+        requests.iter().all(Request::is_complete)
+    }
+
+    /// Index of any complete request, if one exists (no progress driven).
+    pub fn any_complete(requests: &[Request]) -> Option<usize> {
+        requests.iter().position(Request::is_complete)
+    }
+
+    /// `MPI_Waitany`: drive the bound streams (round-robin over the
+    /// distinct streams of the set) until some request completes; returns
+    /// its index and status.
+    ///
+    /// # Panics
+    /// Panics on an empty set (MPI returns `MPI_UNDEFINED`; an empty
+    /// waitany is a program error here).
+    pub fn wait_any(requests: &[Request]) -> (usize, Status) {
+        assert!(!requests.is_empty(), "wait_any on an empty request set");
+        let streams: Vec<Stream> = {
+            let mut seen = Vec::new();
+            let mut streams = Vec::new();
+            for r in requests {
+                if let Some(s) = r.inner.stream.upgrade() {
+                    if !seen.contains(&s.id()) {
+                        seen.push(s.id());
+                        streams.push(s);
+                    }
+                }
+            }
+            streams
+        };
+        loop {
+            if let Some(idx) = Self::any_complete(requests) {
+                let status = requests[idx].status().expect("complete");
+                return (idx, status);
+            }
+            if streams.is_empty() {
+                std::hint::spin_loop();
+            } else {
+                for s in &streams {
+                    s.progress();
+                }
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for Request {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Request")
+            .field("complete", &self.is_complete())
+            .finish()
+    }
+}
+
+impl Completer {
+    /// Mark the operation complete with `status`, releasing all waiters.
+    pub fn complete(mut self, status: Status) {
+        self.finish(status);
+    }
+
+    /// Mark complete with an empty status.
+    pub fn complete_empty(self) {
+        self.complete(Status::empty());
+    }
+
+    /// Complete as cancelled.
+    pub fn cancel(self) {
+        self.complete(Status::cancelled());
+    }
+
+    /// Peek: has this completer already fired? (Always false until one of
+    /// the completing methods ran; those consume `self`.)
+    pub fn is_done(&self) -> bool {
+        self.done
+    }
+
+    /// A [`Request`] handle observing this completer's operation.
+    pub fn request(&self) -> Request {
+        Request { inner: self.inner.clone() }
+    }
+
+    fn finish(&mut self, status: Status) {
+        if self.done {
+            return;
+        }
+        self.done = true;
+        *self.inner.status.lock() = status;
+        // Release pairs with the Acquire in is_complete: a reader seeing
+        // `true` also sees the status written above.
+        self.inner.complete.store(true, Ordering::Release);
+    }
+}
+
+impl Drop for Completer {
+    fn drop(&mut self) {
+        if !self.done {
+            self.finish(Status::cancelled());
+        }
+    }
+}
+
+/// A shared countdown of outstanding operations — the `counter_ptr` pattern
+/// of the paper's Listing 1.3, made safe.
+#[derive(Clone, Debug)]
+pub struct CompletionCounter {
+    count: Arc<AtomicUsize>,
+}
+
+impl CompletionCounter {
+    /// Start at `n` outstanding operations.
+    pub fn new(n: usize) -> CompletionCounter {
+        CompletionCounter { count: Arc::new(AtomicUsize::new(n)) }
+    }
+
+    /// Register one more outstanding operation.
+    pub fn add(&self, n: usize) {
+        self.count.fetch_add(n, Ordering::AcqRel);
+    }
+
+    /// Mark one operation finished.
+    pub fn done(&self) {
+        let prev = self.count.fetch_sub(1, Ordering::AcqRel);
+        debug_assert!(prev > 0, "CompletionCounter underflow");
+    }
+
+    /// Outstanding operations.
+    pub fn remaining(&self) -> usize {
+        self.count.load(Ordering::Acquire)
+    }
+
+    /// True when nothing is outstanding.
+    pub fn is_zero(&self) -> bool {
+        self.remaining() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::task::{AsyncPoll, AsyncThing};
+
+    #[test]
+    fn fresh_request_is_incomplete() {
+        let s = Stream::create();
+        let (req, _c) = Request::pair(&s);
+        assert!(!req.is_complete());
+        assert!(req.status().is_none());
+    }
+
+    #[test]
+    fn complete_publishes_status() {
+        let s = Stream::create();
+        let (req, c) = Request::pair(&s);
+        c.complete(Status { source: 3, tag: 7, bytes: 42, cancelled: false });
+        assert!(req.is_complete());
+        let st = req.status().unwrap();
+        assert_eq!(st.source, 3);
+        assert_eq!(st.tag, 7);
+        assert_eq!(st.bytes, 42);
+        assert!(!st.cancelled);
+    }
+
+    #[test]
+    fn completed_constructor() {
+        let s = Stream::create();
+        let req = Request::completed(&s, Status::empty());
+        assert!(req.is_complete());
+    }
+
+    #[test]
+    fn dropping_completer_cancels() {
+        let s = Stream::create();
+        let (req, c) = Request::pair(&s);
+        drop(c);
+        assert!(req.is_complete());
+        assert!(req.status().unwrap().cancelled);
+    }
+
+    #[test]
+    fn wait_drives_stream_progress() {
+        let s = Stream::create();
+        let (req, c) = Request::pair(&s);
+        // An async task completes the request after a few polls.
+        let mut polls = 0;
+        let mut completer = Some(c);
+        s.async_start(move |_t: &mut AsyncThing| {
+            polls += 1;
+            if polls >= 3 {
+                completer.take().unwrap().complete_empty();
+                AsyncPoll::Done
+            } else {
+                AsyncPoll::Pending
+            }
+        });
+        let st = req.wait();
+        assert!(!st.cancelled);
+        assert!(s.progress_calls() >= 3);
+    }
+
+    #[test]
+    fn wait_timeout_expires() {
+        let s = Stream::create();
+        let (req, _c) = Request::pair(&s);
+        assert!(req.wait_timeout(0.01).is_none());
+    }
+
+    #[test]
+    fn test_polls_once() {
+        let s = Stream::create();
+        let (req, c) = Request::pair(&s);
+        let mut completer = Some(c);
+        s.async_start(move |_t: &mut AsyncThing| {
+            completer.take().unwrap().complete_empty();
+            AsyncPoll::Done
+        });
+        // First test drives one progress: task completes request.
+        let calls_before = s.progress_calls();
+        assert!(req.test().is_some());
+        assert_eq!(s.progress_calls(), calls_before + 1);
+        // Second test short-circuits without progress.
+        assert!(req.test().is_some());
+        assert_eq!(s.progress_calls(), calls_before + 1);
+    }
+
+    #[test]
+    fn wait_all_and_queries() {
+        let s = Stream::create();
+        let (r1, c1) = Request::pair(&s);
+        let (r2, c2) = Request::pair(&s);
+        assert!(!Request::all_complete(&[r1.clone(), r2.clone()]));
+        assert!(Request::any_complete(&[r1.clone(), r2.clone()]).is_none());
+        c1.complete_empty();
+        assert_eq!(Request::any_complete(&[r1.clone(), r2.clone()]), Some(0));
+        c2.complete_empty();
+        assert!(Request::all_complete(&[r1.clone(), r2.clone()]));
+        let statuses = Request::wait_all(&[r1, r2]);
+        assert_eq!(statuses.len(), 2);
+    }
+
+    #[test]
+    fn wait_any_returns_first_completion() {
+        let s = Stream::create();
+        let reqs: Vec<Request> = (0..4)
+            .map(|i| {
+                let (req, completer) = Request::pair(&s);
+                let mut polls_left = 4 - i; // request 3 completes first
+                let mut completer = Some(completer);
+                s.async_start(move |_t| {
+                    polls_left -= 1;
+                    if polls_left == 0 {
+                        completer.take().expect("once").complete(Status {
+                            source: i,
+                            tag: 0,
+                            bytes: 0,
+                            cancelled: false,
+                        });
+                        AsyncPoll::Done
+                    } else {
+                        AsyncPoll::Pending
+                    }
+                });
+                req
+            })
+            .collect();
+        let (idx, status) = Request::wait_any(&reqs);
+        assert_eq!(idx, 3);
+        assert_eq!(status.source, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn wait_any_empty_panics() {
+        let _ = Request::wait_any(&[]);
+    }
+
+    #[test]
+    fn is_complete_has_no_progress_side_effect() {
+        let s = Stream::create();
+        let (req, _c) = Request::pair(&s);
+        let calls = s.progress_calls();
+        for _ in 0..1000 {
+            assert!(!req.is_complete());
+        }
+        assert_eq!(s.progress_calls(), calls);
+    }
+
+    #[test]
+    fn is_complete_usable_inside_poll_fn() {
+        // The headline pattern: query request completion from inside an
+        // async poll without touching progress (Listing 1.6).
+        let s = Stream::create();
+        let (req, c) = Request::pair(&s);
+        let observed = CompletionCounter::new(1);
+        let obs = observed.clone();
+        let mut completer = Some(c);
+        let mut polls = 0;
+        s.async_start(move |_t: &mut AsyncThing| {
+            polls += 1;
+            if polls == 2 {
+                completer.take().unwrap().complete_empty();
+            }
+            if req.is_complete() {
+                obs.done();
+                AsyncPoll::Done
+            } else {
+                AsyncPoll::Pending
+            }
+        });
+        assert!(s.progress_until(|| observed.is_zero(), 1.0));
+        assert_eq!(s.poisoned_tasks(), 0);
+    }
+
+    #[test]
+    fn completion_counter_basics() {
+        let c = CompletionCounter::new(2);
+        assert_eq!(c.remaining(), 2);
+        c.done();
+        assert!(!c.is_zero());
+        c.done();
+        assert!(c.is_zero());
+        c.add(1);
+        assert_eq!(c.remaining(), 1);
+    }
+
+    #[test]
+    fn cross_thread_completion_visibility() {
+        let s = Stream::create();
+        let (req, c) = Request::pair(&s);
+        let handle = std::thread::spawn(move || {
+            c.complete(Status { source: 1, tag: 2, bytes: 3, cancelled: false });
+        });
+        while !req.is_complete() {
+            std::hint::spin_loop();
+        }
+        let st = req.status().unwrap();
+        assert_eq!((st.source, st.tag, st.bytes), (1, 2, 3));
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn wait_survives_freed_stream() {
+        let s = Stream::create();
+        let (req, c) = Request::pair(&s);
+        drop(s);
+        let t = std::thread::spawn(move || {
+            std::thread::sleep(std::time::Duration::from_millis(5));
+            c.complete_empty();
+        });
+        let st = req.wait();
+        assert!(!st.cancelled);
+        t.join().unwrap();
+    }
+}

@@ -1,0 +1,87 @@
+//! Busy-wait primitives used by wait blocks, benchmarks and failure
+//! injection.
+//!
+//! The paper models a *wait block* as a busy poll loop (Section 2.1/2.2);
+//! these helpers are the building blocks for such loops and for the
+//! artificial poll-function delays of Figure 8.
+
+use crate::wtime::wtime;
+
+/// Busy-spin for `seconds` of wall-clock time by polling [`wtime`].
+///
+/// This is exactly how the paper implements the Figure 8 poll-function
+/// delays ("The delay is implemented by busy-polling `MPI_Wtime`").
+#[inline]
+pub fn busy_wait(seconds: f64) {
+    let deadline = wtime() + seconds;
+    while wtime() < deadline {
+        std::hint::spin_loop();
+    }
+}
+
+/// Busy-spin until `cond` returns true or `timeout_s` elapses.
+/// Returns `true` if the condition was observed before the timeout.
+pub fn spin_until(mut cond: impl FnMut() -> bool, timeout_s: f64) -> bool {
+    let deadline = wtime() + timeout_s;
+    loop {
+        if cond() {
+            return true;
+        }
+        if wtime() >= deadline {
+            return false;
+        }
+        std::hint::spin_loop();
+    }
+}
+
+/// Perform `units` of synthetic CPU work (a cheap multiply-add chain),
+/// returning a value that depends on the computation so the optimizer cannot
+/// remove it. Used as the "computation" in overlap experiments.
+pub fn compute_units(units: u64) -> u64 {
+    let mut acc: u64 = 0x9E37_79B9_7F4A_7C15;
+    for i in 0..units {
+        acc = acc.wrapping_mul(6364136223846793005).wrapping_add(i);
+    }
+    std::hint::black_box(acc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn busy_wait_waits_at_least_requested() {
+        let t0 = wtime();
+        busy_wait(0.002);
+        assert!(wtime() - t0 >= 0.002);
+    }
+
+    #[test]
+    fn spin_until_true_immediately() {
+        assert!(spin_until(|| true, 0.0));
+    }
+
+    #[test]
+    fn spin_until_times_out() {
+        let t0 = wtime();
+        assert!(!spin_until(|| false, 0.005));
+        assert!(wtime() - t0 >= 0.005);
+    }
+
+    #[test]
+    fn spin_until_observes_late_condition() {
+        let deadline = wtime() + 0.002;
+        assert!(spin_until(|| wtime() >= deadline, 1.0));
+    }
+
+    #[test]
+    fn compute_units_depends_on_input() {
+        assert_ne!(compute_units(10), compute_units(11));
+    }
+
+    #[test]
+    fn compute_units_zero() {
+        // Still returns the seed; must not panic.
+        let _ = compute_units(0);
+    }
+}

@@ -1,0 +1,219 @@
+//! Latency statistics collection — the `add_stat` / `report_stat` helpers
+//! the paper's Listing 1.3 leaves "implementation omitted".
+//!
+//! The central metric of the paper's evaluation is **progress latency**: the
+//! elapsed time between a task's completion and the moment the progress
+//! engine's user code observes and reacts to that completion (Section 4).
+//! [`LatencyStats`] accumulates such samples and reports mean/percentiles.
+
+/// An accumulating collection of latency samples, in seconds.
+///
+/// Not thread-safe by itself; wrap in a `Mutex` (or keep one per thread and
+/// [`merge`](LatencyStats::merge)) when sampling from multiple threads.
+#[derive(Debug, Clone, Default)]
+pub struct LatencyStats {
+    samples: Vec<f64>,
+}
+
+impl LatencyStats {
+    /// Create an empty collector.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Create an empty collector with room for `n` samples.
+    pub fn with_capacity(n: usize) -> Self {
+        Self { samples: Vec::with_capacity(n) }
+    }
+
+    /// Record one latency sample (seconds). Equivalent of the paper's
+    /// `add_stat`.
+    #[inline]
+    pub fn add(&mut self, seconds: f64) {
+        self.samples.push(seconds);
+    }
+
+    /// Number of recorded samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// True if no samples have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Absorb all samples from `other`.
+    pub fn merge(&mut self, other: &LatencyStats) {
+        self.samples.extend_from_slice(&other.samples);
+    }
+
+    /// Arithmetic mean in seconds (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        self.samples.iter().sum::<f64>() / self.samples.len() as f64
+    }
+
+    /// Minimum sample in seconds (0.0 when empty).
+    pub fn min(&self) -> f64 {
+        self.samples.iter().copied().fold(f64::INFINITY, f64::min).pipe_finite()
+    }
+
+    /// Maximum sample in seconds (0.0 when empty).
+    pub fn max(&self) -> f64 {
+        self.samples.iter().copied().fold(f64::NEG_INFINITY, f64::max).pipe_finite()
+    }
+
+    /// `q`-quantile (0.0 ..= 1.0) by nearest-rank on a sorted copy
+    /// (0.0 when empty).
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN latency sample"));
+        let idx = ((sorted.len() as f64 - 1.0) * q.clamp(0.0, 1.0)).round() as usize;
+        sorted[idx]
+    }
+
+    /// Median (p50) in seconds.
+    pub fn median(&self) -> f64 {
+        self.quantile(0.5)
+    }
+
+    /// Mean of the lowest `keep` fraction of samples (0.0 < keep <= 1.0).
+    ///
+    /// Microbenchmarks on shared machines pick up rare multi-millisecond
+    /// preemption outliers; a top-trimmed mean recovers the underlying
+    /// distribution (0.0 when empty).
+    pub fn trimmed_mean(&self, keep: f64) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN latency sample"));
+        let n = ((sorted.len() as f64 * keep.clamp(0.0, 1.0)).ceil() as usize)
+            .clamp(1, sorted.len());
+        sorted[..n].iter().sum::<f64>() / n as f64
+    }
+
+    /// One-line human-readable summary with values in microseconds —
+    /// the paper's `report_stat`.
+    pub fn report(&self, label: &str) -> String {
+        format!(
+            "{label}: n={} mean={:.3}us p50={:.3}us p95={:.3}us min={:.3}us max={:.3}us",
+            self.len(),
+            self.mean() * 1e6,
+            self.median() * 1e6,
+            self.quantile(0.95) * 1e6,
+            self.min() * 1e6,
+            self.max() * 1e6,
+        )
+    }
+}
+
+trait PipeFinite {
+    fn pipe_finite(self) -> f64;
+}
+impl PipeFinite for f64 {
+    /// Map the +/- infinity produced by folding an empty iterator to 0.0.
+    fn pipe_finite(self) -> f64 {
+        if self.is_finite() {
+            self
+        } else {
+            0.0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_stats_are_zero() {
+        let s = LatencyStats::new();
+        assert!(s.is_empty());
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.min(), 0.0);
+        assert_eq!(s.max(), 0.0);
+        assert_eq!(s.median(), 0.0);
+    }
+
+    #[test]
+    fn mean_of_known_values() {
+        let mut s = LatencyStats::new();
+        for v in [1.0, 2.0, 3.0] {
+            s.add(v);
+        }
+        assert_eq!(s.len(), 3);
+        assert!((s.mean() - 2.0).abs() < 1e-12);
+        assert_eq!(s.min(), 1.0);
+        assert_eq!(s.max(), 3.0);
+        assert_eq!(s.median(), 2.0);
+    }
+
+    #[test]
+    fn quantiles_on_sorted_ranks() {
+        let mut s = LatencyStats::new();
+        for v in 0..100 {
+            s.add(v as f64);
+        }
+        assert_eq!(s.quantile(0.0), 0.0);
+        assert_eq!(s.quantile(1.0), 99.0);
+        assert!((s.quantile(0.95) - 94.0).abs() <= 1.0);
+    }
+
+    #[test]
+    fn quantile_clamps_out_of_range() {
+        let mut s = LatencyStats::new();
+        s.add(5.0);
+        assert_eq!(s.quantile(-1.0), 5.0);
+        assert_eq!(s.quantile(2.0), 5.0);
+    }
+
+    #[test]
+    fn merge_combines_samples() {
+        let mut a = LatencyStats::new();
+        a.add(1.0);
+        let mut b = LatencyStats::new();
+        b.add(3.0);
+        a.merge(&b);
+        assert_eq!(a.len(), 2);
+        assert!((a.mean() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn report_contains_label_and_count() {
+        let mut s = LatencyStats::new();
+        s.add(1e-6);
+        let r = s.report("dummy");
+        assert!(r.contains("dummy"));
+        assert!(r.contains("n=1"));
+    }
+
+    #[test]
+    fn trimmed_mean_drops_outliers() {
+        let mut s = LatencyStats::new();
+        for _ in 0..9 {
+            s.add(1.0);
+        }
+        s.add(1000.0); // preemption spike
+        assert!(s.mean() > 100.0);
+        assert!((s.trimmed_mean(0.9) - 1.0).abs() < 1e-12);
+        assert_eq!(LatencyStats::new().trimmed_mean(0.9), 0.0);
+        // keep=1.0 equals the plain mean.
+        assert!((s.trimmed_mean(1.0) - s.mean()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unordered_inserts_still_sort_for_quantiles() {
+        let mut s = LatencyStats::new();
+        for v in [9.0, 1.0, 5.0, 3.0, 7.0] {
+            s.add(v);
+        }
+        assert_eq!(s.median(), 5.0);
+    }
+}

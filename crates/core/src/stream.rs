@@ -1,0 +1,640 @@
+//! `MPIX_Stream`: an explicit serial execution context owning a progress
+//! engine (paper Sections 3.1–3.2).
+//!
+//! All operations attached to a stream are serialized by the stream's engine
+//! lock; distinct streams share nothing, so threads driving different
+//! streams never contend (the fix for the paper's Figure 9 contention,
+//! demonstrated flat in Figure 11).
+//!
+//! [`Stream::global`] plays the role of `MPIX_STREAM_NULL` for purely local
+//! (non-MPI) use; a message-passing runtime such as `mpfa-mpi` gives each
+//! rank its own default stream instead, since in-process ranks model what
+//! would be separate OS processes.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock, Weak};
+
+use crossbeam::queue::SegQueue;
+use parking_lot::Mutex;
+
+use crate::engine::{Engine, ProgressOutcome, ProgressState};
+use crate::hook::{HookId, ProgressHook, SubsystemClass};
+use crate::task::{AsyncTask, TaskId};
+use crate::wtime::wtime;
+
+/// Process-unique stream identifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct StreamId(pub(crate) u64);
+
+impl StreamId {
+    /// Raw numeric value (stable for the life of the process).
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+/// Creation-time hints for a stream — the `MPI_Info` argument of
+/// `MPIX_Stream_create`, reduced to the knobs this engine understands.
+#[derive(Debug, Clone, Default)]
+pub struct StreamHints {
+    name: Option<String>,
+    skip_mask: u8,
+}
+
+impl StreamHints {
+    /// No hints: poll every subsystem class.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Attach a diagnostic name.
+    #[must_use]
+    pub fn name(mut self, name: impl Into<String>) -> Self {
+        self.name = Some(name.into());
+        self
+    }
+
+    /// Permanently skip a subsystem class on this stream (e.g. skip
+    /// [`SubsystemClass::Netmod`] for a stream that never touches
+    /// inter-node communication — the paper's Section 3.2 example).
+    #[must_use]
+    pub fn skip(mut self, class: SubsystemClass) -> Self {
+        self.skip_mask |= class.bit();
+        self
+    }
+
+    fn to_state(&self) -> ProgressState {
+        let mut st = ProgressState::default();
+        for c in SubsystemClass::ALL {
+            if self.skip_mask & c.bit() != 0 {
+                st = st.skip(c);
+            }
+        }
+        st
+    }
+}
+
+pub(crate) struct StreamInner {
+    id: StreamId,
+    name: Option<String>,
+    base_state: ProgressState,
+    engine: Mutex<Engine>,
+    /// Lock-free injection queue so `async_start` never blocks behind a
+    /// progress call in flight on another thread.
+    inject: SegQueue<Box<dyn AsyncTask>>,
+    /// Pending user tasks: queued + in-engine (not yet Done/poisoned).
+    pending: AtomicUsize,
+    /// Total progress invocations (diagnostics).
+    progress_calls: AtomicU64,
+    /// Ids for injected tasks (assigned before they reach the engine).
+    next_injected: AtomicU64,
+}
+
+/// An explicit progress stream — `MPIX_Stream`.
+///
+/// Cheap to clone (`Arc` handle). Dropping the last handle frees the stream
+/// (`MPIX_Stream_free`); hooks and tasks still registered are dropped with
+/// it.
+#[derive(Clone)]
+pub struct Stream {
+    inner: Arc<StreamInner>,
+}
+
+/// A non-owning stream reference, used by requests to drive progress
+/// without creating reference cycles.
+#[derive(Clone)]
+pub struct StreamRef {
+    pub(crate) inner: Weak<StreamInner>,
+}
+
+impl StreamRef {
+    /// Upgrade to a full handle if the stream is still alive.
+    pub fn upgrade(&self) -> Option<Stream> {
+        self.inner.upgrade().map(|inner| Stream { inner })
+    }
+}
+
+fn next_stream_id() -> StreamId {
+    static NEXT: AtomicU64 = AtomicU64::new(1);
+    StreamId(NEXT.fetch_add(1, Ordering::Relaxed))
+}
+
+impl Stream {
+    /// Create a stream with default hints — `MPIX_Stream_create(MPI_INFO_NULL, ..)`.
+    pub fn create() -> Stream {
+        Self::with_hints(StreamHints::new())
+    }
+
+    /// Create a stream with hints — `MPIX_Stream_create(info, ..)`.
+    pub fn with_hints(hints: StreamHints) -> Stream {
+        Stream {
+            inner: Arc::new(StreamInner {
+                id: next_stream_id(),
+                base_state: hints.to_state(),
+                name: hints.name,
+                engine: Mutex::new(Engine::new()),
+                inject: SegQueue::new(),
+                pending: AtomicUsize::new(0),
+                progress_calls: AtomicU64::new(0),
+                next_injected: AtomicU64::new(1 << 32),
+            }),
+        }
+    }
+
+    /// The process-global default stream — `MPIX_STREAM_NULL` for code that
+    /// is not bound to a message-passing rank context.
+    pub fn global() -> Stream {
+        static GLOBAL: OnceLock<Stream> = OnceLock::new();
+        GLOBAL
+            .get_or_init(|| Stream::with_hints(StreamHints::new().name("global")))
+            .clone()
+    }
+
+    /// This stream's id.
+    pub fn id(&self) -> StreamId {
+        self.inner.id
+    }
+
+    /// Diagnostic name, if any.
+    pub fn name(&self) -> Option<&str> {
+        self.inner.name.as_deref()
+    }
+
+    /// A weak reference for storing inside requests/hooks without keeping
+    /// the stream alive.
+    pub fn weak(&self) -> StreamRef {
+        StreamRef { inner: Arc::downgrade(&self.inner) }
+    }
+
+    /// Register a subsystem progress hook. Returns an id usable with
+    /// [`Stream::unregister_hook`].
+    pub fn register_hook(&self, hook: impl ProgressHook + 'static) -> HookId {
+        self.inner.engine.lock().register_hook(Box::new(hook))
+    }
+
+    /// Register a boxed subsystem progress hook.
+    pub fn register_boxed_hook(&self, hook: Box<dyn ProgressHook>) -> HookId {
+        self.inner.engine.lock().register_hook(hook)
+    }
+
+    /// Remove a previously registered hook. Returns false if unknown.
+    pub fn unregister_hook(&self, id: HookId) -> bool {
+        self.inner.engine.lock().unregister_hook(id)
+    }
+
+    /// Number of registered subsystem hooks.
+    pub fn hook_count(&self) -> usize {
+        self.inner.engine.lock().hook_count()
+    }
+
+    /// Start a user async task on this stream — `MPIX_Async_start`.
+    ///
+    /// Never blocks behind an in-flight progress call: the task is pushed to
+    /// a lock-free injection queue and spliced into the engine at the start
+    /// of the next progress call.
+    pub fn async_start<F>(&self, poll: F) -> TaskId
+    where
+        F: FnMut(&mut crate::task::AsyncThing) -> crate::task::AsyncPoll + Send + 'static,
+    {
+        self.async_start_task(poll)
+    }
+
+    /// [`Stream::async_start`] for non-closure [`AsyncTask`] values.
+    pub fn async_start_task(&self, task: impl AsyncTask + 'static) -> TaskId {
+        let id = TaskId(self.inner.next_injected.fetch_add(1, Ordering::Relaxed));
+        self.inner.pending.fetch_add(1, Ordering::Release);
+        self.inner.inject.push(Box::new(task));
+        id
+    }
+
+    /// Number of user tasks not yet completed (queued + live).
+    pub fn pending_tasks(&self) -> usize {
+        self.inner.pending.load(Ordering::Acquire)
+    }
+
+    /// Total progress invocations so far (diagnostics).
+    pub fn progress_calls(&self) -> u64 {
+        self.inner.progress_calls.load(Ordering::Relaxed)
+    }
+
+    /// Total user tasks discarded because their poll panicked.
+    pub fn poisoned_tasks(&self) -> u64 {
+        self.inner.engine.lock().poisoned_total()
+    }
+
+    /// Snapshot of the stream's cumulative progress counters.
+    pub fn stats(&self) -> crate::engine::EngineStats {
+        self.inner.engine.lock().stats()
+    }
+
+    /// Drive one collated progress sweep — `MPIX_Stream_progress(stream)`.
+    ///
+    /// Blocks on the stream's engine lock if another thread is mid-progress
+    /// (this is the Figure 9 contention when many threads share a stream).
+    pub fn progress(&self) -> ProgressOutcome {
+        self.progress_with(&self.inner.base_state.clone())
+    }
+
+    /// Progress with an explicit per-call [`ProgressState`]. The stream's
+    /// creation hints are still honored (a class skipped by hints stays
+    /// skipped).
+    ///
+    /// # Panics
+    ///
+    /// Panics if called recursively from inside this stream's own progress
+    /// (i.e. from a hook or a task's `poll`). The paper prohibits recursive
+    /// progress ("invoking progress recursively inside the poll_fn is
+    /// prohibited"); without this check the engine lock would deadlock.
+    /// Use [`crate::Request::is_complete`] inside polls instead.
+    pub fn progress_with(&self, state: &ProgressState) -> ProgressOutcome {
+        let merged = merge_states(&self.inner.base_state, state);
+        let _reentry = ReentryGuard::enter(self.inner.id);
+        self.inner.progress_calls.fetch_add(1, Ordering::Relaxed);
+        let mut engine = self.inner.engine.lock();
+        self.drain_inject(&mut engine);
+        let out = engine.poll(&merged, self.inner.id);
+        drop(engine);
+        self.settle_pending(&out);
+        out
+    }
+
+    /// Reconcile the lock-free pending counter with a sweep's outcome.
+    /// Spawned children are added before finished tasks are subtracted so
+    /// the counter never transiently underflows.
+    fn settle_pending(&self, out: &ProgressOutcome) {
+        if out.tasks_spawned > 0 {
+            self.inner.pending.fetch_add(out.tasks_spawned, Ordering::Release);
+        }
+        let finished = out.tasks_completed + out.tasks_poisoned;
+        if finished > 0 {
+            self.inner.pending.fetch_sub(finished, Ordering::Release);
+        }
+    }
+
+    /// Like [`Stream::progress`] but returns `None` instead of blocking when
+    /// another thread holds the engine.
+    pub fn try_progress(&self) -> Option<ProgressOutcome> {
+        let _reentry = ReentryGuard::enter(self.inner.id);
+        let mut engine = self.inner.engine.try_lock()?;
+        self.inner.progress_calls.fetch_add(1, Ordering::Relaxed);
+        self.drain_inject(&mut engine);
+        let out = engine.poll(&self.inner.base_state.clone(), self.inner.id);
+        drop(engine);
+        self.settle_pending(&out);
+        Some(out)
+    }
+
+    fn drain_inject(&self, engine: &mut Engine) {
+        while let Some(task) = self.inner.inject.pop() {
+            engine.add_task(task);
+        }
+    }
+
+    /// Spin progress until no user tasks remain or `timeout_s` elapses.
+    /// Returns true if drained. This is the `MPI_Finalize` behavior of the
+    /// paper's Listing 1.2 ("MPI_Finalize will spin progress until all async
+    /// tasks complete"), with a safety timeout.
+    pub fn drain(&self, timeout_s: f64) -> bool {
+        let deadline = wtime() + timeout_s;
+        while self.pending_tasks() > 0 {
+            self.progress();
+            if wtime() >= deadline {
+                return self.pending_tasks() == 0;
+            }
+        }
+        true
+    }
+
+    /// Spin progress until `cond()` holds or `timeout_s` elapses. Returns
+    /// true if the condition was observed. This is the explicit wait block
+    /// of Listing 1.3 (`while (counter > 0) MPIX_Stream_progress(...)`).
+    pub fn progress_until(&self, mut cond: impl FnMut() -> bool, timeout_s: f64) -> bool {
+        let deadline = wtime() + timeout_s;
+        loop {
+            if cond() {
+                return true;
+            }
+            if wtime() >= deadline {
+                return cond();
+            }
+            self.progress();
+        }
+    }
+}
+
+impl std::fmt::Debug for Stream {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Stream")
+            .field("id", &self.inner.id)
+            .field("name", &self.inner.name)
+            .field("pending_tasks", &self.pending_tasks())
+            .finish()
+    }
+}
+
+/// Detects recursive progress on the same stream from the same thread and
+/// converts the would-be deadlock into a panic (caught by the task sweep's
+/// panic isolation, so an offending task is poisoned rather than hanging the
+/// process).
+struct ReentryGuard {
+    id: StreamId,
+}
+
+thread_local! {
+    static IN_PROGRESS: std::cell::RefCell<Vec<StreamId>> =
+        const { std::cell::RefCell::new(Vec::new()) };
+}
+
+impl ReentryGuard {
+    fn enter(id: StreamId) -> ReentryGuard {
+        IN_PROGRESS.with(|v| {
+            let mut v = v.borrow_mut();
+            assert!(
+                !v.contains(&id),
+                "recursive MPIX progress on stream {id:?} — progress must not \
+                 be invoked from inside a progress hook or async task poll"
+            );
+            v.push(id);
+        });
+        ReentryGuard { id }
+    }
+}
+
+impl Drop for ReentryGuard {
+    fn drop(&mut self) {
+        IN_PROGRESS.with(|v| {
+            let mut v = v.borrow_mut();
+            if let Some(pos) = v.iter().rposition(|s| *s == self.id) {
+                v.remove(pos);
+            }
+        });
+    }
+}
+
+fn merge_states(base: &ProgressState, call: &ProgressState) -> ProgressState {
+    let mut merged = *call;
+    for c in SubsystemClass::ALL {
+        if base.skips(c) {
+            merged = merged.skip(c);
+        }
+    }
+    if !base.polls_tasks() {
+        merged = merged.without_tasks();
+    }
+    merged
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::task::{AsyncPoll, AsyncThing};
+    use std::sync::atomic::AtomicBool;
+
+    #[test]
+    fn streams_have_unique_ids() {
+        let a = Stream::create();
+        let b = Stream::create();
+        assert_ne!(a.id(), b.id());
+    }
+
+    #[test]
+    fn global_stream_is_singleton() {
+        assert_eq!(Stream::global().id(), Stream::global().id());
+    }
+
+    #[test]
+    fn clone_shares_state() {
+        let a = Stream::create();
+        let b = a.clone();
+        a.async_start(|_t: &mut AsyncThing| AsyncPoll::Done);
+        assert_eq!(b.pending_tasks(), 1);
+        b.progress();
+        assert_eq!(a.pending_tasks(), 0);
+    }
+
+    #[test]
+    fn async_start_then_progress_completes() {
+        let s = Stream::create();
+        let deadline = wtime() + 0.001;
+        s.async_start(move |_t: &mut AsyncThing| {
+            if wtime() >= deadline {
+                AsyncPoll::Done
+            } else {
+                AsyncPoll::Pending
+            }
+        });
+        assert_eq!(s.pending_tasks(), 1);
+        assert!(s.drain(1.0));
+        assert_eq!(s.pending_tasks(), 0);
+        assert!(s.progress_calls() > 0);
+    }
+
+    #[test]
+    fn progress_until_condition() {
+        let s = Stream::create();
+        let flag = Arc::new(AtomicBool::new(false));
+        let f = flag.clone();
+        let mut polls = 0;
+        s.async_start(move |_t: &mut AsyncThing| {
+            polls += 1;
+            if polls >= 5 {
+                f.store(true, Ordering::Release);
+                AsyncPoll::Done
+            } else {
+                AsyncPoll::Pending
+            }
+        });
+        assert!(s.progress_until(|| flag.load(Ordering::Acquire), 1.0));
+    }
+
+    #[test]
+    fn progress_until_times_out() {
+        let s = Stream::create();
+        assert!(!s.progress_until(|| false, 0.01));
+    }
+
+    #[test]
+    fn hints_skip_subsystem_permanently() {
+        use crate::hook::ProgressHook;
+        struct Netmod(Arc<AtomicUsize>);
+        impl ProgressHook for Netmod {
+            fn name(&self) -> &str {
+                "netmod"
+            }
+            fn class(&self) -> SubsystemClass {
+                SubsystemClass::Netmod
+            }
+            fn poll(&self) -> bool {
+                self.0.fetch_add(1, Ordering::Relaxed);
+                true
+            }
+        }
+        let polls = Arc::new(AtomicUsize::new(0));
+        let s = Stream::with_hints(StreamHints::new().skip(SubsystemClass::Netmod));
+        s.register_hook(Netmod(polls.clone()));
+        s.progress();
+        assert_eq!(polls.load(Ordering::Relaxed), 0);
+        // An explicit per-call state cannot un-skip a hinted class.
+        s.progress_with(&ProgressState::all());
+        assert_eq!(polls.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn try_progress_skips_when_contended() {
+        let s = Stream::create();
+        let guard = s.inner.engine.lock();
+        assert!(s.try_progress().is_none());
+        drop(guard);
+        assert!(s.try_progress().is_some());
+    }
+
+    #[test]
+    fn pending_count_tracks_spawned_children() {
+        let s = Stream::create();
+        s.async_start(|t: &mut AsyncThing| {
+            t.spawn(|_t: &mut AsyncThing| AsyncPoll::Done);
+            AsyncPoll::Done
+        });
+        assert_eq!(s.pending_tasks(), 1);
+        s.progress(); // parent done (-1), child spawned (+1)
+        assert_eq!(s.pending_tasks(), 1);
+        assert!(s.drain(1.0));
+        assert_eq!(s.pending_tasks(), 0);
+    }
+
+    #[test]
+    fn weak_upgrade_while_alive_only() {
+        let s = Stream::create();
+        let w = s.weak();
+        assert!(w.upgrade().is_some());
+        drop(s);
+        assert!(w.upgrade().is_none());
+    }
+
+    #[test]
+    fn poisoned_task_counted() {
+        let s = Stream::create();
+        s.async_start(|_t: &mut AsyncThing| -> AsyncPoll { panic!("boom") });
+        s.progress();
+        assert_eq!(s.poisoned_tasks(), 1);
+        assert_eq!(s.pending_tasks(), 0);
+    }
+
+    #[test]
+    fn concurrent_progress_on_one_stream_is_safe() {
+        let s = Stream::create();
+        let n = 64;
+        let done = Arc::new(AtomicUsize::new(0));
+        for _ in 0..n {
+            let d = done.clone();
+            let deadline = wtime() + 0.002;
+            s.async_start(move |_t: &mut AsyncThing| {
+                if wtime() >= deadline {
+                    d.fetch_add(1, Ordering::Relaxed);
+                    AsyncPoll::Done
+                } else {
+                    AsyncPoll::Pending
+                }
+            });
+        }
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let s = s.clone();
+                scope.spawn(move || {
+                    while s.pending_tasks() > 0 {
+                        s.progress();
+                    }
+                });
+            }
+        });
+        assert_eq!(done.load(Ordering::Relaxed), n);
+    }
+
+    #[test]
+    fn concurrent_streams_are_independent() {
+        let streams: Vec<Stream> = (0..4).map(|_| Stream::create()).collect();
+        std::thread::scope(|scope| {
+            for s in &streams {
+                let s = s.clone();
+                scope.spawn(move || {
+                    let deadline = wtime() + 0.002;
+                    s.async_start(move |_t: &mut AsyncThing| {
+                        if wtime() >= deadline {
+                            AsyncPoll::Done
+                        } else {
+                            AsyncPoll::Pending
+                        }
+                    });
+                    assert!(s.drain(1.0));
+                });
+            }
+        });
+        for s in &streams {
+            assert_eq!(s.pending_tasks(), 0);
+        }
+    }
+
+    #[test]
+    fn recursive_progress_is_poisoned_not_deadlocked() {
+        let s = Stream::create();
+        let s2 = s.clone();
+        s.async_start(move |_t: &mut AsyncThing| {
+            // Prohibited: progress from inside a poll. Must panic (and be
+            // isolated as a poisoned task), not deadlock.
+            s2.progress();
+            AsyncPoll::Done
+        });
+        s.progress();
+        assert_eq!(s.poisoned_tasks(), 1);
+        // Stream still usable afterwards.
+        s.async_start(|_t: &mut AsyncThing| AsyncPoll::Done);
+        assert!(s.drain(1.0));
+    }
+
+    #[test]
+    fn nested_progress_on_different_streams_is_allowed() {
+        let a = Stream::create();
+        let b = Stream::create();
+        let b2 = b.clone();
+        let done = Arc::new(AtomicBool::new(false));
+        let d = done.clone();
+        b.async_start(move |_t: &mut AsyncThing| {
+            d.store(true, Ordering::Release);
+            AsyncPoll::Done
+        });
+        a.async_start(move |_t: &mut AsyncThing| {
+            // Progressing a *different* stream from a poll is legal (if
+            // inadvisable for latency).
+            b2.progress();
+            AsyncPoll::Done
+        });
+        a.progress();
+        assert_eq!(a.poisoned_tasks(), 0);
+        assert!(done.load(Ordering::Acquire));
+    }
+
+    #[test]
+    fn injection_while_progressing_is_lock_free() {
+        // async_start from thread B while thread A spins progress must not
+        // deadlock and the task must eventually run.
+        let s = Stream::create();
+        let started = Arc::new(AtomicBool::new(false));
+        let st = started.clone();
+        std::thread::scope(|scope| {
+            let s2 = s.clone();
+            scope.spawn(move || {
+                while !st.load(Ordering::Acquire) {
+                    s2.progress();
+                }
+                // Finish off remaining tasks.
+                assert!(s2.drain(1.0));
+            });
+            let flag = started.clone();
+            s.async_start(move |_t: &mut AsyncThing| {
+                flag.store(true, Ordering::Release);
+                AsyncPoll::Done
+            });
+        });
+        assert_eq!(s.pending_tasks(), 0);
+    }
+}

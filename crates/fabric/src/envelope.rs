@@ -1,0 +1,84 @@
+//! The unit of transfer on the fabric.
+
+/// A delivered packet: source, destination, the user message, and the
+/// payload size the wire charged for.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Envelope<M> {
+    /// Sending rank.
+    pub src: usize,
+    /// Receiving rank.
+    pub dst: usize,
+    /// Wire-charged payload size in bytes (protocol metadata counts as 0).
+    pub wire_bytes: usize,
+    /// The message itself.
+    pub msg: M,
+}
+
+/// An envelope in flight, ordered by arrival time then by a global
+/// sequence number (which both breaks ties deterministically and preserves
+/// per-channel FIFO for equal arrival times).
+#[derive(Debug)]
+pub(crate) struct InFlight<M> {
+    pub arrival: f64,
+    pub seq: u64,
+    pub envelope: Envelope<M>,
+}
+
+impl<M> PartialEq for InFlight<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.seq == other.seq
+    }
+}
+impl<M> Eq for InFlight<M> {}
+
+impl<M> PartialOrd for InFlight<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<M> Ord for InFlight<M> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want earliest-first.
+        other
+            .arrival
+            .total_cmp(&self.arrival)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BinaryHeap;
+
+    fn inflight(arrival: f64, seq: u64) -> InFlight<u32> {
+        InFlight {
+            arrival,
+            seq,
+            envelope: Envelope { src: 0, dst: 1, wire_bytes: 0, msg: seq as u32 },
+        }
+    }
+
+    #[test]
+    fn heap_pops_earliest_arrival_first() {
+        let mut h = BinaryHeap::new();
+        h.push(inflight(3.0, 0));
+        h.push(inflight(1.0, 1));
+        h.push(inflight(2.0, 2));
+        assert_eq!(h.pop().unwrap().arrival, 1.0);
+        assert_eq!(h.pop().unwrap().arrival, 2.0);
+        assert_eq!(h.pop().unwrap().arrival, 3.0);
+    }
+
+    #[test]
+    fn equal_arrivals_pop_in_seq_order() {
+        let mut h = BinaryHeap::new();
+        h.push(inflight(1.0, 5));
+        h.push(inflight(1.0, 2));
+        h.push(inflight(1.0, 9));
+        assert_eq!(h.pop().unwrap().seq, 2);
+        assert_eq!(h.pop().unwrap().seq, 5);
+        assert_eq!(h.pop().unwrap().seq, 9);
+    }
+}

@@ -1,0 +1,40 @@
+//! # mpfa-fabric — a software-simulated NIC / network fabric
+//!
+//! The paper's protocol diagrams (Figure 1) talk about "the NIC", with the
+//! footnote that *"here 'NIC' loosely refers to either hardware operations
+//! or software emulations"*. This crate is that software emulation: a
+//! reliable, non-overtaking, latency/bandwidth-modeled packet fabric
+//! connecting the endpoints of an in-process multi-rank world.
+//!
+//! Design points:
+//!
+//! * **Two paths per endpoint** — packets between ranks on the same *node*
+//!   travel the shared-memory path; packets between nodes travel the
+//!   network path. The `mpfa-mpi` runtime registers a separate progress
+//!   hook for each (the `Shmem_progress` / `Netmod_progress` split of the
+//!   paper's Listing 1.1).
+//! * **Timed delivery** — each packet is stamped with an arrival time
+//!   computed from a per-directed-channel serialization model
+//!   (`latency + bytes/bandwidth`, FIFO per channel), so rendezvous
+//!   handshakes and overlap experiments see realistic wire costs. With
+//!   zero latency/infinite bandwidth the fabric is deterministic and
+//!   instant, which is what the unit tests use.
+//! * **TX completion handles** — an eager send's "wait until the NIC
+//!   signals completion" (Figure 1(b)) is modeled by [`TxHandle`], which
+//!   becomes done when the channel finishes transmitting the payload.
+//!
+//! The fabric is generic over the message type `M`; `mpfa-mpi` instantiates
+//! it with its wire-protocol enum. The fabric itself knows nothing about
+//! MPI semantics — it moves envelopes.
+
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod endpoint;
+pub mod envelope;
+pub mod net;
+
+pub use config::FabricConfig;
+pub use endpoint::{Endpoint, TxHandle};
+pub use envelope::Envelope;
+pub use net::Fabric;

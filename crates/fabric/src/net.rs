@@ -1,0 +1,382 @@
+//! The fabric proper: per-destination timed delivery queues plus the
+//! per-directed-channel serialization model.
+
+use std::collections::BinaryHeap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use mpfa_core::wtime;
+use parking_lot::Mutex;
+
+use crate::config::FabricConfig;
+use crate::endpoint::{Endpoint, TxHandle};
+use crate::envelope::{Envelope, InFlight};
+
+/// Which delivery path a packet took.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Path {
+    /// Same-node (shared-memory) path.
+    Shmem,
+    /// Cross-node (network) path.
+    Net,
+}
+
+/// Deterministic hash of `x` into [0, 1) (splitmix64 finalizer).
+fn hash01(x: u64) -> f64 {
+    let mut z = x.wrapping_add(0x9E3779B97F4A7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^= z >> 31;
+    (z >> 11) as f64 / (1u64 << 53) as f64
+}
+
+pub(crate) struct RankQueues<M> {
+    pub(crate) net: Mutex<BinaryHeap<InFlight<M>>>,
+    pub(crate) net_count: AtomicUsize,
+    pub(crate) shm: Mutex<BinaryHeap<InFlight<M>>>,
+    pub(crate) shm_count: AtomicUsize,
+}
+
+impl<M> RankQueues<M> {
+    fn new() -> Self {
+        RankQueues {
+            net: Mutex::new(BinaryHeap::new()),
+            net_count: AtomicUsize::new(0),
+            shm: Mutex::new(BinaryHeap::new()),
+            shm_count: AtomicUsize::new(0),
+        }
+    }
+}
+
+/// Per-directed-channel wire state.
+#[derive(Default)]
+struct Channel {
+    /// When the channel finishes its current transmission.
+    next_free: f64,
+    /// Latest arrival handed out (jitter clamps against this so the
+    /// channel stays FIFO).
+    last_arrival: f64,
+}
+
+pub(crate) struct FabricInner<M> {
+    pub(crate) config: FabricConfig,
+    /// Wire state per directed channel, indexed `src * ranks + dst`.
+    channels: Vec<Mutex<Channel>>,
+    pub(crate) rx: Vec<RankQueues<M>>,
+    seq: AtomicU64,
+    packets_net: AtomicU64,
+    packets_shm: AtomicU64,
+    bytes_total: AtomicU64,
+}
+
+/// A simulated fabric connecting `config.ranks` endpoints. Cheap to clone.
+pub struct Fabric<M> {
+    pub(crate) inner: Arc<FabricInner<M>>,
+}
+
+impl<M> Clone for Fabric<M> {
+    fn clone(&self) -> Self {
+        Fabric { inner: self.inner.clone() }
+    }
+}
+
+impl<M: Send> Fabric<M> {
+    /// Build a fabric from a validated configuration.
+    pub fn new(config: FabricConfig) -> Fabric<M> {
+        config.validate();
+        let n = config.ranks;
+        Fabric {
+            inner: Arc::new(FabricInner {
+                channels: (0..n * n).map(|_| Mutex::new(Channel::default())).collect(),
+                rx: (0..n).map(|_| RankQueues::new()).collect(),
+                config,
+                seq: AtomicU64::new(0),
+                packets_net: AtomicU64::new(0),
+                packets_shm: AtomicU64::new(0),
+                bytes_total: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// The fabric's configuration.
+    pub fn config(&self) -> &FabricConfig {
+        &self.inner.config
+    }
+
+    /// The endpoint handle for `rank`. Multiple handles to one rank are
+    /// allowed (they share the same queues).
+    pub fn endpoint(&self, rank: usize) -> Endpoint<M> {
+        assert!(rank < self.inner.config.ranks, "rank {rank} out of range");
+        Endpoint::new(self.clone(), rank)
+    }
+
+    /// Total packets injected on the network path so far.
+    pub fn packets_net(&self) -> u64 {
+        self.inner.packets_net.load(Ordering::Relaxed)
+    }
+
+    /// Total packets injected on the shmem path so far.
+    pub fn packets_shmem(&self) -> u64 {
+        self.inner.packets_shm.load(Ordering::Relaxed)
+    }
+
+    /// Total wire bytes injected so far.
+    pub fn bytes_total(&self) -> u64 {
+        self.inner.bytes_total.load(Ordering::Relaxed)
+    }
+
+    /// Inject a packet. Returns the TX completion handle (done when the
+    /// sender-side channel finishes serializing the payload — the "NIC
+    /// signals completion" event of eager sends).
+    pub(crate) fn send(
+        &self,
+        src: usize,
+        dst: usize,
+        msg: M,
+        wire_bytes: usize,
+    ) -> TxHandle {
+        let cfg = &self.inner.config;
+        assert!(dst < cfg.ranks, "destination rank {dst} out of range");
+        assert!(
+            wire_bytes <= cfg.mtu,
+            "payload of {wire_bytes} bytes exceeds fabric MTU {}; chunk it",
+            cfg.mtu
+        );
+
+        let now = wtime();
+        let seq = self.inner.seq.fetch_add(1, Ordering::Relaxed);
+        let (tx_end, arrival) = {
+            let mut chan = self.inner.channels[src * cfg.ranks + dst].lock();
+            let start = now.max(chan.next_free);
+            let tx_end = start + cfg.tx_time(src, dst, wire_bytes);
+            chan.next_free = tx_end;
+            let mut arrival = tx_end + cfg.latency(src, dst);
+            if cfg.jitter > 0.0 {
+                // Deterministic per-packet jitter (hash of the sequence
+                // number), clamped to keep the channel FIFO.
+                arrival += cfg.latency(src, dst) * cfg.jitter * hash01(seq);
+            }
+            arrival = arrival.max(chan.last_arrival);
+            chan.last_arrival = arrival;
+            (tx_end, arrival)
+        };
+
+        let inflight = InFlight {
+            arrival,
+            seq,
+            envelope: Envelope { src, dst, wire_bytes, msg },
+        };
+        self.inner.bytes_total.fetch_add(wire_bytes as u64, Ordering::Relaxed);
+        let q = &self.inner.rx[dst];
+        if cfg.same_node(src, dst) {
+            self.inner.packets_shm.fetch_add(1, Ordering::Relaxed);
+            q.shm.lock().push(inflight);
+            q.shm_count.fetch_add(1, Ordering::Release);
+        } else {
+            self.inner.packets_net.fetch_add(1, Ordering::Relaxed);
+            q.net.lock().push(inflight);
+            q.net_count.fetch_add(1, Ordering::Release);
+        }
+        TxHandle::new(tx_end)
+    }
+
+    /// Pop the next arrived packet for `rank` on `path`, if any.
+    pub(crate) fn poll(&self, rank: usize, path: Path) -> Option<Envelope<M>> {
+        let q = &self.inner.rx[rank];
+        let (heap, count) = match path {
+            Path::Net => (&q.net, &q.net_count),
+            Path::Shmem => (&q.shm, &q.shm_count),
+        };
+        if count.load(Ordering::Acquire) == 0 {
+            return None;
+        }
+        let mut heap = heap.lock();
+        if let Some(top) = heap.peek() {
+            if top.arrival <= wtime() {
+                let inflight = heap.pop().expect("peeked");
+                count.fetch_sub(1, Ordering::Release);
+                return Some(inflight.envelope);
+            }
+        }
+        None
+    }
+
+    /// Number of packets queued (arrived or still in flight) for `rank`.
+    pub(crate) fn queued(&self, rank: usize, path: Path) -> usize {
+        let q = &self.inner.rx[rank];
+        match path {
+            Path::Net => q.net_count.load(Ordering::Acquire),
+            Path::Shmem => q.shm_count.load(Ordering::Acquire),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn instant_fabric_delivers_immediately() {
+        let f: Fabric<u32> = Fabric::new(FabricConfig::instant(2));
+        let tx = f.send(0, 1, 42, 8);
+        assert!(tx.is_done());
+        let env = f.poll(1, Path::Net).expect("delivered");
+        assert_eq!(env.msg, 42);
+        assert_eq!(env.src, 0);
+        assert_eq!(env.wire_bytes, 8);
+        assert!(f.poll(1, Path::Net).is_none());
+    }
+
+    #[test]
+    fn same_node_goes_shmem_path() {
+        let f: Fabric<u32> = Fabric::new(FabricConfig::instant_nodes(4, 2));
+        f.send(0, 1, 7, 0);
+        assert!(f.poll(1, Path::Net).is_none());
+        assert_eq!(f.poll(1, Path::Shmem).unwrap().msg, 7);
+        f.send(0, 2, 8, 0);
+        assert!(f.poll(2, Path::Shmem).is_none());
+        assert_eq!(f.poll(2, Path::Net).unwrap().msg, 8);
+        assert_eq!(f.packets_net(), 1);
+        assert_eq!(f.packets_shmem(), 1);
+    }
+
+    #[test]
+    fn latency_delays_delivery() {
+        let mut cfg = FabricConfig::instant(2);
+        cfg.inter_latency = 0.005;
+        let f: Fabric<u32> = Fabric::new(cfg);
+        let t0 = wtime();
+        f.send(0, 1, 1, 0);
+        // Not arrived yet (unless we got descheduled for >5ms).
+        if wtime() - t0 < 0.004 {
+            assert!(f.poll(1, Path::Net).is_none());
+        }
+        while f.poll(1, Path::Net).is_none() {
+            std::hint::spin_loop();
+        }
+        assert!(wtime() - t0 >= 0.005);
+    }
+
+    #[test]
+    fn bandwidth_serializes_tx() {
+        let mut cfg = FabricConfig::instant(2);
+        cfg.inter_bandwidth = 1e6; // 1 MB/s
+        let f: Fabric<u32> = Fabric::new(cfg);
+        let t0 = wtime();
+        let tx = f.send(0, 1, 1, 10_000); // 10 ms of wire time
+        assert!(!tx.is_done());
+        tx.wait();
+        assert!(wtime() - t0 >= 0.009);
+    }
+
+    #[test]
+    fn per_channel_fifo_under_bandwidth() {
+        let mut cfg = FabricConfig::instant(2);
+        cfg.inter_bandwidth = 1e9;
+        let f: Fabric<u32> = Fabric::new(cfg);
+        for i in 0..100u32 {
+            f.send(0, 1, i, 1000);
+        }
+        let mut got = Vec::new();
+        while got.len() < 100 {
+            if let Some(env) = f.poll(1, Path::Net) {
+                got.push(env.msg);
+            }
+        }
+        let expect: Vec<u32> = (0..100).collect();
+        assert_eq!(got, expect, "per-channel delivery must be FIFO");
+    }
+
+    #[test]
+    fn queued_counts() {
+        let f: Fabric<u32> = Fabric::new(FabricConfig::instant(2));
+        assert_eq!(f.queued(1, Path::Net), 0);
+        f.send(0, 1, 1, 0);
+        f.send(0, 1, 2, 0);
+        assert_eq!(f.queued(1, Path::Net), 2);
+        f.poll(1, Path::Net);
+        assert_eq!(f.queued(1, Path::Net), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_destination_panics() {
+        let f: Fabric<u32> = Fabric::new(FabricConfig::instant(2));
+        f.send(0, 5, 1, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "MTU")]
+    fn oversized_packet_panics() {
+        let mut cfg = FabricConfig::instant(2);
+        cfg.mtu = 1024;
+        let f: Fabric<u32> = Fabric::new(cfg);
+        f.send(0, 1, 1, 4096);
+    }
+
+    #[test]
+    fn counters_accumulate() {
+        let f: Fabric<u32> = Fabric::new(FabricConfig::instant(2));
+        f.send(0, 1, 1, 100);
+        f.send(1, 0, 2, 50);
+        assert_eq!(f.bytes_total(), 150);
+        assert_eq!(f.packets_net(), 2);
+    }
+
+    #[test]
+    fn hash01_is_deterministic_and_bounded() {
+        for x in [0u64, 1, 42, u64::MAX] {
+            let v = hash01(x);
+            assert_eq!(v, hash01(x));
+            assert!((0.0..1.0).contains(&v));
+        }
+        assert_ne!(hash01(1), hash01(2));
+    }
+
+    #[test]
+    fn jitter_preserves_channel_fifo() {
+        let mut cfg = FabricConfig::instant(2);
+        cfg.inter_latency = 50e-6;
+        cfg.jitter = 2.0; // aggressive
+        let f: Fabric<u32> = Fabric::new(cfg);
+        for i in 0..200u32 {
+            f.send(0, 1, i, 64);
+        }
+        let mut got = Vec::new();
+        while got.len() < 200 {
+            if let Some(env) = f.poll(1, Path::Net) {
+                got.push(env.msg);
+            }
+        }
+        let expect: Vec<u32> = (0..200).collect();
+        assert_eq!(got, expect, "jitter broke per-channel FIFO");
+    }
+
+    #[test]
+    fn concurrent_senders_one_receiver() {
+        let f: Fabric<u64> = Fabric::new(FabricConfig::instant(5));
+        std::thread::scope(|s| {
+            for src in 1..5 {
+                let f = f.clone();
+                s.spawn(move || {
+                    let ep = f.endpoint(src);
+                    for i in 0..50u64 {
+                        ep.send(0, (src as u64) << 32 | i, 8);
+                    }
+                });
+            }
+        });
+        let mut per_src: Vec<Vec<u64>> = vec![Vec::new(); 5];
+        let mut total = 0;
+        while total < 200 {
+            if let Some(env) = f.poll(0, Path::Net) {
+                per_src[env.src].push(env.msg & 0xffff_ffff);
+                total += 1;
+            }
+        }
+        let expect: Vec<u64> = (0..50).collect();
+        for (src, seen) in per_src.iter().enumerate().skip(1) {
+            assert_eq!(seen, &expect, "per-source FIFO violated for src {src}");
+        }
+    }
+}

@@ -1,0 +1,198 @@
+//! An `MPIX_Continue`-style API (paper Section 5.4) built entirely on the
+//! extension APIs.
+//!
+//! `MPIX_Continue_init` creates a *continuation request*; operation
+//! requests are attached with a callback; the continuation request
+//! completes when all attached continuations have fired. The paper notes
+//! the proposal's semantics can be emulated with `MPIX_Async` +
+//! `MPIX_Request_is_complete` at the cost of an extra scan — this module
+//! is that emulation (the comparator for related-work discussion and the
+//! A3 ablation bench).
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use mpfa_core::{Completer, Request, Status, Stream};
+use parking_lot::Mutex;
+
+use crate::callbacks::CompletionNotifier;
+
+struct CtxState {
+    /// Continuations attached but not yet fired.
+    outstanding: AtomicUsize,
+    /// Set once the user starts waiting (MPIX semantics: the continuation
+    /// request completes only after it has been started and everything
+    /// attached has fired).
+    started: AtomicBool,
+    completer: Mutex<Option<Completer>>,
+}
+
+/// A continuation context — `MPIX_Continue_init`'s `cont_req`.
+pub struct ContinuationContext {
+    notifier: CompletionNotifier,
+    state: Arc<CtxState>,
+    request: Request,
+}
+
+impl ContinuationContext {
+    /// `MPIX_Continue_init`: a fresh continuation request on `stream`.
+    pub fn new(stream: &Stream) -> ContinuationContext {
+        let (request, completer) = Request::pair(stream);
+        ContinuationContext {
+            notifier: CompletionNotifier::new(stream),
+            state: Arc::new(CtxState {
+                outstanding: AtomicUsize::new(0),
+                started: AtomicBool::new(false),
+                completer: Mutex::new(Some(completer)),
+            }),
+            request,
+        }
+    }
+
+    /// `MPIX_Continue`: attach `cb` to `op_request`; it fires from stream
+    /// progress when the operation completes.
+    pub fn attach(&self, op_request: Request, cb: impl FnOnce(Status) + Send + 'static) {
+        self.state.outstanding.fetch_add(1, Ordering::AcqRel);
+        let state = self.state.clone();
+        self.notifier.watch(op_request, move |status| {
+            cb(status);
+            let left = state.outstanding.fetch_sub(1, Ordering::AcqRel) - 1;
+            if left == 0 && state.started.load(Ordering::Acquire) {
+                if let Some(c) = state.completer.lock().take() {
+                    c.complete(Status::empty());
+                }
+            }
+        });
+    }
+
+    /// `MPIX_Continueall`: attach one callback to a set of requests; it
+    /// fires once, after all of them complete.
+    pub fn attach_all(
+        &self,
+        op_requests: Vec<Request>,
+        cb: impl FnOnce(Vec<Status>) + Send + 'static,
+    ) {
+        let n = op_requests.len();
+        if n == 0 {
+            cb(Vec::new());
+            return;
+        }
+        let statuses: Arc<Mutex<Vec<Option<Status>>>> = Arc::new(Mutex::new(vec![None; n]));
+        let remaining = Arc::new(AtomicUsize::new(n));
+        let cb = Arc::new(Mutex::new(Some(cb)));
+        for (i, req) in op_requests.into_iter().enumerate() {
+            let statuses = statuses.clone();
+            let remaining = remaining.clone();
+            let cb = cb.clone();
+            self.attach(req, move |status| {
+                statuses.lock()[i] = Some(status);
+                if remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+                    let collected: Vec<Status> = statuses
+                        .lock()
+                        .iter()
+                        .map(|s| s.expect("all statuses recorded"))
+                        .collect();
+                    if let Some(f) = cb.lock().take() {
+                        f(collected);
+                    }
+                }
+            });
+        }
+    }
+
+    /// Start the continuation request: it will complete once every
+    /// attached continuation has fired. Returns the waitable request.
+    pub fn start(&self) -> Request {
+        self.state.started.store(true, Ordering::Release);
+        if self.state.outstanding.load(Ordering::Acquire) == 0 {
+            if let Some(c) = self.state.completer.lock().take() {
+                c.complete(Status::empty());
+            }
+        }
+        self.request.clone()
+    }
+
+    /// Continuations attached but not yet fired.
+    pub fn outstanding(&self) -> usize {
+        self.state.outstanding.load(Ordering::Acquire)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpfa_core::CompletionCounter;
+
+    #[test]
+    fn single_continuation_fires_and_completes() {
+        let stream = Stream::create();
+        let ctx = ContinuationContext::new(&stream);
+        let (req, completer) = Request::pair(&stream);
+        let fired = CompletionCounter::new(1);
+        let f = fired.clone();
+        ctx.attach(req, move |_| f.done());
+        let cont_req = ctx.start();
+        completer.complete_empty();
+        let status = cont_req.wait();
+        assert!(!status.cancelled);
+        assert!(fired.is_zero());
+        assert_eq!(ctx.outstanding(), 0);
+    }
+
+    #[test]
+    fn start_with_nothing_attached_completes_immediately() {
+        let stream = Stream::create();
+        let ctx = ContinuationContext::new(&stream);
+        let cont_req = ctx.start();
+        assert!(cont_req.is_complete());
+    }
+
+    #[test]
+    fn attach_all_fires_once_after_all() {
+        let stream = Stream::create();
+        let ctx = ContinuationContext::new(&stream);
+        let mut reqs = Vec::new();
+        let mut completers = Vec::new();
+        for _ in 0..5 {
+            let (r, c) = Request::pair(&stream);
+            reqs.push(r);
+            completers.push(c);
+        }
+        let fired = CompletionCounter::new(1);
+        let f = fired.clone();
+        ctx.attach_all(reqs, move |statuses| {
+            assert_eq!(statuses.len(), 5);
+            f.done();
+        });
+        let cont_req = ctx.start();
+        // Complete all but one: callback must not fire.
+        let last = completers.pop().unwrap();
+        for c in completers {
+            c.complete_empty();
+        }
+        for _ in 0..20 {
+            stream.progress();
+        }
+        assert_eq!(fired.remaining(), 1);
+        last.complete_empty();
+        cont_req.wait();
+        assert!(fired.is_zero());
+    }
+
+    #[test]
+    fn callbacks_fire_even_before_start() {
+        // MPIX_Continue semantics: continuations execute as requests
+        // complete; `start` only gates the continuation request itself.
+        let stream = Stream::create();
+        let ctx = ContinuationContext::new(&stream);
+        let (req, completer) = Request::pair(&stream);
+        let fired = CompletionCounter::new(1);
+        let f = fired.clone();
+        ctx.attach(req, move |_| f.done());
+        completer.complete_empty();
+        assert!(stream.progress_until(|| fired.is_zero(), 1.0));
+        // Continuation request still incomplete until started.
+        let cont_req = ctx.start();
+        assert!(cont_req.is_complete());
+    }
+}

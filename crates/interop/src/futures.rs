@@ -1,0 +1,192 @@
+//! Rust `async`/`await` over MPI requests — the paper's Section 2.2
+//! observation made concrete: "the async/await syntax in some programming
+//! languages provides a concise method to describe the wait patterns in a
+//! task", and interoperable progress is what lets an MPI implementation
+//! participate.
+//!
+//! [`RequestFuture`] adapts a [`Request`] to `std::future::Future`: its
+//! waker is woken from a completion callback that runs inside stream
+//! progress (the `CompletionNotifier` scan of Listing 1.6). [`block_on`]
+//! is a minimal single-future executor whose "idle loop" is exactly one
+//! call: `MPIX_Stream_progress`.
+
+use std::future::Future;
+use std::pin::Pin;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::task::{Context, Poll, RawWaker, RawWakerVTable, Waker};
+
+use mpfa_core::{Request, Status, Stream};
+
+use crate::callbacks::CompletionNotifier;
+
+/// A [`Request`] as a `Future` resolving to its [`Status`].
+pub struct RequestFuture {
+    req: Request,
+    notifier: CompletionNotifier,
+    registered: bool,
+}
+
+impl RequestFuture {
+    /// Wrap `req`; completion wakeups are delivered through `notifier`
+    /// (whose scan hook must run on a stream somebody progresses).
+    pub fn new(req: Request, notifier: &CompletionNotifier) -> RequestFuture {
+        RequestFuture { req, notifier: notifier.clone(), registered: false }
+    }
+}
+
+impl Future for RequestFuture {
+    type Output = Status;
+
+    fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        if let Some(status) = self.req.status() {
+            return Poll::Ready(status);
+        }
+        if !self.registered {
+            self.registered = true;
+            let waker = cx.waker().clone();
+            self.notifier.watch(self.req.clone(), move |_status| waker.wake());
+        }
+        // Completion may have raced the registration; re-check so the
+        // wake is never lost.
+        match self.req.status() {
+            Some(status) => Poll::Ready(status),
+            None => Poll::Pending,
+        }
+    }
+}
+
+/// Await two futures concurrently (a tiny `join`).
+pub async fn join2<A: Future, B: Future>(a: A, b: B) -> (A::Output, B::Output) {
+    let mut a = Box::pin(a);
+    let mut b = Box::pin(b);
+    let mut out_a = None;
+    let mut out_b = None;
+    std::future::poll_fn(move |cx| {
+        if out_a.is_none() {
+            if let Poll::Ready(v) = a.as_mut().poll(cx) {
+                out_a = Some(v);
+            }
+        }
+        if out_b.is_none() {
+            if let Poll::Ready(v) = b.as_mut().poll(cx) {
+                out_b = Some(v);
+            }
+        }
+        if out_a.is_some() && out_b.is_some() {
+            Poll::Ready((out_a.take().expect("set"), out_b.take().expect("set")))
+        } else {
+            Poll::Pending
+        }
+    })
+    .await
+}
+
+fn flag_waker(flag: Arc<AtomicBool>) -> Waker {
+    unsafe fn clone(data: *const ()) -> RawWaker {
+        unsafe {
+            Arc::increment_strong_count(data as *const AtomicBool);
+        }
+        RawWaker::new(data, &VTABLE)
+    }
+    unsafe fn wake(data: *const ()) {
+        let flag = unsafe { Arc::from_raw(data as *const AtomicBool) };
+        flag.store(true, Ordering::Release);
+    }
+    unsafe fn wake_by_ref(data: *const ()) {
+        unsafe { &*(data as *const AtomicBool) }.store(true, Ordering::Release);
+    }
+    unsafe fn drop_waker(data: *const ()) {
+        drop(unsafe { Arc::from_raw(data as *const AtomicBool) });
+    }
+    static VTABLE: RawWakerVTable = RawWakerVTable::new(clone, wake, wake_by_ref, drop_waker);
+    let raw = RawWaker::new(Arc::into_raw(flag) as *const (), &VTABLE);
+    unsafe { Waker::from_raw(raw) }
+}
+
+/// Drive `future` to completion, progressing `stream` whenever the future
+/// is pending — the §3.5 scheme with `async`/`await` ergonomics.
+pub fn block_on<F: Future>(stream: &Stream, future: F) -> F::Output {
+    let mut future = Box::pin(future);
+    let woken = Arc::new(AtomicBool::new(true));
+    let waker = flag_waker(woken.clone());
+    let mut cx = Context::from_waker(&waker);
+    loop {
+        if woken.swap(false, Ordering::AcqRel) {
+            if let Poll::Ready(v) = future.as_mut().poll(&mut cx) {
+                return v;
+            }
+        }
+        // The only blocking primitive: explicit stream progress. The
+        // notifier's callback wakes us the moment a watched request
+        // completes.
+        stream.progress();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpfa_core::{wtime, AsyncPoll};
+
+    fn timed_request(stream: &Stream, delay_s: f64) -> Request {
+        let (req, completer) = Request::pair(stream);
+        let deadline = wtime() + delay_s;
+        let mut completer = Some(completer);
+        stream.async_start(move |_t| {
+            if wtime() >= deadline {
+                completer.take().expect("once").complete_empty();
+                AsyncPoll::Done
+            } else {
+                AsyncPoll::Pending
+            }
+        });
+        req
+    }
+
+    #[test]
+    fn await_single_request() {
+        let stream = Stream::create();
+        let notifier = CompletionNotifier::new(&stream);
+        let req = timed_request(&stream, 0.001);
+        let status = block_on(&stream, RequestFuture::new(req, &notifier));
+        assert!(!status.cancelled);
+    }
+
+    #[test]
+    fn await_already_complete_request() {
+        let stream = Stream::create();
+        let notifier = CompletionNotifier::new(&stream);
+        let req = Request::completed(&stream, Status::empty());
+        let status = block_on(&stream, RequestFuture::new(req, &notifier));
+        assert!(!status.cancelled);
+    }
+
+    #[test]
+    fn join_two_requests() {
+        let stream = Stream::create();
+        let notifier = CompletionNotifier::new(&stream);
+        let fast = RequestFuture::new(timed_request(&stream, 0.0005), &notifier);
+        let slow = RequestFuture::new(timed_request(&stream, 0.002), &notifier);
+        let t0 = wtime();
+        let (a, b) = block_on(&stream, join2(fast, slow));
+        assert!(!a.cancelled && !b.cancelled);
+        assert!(wtime() - t0 >= 0.002, "join must wait for the slow one");
+    }
+
+    #[test]
+    fn async_block_composes_requests_sequentially() {
+        let stream = Stream::create();
+        let notifier = CompletionNotifier::new(&stream);
+        let s2 = stream.clone();
+        let n2 = notifier.clone();
+        let out = block_on(&stream, async move {
+            let st1 = RequestFuture::new(timed_request(&s2, 0.0005), &n2).await;
+            // The second operation is issued only after the first resolves
+            // (a Figure 2(c) multi-wait task, written linearly).
+            let st2 = RequestFuture::new(timed_request(&s2, 0.0005), &n2).await;
+            (st1.cancelled, st2.cancelled)
+        });
+        assert_eq!(out, (false, false));
+    }
+}

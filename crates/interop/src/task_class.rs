@@ -1,0 +1,218 @@
+//! Async task classes — the paper's Listing 1.4.
+//!
+//! Polling every pending task individually makes event-response latency
+//! grow with the number of pending tasks (Figure 7). When the application
+//! knows its tasks complete in order, it can register a *single* progress
+//! hook that checks only the task at the head of a queue; latency then
+//! stays constant regardless of queue depth (Figure 10).
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use mpfa_core::{AsyncPoll, Stream};
+use parking_lot::Mutex;
+
+/// One queued task: a readiness probe and a completion action.
+struct Entry {
+    ready: Box<dyn FnMut() -> bool + Send>,
+    on_done: Box<dyn FnOnce() + Send>,
+}
+
+struct Shared {
+    queue: Mutex<VecDeque<Entry>>,
+    pending: AtomicUsize,
+    /// True while a class_poll hook is registered on the stream.
+    hook_live: Mutex<bool>,
+    stream: Stream,
+}
+
+/// An ordered task class progressed by one `MPIX_Async` hook.
+///
+/// Tasks must become ready in FIFO order (the Listing 1.4 assumption:
+/// "all tasks are to be completed in order"); the hook only ever probes
+/// the head of the queue.
+#[derive(Clone)]
+pub struct TaskClass {
+    shared: Arc<Shared>,
+}
+
+impl TaskClass {
+    /// Create a task class progressed on `stream`.
+    pub fn new(stream: &Stream) -> TaskClass {
+        TaskClass {
+            shared: Arc::new(Shared {
+                queue: Mutex::new(VecDeque::new()),
+                pending: AtomicUsize::new(0),
+                hook_live: Mutex::new(false),
+                stream: stream.clone(),
+            }),
+        }
+    }
+
+    /// Enqueue a task: `ready` is probed (head-of-queue only) from inside
+    /// stream progress; `on_done` runs when it reports true.
+    ///
+    /// Registers the single class hook on demand (the Listing 1.4
+    /// `MPIX_Async_start(class_poll, head)` moment).
+    pub fn push(
+        &self,
+        ready: impl FnMut() -> bool + Send + 'static,
+        on_done: impl FnOnce() + Send + 'static,
+    ) {
+        self.shared.pending.fetch_add(1, Ordering::Release);
+        self.shared
+            .queue
+            .lock()
+            .push_back(Entry { ready: Box::new(ready), on_done: Box::new(on_done) });
+        self.ensure_hook();
+    }
+
+    /// Tasks not yet completed.
+    pub fn pending(&self) -> usize {
+        self.shared.pending.load(Ordering::Acquire)
+    }
+
+    fn ensure_hook(&self) {
+        let mut live = self.shared.hook_live.lock();
+        if *live {
+            return;
+        }
+        *live = true;
+        let shared = self.shared.clone();
+        self.shared.stream.async_start(move |_t| {
+            // The class_poll of Listing 1.4: drain ready heads, one hook
+            // for the whole queue.
+            let mut fired = Vec::new();
+            let retire = {
+                let mut queue = shared.queue.lock();
+                while let Some(head) = queue.front_mut() {
+                    if (head.ready)() {
+                        let entry = queue.pop_front().expect("head exists");
+                        fired.push(entry.on_done);
+                    } else {
+                        break;
+                    }
+                }
+                if queue.is_empty() {
+                    // Retire the hook; a later push re-registers. The
+                    // hook_live flag flips under the queue lock so a
+                    // concurrent push cannot observe a live-but-retiring
+                    // hook.
+                    *shared.hook_live.lock() = false;
+                    true
+                } else {
+                    false
+                }
+            };
+            // Callbacks run with no class locks held (they may push).
+            let n = fired.len();
+            if n > 0 {
+                shared.pending.fetch_sub(n, Ordering::Release);
+                for f in fired {
+                    f();
+                }
+            }
+            if retire {
+                AsyncPoll::Done
+            } else if n > 0 {
+                AsyncPoll::Progress
+            } else {
+                AsyncPoll::Pending
+            }
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpfa_core::wtime;
+
+    #[test]
+    fn tasks_fire_in_order() {
+        let stream = Stream::create();
+        let class = TaskClass::new(&stream);
+        let log = Arc::new(Mutex::new(Vec::new()));
+        for i in 0..5 {
+            let l = log.clone();
+            class.push(move || true, move || l.lock().push(i));
+        }
+        assert_eq!(class.pending(), 5);
+        assert!(stream.progress_until(|| class.pending() == 0, 1.0));
+        assert_eq!(*log.lock(), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn head_blocks_tail() {
+        let stream = Stream::create();
+        let class = TaskClass::new(&stream);
+        let gate = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let fired = Arc::new(AtomicUsize::new(0));
+        let g = gate.clone();
+        let f1 = fired.clone();
+        class.push(move || g.load(Ordering::Acquire), move || {
+            f1.fetch_add(1, Ordering::Relaxed);
+        });
+        let f2 = fired.clone();
+        // Tail is "ready" immediately but must wait for the head.
+        class.push(move || true, move || {
+            f2.fetch_add(1, Ordering::Relaxed);
+        });
+        for _ in 0..100 {
+            stream.progress();
+        }
+        assert_eq!(fired.load(Ordering::Relaxed), 0, "tail fired before head");
+        gate.store(true, Ordering::Release);
+        assert!(stream.progress_until(|| class.pending() == 0, 1.0));
+        assert_eq!(fired.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn hook_retires_and_restarts() {
+        let stream = Stream::create();
+        let class = TaskClass::new(&stream);
+        class.push(|| true, || {});
+        assert!(stream.progress_until(|| class.pending() == 0, 1.0));
+        assert_eq!(stream.pending_tasks(), 0, "class hook retired");
+        // Push again: hook must come back.
+        class.push(|| true, || {});
+        assert!(stream.progress_until(|| class.pending() == 0, 1.0));
+        assert_eq!(stream.pending_tasks(), 0);
+    }
+
+    #[test]
+    fn timed_tasks_complete_at_deadlines() {
+        // The actual Listing 1.4 workload: deadline-ordered dummy tasks.
+        let stream = Stream::create();
+        let class = TaskClass::new(&stream);
+        let base = wtime();
+        let completions = Arc::new(Mutex::new(Vec::new()));
+        for i in 0..10 {
+            let deadline = base + 0.001 * (i + 1) as f64;
+            let c = completions.clone();
+            class.push(
+                move || wtime() >= deadline,
+                move || c.lock().push(wtime() - deadline),
+            );
+        }
+        assert!(stream.progress_until(|| class.pending() == 0, 5.0));
+        let lats = completions.lock();
+        assert_eq!(lats.len(), 10);
+        for &l in lats.iter() {
+            assert!(l >= 0.0, "fired before deadline");
+        }
+    }
+
+    #[test]
+    fn many_tasks_one_stream_hook() {
+        let stream = Stream::create();
+        let class = TaskClass::new(&stream);
+        for _ in 0..1000 {
+            class.push(|| true, || {});
+        }
+        // Only ONE async task serves the whole queue.
+        assert_eq!(stream.pending_tasks(), 1);
+        assert!(stream.progress_until(|| class.pending() == 0, 5.0));
+    }
+}

@@ -1,0 +1,303 @@
+//! A miniature task-graph (DAG) executor progressed by `MPIX_Async` — the
+//! paper's task-based-runtime integration story (Sections 1, 2.7, 3.3).
+//!
+//! "An MPI collective can be viewed as a fixed task graph composed of
+//! individual operations and their dependencies. By defining poll_fn, one
+//! can advance a specific task graph ... within MPI progress." This module
+//! generalizes that: arbitrary DAGs of user tasks, where each task may
+//! issue asynchronous work (MPI operations, timers, anything producing a
+//! [`Request`]) and successors start only when their predecessors finish.
+//!
+//! One `MPIX_Async` hook advances the whole graph: no progress thread, no
+//! per-task request juggling, no test-yield cycles — the engine wakes the
+//! graph exactly when the stream progresses.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use mpfa_core::{AsyncPoll, Request, Stream};
+use parking_lot::Mutex;
+
+/// Identifier of a node in a [`TaskGraph`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct NodeId(usize);
+
+/// A node's action: runs when all dependencies completed; returns the
+/// request its completion is tracked by (return an already-complete
+/// request for purely local work).
+pub type NodeAction = Box<dyn FnOnce(&Stream) -> Request + Send>;
+
+struct Node {
+    action: Option<NodeAction>,
+    deps_left: usize,
+    dependents: Vec<usize>,
+    inflight: Option<Request>,
+    done: bool,
+}
+
+/// Builder for a DAG of asynchronous tasks.
+#[derive(Default)]
+pub struct TaskGraph {
+    nodes: Vec<Node>,
+    edges: HashMap<usize, Vec<usize>>, // dep -> dependents (pre-build)
+}
+
+impl TaskGraph {
+    /// An empty graph.
+    pub fn new() -> TaskGraph {
+        TaskGraph::default()
+    }
+
+    /// Add a task with dependencies. Panics if a dependency id is unknown
+    /// (nodes must be added in topological order of declaration).
+    pub fn add(
+        &mut self,
+        deps: &[NodeId],
+        action: impl FnOnce(&Stream) -> Request + Send + 'static,
+    ) -> NodeId {
+        let id = self.nodes.len();
+        for d in deps {
+            assert!(d.0 < id, "dependency {:?} unknown (add nodes in order)", d);
+            self.edges.entry(d.0).or_default().push(id);
+        }
+        self.nodes.push(Node {
+            action: Some(Box::new(action)),
+            deps_left: deps.len(),
+            dependents: Vec::new(),
+            inflight: None,
+            done: false,
+        });
+        NodeId(id)
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True if the graph has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Launch the graph on `stream`. Returns a handle that reports
+    /// completion of ALL nodes.
+    pub fn launch(mut self, stream: &Stream) -> GraphHandle {
+        // Freeze the dependent lists into the nodes.
+        for (dep, dependents) in std::mem::take(&mut self.edges) {
+            self.nodes[dep].dependents = dependents;
+        }
+        let total = self.nodes.len();
+        let done_flag = Arc::new(AtomicBool::new(total == 0));
+        let handle = GraphHandle { done: done_flag.clone() };
+        if total == 0 {
+            return handle;
+        }
+
+        let state = Arc::new(Mutex::new(GraphState {
+            nodes: self.nodes,
+            remaining: total,
+        }));
+        let stream_for_actions = stream.clone();
+        // Kick off the roots, then let one hook drive everything.
+        {
+            let mut st = state.lock();
+            st.start_ready(&stream_for_actions);
+        }
+        let st = state;
+        stream.async_start(move |_t| {
+            let mut g = st.lock();
+            let progressed = g.reap_and_start(&stream_for_actions);
+            if g.remaining == 0 {
+                done_flag.store(true, Ordering::Release);
+                AsyncPoll::Done
+            } else if progressed {
+                AsyncPoll::Progress
+            } else {
+                AsyncPoll::Pending
+            }
+        });
+        handle
+    }
+}
+
+struct GraphState {
+    nodes: Vec<Node>,
+    remaining: usize,
+}
+
+impl GraphState {
+    /// Start every node whose dependencies are satisfied and whose action
+    /// has not run yet.
+    fn start_ready(&mut self, stream: &Stream) -> bool {
+        let mut any = false;
+        for i in 0..self.nodes.len() {
+            if self.nodes[i].deps_left == 0 && self.nodes[i].action.is_some() {
+                let action = self.nodes[i].action.take().expect("checked");
+                // The action may issue MPI ops / spawn async work; its
+                // returned request tracks this node.
+                self.nodes[i].inflight = Some(action(stream));
+                any = true;
+            }
+        }
+        any
+    }
+
+    /// Collect finished nodes (is_complete — no progress side effects,
+    /// we are inside a poll), release dependents, start newly ready nodes.
+    fn reap_and_start(&mut self, stream: &Stream) -> bool {
+        let mut finished: Vec<usize> = Vec::new();
+        for (i, node) in self.nodes.iter_mut().enumerate() {
+            if node.done {
+                continue;
+            }
+            if let Some(req) = &node.inflight {
+                if req.is_complete() {
+                    node.done = true;
+                    node.inflight = None;
+                    finished.push(i);
+                }
+            }
+        }
+        let mut any = !finished.is_empty();
+        for i in finished {
+            self.remaining -= 1;
+            let dependents = std::mem::take(&mut self.nodes[i].dependents);
+            for d in dependents {
+                self.nodes[d].deps_left -= 1;
+            }
+        }
+        if self.start_ready(stream) {
+            any = true;
+        }
+        any
+    }
+}
+
+/// Completion handle of a launched [`TaskGraph`].
+pub struct GraphHandle {
+    done: Arc<AtomicBool>,
+}
+
+impl GraphHandle {
+    /// True once every node has completed.
+    pub fn is_complete(&self) -> bool {
+        self.done.load(Ordering::Acquire)
+    }
+
+    /// Drive `stream` until the graph completes (or `timeout_s` passes).
+    pub fn wait_on(&self, stream: &Stream, timeout_s: f64) -> bool {
+        stream.progress_until(|| self.is_complete(), timeout_s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpfa_core::{wtime, Status};
+
+    /// A request completing after `delay_s` (deadline task on `stream`).
+    fn timed_request(stream: &Stream, delay_s: f64) -> Request {
+        let (req, completer) = Request::pair(stream);
+        let deadline = wtime() + delay_s;
+        let mut completer = Some(completer);
+        stream.async_start(move |_t| {
+            if wtime() >= deadline {
+                completer.take().expect("once").complete_empty();
+                AsyncPoll::Done
+            } else {
+                AsyncPoll::Pending
+            }
+        });
+        req
+    }
+
+    fn instant_request(stream: &Stream) -> Request {
+        Request::completed(stream, Status::empty())
+    }
+
+    #[test]
+    fn empty_graph_is_complete_immediately() {
+        let stream = Stream::create();
+        let handle = TaskGraph::new().launch(&stream);
+        assert!(handle.is_complete());
+    }
+
+    #[test]
+    fn linear_chain_runs_in_order() {
+        let stream = Stream::create();
+        let log = Arc::new(Mutex::new(Vec::new()));
+        let mut g = TaskGraph::new();
+        let mut prev: Option<NodeId> = None;
+        for i in 0..5 {
+            let l = log.clone();
+            let deps: Vec<NodeId> = prev.into_iter().collect();
+            prev = Some(g.add(&deps, move |s| {
+                l.lock().push(i);
+                timed_request(s, 0.0002)
+            }));
+        }
+        let handle = g.launch(&stream);
+        assert!(handle.wait_on(&stream, 5.0));
+        assert_eq!(&*log.lock(), &[0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn diamond_joins_wait_for_both_branches() {
+        let stream = Stream::create();
+        let log = Arc::new(Mutex::new(Vec::new()));
+        let mut g = TaskGraph::new();
+        let l = log.clone();
+        let a = g.add(&[], move |s| {
+            l.lock().push("a");
+            instant_request(s)
+        });
+        let l = log.clone();
+        let b = g.add(&[a], move |s| {
+            l.lock().push("b");
+            timed_request(s, 0.001)
+        });
+        let l = log.clone();
+        let c = g.add(&[a], move |s| {
+            l.lock().push("c");
+            timed_request(s, 0.0001)
+        });
+        let l = log.clone();
+        let _d = g.add(&[b, c], move |s| {
+            l.lock().push("d");
+            instant_request(s)
+        });
+        let handle = g.launch(&stream);
+        assert!(handle.wait_on(&stream, 5.0));
+        let log = log.lock();
+        assert_eq!(log[0], "a");
+        assert_eq!(log[3], "d");
+        assert!(log[1..3].contains(&"b") && log[1..3].contains(&"c"));
+    }
+
+    #[test]
+    fn wide_fanout_all_execute() {
+        let stream = Stream::create();
+        let counter = Arc::new(std::sync::atomic::AtomicUsize::new(0));
+        let mut g = TaskGraph::new();
+        let root = g.add(&[], instant_request);
+        for _ in 0..50 {
+            let c = counter.clone();
+            g.add(&[root], move |s| {
+                c.fetch_add(1, Ordering::Relaxed);
+                timed_request(s, 0.0001)
+            });
+        }
+        let handle = g.launch(&stream);
+        assert!(handle.wait_on(&stream, 5.0));
+        assert_eq!(counter.load(Ordering::Relaxed), 50);
+    }
+
+    #[test]
+    #[should_panic(expected = "dependency")]
+    fn forward_dependency_rejected() {
+        let mut g = TaskGraph::new();
+        g.add(&[NodeId(3)], |s| Request::completed(s, Status::empty()));
+    }
+}

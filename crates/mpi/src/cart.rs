@@ -1,0 +1,236 @@
+//! Cartesian process topologies (`MPI_Cart_create` family).
+//!
+//! A [`CartComm`] overlays an N-dimensional grid on a communicator:
+//! rank ↔ coordinate conversion, neighbor shifts (the halo-exchange
+//! primitive), and dimension factorization (`MPI_Dims_create`).
+
+use crate::comm::Comm;
+use crate::error::{MpiError, MpiResult};
+
+/// A communicator with Cartesian topology information.
+#[derive(Clone)]
+pub struct CartComm {
+    comm: Comm,
+    dims: Vec<usize>,
+    periodic: Vec<bool>,
+}
+
+impl CartComm {
+    /// The underlying communicator (all point-to-point and collective
+    /// operations go through it).
+    pub fn comm(&self) -> &Comm {
+        &self.comm
+    }
+
+    /// Grid extents.
+    pub fn dims(&self) -> &[usize] {
+        &self.dims
+    }
+
+    /// Per-dimension periodicity.
+    pub fn periodic(&self) -> &[bool] {
+        &self.periodic
+    }
+
+    /// This rank's coordinates (`MPI_Cart_coords`).
+    pub fn coords(&self) -> Vec<usize> {
+        self.coords_of(self.comm.rank())
+    }
+
+    /// Coordinates of `rank` (`MPI_Cart_coords`).
+    pub fn coords_of(&self, rank: i32) -> Vec<usize> {
+        let mut rest = rank as usize;
+        let mut coords = vec![0; self.dims.len()];
+        // Row-major: last dimension varies fastest (MPI convention).
+        for (i, &d) in self.dims.iter().enumerate().rev() {
+            coords[i] = rest % d;
+            rest /= d;
+        }
+        coords
+    }
+
+    /// Rank at `coords` (`MPI_Cart_rank`). Out-of-range coordinates in
+    /// periodic dimensions wrap; in non-periodic dimensions they yield
+    /// `None` (≙ `MPI_PROC_NULL`).
+    pub fn rank_at(&self, coords: &[i64]) -> Option<i32> {
+        assert_eq!(coords.len(), self.dims.len(), "coordinate arity mismatch");
+        let mut rank = 0usize;
+        for (i, (&c, &d)) in coords.iter().zip(&self.dims).enumerate() {
+            let c = if self.periodic[i] {
+                c.rem_euclid(d as i64) as usize
+            } else {
+                if c < 0 || c >= d as i64 {
+                    return None;
+                }
+                c as usize
+            };
+            rank = rank * d + c;
+        }
+        Some(rank as i32)
+    }
+
+    /// `MPI_Cart_shift`: the `(source, dest)` ranks for a displacement of
+    /// `disp` along `dim`. `None` entries are `MPI_PROC_NULL` (walked off
+    /// a non-periodic edge).
+    pub fn shift(&self, dim: usize, disp: i64) -> (Option<i32>, Option<i32>) {
+        assert!(dim < self.dims.len(), "dimension {dim} out of range");
+        let me: Vec<i64> = self.coords().iter().map(|&c| c as i64).collect();
+        let mut src = me.clone();
+        let mut dst = me;
+        src[dim] -= disp;
+        dst[dim] += disp;
+        (self.rank_at(&src), self.rank_at(&dst))
+    }
+}
+
+impl Comm {
+    /// `MPI_Cart_create` (with `reorder = false`): overlay a grid whose
+    /// volume must equal the communicator size.
+    pub fn cart_create(&self, dims: &[usize], periodic: &[bool]) -> MpiResult<CartComm> {
+        if dims.len() != periodic.len() {
+            return Err(MpiError::CountMismatch { got: periodic.len(), expected: dims.len() });
+        }
+        let volume: usize = dims.iter().product();
+        if volume != self.size() || dims.contains(&0) {
+            return Err(MpiError::CountMismatch { got: volume, expected: self.size() });
+        }
+        Ok(CartComm {
+            comm: self.dup()?,
+            dims: dims.to_vec(),
+            periodic: periodic.to_vec(),
+        })
+    }
+}
+
+/// `MPI_Dims_create`: factor `nnodes` into `ndims` balanced factors
+/// (descending).
+pub fn dims_create(nnodes: usize, ndims: usize) -> Vec<usize> {
+    assert!(ndims > 0, "need at least one dimension");
+    let mut dims = vec![1usize; ndims];
+    let mut rest = nnodes;
+    // Greedy: repeatedly split off the smallest prime factor onto the
+    // currently-smallest dimension.
+    let mut factors = Vec::new();
+    let mut f = 2;
+    while f * f <= rest {
+        while rest.is_multiple_of(f) {
+            factors.push(f);
+            rest /= f;
+        }
+        f += 1;
+    }
+    if rest > 1 {
+        factors.push(rest);
+    }
+    // Assign large factors first to the smallest dims.
+    factors.sort_unstable_by(|a, b| b.cmp(a));
+    for f in factors {
+        let i = (0..ndims).min_by_key(|&i| dims[i]).expect("ndims > 0");
+        dims[i] *= f;
+    }
+    dims.sort_unstable_by(|a, b| b.cmp(a));
+    dims
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::collectives::testutil::run_ranks;
+
+    #[test]
+    fn dims_create_balances() {
+        assert_eq!(dims_create(6, 2), vec![3, 2]);
+        assert_eq!(dims_create(8, 3), vec![2, 2, 2]);
+        assert_eq!(dims_create(12, 2), vec![4, 3]);
+        assert_eq!(dims_create(7, 1), vec![7]);
+        assert_eq!(dims_create(1, 2), vec![1, 1]);
+        assert_eq!(dims_create(16, 2), vec![4, 4]);
+    }
+
+    #[test]
+    fn coords_roundtrip() {
+        let results = run_ranks(6, |proc| {
+            let comm = proc.world_comm();
+            let cart = comm.cart_create(&[3, 2], &[false, false]).unwrap();
+            let coords = cart.coords();
+            let back = cart
+                .rank_at(&coords.iter().map(|&c| c as i64).collect::<Vec<_>>())
+                .unwrap();
+            assert_eq!(back, comm.rank());
+            coords
+        });
+        // Row-major: rank = x*2 + y.
+        assert_eq!(results[0], vec![0, 0]);
+        assert_eq!(results[1], vec![0, 1]);
+        assert_eq!(results[2], vec![1, 0]);
+        assert_eq!(results[5], vec![2, 1]);
+    }
+
+    #[test]
+    fn shift_nonperiodic_edges_are_null() {
+        let results = run_ranks(4, |proc| {
+            let comm = proc.world_comm();
+            let cart = comm.cart_create(&[4], &[false]).unwrap();
+            cart.shift(0, 1)
+        });
+        // Chain 0-1-2-3: rank 0 has no source, rank 3 has no dest.
+        assert_eq!(results[0], (None, Some(1)));
+        assert_eq!(results[1], (Some(0), Some(2)));
+        assert_eq!(results[3], (Some(2), None));
+    }
+
+    #[test]
+    fn shift_periodic_wraps() {
+        let results = run_ranks(4, |proc| {
+            let comm = proc.world_comm();
+            let cart = comm.cart_create(&[4], &[true]).unwrap();
+            cart.shift(0, 1)
+        });
+        assert_eq!(results[0], (Some(3), Some(1)));
+        assert_eq!(results[3], (Some(2), Some(0)));
+    }
+
+    #[test]
+    fn cart_create_validates_volume() {
+        let results = run_ranks(4, |proc| {
+            let comm = proc.world_comm();
+            comm.cart_create(&[3, 2], &[false, false]).is_err()
+                && comm.cart_create(&[2], &[false, false]).is_err()
+        });
+        assert!(results.iter().all(|&e| e));
+    }
+
+    #[test]
+    fn halo_exchange_on_2d_grid() {
+        // Each rank exchanges its rank id with its 4-neighborhood.
+        let results = run_ranks(6, |proc| {
+            let comm = proc.world_comm();
+            let cart = comm.cart_create(&[3, 2], &[true, true]).unwrap();
+            let c = cart.comm();
+            let mut sums = 0i32;
+            for dim in 0..2 {
+                for disp in [1i64, -1] {
+                    let (src, dst) = cart.shift(dim, disp);
+                    let (src, dst) = (src.unwrap(), dst.unwrap()); // periodic
+                    let tag = (dim as i32) * 2 + (disp > 0) as i32;
+                    let (got, _) = c
+                        .sendrecv(&[c.rank()], dst, tag, 1, src, tag)
+                        .unwrap();
+                    sums += got[0];
+                }
+            }
+            sums
+        });
+        // Verify against a direct neighbor computation.
+        for (rank, sum) in results.iter().enumerate() {
+            let (x, y) = (rank / 2, rank % 2);
+            let mut expect = 0;
+            for (dx, dy) in [(1i64, 0i64), (-1, 0), (0, 1), (0, -1)] {
+                let nx = (x as i64 + dx).rem_euclid(3) as usize;
+                let ny = (y as i64 + dy).rem_euclid(2) as usize;
+                expect += (nx * 2 + ny) as i32;
+            }
+            assert_eq!(*sum, expect, "rank {rank}");
+        }
+    }
+}

@@ -1,0 +1,168 @@
+//! Ring allgather.
+//!
+//! P−1 rounds: in round r, send the block received in round r−1 (initially
+//! your own) to the right neighbor and receive the next block from the
+//! left neighbor. Bandwidth-optimal for large payloads.
+
+use mpfa_core::{AsyncPoll, Completer, Request, Status};
+
+use crate::comm::Comm;
+use crate::datatype::{from_bytes, to_bytes, MpiType};
+use crate::error::MpiResult;
+use crate::matching::RecvSlot;
+use crate::sched::CollTask;
+
+use super::future::{CollFuture, CollOutput};
+
+enum AgState {
+    Round(u32),
+    Wait {
+        round: u32,
+        recv_block: usize,
+        send: Request,
+        recv: Request,
+        slot: RecvSlot,
+    },
+}
+
+struct AllgatherTask<T: MpiType> {
+    comm: Comm,
+    seq: u64,
+    count: usize,
+    /// Accumulated blocks, indexed by source rank.
+    blocks: Vec<Option<Vec<T>>>,
+    state: AgState,
+    out: CollOutput<T>,
+    completer: Option<Completer>,
+}
+
+impl<T: MpiType> AllgatherTask<T> {
+    fn finish(&mut self) -> AsyncPoll {
+        let mut all = Vec::with_capacity(self.count * self.comm.size());
+        for block in &mut self.blocks {
+            all.extend(block.take().expect("all blocks present at finish"));
+        }
+        self.out.deposit(all);
+        if let Some(c) = self.completer.take() {
+            c.complete(Status::empty());
+        }
+        AsyncPoll::Done
+    }
+}
+
+impl<T: MpiType> CollTask for AllgatherTask<T> {
+    fn advance(&mut self) -> AsyncPoll {
+        let size = self.comm.size() as i32;
+        let rank = self.comm.rank();
+        match &mut self.state {
+            AgState::Round(round) => {
+                let r = *round;
+                if r as usize >= self.comm.size() - 1 {
+                    return self.finish();
+                }
+                let right = (rank + 1).rem_euclid(size);
+                let left = (rank - 1).rem_euclid(size);
+                let send_block = (rank - r as i32).rem_euclid(size) as usize;
+                let recv_block = (rank - r as i32 - 1).rem_euclid(size) as usize;
+                let tag = Comm::coll_tag(self.seq, r);
+                let payload =
+                    to_bytes(self.blocks[send_block].as_ref().expect("send block present"));
+                let send = self.comm.isend_on_ctx(self.comm.coll_ctx(), payload, right, tag);
+                let (recv, slot) = self.comm.irecv_on_ctx(
+                    self.comm.coll_ctx(),
+                    self.count * T::SIZE,
+                    left,
+                    tag,
+                );
+                self.state = AgState::Wait { round: r, recv_block, send, recv, slot };
+                AsyncPoll::Progress
+            }
+            AgState::Wait { round, recv_block, send, recv, slot } => {
+                if !(send.is_complete() && recv.is_complete()) {
+                    return AsyncPoll::Pending;
+                }
+                let block: Vec<T> = from_bytes(&slot.take());
+                let rb = *recv_block;
+                let r = *round;
+                self.blocks[rb] = Some(block);
+                self.state = AgState::Round(r + 1);
+                AsyncPoll::Progress
+            }
+        }
+    }
+}
+
+impl Comm {
+    /// Nonblocking allgather (`MPI_Iallgather`): every rank contributes
+    /// `data` (same length everywhere); the future yields the
+    /// concatenation in rank order.
+    pub fn iallgather<T: MpiType>(&self, data: &[T]) -> MpiResult<CollFuture<T>> {
+        let count = data.len();
+        let size = self.size();
+        let mut blocks: Vec<Option<Vec<T>>> = vec![None; size];
+        blocks[self.rank() as usize] = Some(data.to_vec());
+
+        let seq = self.next_coll_seq();
+        let (req, completer) = Request::pair(self.stream());
+        let (fut, out) = CollFuture::<T>::pair(req);
+        let task = AllgatherTask {
+            comm: self.clone(),
+            seq,
+            count,
+            blocks,
+            state: AgState::Round(0),
+            out,
+            completer: Some(completer),
+        };
+        self.bundle().sched.submit(Box::new(task));
+        Ok(fut)
+    }
+
+    /// Blocking allgather (`MPI_Allgather`).
+    pub fn allgather<T: MpiType>(&self, data: &[T]) -> MpiResult<Vec<T>> {
+        Ok(self.iallgather(data)?.wait().0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::testutil::run_ranks;
+
+    #[test]
+    fn allgather_rank_ids() {
+        for n in [1, 2, 3, 4, 7, 8] {
+            let results = run_ranks(n, |proc| {
+                let comm = proc.world_comm();
+                comm.allgather(&[proc.rank() as i32]).unwrap()
+            });
+            let expect: Vec<i32> = (0..n as i32).collect();
+            for (r, out) in results.iter().enumerate() {
+                assert_eq!(out, &expect, "rank {r} of {n}");
+            }
+        }
+    }
+
+    #[test]
+    fn allgather_multi_element_blocks() {
+        let results = run_ranks(4, |proc| {
+            let comm = proc.world_comm();
+            let r = proc.rank() as i64;
+            comm.allgather(&[r * 10, r * 10 + 1]).unwrap()
+        });
+        let expect = vec![0, 1, 10, 11, 20, 21, 30, 31];
+        for out in results {
+            assert_eq!(out, expect);
+        }
+    }
+
+    #[test]
+    fn allgather_empty_blocks() {
+        let results = run_ranks(3, |proc| {
+            let comm = proc.world_comm();
+            comm.allgather::<i32>(&[]).unwrap()
+        });
+        for out in results {
+            assert!(out.is_empty());
+        }
+    }
+}

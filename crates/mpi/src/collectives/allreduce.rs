@@ -1,0 +1,356 @@
+//! Recursive-doubling allreduce with MPICH's non-power-of-two fold-in.
+//!
+//! This is the *native* counterpart of the paper's user-level allreduce
+//! (Listing 1.8 implements the same recursive doubling, but specialized to
+//! `MPI_INT`/`MPI_SUM`/power-of-two ranks). The native path keeps the full
+//! generality the paper credits for the performance difference in
+//! Figure 13: datatype dispatch, op indirection, and the pre/post phases
+//! that fold non-power-of-two rank counts onto the nearest power of two.
+
+use mpfa_core::{AsyncPoll, Completer, Request, Status};
+
+use crate::comm::Comm;
+use crate::datatype::{from_bytes, to_bytes};
+use crate::error::MpiResult;
+use crate::matching::RecvSlot;
+use crate::op::{Op, Reducible};
+use crate::sched::CollTask;
+
+use super::future::{CollFuture, CollOutput};
+
+const ROUND_PRE: u32 = 0;
+const ROUND_POST: u32 = 254;
+const ROUND_DOUBLE_BASE: u32 = 1;
+
+enum ArState {
+    Start,
+    /// Extra even rank: data sent to the partner; awaiting send completion,
+    /// then the final result (post phase).
+    PreSendWait(Request),
+    /// Extra even rank: waiting for the final result from the partner.
+    FinalRecv(Request, RecvSlot),
+    /// Odd partner rank: absorbing the extra rank's data.
+    PreRecvWait(Request, RecvSlot),
+    /// A recursive-doubling exchange in flight.
+    Exchange {
+        mask: usize,
+        send: Request,
+        recv: Request,
+        slot: RecvSlot,
+    },
+    /// Post phase: returning the result to the folded-out even rank.
+    PostSendWait(Request),
+}
+
+struct AllreduceTask<T: Reducible> {
+    comm: Comm,
+    seq: u64,
+    op: Op,
+    acc: Vec<T>,
+    /// Rank within the power-of-two core (None for folded-out ranks).
+    newrank: Option<usize>,
+    pof2: usize,
+    rem: usize,
+    state: ArState,
+    out: CollOutput<T>,
+    completer: Option<Completer>,
+}
+
+impl<T: Reducible> AllreduceTask<T> {
+    fn rank(&self) -> usize {
+        self.comm.rank() as usize
+    }
+
+    /// Real rank of power-of-two-core rank `new`.
+    fn real_of(&self, new: usize) -> i32 {
+        if new < self.rem {
+            (new * 2 + 1) as i32
+        } else {
+            (new + self.rem) as i32
+        }
+    }
+
+    fn finish(&mut self) -> AsyncPoll {
+        self.out.deposit(std::mem::take(&mut self.acc));
+        if let Some(c) = self.completer.take() {
+            c.complete(Status::empty());
+        }
+        AsyncPoll::Done
+    }
+
+    /// Issue the next doubling round, or move to the post phase.
+    fn next_round(&mut self, mask: usize) -> AsyncPoll {
+        if mask >= self.pof2 {
+            return self.post_phase();
+        }
+        let newrank = self.newrank.expect("only core ranks double");
+        let partner_new = newrank ^ mask;
+        let partner = self.real_of(partner_new);
+        let tag = Comm::coll_tag(self.seq, ROUND_DOUBLE_BASE + mask.trailing_zeros());
+        let send = self.comm.isend_on_ctx(
+            self.comm.coll_ctx(),
+            to_bytes(&self.acc),
+            partner,
+            tag,
+        );
+        let (recv, slot) = self.comm.irecv_on_ctx(
+            self.comm.coll_ctx(),
+            self.acc.len() * T::SIZE,
+            partner,
+            tag,
+        );
+        self.state = ArState::Exchange { mask, send, recv, slot };
+        AsyncPoll::Progress
+    }
+
+    /// After the doubling rounds: hand results back to folded-out ranks.
+    fn post_phase(&mut self) -> AsyncPoll {
+        let rank = self.rank();
+        if rank < 2 * self.rem && rank % 2 == 1 {
+            // We hold the result for our even partner too.
+            let tag = Comm::coll_tag(self.seq, ROUND_POST);
+            let req = self.comm.isend_on_ctx(
+                self.comm.coll_ctx(),
+                to_bytes(&self.acc),
+                (rank - 1) as i32,
+                tag,
+            );
+            self.state = ArState::PostSendWait(req);
+            AsyncPoll::Progress
+        } else {
+            self.finish()
+        }
+    }
+}
+
+impl<T: Reducible> CollTask for AllreduceTask<T> {
+    fn advance(&mut self) -> AsyncPoll {
+        match &mut self.state {
+            ArState::Start => {
+                let rank = self.rank();
+                if rank < 2 * self.rem {
+                    let tag = Comm::coll_tag(self.seq, ROUND_PRE);
+                    if rank.is_multiple_of(2) {
+                        // Fold out: contribute data to the odd partner.
+                        let req = self.comm.isend_on_ctx(
+                            self.comm.coll_ctx(),
+                            to_bytes(&self.acc),
+                            (rank + 1) as i32,
+                            tag,
+                        );
+                        self.state = ArState::PreSendWait(req);
+                    } else {
+                        let (req, slot) = self.comm.irecv_on_ctx(
+                            self.comm.coll_ctx(),
+                            self.acc.len() * T::SIZE,
+                            (rank - 1) as i32,
+                            tag,
+                        );
+                        self.state = ArState::PreRecvWait(req, slot);
+                    }
+                    AsyncPoll::Progress
+                } else {
+                    self.next_round(1)
+                }
+            }
+            ArState::PreSendWait(req) => {
+                if !req.is_complete() {
+                    return AsyncPoll::Pending;
+                }
+                // Wait for the final result from the partner.
+                let tag = Comm::coll_tag(self.seq, ROUND_POST);
+                let rank = self.rank();
+                let (recv, slot) = self.comm.irecv_on_ctx(
+                    self.comm.coll_ctx(),
+                    self.acc.len() * T::SIZE,
+                    (rank + 1) as i32,
+                    tag,
+                );
+                self.state = ArState::FinalRecv(recv, slot);
+                AsyncPoll::Progress
+            }
+            ArState::FinalRecv(req, slot) => {
+                if !req.is_complete() {
+                    return AsyncPoll::Pending;
+                }
+                self.acc = from_bytes(&slot.take());
+                self.finish()
+            }
+            ArState::PreRecvWait(req, slot) => {
+                if !req.is_complete() {
+                    return AsyncPoll::Pending;
+                }
+                let contribution: Vec<T> = from_bytes(&slot.take());
+                self.op
+                    .apply(&mut self.acc, &contribution)
+                    .expect("op validated at initiation");
+                self.next_round(1)
+            }
+            ArState::Exchange { mask, send, recv, slot } => {
+                if !(send.is_complete() && recv.is_complete()) {
+                    return AsyncPoll::Pending;
+                }
+                let m = *mask;
+                let contribution: Vec<T> = from_bytes(&slot.take());
+                self.op
+                    .apply(&mut self.acc, &contribution)
+                    .expect("op validated at initiation");
+                self.next_round(m << 1)
+            }
+            ArState::PostSendWait(req) => {
+                if !req.is_complete() {
+                    return AsyncPoll::Pending;
+                }
+                self.finish()
+            }
+        }
+    }
+}
+
+impl Comm {
+    /// Nonblocking allreduce (`MPI_Iallreduce`) — the full general path:
+    /// any [`Reducible`] type, any built-in op, any rank count.
+    pub fn iallreduce<T: Reducible>(&self, data: &[T], op: Op) -> MpiResult<CollFuture<T>> {
+        op.apply::<T>(&mut [], &[])?;
+        let size = self.size();
+        let pof2 = if size == 0 { 1 } else { 1usize << (usize::BITS - 1 - size.leading_zeros()) };
+        let rem = size - pof2;
+        let rank = self.rank() as usize;
+        let newrank = if rank < 2 * rem {
+            if rank.is_multiple_of(2) {
+                None
+            } else {
+                Some(rank / 2)
+            }
+        } else {
+            Some(rank - rem)
+        };
+
+        let seq = self.next_coll_seq();
+        let (req, completer) = Request::pair(self.stream());
+        let (fut, out) = CollFuture::<T>::pair(req);
+        let task = AllreduceTask {
+            comm: self.clone(),
+            seq,
+            op,
+            acc: data.to_vec(),
+            newrank,
+            pof2,
+            rem,
+            state: ArState::Start,
+            out,
+            completer: Some(completer),
+        };
+        self.bundle().sched.submit(Box::new(task));
+        Ok(fut)
+    }
+
+    /// Blocking allreduce (`MPI_Allreduce`): the reduction of `data`
+    /// across all ranks, on every rank.
+    pub fn allreduce<T: Reducible>(&self, data: &[T], op: Op) -> MpiResult<Vec<T>> {
+        Ok(self.iallreduce(data, op)?.wait().0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::testutil::run_ranks;
+    use super::*;
+
+    #[test]
+    fn allreduce_sum_pof2() {
+        for n in [1, 2, 4, 8] {
+            let results = run_ranks(n, |proc| {
+                let comm = proc.world_comm();
+                comm.allreduce(&[proc.rank() as i32 + 1, 100], Op::Sum).unwrap()
+            });
+            let total: i32 = (1..=n as i32).sum();
+            for (r, out) in results.iter().enumerate() {
+                assert_eq!(out, &vec![total, 100 * n as i32], "rank {r} of {n}");
+            }
+        }
+    }
+
+    #[test]
+    fn allreduce_sum_non_pof2() {
+        for n in [3, 5, 6, 7, 12] {
+            let results = run_ranks(n, |proc| {
+                let comm = proc.world_comm();
+                comm.allreduce(&[proc.rank() as i64], Op::Sum).unwrap()
+            });
+            let total: i64 = (0..n as i64).sum();
+            for out in results {
+                assert_eq!(out, vec![total], "n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn allreduce_min_max() {
+        let results = run_ranks(5, |proc| {
+            let comm = proc.world_comm();
+            let x = [((proc.rank() as i32) * 13) % 7];
+            let mx = comm.allreduce(&x, Op::Max).unwrap();
+            let mn = comm.allreduce(&x, Op::Min).unwrap();
+            (mx[0], mn[0])
+        });
+        let values: Vec<i32> = (0..5).map(|r| (r * 13) % 7).collect();
+        for (mx, mn) in results {
+            assert_eq!(mx, *values.iter().max().unwrap());
+            assert_eq!(mn, *values.iter().min().unwrap());
+        }
+    }
+
+    #[test]
+    fn allreduce_float_sum() {
+        let results = run_ranks(4, |proc| {
+            let comm = proc.world_comm();
+            comm.allreduce(&[0.5f64 * (proc.rank() as f64 + 1.0)], Op::Sum).unwrap()
+        });
+        for out in results {
+            assert!((out[0] - 5.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn nonblocking_allreduce_overlap() {
+        let results = run_ranks(4, |proc| {
+            let comm = proc.world_comm();
+            let fut = comm.iallreduce(&[1i32], Op::Sum).unwrap();
+            assert!(fut.request().stream().is_some());
+            let (v, _) = fut.wait();
+            v[0]
+        });
+        for v in results {
+            assert_eq!(v, 4);
+        }
+    }
+
+    #[test]
+    fn vector_payloads() {
+        let results = run_ranks(3, |proc| {
+            let comm = proc.world_comm();
+            let data: Vec<i32> = (0..100).map(|i| i + proc.rank() as i32).collect();
+            comm.allreduce(&data, Op::Sum).unwrap()
+        });
+        for out in &results {
+            for (i, v) in out.iter().enumerate() {
+                assert_eq!(*v, 3 * i as i32 + 3);
+            }
+        }
+    }
+
+    #[test]
+    fn back_to_back_allreduces() {
+        let results = run_ranks(6, |proc| {
+            let comm = proc.world_comm();
+            (0..10)
+                .map(|round| comm.allreduce(&[round + proc.rank() as i32], Op::Sum).unwrap()[0])
+                .collect::<Vec<i32>>()
+        });
+        let expect: Vec<i32> = (0..10).map(|round| 6 * round + 15).collect();
+        for out in results {
+            assert_eq!(out, expect);
+        }
+    }
+}

@@ -1,0 +1,155 @@
+//! Linear (pairwise) all-to-all.
+//!
+//! Every rank posts one receive and one send per peer, plus a local copy
+//! for its own block, and completes when all are done.
+
+use mpfa_core::{AsyncPoll, Completer, Request, Status};
+
+use crate::comm::Comm;
+use crate::datatype::{from_bytes, to_bytes, MpiType};
+use crate::error::{MpiError, MpiResult};
+use crate::matching::RecvSlot;
+use crate::sched::CollTask;
+
+use super::future::{CollFuture, CollOutput};
+
+struct AlltoallTask<T: MpiType> {
+    count: usize,
+    size: usize,
+    rank: usize,
+    own_block: Vec<T>,
+    sends: Vec<Request>,
+    recvs: Vec<Option<(Request, RecvSlot)>>,
+    out: CollOutput<T>,
+    completer: Option<Completer>,
+}
+
+impl<T: MpiType> CollTask for AlltoallTask<T> {
+    fn advance(&mut self) -> AsyncPoll {
+        let recvs_done = self
+            .recvs
+            .iter()
+            .all(|r| r.as_ref().map(|(req, _)| req.is_complete()).unwrap_or(true));
+        if !(recvs_done && Request::all_complete(&self.sends)) {
+            return AsyncPoll::Pending;
+        }
+        let mut result = Vec::with_capacity(self.count * self.size);
+        let recvs = std::mem::take(&mut self.recvs);
+        for (src, entry) in recvs.into_iter().enumerate() {
+            match entry {
+                Some((_, slot)) => result.extend(from_bytes::<T>(&slot.take())),
+                None => {
+                    debug_assert_eq!(src, self.rank);
+                    result.extend(std::mem::take(&mut self.own_block));
+                }
+            }
+        }
+        self.out.deposit(result);
+        if let Some(c) = self.completer.take() {
+            c.complete(Status::empty());
+        }
+        AsyncPoll::Done
+    }
+}
+
+impl Comm {
+    /// Nonblocking all-to-all (`MPI_Ialltoall`): `data` holds `count`
+    /// elements per destination rank; the future yields `count` elements
+    /// per source rank.
+    pub fn ialltoall<T: MpiType>(&self, data: &[T], count: usize) -> MpiResult<CollFuture<T>> {
+        let size = self.size();
+        if data.len() != count * size {
+            return Err(MpiError::CountMismatch { got: data.len(), expected: count * size });
+        }
+        let rank = self.rank() as usize;
+        let seq = self.next_coll_seq();
+        let tag = Comm::coll_tag(seq, 0);
+        let (req, completer) = Request::pair(self.stream());
+        let (fut, out) = CollFuture::<T>::pair(req);
+
+        // Post all receives before the sends (good practice: expected-path
+        // matching for the eager payloads).
+        let recvs: Vec<Option<(Request, RecvSlot)>> = (0..size as i32)
+            .map(|src| {
+                if src as usize == rank {
+                    None
+                } else {
+                    Some(self.irecv_on_ctx(self.coll_ctx(), count * T::SIZE, src, tag))
+                }
+            })
+            .collect();
+        let mut sends = Vec::with_capacity(size.saturating_sub(1));
+        let mut own_block = Vec::new();
+        for dst in 0..size as i32 {
+            let block = &data[dst as usize * count..(dst as usize + 1) * count];
+            if dst as usize == rank {
+                own_block = block.to_vec();
+            } else {
+                sends.push(self.isend_on_ctx(self.coll_ctx(), to_bytes(block), dst, tag));
+            }
+        }
+
+        let task = AlltoallTask {
+            count,
+            size,
+            rank,
+            own_block,
+            sends,
+            recvs,
+            out,
+            completer: Some(completer),
+        };
+        self.bundle().sched.submit(Box::new(task));
+        Ok(fut)
+    }
+
+    /// Blocking all-to-all (`MPI_Alltoall`).
+    pub fn alltoall<T: MpiType>(&self, data: &[T], count: usize) -> MpiResult<Vec<T>> {
+        Ok(self.ialltoall(data, count)?.wait().0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::testutil::run_ranks;
+
+    #[test]
+    fn alltoall_transpose() {
+        for n in [1, 2, 3, 4, 8] {
+            let results = run_ranks(n, |proc| {
+                let comm = proc.world_comm();
+                // data[dst] = rank * 100 + dst
+                let data: Vec<i32> =
+                    (0..n as i32).map(|dst| proc.rank() as i32 * 100 + dst).collect();
+                comm.alltoall(&data, 1).unwrap()
+            });
+            for (r, out) in results.iter().enumerate() {
+                // out[src] = src * 100 + r
+                let expect: Vec<i32> = (0..n as i32).map(|src| src * 100 + r as i32).collect();
+                assert_eq!(out, &expect, "rank {r} of {n}");
+            }
+        }
+    }
+
+    #[test]
+    fn alltoall_multi_element() {
+        let results = run_ranks(3, |proc| {
+            let comm = proc.world_comm();
+            let r = proc.rank() as u64;
+            let data: Vec<u64> = (0..6).map(|i| r * 10 + i).collect();
+            comm.alltoall(&data, 2).unwrap()
+        });
+        assert_eq!(results[0], vec![0, 1, 10, 11, 20, 21]);
+        assert_eq!(results[1], vec![2, 3, 12, 13, 22, 23]);
+        assert_eq!(results[2], vec![4, 5, 14, 15, 24, 25]);
+    }
+
+    #[test]
+    fn alltoall_count_mismatch() {
+        let results = run_ranks(2, |proc| {
+            let comm = proc.world_comm();
+            comm.ialltoall(&[1i32; 3], 2).is_err()
+        });
+        assert!(results.iter().all(|&e| e));
+    }
+}

@@ -1,0 +1,150 @@
+//! Dissemination barrier.
+//!
+//! ⌈log₂ P⌉ rounds; in round k every rank sends an empty message to
+//! `(rank + 2^k) mod P` and receives one from `(rank − 2^k) mod P`. No rank
+//! leaves until every rank has entered.
+
+use mpfa_core::{AsyncPoll, Completer, Request, Status};
+
+use crate::comm::Comm;
+use crate::error::MpiResult;
+use crate::sched::CollTask;
+
+use super::future::{CollFuture, CollOutput};
+
+struct BarrierTask {
+    comm: Comm,
+    seq: u64,
+    round: u32,
+    nrounds: u32,
+    pending: Option<(Request, Request)>,
+    out: CollOutput<u8>,
+    completer: Option<Completer>,
+}
+
+impl CollTask for BarrierTask {
+    fn advance(&mut self) -> AsyncPoll {
+        if let Some((s, r)) = &self.pending {
+            if !(s.is_complete() && r.is_complete()) {
+                return AsyncPoll::Pending;
+            }
+            self.pending = None;
+            self.round += 1;
+        }
+        if self.round >= self.nrounds {
+            self.out.deposit(Vec::new());
+            if let Some(c) = self.completer.take() {
+                c.complete(Status::empty());
+            }
+            return AsyncPoll::Done;
+        }
+        let size = self.comm.size() as i32;
+        let dist = 1i32 << self.round;
+        let dst = (self.comm.rank() + dist).rem_euclid(size);
+        let src = (self.comm.rank() - dist).rem_euclid(size);
+        let tag = Comm::coll_tag(self.seq, self.round);
+        let sreq = self.comm.isend_on_ctx(self.comm.coll_ctx(), Vec::new(), dst, tag);
+        let (rreq, _slot) = self.comm.irecv_on_ctx(self.comm.coll_ctx(), 0, src, tag);
+        self.pending = Some((sreq, rreq));
+        AsyncPoll::Progress
+    }
+}
+
+impl Comm {
+    /// Nonblocking barrier (`MPI_Ibarrier`), dissemination algorithm.
+    pub fn ibarrier(&self) -> MpiResult<CollFuture<u8>> {
+        let seq = self.next_coll_seq();
+        let (req, completer) = Request::pair(self.stream());
+        let (fut, out) = CollFuture::pair(req);
+        let nrounds = (usize::BITS - (self.size() - 1).leading_zeros()) * u32::from(self.size() > 1);
+        let task = BarrierTask {
+            comm: self.clone(),
+            seq,
+            round: 0,
+            nrounds,
+            pending: None,
+            out,
+            completer: Some(completer),
+        };
+        self.bundle().sched.submit(Box::new(task));
+        Ok(fut)
+    }
+
+    /// Blocking barrier (`MPI_Barrier`).
+    pub fn barrier(&self) -> MpiResult<()> {
+        self.ibarrier()?.wait();
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::testutil::run_ranks;
+    use mpfa_core::wtime;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn barrier_completes_all_ranks() {
+        for n in [1, 2, 3, 4, 7, 8] {
+            let results = run_ranks(n, |proc| {
+                let comm = proc.world_comm();
+                comm.barrier().unwrap();
+                true
+            });
+            assert!(results.iter().all(|&ok| ok), "n={n}");
+        }
+    }
+
+    #[test]
+    fn barrier_actually_synchronizes() {
+        // No rank may leave the barrier before the slowest rank enters.
+        let entered = Arc::new(AtomicUsize::new(0));
+        let e = entered.clone();
+        let n = 4;
+        let results = run_ranks(n, move |proc| {
+            let comm = proc.world_comm();
+            if proc.rank() == 0 {
+                // Rank 0 dawdles before entering.
+                let t0 = wtime();
+                while wtime() - t0 < 0.01 {
+                    std::hint::spin_loop();
+                }
+            }
+            e.fetch_add(1, Ordering::SeqCst);
+            comm.barrier().unwrap();
+            e.load(Ordering::SeqCst)
+        });
+        for seen in results {
+            assert_eq!(seen, n, "a rank left the barrier before all entered");
+        }
+    }
+
+    #[test]
+    fn repeated_barriers_do_not_cross_match() {
+        let results = run_ranks(3, |proc| {
+            let comm = proc.world_comm();
+            for _ in 0..20 {
+                comm.barrier().unwrap();
+            }
+            true
+        });
+        assert!(results.iter().all(|&ok| ok));
+    }
+
+    #[test]
+    fn nonblocking_barrier_overlaps() {
+        let results = run_ranks(2, |proc| {
+            let comm = proc.world_comm();
+            let fut = comm.ibarrier().unwrap();
+            // Do some "work" before waiting.
+            let mut acc = 0u64;
+            for i in 0..1000 {
+                acc = acc.wrapping_add(i);
+            }
+            fut.wait();
+            acc
+        });
+        assert_eq!(results.len(), 2);
+    }
+}

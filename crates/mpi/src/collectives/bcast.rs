@@ -1,0 +1,302 @@
+//! Binomial-tree broadcast.
+//!
+//! Each non-root rank receives the payload from its tree parent, then
+//! forwards it down its subtree. Rank `r`'s peers are computed in
+//! root-relative space exactly as in MPICH's binomial bcast.
+
+use mpfa_core::{AsyncPoll, Completer, Request, Status};
+
+use crate::comm::Comm;
+use crate::datatype::{from_bytes, to_bytes, MpiType};
+use crate::error::{MpiError, MpiResult};
+use crate::matching::RecvSlot;
+use crate::sched::CollTask;
+
+use super::future::{CollFuture, CollOutput};
+
+/// Tree peers in root-relative rank space: who we receive from (None for
+/// the root) and who we forward to (descending subtree spans).
+pub(crate) fn binomial_peers(relative: usize, size: usize) -> (Option<usize>, Vec<usize>) {
+    let mut mask = 1usize;
+    let mut recv_from = None;
+    while mask < size {
+        if relative & mask != 0 {
+            recv_from = Some(relative - mask);
+            break;
+        }
+        mask <<= 1;
+    }
+    let mut dsts = Vec::new();
+    let mut m = mask >> 1;
+    while m > 0 {
+        if relative + m < size {
+            dsts.push(relative + m);
+        }
+        m >>= 1;
+    }
+    (recv_from, dsts)
+}
+
+enum BcastState {
+    Init,
+    Receiving(Request, RecvSlot),
+    Sending(Vec<Request>),
+}
+
+struct BcastTask<T: MpiType> {
+    comm: Comm,
+    seq: u64,
+    root: i32,
+    capacity: usize,
+    data: Vec<u8>,
+    state: BcastState,
+    out: CollOutput<T>,
+    completer: Option<Completer>,
+}
+
+impl<T: MpiType> BcastTask<T> {
+    fn absolute(&self, relative: usize) -> i32 {
+        (relative as i32 + self.root) % self.comm.size() as i32
+    }
+
+    fn issue_sends(&mut self) -> Vec<Request> {
+        let size = self.comm.size();
+        let relative =
+            (self.comm.rank() - self.root).rem_euclid(size as i32) as usize;
+        let (_, dsts) = binomial_peers(relative, size);
+        let tag = Comm::coll_tag(self.seq, 0);
+        dsts.into_iter()
+            .map(|rel| {
+                let dst = self.absolute(rel);
+                self.comm.isend_on_ctx(self.comm.coll_ctx(), self.data.clone(), dst, tag)
+            })
+            .collect()
+    }
+
+    fn finish(&mut self) -> AsyncPoll {
+        self.out.deposit(from_bytes(&std::mem::take(&mut self.data)));
+        if let Some(c) = self.completer.take() {
+            c.complete(Status::empty());
+        }
+        AsyncPoll::Done
+    }
+}
+
+impl<T: MpiType> CollTask for BcastTask<T> {
+    fn advance(&mut self) -> AsyncPoll {
+        match &mut self.state {
+            BcastState::Init => {
+                let size = self.comm.size();
+                let relative =
+                    (self.comm.rank() - self.root).rem_euclid(size as i32) as usize;
+                let (recv_from, _) = binomial_peers(relative, size);
+                match recv_from {
+                    None => {
+                        // Root: forward immediately.
+                        let sends = self.issue_sends();
+                        if sends.is_empty() {
+                            return self.finish();
+                        }
+                        self.state = BcastState::Sending(sends);
+                    }
+                    Some(src_rel) => {
+                        let src = self.absolute(src_rel);
+                        let tag = Comm::coll_tag(self.seq, 0);
+                        let (req, slot) =
+                            self.comm.irecv_on_ctx(self.comm.coll_ctx(), self.capacity, src, tag);
+                        self.state = BcastState::Receiving(req, slot);
+                    }
+                }
+                AsyncPoll::Progress
+            }
+            BcastState::Receiving(req, slot) => {
+                if !req.is_complete() {
+                    return AsyncPoll::Pending;
+                }
+                self.data = slot.take();
+                let sends = self.issue_sends();
+                if sends.is_empty() {
+                    return self.finish();
+                }
+                self.state = BcastState::Sending(sends);
+                AsyncPoll::Progress
+            }
+            BcastState::Sending(reqs) => {
+                if !Request::all_complete(reqs) {
+                    return AsyncPoll::Pending;
+                }
+                self.finish()
+            }
+        }
+    }
+}
+
+impl Comm {
+    /// Nonblocking broadcast (`MPI_Ibcast`) of `count` elements from
+    /// `root`. The root passes `Some(data)`; other ranks pass `None`.
+    /// The future's payload is the broadcast data on every rank.
+    pub fn ibcast<T: MpiType>(
+        &self,
+        data: Option<&[T]>,
+        count: usize,
+        root: i32,
+    ) -> MpiResult<CollFuture<T>> {
+        if root < 0 || root as usize >= self.size() {
+            return Err(MpiError::InvalidRank { rank: root, size: self.size() });
+        }
+        let is_root = self.rank() == root;
+        let bytes = match (is_root, data) {
+            (true, Some(d)) => {
+                if d.len() != count {
+                    return Err(MpiError::CountMismatch { got: d.len(), expected: count });
+                }
+                to_bytes(d)
+            }
+            (true, None) => {
+                return Err(MpiError::CountMismatch { got: 0, expected: count });
+            }
+            (false, _) => Vec::new(),
+        };
+
+        let seq = self.next_coll_seq();
+        let (req, completer) = Request::pair(self.stream());
+        let (fut, out) = CollFuture::<T>::pair(req);
+        let task = BcastTask {
+            comm: self.clone(),
+            seq,
+            root,
+            capacity: count * T::SIZE,
+            data: bytes,
+            state: BcastState::Init,
+            out,
+            completer: Some(completer),
+        };
+        self.bundle().sched.submit(Box::new(task));
+        Ok(fut)
+    }
+
+    /// Blocking broadcast (`MPI_Bcast`): `buf` is input at the root and
+    /// output everywhere.
+    pub fn bcast<T: MpiType>(&self, buf: &mut Vec<T>, count: usize, root: i32) -> MpiResult<()> {
+        let fut = if self.rank() == root {
+            self.ibcast::<T>(Some(buf), count, root)?
+        } else {
+            self.ibcast::<T>(None, count, root)?
+        };
+        let (data, _) = fut.wait();
+        *buf = data;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::testutil::run_ranks;
+    use super::*;
+
+    #[test]
+    fn binomial_peers_shape() {
+        // size 8, root-relative:
+        // 0 receives from nobody, sends to 4,2,1
+        assert_eq!(binomial_peers(0, 8), (None, vec![4, 2, 1]));
+        // 1 receives from 0, sends to nobody
+        assert_eq!(binomial_peers(1, 8), (Some(0), vec![]));
+        // 2 receives from 0, sends to 3
+        assert_eq!(binomial_peers(2, 8), (Some(0), vec![3]));
+        // 4 receives from 0, sends to 6, 5
+        assert_eq!(binomial_peers(4, 8), (Some(0), vec![6, 5]));
+        // 6 receives from 4, sends to 7
+        assert_eq!(binomial_peers(6, 8), (Some(4), vec![7]));
+    }
+
+    #[test]
+    fn binomial_peers_non_pof2() {
+        // size 5: 0 sends to 4, 2, 1; 4 receives from 0.
+        assert_eq!(binomial_peers(0, 5), (None, vec![4, 2, 1]));
+        assert_eq!(binomial_peers(4, 5), (Some(0), vec![]));
+        assert_eq!(binomial_peers(3, 5), (Some(2), vec![]));
+    }
+
+    #[test]
+    fn every_rank_reached_exactly_once() {
+        for size in 1..=16 {
+            let mut received = vec![0; size];
+            for (r, slot) in received.iter_mut().enumerate() {
+                let (src, _) = binomial_peers(r, size);
+                if src.is_some() {
+                    *slot += 1;
+                }
+            }
+            let mut sent_to = vec![0; size];
+            for r in 0..size {
+                let (_, dsts) = binomial_peers(r, size);
+                for d in dsts {
+                    sent_to[d] += 1;
+                }
+            }
+            for r in 1..size {
+                assert_eq!(received[r], 1, "rank {r} of {size}");
+                assert_eq!(sent_to[r], 1, "rank {r} of {size}");
+            }
+            assert_eq!(sent_to[0], 0);
+        }
+    }
+
+    #[test]
+    fn bcast_from_rank0() {
+        for n in [1, 2, 4, 5, 8] {
+            let results = run_ranks(n, |proc| {
+                let comm = proc.world_comm();
+                let mut buf: Vec<i32> = if proc.rank() == 0 {
+                    vec![11, 22, 33]
+                } else {
+                    Vec::new()
+                };
+                comm.bcast(&mut buf, 3, 0).unwrap();
+                buf
+            });
+            for (r, buf) in results.iter().enumerate() {
+                assert_eq!(buf, &vec![11, 22, 33], "rank {r} of {n}");
+            }
+        }
+    }
+
+    #[test]
+    fn bcast_from_nonzero_root() {
+        let results = run_ranks(6, |proc| {
+            let comm = proc.world_comm();
+            let mut buf: Vec<f64> = if proc.rank() == 3 { vec![2.5; 4] } else { Vec::new() };
+            comm.bcast(&mut buf, 4, 3).unwrap();
+            buf
+        });
+        for buf in results {
+            assert_eq!(buf, vec![2.5; 4]);
+        }
+    }
+
+    #[test]
+    fn bcast_root_count_mismatch_errors() {
+        let results = run_ranks(1, |proc| {
+            let comm = proc.world_comm();
+            comm.ibcast::<i32>(Some(&[1, 2]), 3, 0).is_err()
+        });
+        assert!(results[0]);
+    }
+
+    #[test]
+    fn repeated_bcasts_in_order() {
+        let results = run_ranks(4, |proc| {
+            let comm = proc.world_comm();
+            let mut got = Vec::new();
+            for round in 0..10i32 {
+                let mut buf = if proc.rank() == 0 { vec![round] } else { Vec::new() };
+                comm.bcast(&mut buf, 1, 0).unwrap();
+                got.push(buf[0]);
+            }
+            got
+        });
+        for buf in results {
+            assert_eq!(buf, (0..10).collect::<Vec<i32>>());
+        }
+    }
+}

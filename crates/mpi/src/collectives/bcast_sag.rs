@@ -1,0 +1,173 @@
+//! Scatter-allgather broadcast (van de Geijn algorithm): the root
+//! scatters equal blocks, then a ring allgather assembles the full
+//! payload everywhere.
+//!
+//! Binomial bcast sends the FULL payload log₂P times from the root's
+//! subtree edges; scatter-allgather moves ~2·(P−1)/P of it per rank —
+//! bandwidth-optimal for large messages, at the cost of more rounds.
+//! [`Comm::ibcast_auto`] selects by size, like MPICH's tuned bcast.
+//!
+//! Composition note: the two phases are existing schedules (iscatter,
+//! iallgather) chained by an `MPIX_Async` task — the collective is
+//! *composed from the extension APIs*, demonstrating the §2.7 claim that
+//! collectives can be layered over a progressing core.
+
+use mpfa_core::{AsyncPoll, Request, Status};
+
+use crate::comm::Comm;
+use crate::datatype::MpiType;
+use crate::error::{MpiError, MpiResult};
+
+use super::future::CollFuture;
+
+impl Comm {
+    /// Payload size (bytes) above which [`Comm::ibcast_auto`] switches
+    /// from the binomial tree to scatter-allgather.
+    pub const BCAST_SAG_THRESHOLD: usize = 64 * 1024;
+
+    /// Nonblocking scatter-allgather broadcast (`MPI_Ibcast`,
+    /// large-message algorithm). Pads to equal blocks internally.
+    pub fn ibcast_sag<T: MpiType + Default>(
+        &self,
+        data: Option<&[T]>,
+        count: usize,
+        root: i32,
+    ) -> MpiResult<CollFuture<T>> {
+        if root < 0 || root as usize >= self.size() {
+            return Err(MpiError::InvalidRank { rank: root, size: self.size() });
+        }
+        let size = self.size();
+        let block = count.div_ceil(size).max(1);
+        let padded = block * size;
+
+        // Phase 1: equal-block scatter of the padded payload.
+        let scatter_fut = if self.rank() == root {
+            let data = data.ok_or(MpiError::CountMismatch { got: 0, expected: count })?;
+            if data.len() != count {
+                return Err(MpiError::CountMismatch { got: data.len(), expected: count });
+            }
+            let mut buf = data.to_vec();
+            buf.resize(padded, T::default());
+            self.iscatter(Some(&buf), block, root)?
+        } else {
+            self.iscatter::<T>(None, block, root)?
+        };
+
+        // Phase 2 chained by an async task: allgather the blocks, then
+        // truncate the padding.
+        let (req, completer) = Request::pair(self.stream());
+        let (fut, out) = CollFuture::<T>::pair(req);
+        let comm = self.clone();
+        let mut scatter_fut = Some(scatter_fut);
+        let mut gather_fut: Option<CollFuture<T>> = None;
+        let mut completer = Some(completer);
+        self.stream().async_start(move |_t| {
+            if gather_fut.is_none() {
+                if !scatter_fut.as_ref().expect("phase 1 live").is_complete() {
+                    return AsyncPoll::Pending;
+                }
+                let my_block = scatter_fut.take().expect("present").take();
+                gather_fut = Some(
+                    comm.iallgather(&my_block)
+                        .expect("allgather cannot fail on valid comm"),
+                );
+                return AsyncPoll::Progress;
+            }
+            if !gather_fut.as_ref().expect("phase 2 live").is_complete() {
+                return AsyncPoll::Pending;
+            }
+            let mut full = gather_fut.take().expect("present").take();
+            full.truncate(count);
+            out.deposit(full);
+            completer.take().expect("once").complete(Status::empty());
+            AsyncPoll::Done
+        });
+        Ok(fut)
+    }
+
+    /// Nonblocking broadcast with size-based algorithm selection:
+    /// binomial tree below [`Comm::BCAST_SAG_THRESHOLD`] bytes,
+    /// scatter-allgather above.
+    pub fn ibcast_auto<T: MpiType + Default>(
+        &self,
+        data: Option<&[T]>,
+        count: usize,
+        root: i32,
+    ) -> MpiResult<CollFuture<T>> {
+        if count * T::SIZE >= Self::BCAST_SAG_THRESHOLD && self.size() > 2 {
+            self.ibcast_sag(data, count, root)
+        } else {
+            self.ibcast(data, count, root)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::testutil::run_ranks;
+
+    #[test]
+    fn sag_bcast_delivers_exact_payload() {
+        for n in [2, 3, 4, 5, 8] {
+            let results = run_ranks(n, |proc| {
+                let comm = proc.world_comm();
+                // Deliberately non-divisible count to exercise padding.
+                let count = 10 * n + 3;
+                let fut = if proc.rank() == 1 {
+                    let data: Vec<i32> = (0..count as i32).collect();
+                    comm.ibcast_sag(Some(&data), count, 1).unwrap()
+                } else {
+                    comm.ibcast_sag::<i32>(None, count, 1).unwrap()
+                };
+                fut.wait().0
+            });
+            let count = 10 * n + 3;
+            let expect: Vec<i32> = (0..count as i32).collect();
+            for out in results {
+                assert_eq!(out, expect, "n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn sag_bcast_single_element() {
+        let results = run_ranks(4, |proc| {
+            let comm = proc.world_comm();
+            let fut = if proc.rank() == 0 {
+                comm.ibcast_sag(Some(&[42i64]), 1, 0).unwrap()
+            } else {
+                comm.ibcast_sag::<i64>(None, 1, 0).unwrap()
+            };
+            fut.wait().0
+        });
+        for out in results {
+            assert_eq!(out, vec![42]);
+        }
+    }
+
+    #[test]
+    fn auto_bcast_agrees_with_both_paths() {
+        let results = run_ranks(4, |proc| {
+            let comm = proc.world_comm();
+            // Small: binomial path.
+            let small = if proc.rank() == 0 {
+                comm.ibcast_auto(Some(&[7u8, 8]), 2, 0).unwrap()
+            } else {
+                comm.ibcast_auto::<u8>(None, 2, 0).unwrap()
+            };
+            // Large: SAG path (> 64 KiB).
+            let big: Vec<i64> = (0..10_000).collect();
+            let large = if proc.rank() == 0 {
+                comm.ibcast_auto(Some(&big), 10_000, 0).unwrap()
+            } else {
+                comm.ibcast_auto::<i64>(None, 10_000, 0).unwrap()
+            };
+            (small.wait().0, large.wait().0)
+        });
+        for (small, large) in results {
+            assert_eq!(small, vec![7, 8]);
+            assert_eq!(large.len(), 10_000);
+            assert_eq!(large[9_999], 9_999);
+        }
+    }
+}

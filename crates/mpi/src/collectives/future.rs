@@ -1,0 +1,98 @@
+//! Completion handle of a nonblocking collective.
+
+use std::sync::Arc;
+
+use mpfa_core::{Request, Status};
+use parking_lot::Mutex;
+
+/// The output side of a nonblocking collective: a request plus the typed
+/// result the schedule deposits at completion.
+///
+/// Operations without a result for this rank (barrier, non-root reduce)
+/// deposit an empty vector.
+pub struct CollFuture<T> {
+    req: Request,
+    out: Arc<Mutex<Vec<T>>>,
+}
+
+/// The schedule-side writer for a [`CollFuture`]'s output.
+pub(crate) struct CollOutput<T> {
+    out: Arc<Mutex<Vec<T>>>,
+}
+
+impl<T> CollOutput<T> {
+    /// Deposit the result (called by the schedule just before completing
+    /// the request).
+    pub(crate) fn deposit(&self, value: Vec<T>) {
+        *self.out.lock() = value;
+    }
+}
+
+impl<T> CollFuture<T> {
+    /// Build a future + writer pair around `req`.
+    pub(crate) fn pair(req: Request) -> (CollFuture<T>, CollOutput<T>) {
+        let out = Arc::new(Mutex::new(Vec::new()));
+        (CollFuture { req, out: out.clone() }, CollOutput { out })
+    }
+
+    /// `MPIX_Request_is_complete` semantics: atomic, no progress.
+    #[inline]
+    pub fn is_complete(&self) -> bool {
+        self.req.is_complete()
+    }
+
+    /// A clone of the underlying request.
+    pub fn request(&self) -> Request {
+        self.req.clone()
+    }
+
+    /// Wait (driving the communicator's stream) and take the result.
+    pub fn wait(self) -> (Vec<T>, Status) {
+        let status = self.req.wait();
+        (std::mem::take(&mut *self.out.lock()), status)
+    }
+
+    /// Take the result of an already-complete collective.
+    ///
+    /// # Panics
+    /// Panics if not complete.
+    pub fn take(self) -> Vec<T> {
+        assert!(self.is_complete(), "CollFuture::take before completion");
+        std::mem::take(&mut *self.out.lock())
+    }
+}
+
+impl<T> std::fmt::Debug for CollFuture<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CollFuture")
+            .field("complete", &self.is_complete())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpfa_core::Stream;
+
+    #[test]
+    fn deposit_then_take() {
+        let s = Stream::create();
+        let (req, completer) = Request::pair(&s);
+        let (fut, out) = CollFuture::<i32>::pair(req);
+        assert!(!fut.is_complete());
+        out.deposit(vec![1, 2, 3]);
+        completer.complete_empty();
+        assert!(fut.is_complete());
+        assert_eq!(fut.take(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "before completion")]
+    fn take_before_complete_panics() {
+        let s = Stream::create();
+        let (req, _completer) = Request::pair(&s);
+        let (fut, _out) = CollFuture::<i32>::pair(req);
+        let _ = fut.take();
+    }
+}

@@ -1,0 +1,94 @@
+//! Native collectives, implemented as multi-stage schedules advanced by the
+//! `Collective_sched_progress` hook (the paper's Listing 1.1, entry 2).
+//!
+//! Every algorithm is a [`crate::sched::CollTask`] state machine that
+//! checks its outstanding requests with the side-effect-free
+//! `Request::is_complete` and, when a stage completes, issues the next
+//! stage's operations — a task with multiple wait blocks (paper
+//! Figure 2(c)). Nonblocking entry points return a [`CollFuture`]; blocking
+//! ones wait on it, driving the communicator's stream.
+//!
+//! The *native* paths keep their full generality on purpose — datatype
+//! dispatch, op indirection, non-power-of-two handling, count checks —
+//! because that generality is exactly what the paper's Figure 13 measures
+//! the user-level specialized allreduce against.
+//!
+//! Algorithms:
+//!
+//! | operation | algorithm |
+//! |---|---|
+//! | barrier | dissemination |
+//! | bcast | binomial tree |
+//! | reduce | binomial tree (commutative) |
+//! | allreduce | recursive doubling with non-pof2 fold-in (MPICH-style); ring (reduce-scatter + allgather) for large payloads via `iallreduce_auto` |
+//! | allgather | ring |
+//! | gather / scatter | linear |
+//! | alltoall | linear (pairwise irecv/isend) |
+//! | reduce_scatter_block | pairwise exchange + incremental local fold |
+//! | scan / exscan | distance doubling (commutative ops) |
+
+mod allgather;
+mod allreduce;
+mod alltoall;
+mod barrier;
+mod bcast;
+mod bcast_sag;
+mod future;
+mod gather;
+mod reduce;
+mod reduce_scatter;
+mod ring_allreduce;
+mod scan;
+mod scatter;
+mod vcolls;
+
+pub use future::CollFuture;
+
+use crate::comm::Comm;
+
+impl Comm {
+    /// Internal: tag for round `round` of the collective with sequence
+    /// number `seq` (collectives run on the dedicated collective context,
+    /// so these tags never collide with user tags).
+    pub(crate) fn coll_tag(seq: u64, round: u32) -> i32 {
+        ((seq as i32) << 8) | (round as i32 & 0xff)
+    }
+
+    /// Internal: next collective sequence number. Collective calls must be
+    /// made by all ranks in the same order (MPI semantics), so per-rank
+    /// counters agree.
+    pub(crate) fn next_coll_seq(&self) -> u64 {
+        self.coll_seq.fetch_add(1, std::sync::atomic::Ordering::AcqRel)
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod testutil {
+    use crate::proc::Proc;
+    use crate::world::{World, WorldConfig};
+
+    /// Run `f(proc)` on one thread per rank and return the outputs in rank
+    /// order. The standard harness for collective tests.
+    pub fn run_ranks<R: Send>(
+        n: usize,
+        f: impl Fn(Proc) -> R + Send + Sync,
+    ) -> Vec<R> {
+        run_ranks_cfg(WorldConfig::instant(n), f)
+    }
+
+    /// `run_ranks` with an explicit world configuration.
+    pub fn run_ranks_cfg<R: Send>(
+        cfg: WorldConfig,
+        f: impl Fn(Proc) -> R + Send + Sync,
+    ) -> Vec<R> {
+        let procs = World::init(cfg);
+        let f = &f;
+        std::thread::scope(|s| {
+            let handles: Vec<_> = procs
+                .into_iter()
+                .map(|p| s.spawn(move || f(p)))
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("rank thread panicked")).collect()
+        })
+    }
+}

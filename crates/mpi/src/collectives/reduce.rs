@@ -1,0 +1,237 @@
+//! Binomial-tree reduce (commutative operations).
+//!
+//! Root-relative rank `r` receives partial results from children
+//! `r + 2^k` (for each `k` with `r + 2^k < size` until `r`'s own bit),
+//! folding each into its accumulator, then sends the accumulator to parent
+//! `r - 2^k`. The root ends with the full reduction.
+
+use mpfa_core::{AsyncPoll, Completer, Request, Status};
+
+use crate::comm::Comm;
+use crate::datatype::{from_bytes, to_bytes};
+use crate::error::{MpiError, MpiResult};
+use crate::matching::RecvSlot;
+use crate::op::{Op, Reducible};
+use crate::sched::CollTask;
+
+use super::future::{CollFuture, CollOutput};
+
+enum ReduceState {
+    /// Working through mask rounds; `mask` is the next round's distance.
+    Round { mask: usize },
+    /// Waiting for a child's partial result.
+    Receiving { mask: usize, req: Request, slot: RecvSlot },
+    /// Waiting for our send to the parent.
+    SendingUp(Request),
+}
+
+struct ReduceTask<T: Reducible> {
+    comm: Comm,
+    seq: u64,
+    root: i32,
+    acc: Vec<T>,
+    state: ReduceState,
+    op: Op,
+    out: CollOutput<T>,
+    completer: Option<Completer>,
+}
+
+impl<T: Reducible> ReduceTask<T> {
+    fn relative(&self) -> usize {
+        (self.comm.rank() - self.root).rem_euclid(self.comm.size() as i32) as usize
+    }
+
+    fn absolute(&self, relative: usize) -> i32 {
+        (relative as i32 + self.root) % self.comm.size() as i32
+    }
+
+    fn finish(&mut self, deliver: bool) -> AsyncPoll {
+        if deliver {
+            self.out.deposit(std::mem::take(&mut self.acc));
+        } else {
+            self.out.deposit(Vec::new());
+        }
+        if let Some(c) = self.completer.take() {
+            c.complete(Status::empty());
+        }
+        AsyncPoll::Done
+    }
+}
+
+impl<T: Reducible> CollTask for ReduceTask<T> {
+    fn advance(&mut self) -> AsyncPoll {
+        let size = self.comm.size();
+        let relative = self.relative();
+        loop {
+            match &mut self.state {
+                ReduceState::Round { mask } => {
+                    let m = *mask;
+                    if m >= size {
+                        // All rounds done without sending up: we are root.
+                        debug_assert_eq!(relative, 0);
+                        return self.finish(true);
+                    }
+                    let tag = Comm::coll_tag(self.seq, m.trailing_zeros());
+                    if relative & m != 0 {
+                        // Send accumulator to parent and finish.
+                        let parent = self.absolute(relative - m);
+                        let req = self.comm.isend_on_ctx(
+                            self.comm.coll_ctx(),
+                            to_bytes(&self.acc),
+                            parent,
+                            tag,
+                        );
+                        self.state = ReduceState::SendingUp(req);
+                        return AsyncPoll::Progress;
+                    } else if relative + m < size {
+                        // Receive a child's partial result.
+                        let child = self.absolute(relative + m);
+                        let (req, slot) = self.comm.irecv_on_ctx(
+                            self.comm.coll_ctx(),
+                            self.acc.len() * T::SIZE,
+                            child,
+                            tag,
+                        );
+                        self.state = ReduceState::Receiving { mask: m, req, slot };
+                        return AsyncPoll::Progress;
+                    } else {
+                        // No child at this distance; next round.
+                        self.state = ReduceState::Round { mask: m << 1 };
+                        continue;
+                    }
+                }
+                ReduceState::Receiving { mask, req, slot } => {
+                    if !req.is_complete() {
+                        return AsyncPoll::Pending;
+                    }
+                    let contribution: Vec<T> = from_bytes(&slot.take());
+                    let m = *mask;
+                    self.op
+                        .apply(&mut self.acc, &contribution)
+                        .expect("op validated at initiation");
+                    self.state = ReduceState::Round { mask: m << 1 };
+                    continue;
+                }
+                ReduceState::SendingUp(req) => {
+                    if !req.is_complete() {
+                        return AsyncPoll::Pending;
+                    }
+                    return self.finish(false);
+                }
+            }
+        }
+    }
+}
+
+impl Comm {
+    /// Nonblocking reduce (`MPI_Ireduce`) of `data` with `op` to `root`.
+    /// The root's future yields the reduction; other ranks get an empty
+    /// vector.
+    pub fn ireduce<T: Reducible>(
+        &self,
+        data: &[T],
+        op: Op,
+        root: i32,
+    ) -> MpiResult<CollFuture<T>> {
+        if root < 0 || root as usize >= self.size() {
+            return Err(MpiError::InvalidRank { rank: root, size: self.size() });
+        }
+        // Validate op/type compatibility up front (e.g. Band on floats).
+        op.apply::<T>(&mut [], &[])?;
+
+        let seq = self.next_coll_seq();
+        let (req, completer) = Request::pair(self.stream());
+        let (fut, out) = CollFuture::<T>::pair(req);
+        let task = ReduceTask {
+            comm: self.clone(),
+            seq,
+            root,
+            acc: data.to_vec(),
+            state: ReduceState::Round { mask: 1 },
+            op,
+            out,
+            completer: Some(completer),
+        };
+        self.bundle().sched.submit(Box::new(task));
+        Ok(fut)
+    }
+
+    /// Blocking reduce (`MPI_Reduce`). Returns `Some(result)` at the root,
+    /// `None` elsewhere.
+    pub fn reduce<T: Reducible>(
+        &self,
+        data: &[T],
+        op: Op,
+        root: i32,
+    ) -> MpiResult<Option<Vec<T>>> {
+        let (result, _) = self.ireduce(data, op, root)?.wait();
+        Ok(if self.rank() == root { Some(result) } else { None })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::testutil::run_ranks;
+    use super::*;
+
+    #[test]
+    fn reduce_sum_to_root0() {
+        for n in [1, 2, 3, 4, 5, 8] {
+            let results = run_ranks(n, |proc| {
+                let comm = proc.world_comm();
+                let data = vec![proc.rank() as i64 + 1, 10 * (proc.rank() as i64 + 1)];
+                comm.reduce(&data, Op::Sum, 0).unwrap()
+            });
+            let total: i64 = (1..=n as i64).sum();
+            assert_eq!(results[0], Some(vec![total, 10 * total]), "n={n}");
+            for r in results.iter().skip(1) {
+                assert!(r.is_none());
+            }
+        }
+    }
+
+    #[test]
+    fn reduce_max_to_nonzero_root() {
+        let results = run_ranks(6, |proc| {
+            let comm = proc.world_comm();
+            let data = vec![(proc.rank() as i32 * 7) % 5];
+            comm.reduce(&data, Op::Max, 2).unwrap()
+        });
+        let expect = (0..6).map(|r| (r * 7) % 5).max().unwrap();
+        assert_eq!(results[2], Some(vec![expect]));
+    }
+
+    #[test]
+    fn reduce_float_prod() {
+        let results = run_ranks(4, |proc| {
+            let comm = proc.world_comm();
+            comm.reduce(&[2.0f64], Op::Prod, 0).unwrap()
+        });
+        assert_eq!(results[0], Some(vec![16.0]));
+    }
+
+    #[test]
+    fn reduce_bad_op_rejected_at_initiation() {
+        let results = run_ranks(1, |proc| {
+            let comm = proc.world_comm();
+            comm.ireduce(&[1.0f32], Op::Bxor, 0).is_err()
+        });
+        assert!(results[0]);
+    }
+
+    #[test]
+    fn repeated_reduces() {
+        let results = run_ranks(3, |proc| {
+            let comm = proc.world_comm();
+            let mut sums = Vec::new();
+            for round in 0..8i32 {
+                let out = comm.reduce(&[round + proc.rank() as i32], Op::Sum, 0).unwrap();
+                if let Some(v) = out {
+                    sums.push(v[0]);
+                }
+            }
+            sums
+        });
+        assert_eq!(results[0], (0..8).map(|r| 3 * r + 3).collect::<Vec<i32>>());
+    }
+}

@@ -1,0 +1,183 @@
+//! Reduce-scatter with equal blocks (`MPI_Reduce_scatter_block`):
+//! element-wise reduction of a `count * P` buffer, rank `i` receiving
+//! block `i` of the result.
+//!
+//! Algorithm: pairwise exchange (each rank sends block `j` to rank `j`,
+//! receives P−1 contributions for its own block, reduces locally) — the
+//! alltoall-shaped variant, simple and contention-free on the simulated
+//! fabric.
+
+use mpfa_core::{AsyncPoll, Completer, Request, Status};
+
+use crate::comm::Comm;
+use crate::datatype::{from_bytes, to_bytes};
+use crate::error::{MpiError, MpiResult};
+use crate::matching::RecvSlot;
+use crate::op::{Op, Reducible};
+use crate::sched::CollTask;
+
+use super::future::{CollFuture, CollOutput};
+
+struct ReduceScatterTask<T: Reducible> {
+    op: Op,
+    /// Own contribution to our block.
+    acc: Vec<T>,
+    sends: Vec<Request>,
+    recvs: Vec<Option<(Request, RecvSlot)>>,
+    /// Which contributions have been folded already.
+    folded: Vec<bool>,
+    out: CollOutput<T>,
+    completer: Option<Completer>,
+}
+
+impl<T: Reducible> CollTask for ReduceScatterTask<T> {
+    fn advance(&mut self) -> AsyncPoll {
+        let mut any = false;
+        // Fold contributions as they arrive (no barrier on the full set).
+        for src in 0..self.recvs.len() {
+            if self.folded[src] {
+                continue;
+            }
+            let Some((req, slot)) = &self.recvs[src] else {
+                self.folded[src] = true;
+                continue;
+            };
+            if req.is_complete() {
+                let contribution: Vec<T> = from_bytes(&slot.take());
+                self.op
+                    .apply(&mut self.acc, &contribution)
+                    .expect("validated at initiation");
+                self.folded[src] = true;
+                self.recvs[src] = None;
+                any = true;
+            }
+        }
+        let all_folded = self.folded.iter().all(|&f| f);
+        if all_folded && Request::all_complete(&self.sends) {
+            self.out.deposit(std::mem::take(&mut self.acc));
+            if let Some(c) = self.completer.take() {
+                c.complete(Status::empty());
+            }
+            return AsyncPoll::Done;
+        }
+        if any {
+            AsyncPoll::Progress
+        } else {
+            AsyncPoll::Pending
+        }
+    }
+}
+
+impl Comm {
+    /// Nonblocking equal-block reduce-scatter
+    /// (`MPI_Ireduce_scatter_block`): `data` holds `count` elements per
+    /// destination rank; rank `i`'s future yields the element-wise
+    /// reduction of every rank's block `i`.
+    pub fn ireduce_scatter_block<T: Reducible>(
+        &self,
+        data: &[T],
+        count: usize,
+        op: Op,
+    ) -> MpiResult<CollFuture<T>> {
+        op.apply::<T>(&mut [], &[])?;
+        let size = self.size();
+        if data.len() != count * size {
+            return Err(MpiError::CountMismatch { got: data.len(), expected: count * size });
+        }
+        let rank = self.rank() as usize;
+        let seq = self.next_coll_seq();
+        let tag = Comm::coll_tag(seq, 0);
+        let (req, completer) = Request::pair(self.stream());
+        let (fut, out) = CollFuture::<T>::pair(req);
+
+        let recvs: Vec<Option<(Request, RecvSlot)>> = (0..size as i32)
+            .map(|src| {
+                (src as usize != rank)
+                    .then(|| self.irecv_on_ctx(self.coll_ctx(), count * T::SIZE, src, tag))
+            })
+            .collect();
+        let mut sends = Vec::with_capacity(size.saturating_sub(1));
+        for dst in 0..size {
+            if dst == rank {
+                continue;
+            }
+            let block = &data[dst * count..(dst + 1) * count];
+            sends.push(self.isend_on_ctx(self.coll_ctx(), to_bytes(block), dst as i32, tag));
+        }
+
+        let task = ReduceScatterTask {
+            op,
+
+            acc: data[rank * count..(rank + 1) * count].to_vec(),
+            sends,
+            recvs,
+            folded: vec![false; size],
+            out,
+            completer: Some(completer),
+        };
+        self.bundle().sched.submit(Box::new(task));
+        Ok(fut)
+    }
+
+    /// Blocking equal-block reduce-scatter (`MPI_Reduce_scatter_block`).
+    pub fn reduce_scatter_block<T: Reducible>(
+        &self,
+        data: &[T],
+        count: usize,
+        op: Op,
+    ) -> MpiResult<Vec<T>> {
+        Ok(self.ireduce_scatter_block(data, count, op)?.wait().0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::testutil::run_ranks;
+    use super::*;
+
+    #[test]
+    fn reduce_scatter_blocks_hold_reductions() {
+        for n in [1, 2, 3, 4, 6] {
+            let results = run_ranks(n, |proc| {
+                let comm = proc.world_comm();
+                // data[dst*2 + k] = rank + dst*10 + k*100
+                let r = proc.rank() as i64;
+                let data: Vec<i64> = (0..2 * n)
+                    .map(|i| r + (i / 2) as i64 * 10 + (i % 2) as i64 * 100)
+                    .collect();
+                comm.reduce_scatter_block(&data, 2, Op::Sum).unwrap()
+            });
+            let rank_sum: i64 = (0..n as i64).sum();
+            for (dst, out) in results.iter().enumerate() {
+                let expect: Vec<i64> = (0..2)
+                    .map(|k| rank_sum + (dst as i64 * 10 + k * 100) * n as i64)
+                    .collect();
+                assert_eq!(out, &expect, "rank {dst} of {n}");
+            }
+        }
+    }
+
+    #[test]
+    fn reduce_scatter_count_mismatch() {
+        let results = run_ranks(2, |proc| {
+            let comm = proc.world_comm();
+            comm.ireduce_scatter_block(&[1i32; 3], 2, Op::Sum).is_err()
+        });
+        assert!(results.iter().all(|&e| e));
+    }
+
+    #[test]
+    fn reduce_scatter_max() {
+        let results = run_ranks(3, |proc| {
+            let comm = proc.world_comm();
+            let r = proc.rank() as i32;
+            // Block j value: (r * 7 + j) % 5
+            let data: Vec<i32> = (0..3).map(|j| (r * 7 + j) % 5).collect();
+            comm.reduce_scatter_block(&data, 1, Op::Max).unwrap()
+        });
+        for (j, out) in results.iter().enumerate() {
+            let expect = (0..3).map(|r| (r * 7 + j as i32) % 5).max().unwrap();
+            assert_eq!(out, &vec![expect]);
+        }
+    }
+}

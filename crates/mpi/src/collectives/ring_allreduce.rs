@@ -1,0 +1,294 @@
+//! Ring allreduce: reduce-scatter phase + allgather phase, both around the
+//! ring. Bandwidth-optimal (each rank moves `2·(P−1)/P` of the payload),
+//! preferred over recursive doubling for large messages — the classic
+//! algorithm-selection trade-off MPI implementations tune (and the A5
+//! ablation measures).
+//!
+//! Phase 1 (reduce-scatter), P−1 steps: in step s, send block
+//! `(rank − s) mod P` to the right neighbor, receive block
+//! `(rank − s − 1) mod P` from the left and fold it into the local copy.
+//! After P−1 steps, rank r holds the fully reduced block `(r + 1) mod P`.
+//!
+//! Phase 2 (allgather), P−1 steps: circulate the reduced blocks.
+
+use mpfa_core::{AsyncPoll, Completer, Request, Status};
+
+use crate::comm::Comm;
+use crate::datatype::{from_bytes, to_bytes};
+use crate::error::MpiResult;
+use crate::matching::RecvSlot;
+use crate::op::{Op, Reducible};
+use crate::sched::CollTask;
+
+use super::future::{CollFuture, CollOutput};
+
+/// Block `i`'s element range for `count` elements over `size` ranks
+/// (balanced partition; works for any count, including count < size).
+fn block_range(count: usize, size: usize, i: usize) -> std::ops::Range<usize> {
+    let lo = i * count / size;
+    let hi = (i + 1) * count / size;
+    lo..hi
+}
+
+enum RingState {
+    ReduceScatter { step: usize },
+    Allgather { step: usize },
+    Wait {
+        next: Box<RingState>,
+        reducing: bool,
+        recv_block: usize,
+        send: Request,
+        recv: Request,
+        slot: RecvSlot,
+    },
+}
+
+struct RingAllreduceTask<T: Reducible> {
+    comm: Comm,
+    seq: u64,
+    op: Op,
+    data: Vec<T>,
+    state: RingState,
+    out: CollOutput<T>,
+    completer: Option<Completer>,
+}
+
+impl<T: Reducible> RingAllreduceTask<T> {
+    fn finish(&mut self) -> AsyncPoll {
+        self.out.deposit(std::mem::take(&mut self.data));
+        if let Some(c) = self.completer.take() {
+            c.complete(Status::empty());
+        }
+        AsyncPoll::Done
+    }
+
+    /// Issue one ring step: send `send_block`, receive `recv_block`.
+    fn issue(
+        &mut self,
+        round: u32,
+        send_block: usize,
+        recv_block: usize,
+        reducing: bool,
+        next: RingState,
+    ) -> AsyncPoll {
+        let size = self.comm.size() as i32;
+        let right = (self.comm.rank() + 1).rem_euclid(size);
+        let left = (self.comm.rank() - 1).rem_euclid(size);
+        let tag = Comm::coll_tag(self.seq, round);
+        let count = self.data.len();
+        let payload = to_bytes(&self.data[block_range(count, size as usize, send_block)]);
+        let send = self.comm.isend_on_ctx(self.comm.coll_ctx(), payload, right, tag);
+        let recv_len = block_range(count, size as usize, recv_block).len();
+        let (recv, slot) =
+            self.comm
+                .irecv_on_ctx(self.comm.coll_ctx(), recv_len * T::SIZE, left, tag);
+        self.state = RingState::Wait {
+            next: Box::new(next),
+            reducing,
+            recv_block,
+            send,
+            recv,
+            slot,
+        };
+        AsyncPoll::Progress
+    }
+}
+
+impl<T: Reducible> CollTask for RingAllreduceTask<T> {
+    fn advance(&mut self) -> AsyncPoll {
+        let size = self.comm.size();
+        let rank = self.comm.rank() as usize;
+        if size == 1 {
+            return self.finish();
+        }
+        match std::mem::replace(&mut self.state, RingState::ReduceScatter { step: usize::MAX }) {
+            RingState::ReduceScatter { step } => {
+                if step >= size - 1 {
+                    self.state = RingState::Allgather { step: 0 };
+                    return self.advance();
+                }
+                let send_block = (rank + size - step) % size;
+                let recv_block = (rank + size - step - 1) % size;
+                self.issue(
+                    step as u32,
+                    send_block,
+                    recv_block,
+                    true,
+                    RingState::ReduceScatter { step: step + 1 },
+                )
+            }
+            RingState::Allgather { step } => {
+                if step >= size - 1 {
+                    return self.finish();
+                }
+                // After reduce-scatter, rank r owns reduced block (r+1)%P.
+                let send_block = (rank + 1 + size - step) % size;
+                let recv_block = (rank + size - step) % size;
+                self.issue(
+                    (size - 1 + step) as u32,
+                    send_block,
+                    recv_block,
+                    false,
+                    RingState::Allgather { step: step + 1 },
+                )
+            }
+            RingState::Wait { next, reducing, recv_block, send, recv, slot } => {
+                if !(send.is_complete() && recv.is_complete()) {
+                    self.state =
+                        RingState::Wait { next, reducing, recv_block, send, recv, slot };
+                    return AsyncPoll::Pending;
+                }
+                let incoming: Vec<T> = from_bytes(&slot.take());
+                let range = block_range(self.data.len(), size, recv_block);
+                if reducing {
+                    self.op
+                        .apply(&mut self.data[range], &incoming)
+                        .expect("validated at initiation");
+                } else {
+                    self.data[range].copy_from_slice(&incoming);
+                }
+                self.state = *next;
+                self.advance()
+            }
+        }
+    }
+}
+
+impl Comm {
+    /// Payload size (bytes) above which [`Comm::iallreduce`] switches from
+    /// recursive doubling to the ring algorithm.
+    pub const ALLREDUCE_RING_THRESHOLD: usize = 32 * 1024;
+
+    /// Nonblocking ring allreduce (`MPI_Iallreduce`, large-message
+    /// algorithm). Valid for any rank count.
+    pub fn iallreduce_ring<T: Reducible>(
+        &self,
+        data: &[T],
+        op: Op,
+    ) -> MpiResult<CollFuture<T>> {
+        op.apply::<T>(&mut [], &[])?;
+        let seq = self.next_coll_seq();
+        let (req, completer) = Request::pair(self.stream());
+        let (fut, out) = CollFuture::<T>::pair(req);
+        let task = RingAllreduceTask {
+            comm: self.clone(),
+            seq,
+            op,
+            data: data.to_vec(),
+            state: RingState::ReduceScatter { step: 0 },
+            out,
+            completer: Some(completer),
+        };
+        self.bundle().sched.submit(Box::new(task));
+        Ok(fut)
+    }
+
+    /// Nonblocking allreduce with automatic algorithm selection:
+    /// recursive doubling for latency-bound sizes, ring for
+    /// bandwidth-bound sizes (≥ [`Comm::ALLREDUCE_RING_THRESHOLD`] bytes).
+    pub fn iallreduce_auto<T: Reducible>(
+        &self,
+        data: &[T],
+        op: Op,
+    ) -> MpiResult<CollFuture<T>> {
+        if data.len() * T::SIZE >= Self::ALLREDUCE_RING_THRESHOLD && self.size() > 2 {
+            self.iallreduce_ring(data, op)
+        } else {
+            self.iallreduce(data, op)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::testutil::run_ranks;
+    use super::*;
+
+    #[test]
+    fn block_ranges_partition_exactly() {
+        for count in [0usize, 1, 5, 16, 17, 100] {
+            for size in [1usize, 2, 3, 7, 16] {
+                let mut covered = 0;
+                for i in 0..size {
+                    let r = block_range(count, size, i);
+                    assert_eq!(r.start, covered, "gap at block {i}");
+                    covered = r.end;
+                }
+                assert_eq!(covered, count);
+            }
+        }
+    }
+
+    #[test]
+    fn ring_allreduce_matches_reference() {
+        for n in [2, 3, 4, 5, 8] {
+            let results = run_ranks(n, |proc| {
+                let comm = proc.world_comm();
+                let data: Vec<i64> = (0..40).map(|i| i + proc.rank() as i64).collect();
+                comm.iallreduce_ring(&data, Op::Sum).unwrap().wait().0
+            });
+            for out in results {
+                for (i, v) in out.iter().enumerate() {
+                    let expect: i64 = (0..n as i64).map(|r| i as i64 + r).sum();
+                    assert_eq!(*v, expect, "index {i}, n={n}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ring_allreduce_single_rank() {
+        let results = run_ranks(1, |proc| {
+            let comm = proc.world_comm();
+            comm.iallreduce_ring(&[1i32, 2, 3], Op::Sum).unwrap().wait().0
+        });
+        assert_eq!(results[0], vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn ring_allreduce_count_smaller_than_ranks() {
+        // Some blocks are empty; the algorithm must still terminate.
+        let results = run_ranks(6, |proc| {
+            let comm = proc.world_comm();
+            comm.iallreduce_ring(&[proc.rank() as i32 + 1], Op::Sum).unwrap().wait().0
+        });
+        for out in results {
+            assert_eq!(out, vec![21]);
+        }
+    }
+
+    #[test]
+    fn auto_selection_agrees_with_both_algorithms() {
+        let results = run_ranks(4, |proc| {
+            let comm = proc.world_comm();
+            // Small: recursive doubling path.
+            let small = comm.iallreduce_auto(&[proc.rank() as i64], Op::Sum).unwrap().wait().0;
+            // Large: ring path (> 32 KiB of i64).
+            let big: Vec<i64> = (0..8000).map(|i| i + proc.rank() as i64).collect();
+            let big_out = comm.iallreduce_auto(&big, Op::Sum).unwrap().wait().0;
+            (small, big_out)
+        });
+        for (small, big) in results {
+            assert_eq!(small, vec![6]);
+            assert_eq!(big.len(), 8000);
+            for (i, v) in big.iter().enumerate() {
+                assert_eq!(*v, 4 * i as i64 + 6);
+            }
+        }
+    }
+
+    #[test]
+    fn ring_max_reduction() {
+        let results = run_ranks(3, |proc| {
+            let comm = proc.world_comm();
+            let data: Vec<i32> = (0..10).map(|i| (i * (proc.rank() as i32 + 1)) % 7).collect();
+            comm.iallreduce_ring(&data, Op::Max).unwrap().wait().0
+        });
+        for out in &results {
+            for (i, v) in out.iter().enumerate() {
+                let expect = (1..=3).map(|f| (i as i32 * f) % 7).max().unwrap();
+                assert_eq!(*v, expect);
+            }
+        }
+    }
+}

@@ -1,0 +1,247 @@
+//! Inclusive and exclusive prefix scans (`MPI_Scan` / `MPI_Exscan`),
+//! using the classic distance-doubling algorithm for commutative-and-
+//! associative operations.
+//!
+//! Round k: exchange partial results with `rank ± 2^k`; a rank folds what
+//! it receives from `rank - 2^k` into both its running prefix and the
+//! partial value it forwards up. ⌈log₂ P⌉ rounds.
+
+use mpfa_core::{AsyncPoll, Completer, Request, Status};
+
+use crate::comm::Comm;
+use crate::datatype::{from_bytes, to_bytes};
+use crate::error::MpiResult;
+use crate::matching::RecvSlot;
+use crate::op::{Op, Reducible};
+use crate::sched::CollTask;
+
+use super::future::{CollFuture, CollOutput};
+
+enum ScanState {
+    Round { mask: usize },
+    Wait {
+        mask: usize,
+        send: Option<Request>,
+        recv: Option<(Request, RecvSlot)>,
+    },
+}
+
+struct ScanTask<T: Reducible> {
+    comm: Comm,
+    seq: u64,
+    op: Op,
+    /// The result accumulator: the inclusive prefix (scan), or the
+    /// combination of received lower spans only (exscan).
+    prefix: Vec<T>,
+    /// The inclusive partial of the contiguous span ending at this rank,
+    /// forwarded to higher ranks each round.
+    partial: Vec<T>,
+    /// Exscan mode: exclude the rank's own value from `prefix`.
+    exclusive: bool,
+    got_any: bool,
+    state: ScanState,
+    out: CollOutput<T>,
+    completer: Option<Completer>,
+}
+
+impl<T: Reducible> ScanTask<T> {
+    fn finish(&mut self) -> AsyncPoll {
+        let result = if self.exclusive && !self.got_any {
+            // Rank 0 never receives: its exscan value is undefined in MPI;
+            // we report it as empty.
+            Vec::new()
+        } else {
+            std::mem::take(&mut self.prefix)
+        };
+        self.out.deposit(result);
+        if let Some(c) = self.completer.take() {
+            c.complete(Status::empty());
+        }
+        AsyncPoll::Done
+    }
+}
+
+impl<T: Reducible> CollTask for ScanTask<T> {
+    fn advance(&mut self) -> AsyncPoll {
+        let size = self.comm.size();
+        let rank = self.comm.rank() as usize;
+        loop {
+            match &mut self.state {
+                ScanState::Round { mask } => {
+                    let m = *mask;
+                    if m >= size {
+                        return self.finish();
+                    }
+                    let tag = Comm::coll_tag(self.seq, m.trailing_zeros());
+                    let send = (rank + m < size).then(|| {
+                        self.comm.isend_on_ctx(
+                            self.comm.coll_ctx(),
+                            to_bytes(&self.partial),
+                            (rank + m) as i32,
+                            tag,
+                        )
+                    });
+                    let recv = (rank >= m).then(|| {
+                        self.comm.irecv_on_ctx(
+                            self.comm.coll_ctx(),
+                            self.partial.len() * T::SIZE,
+                            (rank - m) as i32,
+                            tag,
+                        )
+                    });
+                    if send.is_none() && recv.is_none() {
+                        self.state = ScanState::Round { mask: m << 1 };
+                        continue;
+                    }
+                    self.state = ScanState::Wait { mask: m, send, recv };
+                    return AsyncPoll::Progress;
+                }
+                ScanState::Wait { mask, send, recv } => {
+                    let send_done = send.as_ref().map(Request::is_complete).unwrap_or(true);
+                    let recv_done = recv
+                        .as_ref()
+                        .map(|(r, _)| r.is_complete())
+                        .unwrap_or(true);
+                    if !(send_done && recv_done) {
+                        return AsyncPoll::Pending;
+                    }
+                    let m = *mask;
+                    if let Some((_, slot)) = recv.take() {
+                        let incoming: Vec<T> = from_bytes(&slot.take());
+                        if self.exclusive && !self.got_any {
+                            // First contribution from below seeds the
+                            // exclusive accumulator (own value excluded).
+                            self.prefix = incoming.clone();
+                        } else {
+                            self.op
+                                .apply(&mut self.prefix, &incoming)
+                                .expect("validated at initiation");
+                        }
+                        self.got_any = true;
+                        // The partial we forward must absorb the incoming
+                        // span too.
+                        self.op
+                            .apply(&mut self.partial, &incoming)
+                            .expect("validated at initiation");
+                    }
+                    self.state = ScanState::Round { mask: m << 1 };
+                    continue;
+                }
+            }
+        }
+    }
+}
+
+impl Comm {
+    /// Nonblocking inclusive scan (`MPI_Iscan`): rank r's future yields
+    /// `op(data_0, …, data_r)`.
+    pub fn iscan<T: Reducible>(&self, data: &[T], op: Op) -> MpiResult<CollFuture<T>> {
+        self.scan_impl(data, op, false)
+    }
+
+    /// Nonblocking exclusive scan (`MPI_Iexscan`): rank r's future yields
+    /// `op(data_0, …, data_{r-1})`; rank 0 gets an empty vector
+    /// (MPI leaves it undefined).
+    pub fn iexscan<T: Reducible>(&self, data: &[T], op: Op) -> MpiResult<CollFuture<T>> {
+        self.scan_impl(data, op, true)
+    }
+
+    fn scan_impl<T: Reducible>(
+        &self,
+        data: &[T],
+        op: Op,
+        exclusive: bool,
+    ) -> MpiResult<CollFuture<T>> {
+        op.apply::<T>(&mut [], &[])?;
+        let seq = self.next_coll_seq();
+        let (req, completer) = Request::pair(self.stream());
+        let (fut, out) = CollFuture::<T>::pair(req);
+        let task = ScanTask {
+            comm: self.clone(),
+            seq,
+            op,
+            prefix: data.to_vec(),
+            partial: data.to_vec(),
+            exclusive,
+            got_any: false,
+            state: ScanState::Round { mask: 1 },
+            out,
+            completer: Some(completer),
+        };
+        self.bundle().sched.submit(Box::new(task));
+        Ok(fut)
+    }
+
+    /// Blocking inclusive scan (`MPI_Scan`).
+    pub fn scan<T: Reducible>(&self, data: &[T], op: Op) -> MpiResult<Vec<T>> {
+        Ok(self.iscan(data, op)?.wait().0)
+    }
+
+    /// Blocking exclusive scan (`MPI_Exscan`). Rank 0 receives an empty
+    /// vector.
+    pub fn exscan<T: Reducible>(&self, data: &[T], op: Op) -> MpiResult<Vec<T>> {
+        Ok(self.iexscan(data, op)?.wait().0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::testutil::run_ranks;
+    use super::*;
+
+    #[test]
+    fn inclusive_scan_sums_prefixes() {
+        for n in [1, 2, 3, 4, 5, 8] {
+            let results = run_ranks(n, |proc| {
+                let comm = proc.world_comm();
+                comm.scan(&[proc.rank() as i64 + 1], Op::Sum).unwrap()
+            });
+            for (r, out) in results.iter().enumerate() {
+                let expect: i64 = (1..=r as i64 + 1).sum();
+                assert_eq!(out, &vec![expect], "rank {r} of {n}");
+            }
+        }
+    }
+
+    #[test]
+    fn exclusive_scan_drops_own_value() {
+        for n in [1, 2, 4, 7] {
+            let results = run_ranks(n, |proc| {
+                let comm = proc.world_comm();
+                comm.exscan(&[proc.rank() as i32 + 1], Op::Sum).unwrap()
+            });
+            assert!(results[0].is_empty(), "rank 0 exscan is undefined/empty");
+            for (r, out) in results.iter().enumerate().skip(1) {
+                let expect: i32 = (1..=r as i32).sum();
+                assert_eq!(out, &vec![expect], "rank {r} of {n}");
+            }
+        }
+    }
+
+    #[test]
+    fn scan_with_max_gives_running_maximum() {
+        let results = run_ranks(6, |proc| {
+            let comm = proc.world_comm();
+            let v = [((proc.rank() as i32) * 7) % 5];
+            comm.scan(&v, Op::Max).unwrap()
+        });
+        let values: Vec<i32> = (0..6).map(|r| (r * 7) % 5).collect();
+        for (r, out) in results.iter().enumerate() {
+            let expect = values[..=r].iter().copied().max().unwrap();
+            assert_eq!(out[0], expect);
+        }
+    }
+
+    #[test]
+    fn multi_element_scan() {
+        let results = run_ranks(4, |proc| {
+            let comm = proc.world_comm();
+            let r = proc.rank() as i64;
+            comm.scan(&[r, 2 * r, 100], Op::Sum).unwrap()
+        });
+        for (r, out) in results.iter().enumerate() {
+            let s: i64 = (0..=r as i64).sum();
+            assert_eq!(out, &vec![s, 2 * s, 100 * (r as i64 + 1)]);
+        }
+    }
+}

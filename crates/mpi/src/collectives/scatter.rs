@@ -1,0 +1,162 @@
+//! Linear scatter.
+//!
+//! The root sends block `i` of its buffer to rank `i` (its own block is a
+//! local copy); every rank's future yields its block.
+
+use mpfa_core::{AsyncPoll, Completer, Request, Status};
+
+use crate::comm::Comm;
+use crate::datatype::{from_bytes, to_bytes, MpiType};
+use crate::error::{MpiError, MpiResult};
+use crate::matching::RecvSlot;
+use crate::sched::CollTask;
+
+use super::future::{CollFuture, CollOutput};
+
+enum ScatterState {
+    RootWait { sends: Vec<Request>, own: Vec<u8> },
+    LeafWait(Request, RecvSlot),
+}
+
+struct ScatterTask<T: MpiType> {
+    state: ScatterState,
+    out: CollOutput<T>,
+    completer: Option<Completer>,
+}
+
+impl<T: MpiType> ScatterTask<T> {
+    fn finish(&mut self, result: Vec<T>) -> AsyncPoll {
+        self.out.deposit(result);
+        if let Some(c) = self.completer.take() {
+            c.complete(Status::empty());
+        }
+        AsyncPoll::Done
+    }
+}
+
+impl<T: MpiType> CollTask for ScatterTask<T> {
+    fn advance(&mut self) -> AsyncPoll {
+        match &mut self.state {
+            ScatterState::RootWait { sends, own } => {
+                if !Request::all_complete(sends) {
+                    return AsyncPoll::Pending;
+                }
+                let own = std::mem::take(own);
+                self.finish(from_bytes(&own))
+            }
+            ScatterState::LeafWait(req, slot) => {
+                if !req.is_complete() {
+                    return AsyncPoll::Pending;
+                }
+                let bytes = slot.take();
+                self.finish(from_bytes(&bytes))
+            }
+        }
+    }
+}
+
+impl Comm {
+    /// Nonblocking scatter (`MPI_Iscatter`): the root supplies
+    /// `count * size` elements; every rank's future yields its
+    /// `count`-element block.
+    pub fn iscatter<T: MpiType>(
+        &self,
+        data: Option<&[T]>,
+        count: usize,
+        root: i32,
+    ) -> MpiResult<CollFuture<T>> {
+        if root < 0 || root as usize >= self.size() {
+            return Err(MpiError::InvalidRank { rank: root, size: self.size() });
+        }
+        let seq = self.next_coll_seq();
+        let tag = Comm::coll_tag(seq, 0);
+        let (req, completer) = Request::pair(self.stream());
+        let (fut, out) = CollFuture::<T>::pair(req);
+
+        let state = if self.rank() == root {
+            let data = data.ok_or(MpiError::CountMismatch {
+                got: 0,
+                expected: count * self.size(),
+            })?;
+            if data.len() != count * self.size() {
+                return Err(MpiError::CountMismatch {
+                    got: data.len(),
+                    expected: count * self.size(),
+                });
+            }
+            let mut own = Vec::new();
+            let mut sends = Vec::new();
+            for dst in 0..self.size() as i32 {
+                let block = &data[dst as usize * count..(dst as usize + 1) * count];
+                if dst == root {
+                    own = to_bytes(block);
+                } else {
+                    sends.push(self.isend_on_ctx(self.coll_ctx(), to_bytes(block), dst, tag));
+                }
+            }
+            ScatterState::RootWait { sends, own }
+        } else {
+            let (rreq, slot) =
+                self.irecv_on_ctx(self.coll_ctx(), count * T::SIZE, root, tag);
+            ScatterState::LeafWait(rreq, slot)
+        };
+
+        let task = ScatterTask { state, out, completer: Some(completer) };
+        self.bundle().sched.submit(Box::new(task));
+        Ok(fut)
+    }
+
+    /// Blocking scatter (`MPI_Scatter`).
+    pub fn scatter<T: MpiType>(
+        &self,
+        data: Option<&[T]>,
+        count: usize,
+        root: i32,
+    ) -> MpiResult<Vec<T>> {
+        Ok(self.iscatter(data, count, root)?.wait().0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::testutil::run_ranks;
+
+    #[test]
+    fn scatter_from_root0() {
+        for n in [1, 2, 4, 6] {
+            let results = run_ranks(n, |proc| {
+                let comm = proc.world_comm();
+                let data: Option<Vec<i32>> = if proc.rank() == 0 {
+                    Some((0..(2 * n) as i32).collect())
+                } else {
+                    None
+                };
+                comm.scatter(data.as_deref(), 2, 0).unwrap()
+            });
+            for (r, out) in results.iter().enumerate() {
+                assert_eq!(out, &vec![2 * r as i32, 2 * r as i32 + 1], "rank {r} of {n}");
+            }
+        }
+    }
+
+    #[test]
+    fn scatter_from_middle_root() {
+        let results = run_ranks(3, |proc| {
+            let comm = proc.world_comm();
+            let data = if proc.rank() == 1 { Some(vec![10.0f64, 20.0, 30.0]) } else { None };
+            comm.scatter(data.as_deref(), 1, 1).unwrap()
+        });
+        assert_eq!(results[0], vec![10.0]);
+        assert_eq!(results[1], vec![20.0]);
+        assert_eq!(results[2], vec![30.0]);
+    }
+
+    #[test]
+    fn scatter_count_mismatch() {
+        let results = run_ranks(1, |proc| {
+            let comm = proc.world_comm();
+            comm.iscatter(Some(&[1i32, 2, 3]), 2, 0).is_err()
+        });
+        assert!(results[0]);
+    }
+}

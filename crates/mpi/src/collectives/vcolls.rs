@@ -1,0 +1,307 @@
+//! Variable-count collectives: `MPI_Gatherv`, `MPI_Scatterv`,
+//! `MPI_Allgatherv`.
+//!
+//! Counts differ per rank, so the count vector is an argument on every
+//! rank (as in MPI, where `recvcounts`/`sendcounts` are significant at
+//! the root / everywhere). Algorithms are linear (gatherv/scatterv) and
+//! gather-then-bcast (allgatherv) — simple, correct baselines.
+
+use mpfa_core::{AsyncPoll, Completer, Request, Status};
+
+use crate::comm::Comm;
+use crate::datatype::{from_bytes, to_bytes, MpiType};
+use crate::error::{MpiError, MpiResult};
+use crate::matching::RecvSlot;
+use crate::sched::CollTask;
+
+use super::future::{CollFuture, CollOutput};
+
+enum VState {
+    /// Root of gatherv: per-source receive (None at own slot).
+    GatherRoot { recvs: Vec<Option<(Request, RecvSlot)>>, own: Vec<u8>, counts: Vec<usize> },
+    /// Non-root of gatherv / root of scatterv: wait for plain requests.
+    Sends(Vec<Request>),
+    /// Leaf of scatterv: one receive.
+    Recv(Request, RecvSlot),
+}
+
+struct VTask<T: MpiType> {
+    state: VState,
+    out: CollOutput<T>,
+    completer: Option<Completer>,
+    /// For the scatterv root: its own block, delivered at completion.
+    own_result: Vec<u8>,
+}
+
+impl<T: MpiType> VTask<T> {
+    fn finish(&mut self, result: Vec<T>) -> AsyncPoll {
+        self.out.deposit(result);
+        if let Some(c) = self.completer.take() {
+            c.complete(Status::empty());
+        }
+        AsyncPoll::Done
+    }
+}
+
+impl<T: MpiType> CollTask for VTask<T> {
+    fn advance(&mut self) -> AsyncPoll {
+        match &mut self.state {
+            VState::GatherRoot { recvs, own, counts } => {
+                let done = recvs
+                    .iter()
+                    .all(|r| r.as_ref().map(|(req, _)| req.is_complete()).unwrap_or(true));
+                if !done {
+                    return AsyncPoll::Pending;
+                }
+                let total: usize = counts.iter().sum();
+                let mut result: Vec<T> = Vec::with_capacity(total);
+                let own = std::mem::take(own);
+                let recvs = std::mem::take(recvs);
+                for entry in recvs.into_iter() {
+                    match entry {
+                        Some((_, slot)) => result.extend(from_bytes::<T>(&slot.take())),
+                        None => result.extend(from_bytes::<T>(&own)),
+                    }
+                }
+                self.finish(result)
+            }
+            VState::Sends(reqs) => {
+                if !Request::all_complete(reqs) {
+                    return AsyncPoll::Pending;
+                }
+                let own = std::mem::take(&mut self.own_result);
+                self.finish(from_bytes(&own))
+            }
+            VState::Recv(req, slot) => {
+                if !req.is_complete() {
+                    return AsyncPoll::Pending;
+                }
+                let bytes = slot.take();
+                self.finish(from_bytes(&bytes))
+            }
+        }
+    }
+}
+
+impl Comm {
+    /// Nonblocking `MPI_Igatherv`: every rank contributes `data`
+    /// (`counts[rank]` elements); the root's future yields the rank-order
+    /// concatenation.
+    pub fn igatherv<T: MpiType>(
+        &self,
+        data: &[T],
+        counts: &[usize],
+        root: i32,
+    ) -> MpiResult<CollFuture<T>> {
+        self.validate_v(counts, root)?;
+        if data.len() != counts[self.rank() as usize] {
+            return Err(MpiError::CountMismatch {
+                got: data.len(),
+                expected: counts[self.rank() as usize],
+            });
+        }
+        let seq = self.next_coll_seq();
+        let tag = Comm::coll_tag(seq, 0);
+        let (req, completer) = Request::pair(self.stream());
+        let (fut, out) = CollFuture::<T>::pair(req);
+
+        let task: VTask<T> = if self.rank() == root {
+            let recvs = (0..self.size() as i32)
+                .map(|src| {
+                    (src != root).then(|| {
+                        self.irecv_on_ctx(
+                            self.coll_ctx(),
+                            counts[src as usize] * T::SIZE,
+                            src,
+                            tag,
+                        )
+                    })
+                })
+                .collect();
+            VTask {
+                state: VState::GatherRoot {
+                    recvs,
+                    own: to_bytes(data),
+                    counts: counts.to_vec(),
+                },
+                out,
+                completer: Some(completer),
+                own_result: Vec::new(),
+            }
+        } else {
+            let sreq = self.isend_on_ctx(self.coll_ctx(), to_bytes(data), root, tag);
+            VTask {
+                state: VState::Sends(vec![sreq]),
+                out,
+                completer: Some(completer),
+                own_result: Vec::new(),
+            }
+        };
+        self.bundle().sched.submit(Box::new(task));
+        Ok(fut)
+    }
+
+    /// Blocking `MPI_Gatherv`. `Some(concatenation)` at the root.
+    pub fn gatherv<T: MpiType>(
+        &self,
+        data: &[T],
+        counts: &[usize],
+        root: i32,
+    ) -> MpiResult<Option<Vec<T>>> {
+        let (result, _) = self.igatherv(data, counts, root)?.wait();
+        Ok((self.rank() == root).then_some(result))
+    }
+
+    /// Nonblocking `MPI_Iscatterv`: the root supplies the concatenation
+    /// (`counts` elements per rank, in rank order); each rank's future
+    /// yields its `counts[rank]`-element block.
+    pub fn iscatterv<T: MpiType>(
+        &self,
+        data: Option<&[T]>,
+        counts: &[usize],
+        root: i32,
+    ) -> MpiResult<CollFuture<T>> {
+        self.validate_v(counts, root)?;
+        let seq = self.next_coll_seq();
+        let tag = Comm::coll_tag(seq, 0);
+        let (req, completer) = Request::pair(self.stream());
+        let (fut, out) = CollFuture::<T>::pair(req);
+
+        let task: VTask<T> = if self.rank() == root {
+            let total: usize = counts.iter().sum();
+            let data = data.ok_or(MpiError::CountMismatch { got: 0, expected: total })?;
+            if data.len() != total {
+                return Err(MpiError::CountMismatch { got: data.len(), expected: total });
+            }
+            let mut sends = Vec::new();
+            let mut own = Vec::new();
+            let mut off = 0usize;
+            for (dst, &count) in counts.iter().enumerate() {
+                let block = &data[off..off + count];
+                off += count;
+                if dst as i32 == root {
+                    own = to_bytes(block);
+                } else {
+                    sends.push(self.isend_on_ctx(
+                        self.coll_ctx(),
+                        to_bytes(block),
+                        dst as i32,
+                        tag,
+                    ));
+                }
+            }
+            VTask {
+                state: VState::Sends(sends),
+                out,
+                completer: Some(completer),
+                own_result: own,
+            }
+        } else {
+            let (rreq, slot) = self.irecv_on_ctx(
+                self.coll_ctx(),
+                counts[self.rank() as usize] * T::SIZE,
+                root,
+                tag,
+            );
+            VTask {
+                state: VState::Recv(rreq, slot),
+                out,
+                completer: Some(completer),
+                own_result: Vec::new(),
+            }
+        };
+        self.bundle().sched.submit(Box::new(task));
+        Ok(fut)
+    }
+
+    /// Blocking `MPI_Scatterv`.
+    pub fn scatterv<T: MpiType>(
+        &self,
+        data: Option<&[T]>,
+        counts: &[usize],
+        root: i32,
+    ) -> MpiResult<Vec<T>> {
+        Ok(self.iscatterv(data, counts, root)?.wait().0)
+    }
+
+    /// Blocking `MPI_Allgatherv` (gatherv to rank 0 + bcast of the
+    /// concatenation).
+    pub fn allgatherv<T: MpiType>(&self, data: &[T], counts: &[usize]) -> MpiResult<Vec<T>> {
+        let gathered = self.gatherv(data, counts, 0)?;
+        let total: usize = counts.iter().sum();
+        let mut buf = gathered.unwrap_or_default();
+        self.bcast(&mut buf, total, 0)?;
+        Ok(buf)
+    }
+
+    fn validate_v(&self, counts: &[usize], root: i32) -> MpiResult<()> {
+        if root < 0 || root as usize >= self.size() {
+            return Err(MpiError::InvalidRank { rank: root, size: self.size() });
+        }
+        if counts.len() != self.size() {
+            return Err(MpiError::CountMismatch { got: counts.len(), expected: self.size() });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::testutil::run_ranks;
+
+    #[test]
+    fn gatherv_variable_blocks() {
+        let results = run_ranks(4, |proc| {
+            let comm = proc.world_comm();
+            let counts = vec![1usize, 2, 3, 4];
+            let r = proc.rank() as i32;
+            let data: Vec<i32> = (0..counts[r as usize] as i32).map(|i| r * 10 + i).collect();
+            comm.gatherv(&data, &counts, 2).unwrap()
+        });
+        assert_eq!(
+            results[2],
+            Some(vec![0, 10, 11, 20, 21, 22, 30, 31, 32, 33])
+        );
+        assert!(results[0].is_none());
+    }
+
+    #[test]
+    fn scatterv_variable_blocks() {
+        let results = run_ranks(3, |proc| {
+            let comm = proc.world_comm();
+            let counts = vec![2usize, 0, 3];
+            let data = (proc.rank() == 0)
+                .then(|| vec![1i64, 2, 30, 31, 32]);
+            comm.scatterv(data.as_deref(), &counts, 0).unwrap()
+        });
+        assert_eq!(results[0], vec![1, 2]);
+        assert_eq!(results[1], Vec::<i64>::new());
+        assert_eq!(results[2], vec![30, 31, 32]);
+    }
+
+    #[test]
+    fn allgatherv_roundtrip() {
+        let results = run_ranks(3, |proc| {
+            let comm = proc.world_comm();
+            let counts = vec![3usize, 1, 2];
+            let r = proc.rank();
+            let data: Vec<u16> =
+                (0..counts[r] as u16).map(|i| (r as u16) * 100 + i).collect();
+            comm.allgatherv(&data, &counts).unwrap()
+        });
+        let expect = vec![0u16, 1, 2, 100, 200, 201];
+        for out in results {
+            assert_eq!(out, expect);
+        }
+    }
+
+    #[test]
+    fn gatherv_validates_counts() {
+        let results = run_ranks(2, |proc| {
+            let comm = proc.world_comm();
+            comm.igatherv(&[1i32], &[1], 0).is_err() // counts.len() != size
+                && comm.igatherv(&[1i32, 2], &[1, 1], 0).is_err() // own count mismatch
+        });
+        assert!(results.iter().all(|&e| e));
+    }
+}

@@ -1,0 +1,270 @@
+//! Typed data on the wire: the fixed-size element types the runtime can
+//! transfer, plus non-contiguous layouts served by the datatype engine.
+//!
+//! The runtime moves raw bytes; [`MpiType`] defines the safe
+//! bytes↔elements conversions (native endianness — all ranks share the
+//! process). [`Layout`] describes non-contiguous data (the `MPI_Type_vector`
+//! family); packing/unpacking a non-contiguous layout is an *asynchronous*
+//! job executed in segments by the datatype engine hook
+//! ([`crate::dtengine`]), mirroring MPICH's async pack/unpack subsystem.
+
+/// A fixed-size element type the runtime can send and receive.
+///
+/// Implementations must be plain values: `SIZE` bytes round-trip exactly
+/// through [`MpiType::write_to`] / [`MpiType::read_from`].
+pub trait MpiType: Copy + Send + Sync + PartialEq + std::fmt::Debug + 'static {
+    /// Serialized size in bytes.
+    const SIZE: usize;
+    /// Human-readable type name (used in diagnostics and dispatch).
+    const NAME: &'static str;
+    /// Write this value's bytes into `out` (exactly `SIZE` bytes).
+    fn write_to(&self, out: &mut [u8]);
+    /// Read one value from `from` (exactly `SIZE` bytes).
+    fn read_from(from: &[u8]) -> Self;
+}
+
+macro_rules! impl_mpi_type {
+    ($($t:ty => $name:literal),* $(,)?) => {
+        $(
+            impl MpiType for $t {
+                const SIZE: usize = std::mem::size_of::<$t>();
+                const NAME: &'static str = $name;
+                #[inline]
+                fn write_to(&self, out: &mut [u8]) {
+                    out[..Self::SIZE].copy_from_slice(&self.to_ne_bytes());
+                }
+                #[inline]
+                fn read_from(from: &[u8]) -> Self {
+                    let mut buf = [0u8; std::mem::size_of::<$t>()];
+                    buf.copy_from_slice(&from[..Self::SIZE]);
+                    <$t>::from_ne_bytes(buf)
+                }
+            }
+        )*
+    };
+}
+
+impl_mpi_type! {
+    u8 => "u8", i8 => "i8",
+    u16 => "u16", i16 => "i16",
+    u32 => "u32", i32 => "i32",
+    u64 => "u64", i64 => "i64",
+    f32 => "f32", f64 => "f64",
+    usize => "usize", isize => "isize",
+}
+
+/// Serialize a typed slice to bytes.
+pub fn to_bytes<T: MpiType>(data: &[T]) -> Vec<u8> {
+    let mut out = vec![0u8; data.len() * T::SIZE];
+    for (i, v) in data.iter().enumerate() {
+        v.write_to(&mut out[i * T::SIZE..(i + 1) * T::SIZE]);
+    }
+    out
+}
+
+/// Deserialize bytes into a typed vector. Panics if `bytes` is not a
+/// multiple of the element size.
+pub fn from_bytes<T: MpiType>(bytes: &[u8]) -> Vec<T> {
+    assert!(
+        bytes.len().is_multiple_of(T::SIZE),
+        "byte length {} not a multiple of {} ({})",
+        bytes.len(),
+        T::SIZE,
+        T::NAME
+    );
+    bytes
+        .chunks_exact(T::SIZE)
+        .map(T::read_from)
+        .collect()
+}
+
+/// Deserialize bytes into an existing typed slice (exact fit required).
+pub fn read_into<T: MpiType>(bytes: &[u8], out: &mut [T]) {
+    assert_eq!(bytes.len(), out.len() * T::SIZE, "size mismatch in read_into");
+    for (i, slot) in out.iter_mut().enumerate() {
+        *slot = T::read_from(&bytes[i * T::SIZE..(i + 1) * T::SIZE]);
+    }
+}
+
+/// A data layout over a typed buffer — the derived-datatype subset the
+/// runtime understands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Layout {
+    /// `count` consecutive elements.
+    Contiguous {
+        /// Number of elements.
+        count: usize,
+    },
+    /// `count` blocks of `blocklen` elements, block `i` starting at element
+    /// `i * stride` — `MPI_Type_vector(count, blocklen, stride)`.
+    Vector {
+        /// Number of blocks.
+        count: usize,
+        /// Elements per block.
+        blocklen: usize,
+        /// Elements between block starts (must be >= `blocklen`).
+        stride: usize,
+    },
+}
+
+impl Layout {
+    /// Number of elements the layout selects.
+    pub fn element_count(&self) -> usize {
+        match *self {
+            Layout::Contiguous { count } => count,
+            Layout::Vector { count, blocklen, .. } => count * blocklen,
+        }
+    }
+
+    /// Minimum length of the underlying buffer (in elements) this layout
+    /// touches.
+    pub fn extent(&self) -> usize {
+        match *self {
+            Layout::Contiguous { count } => count,
+            Layout::Vector { count, blocklen, stride } => {
+                if count == 0 {
+                    0
+                } else {
+                    (count - 1) * stride + blocklen
+                }
+            }
+        }
+    }
+
+    /// Validate the layout against a buffer length; panics on misuse.
+    pub fn check(&self, buffer_len: usize) {
+        if let Layout::Vector { blocklen, stride, .. } = *self {
+            assert!(stride >= blocklen, "vector stride {stride} < blocklen {blocklen}");
+        }
+        assert!(
+            self.extent() <= buffer_len,
+            "layout extent {} exceeds buffer of {} elements",
+            self.extent(),
+            buffer_len
+        );
+    }
+
+    /// Pack the selected elements of `data` into a dense vector.
+    /// (The synchronous reference implementation; the datatype engine does
+    /// the same work incrementally.)
+    pub fn pack<T: MpiType>(&self, data: &[T]) -> Vec<T> {
+        self.check(data.len());
+        match *self {
+            Layout::Contiguous { count } => data[..count].to_vec(),
+            Layout::Vector { count, blocklen, stride } => {
+                let mut out = Vec::with_capacity(count * blocklen);
+                for b in 0..count {
+                    let start = b * stride;
+                    out.extend_from_slice(&data[start..start + blocklen]);
+                }
+                out
+            }
+        }
+    }
+
+    /// Unpack a dense vector into the selected elements of `data`.
+    pub fn unpack<T: MpiType>(&self, packed: &[T], data: &mut [T]) {
+        self.check(data.len());
+        assert_eq!(packed.len(), self.element_count(), "packed length mismatch");
+        match *self {
+            Layout::Contiguous { count } => data[..count].copy_from_slice(packed),
+            Layout::Vector { count, blocklen, stride } => {
+                for b in 0..count {
+                    let start = b * stride;
+                    data[start..start + blocklen]
+                        .copy_from_slice(&packed[b * blocklen..(b + 1) * blocklen]);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_scalars() {
+        fn rt<T: MpiType>(v: T) {
+            let mut buf = vec![0u8; T::SIZE];
+            v.write_to(&mut buf);
+            assert_eq!(T::read_from(&buf), v);
+        }
+        rt(42i32);
+        rt(-7i64);
+        rt(3.25f64);
+        rt(1.5f32);
+        rt(255u8);
+        rt(65535u16);
+        rt(usize::MAX);
+    }
+
+    #[test]
+    fn roundtrip_slices() {
+        let data: Vec<i32> = (-50..50).collect();
+        let bytes = to_bytes(&data);
+        assert_eq!(bytes.len(), 100 * 4);
+        let back: Vec<i32> = from_bytes(&bytes);
+        assert_eq!(back, data);
+    }
+
+    #[test]
+    fn read_into_slice() {
+        let data = [1.0f64, 2.0, 3.0];
+        let bytes = to_bytes(&data);
+        let mut out = [0.0f64; 3];
+        read_into(&bytes, &mut out);
+        assert_eq!(out, data);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a multiple")]
+    fn from_bytes_rejects_ragged() {
+        let _: Vec<i32> = from_bytes(&[1, 2, 3]);
+    }
+
+    #[test]
+    fn contiguous_layout() {
+        let l = Layout::Contiguous { count: 4 };
+        assert_eq!(l.element_count(), 4);
+        assert_eq!(l.extent(), 4);
+        let data = [1, 2, 3, 4, 5];
+        assert_eq!(l.pack(&data), vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn vector_layout_pack_unpack() {
+        // 3 blocks of 2 out of stride 4: indices 0,1, 4,5, 8,9
+        let l = Layout::Vector { count: 3, blocklen: 2, stride: 4 };
+        assert_eq!(l.element_count(), 6);
+        assert_eq!(l.extent(), 10);
+        let data: Vec<i32> = (0..10).collect();
+        let packed = l.pack(&data);
+        assert_eq!(packed, vec![0, 1, 4, 5, 8, 9]);
+
+        let mut out = vec![0i32; 10];
+        l.unpack(&packed, &mut out);
+        assert_eq!(out, vec![0, 1, 0, 0, 4, 5, 0, 0, 8, 9]);
+    }
+
+    #[test]
+    fn empty_vector_layout() {
+        let l = Layout::Vector { count: 0, blocklen: 3, stride: 5 };
+        assert_eq!(l.extent(), 0);
+        assert_eq!(l.pack(&[0i32; 0]), Vec::<i32>::new());
+    }
+
+    #[test]
+    #[should_panic(expected = "stride")]
+    fn overlapping_vector_rejected() {
+        let l = Layout::Vector { count: 2, blocklen: 4, stride: 2 };
+        l.check(100);
+    }
+
+    #[test]
+    #[should_panic(expected = "extent")]
+    fn oversized_layout_rejected() {
+        let l = Layout::Contiguous { count: 10 };
+        l.check(5);
+    }
+}

@@ -1,0 +1,88 @@
+//! Error type for runtime operations.
+
+use std::fmt;
+
+/// Errors surfaced by the message-passing runtime.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MpiError {
+    /// A rank argument was outside the communicator.
+    InvalidRank {
+        /// The offending rank.
+        rank: i32,
+        /// The communicator size.
+        size: usize,
+    },
+    /// A tag argument was invalid (negative tags are reserved for
+    /// wildcards and internal protocols).
+    InvalidTag(i32),
+    /// A receive buffer was smaller than the matched message.
+    Truncation {
+        /// Bytes in the incoming message.
+        incoming: usize,
+        /// Bytes the receive can hold.
+        capacity: usize,
+    },
+    /// A count mismatch in a collective (all ranks must agree).
+    CountMismatch {
+        /// What this rank supplied.
+        got: usize,
+        /// What the operation required.
+        expected: usize,
+    },
+    /// The operation is not supported for the datatype (e.g. bitwise ops
+    /// on floats).
+    BadOpForType(&'static str),
+    /// The operation timed out (used by test harnesses; the runtime itself
+    /// never gives up).
+    Timeout(&'static str),
+    /// Internal protocol violation — indicates a bug, preserved in the
+    /// error path rather than a panic so tests can assert on it.
+    Protocol(String),
+}
+
+impl fmt::Display for MpiError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MpiError::InvalidRank { rank, size } => {
+                write!(f, "invalid rank {rank} for communicator of size {size}")
+            }
+            MpiError::InvalidTag(tag) => write!(f, "invalid tag {tag}"),
+            MpiError::Truncation { incoming, capacity } => write!(
+                f,
+                "message truncated: {incoming} bytes arriving into {capacity}-byte buffer"
+            ),
+            MpiError::CountMismatch { got, expected } => {
+                write!(f, "count mismatch: got {got}, expected {expected}")
+            }
+            MpiError::BadOpForType(what) => write!(f, "operation not defined: {what}"),
+            MpiError::Timeout(what) => write!(f, "timed out: {what}"),
+            MpiError::Protocol(what) => write!(f, "protocol violation: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for MpiError {}
+
+/// Result alias for runtime operations.
+pub type MpiResult<T> = Result<T, MpiError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(MpiError::InvalidRank { rank: 9, size: 4 }.to_string().contains("9"));
+        assert!(MpiError::Truncation { incoming: 10, capacity: 4 }
+            .to_string()
+            .contains("truncated"));
+        assert!(MpiError::InvalidTag(-3).to_string().contains("-3"));
+        assert!(MpiError::Timeout("barrier").to_string().contains("barrier"));
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn takes_err(_e: &dyn std::error::Error) {}
+        takes_err(&MpiError::InvalidTag(1));
+    }
+}

@@ -1,0 +1,349 @@
+//! The tag-matching engine: posted-receive and unexpected-message queues
+//! for one communicator context.
+//!
+//! Classic MPI matching rules: an incoming message `(src, tag)` matches the
+//! *first* posted receive (in post order) whose source and tag fields equal
+//! the message's or are wildcards; a posted receive matches the *first*
+//! compatible unexpected message (in arrival order). Per-sender FIFO is
+//! inherited from the fabric's per-channel FIFO delivery.
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+use mpfa_core::Completer;
+use parking_lot::Mutex;
+
+/// Wildcard source (`MPI_ANY_SOURCE`).
+pub const ANY_SOURCE: i32 = -1;
+/// Wildcard tag (`MPI_ANY_TAG`).
+pub const ANY_TAG: i32 = -1;
+
+/// Destination buffer of an in-progress receive, shared between the posting
+/// context and the progress hooks that fill it.
+#[derive(Clone, Default)]
+pub struct RecvSlot {
+    data: Arc<Mutex<Vec<u8>>>,
+}
+
+impl RecvSlot {
+    /// An empty slot.
+    pub fn new() -> RecvSlot {
+        RecvSlot::default()
+    }
+
+    /// Replace the slot contents wholesale (eager path).
+    pub fn set(&self, bytes: Vec<u8>) {
+        *self.data.lock() = bytes;
+    }
+
+    /// Ensure capacity `total` and copy `bytes` at `offset` (rendezvous
+    /// chunk path).
+    pub fn write_at(&self, total: usize, offset: usize, bytes: &[u8]) {
+        let mut data = self.data.lock();
+        if data.len() < total {
+            data.resize(total, 0);
+        }
+        data[offset..offset + bytes.len()].copy_from_slice(bytes);
+    }
+
+    /// Take the accumulated bytes out of the slot.
+    pub fn take(&self) -> Vec<u8> {
+        std::mem::take(&mut *self.data.lock())
+    }
+
+    /// Current byte length.
+    pub fn len(&self) -> usize {
+        self.data.lock().len()
+    }
+
+    /// True if nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// A receive posted by the application, waiting in the matching engine.
+pub struct PostedRecv {
+    /// Requested source (communicator rank) or [`ANY_SOURCE`].
+    pub src: i32,
+    /// Requested tag or [`ANY_TAG`].
+    pub tag: i32,
+    /// Receive capacity in bytes; larger incoming messages are a
+    /// truncation error (fatal, as under `MPI_ERRORS_ARE_FATAL`).
+    pub capacity: usize,
+    /// Where the payload lands.
+    pub slot: RecvSlot,
+    /// Completes the application's request.
+    pub completer: Completer,
+}
+
+impl PostedRecv {
+    fn matches(&self, src: i32, tag: i32) -> bool {
+        (self.src == ANY_SOURCE || self.src == src) && (self.tag == ANY_TAG || self.tag == tag)
+    }
+}
+
+/// A message that arrived before its receive was posted.
+pub enum Unexpected {
+    /// A complete eager payload (Figure 1(d): "eager unexpected receive").
+    Eager {
+        /// Sender's communicator rank.
+        src: i32,
+        /// Message tag.
+        tag: i32,
+        /// Full payload.
+        data: Vec<u8>,
+    },
+    /// A rendezvous announcement whose CTS we must defer until a receive
+    /// is posted.
+    Rts {
+        /// Sender's communicator rank.
+        src: i32,
+        /// Message tag.
+        tag: i32,
+        /// Sender-side request id (echoed in the CTS).
+        send_id: u64,
+        /// Total transfer size.
+        total: usize,
+        /// Wire endpoint index to send the CTS to.
+        reply_ep: usize,
+    },
+}
+
+impl Unexpected {
+    /// Sender rank of the pending message.
+    pub fn src(&self) -> i32 {
+        match self {
+            Unexpected::Eager { src, .. } | Unexpected::Rts { src, .. } => *src,
+        }
+    }
+
+    /// Tag of the pending message.
+    pub fn tag(&self) -> i32 {
+        match self {
+            Unexpected::Eager { tag, .. } | Unexpected::Rts { tag, .. } => *tag,
+        }
+    }
+
+    /// Payload size of the pending message.
+    pub fn bytes(&self) -> usize {
+        match self {
+            Unexpected::Eager { data, .. } => data.len(),
+            Unexpected::Rts { total, .. } => *total,
+        }
+    }
+
+    fn matched_by(&self, recv: &PostedRecv) -> bool {
+        recv.matches(self.src(), self.tag())
+    }
+}
+
+/// Matching state of one communicator context.
+#[derive(Default)]
+pub struct MatchState {
+    posted: VecDeque<PostedRecv>,
+    unexpected: VecDeque<Unexpected>,
+}
+
+impl MatchState {
+    /// Fresh, empty state.
+    pub fn new() -> MatchState {
+        MatchState::default()
+    }
+
+    /// Try to satisfy `recv` from the unexpected queue. If an unexpected
+    /// message matches, it is removed and returned with the receive;
+    /// otherwise the receive is enqueued.
+    pub fn post_recv(&mut self, recv: PostedRecv) -> Option<(PostedRecv, Unexpected)> {
+        if let Some(pos) = self.unexpected.iter().position(|u| u.matched_by(&recv)) {
+            let unexpected = self.unexpected.remove(pos).expect("position valid");
+            Some((recv, unexpected))
+        } else {
+            self.posted.push_back(recv);
+            None
+        }
+    }
+
+    /// Try to match an incoming message against the posted queue. The
+    /// first matching receive (post order) is removed and returned.
+    pub fn match_incoming(&mut self, src: i32, tag: i32) -> Option<PostedRecv> {
+        let pos = self.posted.iter().position(|r| r.matches(src, tag))?;
+        self.posted.remove(pos)
+    }
+
+    /// Queue a message that matched nothing.
+    pub fn push_unexpected(&mut self, msg: Unexpected) {
+        self.unexpected.push_back(msg);
+    }
+
+    /// Number of posted receives waiting.
+    pub fn posted_len(&self) -> usize {
+        self.posted.len()
+    }
+
+    /// Number of unexpected messages waiting.
+    pub fn unexpected_len(&self) -> usize {
+        self.unexpected.len()
+    }
+
+    /// Peek for a matching unexpected message (probe semantics) using the
+    /// wildcard-aware predicate. Returns `(src, tag, bytes)`.
+    pub fn probe_unexpected(&self, src: i32, tag: i32) -> Option<(i32, i32, usize)> {
+        self.unexpected
+            .iter()
+            .find(|u| {
+                (src == ANY_SOURCE || src == u.src()) && (tag == ANY_TAG || tag == u.tag())
+            })
+            .map(|u| (u.src(), u.tag(), u.bytes()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpfa_core::{Request, Stream};
+
+    fn posted(src: i32, tag: i32) -> (PostedRecv, Request) {
+        let stream = Stream::create();
+        let (req, completer) = Request::pair(&stream);
+        (
+            PostedRecv { src, tag, capacity: 1 << 20, slot: RecvSlot::new(), completer },
+            req,
+        )
+    }
+
+    fn eager(src: i32, tag: i32, n: usize) -> Unexpected {
+        Unexpected::Eager { src, tag, data: vec![0xAB; n] }
+    }
+
+    #[test]
+    fn recv_slot_roundtrip() {
+        let slot = RecvSlot::new();
+        assert!(slot.is_empty());
+        slot.set(vec![1, 2, 3]);
+        assert_eq!(slot.len(), 3);
+        assert_eq!(slot.take(), vec![1, 2, 3]);
+        assert!(slot.is_empty());
+    }
+
+    #[test]
+    fn recv_slot_chunked_assembly() {
+        let slot = RecvSlot::new();
+        slot.write_at(6, 3, &[4, 5, 6]);
+        slot.write_at(6, 0, &[1, 2, 3]);
+        assert_eq!(slot.take(), vec![1, 2, 3, 4, 5, 6]);
+    }
+
+    #[test]
+    fn exact_match_prefers_first_posted() {
+        let mut m = MatchState::new();
+        let (r1, _q1) = posted(0, 5);
+        let (r2, _q2) = posted(0, 5);
+        m.post_recv(r1);
+        m.post_recv(r2);
+        assert_eq!(m.posted_len(), 2);
+        let hit = m.match_incoming(0, 5).expect("match");
+        // First posted wins; the remaining one is the second.
+        assert_eq!(m.posted_len(), 1);
+        drop(hit);
+    }
+
+    #[test]
+    fn wildcard_source_and_tag() {
+        let mut m = MatchState::new();
+        let (r, _q) = posted(ANY_SOURCE, ANY_TAG);
+        m.post_recv(r);
+        assert!(m.match_incoming(3, 17).is_some());
+        assert!(m.match_incoming(3, 17).is_none());
+    }
+
+    #[test]
+    fn no_match_on_wrong_tag() {
+        let mut m = MatchState::new();
+        let (r, _q) = posted(0, 5);
+        m.post_recv(r);
+        assert!(m.match_incoming(0, 6).is_none());
+        assert_eq!(m.posted_len(), 1);
+    }
+
+    #[test]
+    fn unexpected_consumed_by_matching_post() {
+        let mut m = MatchState::new();
+        m.push_unexpected(eager(2, 9, 16));
+        let (r, _q) = posted(2, 9);
+        let (recv, unexp) = m.post_recv(r).expect("should match unexpected");
+        assert_eq!(unexp.src(), 2);
+        assert_eq!(unexp.bytes(), 16);
+        assert_eq!(m.unexpected_len(), 0);
+        drop(recv);
+    }
+
+    #[test]
+    fn unexpected_fifo_order_for_wildcards() {
+        let mut m = MatchState::new();
+        m.push_unexpected(eager(1, 7, 4));
+        m.push_unexpected(eager(2, 7, 8));
+        let (r, _q) = posted(ANY_SOURCE, 7);
+        let (_recv, unexp) = m.post_recv(r).unwrap();
+        assert_eq!(unexp.src(), 1, "earliest unexpected must match first");
+        assert_eq!(m.unexpected_len(), 1);
+    }
+
+    #[test]
+    fn non_matching_unexpected_skipped() {
+        let mut m = MatchState::new();
+        m.push_unexpected(eager(1, 7, 4));
+        m.push_unexpected(eager(1, 8, 4));
+        let (r, _q) = posted(1, 8);
+        let (_recv, unexp) = m.post_recv(r).unwrap();
+        assert_eq!(unexp.tag(), 8);
+        assert_eq!(m.unexpected_len(), 1);
+    }
+
+    #[test]
+    fn rts_unexpected_carries_protocol_fields() {
+        let mut m = MatchState::new();
+        m.push_unexpected(Unexpected::Rts {
+            src: 4,
+            tag: 2,
+            send_id: 77,
+            total: 1 << 20,
+            reply_ep: 12,
+        });
+        let (r, _q) = posted(4, ANY_TAG);
+        let (_recv, unexp) = m.post_recv(r).unwrap();
+        match unexp {
+            Unexpected::Rts { send_id, total, reply_ep, .. } => {
+                assert_eq!(send_id, 77);
+                assert_eq!(total, 1 << 20);
+                assert_eq!(reply_ep, 12);
+            }
+            Unexpected::Eager { .. } => panic!("wrong variant"),
+        }
+    }
+
+    #[test]
+    fn probe_peeks_without_consuming() {
+        let mut m = MatchState::new();
+        assert!(m.probe_unexpected(ANY_SOURCE, ANY_TAG).is_none());
+        m.push_unexpected(eager(3, 11, 24));
+        assert_eq!(m.probe_unexpected(3, 11), Some((3, 11, 24)));
+        assert_eq!(m.probe_unexpected(ANY_SOURCE, ANY_TAG), Some((3, 11, 24)));
+        assert!(m.probe_unexpected(2, 11).is_none());
+        assert_eq!(m.unexpected_len(), 1);
+    }
+
+    #[test]
+    fn wildcard_post_vs_specific_post_ordering() {
+        // A specific receive posted first must win over a later wildcard.
+        let mut m = MatchState::new();
+        let (specific, sq) = posted(1, 1);
+        let (wild, wq) = posted(ANY_SOURCE, ANY_TAG);
+        m.post_recv(specific);
+        m.post_recv(wild);
+        let hit = m.match_incoming(1, 1).unwrap();
+        hit.completer.complete_empty();
+        assert!(sq.is_complete());
+        assert!(!wq.is_complete());
+    }
+}

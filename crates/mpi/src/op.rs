@@ -1,0 +1,178 @@
+//! Reduction operations over [`MpiType`] elements.
+//!
+//! The *native* collective path dispatches through [`Op::apply`] — a match
+//! plus per-element closure indirection. This generality is deliberately
+//! preserved: the paper's Figure 13 attributes part of the native
+//! `MPI_Iallreduce` cost to exactly this ("restricting to `MPI_INT` and
+//! `MPI_SUM` avoids a datatype switch and the function-call overhead of
+//! calling an operation function"), and the user-level allreduce in
+//! `mpfa-interop` wins by hardcoding `i32`/`+`.
+
+use crate::datatype::MpiType;
+use crate::error::{MpiError, MpiResult};
+
+/// Built-in reduction operations (`MPI_Op`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Op {
+    /// `MPI_SUM`
+    Sum,
+    /// `MPI_PROD`
+    Prod,
+    /// `MPI_MAX`
+    Max,
+    /// `MPI_MIN`
+    Min,
+    /// `MPI_BAND` (integers only)
+    Band,
+    /// `MPI_BOR` (integers only)
+    Bor,
+    /// `MPI_BXOR` (integers only)
+    Bxor,
+}
+
+/// Element types reducible by the built-in operations.
+pub trait Reducible: MpiType {
+    /// `inout[i] = op(inout[i], input[i])` for all i.
+    fn reduce(op: Op, inout: &mut [Self], input: &[Self]) -> MpiResult<()>;
+}
+
+macro_rules! impl_reducible_int {
+    ($($t:ty),*) => {
+        $(
+            impl Reducible for $t {
+                fn reduce(op: Op, inout: &mut [Self], input: &[Self]) -> MpiResult<()> {
+                    assert_eq!(inout.len(), input.len(), "reduce length mismatch");
+                    let f: fn(Self, Self) -> Self = match op {
+                        Op::Sum => |a, b| a.wrapping_add(b),
+                        Op::Prod => |a, b| a.wrapping_mul(b),
+                        Op::Max => |a, b| if a >= b { a } else { b },
+                        Op::Min => |a, b| if a <= b { a } else { b },
+                        Op::Band => |a, b| a & b,
+                        Op::Bor => |a, b| a | b,
+                        Op::Bxor => |a, b| a ^ b,
+                    };
+                    for (x, y) in inout.iter_mut().zip(input) {
+                        *x = f(*x, *y);
+                    }
+                    Ok(())
+                }
+            }
+        )*
+    };
+}
+
+impl_reducible_int!(u8, i8, u16, i16, u32, i32, u64, i64, usize, isize);
+
+macro_rules! impl_reducible_float {
+    ($($t:ty),*) => {
+        $(
+            impl Reducible for $t {
+                fn reduce(op: Op, inout: &mut [Self], input: &[Self]) -> MpiResult<()> {
+                    assert_eq!(inout.len(), input.len(), "reduce length mismatch");
+                    let f: fn(Self, Self) -> Self = match op {
+                        Op::Sum => |a, b| a + b,
+                        Op::Prod => |a, b| a * b,
+                        Op::Max => |a, b| a.max(b),
+                        Op::Min => |a, b| a.min(b),
+                        Op::Band | Op::Bor | Op::Bxor => {
+                            return Err(MpiError::BadOpForType(
+                                "bitwise reduction on floating-point type",
+                            ))
+                        }
+                    };
+                    for (x, y) in inout.iter_mut().zip(input) {
+                        *x = f(*x, *y);
+                    }
+                    Ok(())
+                }
+            }
+        )*
+    };
+}
+
+impl_reducible_float!(f32, f64);
+
+impl Op {
+    /// Apply this operation element-wise: `inout[i] = op(inout[i], input[i])`.
+    pub fn apply<T: Reducible>(self, inout: &mut [T], input: &[T]) -> MpiResult<()> {
+        T::reduce(self, inout, input)
+    }
+
+    /// Whether the op is commutative (all built-ins are).
+    pub fn is_commutative(self) -> bool {
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sum_ints() {
+        let mut a = vec![1i32, 2, 3];
+        Op::Sum.apply(&mut a, &[10, 20, 30]).unwrap();
+        assert_eq!(a, vec![11, 22, 33]);
+    }
+
+    #[test]
+    fn prod_wraps() {
+        let mut a = vec![i32::MAX];
+        Op::Prod.apply(&mut a, &[2]).unwrap();
+        assert_eq!(a, vec![i32::MAX.wrapping_mul(2)]);
+    }
+
+    #[test]
+    fn max_min() {
+        let mut a = vec![5i64, -5];
+        Op::Max.apply(&mut a, &[3, 3]).unwrap();
+        assert_eq!(a, vec![5, 3]);
+        let mut b = vec![5i64, -5];
+        Op::Min.apply(&mut b, &[3, 3]).unwrap();
+        assert_eq!(b, vec![3, -5]);
+    }
+
+    #[test]
+    fn bitwise_on_ints() {
+        let mut a = vec![0b1100u8];
+        Op::Band.apply(&mut a, &[0b1010]).unwrap();
+        assert_eq!(a, vec![0b1000]);
+        let mut b = vec![0b1100u8];
+        Op::Bor.apply(&mut b, &[0b1010]).unwrap();
+        assert_eq!(b, vec![0b1110]);
+        let mut c = vec![0b1100u8];
+        Op::Bxor.apply(&mut c, &[0b1010]).unwrap();
+        assert_eq!(c, vec![0b0110]);
+    }
+
+    #[test]
+    fn float_sum_and_max() {
+        let mut a = vec![1.5f64, 2.5];
+        Op::Sum.apply(&mut a, &[0.5, 0.5]).unwrap();
+        assert_eq!(a, vec![2.0, 3.0]);
+        let mut b = vec![1.0f32];
+        Op::Max.apply(&mut b, &[2.0]).unwrap();
+        assert_eq!(b, vec![2.0]);
+    }
+
+    #[test]
+    fn bitwise_on_floats_rejected() {
+        let mut a = vec![1.0f64];
+        let err = Op::Band.apply(&mut a, &[2.0]).unwrap_err();
+        assert!(matches!(err, MpiError::BadOpForType(_)));
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_lengths_panic() {
+        let mut a = vec![1i32];
+        let _ = Op::Sum.apply(&mut a, &[1, 2]);
+    }
+
+    #[test]
+    fn all_ops_commutative() {
+        for op in [Op::Sum, Op::Prod, Op::Max, Op::Min, Op::Band, Op::Bor, Op::Bxor] {
+            assert!(op.is_commutative());
+        }
+    }
+}

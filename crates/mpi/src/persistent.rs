@@ -1,0 +1,224 @@
+//! Persistent point-to-point requests (`MPI_Send_init` / `MPI_Recv_init`
+//! / `MPI_Start`), the classic amortize-the-setup API.
+//!
+//! The related-work discussion (paper §5.3) centers on persistent
+//! *collectives* (MPIX_Schedule rounds are "for the repeated invocation of
+//! the algorithm"); persistent point-to-point is the foundation both
+//! build on. A persistent handle validates arguments once; each
+//! [`PersistentSend::start`] / [`PersistentRecv::start`] re-issues the
+//! operation.
+
+use mpfa_core::{Request, Status};
+
+use crate::comm::Comm;
+use crate::datatype::{to_bytes, MpiType};
+use crate::error::{MpiError, MpiResult};
+use crate::recv::RecvRequest;
+
+/// A persistent send: captured buffer + destination, re-startable.
+pub struct PersistentSend<T: MpiType> {
+    comm: Comm,
+    data: Vec<T>,
+    dst: i32,
+    tag: i32,
+    active: Option<Request>,
+}
+
+impl<T: MpiType> PersistentSend<T> {
+    /// The send buffer; mutate it between rounds (erroneous while a round
+    /// is active, like touching an MPI send buffer mid-flight — here it
+    /// is merely stale data, since starts snapshot the buffer).
+    pub fn buffer_mut(&mut self) -> &mut Vec<T> {
+        &mut self.data
+    }
+
+    /// The send buffer (read access).
+    pub fn buffer(&self) -> &[T] {
+        &self.data
+    }
+
+    /// `MPI_Start`: issue one round. Errors if the previous round has not
+    /// completed (MPI calls this erroneous).
+    pub fn start(&mut self) -> MpiResult<Request> {
+        if let Some(prev) = &self.active {
+            if !prev.is_complete() {
+                return Err(MpiError::Protocol(
+                    "MPI_Start on a persistent send with an active round".into(),
+                ));
+            }
+        }
+        let req = self.comm.isend_on_ctx(
+            self.comm.ptp_ctx(),
+            to_bytes(&self.data),
+            self.dst,
+            self.tag,
+        );
+        self.active = Some(req.clone());
+        Ok(req)
+    }
+
+    /// The in-flight round's request, if any.
+    pub fn active(&self) -> Option<&Request> {
+        self.active.as_ref()
+    }
+}
+
+/// A persistent receive: capacity + match pattern, re-startable.
+pub struct PersistentRecv<T: MpiType> {
+    comm: Comm,
+    count: usize,
+    src: i32,
+    tag: i32,
+    active: Option<RecvRequest<T>>,
+}
+
+impl<T: MpiType> PersistentRecv<T> {
+    /// `MPI_Start`: post one receive round. Errors if the previous round
+    /// is still active.
+    pub fn start(&mut self) -> MpiResult<()> {
+        if let Some(prev) = &self.active {
+            if !prev.is_complete() {
+                return Err(MpiError::Protocol(
+                    "MPI_Start on a persistent recv with an active round".into(),
+                ));
+            }
+        }
+        self.active = Some(self.comm.irecv::<T>(self.count, self.src, self.tag)?);
+        Ok(())
+    }
+
+    /// True if the current round (if any) has completed.
+    pub fn is_complete(&self) -> bool {
+        self.active.as_ref().map(RecvRequest::is_complete).unwrap_or(false)
+    }
+
+    /// Wait for the current round and take its payload. Errors if no
+    /// round was started.
+    pub fn wait(&mut self) -> MpiResult<(Vec<T>, Status)> {
+        match self.active.take() {
+            Some(recv) => Ok(recv.wait()),
+            None => Err(MpiError::Protocol("wait on an unstarted persistent recv".into())),
+        }
+    }
+}
+
+impl Comm {
+    /// `MPI_Send_init`: build a persistent send.
+    pub fn send_init<T: MpiType>(
+        &self,
+        data: &[T],
+        dst: i32,
+        tag: i32,
+    ) -> MpiResult<PersistentSend<T>> {
+        // Validate once, at init time.
+        self.world_rank(dst)?;
+        if tag < 0 {
+            return Err(MpiError::InvalidTag(tag));
+        }
+        Ok(PersistentSend {
+            comm: self.clone(),
+            data: data.to_vec(),
+            dst,
+            tag,
+            active: None,
+        })
+    }
+
+    /// `MPI_Recv_init`: build a persistent receive.
+    pub fn recv_init<T: MpiType>(
+        &self,
+        count: usize,
+        src: i32,
+        tag: i32,
+    ) -> MpiResult<PersistentRecv<T>> {
+        if src != crate::matching::ANY_SOURCE {
+            self.world_rank(src)?;
+        }
+        if tag < 0 && tag != crate::matching::ANY_TAG {
+            return Err(MpiError::InvalidTag(tag));
+        }
+        Ok(PersistentRecv { comm: self.clone(), count, src, tag, active: None })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    
+    use crate::collectives::testutil::run_ranks;
+
+    #[test]
+    fn persistent_pair_runs_many_rounds() {
+        let results = run_ranks(2, |proc| {
+            let comm = proc.world_comm();
+            if comm.rank() == 0 {
+                let mut ps = comm.send_init(&[0i32; 4], 1, 7).unwrap();
+                for round in 0..20 {
+                    ps.buffer_mut().iter_mut().for_each(|v| *v = round);
+                    let req = ps.start().unwrap();
+                    req.wait();
+                }
+                Vec::new()
+            } else {
+                let mut pr = comm.recv_init::<i32>(4, 0, 7).unwrap();
+                let mut got = Vec::new();
+                for _ in 0..20 {
+                    pr.start().unwrap();
+                    let (data, _) = pr.wait().unwrap();
+                    got.push(data[0]);
+                }
+                got
+            }
+        });
+        assert_eq!(results[1], (0..20).collect::<Vec<i32>>());
+    }
+
+    #[test]
+    fn double_start_is_erroneous() {
+        let results = run_ranks(2, |proc| {
+            let comm = proc.world_comm();
+            if comm.rank() == 0 {
+                // Rendezvous-sized: the round cannot complete before the
+                // peer posts, so the immediate second start must fail.
+                let mut ps = comm.send_init(&vec![0u8; 100_000], 1, 1).unwrap();
+                let first = ps.start().unwrap();
+                let err = ps.start().is_err();
+                // Complete the round before exiting (MPI semantics: never
+                // abandon an active send).
+                first.wait();
+                // After completion, a restart is legal again.
+                let second = ps.start().unwrap();
+                second.wait();
+                err
+            } else {
+                for _ in 0..2 {
+                    let (data, _) = comm.recv::<u8>(100_000, 0, 1).unwrap();
+                    assert_eq!(data.len(), 100_000);
+                }
+                true
+            }
+        });
+        assert!(results.iter().all(|&ok| ok));
+    }
+
+    #[test]
+    fn recv_wait_without_start_errors() {
+        let results = run_ranks(1, |proc| {
+            let comm = proc.world_comm();
+            let mut pr = comm.recv_init::<i32>(1, 0, 0).unwrap();
+            pr.wait().is_err()
+        });
+        assert!(results[0]);
+    }
+
+    #[test]
+    fn init_validates_arguments_once() {
+        let results = run_ranks(1, |proc| {
+            let comm = proc.world_comm();
+            assert!(comm.send_init(&[1i32], 5, 0).is_err());
+            assert!(comm.send_init(&[1i32], 0, -3).is_err());
+            assert!(comm.recv_init::<i32>(1, 9, 0).is_err());
+            true
+        });
+        assert!(results[0]);
+    }
+}

@@ -1,0 +1,189 @@
+//! Per-rank runtime context: what an MPI process would be.
+//!
+//! Each [`Proc`] owns its *default stream* (the rank's `MPIX_STREAM_NULL`)
+//! with the full Listing-1.1 hook set registered for VCI 0, and lazily
+//! attaches further VCIs when communicators are bound to user streams.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use mpfa_core::{Stream, StreamHints};
+use parking_lot::Mutex;
+
+use crate::comm::Comm;
+use crate::dtengine::DtEngine;
+use crate::error::{MpiError, MpiResult};
+use crate::sched::SchedQueue;
+use crate::subsys;
+use crate::vci::Vci;
+use crate::world::World;
+
+/// The engines serving one VCI.
+pub(crate) struct VciBundle {
+    pub(crate) vci: Arc<Vci>,
+    pub(crate) dt: Arc<DtEngine>,
+    pub(crate) sched: Arc<SchedQueue>,
+}
+
+pub(crate) struct ProcInner {
+    world: World,
+    rank: usize,
+    default_stream: Stream,
+    bundles: Mutex<HashMap<usize, Arc<VciBundle>>>,
+}
+
+/// One rank's runtime handle. Cheap to clone; typically moved onto the
+/// rank's own OS thread.
+#[derive(Clone)]
+pub struct Proc {
+    inner: Arc<ProcInner>,
+}
+
+impl Proc {
+    pub(crate) fn new(world: World, rank: usize) -> Proc {
+        let default_stream =
+            Stream::with_hints(StreamHints::new().name(format!("rank{rank}/default")));
+        let proc = Proc {
+            inner: Arc::new(ProcInner {
+                world,
+                rank,
+                default_stream,
+                bundles: Mutex::new(HashMap::new()),
+            }),
+        };
+        // VCI 0 serves the default stream from the start.
+        proc.attach_vci(0, &proc.inner.default_stream.clone())
+            .expect("VCI 0 attach cannot fail");
+        proc
+    }
+
+    /// This rank's index in the world.
+    pub fn rank(&self) -> usize {
+        self.inner.rank
+    }
+
+    /// World size.
+    pub fn size(&self) -> usize {
+        self.inner.world.size()
+    }
+
+    /// The owning world.
+    pub fn world(&self) -> &World {
+        &self.inner.world
+    }
+
+    /// The rank's default stream — its `MPIX_STREAM_NULL`. Blocking waits
+    /// on world-communicator operations drive this stream.
+    pub fn default_stream(&self) -> &Stream {
+        &self.inner.default_stream
+    }
+
+    /// The world communicator for this rank (`MPI_COMM_WORLD`).
+    pub fn world_comm(&self) -> Comm {
+        Comm::world(self.clone())
+    }
+
+    /// Attach (or fetch) the engines for VCI `idx`, served by `stream`.
+    ///
+    /// The first caller for an index registers the four Listing-1.1 hooks
+    /// on `stream`; later callers get the existing bundle (and `stream`
+    /// must then be the one already serving it).
+    pub(crate) fn attach_vci(&self, idx: usize, stream: &Stream) -> MpiResult<Arc<VciBundle>> {
+        let mut bundles = self.inner.bundles.lock();
+        if let Some(bundle) = bundles.get(&idx) {
+            if bundle.vci.stream().id() != stream.id() {
+                return Err(MpiError::Protocol(format!(
+                    "VCI {idx} is already served by stream {:?}; cannot rebind",
+                    bundle.vci.stream().id()
+                )));
+            }
+            return Ok(bundle.clone());
+        }
+        let cfg = self.inner.world.config();
+        assert!(idx < cfg.max_vcis, "VCI index {idx} out of range");
+        let ep = self
+            .inner
+            .world
+            .fabric()
+            .endpoint(cfg.ep_index(self.inner.rank, idx));
+        let vci = Vci::new(ep, stream.clone(), cfg.proto);
+        let dt = DtEngine::shared();
+        let sched = SchedQueue::shared();
+        subsys::register_all(&vci, &dt, &sched);
+        let bundle = Arc::new(VciBundle { vci, dt, sched });
+        bundles.insert(idx, bundle.clone());
+        Ok(bundle)
+    }
+
+    /// Fetch an attached VCI bundle.
+    pub(crate) fn bundle(&self, idx: usize) -> Option<Arc<VciBundle>> {
+        self.inner.bundles.lock().get(&idx).cloned()
+    }
+
+    /// `MPI_Finalize` for this rank: spin the default stream until its
+    /// user tasks drain (paper Listing 1.2 — "MPI_Finalize will spin
+    /// progress until all async tasks complete"). Returns false on the
+    /// safety timeout.
+    pub fn finalize(&self, timeout_s: f64) -> bool {
+        self.inner.default_stream.drain(timeout_s)
+    }
+}
+
+impl std::fmt::Debug for Proc {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Proc")
+            .field("rank", &self.inner.rank)
+            .field("size", &self.size())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::world::WorldConfig;
+
+    #[test]
+    fn proc_has_default_stream_with_hooks() {
+        let procs = World::init(WorldConfig::instant(2));
+        let p = &procs[0];
+        assert_eq!(p.default_stream().hook_count(), 4);
+        assert!(p.default_stream().name().unwrap().contains("rank0"));
+    }
+
+    #[test]
+    fn attach_vci_is_idempotent() {
+        let procs = World::init(WorldConfig::instant(2));
+        let p = &procs[0];
+        let s = p.default_stream().clone();
+        let a = p.attach_vci(0, &s).unwrap();
+        let b = p.attach_vci(0, &s).unwrap();
+        assert!(Arc::ptr_eq(&a, &b));
+    }
+
+    #[test]
+    fn attach_vci_rejects_stream_rebind() {
+        let procs = World::init(WorldConfig::instant(2));
+        let p = &procs[0];
+        let other = Stream::create();
+        assert!(p.attach_vci(0, &other).is_err());
+    }
+
+    #[test]
+    fn finalize_drains_default_stream() {
+        use mpfa_core::AsyncPoll;
+        let procs = World::init(WorldConfig::instant(1));
+        let p = &procs[0];
+        let mut polls = 0;
+        p.default_stream().async_start(move |_t| {
+            polls += 1;
+            if polls > 3 {
+                AsyncPoll::Done
+            } else {
+                AsyncPoll::Pending
+            }
+        });
+        assert!(p.finalize(1.0));
+        assert_eq!(p.default_stream().pending_tasks(), 0);
+    }
+}

@@ -1,0 +1,102 @@
+//! Protocol selection: which of the paper's Figure 1 message modes a given
+//! transfer uses, and how rendezvous payloads are chunked.
+
+/// Which message mode a payload size selects.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SendMode {
+    /// Figure 1(a): payload copied and injected inside the initiation call;
+    /// the request is born complete (MPICH's "lightweight send").
+    Buffered,
+    /// Figure 1(b): payload injected inside the initiation call; the
+    /// request completes when the NIC signals TX completion (one wait
+    /// block).
+    Eager,
+    /// Figure 1(c): RTS → CTS handshake, then the payload (two or more
+    /// wait blocks; chunked payloads are the pipeline mode).
+    Rendezvous,
+}
+
+/// Tunables of the point-to-point protocol engine (MPICH CVAR equivalents).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ProtoConfig {
+    /// Largest payload sent in buffered/lightweight mode.
+    pub buffered_max: usize,
+    /// Largest payload sent in eager mode (above ⇒ rendezvous).
+    pub eager_max: usize,
+    /// Rendezvous chunk size (pipeline mode kicks in for payloads larger
+    /// than one chunk).
+    pub chunk: usize,
+    /// Maximum chunks in flight per rendezvous transfer (pipeline depth).
+    pub depth: usize,
+}
+
+impl Default for ProtoConfig {
+    fn default() -> Self {
+        ProtoConfig {
+            buffered_max: 256,
+            eager_max: 64 * 1024,
+            chunk: 64 * 1024,
+            depth: 4,
+        }
+    }
+}
+
+impl ProtoConfig {
+    /// Select the send mode for a payload of `bytes` bytes.
+    pub fn mode_for(&self, bytes: usize) -> SendMode {
+        if bytes <= self.buffered_max {
+            SendMode::Buffered
+        } else if bytes <= self.eager_max {
+            SendMode::Eager
+        } else {
+            SendMode::Rendezvous
+        }
+    }
+
+    /// Number of chunks a rendezvous payload splits into.
+    pub fn chunks_of(&self, total: usize) -> usize {
+        total.div_ceil(self.chunk.max(1))
+    }
+
+    /// Validate invariants.
+    pub fn validate(&self) {
+        assert!(self.buffered_max <= self.eager_max, "buffered_max > eager_max");
+        assert!(self.chunk > 0, "chunk must be positive");
+        assert!(self.depth > 0, "depth must be positive");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mode_thresholds() {
+        let c = ProtoConfig { buffered_max: 100, eager_max: 1000, chunk: 256, depth: 2 };
+        assert_eq!(c.mode_for(0), SendMode::Buffered);
+        assert_eq!(c.mode_for(100), SendMode::Buffered);
+        assert_eq!(c.mode_for(101), SendMode::Eager);
+        assert_eq!(c.mode_for(1000), SendMode::Eager);
+        assert_eq!(c.mode_for(1001), SendMode::Rendezvous);
+    }
+
+    #[test]
+    fn chunk_counts() {
+        let c = ProtoConfig { chunk: 100, ..ProtoConfig::default() };
+        assert_eq!(c.chunks_of(1), 1);
+        assert_eq!(c.chunks_of(100), 1);
+        assert_eq!(c.chunks_of(101), 2);
+        assert_eq!(c.chunks_of(1000), 10);
+    }
+
+    #[test]
+    fn default_is_valid() {
+        ProtoConfig::default().validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "buffered_max")]
+    fn inverted_thresholds_rejected() {
+        ProtoConfig { buffered_max: 10, eager_max: 5, chunk: 1, depth: 1 }.validate();
+    }
+}

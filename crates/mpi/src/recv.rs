@@ -1,0 +1,132 @@
+//! Typed receive handles.
+//!
+//! A receive completes asynchronously inside progress hooks, so the
+//! payload cannot land in a caller-borrowed slice; instead the runtime
+//! fills a shared slot and the [`RecvRequest`] hands the typed data out on
+//! completion. `is_complete` remains the side-effect-free atomic query of
+//! the paper's `MPIX_Request_is_complete`.
+
+use std::marker::PhantomData;
+
+use mpfa_core::{Request, Status};
+
+use crate::datatype::{from_bytes, MpiType};
+use crate::matching::RecvSlot;
+
+/// A pending typed receive: request + landing slot.
+pub struct RecvRequest<T: MpiType> {
+    req: Request,
+    slot: RecvSlot,
+    _elem: PhantomData<T>,
+}
+
+impl<T: MpiType> RecvRequest<T> {
+    pub(crate) fn new(req: Request, slot: RecvSlot) -> RecvRequest<T> {
+        RecvRequest { req, slot, _elem: PhantomData }
+    }
+
+    /// `MPIX_Request_is_complete`: atomic, no progress, no side effects.
+    #[inline]
+    pub fn is_complete(&self) -> bool {
+        self.req.is_complete()
+    }
+
+    /// A clone of the underlying request (for waitall-style aggregation).
+    pub fn request(&self) -> Request {
+        self.req.clone()
+    }
+
+    /// Completion status, if complete.
+    pub fn status(&self) -> Option<Status> {
+        self.req.status()
+    }
+
+    /// `MPI_Wait`: drive the bound stream until complete, then take the
+    /// typed payload.
+    pub fn wait(self) -> (Vec<T>, Status) {
+        let status = self.req.wait();
+        (from_bytes(&self.slot.take()), status)
+    }
+
+    /// `MPI_Test`: one progress call; on completion, the typed payload.
+    pub fn test(self) -> Result<(Vec<T>, Status), RecvRequest<T>> {
+        match self.req.test() {
+            Some(status) => Ok((from_bytes(&self.slot.take()), status)),
+            None => Err(self),
+        }
+    }
+
+    /// Take the payload of an already-complete receive without waiting.
+    ///
+    /// # Panics
+    /// Panics if the request is not complete yet.
+    pub fn take(self) -> (Vec<T>, Status) {
+        let status = self
+            .req
+            .status()
+            .expect("RecvRequest::take on incomplete receive");
+        (from_bytes(&self.slot.take()), status)
+    }
+}
+
+impl<T: MpiType> std::fmt::Debug for RecvRequest<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RecvRequest")
+            .field("complete", &self.is_complete())
+            .field("type", &T::NAME)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datatype::to_bytes;
+    use mpfa_core::Stream;
+
+    fn complete_recv(data: Vec<i32>) -> RecvRequest<i32> {
+        let stream = Stream::create();
+        let (req, completer) = Request::pair(&stream);
+        let slot = RecvSlot::new();
+        slot.set(to_bytes(&data));
+        completer.complete(Status { source: 1, tag: 2, bytes: data.len() * 4, cancelled: false });
+        RecvRequest::new(req, slot)
+    }
+
+    #[test]
+    fn take_returns_typed_data() {
+        let r = complete_recv(vec![10, 20, 30]);
+        assert!(r.is_complete());
+        let (data, st) = r.take();
+        assert_eq!(data, vec![10, 20, 30]);
+        assert_eq!(st.source, 1);
+        assert_eq!(st.bytes, 12);
+    }
+
+    #[test]
+    fn wait_on_complete_returns_immediately() {
+        let r = complete_recv(vec![7]);
+        let (data, _) = r.wait();
+        assert_eq!(data, vec![7]);
+    }
+
+    #[test]
+    fn test_on_incomplete_returns_self() {
+        let stream = Stream::create();
+        let (req, _completer) = Request::pair(&stream);
+        let r: RecvRequest<i32> = RecvRequest::new(req, RecvSlot::new());
+        match r.test() {
+            Ok(_) => panic!("should not be complete"),
+            Err(r) => assert!(!r.is_complete()),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "incomplete")]
+    fn take_on_incomplete_panics() {
+        let stream = Stream::create();
+        let (req, _completer) = Request::pair(&stream);
+        let r: RecvRequest<i32> = RecvRequest::new(req, RecvSlot::new());
+        let _ = r.take();
+    }
+}

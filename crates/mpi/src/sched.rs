@@ -1,0 +1,155 @@
+//! Collective-schedule progression — the `Collective_sched_progress` entry
+//! of the collated progress function (paper Listing 1.1).
+//!
+//! A nonblocking collective is a multi-stage task graph (Figure 2(c): a
+//! task with multiple wait blocks). Each algorithm implements [`CollTask`]:
+//! `advance` checks its outstanding requests with the side-effect-free
+//! `Request::is_complete` and, when a stage finishes, issues the next
+//! stage's operations — exactly the structure the paper's user-level
+//! allreduce (Listing 1.8) uses from the outside.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use mpfa_core::AsyncPoll;
+use parking_lot::Mutex;
+
+/// A multi-stage collective state machine.
+pub trait CollTask: Send {
+    /// Advance if possible. Must be lightweight and must not block or
+    /// recursively invoke progress; use `Request::is_complete` to check
+    /// dependencies.
+    fn advance(&mut self) -> AsyncPoll;
+}
+
+impl<F> CollTask for F
+where
+    F: FnMut() -> AsyncPoll + Send,
+{
+    fn advance(&mut self) -> AsyncPoll {
+        self()
+    }
+}
+
+/// The queue of active collective schedules for one VCI.
+pub struct SchedQueue {
+    tasks: Mutex<Vec<Box<dyn CollTask>>>,
+    pending: AtomicUsize,
+}
+
+impl Default for SchedQueue {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SchedQueue {
+    /// An empty queue.
+    pub fn new() -> SchedQueue {
+        SchedQueue { tasks: Mutex::new(Vec::new()), pending: AtomicUsize::new(0) }
+    }
+
+    /// Shared handle.
+    pub fn shared() -> Arc<SchedQueue> {
+        Arc::new(SchedQueue::new())
+    }
+
+    /// Enqueue an active schedule.
+    pub fn submit(&self, task: Box<dyn CollTask>) {
+        self.pending.fetch_add(1, Ordering::Release);
+        self.tasks.lock().push(task);
+    }
+
+    /// Active schedules (one atomic read — the hook's `has_work`).
+    pub fn pending(&self) -> usize {
+        self.pending.load(Ordering::Acquire)
+    }
+
+    /// Advance every active schedule once. Returns true if any schedule
+    /// made progress or completed.
+    pub fn poll(&self) -> bool {
+        if self.pending() == 0 {
+            return false;
+        }
+        let mut tasks = self.tasks.lock();
+        let mut any = false;
+        let mut finished = 0;
+        let mut i = 0;
+        while i < tasks.len() {
+            match tasks[i].advance() {
+                AsyncPoll::Done => {
+                    tasks.swap_remove(i);
+                    finished += 1;
+                    any = true;
+                }
+                AsyncPoll::Progress => {
+                    any = true;
+                    i += 1;
+                }
+                AsyncPoll::Pending => i += 1,
+            }
+        }
+        drop(tasks);
+        if finished > 0 {
+            self.pending.fetch_sub(finished, Ordering::Release);
+        }
+        any
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_queue_idle() {
+        let q = SchedQueue::new();
+        assert!(!q.poll());
+        assert_eq!(q.pending(), 0);
+    }
+
+    #[test]
+    fn stages_advance_then_complete() {
+        let q = SchedQueue::new();
+        let mut stage = 0;
+        q.submit(Box::new(move || {
+            stage += 1;
+            match stage {
+                1 => AsyncPoll::Progress,
+                2 => AsyncPoll::Pending,
+                _ => AsyncPoll::Done,
+            }
+        }));
+        assert!(q.poll()); // Progress
+        assert!(!q.poll()); // Pending: no progress
+        assert!(q.poll()); // Done
+        assert_eq!(q.pending(), 0);
+        assert!(!q.poll());
+    }
+
+    #[test]
+    fn multiple_schedules_interleave() {
+        let q = SchedQueue::new();
+        let done = Arc::new(AtomicUsize::new(0));
+        for rounds in 1..=3 {
+            let d = done.clone();
+            let mut left = rounds;
+            q.submit(Box::new(move || {
+                left -= 1;
+                if left == 0 {
+                    d.fetch_add(1, Ordering::Relaxed);
+                    AsyncPoll::Done
+                } else {
+                    AsyncPoll::Progress
+                }
+            }));
+        }
+        let mut sweeps = 0;
+        while q.pending() > 0 {
+            q.poll();
+            sweeps += 1;
+            assert!(sweeps <= 3);
+        }
+        assert_eq!(done.load(Ordering::Relaxed), 3);
+    }
+}

@@ -1,0 +1,701 @@
+//! Virtual communication interfaces: per-stream protocol engines.
+//!
+//! A [`Vci`] bundles one fabric endpoint with the matching engine and the
+//! point-to-point protocol state machines that serve it. Each VCI is
+//! served by exactly one stream's progress hooks, which is how "operations
+//! on a stream communicator [are] associated with the corresponding
+//! MPIX_Stream context" (paper §3.1) becomes freedom from cross-stream lock
+//! contention: two VCIs share no mutable state.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use mpfa_core::{Completer, Request, Status, Stream};
+use mpfa_fabric::{Endpoint, TxHandle};
+use parking_lot::Mutex;
+
+use crate::matching::{MatchState, PostedRecv, RecvSlot, Unexpected};
+use crate::protocol::{ProtoConfig, SendMode};
+use crate::wire::{MsgHeader, WireMsg};
+
+/// A rendezvous send in flight (sender side).
+struct RndvSend {
+    data: Vec<u8>,
+    dst_ep: usize,
+    /// Next unsent byte offset.
+    offset: usize,
+    /// Chunks currently on the wire without an ack.
+    inflight: usize,
+    /// Chunks acknowledged by the receiver.
+    acked: usize,
+    /// Receiver request id (known after CTS).
+    recv_id: Option<u64>,
+    completer: Option<Completer>,
+}
+
+/// A rendezvous receive in flight (receiver side).
+struct RndvRecv {
+    slot: RecvSlot,
+    total: usize,
+    received: usize,
+    src_rank: i32,
+    tag: i32,
+    send_id: u64,
+    reply_ep: usize,
+    completer: Option<Completer>,
+}
+
+/// An eager send awaiting NIC TX completion.
+struct TxPending {
+    tx: TxHandle,
+    completer: Completer,
+    status: Status,
+}
+
+#[derive(Default)]
+struct VciState {
+    matching: HashMap<u64, MatchState>,
+    sends: HashMap<u64, RndvSend>,
+    recvs: HashMap<u64, RndvRecv>,
+    tx_pending: Vec<TxPending>,
+    next_id: u64,
+}
+
+/// One virtual communication interface: endpoint + protocol state, served
+/// by a single stream's hooks.
+pub struct Vci {
+    ep: Endpoint<WireMsg>,
+    stream: Stream,
+    proto: ProtoConfig,
+    state: Mutex<VciState>,
+    /// Pending protocol items (rendezvous transfers + TX completions);
+    /// lets the netmod hook's `has_work` stay one atomic read.
+    work: AtomicUsize,
+}
+
+impl Vci {
+    /// Create a VCI over `ep`, served by `stream`.
+    pub fn new(ep: Endpoint<WireMsg>, stream: Stream, proto: ProtoConfig) -> Arc<Vci> {
+        proto.validate();
+        Arc::new(Vci {
+            ep,
+            stream,
+            proto,
+            state: Mutex::new(VciState::default()),
+            work: AtomicUsize::new(0),
+        })
+    }
+
+    /// The stream serving this VCI.
+    pub fn stream(&self) -> &Stream {
+        &self.stream
+    }
+
+    /// The wire endpoint index of this VCI.
+    pub fn ep_index(&self) -> usize {
+        self.ep.rank()
+    }
+
+    /// Protocol tunables in force.
+    pub fn proto(&self) -> &ProtoConfig {
+        &self.proto
+    }
+
+    /// Pending protocol items (diagnostics / `has_work`).
+    pub fn protocol_work(&self) -> usize {
+        self.work.load(Ordering::Acquire)
+    }
+
+    /// Packets queued for this VCI on the network path.
+    pub fn queued_net(&self) -> usize {
+        self.ep.queued_net()
+    }
+
+    /// Packets queued for this VCI on the shmem path.
+    pub fn queued_shmem(&self) -> usize {
+        self.ep.queued_shmem()
+    }
+
+    // ---------------------------------------------------------------
+    // Initiation side
+    // ---------------------------------------------------------------
+
+    /// Nonblocking byte send to wire endpoint `dst_ep`.
+    ///
+    /// Picks the message mode by size (Figure 1(a)–(c)) and returns the
+    /// request tracking completion.
+    pub fn isend_bytes(&self, dst_ep: usize, hdr: MsgHeader, bytes: Vec<u8>) -> Request {
+        let mode = self.proto.mode_for(bytes.len());
+        self.isend_bytes_mode(dst_ep, hdr, bytes, mode)
+    }
+
+    /// [`Vci::isend_bytes`] with an explicit mode override (protocol
+    /// testing; e.g. force a small message through the rendezvous path).
+    pub fn isend_bytes_mode(
+        &self,
+        dst_ep: usize,
+        hdr: MsgHeader,
+        bytes: Vec<u8>,
+        mode: SendMode,
+    ) -> Request {
+        let n = bytes.len();
+        match mode {
+            SendMode::Buffered => {
+                // Lightweight send: inject and complete immediately; the
+                // (copied) buffer is already safe to reuse.
+                self.ep.send(dst_ep, WireMsg::Eager { hdr, data: bytes }, n);
+                Request::completed(
+                    &self.stream,
+                    Status { source: hdr.src_rank, tag: hdr.tag, bytes: n, cancelled: false },
+                )
+            }
+            SendMode::Eager => {
+                let (req, completer) = Request::pair(&self.stream);
+                let tx = self.ep.send(dst_ep, WireMsg::Eager { hdr, data: bytes }, n);
+                let mut st = self.state.lock();
+                st.tx_pending.push(TxPending {
+                    tx,
+                    completer,
+                    status: Status {
+                        source: hdr.src_rank,
+                        tag: hdr.tag,
+                        bytes: n,
+                        cancelled: false,
+                    },
+                });
+                drop(st);
+                self.work.fetch_add(1, Ordering::Release);
+                req
+            }
+            SendMode::Rendezvous => {
+                let (req, completer) = Request::pair(&self.stream);
+                let send_id = {
+                    let mut st = self.state.lock();
+                    let id = st.next_id;
+                    st.next_id += 1;
+                    st.sends.insert(
+                        id,
+                        RndvSend {
+                            data: bytes,
+                            dst_ep,
+                            offset: 0,
+                            inflight: 0,
+                            acked: 0,
+                            recv_id: None,
+                            completer: Some(completer),
+                        },
+                    );
+                    id
+                };
+                self.work.fetch_add(1, Ordering::Release);
+                self.ep.send(dst_ep, WireMsg::Rts { hdr, send_id, total: n }, 0);
+                req
+            }
+        }
+    }
+
+    /// Nonblocking byte receive on context `ctx` from `(src, tag)`
+    /// (wildcards allowed). The payload lands in the returned slot when the
+    /// request completes.
+    pub fn irecv_bytes(
+        &self,
+        ctx: u64,
+        src: i32,
+        tag: i32,
+        capacity: usize,
+    ) -> (Request, RecvSlot) {
+        let (req, completer) = Request::pair(&self.stream);
+        let slot = RecvSlot::new();
+        let recv = PostedRecv { src, tag, capacity, slot: slot.clone(), completer };
+
+        let matched = {
+            let mut st = self.state.lock();
+            st.matching.entry(ctx).or_default().post_recv(recv)
+        };
+        if let Some((recv, unexpected)) = matched {
+            self.deliver_unexpected(recv, unexpected);
+        }
+        (req, slot)
+    }
+
+    /// `MPI_Iprobe` on context `ctx`: peek `(src, tag, bytes)` of a
+    /// matching unexpected message.
+    pub fn iprobe(&self, ctx: u64, src: i32, tag: i32) -> Option<(i32, i32, usize)> {
+        let st = self.state.lock();
+        st.matching.get(&ctx).and_then(|m| m.probe_unexpected(src, tag))
+    }
+
+    // ---------------------------------------------------------------
+    // Progress side (called from subsystem hooks, under the stream lock)
+    // ---------------------------------------------------------------
+
+    /// Process up to `batch` arrived network-path packets. Returns true if
+    /// anything was processed.
+    pub fn poll_net(&self, batch: usize) -> bool {
+        let mut any = false;
+        for _ in 0..batch {
+            match self.ep.poll_net() {
+                Some(env) => {
+                    self.process(env.src, env.msg);
+                    any = true;
+                }
+                None => break,
+            }
+        }
+        any
+    }
+
+    /// Process up to `batch` arrived shmem-path packets.
+    pub fn poll_shmem(&self, batch: usize) -> bool {
+        let mut any = false;
+        for _ in 0..batch {
+            match self.ep.poll_shmem() {
+                Some(env) => {
+                    self.process(env.src, env.msg);
+                    any = true;
+                }
+                None => break,
+            }
+        }
+        any
+    }
+
+    /// Sweep eager TX completions (the sender-side wait block of
+    /// Figure 1(b)). Returns true if any send completed.
+    pub fn sweep_tx(&self) -> bool {
+        if self.work.load(Ordering::Acquire) == 0 {
+            return false;
+        }
+        let mut completed = Vec::new();
+        {
+            let mut st = self.state.lock();
+            let mut i = 0;
+            while i < st.tx_pending.len() {
+                if st.tx_pending[i].tx.is_done() {
+                    completed.push(st.tx_pending.swap_remove(i));
+                } else {
+                    i += 1;
+                }
+            }
+        }
+        let n = completed.len();
+        for tx in completed {
+            tx.completer.complete(tx.status);
+        }
+        if n > 0 {
+            self.work.fetch_sub(n, Ordering::Release);
+        }
+        n > 0
+    }
+
+    /// Handle one wire message. `from_ep` is the sender's wire endpoint.
+    fn process(&self, from_ep: usize, msg: WireMsg) {
+        match msg {
+            WireMsg::Eager { hdr, data } => {
+                // Match and (if unmatched) enqueue under ONE lock
+                // acquisition: releasing between the two would let a
+                // concurrent irecv slip into the posted queue and leave
+                // this message stranded in the unexpected queue.
+                let matched = {
+                    let mut st = self.state.lock();
+                    let ms = st.matching.entry(hdr.context_id).or_default();
+                    let hit = ms.match_incoming(hdr.src_rank, hdr.tag);
+                    if hit.is_none() {
+                        ms.push_unexpected(Unexpected::Eager {
+                            src: hdr.src_rank,
+                            tag: hdr.tag,
+                            data,
+                        });
+                        None
+                    } else {
+                        hit.map(|recv| (recv, data))
+                    }
+                };
+                if let Some((recv, data)) = matched {
+                    Self::complete_eager_recv(recv, hdr.src_rank, hdr.tag, data);
+                }
+            }
+            WireMsg::Rts { hdr, send_id, total } => {
+                let matched = {
+                    let mut st = self.state.lock();
+                    let ms = st.matching.entry(hdr.context_id).or_default();
+                    match ms.match_incoming(hdr.src_rank, hdr.tag) {
+                        Some(recv) => Some(recv),
+                        None => {
+                            ms.push_unexpected(Unexpected::Rts {
+                                src: hdr.src_rank,
+                                tag: hdr.tag,
+                                send_id,
+                                total,
+                                reply_ep: from_ep,
+                            });
+                            None
+                        }
+                    }
+                };
+                if let Some(recv) = matched {
+                    self.start_rndv_recv(recv, hdr.src_rank, hdr.tag, send_id, total, from_ep);
+                }
+            }
+            WireMsg::Cts { send_id, recv_id } => {
+                let mut st = self.state.lock();
+                if let Some(send) = st.sends.get_mut(&send_id) {
+                    send.recv_id = Some(recv_id);
+                    Self::pump_chunks(&self.ep, &self.proto, send);
+                }
+            }
+            WireMsg::Data { recv_id, offset, data } => {
+                let done = {
+                    let mut st = self.state.lock();
+                    let Some(recv) = st.recvs.get_mut(&recv_id) else {
+                        return;
+                    };
+                    recv.slot.write_at(recv.total, offset, &data);
+                    recv.received += data.len();
+                    // Flow-control credit back to the sender.
+                    self.ep
+                        .send(recv.reply_ep, WireMsg::DataAck { send_id: recv.send_id }, 0);
+                    if recv.received >= recv.total {
+                        st.recvs.remove(&recv_id)
+                    } else {
+                        None
+                    }
+                };
+                if let Some(recv) = done {
+                    self.work.fetch_sub(1, Ordering::Release);
+                    if let Some(completer) = recv.completer {
+                        completer.complete(Status {
+                            source: recv.src_rank,
+                            tag: recv.tag,
+                            bytes: recv.total,
+                            cancelled: false,
+                        });
+                    }
+                }
+            }
+            WireMsg::DataAck { send_id } => {
+                let done = {
+                    let mut st = self.state.lock();
+                    let Some(send) = st.sends.get_mut(&send_id) else {
+                        return;
+                    };
+                    send.inflight -= 1;
+                    send.acked += 1;
+                    Self::pump_chunks(&self.ep, &self.proto, send);
+                    let total_chunks = self.proto.chunks_of(send.data.len());
+                    if send.acked >= total_chunks {
+                        st.sends.remove(&send_id)
+                    } else {
+                        None
+                    }
+                };
+                if let Some(send) = done {
+                    self.work.fetch_sub(1, Ordering::Release);
+                    if let Some(completer) = send.completer {
+                        completer.complete(Status {
+                            source: -1,
+                            tag: -1,
+                            bytes: send.data.len(),
+                            cancelled: false,
+                        });
+                    }
+                }
+            }
+        }
+    }
+
+    /// Deliver an unexpected message to a freshly posted receive.
+    fn deliver_unexpected(&self, recv: PostedRecv, unexpected: Unexpected) {
+        match unexpected {
+            Unexpected::Eager { src, tag, data } => {
+                Self::complete_eager_recv(recv, src, tag, data);
+            }
+            Unexpected::Rts { src, tag, send_id, total, reply_ep } => {
+                self.start_rndv_recv(recv, src, tag, send_id, total, reply_ep);
+            }
+        }
+    }
+
+    /// Fill a matched receive from a complete eager payload.
+    fn complete_eager_recv(recv: PostedRecv, src: i32, tag: i32, data: Vec<u8>) {
+        assert!(
+            data.len() <= recv.capacity,
+            "message truncation: {} bytes into {}-byte receive (src {src}, tag {tag}) — \
+             fatal under MPI_ERRORS_ARE_FATAL semantics",
+            data.len(),
+            recv.capacity,
+        );
+        let bytes = data.len();
+        recv.slot.set(data);
+        recv.completer.complete(Status { source: src, tag, bytes, cancelled: false });
+    }
+
+    /// Begin the receiver half of a rendezvous transfer: register state and
+    /// reply CTS.
+    fn start_rndv_recv(
+        &self,
+        recv: PostedRecv,
+        src: i32,
+        tag: i32,
+        send_id: u64,
+        total: usize,
+        reply_ep: usize,
+    ) {
+        assert!(
+            total <= recv.capacity,
+            "message truncation: {} bytes into {}-byte receive (src {src}, tag {tag}) — \
+             fatal under MPI_ERRORS_ARE_FATAL semantics",
+            total,
+            recv.capacity,
+        );
+        let recv_id = {
+            let mut st = self.state.lock();
+            let id = st.next_id;
+            st.next_id += 1;
+            st.recvs.insert(
+                id,
+                RndvRecv {
+                    slot: recv.slot,
+                    total,
+                    received: 0,
+                    src_rank: src,
+                    tag,
+                    send_id,
+                    reply_ep,
+                    completer: Some(recv.completer),
+                },
+            );
+            id
+        };
+        self.work.fetch_add(1, Ordering::Release);
+        self.ep.send(reply_ep, WireMsg::Cts { send_id, recv_id }, 0);
+    }
+
+    /// Inject chunks up to the pipeline depth.
+    fn pump_chunks(ep: &Endpoint<WireMsg>, proto: &ProtoConfig, send: &mut RndvSend) {
+        let Some(recv_id) = send.recv_id else { return };
+        let total = send.data.len();
+        while send.inflight < proto.depth && send.offset < total {
+            let end = (send.offset + proto.chunk).min(total);
+            let chunk = send.data[send.offset..end].to_vec();
+            let len = chunk.len();
+            ep.send(
+                send.dst_ep,
+                WireMsg::Data { recv_id, offset: send.offset, data: chunk },
+                len,
+            );
+            send.offset = end;
+            send.inflight += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpfa_fabric::{Fabric, FabricConfig};
+
+    fn pair(proto: ProtoConfig) -> (Arc<Vci>, Arc<Vci>, Stream, Stream) {
+        let fabric: Fabric<WireMsg> = Fabric::new(FabricConfig::instant(2));
+        let s0 = Stream::create();
+        let s1 = Stream::create();
+        let v0 = Vci::new(fabric.endpoint(0), s0.clone(), proto);
+        let v1 = Vci::new(fabric.endpoint(1), s1.clone(), proto);
+        (v0, v1, s0, s1)
+    }
+
+    fn hdr(src_rank: i32, tag: i32) -> MsgHeader {
+        MsgHeader { context_id: 1, src_rank, tag }
+    }
+
+    /// Drive both VCIs until `cond` (test-only mini progress loop).
+    fn drive(v0: &Vci, v1: &Vci, mut cond: impl FnMut() -> bool) {
+        for _ in 0..100_000 {
+            if cond() {
+                return;
+            }
+            v0.poll_net(16);
+            v0.poll_shmem(16);
+            v0.sweep_tx();
+            v1.poll_net(16);
+            v1.poll_shmem(16);
+            v1.sweep_tx();
+        }
+        panic!("drive() did not converge");
+    }
+
+    #[test]
+    fn buffered_send_completes_immediately() {
+        let (v0, v1, _s0, _s1) = pair(ProtoConfig::default());
+        let req = v0.isend_bytes(1, hdr(0, 7), vec![1, 2, 3]);
+        assert!(req.is_complete(), "lightweight send is born complete");
+        let (rreq, slot) = v1.irecv_bytes(1, 0, 7, 1024);
+        drive(&v0, &v1, || rreq.is_complete());
+        assert_eq!(slot.take(), vec![1, 2, 3]);
+        let st = rreq.status().unwrap();
+        assert_eq!((st.source, st.tag, st.bytes), (0, 7, 3));
+    }
+
+    #[test]
+    fn eager_send_waits_for_tx() {
+        let proto = ProtoConfig { buffered_max: 0, ..ProtoConfig::default() };
+        let (v0, v1, _s0, _s1) = pair(proto);
+        let req = v0.isend_bytes(1, hdr(0, 1), vec![9; 1000]);
+        // Instant fabric: TX completes at once, but only a sweep observes it.
+        assert!(!req.is_complete());
+        drive(&v0, &v1, || req.is_complete());
+        // Receiver still gets the payload (it was unexpected).
+        let (rreq, slot) = v1.irecv_bytes(1, 0, 1, 4096);
+        drive(&v0, &v1, || rreq.is_complete());
+        assert_eq!(slot.take(), vec![9; 1000]);
+    }
+
+    #[test]
+    fn rendezvous_roundtrip_expected() {
+        let proto = ProtoConfig { buffered_max: 4, eager_max: 8, chunk: 16, depth: 2 };
+        let (v0, v1, _s0, _s1) = pair(proto);
+        let payload: Vec<u8> = (0..=255).cycle().take(100).map(|b: u8| b).collect();
+        // Receive posted FIRST (expected path, Figure 1(f)).
+        let (rreq, slot) = v1.irecv_bytes(1, 0, 3, 4096);
+        let sreq = v0.isend_bytes(1, hdr(0, 3), payload.clone());
+        drive(&v0, &v1, || rreq.is_complete() && sreq.is_complete());
+        assert_eq!(slot.take(), payload);
+        assert_eq!(v0.protocol_work(), 0);
+        assert_eq!(v1.protocol_work(), 0);
+    }
+
+    #[test]
+    fn rendezvous_roundtrip_unexpected() {
+        let proto = ProtoConfig { buffered_max: 4, eager_max: 8, chunk: 32, depth: 1 };
+        let (v0, v1, _s0, _s1) = pair(proto);
+        let payload = vec![0x5A; 200];
+        // Send first: RTS lands unexpected; CTS deferred until post.
+        let sreq = v0.isend_bytes(1, hdr(0, 3), payload.clone());
+        // Let the RTS arrive and sit.
+        drive(&v0, &v1, || v1.iprobe(1, 0, 3).is_some());
+        assert!(!sreq.is_complete());
+        let (rreq, slot) = v1.irecv_bytes(1, 0, 3, 4096);
+        drive(&v0, &v1, || rreq.is_complete() && sreq.is_complete());
+        assert_eq!(slot.take(), payload);
+    }
+
+    #[test]
+    fn pipeline_chunks_with_bounded_depth() {
+        let proto = ProtoConfig { buffered_max: 0, eager_max: 8, chunk: 10, depth: 2 };
+        let (v0, v1, _s0, _s1) = pair(proto);
+        let payload: Vec<u8> = (0..95).collect(); // 10 chunks
+        let (rreq, slot) = v1.irecv_bytes(1, 0, 3, 4096);
+        let sreq = v0.isend_bytes(1, hdr(0, 3), payload.clone());
+        drive(&v0, &v1, || rreq.is_complete() && sreq.is_complete());
+        assert_eq!(slot.take(), payload);
+        let st = rreq.status().unwrap();
+        assert_eq!(st.bytes, 95);
+    }
+
+    #[test]
+    fn wildcard_receive_matches_rendezvous() {
+        let proto = ProtoConfig { buffered_max: 0, eager_max: 0, chunk: 64, depth: 4 };
+        let (v0, v1, _s0, _s1) = pair(proto);
+        let (rreq, slot) = v1.irecv_bytes(1, crate::matching::ANY_SOURCE, crate::matching::ANY_TAG, 4096);
+        let sreq = v0.isend_bytes(1, hdr(0, 42), vec![7; 50]);
+        drive(&v0, &v1, || rreq.is_complete() && sreq.is_complete());
+        let st = rreq.status().unwrap();
+        assert_eq!((st.source, st.tag, st.bytes), (0, 42, 50));
+        assert_eq!(slot.take(), vec![7; 50]);
+    }
+
+    #[test]
+    fn mode_override_forces_rendezvous_for_small_payload() {
+        let (v0, v1, _s0, _s1) = pair(ProtoConfig::default());
+        // 3 bytes would normally be a buffered send; force rendezvous.
+        let sreq = v0.isend_bytes_mode(
+            1,
+            hdr(0, 5),
+            vec![1, 2, 3],
+            SendMode::Rendezvous,
+        );
+        assert!(!sreq.is_complete(), "rendezvous cannot complete pre-CTS");
+        assert_eq!(v0.protocol_work(), 1);
+        let (rreq, slot) = v1.irecv_bytes(1, 0, 5, 64);
+        drive(&v0, &v1, || rreq.is_complete() && sreq.is_complete());
+        assert_eq!(slot.take(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn mode_override_forces_buffered_for_large_payload() {
+        let (v0, v1, _s0, _s1) = pair(ProtoConfig::default());
+        // 100 KB would normally be rendezvous; force buffered (a
+        // zero-copy-unsafe choice in C, harmless here since we copy).
+        let sreq = v0.isend_bytes_mode(
+            1,
+            hdr(0, 6),
+            vec![7; 100_000],
+            SendMode::Buffered,
+        );
+        assert!(sreq.is_complete(), "buffered send is born complete");
+        let (rreq, slot) = v1.irecv_bytes(1, 0, 6, 200_000);
+        drive(&v0, &v1, || rreq.is_complete());
+        assert_eq!(slot.take().len(), 100_000);
+    }
+
+    #[test]
+    fn iprobe_sees_unexpected_eager() {
+        let (v0, v1, _s0, _s1) = pair(ProtoConfig::default());
+        assert!(v1.iprobe(1, 0, 9).is_none());
+        v0.isend_bytes(1, hdr(0, 9), vec![1; 20]);
+        drive(&v0, &v1, || v1.iprobe(1, 0, 9).is_some());
+        assert_eq!(v1.iprobe(1, 0, 9), Some((0, 9, 20)));
+    }
+
+    #[test]
+    #[should_panic(expected = "truncation")]
+    fn truncation_is_fatal() {
+        let (v0, v1, _s0, _s1) = pair(ProtoConfig::default());
+        let (_rreq, _slot) = v1.irecv_bytes(1, 0, 9, 4);
+        v0.isend_bytes(1, hdr(0, 9), vec![1; 20]);
+        // The panic fires inside packet processing.
+        for _ in 0..100_000 {
+            v1.poll_net(16);
+            v1.poll_shmem(16);
+        }
+    }
+
+    #[test]
+    fn many_interleaved_messages_keep_order() {
+        let proto = ProtoConfig { buffered_max: 64, eager_max: 64, chunk: 64, depth: 2 };
+        let (v0, v1, _s0, _s1) = pair(proto);
+        let n = 50;
+        let mut rreqs = Vec::new();
+        for _ in 0..n {
+            rreqs.push(v1.irecv_bytes(1, 0, 5, 4096));
+        }
+        for i in 0..n {
+            v0.isend_bytes(1, hdr(0, 5), vec![i as u8; 8]);
+        }
+        drive(&v0, &v1, || rreqs.iter().all(|(r, _)| r.is_complete()));
+        for (i, (_, slot)) in rreqs.iter().enumerate() {
+            assert_eq!(slot.take(), vec![i as u8; 8], "message order violated at {i}");
+        }
+    }
+
+    #[test]
+    fn distinct_contexts_do_not_cross_match() {
+        let (v0, v1, _s0, _s1) = pair(ProtoConfig::default());
+        let (r_ctx2, slot2) = v1.irecv_bytes(2, 0, 5, 64);
+        v0.isend_bytes(1, MsgHeader { context_id: 1, src_rank: 0, tag: 5 }, vec![1]);
+        // ctx 1 message must NOT complete the ctx 2 receive.
+        for _ in 0..1000 {
+            v1.poll_net(16);
+            v1.poll_shmem(16);
+        }
+        assert!(!r_ctx2.is_complete());
+        assert_eq!(v1.iprobe(1, 0, 5), Some((0, 5, 1)));
+        // Now the right context.
+        v0.isend_bytes(1, MsgHeader { context_id: 2, src_rank: 0, tag: 5 }, vec![2]);
+        let v0r = &v0;
+        let v1r = &v1;
+        drive(v0r, v1r, || r_ctx2.is_complete());
+        assert_eq!(slot2.take(), vec![2]);
+    }
+}

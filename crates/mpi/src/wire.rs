@@ -1,0 +1,120 @@
+//! The wire protocol: what travels through the simulated fabric.
+//!
+//! The message modes map onto the paper's Figure 1:
+//!
+//! * [`WireMsg::Eager`] — buffered/lightweight and normal eager sends
+//!   (Figure 1(a)/(b)): the payload rides along with the match header.
+//! * [`WireMsg::Rts`] / [`WireMsg::Cts`] / [`WireMsg::Data`] — the
+//!   rendezvous handshake (Figure 1(c)): the sender announces, the
+//!   receiver clears, the data follows in one or more chunks
+//!   ([`WireMsg::DataAck`] provides the pipeline-mode flow control with a
+//!   bounded number of in-flight chunks).
+
+/// Matching metadata carried by message-bearing packets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MsgHeader {
+    /// Communicator context id (unique per communicator, agreed by all
+    /// ranks at communicator creation).
+    pub context_id: u64,
+    /// Sender's rank *within the communicator*.
+    pub src_rank: i32,
+    /// User tag.
+    pub tag: i32,
+}
+
+/// A packet of the runtime's wire protocol.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WireMsg {
+    /// Complete message in one packet (buffered or eager mode).
+    Eager {
+        /// Match header.
+        hdr: MsgHeader,
+        /// Full payload.
+        data: Vec<u8>,
+    },
+    /// Ready-to-send: start of a rendezvous transfer.
+    Rts {
+        /// Match header.
+        hdr: MsgHeader,
+        /// Sender-side request id, echoed in the CTS.
+        send_id: u64,
+        /// Total payload size of the coming transfer.
+        total: usize,
+    },
+    /// Clear-to-send: the receiver matched the RTS and is ready.
+    Cts {
+        /// Sender-side request id from the RTS.
+        send_id: u64,
+        /// Receiver-side request id, echoed in DATA packets.
+        recv_id: u64,
+    },
+    /// One chunk of a rendezvous payload.
+    Data {
+        /// Receiver-side request id from the CTS.
+        recv_id: u64,
+        /// Byte offset of this chunk in the full payload.
+        offset: usize,
+        /// Chunk bytes.
+        data: Vec<u8>,
+    },
+    /// Receiver flow-control credit: one chunk landed; the sender may
+    /// inject another (pipeline mode's bounded concurrency).
+    DataAck {
+        /// Sender-side request id.
+        send_id: u64,
+    },
+}
+
+impl WireMsg {
+    /// The payload size the fabric should charge for. Control packets
+    /// (RTS/CTS/ACK) are charged zero — they are header-sized, and the
+    /// simulation models their cost as pure latency.
+    pub fn wire_bytes(&self) -> usize {
+        match self {
+            WireMsg::Eager { data, .. } => data.len(),
+            WireMsg::Data { data, .. } => data.len(),
+            WireMsg::Rts { .. } | WireMsg::Cts { .. } | WireMsg::DataAck { .. } => 0,
+        }
+    }
+
+    /// Diagnostic kind tag.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            WireMsg::Eager { .. } => "eager",
+            WireMsg::Rts { .. } => "rts",
+            WireMsg::Cts { .. } => "cts",
+            WireMsg::Data { .. } => "data",
+            WireMsg::DataAck { .. } => "ack",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hdr() -> MsgHeader {
+        MsgHeader { context_id: 1, src_rank: 0, tag: 5 }
+    }
+
+    #[test]
+    fn wire_bytes_charges_payload_only() {
+        assert_eq!(WireMsg::Eager { hdr: hdr(), data: vec![0; 10] }.wire_bytes(), 10);
+        assert_eq!(
+            WireMsg::Rts { hdr: hdr(), send_id: 1, total: 1000 }.wire_bytes(),
+            0
+        );
+        assert_eq!(WireMsg::Cts { send_id: 1, recv_id: 2 }.wire_bytes(), 0);
+        assert_eq!(
+            WireMsg::Data { recv_id: 2, offset: 0, data: vec![0; 7] }.wire_bytes(),
+            7
+        );
+        assert_eq!(WireMsg::DataAck { send_id: 1 }.wire_bytes(), 0);
+    }
+
+    #[test]
+    fn kinds() {
+        assert_eq!(WireMsg::Eager { hdr: hdr(), data: vec![] }.kind(), "eager");
+        assert_eq!(WireMsg::DataAck { send_id: 0 }.kind(), "ack");
+    }
+}

@@ -1,0 +1,362 @@
+//! World bootstrap: the in-process equivalent of `mpiexec -n N`.
+//!
+//! A [`World`] owns the simulated fabric and the cross-rank agreement
+//! tables that real MPI implementations realize with out-of-band setup
+//! (PMI): context-id allocation, VCI assignment, and the data exchange
+//! backing `comm_split`. Being in-process, these are small shared tables;
+//! they are used only at communicator-creation time, never on the message
+//! path.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use mpfa_fabric::{Fabric, FabricConfig};
+use parking_lot::Mutex;
+
+use crate::error::{MpiError, MpiResult};
+use crate::proc::Proc;
+use crate::protocol::ProtoConfig;
+use crate::wire::WireMsg;
+
+/// Configuration of a world: topology, wire costs, protocol thresholds.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorldConfig {
+    /// Number of ranks.
+    pub ranks: usize,
+    /// Ranks per node (same-node traffic takes the shmem path).
+    pub node_size: usize,
+    /// Cross-node one-way latency, seconds.
+    pub inter_latency: f64,
+    /// Same-node one-way latency, seconds.
+    pub intra_latency: f64,
+    /// Cross-node bandwidth, bytes/s (0.0 = infinite).
+    pub inter_bandwidth: f64,
+    /// Same-node bandwidth, bytes/s (0.0 = infinite).
+    pub intra_bandwidth: f64,
+    /// Fabric MTU (largest single packet payload).
+    pub mtu: usize,
+    /// Per-packet latency jitter fraction (see
+    /// [`mpfa_fabric::FabricConfig::jitter`]).
+    pub jitter: f64,
+    /// Point-to-point protocol thresholds.
+    pub proto: ProtoConfig,
+    /// Virtual communication interfaces per rank (VCI 0 is the default
+    /// stream's; each stream communicator takes one more).
+    pub max_vcis: usize,
+}
+
+impl WorldConfig {
+    /// Instant deterministic fabric, one rank per node.
+    pub fn instant(ranks: usize) -> WorldConfig {
+        WorldConfig {
+            ranks,
+            node_size: 1,
+            inter_latency: 0.0,
+            intra_latency: 0.0,
+            inter_bandwidth: 0.0,
+            intra_bandwidth: 0.0,
+            mtu: usize::MAX,
+            jitter: 0.0,
+            proto: ProtoConfig::default(),
+            max_vcis: 8,
+        }
+    }
+
+    /// Instant fabric with `node_size` ranks per node.
+    pub fn instant_nodes(ranks: usize, node_size: usize) -> WorldConfig {
+        WorldConfig { node_size, ..WorldConfig::instant(ranks) }
+    }
+
+    /// Cluster-like wire costs (µs latency, GB/s bandwidth), one rank per
+    /// node — shaped after the paper's Bebop testbed.
+    pub fn cluster(ranks: usize) -> WorldConfig {
+        WorldConfig {
+            ranks,
+            node_size: 1,
+            inter_latency: 1.5e-6,
+            intra_latency: 0.2e-6,
+            inter_bandwidth: 12.0e9,
+            intra_bandwidth: 40.0e9,
+            mtu: 1 << 22,
+            jitter: 0.0,
+            proto: ProtoConfig::default(),
+            max_vcis: 8,
+        }
+    }
+
+    /// All ranks on one node (shmem path only).
+    pub fn single_node(ranks: usize) -> WorldConfig {
+        WorldConfig { node_size: ranks.max(1), ..WorldConfig::cluster(ranks) }
+    }
+
+    /// The fabric configuration realizing this world: each rank owns
+    /// `max_vcis` consecutive wire endpoints.
+    pub(crate) fn fabric_config(&self) -> FabricConfig {
+        FabricConfig {
+            ranks: self.ranks * self.max_vcis,
+            node_size: self.node_size * self.max_vcis,
+            inter_latency: self.inter_latency,
+            intra_latency: self.intra_latency,
+            inter_bandwidth: self.inter_bandwidth,
+            intra_bandwidth: self.intra_bandwidth,
+            mtu: self.mtu,
+            jitter: self.jitter,
+        }
+    }
+
+    /// Wire endpoint index of `(world_rank, vci)`.
+    #[inline]
+    pub(crate) fn ep_index(&self, world_rank: usize, vci: usize) -> usize {
+        world_rank * self.max_vcis + vci
+    }
+}
+
+/// Context-id / VCI agreement tables.
+pub(crate) struct Registry {
+    /// `(parent_ctx, child_key) -> child_ctx`; every rank deriving the same
+    /// child (same parent, same creation index, same color) gets the same id.
+    ctx: HashMap<(u64, u64), u64>,
+    next_ctx: u64,
+    /// `ctx -> vci`; VCI 0 belongs to default-stream communicators.
+    vci: HashMap<u64, usize>,
+    next_vci: usize,
+}
+
+impl Registry {
+    fn new() -> Registry {
+        let mut vci = HashMap::new();
+        vci.insert(0, 0); // world comm
+        Registry { ctx: HashMap::new(), next_ctx: 1, vci, next_vci: 1 }
+    }
+
+    /// Deterministic child-context allocation.
+    pub(crate) fn child_ctx(&mut self, parent: u64, key: u64) -> u64 {
+        if let Some(&ctx) = self.ctx.get(&(parent, key)) {
+            return ctx;
+        }
+        let ctx = self.next_ctx;
+        self.next_ctx += 1;
+        self.ctx.insert((parent, key), ctx);
+        ctx
+    }
+
+    /// VCI assignment for a context. `fresh` requests a dedicated VCI
+    /// (stream communicators); otherwise the context inherits `inherit`.
+    pub(crate) fn vci_for_ctx(
+        &mut self,
+        ctx: u64,
+        fresh: bool,
+        inherit: usize,
+        max_vcis: usize,
+    ) -> MpiResult<usize> {
+        if let Some(&v) = self.vci.get(&ctx) {
+            return Ok(v);
+        }
+        let v = if fresh {
+            if self.next_vci >= max_vcis {
+                return Err(MpiError::Protocol(format!(
+                    "out of VCIs: {max_vcis} configured, all in use \
+                     (raise WorldConfig::max_vcis)"
+                )));
+            }
+            let v = self.next_vci;
+            self.next_vci += 1;
+            v
+        } else {
+            inherit
+        };
+        self.vci.insert(ctx, v);
+        Ok(v)
+    }
+}
+
+/// One rank's contribution to a split exchange.
+type ExchangeValue = Vec<i64>;
+
+struct ExchangeSlot {
+    values: Vec<Option<ExchangeValue>>,
+    reads: usize,
+}
+
+pub(crate) struct WorldInner {
+    pub(crate) config: WorldConfig,
+    pub(crate) fabric: Fabric<WireMsg>,
+    pub(crate) registry: Mutex<Registry>,
+    exchanges: Mutex<HashMap<(u64, u64, u8), ExchangeSlot>>,
+}
+
+/// Handle to the shared world state. Cheap to clone.
+#[derive(Clone)]
+pub struct World {
+    pub(crate) inner: Arc<WorldInner>,
+}
+
+impl World {
+    /// Boot a world: build the fabric and return one [`Proc`] per rank.
+    ///
+    /// Typical use hands each `Proc` to its own OS thread:
+    ///
+    /// ```
+    /// use mpfa_mpi::{World, WorldConfig};
+    /// let procs = World::init(WorldConfig::instant(4));
+    /// std::thread::scope(|s| {
+    ///     for proc in procs {
+    ///         s.spawn(move || {
+    ///             let comm = proc.world_comm();
+    ///             assert_eq!(comm.size(), 4);
+    ///         });
+    ///     }
+    /// });
+    /// ```
+    pub fn init(config: WorldConfig) -> Vec<Proc> {
+        config.proto.validate();
+        assert!(config.max_vcis >= 1, "need at least one VCI");
+        let world = World {
+            inner: Arc::new(WorldInner {
+                fabric: Fabric::new(config.fabric_config()),
+                registry: Mutex::new(Registry::new()),
+                exchanges: Mutex::new(HashMap::new()),
+                config,
+            }),
+        };
+        (0..world.inner.config.ranks)
+            .map(|rank| Proc::new(world.clone(), rank))
+            .collect()
+    }
+
+    /// The world configuration.
+    pub fn config(&self) -> &WorldConfig {
+        &self.inner.config
+    }
+
+    /// Number of ranks.
+    pub fn size(&self) -> usize {
+        self.inner.config.ranks
+    }
+
+    /// The underlying fabric (diagnostics).
+    pub fn fabric(&self) -> &Fabric<WireMsg> {
+        &self.inner.fabric
+    }
+
+    /// Blocking all-to-all exchange of small agreement vectors among the
+    /// `size` participants of a communicator-creation call. `index` is the
+    /// caller's slot. Spin-waits for the peers (they are required to make
+    /// the same collective call, per MPI semantics).
+    pub(crate) fn exchange(
+        &self,
+        key: (u64, u64, u8),
+        size: usize,
+        index: usize,
+        value: ExchangeValue,
+    ) -> Vec<ExchangeValue> {
+        let mut deposited = false;
+        loop {
+            {
+                let mut map = self.inner.exchanges.lock();
+                let slot = map.entry(key).or_insert_with(|| ExchangeSlot {
+                    values: vec![None; size],
+                    reads: 0,
+                });
+                if !deposited {
+                    assert!(
+                        slot.values[index].is_none(),
+                        "duplicate exchange deposit at {key:?}[{index}]"
+                    );
+                    slot.values[index] = Some(value.clone());
+                    deposited = true;
+                }
+                if slot.values.iter().all(Option::is_some) {
+                    let result: Vec<ExchangeValue> =
+                        slot.values.iter().map(|v| v.clone().expect("all some")).collect();
+                    slot.reads += 1;
+                    if slot.reads == size {
+                        map.remove(&key);
+                    }
+                    return result;
+                }
+            }
+            std::thread::yield_now();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn init_hands_out_one_proc_per_rank() {
+        let procs = World::init(WorldConfig::instant(4));
+        assert_eq!(procs.len(), 4);
+        for (i, p) in procs.iter().enumerate() {
+            assert_eq!(p.rank(), i);
+            assert_eq!(p.size(), 4);
+        }
+    }
+
+    #[test]
+    fn registry_child_ctx_is_deterministic() {
+        let mut r = Registry::new();
+        let a = r.child_ctx(0, 7);
+        let b = r.child_ctx(0, 7);
+        assert_eq!(a, b);
+        let c = r.child_ctx(0, 8);
+        assert_ne!(a, c);
+        let d = r.child_ctx(a, 7);
+        assert_ne!(d, a);
+        assert_ne!(d, c);
+    }
+
+    #[test]
+    fn registry_vci_inherit_and_fresh() {
+        let mut r = Registry::new();
+        assert_eq!(r.vci_for_ctx(0, false, 0, 4).unwrap(), 0);
+        // Child inheriting parent's VCI.
+        assert_eq!(r.vci_for_ctx(5, false, 0, 4).unwrap(), 0);
+        // Fresh allocations advance.
+        assert_eq!(r.vci_for_ctx(6, true, 0, 4).unwrap(), 1);
+        assert_eq!(r.vci_for_ctx(7, true, 0, 4).unwrap(), 2);
+        // Idempotent.
+        assert_eq!(r.vci_for_ctx(6, true, 0, 4).unwrap(), 1);
+    }
+
+    #[test]
+    fn registry_vci_exhaustion_errors() {
+        let mut r = Registry::new();
+        assert_eq!(r.vci_for_ctx(1, true, 0, 2).unwrap(), 1);
+        assert!(r.vci_for_ctx(2, true, 0, 2).is_err());
+    }
+
+    #[test]
+    fn exchange_collects_all_contributions() {
+        let procs = World::init(WorldConfig::instant(3));
+        let world = procs[0].world().clone();
+        let worlds: Vec<World> = (0..3).map(|_| world.clone()).collect();
+        let results: Vec<Vec<Vec<i64>>> = std::thread::scope(|s| {
+            let handles: Vec<_> = worlds
+                .into_iter()
+                .enumerate()
+                .map(|(i, w)| {
+                    s.spawn(move || w.exchange((0, 0, 0), 3, i, vec![i as i64 * 10]))
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        for r in &results {
+            assert_eq!(r, &vec![vec![0], vec![10], vec![20]]);
+        }
+    }
+
+    #[test]
+    fn ep_index_layout() {
+        let cfg = WorldConfig::instant(4);
+        assert_eq!(cfg.ep_index(0, 0), 0);
+        assert_eq!(cfg.ep_index(1, 0), 8);
+        assert_eq!(cfg.ep_index(1, 3), 11);
+        // Fabric nodes group all of a rank's VCIs together.
+        let fc = cfg.fabric_config();
+        assert!(fc.same_node(8, 11));
+        assert!(!fc.same_node(7, 8));
+    }
+}

@@ -1,0 +1,32 @@
+//! # mpfa-offload — more asynchronous subsystems under one progress engine
+//!
+//! The paper's Section 2.6 argues that an MPI library already collates
+//! progress for *several* asynchronous subsystems beyond the network:
+//!
+//! > "data transfer may involve GPU device memory, meaning a conventional
+//! > MPI send and receive could include asynchronous memory copy
+//! > operations between host and device memory. MPI-IO may introduce
+//! > asynchronous storage I/O operations. ... All these asynchronous
+//! > subsystems require progress, and it is often more convenient and
+//! > efficient to collate them."
+//!
+//! This crate provides those two substrates as simulations and registers
+//! them as progress hooks on `mpfa` streams:
+//!
+//! * [`device`] — a simulated accelerator memory + DMA copy engine
+//!   (configurable bandwidth/latency; copies complete at a wall-clock
+//!   deadline, observed by the engine's hook). Plus chaining helpers
+//!   ([`device::send_from_device`], [`device::recv_to_device`]) that
+//!   compose copy → send / recv → copy through `MPIX_Async` tasks —
+//!   a "GPU-aware" send built *entirely from the public extension APIs*.
+//! * [`storage`] — a simulated asynchronous storage volume (in-memory
+//!   objects behind latency + bandwidth), the MPI-IO stand-in, with
+//!   nonblocking read/write returning ordinary [`mpfa_core::Request`]s.
+
+#![warn(missing_docs)]
+
+pub mod device;
+pub mod storage;
+
+pub use device::{CopyEngine, DeviceBuffer, DeviceConfig};
+pub use storage::{Storage, StorageConfig};

@@ -1,0 +1,284 @@
+//! A simulated asynchronous storage volume — the MPI-IO stand-in of the
+//! paper's §2.6 ("MPI-IO may introduce asynchronous storage I/O
+//! operations").
+//!
+//! Objects are named in-memory byte arrays behind a latency + bandwidth
+//! model; nonblocking reads and writes return ordinary
+//! [`mpfa_core::Request`]s completed by the volume's progress hook, so
+//! storage I/O collates with messaging and device copies under one
+//! `MPIX_Stream_progress` loop.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use mpfa_core::{wtime, Completer, ProgressHook, Request, Status, Stream, SubsystemClass};
+use parking_lot::Mutex;
+
+/// Storage timing model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StorageConfig {
+    /// Per-operation access latency, seconds.
+    pub latency: f64,
+    /// Sequential bandwidth, bytes/second (0.0 = infinite).
+    pub bandwidth: f64,
+}
+
+impl Default for StorageConfig {
+    fn default() -> Self {
+        // NVMe-ish: 80 µs access, 3 GB/s.
+        StorageConfig { latency: 80e-6, bandwidth: 3.0e9 }
+    }
+}
+
+impl StorageConfig {
+    /// Instant storage (tests).
+    pub fn instant() -> StorageConfig {
+        StorageConfig { latency: 0.0, bandwidth: 0.0 }
+    }
+
+    fn op_time(&self, bytes: usize) -> f64 {
+        if self.bandwidth <= 0.0 {
+            self.latency
+        } else {
+            self.latency + bytes as f64 / self.bandwidth
+        }
+    }
+}
+
+struct PendingOp {
+    done_at: f64,
+    apply: Box<dyn FnOnce() + Send>,
+    completer: Completer,
+    bytes: usize,
+}
+
+struct VolumeState {
+    objects: HashMap<String, Vec<u8>>,
+    queue: VecDeque<PendingOp>,
+    next_free: f64,
+}
+
+/// A simulated storage volume driven by one stream's progress.
+/// Cheap to clone (shared state).
+#[derive(Clone)]
+pub struct Storage {
+    config: StorageConfig,
+    stream: Stream,
+    state: Arc<Mutex<VolumeState>>,
+    pending: Arc<AtomicUsize>,
+}
+
+struct StorageHook {
+    state: Arc<Mutex<VolumeState>>,
+    pending: Arc<AtomicUsize>,
+}
+
+impl ProgressHook for StorageHook {
+    fn name(&self) -> &str {
+        "storage-io"
+    }
+    fn class(&self) -> SubsystemClass {
+        // ROMIO-style async I/O is a runtime-internal extension: poll it
+        // with the Other class (after netmod).
+        SubsystemClass::Other
+    }
+    fn has_work(&self) -> bool {
+        self.pending.load(Ordering::Acquire) > 0
+    }
+    fn poll(&self) -> bool {
+        let now = wtime();
+        let mut finished = Vec::new();
+        {
+            let mut st = self.state.lock();
+            while let Some(front) = st.queue.front() {
+                if front.done_at <= now {
+                    finished.push(st.queue.pop_front().expect("front exists"));
+                } else {
+                    break;
+                }
+            }
+        }
+        if finished.is_empty() {
+            return false;
+        }
+        let n = finished.len();
+        for op in finished {
+            (op.apply)();
+            op.completer.complete(Status {
+                source: -1,
+                tag: -1,
+                bytes: op.bytes,
+                cancelled: false,
+            });
+        }
+        self.pending.fetch_sub(n, Ordering::Release);
+        true
+    }
+}
+
+impl Storage {
+    /// Create a volume and register its hook on `stream`.
+    pub fn register(stream: &Stream, config: StorageConfig) -> Storage {
+        let state = Arc::new(Mutex::new(VolumeState {
+            objects: HashMap::new(),
+            queue: VecDeque::new(),
+            next_free: 0.0,
+        }));
+        let pending = Arc::new(AtomicUsize::new(0));
+        stream.register_hook(StorageHook { state: state.clone(), pending: pending.clone() });
+        Storage { config, stream: stream.clone(), state, pending }
+    }
+
+    /// Operations in flight.
+    pub fn pending(&self) -> usize {
+        self.pending.load(Ordering::Acquire)
+    }
+
+    /// Object size, if it exists (metadata access: immediate).
+    pub fn stat(&self, name: &str) -> Option<usize> {
+        self.state.lock().objects.get(name).map(Vec::len)
+    }
+
+    fn enqueue(&self, bytes: usize, apply: Box<dyn FnOnce() + Send>) -> Request {
+        let (req, completer) = Request::pair(&self.stream);
+        let now = wtime();
+        {
+            let mut st = self.state.lock();
+            let start = now.max(st.next_free);
+            let done_at = start + self.config.op_time(bytes);
+            st.next_free = done_at;
+            st.queue.push_back(PendingOp { done_at, apply, completer, bytes });
+        }
+        self.pending.fetch_add(1, Ordering::Release);
+        req
+    }
+
+    /// Nonblocking write of `data` to object `name` at `offset`
+    /// (`MPI_File_iwrite_at`-shaped). The object grows as needed.
+    pub fn iwrite(&self, name: &str, offset: usize, data: &[u8]) -> Request {
+        let state = self.state.clone();
+        let name = name.to_string();
+        let data = data.to_vec();
+        let n = data.len();
+        self.enqueue(
+            n,
+            Box::new(move || {
+                let mut st = state.lock();
+                let obj = st.objects.entry(name).or_default();
+                if obj.len() < offset + data.len() {
+                    obj.resize(offset + data.len(), 0);
+                }
+                obj[offset..offset + data.len()].copy_from_slice(&data);
+            }),
+        )
+    }
+
+    /// Nonblocking read of `len` bytes from object `name` at `offset`
+    /// into a shared landing buffer (`MPI_File_iread_at`-shaped). Reads
+    /// past the end are truncated (the landing buffer holds what existed).
+    pub fn iread(
+        &self,
+        name: &str,
+        offset: usize,
+        len: usize,
+        dst: Arc<Mutex<Vec<u8>>>,
+    ) -> Request {
+        let state = self.state.clone();
+        let name = name.to_string();
+        self.enqueue(
+            len,
+            Box::new(move || {
+                let st = state.lock();
+                let data = st
+                    .objects
+                    .get(&name)
+                    .map(|obj| {
+                        let end = (offset + len).min(obj.len());
+                        obj.get(offset.min(obj.len())..end).unwrap_or(&[]).to_vec()
+                    })
+                    .unwrap_or_default();
+                *dst.lock() = data;
+            }),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_then_read_roundtrip() {
+        let stream = Stream::create();
+        let vol = Storage::register(&stream, StorageConfig::instant());
+        let w = vol.iwrite("checkpoint", 0, &[1, 2, 3, 4, 5]);
+        assert!(!w.is_complete(), "I/O needs a progress observation");
+        w.wait();
+        assert_eq!(vol.stat("checkpoint"), Some(5));
+
+        let landing = Arc::new(Mutex::new(Vec::new()));
+        vol.iread("checkpoint", 1, 3, landing.clone()).wait();
+        assert_eq!(*landing.lock(), vec![2, 3, 4]);
+        assert_eq!(vol.pending(), 0);
+    }
+
+    #[test]
+    fn sparse_write_zero_fills() {
+        let stream = Stream::create();
+        let vol = Storage::register(&stream, StorageConfig::instant());
+        vol.iwrite("f", 4, &[9, 9]).wait();
+        let landing = Arc::new(Mutex::new(Vec::new()));
+        vol.iread("f", 0, 6, landing.clone()).wait();
+        assert_eq!(*landing.lock(), vec![0, 0, 0, 0, 9, 9]);
+    }
+
+    #[test]
+    fn read_missing_object_is_empty() {
+        let stream = Stream::create();
+        let vol = Storage::register(&stream, StorageConfig::instant());
+        let landing = Arc::new(Mutex::new(vec![7u8]));
+        vol.iread("nope", 0, 10, landing.clone()).wait();
+        assert!(landing.lock().is_empty());
+        assert_eq!(vol.stat("nope"), None);
+    }
+
+    #[test]
+    fn operations_serialize_fifo_with_latency() {
+        let stream = Stream::create();
+        let vol =
+            Storage::register(&stream, StorageConfig { latency: 300e-6, bandwidth: 0.0 });
+        let t0 = wtime();
+        let a = vol.iwrite("f", 0, &[1]);
+        let b = vol.iwrite("f", 0, &[2]);
+        a.wait();
+        b.wait();
+        assert!(wtime() - t0 >= 600e-6, "two ops serialize");
+        let landing = Arc::new(Mutex::new(Vec::new()));
+        vol.iread("f", 0, 1, landing.clone()).wait();
+        assert_eq!(*landing.lock(), vec![2], "write order preserved");
+    }
+
+    #[test]
+    fn storage_collates_with_other_subsystems() {
+        // One stream drives storage + user async tasks together.
+        use mpfa_core::{AsyncPoll, CompletionCounter};
+        let stream = Stream::create();
+        let vol = Storage::register(&stream, StorageConfig::instant());
+        let done = CompletionCounter::new(1);
+        let d = done.clone();
+        let w = vol.iwrite("obj", 0, &[5; 100]);
+        let wr = w.clone();
+        stream.async_start(move |_t| {
+            // A user task gated on storage completion — Listing 1.6
+            // pattern over an I/O request.
+            if wr.is_complete() {
+                d.done();
+                AsyncPoll::Done
+            } else {
+                AsyncPoll::Pending
+            }
+        });
+        assert!(stream.progress_until(|| done.is_zero(), 5.0));
+    }
+}

@@ -1,0 +1,111 @@
+//! Computation/communication overlap — Sections 2.3–2.4 made quantitative.
+//!
+//! A rendezvous-sized message has *two* wait blocks (RTS/CTS handshake,
+//! then the data). Splitting it into Isend…Wait and computing in between
+//! only overlaps the FIRST wait block: without progress during the
+//! computation, the CTS sits unanswered and the bulk transfer cannot even
+//! start (Figure 4(c)). The fixes of Figure 5 — interspersed progress
+//! tests, or a progress engine — recover the overlap.
+//!
+//! This example measures the total time of compute + rendezvous transfer
+//! under three strategies and reports the achieved overlap.
+//!
+//! Run with: `cargo run --release --example overlap`
+
+use mpfa::core::{spin::compute_units, wtime};
+use mpfa::interop::ProgressEngine;
+use mpfa::mpi::{Proc, World, WorldConfig};
+
+const MSG_BYTES: usize = 4 << 20; // rendezvous territory
+const TAG: i32 = 3;
+
+#[derive(Clone, Copy)]
+enum Strategy {
+    /// Isend … compute … Wait, no progress during compute (Figure 4(c)).
+    NoProgress,
+    /// Compute split into slices with a progress call between slices
+    /// (Figure 5(a)).
+    Interspersed,
+    /// A progress-engine thread on the communicator's stream (§3.5).
+    Engine,
+}
+
+fn main() {
+    let compute_units_total: u64 = 30_000_000;
+
+    println!("rendezvous overlap, {} MiB message, compute+transfer total (ms):", MSG_BYTES >> 20);
+    println!("(threaded ranks; on a single-core host the threads timeslice and the");
+    println!(" overlap column is unreliable — `cargo run -p mpfa-bench --bin abl_overlap`");
+    println!(" is the controlled version of this experiment)");
+    println!("{:>14} {:>12} {:>12} {:>12}", "strategy", "sender", "receiver", "overlap");
+    for (name, strategy) in [
+        ("no-progress", Strategy::NoProgress),
+        ("interspersed", Strategy::Interspersed),
+        ("engine", Strategy::Engine),
+    ] {
+        let procs = World::init(WorldConfig::cluster(2));
+        let times: Vec<(f64, f64)> = std::thread::scope(|s| {
+            let handles: Vec<_> = procs
+                .into_iter()
+                .map(|p| s.spawn(move || rank_main(p, strategy, compute_units_total)))
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        // Baselines for the overlap metric.
+        let (sender_total, compute_only) = times[0];
+        let overlap = 1.0 - (sender_total - compute_only).max(0.0) / sender_total;
+        println!(
+            "{:>14} {:>12.3} {:>12.3} {:>11.0}%",
+            name,
+            sender_total * 1e3,
+            times[1].0 * 1e3,
+            overlap * 100.0
+        );
+    }
+}
+
+fn rank_main(proc: Proc, strategy: Strategy, units: u64) -> (f64, f64) {
+    let comm = proc.world_comm();
+    if comm.rank() == 0 {
+        // Sender: measure compute-only cost first (for the overlap metric).
+        let c0 = wtime();
+        std::hint::black_box(compute_units(units));
+        let compute_only = wtime() - c0;
+
+        comm.barrier().unwrap();
+        let payload = vec![7u8; MSG_BYTES];
+        let t0 = wtime();
+        let req = comm.isend(&payload, 1, TAG).unwrap();
+        match strategy {
+            Strategy::NoProgress => {
+                std::hint::black_box(compute_units(units));
+            }
+            Strategy::Interspersed => {
+                let slices = 64;
+                for _ in 0..slices {
+                    std::hint::black_box(compute_units(units / slices));
+                    comm.stream().progress();
+                }
+            }
+            Strategy::Engine => {
+                let engine = ProgressEngine::spawn(comm.stream().clone());
+                std::hint::black_box(compute_units(units));
+                engine.stop();
+            }
+        }
+        req.wait();
+        let total = wtime() - t0;
+        comm.barrier().unwrap();
+        (total, compute_only)
+    } else {
+        // Receiver: posts early and waits (its own progress is live).
+        comm.barrier().unwrap();
+        let t0 = wtime();
+        let recv = comm.irecv::<u8>(MSG_BYTES, 0, TAG).unwrap();
+        let (data, _) = recv.wait();
+        assert_eq!(data.len(), MSG_BYTES);
+        let total = wtime() - t0;
+        comm.barrier().unwrap();
+        (total, 0.0)
+    }
+}

@@ -1,0 +1,71 @@
+//! Quickstart: a four-rank world, point-to-point messaging, a native
+//! collective, and the paper's headline extensions — explicit stream
+//! progress, async tasks, and side-effect-free completion queries.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use mpfa::core::{wtime, AsyncPoll};
+use mpfa::mpi::{Op, World, WorldConfig};
+
+fn main() {
+    // "mpiexec -n 4": one Proc per rank, each on its own thread.
+    let procs = World::init(WorldConfig::instant(4));
+    std::thread::scope(|s| {
+        for proc in procs {
+            s.spawn(move || rank_main(proc));
+        }
+    });
+    println!("quickstart: all ranks finished");
+}
+
+fn rank_main(proc: mpfa::mpi::Proc) {
+    let comm = proc.world_comm();
+    let rank = comm.rank();
+    let size = comm.size() as i32;
+
+    // --- Point-to-point: a ring of typed messages -----------------------
+    let right = (rank + 1) % size;
+    let left = (rank - 1).rem_euclid(size);
+    // Nonblocking receive first (expected path), then send.
+    let recv = comm.irecv::<i64>(2, left, 7).unwrap();
+    comm.isend(&[rank as i64, rank as i64 * 10], right, 7).unwrap();
+    let (data, status) = recv.wait();
+    assert_eq!(data, vec![left as i64, left as i64 * 10]);
+    assert_eq!(status.source, left);
+
+    // --- The MPIX extensions --------------------------------------------
+    // 1) MPIX_Async_start: a timed dummy task on this rank's stream.
+    let stream = proc.default_stream().clone();
+    let deadline = wtime() + 0.001;
+    stream.async_start(move |_thing| {
+        if wtime() >= deadline {
+            AsyncPoll::Done
+        } else {
+            AsyncPoll::Pending
+        }
+    });
+
+    // 2) MPIX_Stream_progress: drive it explicitly, no request needed.
+    while stream.pending_tasks() > 0 {
+        stream.progress();
+    }
+
+    // 3) MPIX_Request_is_complete: poll an operation with zero side
+    //    effects, progressing only when we choose to.
+    let pending = comm.isend(&vec![0u8; 200_000], right, 8).unwrap(); // rendezvous-sized
+    let big_recv = comm.irecv::<u8>(200_000, left, 8).unwrap();
+    while !(pending.is_complete() && big_recv.is_complete()) {
+        stream.progress(); // the only place progress happens
+    }
+    let (big, _) = big_recv.take();
+    assert_eq!(big.len(), 200_000);
+
+    // --- A native collective ---------------------------------------------
+    let total = comm.allreduce(&[rank + 1], Op::Sum).unwrap();
+    assert_eq!(total[0], (1..=size).sum::<i32>());
+
+    if rank == 0 {
+        println!("rank 0: ring exchange, async task, rendezvous transfer, allreduce = {}", total[0]);
+    }
+    proc.finalize(1.0);
+}

@@ -1,0 +1,84 @@
+//! A master/worker task farm — dynamic load balancing over `ANY_SOURCE`
+//! matching, the classic irregular-parallelism pattern.
+//!
+//! The master hands out work items one at a time; each worker requests
+//! more by returning a result. Termination uses a poison tag. The master
+//! overlaps bookkeeping with communication via its explicit progress
+//! stream.
+//!
+//! Run with: `cargo run --release --example task_farm`
+
+use mpfa::mpi::{Proc, World, WorldConfig, ANY_SOURCE};
+
+const WORK_ITEMS: u64 = 64;
+const TAG_WORK: i32 = 1;
+const TAG_RESULT: i32 = 2;
+const TAG_STOP: i32 = 3;
+
+/// The "expensive" computation: sum of squares below n (deliberately
+/// uneven cost per item).
+fn compute(n: u64) -> u64 {
+    (0..n * 1000).map(|i| i.wrapping_mul(i)).fold(0u64, u64::wrapping_add)
+}
+
+fn main() {
+    let procs = World::init(WorldConfig::instant(4));
+    let outputs: Vec<Option<(u64, Vec<usize>)>> = std::thread::scope(|s| {
+        let handles: Vec<_> = procs.into_iter().map(|p| s.spawn(move || rank_main(p))).collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let (checksum, per_worker) = outputs[0].clone().expect("master output");
+    println!("task_farm: {WORK_ITEMS} items over 3 workers");
+    println!("  items per worker: {per_worker:?}");
+    println!("  result checksum: {checksum}");
+    assert_eq!(per_worker.iter().sum::<usize>(), WORK_ITEMS as usize);
+}
+
+fn rank_main(proc: Proc) -> Option<(u64, Vec<usize>)> {
+    let comm = proc.world_comm();
+    let rank = comm.rank();
+    let workers = comm.size() as i32 - 1;
+
+    if rank == 0 {
+        // Master.
+        let mut next_item = 0u64;
+        let mut done_items = 0u64;
+        let mut checksum = 0u64;
+        let mut per_worker = vec![0usize; comm.size()];
+
+        // Seed every worker with one item.
+        for w in 1..=workers {
+            comm.send(&[next_item], w, TAG_WORK).unwrap();
+            next_item += 1;
+        }
+        // Deal more work to whoever answers first.
+        while done_items < WORK_ITEMS {
+            let (result, status) = comm.recv::<u64>(2, ANY_SOURCE, TAG_RESULT).unwrap();
+            checksum = checksum.wrapping_add(result[1]);
+            per_worker[status.source as usize] += 1;
+            done_items += 1;
+            if next_item < WORK_ITEMS {
+                comm.send(&[next_item], status.source, TAG_WORK).unwrap();
+                next_item += 1;
+            } else {
+                comm.send(&[0u64], status.source, TAG_STOP).unwrap();
+            }
+        }
+        proc.finalize(1.0);
+        Some((checksum, per_worker[1..].to_vec()))
+    } else {
+        // Worker: probe for the next message; STOP tag terminates.
+        loop {
+            let (_, tag, _) = comm.probe(0, mpfa::mpi::ANY_TAG).unwrap();
+            if tag == TAG_STOP {
+                comm.recv::<u64>(1, 0, TAG_STOP).unwrap();
+                break;
+            }
+            let (item, _) = comm.recv::<u64>(1, 0, TAG_WORK).unwrap();
+            let value = compute(item[0]);
+            comm.send(&[item[0], value], 0, TAG_RESULT).unwrap();
+        }
+        proc.finalize(1.0);
+        None
+    }
+}

@@ -1,0 +1,64 @@
+//! Section 4.7 / Listing 1.8: the user-level recursive-doubling allreduce
+//! against the native general `MPI_Iallreduce`, with the Figure 13
+//! latency comparison on this machine's simulated cluster.
+//!
+//! Run with: `cargo run --release --example user_allreduce`
+
+use mpfa::core::wtime;
+use mpfa::interop::user_coll::my_allreduce;
+use mpfa::mpi::{Op, Proc, World, WorldConfig};
+
+const ITERS: usize = 20;
+const WARMUP: usize = 5;
+
+fn main() {
+    println!("single-int allreduce latency, native vs user-level (Listing 1.8)");
+    println!("(threaded ranks; on a single-core host this is dominated by");
+    println!(" scheduler timeslicing — see `cargo run -p mpfa-bench --bin fig13`");
+    println!(" for the software-overhead measurement that reproduces Figure 13)");
+    println!("{:>6} {:>14} {:>14} {:>8}", "ranks", "native (us)", "user (us)", "ratio");
+    for p in [2usize, 4, 8] {
+        let procs = World::init(WorldConfig::cluster(p));
+        let results: Vec<(f64, f64)> = std::thread::scope(|s| {
+            let handles: Vec<_> = procs.into_iter().map(|pr| s.spawn(move || rank_main(pr))).collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        let (native, user) = results[0];
+        println!(
+            "{:>6} {:>14.3} {:>14.3} {:>8.3}",
+            p,
+            native * 1e6,
+            user * 1e6,
+            user / native
+        );
+    }
+}
+
+fn rank_main(proc: Proc) -> (f64, f64) {
+    let comm = proc.world_comm();
+    let rank = comm.rank();
+
+    // Native general-path Iallreduce.
+    for _ in 0..WARMUP {
+        comm.allreduce(&[rank], Op::Sum).unwrap();
+    }
+    let t0 = wtime();
+    for _ in 0..ITERS {
+        let out = comm.allreduce(&[rank], Op::Sum).unwrap();
+        std::hint::black_box(out);
+    }
+    let native = (wtime() - t0) / ITERS as f64;
+
+    // User-level specialized allreduce (i32 + SUM + pof2 only).
+    for _ in 0..WARMUP {
+        my_allreduce(&comm, vec![rank]).unwrap();
+    }
+    let t0 = wtime();
+    for _ in 0..ITERS {
+        let out = my_allreduce(&comm, vec![rank]).unwrap();
+        std::hint::black_box(out);
+    }
+    let user = (wtime() - t0) / ITERS as f64;
+
+    (native, user)
+}

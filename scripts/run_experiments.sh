@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Regenerate every figure and ablation of EXPERIMENTS.md.
+# Usage: scripts/run_experiments.sh [output-dir]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+OUT="${1:-results}"
+mkdir -p "$OUT"
+
+cargo build -p mpfa-bench --release
+
+for bin in fig07 fig08 fig09 fig10 fig11 fig12 fig13 \
+           abl_collation abl_overlap abl_baselines abl_modes abl_algos; do
+    echo "=== $bin ==="
+    ./target/release/$bin | tee "$OUT/$bin.txt"
+    echo
+done
+
+echo "all outputs in $OUT/"

@@ -1,0 +1,30 @@
+//! # mpfa — MPI Progress For All
+//!
+//! A from-scratch Rust reproduction of *"MPI Progress For All"* (Zhou,
+//! Latham, Raffenetti, Guo, Thakur — SC 2024): explicit, targeted,
+//! interoperable communication-runtime progress.
+//!
+//! This facade crate re-exports the workspace members:
+//!
+//! * [`core`] — the paper's contribution: `MPIX_Stream`,
+//!   `MPIX_Stream_progress`, `MPIX_Async`, `MPIX_Request_is_complete`,
+//!   generalized requests.
+//! * [`fabric`] — the software-simulated NIC / network substrate.
+//! * [`mpi`] — an MPI-like message-passing runtime (communicators,
+//!   point-to-point protocols, collectives) whose internal subsystems are
+//!   progress hooks on `core` streams.
+//! * [`interop`] — what the extensions enable: user-level collectives,
+//!   task classes, completion callbacks, continuation- and schedule-style
+//!   comparator APIs, an event loop.
+//! * [`baselines`] — the progress strategies the paper argues against:
+//!   global async-progress threads and request-polling loops.
+//!
+//! See `README.md` for a tour and `EXPERIMENTS.md` for the figure-by-figure
+//! reproduction of the paper's evaluation.
+
+pub use mpfa_baselines as baselines;
+pub use mpfa_core as core;
+pub use mpfa_fabric as fabric;
+pub use mpfa_interop as interop;
+pub use mpfa_mpi as mpi;
+pub use mpfa_offload as offload;

@@ -1,0 +1,170 @@
+//! Cross-crate integration: native collectives against serial references,
+//! over several topologies and fabrics.
+
+mod common;
+
+use common::run_ranks;
+use mpfa::mpi::{Op, WorldConfig};
+
+#[test]
+fn allreduce_matches_reference_across_configs() {
+    for cfg in [
+        WorldConfig::instant(5),
+        WorldConfig::instant_nodes(6, 3),
+        WorldConfig::cluster(4),
+        WorldConfig::single_node(7),
+    ] {
+        let n = cfg.ranks;
+        let results = run_ranks(cfg, |proc| {
+            let comm = proc.world_comm();
+            let data: Vec<i64> = (0..10).map(|i| i * (proc.rank() as i64 + 1)).collect();
+            comm.allreduce(&data, Op::Sum).unwrap()
+        });
+        let mut expect = vec![0i64; 10];
+        for r in 0..n as i64 {
+            for (i, e) in expect.iter_mut().enumerate() {
+                *e += i as i64 * (r + 1);
+            }
+        }
+        for out in results {
+            assert_eq!(out, expect, "config with {n} ranks");
+        }
+    }
+}
+
+#[test]
+fn all_collectives_compose_in_one_program() {
+    let n = 4;
+    let results = run_ranks(WorldConfig::instant_nodes(n, 2), move |proc| {
+        let comm = proc.world_comm();
+        let rank = comm.rank();
+
+        // bcast
+        let mut buf = if rank == 1 { vec![3i32, 1, 4] } else { Vec::new() };
+        comm.bcast(&mut buf, 3, 1).unwrap();
+        assert_eq!(buf, vec![3, 1, 4]);
+
+        // gather -> scatter inverse property
+        let gathered = comm.gather(&[rank * 2, rank * 2 + 1], 0).unwrap();
+        let scattered = comm
+            .scatter(gathered.as_deref(), 2, 0)
+            .unwrap();
+        assert_eq!(scattered, vec![rank * 2, rank * 2 + 1]);
+
+        // allgather
+        let all = comm.allgather(&[rank]).unwrap();
+        assert_eq!(all, (0..n as i32).collect::<Vec<_>>());
+
+        // alltoall (transpose)
+        let data: Vec<i32> = (0..n as i32).map(|dst| rank * 10 + dst).collect();
+        let transposed = comm.alltoall(&data, 1).unwrap();
+        assert_eq!(transposed, (0..n as i32).map(|src| src * 10 + rank).collect::<Vec<_>>());
+
+        // reduce (max)
+        let m = comm.reduce(&[rank], Op::Max, 2).unwrap();
+        if rank == 2 {
+            assert_eq!(m, Some(vec![n as i32 - 1]));
+        } else {
+            assert!(m.is_none());
+        }
+
+        // barrier between rounds
+        comm.barrier().unwrap();
+        true
+    });
+    assert!(results.iter().all(|&ok| ok));
+}
+
+#[test]
+fn nonblocking_collectives_overlap_with_p2p() {
+    let results = run_ranks(WorldConfig::instant(4), |proc| {
+        let comm = proc.world_comm();
+        let rank = comm.rank();
+        // Start a collective, then do p2p traffic before completing it.
+        let fut = comm.iallreduce(&[rank + 1], Op::Sum).unwrap();
+        let peer = rank ^ 1;
+        let r = comm.irecv::<u8>(100, peer, 5).unwrap();
+        comm.isend(&[9u8; 100], peer, 5).unwrap();
+        let (p2p, _) = r.wait();
+        assert_eq!(p2p, vec![9u8; 100]);
+        let (total, _) = fut.wait();
+        total[0]
+    });
+    for v in results {
+        assert_eq!(v, 10);
+    }
+}
+
+#[test]
+fn collectives_on_dup_do_not_interfere() {
+    let results = run_ranks(WorldConfig::instant(3), |proc| {
+        let comm = proc.world_comm();
+        let dup = comm.dup().unwrap();
+        assert_ne!(comm.context_id(), dup.context_id());
+        // Interleave collectives on both communicators.
+        let f1 = comm.iallreduce(&[1i32], Op::Sum).unwrap();
+        let f2 = dup.iallreduce(&[10i32], Op::Sum).unwrap();
+        let (a, _) = f1.wait();
+        let (b, _) = f2.wait();
+        (a[0], b[0])
+    });
+    for (a, b) in results {
+        assert_eq!((a, b), (3, 30));
+    }
+}
+
+#[test]
+fn collectives_on_split_subgroups() {
+    // Split 6 ranks into even/odd groups; each group reduces separately.
+    let results = run_ranks(WorldConfig::instant(6), |proc| {
+        let comm = proc.world_comm();
+        let rank = comm.rank();
+        let color = rank % 2;
+        let sub = comm.split(color, rank).unwrap().expect("kept");
+        assert_eq!(sub.size(), 3);
+        // Ranks ordered by key=world rank.
+        let out = sub.allreduce(&[rank], Op::Sum).unwrap();
+        (color, out[0])
+    });
+    for (color, total) in results {
+        let expect = if color == 0 { 2 + 4 } else { 1 + 3 + 5 };
+        assert_eq!(total, expect);
+    }
+}
+
+#[test]
+fn split_with_undefined_color_excludes_rank() {
+    let results = run_ranks(WorldConfig::instant(4), |proc| {
+        let comm = proc.world_comm();
+        let rank = comm.rank();
+        let color = if rank == 3 { -1 } else { 0 };
+        let sub = comm.split(color, 0).unwrap();
+        match sub {
+            Some(sub) => {
+                assert_eq!(sub.size(), 3);
+                let out = sub.allreduce(&[1i32], Op::Sum).unwrap();
+                out[0]
+            }
+            None => {
+                assert_eq!(rank, 3);
+                -1
+            }
+        }
+    });
+    assert_eq!(results, vec![3, 3, 3, -1]);
+}
+
+#[test]
+fn large_payload_collectives() {
+    // Rendezvous-sized collective payloads exercise chunked transfers
+    // inside schedules.
+    let results = run_ranks(WorldConfig::instant(4), |proc| {
+        let comm = proc.world_comm();
+        let data = vec![proc.rank() as i64; 50_000]; // 400 KB
+        comm.allreduce(&data, Op::Sum).unwrap()
+    });
+    for out in results {
+        assert_eq!(out.len(), 50_000);
+        assert!(out.iter().all(|&v| v == 6));
+    }
+}

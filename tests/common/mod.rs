@@ -1,0 +1,49 @@
+//! Shared harness for the integration tests.
+#![allow(dead_code)] // each test binary uses a subset of the helpers
+
+use mpfa::mpi::{Comm, Proc, World, WorldConfig};
+
+/// Run `f(proc)` on one thread per rank; collect results in rank order.
+pub fn run_ranks<R: Send>(cfg: WorldConfig, f: impl Fn(Proc) -> R + Send + Sync) -> Vec<R> {
+    let procs = World::init(cfg);
+    let f = &f;
+    std::thread::scope(|s| {
+        let handles: Vec<_> = procs.into_iter().map(|p| s.spawn(move || f(p))).collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("rank thread panicked"))
+            .collect()
+    })
+}
+
+/// Cooperative (single-thread) world: all ranks progressed round-robin.
+/// Use only nonblocking operations through this.
+pub struct Coop {
+    pub procs: Vec<Proc>,
+}
+
+impl Coop {
+    pub fn new(cfg: WorldConfig) -> Coop {
+        Coop { procs: World::init(cfg) }
+    }
+
+    pub fn comms(&self) -> Vec<Comm> {
+        self.procs.iter().map(Proc::world_comm).collect()
+    }
+
+    pub fn poll_all(&self) {
+        for p in &self.procs {
+            p.default_stream().progress();
+        }
+    }
+
+    /// Sweep until `cond`; panics after `max_sweeps` (deadlock guard).
+    pub fn drive(&self, mut cond: impl FnMut() -> bool, max_sweeps: u64) {
+        let mut sweeps = 0;
+        while !cond() {
+            self.poll_all();
+            sweeps += 1;
+            assert!(sweeps < max_sweeps, "cooperative drive did not converge");
+        }
+    }
+}

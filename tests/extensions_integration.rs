@@ -1,0 +1,198 @@
+//! End-to-end reproductions of the paper's example listings over real
+//! runtime traffic: the extension APIs working together.
+
+mod common;
+
+use common::run_ranks;
+use mpfa::core::{
+    grequest_start, wtime, AsyncPoll, CompletionCounter, GrequestOps, Status, Stream,
+};
+use mpfa::mpi::WorldConfig;
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+#[test]
+fn listing_1_2_fire_and_forget_tasks_drain_at_finalize() {
+    let results = run_ranks(WorldConfig::instant(1), |proc| {
+        let stream = proc.default_stream().clone();
+        for i in 0..10 {
+            let deadline = wtime() + 0.0002 * (i + 1) as f64;
+            stream.async_start(move |_t| {
+                if wtime() >= deadline {
+                    AsyncPoll::Done
+                } else {
+                    AsyncPoll::Pending
+                }
+            });
+        }
+        // "MPI_Finalize will spin progress until all async tasks complete".
+        assert!(proc.finalize(5.0));
+        proc.default_stream().pending_tasks()
+    });
+    assert_eq!(results[0], 0);
+}
+
+#[test]
+fn listing_1_3_counter_synchronization() {
+    let stream = Stream::create();
+    let counter = CompletionCounter::new(10);
+    let stats = Arc::new(Mutex::new(mpfa::core::stats::LatencyStats::new()));
+    for _ in 0..10 {
+        let c = counter.clone();
+        let s = stats.clone();
+        let deadline = wtime() + 0.001;
+        stream.async_start(move |_t| {
+            let now = wtime();
+            if now >= deadline {
+                s.lock().add(now - deadline);
+                c.done();
+                AsyncPoll::Done
+            } else {
+                AsyncPoll::Pending
+            }
+        });
+    }
+    while !counter.is_zero() {
+        stream.progress();
+    }
+    assert_eq!(stats.lock().len(), 10);
+}
+
+#[test]
+fn listing_1_6_request_callbacks_over_real_messages() {
+    let results = run_ranks(WorldConfig::instant(2), |proc| {
+        let comm = proc.world_comm();
+        let stream = comm.stream().clone();
+        let peer = 1 - comm.rank();
+        let notifier = mpfa::interop::CompletionNotifier::new(&stream);
+        let fired = CompletionCounter::new(8);
+        for tag in 0..8 {
+            let recv = comm.irecv::<u64>(4, peer, tag).unwrap();
+            let f = fired.clone();
+            notifier.watch(recv.request(), move |status| {
+                assert_eq!(status.bytes, 32);
+                f.done();
+            });
+        }
+        for tag in 0..8 {
+            comm.isend(&[tag as u64; 4], peer, tag).unwrap();
+        }
+        while !fired.is_zero() {
+            stream.progress();
+        }
+        true
+    });
+    assert!(results.iter().all(|&ok| ok));
+}
+
+#[test]
+fn listing_1_7_grequest_wrapping_real_transfer() {
+    // A generalized request tracking a two-message protocol implemented in
+    // an async task: the caller just calls MPI_Wait on the grequest.
+    let results = run_ranks(WorldConfig::instant(2), |proc| {
+        let comm = proc.world_comm();
+        let stream = comm.stream().clone();
+        let peer = 1 - comm.rank();
+
+        struct CountingOps(Arc<Mutex<u32>>);
+        impl GrequestOps for CountingOps {
+            fn query(&mut self) -> Status {
+                *self.0.lock() += 1;
+                Status { source: -1, tag: -1, bytes: 64, cancelled: false }
+            }
+        }
+        let queries = Arc::new(Mutex::new(0));
+        let (greq_req, greq) = grequest_start(&stream, CountingOps(queries.clone()));
+
+        // Two chained messages behind one grequest.
+        let r1 = comm.irecv::<u8>(32, peer, 1).unwrap();
+        comm.isend(&[1u8; 32], peer, 1).unwrap();
+        let comm2 = comm.clone();
+        let mut stage = 0;
+        let mut r2: Option<mpfa::mpi::RecvRequest<u8>> = None;
+        let mut greq = Some(greq);
+        stream.async_start(move |_t| {
+            match stage {
+                0 => {
+                    if !r1.is_complete() {
+                        return AsyncPoll::Pending;
+                    }
+                    comm2.isend(&[2u8; 32], peer, 2).unwrap();
+                    r2 = Some(comm2.irecv::<u8>(32, peer, 2).unwrap());
+                    stage = 1;
+                    AsyncPoll::Progress
+                }
+                _ => {
+                    if !r2.as_ref().expect("stage 1").is_complete() {
+                        return AsyncPoll::Pending;
+                    }
+                    greq.take().expect("once").complete();
+                    AsyncPoll::Done
+                }
+            }
+        });
+
+        let status = greq_req.wait();
+        assert_eq!(status.bytes, 64);
+        assert_eq!(*queries.lock(), 1);
+        true
+    });
+    assert!(results.iter().all(|&ok| ok));
+}
+
+#[test]
+fn spawned_subtasks_chain_protocol_stages() {
+    // MPIX_Async_spawn: a parent task spawns a follow-up stage.
+    let stream = Stream::create();
+    let log = Arc::new(Mutex::new(Vec::new()));
+    let l1 = log.clone();
+    let deadline = wtime() + 0.001;
+    stream.async_start(move |thing| {
+        if wtime() < deadline {
+            return AsyncPoll::Pending;
+        }
+        l1.lock().push("stage1");
+        let l2 = l1.clone();
+        let deadline2 = wtime() + 0.001;
+        thing.spawn(move |_t| {
+            if wtime() < deadline2 {
+                return AsyncPoll::Pending;
+            }
+            l2.lock().push("stage2");
+            AsyncPoll::Done
+        });
+        AsyncPoll::Done
+    });
+    assert!(stream.drain(5.0));
+    assert_eq!(&*log.lock(), &["stage1", "stage2"]);
+}
+
+#[test]
+fn is_complete_from_poll_fn_never_recurses_progress() {
+    // The Section 3.4 contract: is_complete inside poll_fn is safe, a
+    // recursive progress would be poisoned.
+    let results = run_ranks(WorldConfig::instant(2), |proc| {
+        let comm = proc.world_comm();
+        let stream = comm.stream().clone();
+        let peer = 1 - comm.rank();
+        let recv = comm.irecv::<i32>(1, peer, 3).unwrap();
+        comm.isend(&[7i32], peer, 3).unwrap();
+        let done = CompletionCounter::new(1);
+        let d = done.clone();
+        let req = recv.request();
+        stream.async_start(move |_t| {
+            if req.is_complete() {
+                d.done();
+                AsyncPoll::Done
+            } else {
+                AsyncPoll::Pending
+            }
+        });
+        while !done.is_zero() {
+            stream.progress();
+        }
+        assert_eq!(stream.poisoned_tasks(), 0);
+        true
+    });
+    assert!(results.iter().all(|&ok| ok));
+}

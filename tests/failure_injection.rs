@@ -1,0 +1,179 @@
+//! Failure injection: the runtime must degrade predictably, not hang.
+
+mod common;
+
+use common::run_ranks;
+use mpfa::core::{AsyncPoll, Request, Stream};
+use mpfa::mpi::{WorldConfig};
+
+#[test]
+fn panicking_poll_poisons_only_its_task() {
+    let stream = Stream::create();
+    // One bad task among good ones.
+    let mut polls_left = 3;
+    stream.async_start(move |_t| {
+        polls_left -= 1;
+        if polls_left == 0 {
+            panic!("injected failure");
+        }
+        AsyncPoll::Pending
+    });
+    let good = mpfa::core::CompletionCounter::new(5);
+    for _ in 0..5 {
+        let g = good.clone();
+        let mut n = 10;
+        stream.async_start(move |_t| {
+            n -= 1;
+            if n == 0 {
+                g.done();
+                AsyncPoll::Done
+            } else {
+                AsyncPoll::Pending
+            }
+        });
+    }
+    assert!(stream.progress_until(|| good.is_zero(), 5.0));
+    assert_eq!(stream.poisoned_tasks(), 1);
+    assert_eq!(stream.pending_tasks(), 0);
+}
+
+#[test]
+fn panicking_task_amid_mpi_traffic_leaves_runtime_healthy() {
+    let results = run_ranks(WorldConfig::instant(2), |proc| {
+        let comm = proc.world_comm();
+        let stream = comm.stream().clone();
+        let peer = 1 - comm.rank();
+        stream.async_start(|_t| -> AsyncPoll { panic!("injected") });
+        // Messaging continues to work after the poison.
+        let r = comm.irecv::<u8>(64, peer, 1).unwrap();
+        comm.isend(&[1u8; 64], peer, 1).unwrap();
+        let (data, _) = r.wait();
+        assert_eq!(data.len(), 64);
+        assert_eq!(stream.poisoned_tasks(), 1);
+        true
+    });
+    assert!(results.iter().all(|&ok| ok));
+}
+
+#[test]
+fn recursive_progress_inside_poll_is_contained() {
+    let stream = Stream::create();
+    let s2 = stream.clone();
+    stream.async_start(move |_t| {
+        s2.progress(); // prohibited; must panic, not deadlock
+        AsyncPoll::Done
+    });
+    stream.progress();
+    assert_eq!(stream.poisoned_tasks(), 1);
+}
+
+#[test]
+fn abandoned_completer_cancels_instead_of_hanging() {
+    let stream = Stream::create();
+    let (req, completer) = Request::pair(&stream);
+    drop(completer); // operation owner died
+    let status = req.wait(); // must return, not hang
+    assert!(status.cancelled);
+}
+
+#[test]
+fn jittery_fabric_preserves_correctness() {
+    // Latency + finite bandwidth + tiny MTU-sized chunks: protocol state
+    // machines under maximal interleaving.
+    let mut cfg = WorldConfig::cluster(3);
+    cfg.proto.eager_max = 512;
+    cfg.proto.chunk = 1024;
+    cfg.proto.depth = 2;
+    cfg.inter_latency = 20e-6;
+    cfg.inter_bandwidth = 0.5e9;
+    cfg.jitter = 1.5; // per-packet delay variation (FIFO still guaranteed)
+    let results = run_ranks(cfg, |proc| {
+        let comm = proc.world_comm();
+        let rank = comm.rank();
+        let size = comm.size() as i32;
+        let right = (rank + 1) % size;
+        let left = (rank - 1).rem_euclid(size);
+        // Several in-flight rendezvous transfers both ways.
+        let recvs: Vec<_> = (0..4)
+            .map(|t| comm.irecv::<u8>(10_000, left, t).unwrap())
+            .collect();
+        let sends: Vec<_> = (0..4)
+            .map(|t| comm.isend(&vec![t as u8; 10_000], right, t).unwrap())
+            .collect();
+        for (t, r) in recvs.into_iter().enumerate() {
+            let (data, _) = r.wait();
+            assert_eq!(data, vec![t as u8; 10_000]);
+        }
+        // MPI semantics: sends must be completed too — a rank that stops
+        // progressing with chunks still un-pumped would stall its
+        // neighbor's pipelined receive.
+        for s in sends {
+            s.wait();
+        }
+        true
+    });
+    assert!(results.iter().all(|&ok| ok));
+}
+
+#[test]
+#[should_panic(expected = "truncation")]
+fn truncation_is_fatal_by_default() {
+    // MPI_ERRORS_ARE_FATAL semantics surface as a panic in the receiving
+    // rank's progress.
+    let procs = mpfa::mpi::World::init(WorldConfig::instant(2));
+    let p0 = procs[0].clone();
+    let p1 = procs[1].clone();
+    let sender = std::thread::spawn(move || {
+        let comm = p0.world_comm();
+        let _ = comm.isend(&[0u8; 100], 1, 1);
+    });
+    let comm = p1.world_comm();
+    let _r = comm.irecv::<u8>(10, 0, 1).unwrap(); // too small
+    let t0 = mpfa::core::wtime();
+    while mpfa::core::wtime() - t0 < 2.0 {
+        comm.stream().progress(); // panics when the message lands
+    }
+    sender.join().unwrap();
+    unreachable!("truncation was not detected");
+}
+
+#[test]
+fn zero_sized_world_operations() {
+    // Single-rank edge cases: self-sends, collectives of one.
+    let results = run_ranks(WorldConfig::instant(1), |proc| {
+        let comm = proc.world_comm();
+        let r = comm.irecv::<i32>(2, 0, 0).unwrap();
+        comm.isend(&[4i32, 2], 0, 0).unwrap();
+        let (data, _) = r.wait();
+        assert_eq!(data, vec![4, 2]);
+        comm.barrier().unwrap();
+        assert_eq!(comm.allreduce(&[7i32], mpfa::mpi::Op::Sum).unwrap(), vec![7]);
+        assert_eq!(comm.allgather(&[1u8]).unwrap(), vec![1]);
+        true
+    });
+    assert!(results[0]);
+}
+
+#[test]
+fn empty_messages_flow_through_every_path() {
+    let results = run_ranks(WorldConfig::instant_nodes(4, 2), |proc| {
+        let comm = proc.world_comm();
+        let rank = comm.rank();
+        for peer in 0..comm.size() as i32 {
+            if peer == rank {
+                continue;
+            }
+            comm.isend::<u8>(&[], peer, rank).unwrap();
+        }
+        for peer in 0..comm.size() as i32 {
+            if peer == rank {
+                continue;
+            }
+            let (data, status) = comm.recv::<u8>(0, peer, peer).unwrap();
+            assert!(data.is_empty());
+            assert_eq!(status.bytes, 0);
+        }
+        true
+    });
+    assert!(results.iter().all(|&ok| ok));
+}

@@ -1,0 +1,104 @@
+//! Integration: device copies, storage I/O, and messaging collated under
+//! the same progress loops (paper §2.6), across ranks.
+
+mod common;
+
+use common::run_ranks;
+use mpfa::core::Request;
+use mpfa::mpi::{Op, WorldConfig};
+use mpfa::offload::{
+    device::{recv_to_device, send_from_device},
+    CopyEngine, DeviceBuffer, DeviceConfig, Storage, StorageConfig,
+};
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+#[test]
+fn gpu_aware_ring_exchange() {
+    let n = 3;
+    let results = run_ranks(WorldConfig::instant(n), move |proc| {
+        let comm = proc.world_comm();
+        let engine = CopyEngine::register(comm.stream(), DeviceConfig::instant());
+        let rank = comm.rank();
+        let size = comm.size() as i32;
+        let right = (rank + 1) % size;
+        let left = (rank - 1).rem_euclid(size);
+
+        let mine = DeviceBuffer::alloc(1000);
+        engine.h2d(&vec![rank as u8; 1000], &mine, 0).wait();
+        let incoming = DeviceBuffer::alloc(1000);
+
+        let recv = recv_to_device(&comm, &engine, &incoming, 0, 1000, left, 1).unwrap();
+        let send = send_from_device(&comm, &engine, &mine, 0..1000, right, 1).unwrap();
+        Request::wait_all(&[send, recv]);
+
+        incoming.debug_snapshot()[0]
+    });
+    for (rank, v) in results.iter().enumerate() {
+        assert_eq!(*v as usize, (rank + n - 1) % n);
+    }
+}
+
+#[test]
+fn checkpoint_restart_roundtrip() {
+    // Write a distributed checkpoint, then "restart" and verify via a
+    // collective checksum. Storage volumes are per-rank (like node-local
+    // burst buffers).
+    let results = run_ranks(WorldConfig::instant(4), |proc| {
+        let comm = proc.world_comm();
+        let volume = Storage::register(comm.stream(), StorageConfig::instant());
+        let rank = comm.rank();
+
+        let data: Vec<u8> = (0..256).map(|i| (i as u8).wrapping_mul(rank as u8 + 1)).collect();
+        volume.iwrite("ckpt", 0, &data).wait();
+
+        // Restart: read back asynchronously, overlapped with a barrier.
+        let landing = Arc::new(Mutex::new(Vec::new()));
+        let read = volume.iread("ckpt", 0, 256, landing.clone());
+        comm.barrier().unwrap();
+        read.wait();
+        let restored = landing.lock().clone();
+        assert_eq!(restored, data);
+
+        // Cross-rank agreement on the restored bytes.
+        let local_sum: i64 = restored.iter().map(|&b| b as i64).sum();
+        comm.allreduce(&[local_sum], Op::Sum).unwrap()[0]
+    });
+    let expect: i64 = (0..4i64)
+        .map(|r| (0..256).map(|i| ((i as u8).wrapping_mul(r as u8 + 1)) as i64).sum::<i64>())
+        .sum();
+    for v in results {
+        assert_eq!(v, expect);
+    }
+}
+
+#[test]
+fn three_subsystems_one_wait_loop() {
+    let results = run_ranks(WorldConfig::instant(2), |proc| {
+        let comm = proc.world_comm();
+        let stream = comm.stream().clone();
+        let engine = CopyEngine::register(&stream, DeviceConfig::instant());
+        let volume = Storage::register(&stream, StorageConfig::instant());
+        let peer = 1 - comm.rank();
+
+        // Issue one operation in each subsystem, all pending at once.
+        let dev = DeviceBuffer::alloc(64);
+        let copy = engine.h2d(&[1u8; 64], &dev, 0);
+        let write = volume.iwrite("obj", 0, &[2u8; 64]);
+        let recv = comm.irecv::<u8>(64, peer, 1).unwrap();
+        let send = comm.isend(&[3u8; 64], peer, 1).unwrap();
+
+        // One wait over all four requests; the collated engine sorts out
+        // which subsystem each belongs to.
+        let statuses = Request::wait_all(&[copy, write, send, recv.request()]);
+        assert!(statuses.iter().all(|s| !s.cancelled));
+        let (data, _) = recv.take();
+        assert_eq!(data, vec![3u8; 64]);
+        // Every subsystem's hook actually ran.
+        let stats = stream.stats();
+        assert!(stats.hook_polls[mpfa::core::SubsystemClass::DatatypeEngine as usize] > 0);
+        assert!(stats.hook_polls[mpfa::core::SubsystemClass::Other as usize] > 0);
+        true
+    });
+    assert!(results.iter().all(|&ok| ok));
+}

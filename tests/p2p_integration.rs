@@ -1,0 +1,195 @@
+//! Cross-crate integration: point-to-point messaging through the full
+//! stack (core streams → mpi protocols → simulated fabric), across every
+//! message mode of the paper's Figure 1.
+
+mod common;
+
+use common::{run_ranks, Coop};
+use mpfa::mpi::{WorldConfig, ANY_SOURCE, ANY_TAG};
+
+#[test]
+fn all_message_modes_roundtrip() {
+    // Sizes chosen to hit buffered (<=256), eager (<=64K), rendezvous
+    // single-chunk (<=chunk), and pipeline (multi-chunk) paths.
+    let sizes = [0usize, 1, 256, 257, 4096, 65536, 65537, 300_000];
+    let results = run_ranks(WorldConfig::instant(2), move |proc| {
+        let comm = proc.world_comm();
+        if comm.rank() == 0 {
+            for (tag, n) in sizes.iter().enumerate() {
+                let payload: Vec<u8> = (0..*n).map(|i| (i % 251) as u8).collect();
+                comm.send(&payload, 1, tag as i32).unwrap();
+            }
+            true
+        } else {
+            for (tag, n) in sizes.iter().enumerate() {
+                let (data, status) = comm.recv::<u8>(*n, 0, tag as i32).unwrap();
+                assert_eq!(data.len(), *n, "size mismatch at tag {tag}");
+                assert_eq!(status.bytes, *n);
+                for (i, b) in data.iter().enumerate() {
+                    assert_eq!(*b, (i % 251) as u8, "corrupt byte at {i}, size {n}");
+                }
+            }
+            true
+        }
+    });
+    assert!(results.iter().all(|&ok| ok));
+}
+
+#[test]
+fn shmem_and_netmod_paths_deliver() {
+    // 4 ranks, 2 per node: 0<->1 is shmem, 0<->2 is netmod.
+    let results = run_ranks(WorldConfig::instant_nodes(4, 2), |proc| {
+        let comm = proc.world_comm();
+        let rank = comm.rank();
+        let peer = rank ^ 1; // same node
+        let far = (rank + 2) % 4; // other node
+        let r1 = comm.irecv::<i32>(1, peer, 1).unwrap();
+        let r2 = comm.irecv::<i32>(1, far, 2).unwrap();
+        comm.isend(&[rank], peer, 1).unwrap();
+        comm.isend(&[rank * 100], far, 2).unwrap();
+        let (near, _) = r1.wait();
+        let (farv, _) = r2.wait();
+        (near[0], farv[0])
+    });
+    for (rank, (near, farv)) in results.iter().enumerate() {
+        assert_eq!(*near, (rank ^ 1) as i32);
+        assert_eq!(*farv, ((rank + 2) % 4 * 100) as i32);
+    }
+}
+
+#[test]
+fn wildcard_receive_collects_from_all() {
+    let n = 6;
+    let results = run_ranks(WorldConfig::instant(n), move |proc| {
+        let comm = proc.world_comm();
+        if comm.rank() == 0 {
+            let mut seen = vec![false; n];
+            for _ in 1..n {
+                let (data, status) = comm.recv::<i64>(1, ANY_SOURCE, ANY_TAG).unwrap();
+                assert_eq!(data[0], status.source as i64 * 7);
+                assert_eq!(status.tag, status.source + 100);
+                seen[status.source as usize] = true;
+            }
+            seen.iter().skip(1).all(|&s| s)
+        } else {
+            let r = comm.rank();
+            comm.send(&[r as i64 * 7], 0, r + 100).unwrap();
+            true
+        }
+    });
+    assert!(results.iter().all(|&ok| ok));
+}
+
+#[test]
+fn sendrecv_ring_rotation() {
+    let n = 5;
+    let results = run_ranks(WorldConfig::instant(n), move |proc| {
+        let comm = proc.world_comm();
+        let rank = comm.rank();
+        let size = comm.size() as i32;
+        let right = (rank + 1) % size;
+        let left = (rank - 1).rem_euclid(size);
+        let (got, status) = comm
+            .sendrecv(&[rank as f64; 3], right, 9, 3, left, 9)
+            .unwrap();
+        assert_eq!(status.source, left);
+        got[0] as i32
+    });
+    for (rank, got) in results.iter().enumerate() {
+        assert_eq!(*got, (rank as i32 - 1).rem_euclid(5));
+    }
+}
+
+#[test]
+fn message_ordering_per_pair_is_fifo() {
+    let results = run_ranks(WorldConfig::cluster(2), |proc| {
+        let comm = proc.world_comm();
+        if comm.rank() == 0 {
+            // Mixed sizes so protocol modes interleave; order must hold.
+            for i in 0..100i32 {
+                let n = if i % 3 == 0 { 8 } else { 2000 };
+                comm.isend(&vec![i; n], 1, 4).unwrap();
+            }
+            comm.barrier().unwrap();
+            true
+        } else {
+            for i in 0..100i32 {
+                let n = if i % 3 == 0 { 8 } else { 2000 };
+                let (data, _) = comm.recv::<i32>(n, 0, 4).unwrap();
+                assert_eq!(data[0], i, "FIFO violated at message {i}");
+                assert_eq!(data.len(), n);
+            }
+            comm.barrier().unwrap();
+            true
+        }
+    });
+    assert!(results.iter().all(|&ok| ok));
+}
+
+#[test]
+fn iprobe_reports_pending_messages() {
+    let results = run_ranks(WorldConfig::instant(2), |proc| {
+        let comm = proc.world_comm();
+        if comm.rank() == 0 {
+            comm.send(&[42i32; 4], 1, 11).unwrap();
+            comm.barrier().unwrap();
+            true
+        } else {
+            // Probe until the message is visible.
+            let mut probe = None;
+            for _ in 0..1_000_000 {
+                probe = comm.iprobe(0, 11).unwrap();
+                if probe.is_some() {
+                    break;
+                }
+            }
+            let (src, tag, bytes) = probe.expect("message never probed");
+            assert_eq!((src, tag, bytes), (0, 11, 16));
+            // Probing does not consume: the receive still matches.
+            let (data, _) = comm.recv::<i32>(4, 0, 11).unwrap();
+            assert_eq!(data, vec![42; 4]);
+            comm.barrier().unwrap();
+            true
+        }
+    });
+    assert!(results.iter().all(|&ok| ok));
+}
+
+#[test]
+fn coop_bidirectional_flood() {
+    // Cooperative: both ranks exchange many messages simultaneously.
+    let w = Coop::new(WorldConfig::instant(2));
+    let comms = w.comms();
+    let n = 64;
+    let mut recvs = Vec::new();
+    for i in 0..n {
+        recvs.push((0, comms[0].irecv::<u32>(16, 1, i).unwrap()));
+        recvs.push((1, comms[1].irecv::<u32>(16, 0, i).unwrap()));
+    }
+    for i in 0..n {
+        comms[0].isend(&[i as u32; 16], 1, i).unwrap();
+        comms[1].isend(&[i as u32 + 1000; 16], 0, i).unwrap();
+    }
+    w.drive(|| recvs.iter().all(|(_, r)| r.is_complete()), 1_000_000);
+    for (owner, r) in recvs {
+        let (data, status) = r.take();
+        let expect = if owner == 0 { status.tag as u32 + 1000 } else { status.tag as u32 };
+        assert_eq!(data, vec![expect; 16]);
+    }
+}
+
+#[test]
+fn invalid_arguments_are_rejected() {
+    let results = run_ranks(WorldConfig::instant(2), |proc| {
+        let comm = proc.world_comm();
+        assert!(comm.isend(&[1i32], 5, 0).is_err()); // bad rank
+        assert!(comm.isend(&[1i32], -1, 0).is_err());
+        assert!(comm.isend(&[1i32], 1, -2).is_err()); // bad tag
+        assert!(comm.irecv::<i32>(1, 7, 0).is_err());
+        assert!(comm.irecv::<i32>(1, 0, -9).is_err());
+        // Wildcards ARE valid for receives.
+        assert!(comm.irecv::<i32>(1, ANY_SOURCE, ANY_TAG).is_ok());
+        true
+    });
+    assert!(results.iter().all(|&ok| ok));
+}

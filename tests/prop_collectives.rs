@@ -1,0 +1,175 @@
+//! Property-based tests: collectives (native and user-level) against
+//! serial references, for arbitrary payloads and rank counts, on the
+//! cooperative driver (deterministic on any host).
+
+mod common;
+
+use common::Coop;
+use mpfa::interop::user_coll::my_iallreduce;
+use mpfa::mpi::{Op, WorldConfig};
+use proptest::prelude::*;
+
+const MAX_SWEEPS: u64 = 10_000_000;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn allreduce_sum_matches_serial(
+        ranks in 1usize..9,
+        data in proptest::collection::vec(-1000i64..1000, 1..20),
+    ) {
+        let w = Coop::new(WorldConfig::instant(ranks));
+        let comms = w.comms();
+        let futs: Vec<_> = comms
+            .iter()
+            .map(|c| {
+                let mine: Vec<i64> =
+                    data.iter().map(|v| v * (c.rank() as i64 + 1)).collect();
+                c.iallreduce(&mine, Op::Sum).unwrap()
+            })
+            .collect();
+        w.drive(|| futs.iter().all(|f| f.is_complete()), MAX_SWEEPS);
+        let factor: i64 = (1..=ranks as i64).sum();
+        let expect: Vec<i64> = data.iter().map(|v| v * factor).collect();
+        for f in futs {
+            prop_assert_eq!(f.take(), expect.clone());
+        }
+    }
+
+    #[test]
+    fn allreduce_min_max_match_serial(
+        ranks in 1usize..7,
+        base in proptest::collection::vec(any::<i32>(), 1..10),
+    ) {
+        let w = Coop::new(WorldConfig::instant(ranks));
+        let comms = w.comms();
+        // Rank r's value at index i: base[i] rotated by r.
+        let value = |r: usize, i: usize| base[(i + r) % base.len()];
+        let maxs: Vec<_> = comms
+            .iter()
+            .map(|c| {
+                let mine: Vec<i32> =
+                    (0..base.len()).map(|i| value(c.rank() as usize, i)).collect();
+                c.iallreduce(&mine, Op::Max).unwrap()
+            })
+            .collect();
+        w.drive(|| maxs.iter().all(|f| f.is_complete()), MAX_SWEEPS);
+        for f in maxs {
+            let got = f.take();
+            for (i, v) in got.iter().enumerate() {
+                let expect = (0..ranks).map(|r| value(r, i)).max().unwrap();
+                prop_assert_eq!(*v, expect);
+            }
+        }
+    }
+
+    #[test]
+    fn user_allreduce_equals_native_allreduce(
+        log_ranks in 0u32..4,
+        data in proptest::collection::vec(-10_000i32..10_000, 1..16),
+    ) {
+        let ranks = 1usize << log_ranks;
+        let w = Coop::new(WorldConfig::instant(ranks));
+        let comms = w.comms();
+
+        let native: Vec<_> = comms
+            .iter()
+            .map(|c| {
+                let mine: Vec<i32> = data.iter().map(|v| v ^ c.rank()).collect();
+                c.iallreduce(&mine, Op::Sum).unwrap()
+            })
+            .collect();
+        w.drive(|| native.iter().all(|f| f.is_complete()), MAX_SWEEPS);
+        let native: Vec<Vec<i32>> = native.into_iter().map(|f| f.take()).collect();
+
+        let user: Vec<_> = comms
+            .iter()
+            .map(|c| {
+                let mine: Vec<i32> = data.iter().map(|v| v ^ c.rank()).collect();
+                my_iallreduce(c, mine).unwrap()
+            })
+            .collect();
+        w.drive(|| user.iter().all(|f| f.is_complete()), MAX_SWEEPS);
+        for (n, u) in native.into_iter().zip(user) {
+            prop_assert_eq!(n, u.take());
+        }
+    }
+
+    #[test]
+    fn allgather_concatenates_in_rank_order(
+        ranks in 1usize..7,
+        block in 0usize..8,
+    ) {
+        let w = Coop::new(WorldConfig::instant(ranks));
+        let comms = w.comms();
+        let futs: Vec<_> = comms
+            .iter()
+            .map(|c| {
+                let mine: Vec<u32> =
+                    (0..block).map(|i| (c.rank() as u32) * 1000 + i as u32).collect();
+                c.iallgather(&mine).unwrap()
+            })
+            .collect();
+        w.drive(|| futs.iter().all(|f| f.is_complete()), MAX_SWEEPS);
+        let mut expect = Vec::new();
+        for r in 0..ranks as u32 {
+            for i in 0..block as u32 {
+                expect.push(r * 1000 + i);
+            }
+        }
+        for f in futs {
+            prop_assert_eq!(f.take(), expect.clone());
+        }
+    }
+
+    #[test]
+    fn alltoall_is_a_transpose(ranks in 1usize..6, count in 1usize..4) {
+        let w = Coop::new(WorldConfig::instant(ranks));
+        let comms = w.comms();
+        let futs: Vec<_> = comms
+            .iter()
+            .map(|c| {
+                let mine: Vec<i32> = (0..ranks * count)
+                    .map(|i| (c.rank() as usize * 10_000 + i) as i32)
+                    .collect();
+                c.ialltoall(&mine, count).unwrap()
+            })
+            .collect();
+        w.drive(|| futs.iter().all(|f| f.is_complete()), MAX_SWEEPS);
+        for (dst, f) in futs.into_iter().enumerate() {
+            let got = f.take();
+            for src in 0..ranks {
+                for k in 0..count {
+                    let expect = (src * 10_000 + dst * count + k) as i32;
+                    prop_assert_eq!(got[src * count + k], expect);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bcast_delivers_root_payload(
+        ranks in 1usize..7,
+        root_choice in any::<usize>(),
+        data in proptest::collection::vec(any::<i16>(), 0..12),
+    ) {
+        let root = (root_choice % ranks) as i32;
+        let w = Coop::new(WorldConfig::instant(ranks));
+        let comms = w.comms();
+        let futs: Vec<_> = comms
+            .iter()
+            .map(|c| {
+                if c.rank() == root {
+                    c.ibcast(Some(&data[..]), data.len(), root).unwrap()
+                } else {
+                    c.ibcast::<i16>(None, data.len(), root).unwrap()
+                }
+            })
+            .collect();
+        w.drive(|| futs.iter().all(|f| f.is_complete()), MAX_SWEEPS);
+        for f in futs {
+            prop_assert_eq!(f.take(), data.clone());
+        }
+    }
+}

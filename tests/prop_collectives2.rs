@@ -1,0 +1,190 @@
+//! Property-based tests for the second wave of collectives: scans,
+//! reduce-scatter, ring allreduce, scatter-allgather bcast, and the
+//! variable-count family — all against serial references on the
+//! cooperative driver.
+
+mod common;
+
+use common::Coop;
+use mpfa::mpi::{Op, WorldConfig};
+use proptest::prelude::*;
+
+const MAX_SWEEPS: u64 = 10_000_000;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(20))]
+
+    #[test]
+    fn scan_matches_prefix_sums(
+        ranks in 1usize..8,
+        data in proptest::collection::vec(-100i64..100, 1..8),
+    ) {
+        let w = Coop::new(WorldConfig::instant(ranks));
+        let comms = w.comms();
+        let value = |r: usize, i: usize| data[i].wrapping_mul(r as i64 + 1);
+        let futs: Vec<_> = comms
+            .iter()
+            .map(|c| {
+                let mine: Vec<i64> =
+                    (0..data.len()).map(|i| value(c.rank() as usize, i)).collect();
+                c.iscan(&mine, Op::Sum).unwrap()
+            })
+            .collect();
+        w.drive(|| futs.iter().all(|f| f.is_complete()), MAX_SWEEPS);
+        for (r, f) in futs.into_iter().enumerate() {
+            let got = f.take();
+            for (i, v) in got.iter().enumerate() {
+                let expect: i64 = (0..=r).map(|rr| value(rr, i)).sum();
+                prop_assert_eq!(*v, expect, "rank {} index {}", r, i);
+            }
+        }
+    }
+
+    #[test]
+    fn exscan_excludes_self(
+        ranks in 2usize..8,
+        seed in -50i32..50,
+    ) {
+        let w = Coop::new(WorldConfig::instant(ranks));
+        let comms = w.comms();
+        let futs: Vec<_> = comms
+            .iter()
+            .map(|c| c.iexscan(&[seed + c.rank()], Op::Sum).unwrap())
+            .collect();
+        w.drive(|| futs.iter().all(|f| f.is_complete()), MAX_SWEEPS);
+        for (r, f) in futs.into_iter().enumerate() {
+            let got = f.take();
+            if r == 0 {
+                prop_assert!(got.is_empty());
+            } else {
+                let expect: i32 = (0..r as i32).map(|rr| seed + rr).sum();
+                prop_assert_eq!(got, vec![expect]);
+            }
+        }
+    }
+
+    #[test]
+    fn reduce_scatter_equals_allreduce_block(
+        ranks in 1usize..7,
+        count in 1usize..5,
+        seed in any::<i32>(),
+    ) {
+        let w = Coop::new(WorldConfig::instant(ranks));
+        let comms = w.comms();
+        let value = |r: usize, i: usize| {
+            (seed as i64).wrapping_add((r as i64) << 16).wrapping_add(i as i64)
+        };
+        let rs: Vec<_> = comms
+            .iter()
+            .map(|c| {
+                let mine: Vec<i64> =
+                    (0..ranks * count).map(|i| value(c.rank() as usize, i)).collect();
+                c.ireduce_scatter_block(&mine, count, Op::Sum).unwrap()
+            })
+            .collect();
+        w.drive(|| rs.iter().all(|f| f.is_complete()), MAX_SWEEPS);
+        for (r, f) in rs.into_iter().enumerate() {
+            let got = f.take();
+            for (k, g) in got.iter().enumerate() {
+                let i = r * count + k;
+                let expect: i64 = (0..ranks).map(|rr| value(rr, i)).sum();
+                prop_assert_eq!(*g, expect, "rank {} block elem {}", r, k);
+            }
+        }
+    }
+
+    #[test]
+    fn ring_allreduce_equals_rd(
+        ranks in 2usize..7,
+        data in proptest::collection::vec(-1000i32..1000, 1..30),
+    ) {
+        let w = Coop::new(WorldConfig::instant(ranks));
+        let comms = w.comms();
+        let mine = |r: usize| -> Vec<i32> { data.iter().map(|v| v ^ (r as i32)).collect() };
+
+        let rd: Vec<_> = comms
+            .iter()
+            .map(|c| c.iallreduce(&mine(c.rank() as usize), Op::Sum).unwrap())
+            .collect();
+        w.drive(|| rd.iter().all(|f| f.is_complete()), MAX_SWEEPS);
+        let rd: Vec<Vec<i32>> = rd.into_iter().map(|f| f.take()).collect();
+
+        let ring: Vec<_> = comms
+            .iter()
+            .map(|c| c.iallreduce_ring(&mine(c.rank() as usize), Op::Sum).unwrap())
+            .collect();
+        w.drive(|| ring.iter().all(|f| f.is_complete()), MAX_SWEEPS);
+        for (a, b) in rd.into_iter().zip(ring) {
+            prop_assert_eq!(a, b.take());
+        }
+    }
+
+    #[test]
+    fn sag_bcast_equals_binomial(
+        ranks in 2usize..7,
+        count in 1usize..40,
+        root_pick in any::<usize>(),
+    ) {
+        let root = (root_pick % ranks) as i32;
+        let payload: Vec<i32> = (0..count as i32).map(|i| i.wrapping_mul(37)).collect();
+        let w = Coop::new(WorldConfig::instant(ranks));
+        let comms = w.comms();
+        let futs: Vec<_> = comms
+            .iter()
+            .map(|c| {
+                if c.rank() == root {
+                    c.ibcast_sag(Some(&payload), count, root).unwrap()
+                } else {
+                    c.ibcast_sag::<i32>(None, count, root).unwrap()
+                }
+            })
+            .collect();
+        w.drive(|| futs.iter().all(|f| f.is_complete()), MAX_SWEEPS);
+        for f in futs {
+            prop_assert_eq!(f.take(), payload.clone());
+        }
+    }
+
+    #[test]
+    fn gatherv_scatterv_are_inverses(
+        ranks in 1usize..6,
+        counts_seed in proptest::collection::vec(0usize..5, 1..6),
+    ) {
+        let w = Coop::new(WorldConfig::instant(ranks));
+        let comms = w.comms();
+        let counts: Vec<usize> = (0..ranks).map(|r| counts_seed[r % counts_seed.len()]).collect();
+
+        // gatherv to rank 0…
+        let g: Vec<_> = comms
+            .iter()
+            .map(|c| {
+                let r = c.rank() as usize;
+                let mine: Vec<i32> = (0..counts[r] as i32).map(|i| (r as i32) * 100 + i).collect();
+                c.igatherv(&mine, &counts, 0).unwrap()
+            })
+            .collect();
+        w.drive(|| g.iter().all(|f| f.is_complete()), MAX_SWEEPS);
+        let gathered = g.into_iter().map(|f| f.take()).collect::<Vec<_>>();
+        let root_view = gathered[0].clone();
+        let total: usize = counts.iter().sum();
+        prop_assert_eq!(root_view.len(), total);
+
+        // …then scatterv back: each rank recovers its original block.
+        let s: Vec<_> = comms
+            .iter()
+            .map(|c| {
+                if c.rank() == 0 {
+                    c.iscatterv(Some(&root_view), &counts, 0).unwrap()
+                } else {
+                    c.iscatterv::<i32>(None, &counts, 0).unwrap()
+                }
+            })
+            .collect();
+        w.drive(|| s.iter().all(|f| f.is_complete()), MAX_SWEEPS);
+        for (r, f) in s.into_iter().enumerate() {
+            let got = f.take();
+            let expect: Vec<i32> = (0..counts[r] as i32).map(|i| (r as i32) * 100 + i).collect();
+            prop_assert_eq!(got, expect, "rank {}", r);
+        }
+    }
+}

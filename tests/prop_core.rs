@@ -1,0 +1,151 @@
+//! Property-based tests of the core progress engine: for arbitrary
+//! mixtures of task behaviors, the engine must drain, account, and
+//! isolate correctly.
+
+use mpfa::core::{AsyncPoll, CompletionCounter, Stream};
+use proptest::prelude::*;
+
+/// A task's scripted behavior.
+#[derive(Debug, Clone)]
+enum Behavior {
+    /// Complete after `polls` pending polls.
+    CompleteAfter { polls: u8 },
+    /// Report progress `progresses` times, then complete.
+    ProgressThenDone { progresses: u8 },
+    /// Panic on poll number `at` (0-based).
+    PanicAt { at: u8 },
+    /// Spawn `children` instant children, then complete.
+    SpawnThenDone { children: u8 },
+}
+
+fn behavior_strategy() -> impl Strategy<Value = Behavior> {
+    prop_oneof![
+        (0u8..8).prop_map(|polls| Behavior::CompleteAfter { polls }),
+        (0u8..5).prop_map(|progresses| Behavior::ProgressThenDone { progresses }),
+        (0u8..4).prop_map(|at| Behavior::PanicAt { at }),
+        (0u8..6).prop_map(|children| Behavior::SpawnThenDone { children }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn engine_drains_any_task_mixture(behaviors in proptest::collection::vec(behavior_strategy(), 0..40)) {
+        let stream = Stream::create();
+        let completions = CompletionCounter::new(0);
+        let mut expected_completions = 0usize;
+        let mut expected_poisoned = 0u64;
+
+        for b in &behaviors {
+            match *b {
+                Behavior::CompleteAfter { polls } => {
+                    expected_completions += 1;
+                    let mut left = polls;
+                    let done = completions.clone();
+                    done.add(1);
+                    stream.async_start(move |_t| {
+                        if left == 0 {
+                            done.done();
+                            AsyncPoll::Done
+                        } else {
+                            left -= 1;
+                            AsyncPoll::Pending
+                        }
+                    });
+                }
+                Behavior::ProgressThenDone { progresses } => {
+                    expected_completions += 1;
+                    let mut left = progresses;
+                    let done = completions.clone();
+                    done.add(1);
+                    stream.async_start(move |_t| {
+                        if left == 0 {
+                            done.done();
+                            AsyncPoll::Done
+                        } else {
+                            left -= 1;
+                            AsyncPoll::Progress
+                        }
+                    });
+                }
+                Behavior::PanicAt { at } => {
+                    expected_poisoned += 1;
+                    let mut n = 0;
+                    stream.async_start(move |_t| {
+                        if n == at {
+                            panic!("scripted poison");
+                        }
+                        n += 1;
+                        AsyncPoll::Pending
+                    });
+                }
+                Behavior::SpawnThenDone { children } => {
+                    expected_completions += 1 + children as usize;
+                    let done = completions.clone();
+                    done.add(1 + children as usize);
+                    stream.async_start(move |t| {
+                        for _ in 0..children {
+                            let d = done.clone();
+                            t.spawn(move |_t2| {
+                                d.done();
+                                AsyncPoll::Done
+                            });
+                        }
+                        done.done();
+                        AsyncPoll::Done
+                    });
+                }
+            }
+        }
+
+        prop_assert!(stream.drain(10.0), "engine failed to drain");
+        prop_assert_eq!(stream.pending_tasks(), 0);
+        prop_assert_eq!(completions.remaining(), 0);
+        prop_assert_eq!(stream.poisoned_tasks(), expected_poisoned);
+        let stats = stream.stats();
+        prop_assert_eq!(stats.task_completions, expected_completions as u64);
+        prop_assert!(stats.task_polls >= stats.task_completions);
+    }
+
+    #[test]
+    fn pending_count_is_exact_at_every_step(
+        batch_sizes in proptest::collection::vec(1usize..10, 1..6),
+    ) {
+        let stream = Stream::create();
+        let mut alive = 0usize;
+        for batch in &batch_sizes {
+            for _ in 0..*batch {
+                // Complete after exactly one poll.
+                let mut first = true;
+                stream.async_start(move |_t| {
+                    if first {
+                        first = false;
+                        AsyncPoll::Pending
+                    } else {
+                        AsyncPoll::Done
+                    }
+                });
+                alive += 1;
+            }
+            prop_assert_eq!(stream.pending_tasks(), alive);
+            // One progress: nobody completes on the first poll.
+            stream.progress();
+            prop_assert_eq!(stream.pending_tasks(), alive);
+            // Second progress: this batch and all previous complete.
+            stream.progress();
+            alive = 0;
+            prop_assert_eq!(stream.pending_tasks(), 0);
+        }
+    }
+
+    #[test]
+    fn drain_is_idempotent(extra_drains in 1usize..5) {
+        let stream = Stream::create();
+        stream.async_start(|_t| AsyncPoll::Done);
+        for _ in 0..extra_drains {
+            prop_assert!(stream.drain(1.0));
+        }
+        prop_assert_eq!(stream.pending_tasks(), 0);
+    }
+}

@@ -1,0 +1,91 @@
+//! Property-based tests for the datatype layer: byte round-trips and
+//! pack/unpack invariants for arbitrary layouts.
+
+use mpfa::mpi::datatype::{from_bytes, read_into, to_bytes, Layout};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn bytes_roundtrip_i32(data in proptest::collection::vec(any::<i32>(), 0..200)) {
+        let bytes = to_bytes(&data);
+        prop_assert_eq!(bytes.len(), data.len() * 4);
+        let back: Vec<i32> = from_bytes(&bytes);
+        prop_assert_eq!(back, data);
+    }
+
+    #[test]
+    fn bytes_roundtrip_f64(data in proptest::collection::vec(any::<f64>(), 0..200)) {
+        let bytes = to_bytes(&data);
+        let back: Vec<f64> = from_bytes(&bytes);
+        // Bit-exact comparison (NaNs preserved).
+        prop_assert_eq!(back.len(), data.len());
+        for (a, b) in back.iter().zip(&data) {
+            prop_assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn bytes_roundtrip_u16(data in proptest::collection::vec(any::<u16>(), 0..300)) {
+        let bytes = to_bytes(&data);
+        let mut out = vec![0u16; data.len()];
+        read_into(&bytes, &mut out);
+        prop_assert_eq!(out, data);
+    }
+
+    #[test]
+    fn vector_pack_unpack_roundtrip(
+        count in 0usize..20,
+        blocklen in 1usize..8,
+        extra_stride in 0usize..8,
+        seed in any::<u64>(),
+    ) {
+        let stride = blocklen + extra_stride;
+        let layout = Layout::Vector { count, blocklen, stride };
+        let buf_len = layout.extent() + 3; // slack beyond the extent
+        let data: Vec<i64> = (0..buf_len as i64).map(|i| i.wrapping_mul(seed as i64 | 1)).collect();
+
+        let packed = layout.pack(&data);
+        prop_assert_eq!(packed.len(), layout.element_count());
+
+        let mut restored = vec![0i64; buf_len];
+        layout.unpack(&packed, &mut restored);
+
+        // Selected positions match the original; gaps are zero.
+        let mut selected = vec![false; buf_len];
+        for b in 0..count {
+            for j in 0..blocklen {
+                selected[b * stride + j] = true;
+            }
+        }
+        for i in 0..layout.extent() {
+            if selected[i] {
+                prop_assert_eq!(restored[i], data[i], "selected index {}", i);
+            } else {
+                prop_assert_eq!(restored[i], 0, "gap index {}", i);
+            }
+        }
+    }
+
+    #[test]
+    fn pack_is_order_preserving(
+        count in 1usize..16,
+        blocklen in 1usize..4,
+        extra in 0usize..4,
+    ) {
+        let stride = blocklen + extra;
+        let layout = Layout::Vector { count, blocklen, stride };
+        let data: Vec<i32> = (0..layout.extent() as i32).collect();
+        let packed = layout.pack(&data);
+        // Packed order must be monotonically increasing (source order).
+        for w in packed.windows(2) {
+            prop_assert!(w[0] < w[1]);
+        }
+    }
+
+    #[test]
+    fn contiguous_pack_is_prefix(count in 0usize..50, slack in 0usize..10) {
+        let layout = Layout::Contiguous { count };
+        let data: Vec<u8> = (0..(count + slack) as u32).map(|i| (i % 256) as u8).collect();
+        prop_assert_eq!(layout.pack(&data), data[..count].to_vec());
+    }
+}

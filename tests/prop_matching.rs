@@ -1,0 +1,143 @@
+//! Property-based tests of the tag-matching engine against a reference
+//! model implementing the MPI matching rules directly.
+
+use mpfa::core::{Request, Status, Stream};
+use mpfa::mpi::matching::{MatchState, PostedRecv, RecvSlot, Unexpected, ANY_SOURCE, ANY_TAG};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum OpKind {
+    /// Post a receive for (src, tag); negative = wildcard.
+    Post { src: i32, tag: i32 },
+    /// An incoming eager message from (src, tag).
+    Incoming { src: i32, tag: i32 },
+}
+
+fn op_strategy() -> impl Strategy<Value = OpKind> {
+    prop_oneof![
+        (prop_oneof![Just(ANY_SOURCE), 0..4i32], prop_oneof![Just(ANY_TAG), 0..4i32])
+            .prop_map(|(src, tag)| OpKind::Post { src, tag }),
+        (0..4i32, 0..4i32).prop_map(|(src, tag)| OpKind::Incoming { src, tag }),
+    ]
+}
+
+/// Reference model: the MPI matching rules, executed naively.
+#[derive(Default)]
+struct Model {
+    /// (post index, src, tag)
+    posted: Vec<(usize, i32, i32)>,
+    /// (incoming index, src, tag)
+    unexpected: Vec<(usize, i32, i32)>,
+    /// post index -> incoming index that satisfied it
+    pairs: Vec<(usize, usize)>,
+}
+
+impl Model {
+    fn matches(psrc: i32, ptag: i32, src: i32, tag: i32) -> bool {
+        (psrc == ANY_SOURCE || psrc == src) && (ptag == ANY_TAG || ptag == tag)
+    }
+
+    fn post(&mut self, idx: usize, src: i32, tag: i32) {
+        if let Some(pos) = self
+            .unexpected
+            .iter()
+            .position(|&(_, s, t)| Self::matches(src, tag, s, t))
+        {
+            let (inc_idx, _, _) = self.unexpected.remove(pos);
+            self.pairs.push((idx, inc_idx));
+        } else {
+            self.posted.push((idx, src, tag));
+        }
+    }
+
+    fn incoming(&mut self, idx: usize, src: i32, tag: i32) {
+        if let Some(pos) = self
+            .posted
+            .iter()
+            .position(|&(_, ps, pt)| Self::matches(ps, pt, src, tag))
+        {
+            let (post_idx, _, _) = self.posted.remove(pos);
+            self.pairs.push((post_idx, idx));
+        } else {
+            self.unexpected.push((idx, src, tag));
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn matching_agrees_with_reference_model(ops in proptest::collection::vec(op_strategy(), 0..60)) {
+        let stream = Stream::create();
+        let mut real = MatchState::new();
+        let mut model = Model::default();
+        // Track each posted receive's request + slot so we can read which
+        // incoming message (encoded in the payload) satisfied it.
+        let mut posts: Vec<(usize, Request, RecvSlot)> = Vec::new();
+        let mut post_count = 0usize;
+        let mut incoming_count = 0usize;
+
+        for op in &ops {
+            match *op {
+                OpKind::Post { src, tag } => {
+                    let idx = post_count;
+                    post_count += 1;
+                    let (req, completer) = Request::pair(&stream);
+                    let slot = RecvSlot::new();
+                    let recv = PostedRecv {
+                        src, tag,
+                        capacity: 1024,
+                        slot: slot.clone(),
+                        completer,
+                    };
+                    if let Some((recv, unexpected)) = real.post_recv(recv) {
+                        // Satisfied from the unexpected queue.
+                        if let Unexpected::Eager { data, .. } = unexpected {
+                            recv.slot.set(data);
+                        }
+                        recv.completer.complete(Status::empty());
+                    }
+                    posts.push((idx, req, slot));
+                    model.post(idx, src, tag);
+                }
+                OpKind::Incoming { src, tag } => {
+                    let idx = incoming_count;
+                    incoming_count += 1;
+                    // Payload encodes the incoming index.
+                    let data = (idx as u64).to_ne_bytes().to_vec();
+                    match real.match_incoming(src, tag) {
+                        Some(recv) => {
+                            recv.slot.set(data);
+                            recv.completer.complete(Status::empty());
+                        }
+                        None => real.push_unexpected(Unexpected::Eager { src, tag, data }),
+                    }
+                    model.incoming(idx, src, tag);
+                }
+            }
+        }
+
+        // Same queue depths.
+        prop_assert_eq!(real.posted_len(), model.posted.len());
+        prop_assert_eq!(real.unexpected_len(), model.unexpected.len());
+
+        // Same pairing: every completed post carries the incoming index
+        // the model paired it with.
+        let mut completed = 0;
+        for (post_idx, req, slot) in &posts {
+            if req.is_complete() {
+                completed += 1;
+                let bytes = slot.take();
+                prop_assert_eq!(bytes.len(), 8);
+                let inc_idx = u64::from_ne_bytes(bytes.try_into().unwrap()) as usize;
+                prop_assert!(
+                    model.pairs.contains(&(*post_idx, inc_idx)),
+                    "real paired post {} with incoming {}, model did not",
+                    post_idx, inc_idx
+                );
+            }
+        }
+        prop_assert_eq!(completed, model.pairs.len());
+    }
+}

@@ -1,0 +1,176 @@
+//! Cross-crate integration: MPIX Streams + stream communicators (VCIs),
+//! the Section 3.1/3.2 machinery end-to-end.
+
+mod common;
+
+use common::run_ranks;
+use mpfa::core::{Stream, StreamHints, SubsystemClass};
+use mpfa::mpi::{Op, WorldConfig};
+
+#[test]
+fn stream_comm_carries_traffic_on_its_own_stream() {
+    let results = run_ranks(WorldConfig::instant(2), |proc| {
+        let comm = proc.world_comm();
+        let user_stream = Stream::with_hints(StreamHints::new().name("user"));
+        let scomm = comm.with_stream(&user_stream).unwrap();
+        assert_eq!(scomm.stream().id(), user_stream.id());
+        assert_ne!(scomm.stream().id(), proc.default_stream().id());
+        // Hooks were registered on the user stream.
+        assert_eq!(user_stream.hook_count(), 4);
+
+        // Traffic flows entirely via the user stream's progress.
+        if scomm.rank() == 0 {
+            scomm.send(&[5i32; 8], 1, 1).unwrap();
+        } else {
+            let (data, _) = scomm.recv::<i32>(8, 0, 1).unwrap();
+            assert_eq!(data, vec![5; 8]);
+        }
+        true
+    });
+    assert!(results.iter().all(|&ok| ok));
+}
+
+#[test]
+fn default_stream_progress_does_not_drive_stream_comm() {
+    // A message on a stream communicator must NOT complete while only the
+    // default stream progresses (separate VCIs, separate hooks).
+    let results = run_ranks(WorldConfig::instant(2), |proc| {
+        let comm = proc.world_comm();
+        let user_stream = Stream::create();
+        let scomm = comm.with_stream(&user_stream).unwrap();
+        if scomm.rank() == 0 {
+            let req = scomm.isend(&vec![1u8; 100_000], 1, 1).unwrap(); // rendezvous
+            // Progress ONLY the default stream: handshake cannot advance
+            // on rank 0's side.
+            for _ in 0..5000 {
+                proc.default_stream().progress();
+            }
+            assert!(!req.is_complete(), "stream-comm traffic leaked onto default stream");
+            // Now progress the right stream.
+            while !req.is_complete() {
+                user_stream.progress();
+            }
+        } else {
+            let recv = scomm.irecv::<u8>(100_000, 0, 1).unwrap();
+            while !recv.is_complete() {
+                user_stream.progress();
+            }
+            assert_eq!(recv.take().0.len(), 100_000);
+        }
+        true
+    });
+    assert!(results.iter().all(|&ok| ok));
+}
+
+#[test]
+fn concurrent_traffic_on_default_and_stream_comms() {
+    let results = run_ranks(WorldConfig::instant(2), |proc| {
+        let comm = proc.world_comm();
+        let user_stream = Stream::create();
+        let scomm = comm.with_stream(&user_stream).unwrap();
+        let peer = 1 - comm.rank();
+
+        // In-flight on both communicators simultaneously.
+        let r_world = comm.irecv::<i32>(4, peer, 1).unwrap();
+        let r_stream = scomm.irecv::<i32>(4, peer, 1).unwrap();
+        comm.isend(&[1i32; 4], peer, 1).unwrap();
+        scomm.isend(&[2i32; 4], peer, 1).unwrap();
+
+        // Drive both streams until both complete.
+        while !(r_world.is_complete() && r_stream.is_complete()) {
+            proc.default_stream().progress();
+            user_stream.progress();
+        }
+        let (w, _) = r_world.take();
+        let (s, _) = r_stream.take();
+        assert_eq!(w, vec![1; 4]);
+        assert_eq!(s, vec![2; 4]);
+        true
+    });
+    assert!(results.iter().all(|&ok| ok));
+}
+
+#[test]
+fn collectives_work_on_stream_comms() {
+    let results = run_ranks(WorldConfig::instant(4), |proc| {
+        let comm = proc.world_comm();
+        let user_stream = Stream::create();
+        let scomm = comm.with_stream(&user_stream).unwrap();
+        let out = scomm.allreduce(&[scomm.rank() + 1], Op::Sum).unwrap();
+        out[0]
+    });
+    for v in results {
+        assert_eq!(v, 10);
+    }
+}
+
+#[test]
+fn vci_exhaustion_surfaces_as_error() {
+    let mut cfg = WorldConfig::instant(2);
+    cfg.max_vcis = 3; // VCI 0 + two stream comms
+    let results = run_ranks(cfg, |proc| {
+        let comm = proc.world_comm();
+        let s1 = Stream::create();
+        let s2 = Stream::create();
+        let s3 = Stream::create();
+        assert!(comm.with_stream(&s1).is_ok());
+        assert!(comm.with_stream(&s2).is_ok());
+        comm.with_stream(&s3).is_err()
+    });
+    assert!(results.iter().all(|&exhausted| exhausted));
+}
+
+#[test]
+fn stream_hints_skip_netmod_class() {
+    // A stream hinted to skip netmod never polls it — messages on a comm
+    // bound to that stream would starve on the net path, so use it only
+    // for local tasks (the paper's §3.2 scenario: latency-sensitive
+    // streams decouple from inter-node progress).
+    let stream = Stream::with_hints(StreamHints::new().skip(SubsystemClass::Netmod));
+    use mpfa::core::{ProgressHook};
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
+    struct Probe(Arc<AtomicU64>, SubsystemClass);
+    impl ProgressHook for Probe {
+        fn name(&self) -> &str {
+            "probe"
+        }
+        fn class(&self) -> SubsystemClass {
+            self.1
+        }
+        fn poll(&self) -> bool {
+            self.0.fetch_add(1, Ordering::Relaxed);
+            false
+        }
+    }
+    let net = Arc::new(AtomicU64::new(0));
+    let shm = Arc::new(AtomicU64::new(0));
+    stream.register_hook(Probe(net.clone(), SubsystemClass::Netmod));
+    stream.register_hook(Probe(shm.clone(), SubsystemClass::Shmem));
+    for _ in 0..100 {
+        stream.progress();
+    }
+    assert_eq!(net.load(Ordering::Relaxed), 0);
+    assert_eq!(shm.load(Ordering::Relaxed), 100);
+}
+
+#[test]
+fn dup_of_stream_comm_inherits_vci() {
+    let results = run_ranks(WorldConfig::instant(2), |proc| {
+        let comm = proc.world_comm();
+        let user_stream = Stream::create();
+        let scomm = comm.with_stream(&user_stream).unwrap();
+        let dup = scomm.dup().unwrap();
+        // Same stream (same VCI) as the parent stream-comm.
+        assert_eq!(dup.stream().id(), user_stream.id());
+        // And it carries traffic.
+        if dup.rank() == 0 {
+            dup.send(&[1u8], 1, 0).unwrap();
+        } else {
+            let (d, _) = dup.recv::<u8>(1, 0, 0).unwrap();
+            assert_eq!(d, vec![1]);
+        }
+        true
+    });
+    assert!(results.iter().all(|&ok| ok));
+}
