@@ -11,8 +11,8 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
+use mpfa_core::sync::{Condvar, Mutex};
 use mpfa_core::Stream;
-use parking_lot::{Condvar, Mutex};
 
 /// Tuning knobs of the adaptive thread.
 #[derive(Debug, Clone, Copy)]
@@ -52,7 +52,10 @@ impl AdaptiveProgressThread {
         let shutdown = Arc::new(AtomicBool::new(false));
         let iterations = Arc::new(AtomicU64::new(0));
         let sleeps = Arc::new(AtomicU64::new(0));
-        let doze = Arc::new(Doze { lock: Mutex::new(false), cv: Condvar::new() });
+        let doze = Arc::new(Doze {
+            lock: Mutex::new(false),
+            cv: Condvar::new(),
+        });
         let thread = {
             let stream = stream.clone();
             let shutdown = shutdown.clone();
@@ -84,7 +87,13 @@ impl AdaptiveProgressThread {
                 })
                 .expect("spawn adaptive progress thread")
         };
-        AdaptiveProgressThread { shutdown, iterations, sleeps, doze, thread: Some(thread) }
+        AdaptiveProgressThread {
+            shutdown,
+            iterations,
+            sleeps,
+            doze,
+            thread: Some(thread),
+        }
     }
 
     /// Wake the thread (called from operation-initiating paths — the
@@ -160,7 +169,10 @@ mod tests {
         let stream = Stream::create();
         let bg = AdaptiveProgressThread::enable(
             &stream,
-            AdaptiveConfig { idle_polls_before_sleep: 4, max_sleep: Duration::from_micros(200) },
+            AdaptiveConfig {
+                idle_polls_before_sleep: 4,
+                max_sleep: Duration::from_micros(200),
+            },
         );
         // Nothing to do: the thread must start sleeping.
         let t0 = wtime();
@@ -179,7 +191,10 @@ mod tests {
         let bg = AdaptiveProgressThread::enable(
             &stream,
             // Effectively never wake by timeout.
-            AdaptiveConfig { idle_polls_before_sleep: 1, max_sleep: Duration::from_secs(10) },
+            AdaptiveConfig {
+                idle_polls_before_sleep: 1,
+                max_sleep: Duration::from_secs(10),
+            },
         );
         let t0 = wtime();
         while bg.sleeps() == 0 {

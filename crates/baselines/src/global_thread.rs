@@ -43,7 +43,11 @@ impl GlobalProgressThread {
                 })
                 .expect("spawn async progress thread")
         };
-        GlobalProgressThread { shutdown, iterations, thread: Some(thread) }
+        GlobalProgressThread {
+            shutdown,
+            iterations,
+            thread: Some(thread),
+        }
     }
 
     /// Progress-loop iterations so far.

@@ -51,7 +51,10 @@ pub fn wait_all_by_testing(requests: &[Request]) -> (Vec<Status>, PollStats) {
         }
     }
     (
-        statuses.into_iter().map(|s| s.expect("all complete")).collect(),
+        statuses
+            .into_iter()
+            .map(|s| s.expect("all complete"))
+            .collect(),
         stats,
     )
 }

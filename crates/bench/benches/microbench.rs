@@ -1,35 +1,93 @@
-//! Criterion micro-benchmarks over the extension APIs and the runtime —
-//! the per-operation costs underlying every figure:
+//! Micro-benchmarks over the extension APIs and the runtime — the
+//! per-operation costs underlying every figure:
 //!
 //! * `progress_call/*` — cost of one `MPIX_Stream_progress` (empty / idle
 //!   MPI hooks / N pending tasks) — Figure 7's slope.
-//! * `is_complete` — the `MPIX_Request_is_complete` atomic query —
-//!   Figure 12's per-request cost.
-//! * `request_scan/*` — a Listing 1.6 scan over N pending requests.
-//! * `task_class_cycle` — Listing 1.4's push + drain.
-//! * `allreduce/*` — cooperative 4-rank single-int allreduce, native vs
-//!   user-level — Figure 13's unit of work.
+//! * `request_query/is_complete` — the `MPIX_Request_is_complete` atomic
+//!   query — Figure 12's per-request cost.
+//! * `request_query/scan_pending/*` — a Listing 1.6 scan over N pending
+//!   requests.
+//! * `task_class/push_drain` — Listing 1.4's push + drain.
+//! * `allreduce_p4/*` — cooperative 4-rank single-int allreduce, native
+//!   vs user-level — Figure 13's unit of work.
 //! * `p2p_pingpong/*` — small/eager/rendezvous round trips.
+//!
+//! Self-contained harness (`harness = false`): warms up, then runs
+//! adaptive batches for a fixed measurement window and reports mean and
+//! p50 per iteration. Pass a substring argument to filter benchmarks.
 
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use mpfa_bench::coop::CoopWorld;
 use mpfa_core::{AsyncPoll, Request, Stream};
 use mpfa_interop::user_coll::my_iallreduce;
 use mpfa_interop::TaskClass;
 use mpfa_mpi::{Op, World, WorldConfig};
 
-fn bench_progress_call(c: &mut Criterion) {
-    let mut g = c.benchmark_group("progress_call");
-    g.measurement_time(Duration::from_millis(800)).warm_up_time(Duration::from_millis(200));
+struct Harness {
+    filter: Option<String>,
+}
 
+impl Harness {
+    fn new() -> Harness {
+        Harness {
+            filter: std::env::args().nth(1).filter(|a| !a.starts_with('-')),
+        }
+    }
+
+    /// Measure `f` (one iteration per call) and print ns/op statistics.
+    fn bench(&self, name: &str, measure: Duration, mut f: impl FnMut()) {
+        if let Some(filter) = &self.filter {
+            if !name.contains(filter.as_str()) {
+                return;
+            }
+        }
+        // Warm-up and batch-size calibration: aim for batches of ~1ms.
+        let calib_start = Instant::now();
+        let mut calib_iters = 0u64;
+        while calib_start.elapsed() < Duration::from_millis(50) {
+            f();
+            calib_iters += 1;
+        }
+        let per_iter = calib_start.elapsed().as_secs_f64() / calib_iters as f64;
+        let batch = ((1e-3 / per_iter) as u64).clamp(1, 1 << 20);
+
+        let mut samples = Vec::new();
+        let start = Instant::now();
+        while start.elapsed() < measure {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                f();
+            }
+            samples.push(t0.elapsed().as_secs_f64() / batch as f64);
+        }
+        samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        let p50 = samples[samples.len() / 2];
+        println!(
+            "{name:<40} {:>12.1} ns/op (p50 {:>12.1} ns, {} batches x {batch})",
+            mean * 1e9,
+            p50 * 1e9,
+            samples.len(),
+        );
+    }
+}
+
+fn bench_progress_call(h: &Harness) {
     let bare = Stream::create();
-    g.bench_function("empty", |b| b.iter(|| std::hint::black_box(bare.progress())));
+    h.bench("progress_call/empty", Duration::from_millis(800), || {
+        std::hint::black_box(bare.progress());
+    });
 
     let procs = World::init(WorldConfig::instant(1));
     let idle = procs[0].default_stream().clone();
-    g.bench_function("idle_mpi_hooks", |b| b.iter(|| std::hint::black_box(idle.progress())));
+    h.bench(
+        "progress_call/idle_mpi_hooks",
+        Duration::from_millis(800),
+        || {
+            std::hint::black_box(idle.progress());
+        },
+    );
 
     for n in [1usize, 32, 256] {
         let s = Stream::create();
@@ -37,19 +95,26 @@ fn bench_progress_call(c: &mut Criterion) {
             // Never-completing pending tasks: pure poll cost.
             s.async_start(|_t| AsyncPoll::Pending);
         }
-        g.bench_with_input(BenchmarkId::new("pending_tasks", n), &n, |b, _| {
-            b.iter(|| std::hint::black_box(s.progress()))
-        });
+        h.bench(
+            &format!("progress_call/pending_tasks/{n}"),
+            Duration::from_millis(800),
+            || {
+                std::hint::black_box(s.progress());
+            },
+        );
     }
-    g.finish();
 }
 
-fn bench_is_complete(c: &mut Criterion) {
+fn bench_is_complete(h: &Harness) {
     let stream = Stream::create();
     let (req, _completer) = Request::pair(&stream);
-    let mut g = c.benchmark_group("request_query");
-    g.measurement_time(Duration::from_millis(600)).warm_up_time(Duration::from_millis(200));
-    g.bench_function("is_complete", |b| b.iter(|| std::hint::black_box(req.is_complete())));
+    h.bench(
+        "request_query/is_complete",
+        Duration::from_millis(600),
+        || {
+            std::hint::black_box(req.is_complete());
+        },
+    );
 
     for n in [16usize, 256, 4096] {
         let reqs: Vec<Request> = (0..n)
@@ -59,88 +124,80 @@ fn bench_is_complete(c: &mut Criterion) {
                 r
             })
             .collect();
-        g.bench_with_input(BenchmarkId::new("scan_pending", n), &n, |b, _| {
-            b.iter(|| std::hint::black_box(Request::all_complete(&reqs)))
-        });
+        h.bench(
+            &format!("request_query/scan_pending/{n}"),
+            Duration::from_millis(600),
+            || {
+                std::hint::black_box(Request::all_complete(&reqs));
+            },
+        );
     }
-    g.finish();
 }
 
-fn bench_task_class(c: &mut Criterion) {
-    let mut g = c.benchmark_group("task_class");
-    g.measurement_time(Duration::from_millis(800)).warm_up_time(Duration::from_millis(200));
+fn bench_task_class(h: &Harness) {
     let stream = Stream::create();
     let class = TaskClass::new(&stream);
-    g.bench_function("push_drain", |b| {
-        b.iter(|| {
-            class.push(|| true, || {});
-            while class.pending() > 0 {
-                stream.progress();
-            }
-        })
+    h.bench("task_class/push_drain", Duration::from_millis(800), || {
+        class.push(|| true, || {});
+        while class.pending() > 0 {
+            stream.progress();
+        }
     });
-    g.finish();
 }
 
-fn bench_allreduce(c: &mut Criterion) {
-    let mut g = c.benchmark_group("allreduce_p4");
-    g.measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(400));
-    g.sample_size(30);
-
+fn bench_allreduce(h: &Harness) {
     let w = CoopWorld::new(WorldConfig::cluster(4));
     let comms = w.comms();
 
-    g.bench_function("native", |b| {
-        b.iter(|| {
-            let futs: Vec<_> = comms
-                .iter()
-                .map(|cm| cm.iallreduce(&[cm.rank()], Op::Sum).unwrap())
-                .collect();
-            w.run_until(|| futs.iter().all(|f| f.is_complete()), 30.0).unwrap();
-            std::hint::black_box(futs.into_iter().map(|f| f.take()[0]).sum::<i32>())
-        })
+    h.bench("allreduce_p4/native", Duration::from_secs(2), || {
+        let futs: Vec<_> = comms
+            .iter()
+            .map(|cm| cm.iallreduce(&[cm.rank()], Op::Sum).unwrap())
+            .collect();
+        w.run_until(|| futs.iter().all(|f| f.is_complete()), 30.0)
+            .unwrap();
+        std::hint::black_box(futs.into_iter().map(|f| f.take()[0]).sum::<i32>());
     });
 
-    g.bench_function("user_level", |b| {
-        b.iter(|| {
-            let futs: Vec<_> = comms
-                .iter()
-                .map(|cm| my_iallreduce(cm, vec![cm.rank()]).unwrap())
-                .collect();
-            w.run_until(|| futs.iter().all(|f| f.is_complete()), 30.0).unwrap();
-            std::hint::black_box(futs.into_iter().map(|f| f.take()[0]).sum::<i32>())
-        })
+    h.bench("allreduce_p4/user_level", Duration::from_secs(2), || {
+        let futs: Vec<_> = comms
+            .iter()
+            .map(|cm| my_iallreduce(cm, vec![cm.rank()]).unwrap())
+            .collect();
+        w.run_until(|| futs.iter().all(|f| f.is_complete()), 30.0)
+            .unwrap();
+        std::hint::black_box(futs.into_iter().map(|f| f.take()[0]).sum::<i32>());
     });
-    g.finish();
 }
 
-fn bench_pingpong(c: &mut Criterion) {
-    let mut g = c.benchmark_group("p2p_pingpong");
-    g.measurement_time(Duration::from_secs(1)).warm_up_time(Duration::from_millis(300));
-    g.sample_size(30);
-
+fn bench_pingpong(h: &Harness) {
     let w = CoopWorld::new(WorldConfig::instant(2));
     let comms = w.comms();
-    for (label, bytes) in [("buffered_64B", 64usize), ("eager_4KiB", 4096), ("rendezvous_256KiB", 256 * 1024)] {
+    for (label, bytes) in [
+        ("buffered_64B", 64usize),
+        ("eager_4KiB", 4096),
+        ("rendezvous_256KiB", 256 * 1024),
+    ] {
         let payload = vec![0u8; bytes];
-        g.bench_function(label, |b| {
-            b.iter(|| {
+        h.bench(
+            &format!("p2p_pingpong/{label}"),
+            Duration::from_secs(1),
+            || {
                 let r = comms[1].irecv::<u8>(bytes, 0, 1).unwrap();
                 let s = comms[0].isend(&payload, 1, 1).unwrap();
-                w.run_until(|| r.is_complete() && s.is_complete(), 30.0).unwrap();
-                std::hint::black_box(r.take().0.len())
-            })
-        });
+                w.run_until(|| r.is_complete() && s.is_complete(), 30.0)
+                    .unwrap();
+                std::hint::black_box(r.take().0.len());
+            },
+        );
     }
-    g.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_progress_call,
-    bench_is_complete,
-    bench_task_class,
-    bench_allreduce,
-    bench_pingpong
-);
-criterion_main!(benches);
+fn main() {
+    let h = Harness::new();
+    bench_progress_call(&h);
+    bench_is_complete(&h);
+    bench_task_class(&h);
+    bench_allreduce(&h);
+    bench_pingpong(&h);
+}

@@ -13,12 +13,7 @@ use mpfa_mpi::{Op, WorldConfig};
 
 const RANKS: usize = 8;
 
-fn measure(
-    w: &CoopWorld,
-    count: usize,
-    reps: usize,
-    ring: bool,
-) -> f64 {
+fn measure(w: &CoopWorld, count: usize, reps: usize, ring: bool) -> f64 {
     let comms = w.comms();
     let data: Vec<Vec<i64>> = comms
         .iter()
@@ -91,6 +86,7 @@ fn measure_bcast(w: &CoopWorld, count: usize, reps: usize, sag: bool) -> f64 {
 }
 
 fn main() {
+    let _obs = mpfa_bench::obs::TraceGuard::from_args();
     let mut series = Series::new(
         &format!(
             "Ablation A5: allreduce per-rank latency by algorithm, {RANKS} ranks, \

@@ -31,11 +31,10 @@ fn run(strategy: Strategy) -> LatencyStats {
     let mut agg = LatencyStats::new();
     for rep in 0..REPS {
         let stream = Stream::create();
-        let bg_global = (strategy == Strategy::GlobalThread)
-            .then(|| GlobalProgressThread::enable(&stream));
-        let bg_adaptive = (strategy == Strategy::AdaptiveThread).then(|| {
-            AdaptiveProgressThread::enable(&stream, AdaptiveConfig::default())
-        });
+        let bg_global =
+            (strategy == Strategy::GlobalThread).then(|| GlobalProgressThread::enable(&stream));
+        let bg_adaptive = (strategy == Strategy::AdaptiveThread)
+            .then(|| AdaptiveProgressThread::enable(&stream, AdaptiveConfig::default()));
 
         let stats = shared_stats();
         let counter = CompletionCounter::new(NUM_TASKS);
@@ -70,6 +69,7 @@ fn run(strategy: Strategy) -> LatencyStats {
 }
 
 fn main() {
+    let _obs = mpfa_bench::obs::TraceGuard::from_args();
     let mut series = Series::new(
         "Ablation A3a: dummy-task progress latency by strategy (10 tasks)",
         "strategy",
@@ -121,7 +121,11 @@ fn main() {
         };
         s2.row(
             name,
-            &[calls as f64, calls as f64 / sweeps.max(1) as f64, (wtime() - t0) * 1e6],
+            &[
+                calls as f64,
+                calls as f64 / sweeps.max(1) as f64,
+                (wtime() - t0) * 1e6,
+            ],
         );
     }
     s2.print();

@@ -50,6 +50,7 @@ fn time_progress_calls(stream: &Stream, calls: u64) -> f64 {
 }
 
 fn main() {
+    let _obs = mpfa_bench::obs::TraceGuard::from_args();
     const CALLS: u64 = 200_000;
 
     // --- Part 1: empty-poll cost ------------------------------------------
@@ -85,7 +86,10 @@ fn main() {
         });
     }
     time_progress_calls(&naive0, 10_000);
-    series.row("naive-hooks-0ns", &[time_progress_calls(&naive0, CALLS) * 1e9]);
+    series.row(
+        "naive-hooks-0ns",
+        &[time_progress_calls(&naive0, CALLS) * 1e9],
+    );
 
     // Naive hooks where the netmod poll costs 100 ns (a cheap NIC doorbell
     // read) — the configuration Listing 1.1 is designed to avoid.
@@ -107,7 +111,10 @@ fn main() {
         polls: Arc::new(AtomicU64::new(0)),
     });
     time_progress_calls(&naive100, 10_000);
-    series.row("naive-netmod-100ns", &[time_progress_calls(&naive100, CALLS / 10) * 1e9]);
+    series.row(
+        "naive-netmod-100ns",
+        &[time_progress_calls(&naive100, CALLS / 10) * 1e9],
+    );
     series.print();
 
     // --- Part 2: short-circuit skips netmod under shmem traffic ----------
@@ -141,7 +148,10 @@ fn main() {
         "policy",
         &["netmod_polls"],
     );
-    s2.row("netmod-last+short-circuit", &[netmod_polls.load(Ordering::Relaxed) as f64]);
+    s2.row(
+        "netmod-last+short-circuit",
+        &[netmod_polls.load(Ordering::Relaxed) as f64],
+    );
     s2.row("(poll-everything would be)", &[10_000.0]);
     s2.print();
     println!();

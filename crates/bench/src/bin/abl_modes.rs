@@ -30,6 +30,7 @@ fn mode_name(mode: SendMode, bytes: usize, chunk: usize) -> &'static str {
 }
 
 fn main() {
+    let _obs = mpfa_bench::obs::TraceGuard::from_args();
     let mut cfg = WorldConfig::cluster(2);
     cfg.proto.buffered_max = 256;
     cfg.proto.eager_max = 16 * 1024;
@@ -74,8 +75,10 @@ fn pingpong(w: &CoopWorld, c0: &mpfa_mpi::Comm, c1: &mpfa_mpi::Comm, payload: &[
     let n = payload.len();
     let r1 = c1.irecv::<u8>(n, 0, 1).unwrap();
     let s1 = c0.isend(payload, 1, 1).unwrap();
-    w.run_until(|| r1.is_complete() && s1.is_complete(), 30.0).expect("ping");
+    w.run_until(|| r1.is_complete() && s1.is_complete(), 30.0)
+        .expect("ping");
     let r0 = c0.irecv::<u8>(n, 1, 2).unwrap();
     let s0 = c1.isend(payload, 0, 2).unwrap();
-    w.run_until(|| r0.is_complete() && s0.is_complete(), 30.0).expect("pong");
+    w.run_until(|| r0.is_complete() && s0.is_complete(), 30.0)
+        .expect("pong");
 }

@@ -39,7 +39,8 @@ fn run(slices: u64) -> (f64, f64, f64) {
     let t = wtime();
     let recv = c1.irecv::<u8>(MSG, 0, 1).unwrap();
     let send = c0.isend(&vec![3u8; MSG], 1, 1).unwrap();
-    w.run_until(|| send.is_complete() && recv.is_complete(), 30.0).unwrap();
+    w.run_until(|| send.is_complete() && recv.is_complete(), 30.0)
+        .unwrap();
     let comm_only = wtime() - t;
 
     // Measured: compute while the transfer is in flight.
@@ -56,12 +57,14 @@ fn run(slices: u64) -> (f64, f64, f64) {
             w.poll_all();
         }
     }
-    w.run_until(|| send.is_complete() && recv.is_complete(), 30.0).unwrap();
+    w.run_until(|| send.is_complete() && recv.is_complete(), 30.0)
+        .unwrap();
     let total = wtime() - t0;
     (compute_only, comm_only, total)
 }
 
 fn main() {
+    let _obs = mpfa_bench::obs::TraceGuard::from_args();
     let mut series = Series::new(
         "Ablation A2: rendezvous overlap vs progress strategy (2 MiB transfer)",
         "strategy",

@@ -12,6 +12,7 @@ use mpfa_bench::workload::measure_batch;
 use mpfa_core::Stream;
 
 fn main() {
+    let _obs = mpfa_bench::obs::TraceGuard::from_args();
     let mut series = Series::new(
         "Figure 7: progress latency vs pending independent tasks (one progress thread)",
         "tasks",

@@ -20,13 +20,7 @@ fn run(delay_us: f64, reps: usize) -> mpfa_core::stats::LatencyStats {
         let base = wtime();
         for _ in 0..NUM_TASKS {
             let deadline = base + 0.0005 + rng.next_f64() * 0.002;
-            spawn_dummy_with_poll_delay(
-                &stream,
-                deadline,
-                delay_us * 1e-6,
-                &stats,
-                &counter,
-            );
+            spawn_dummy_with_poll_delay(&stream, deadline, delay_us * 1e-6, &stats, &counter);
         }
         while !counter.is_zero() {
             stream.progress();
@@ -37,6 +31,7 @@ fn run(delay_us: f64, reps: usize) -> mpfa_core::stats::LatencyStats {
 }
 
 fn main() {
+    let _obs = mpfa_bench::obs::TraceGuard::from_args();
     let mut series = Series::new(
         "Figure 8: progress latency vs per-poll busy delay (10 pending tasks)",
         "delay_us",
@@ -45,7 +40,10 @@ fn main() {
     run(0.0, 1); // warmup
     for delay_us in [0.0, 0.5, 1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0] {
         let stats = run(delay_us, 5);
-        series.row(delay_us, &[tmean_us(&stats), median_us(&stats), p95_us(&stats)]);
+        series.row(
+            delay_us,
+            &[tmean_us(&stats), median_us(&stats), p95_us(&stats)],
+        );
     }
     series.print();
     println!();

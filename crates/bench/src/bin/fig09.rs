@@ -46,6 +46,7 @@ fn run(threads: usize, reps: usize) -> mpfa_core::stats::LatencyStats {
 }
 
 fn main() {
+    let _obs = mpfa_bench::obs::TraceGuard::from_args();
     let mut series = Series::new(
         "Figure 9: progress latency vs concurrent progress threads on ONE stream (10 tasks)",
         "threads",
@@ -54,7 +55,10 @@ fn main() {
     run(1, 1); // warmup
     for threads in [1usize, 2, 3, 4, 6, 8] {
         let stats = run(threads, 20);
-        series.row(threads, &[tmean_us(&stats), median_us(&stats), p95_us(&stats)]);
+        series.row(
+            threads,
+            &[tmean_us(&stats), median_us(&stats), p95_us(&stats)],
+        );
     }
     series.print();
     println!();

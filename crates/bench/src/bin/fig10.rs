@@ -9,9 +9,9 @@
 
 use mpfa_bench::report::{median_us, p95_us, tmean_us, Series};
 use mpfa_bench::workload::Lcg;
+use mpfa_core::sync::Mutex;
 use mpfa_core::{stats::LatencyStats, wtime, Stream};
 use mpfa_interop::TaskClass;
-use parking_lot::Mutex;
 use std::sync::Arc;
 
 fn run(n: usize, reps: usize) -> LatencyStats {
@@ -24,8 +24,9 @@ fn run(n: usize, reps: usize) -> LatencyStats {
         // In-order deadlines (the class assumption): sorted.
         let base = wtime();
         let window = 0.002 + n as f64 * 2e-6;
-        let mut deadlines: Vec<f64> =
-            (0..n).map(|_| base + 0.0005 + rng.next_f64() * window).collect();
+        let mut deadlines: Vec<f64> = (0..n)
+            .map(|_| base + 0.0005 + rng.next_f64() * window)
+            .collect();
         deadlines.sort_by(f64::total_cmp);
         for deadline in deadlines {
             let stats = stats.clone();
@@ -43,6 +44,7 @@ fn run(n: usize, reps: usize) -> LatencyStats {
 }
 
 fn main() {
+    let _obs = mpfa_bench::obs::TraceGuard::from_args();
     let mut series = Series::new(
         "Figure 10: progress latency vs pending tasks, task-class queue (Listing 1.4)",
         "tasks",

@@ -11,11 +11,9 @@
 //! scan's callback, as a function of N.
 
 use mpfa_bench::report::{median_us, p95_us, tmean_us, Series};
-use mpfa_core::{
-    stats::LatencyStats, wtime, AsyncPoll, CompletionCounter, Request, Stream,
-};
+use mpfa_core::sync::Mutex;
+use mpfa_core::{stats::LatencyStats, wtime, AsyncPoll, CompletionCounter, Request, Stream};
 use mpfa_interop::CompletionNotifier;
-use parking_lot::Mutex;
 use std::sync::Arc;
 
 fn run(n: usize, events: usize) -> LatencyStats {
@@ -60,6 +58,7 @@ fn run(n: usize, events: usize) -> LatencyStats {
 }
 
 fn main() {
+    let _obs = mpfa_bench::obs::TraceGuard::from_args();
     let mut series = Series::new(
         "Figure 12: completion-event latency vs watched (pending) requests (Listing 1.6)",
         "requests",

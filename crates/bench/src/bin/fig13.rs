@@ -70,6 +70,7 @@ fn user_latency(w: &CoopWorld) -> f64 {
 }
 
 fn main() {
+    let _obs = mpfa_bench::obs::TraceGuard::from_args();
     let mut series = Series::new(
         "Figure 13: single-int allreduce per-rank latency, native MPI_Iallreduce vs \
          user-level (Listing 1.8), cluster-like fabric",

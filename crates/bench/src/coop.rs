@@ -22,7 +22,9 @@ pub struct CoopWorld {
 impl CoopWorld {
     /// Boot `cfg` and take ownership of every rank.
     pub fn new(cfg: WorldConfig) -> CoopWorld {
-        CoopWorld { procs: World::init(cfg) }
+        CoopWorld {
+            procs: World::init(cfg),
+        }
     }
 
     /// Rank count.

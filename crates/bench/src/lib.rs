@@ -2,8 +2,12 @@
 //!
 //! One binary per evaluation figure of *MPI Progress For All* (`fig07` …
 //! `fig13`), plus ablation binaries (`abl_*`) for the design choices
-//! DESIGN.md calls out, plus criterion micro-benchmarks. Each binary
+//! DESIGN.md calls out, plus self-contained micro-benchmarks. Each binary
 //! prints the paper's series as an aligned table and as CSV on stdout.
+//!
+//! Every binary accepts `--trace <path>` (Chrome-trace JSON of recorded
+//! events; build with `--features obs`) and `--doctor` (progress-stall
+//! report + counter totals on exit) — see [`obs::TraceGuard`].
 //!
 //! ## Measurement methodology
 //!
@@ -27,5 +31,6 @@
 #![warn(missing_docs)]
 
 pub mod coop;
+pub mod obs;
 pub mod report;
 pub mod workload;

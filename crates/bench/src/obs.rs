@@ -1,0 +1,84 @@
+//! Observability wiring shared by every bench binary.
+//!
+//! Each `fig*`/`abl_*` binary installs a [`TraceGuard`] as the first line
+//! of `main`. The guard parses the common observability flags:
+//!
+//! * `--trace <path>` — on exit, write every recorded event as
+//!   Chrome-trace JSON (open in `chrome://tracing` or Perfetto). Requires
+//!   building with `--features obs`; without it the guard warns and writes
+//!   an empty (still valid) trace.
+//! * `--doctor` — on exit, run the progress doctor over the recorded
+//!   events and print its report plus the global counter totals.
+//!
+//! Flags are consumed at startup so a binary's own argument handling (if
+//! any) never sees them.
+
+use std::path::PathBuf;
+
+use mpfa_obs::{diagnose, DoctorConfig};
+
+/// RAII exporter of the process's recorded observability data.
+///
+/// Construct via [`TraceGuard::from_args`] at the top of `main`; the trace
+/// file and doctor report are produced when the guard drops.
+pub struct TraceGuard {
+    trace_path: Option<PathBuf>,
+    doctor: bool,
+}
+
+impl TraceGuard {
+    /// Parse `--trace <path>` and `--doctor` from the process arguments.
+    pub fn from_args() -> TraceGuard {
+        let mut trace_path = None;
+        let mut doctor = false;
+        let mut args = std::env::args().skip(1);
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--trace" => match args.next() {
+                    Some(p) => trace_path = Some(PathBuf::from(p)),
+                    None => {
+                        eprintln!("--trace requires a file path argument");
+                        std::process::exit(2);
+                    }
+                },
+                "--doctor" => doctor = true,
+                _ => {}
+            }
+        }
+        if (trace_path.is_some() || doctor) && !mpfa_obs::recording_enabled() {
+            eprintln!(
+                "note: event recording is compiled out; rebuild with \
+                 `--features obs` for a populated trace/doctor report"
+            );
+        }
+        TraceGuard { trace_path, doctor }
+    }
+
+    /// True when any observability output was requested.
+    pub fn active(&self) -> bool {
+        self.trace_path.is_some() || self.doctor
+    }
+}
+
+impl Drop for TraceGuard {
+    fn drop(&mut self) {
+        if !self.active() {
+            return;
+        }
+        let snaps = mpfa_obs::snapshot_all();
+        if let Some(path) = &self.trace_path {
+            match mpfa_obs::trace::write_chrome_trace(path, &snaps) {
+                Ok(()) => {
+                    let events: usize = snaps.iter().map(|s| s.events.len()).sum();
+                    eprintln!("wrote {} trace events to {}", events, path.display());
+                }
+                Err(e) => eprintln!("failed to write trace to {}: {e}", path.display()),
+            }
+        }
+        if self.doctor {
+            let report = diagnose(&snaps, &DoctorConfig::default());
+            eprintln!("{report}");
+            eprintln!("{}", mpfa_obs::global_counters().snapshot());
+        }
+    }
+}

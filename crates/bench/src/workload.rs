@@ -3,8 +3,8 @@
 
 use std::sync::Arc;
 
+use mpfa_core::sync::Mutex;
 use mpfa_core::{stats::LatencyStats, wtime, AsyncPoll, CompletionCounter, Stream};
-use parking_lot::Mutex;
 
 /// A small deterministic PRNG (splitmix-style) so runs are repeatable.
 #[derive(Debug, Clone)]
@@ -15,12 +15,17 @@ pub struct Lcg {
 impl Lcg {
     /// Seeded generator.
     pub fn new(seed: u64) -> Lcg {
-        Lcg { state: seed.wrapping_mul(0x9E3779B97F4A7C15) | 1 }
+        Lcg {
+            state: seed.wrapping_mul(0x9E3779B97F4A7C15) | 1,
+        }
     }
 
     /// Next raw 64-bit value.
     pub fn next_u64(&mut self) -> u64 {
-        self.state = self.state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        self.state = self
+            .state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         let z = self.state;
         let z = (z ^ (z >> 33)).wrapping_mul(0xFF51AFD7ED558CCD);
         z ^ (z >> 33)
@@ -93,7 +98,13 @@ pub fn spawn_dummy_with_poll_delay(
 /// uniformly over `(min_lead, min_lead + window)` seconds from now,
 /// driven by a single progress loop on `stream`. Returns the latency
 /// stats.
-pub fn measure_batch(stream: &Stream, n: usize, min_lead: f64, window: f64, seed: u64) -> LatencyStats {
+pub fn measure_batch(
+    stream: &Stream,
+    n: usize,
+    min_lead: f64,
+    window: f64,
+    seed: u64,
+) -> LatencyStats {
     let stats = shared_stats();
     let counter = CompletionCounter::new(n);
     let mut rng = Lcg::new(seed);

@@ -32,7 +32,10 @@ pub struct ProgressState {
 
 impl Default for ProgressState {
     fn default() -> Self {
-        ProgressState { skip_mask: 0, poll_tasks: true }
+        ProgressState {
+            skip_mask: 0,
+            poll_tasks: true,
+        }
     }
 }
 
@@ -59,7 +62,10 @@ impl ProgressState {
         for c in classes {
             mask &= !c.bit();
         }
-        ProgressState { skip_mask: mask, poll_tasks: true }
+        ProgressState {
+            skip_mask: mask,
+            poll_tasks: true,
+        }
     }
 
     /// Do not poll user async tasks on this call.
@@ -109,6 +115,9 @@ struct HookEntry {
     id: HookId,
     class: SubsystemClass,
     seq: u64,
+    /// Interned hook name for event records (interning happens once at
+    /// registration, never on the poll path).
+    name: mpfa_obs::NameId,
     hook: Box<dyn ProgressHook>,
 }
 
@@ -151,6 +160,9 @@ pub(crate) struct Engine {
     next_task: u64,
     /// Total user tasks ever poisoned (poll panicked).
     poisoned_total: u64,
+    /// Consecutive sweeps that made no progress (for the no-progress
+    /// streak high-water mark in the global counters).
+    idle_streak: u64,
     stats: EngineStats,
 }
 
@@ -162,6 +174,7 @@ impl Engine {
             next_hook: 0,
             next_task: 0,
             poisoned_total: 0,
+            idle_streak: 0,
             stats: EngineStats::default(),
         }
     }
@@ -174,7 +187,14 @@ impl Engine {
         let id = HookId(self.next_hook);
         self.next_hook += 1;
         let class = hook.class();
-        let entry = HookEntry { id, class, seq: id.0, hook };
+        let name = mpfa_obs::NameId::intern(hook.name());
+        let entry = HookEntry {
+            id,
+            class,
+            seq: id.0,
+            name,
+            hook,
+        };
         // Keep hooks ordered by (class, registration order).
         let pos = self
             .hooks
@@ -215,7 +235,19 @@ impl Engine {
 
     /// One collated progress sweep. See the module docs for the policy.
     pub(crate) fn poll(&mut self, state: &ProgressState, stream: StreamId) -> ProgressOutcome {
+        use mpfa_obs::{EventKind, PollVerdict, TaskVerdict};
+
         let mut out = ProgressOutcome::default();
+        // Sweep-local tallies for the batched counter flush at the end —
+        // one set of atomic adds per sweep, not per hook/task.
+        let mut sweep_hook_polls = 0u64;
+        let mut sweep_hook_progress = 0u64;
+        let mut sweep_task_polls = 0u64;
+        let sweep_t0 = if mpfa_obs::recording_enabled() {
+            crate::wtime::wtime()
+        } else {
+            0.0
+        };
 
         // Phase 1: subsystems in Listing 1.1 order with short-circuit.
         for (i, entry) in self.hooks.iter().enumerate() {
@@ -227,10 +259,28 @@ impl Engine {
                 continue;
             }
             self.stats.hook_polls[entry.class as usize] += 1;
-            if entry.hook.poll() {
+            sweep_hook_polls += 1;
+            let t0 = if mpfa_obs::recording_enabled() {
+                crate::wtime::wtime()
+            } else {
+                0.0
+            };
+            let progressed = entry.hook.poll();
+            mpfa_obs::record_at(t0, || EventKind::HookPoll {
+                stream: stream.0,
+                class: entry.class as u8,
+                name: entry.name,
+                verdict: if progressed {
+                    PollVerdict::Progress
+                } else {
+                    PollVerdict::NoProgress
+                },
+                dur: crate::wtime::wtime() - t0,
+            });
+            if progressed {
                 self.stats.hook_progress[entry.class as usize] += 1;
-                self.stats.hook_short_circuits +=
-                    (self.hooks.len() - i).saturating_sub(1) as u64;
+                sweep_hook_progress += 1;
+                self.stats.hook_short_circuits += (self.hooks.len() - i).saturating_sub(1) as u64;
                 out.subsystem_progress = true;
                 break;
             }
@@ -246,13 +296,19 @@ impl Engine {
             while i < self.tasks.len() {
                 let entry = &mut self.tasks[i];
                 thing.task = entry.id;
+                let task_id = entry.id.0;
                 self.stats.task_polls += 1;
-                let polled =
-                    catch_unwind(AssertUnwindSafe(|| entry.task.poll(&mut thing)));
+                sweep_task_polls += 1;
+                let polled = catch_unwind(AssertUnwindSafe(|| entry.task.poll(&mut thing)));
                 match polled {
                     Ok(AsyncPoll::Done) => {
                         out.tasks_completed += 1;
                         self.stats.task_completions += 1;
+                        mpfa_obs::record(|| EventKind::TaskPoll {
+                            stream: stream.0,
+                            task: task_id,
+                            verdict: TaskVerdict::Done,
+                        });
                         // Dropping the task value releases its state — the
                         // Rust equivalent of poll_fn freeing extra_state
                         // before returning MPIX_ASYNC_DONE.
@@ -270,6 +326,11 @@ impl Engine {
                         // engine and the other tasks stay healthy.
                         out.tasks_poisoned += 1;
                         self.poisoned_total += 1;
+                        mpfa_obs::record(|| EventKind::TaskPoll {
+                            stream: stream.0,
+                            task: task_id,
+                            verdict: TaskVerdict::Poisoned,
+                        });
                         self.tasks.swap_remove(i);
                     }
                 }
@@ -278,8 +339,37 @@ impl Engine {
             // "temporarily stored ... and processed after poll_fn returns").
             out.tasks_spawned = thing.spawned.len();
             for task in thing.spawned {
-                self.add_task(task);
+                let id = self.add_task(task);
+                mpfa_obs::record(|| EventKind::TaskStart {
+                    stream: stream.0,
+                    task: id.0,
+                });
             }
+        }
+
+        mpfa_obs::record_at(sweep_t0, || EventKind::StreamProgress {
+            stream: stream.0,
+            dur: crate::wtime::wtime() - sweep_t0,
+            hook_polls: sweep_hook_polls.min(u16::MAX as u64) as u16,
+            tasks_polled: sweep_task_polls.min(u32::MAX as u64) as u32,
+            tasks_completed: (out.tasks_completed as u64).min(u16::MAX as u64) as u16,
+            made_progress: out.made_progress(),
+        });
+
+        // Batched flush: one burst of atomic adds per sweep keeps the
+        // always-on counters off the per-hook/per-task hot path.
+        let counters = mpfa_obs::global_counters();
+        counters.record_sweep(
+            sweep_hook_polls,
+            sweep_hook_progress,
+            sweep_task_polls,
+            out.tasks_completed as u64,
+        );
+        if out.made_progress() {
+            self.idle_streak = 0;
+        } else {
+            self.idle_streak += 1;
+            counters.observe_no_progress_streak(self.idle_streak);
         }
 
         out
@@ -522,7 +612,7 @@ mod tests {
     }
 
     #[test]
-    fn panicking_task_is_poisoned_and_others_survive(){
+    fn panicking_task_is_poisoned_and_others_survive() {
         let mut e = Engine::new();
         let survivor_polls = Arc::new(AtomicUsize::new(0));
         let sp = survivor_polls.clone();

@@ -58,12 +58,15 @@ pub struct Grequest {
 /// Start a generalized request on `stream` — `MPI_Grequest_start`.
 ///
 /// Returns the waitable [`Request`] and the [`Grequest`] producer handle.
-pub fn grequest_start(
-    stream: &Stream,
-    ops: impl GrequestOps + 'static,
-) -> (Request, Grequest) {
+pub fn grequest_start(stream: &Stream, ops: impl GrequestOps + 'static) -> (Request, Grequest) {
     let (request, completer) = Request::pair(stream);
-    (request, Grequest { ops: Box::new(ops), completer: Some(completer) })
+    (
+        request,
+        Grequest {
+            ops: Box::new(ops),
+            completer: Some(completer),
+        },
+    )
 }
 
 impl Grequest {
@@ -139,7 +142,12 @@ mod tests {
         }
     }
 
-    fn recording() -> (Recording, Arc<AtomicUsize>, Arc<AtomicBool>, Arc<AtomicBool>) {
+    fn recording() -> (
+        Recording,
+        Arc<AtomicUsize>,
+        Arc<AtomicBool>,
+        Arc<AtomicBool>,
+    ) {
         let queried = Arc::new(AtomicUsize::new(0));
         let freed = Arc::new(AtomicBool::new(false));
         let cancelled = Arc::new(AtomicBool::new(false));
@@ -148,7 +156,12 @@ mod tests {
                 queried: queried.clone(),
                 freed: freed.clone(),
                 cancelled: cancelled.clone(),
-                status: Status { source: 9, tag: 8, bytes: 7, cancelled: false },
+                status: Status {
+                    source: 9,
+                    tag: 8,
+                    bytes: 7,
+                    cancelled: false,
+                },
             },
             queried,
             freed,
@@ -167,7 +180,10 @@ mod tests {
         let st = req.status().unwrap();
         assert_eq!((st.source, st.tag, st.bytes), (9, 8, 7));
         assert_eq!(queried.load(Ordering::Relaxed), 1);
-        assert!(freed.load(Ordering::Relaxed), "free_fn runs when handle dropped");
+        assert!(
+            freed.load(Ordering::Relaxed),
+            "free_fn runs when handle dropped"
+        );
         assert!(!cancelled.load(Ordering::Relaxed));
     }
 

@@ -123,7 +123,10 @@ mod tests {
     #[test]
     fn display_names() {
         assert_eq!(SubsystemClass::Netmod.to_string(), "netmod");
-        assert_eq!(SubsystemClass::DatatypeEngine.to_string(), "datatype-engine");
+        assert_eq!(
+            SubsystemClass::DatatypeEngine.to_string(),
+            "datatype-engine"
+        );
     }
 
     struct Noop;

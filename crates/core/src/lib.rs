@@ -52,13 +52,14 @@ pub mod request;
 pub mod spin;
 pub mod stats;
 pub mod stream;
+pub mod sync;
 pub mod task;
 pub mod wtime;
 
 pub use engine::{EngineStats, ProgressOutcome, ProgressState};
 pub use grequest::{grequest_start, Grequest, GrequestOps, NoopOps};
 pub use hook::{HookId, ProgressHook, SubsystemClass};
-pub use request::{CompletionCounter, Completer, Request, Status};
+pub use request::{Completer, CompletionCounter, Request, Status};
 pub use stream::{Stream, StreamHints, StreamId, StreamRef};
 pub use task::{async_start, AsyncPoll, AsyncTask, AsyncThing, TaskId};
 pub use wtime::{wtick, wtime};

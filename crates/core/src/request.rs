@@ -11,7 +11,7 @@
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 
-use parking_lot::Mutex;
+use crate::sync::Mutex;
 
 use crate::stream::{Stream, StreamRef};
 use crate::wtime::wtime;
@@ -33,12 +33,22 @@ impl Status {
     /// A neutral status for operations with no message metadata (sends,
     /// generalized requests, local tasks).
     pub const fn empty() -> Status {
-        Status { source: -1, tag: -1, bytes: 0, cancelled: false }
+        Status {
+            source: -1,
+            tag: -1,
+            bytes: 0,
+            cancelled: false,
+        }
     }
 
     /// A cancelled status.
     pub const fn cancelled() -> Status {
-        Status { source: -1, tag: -1, bytes: 0, cancelled: true }
+        Status {
+            source: -1,
+            tag: -1,
+            bytes: 0,
+            cancelled: true,
+        }
     }
 }
 
@@ -84,7 +94,12 @@ impl Request {
             status: Mutex::new(Status::empty()),
             stream: stream.weak(),
         });
-        (Request { inner: inner.clone() }, Completer { inner, done: false })
+        (
+            Request {
+                inner: inner.clone(),
+            },
+            Completer { inner, done: false },
+        )
     }
 
     /// Create an already-complete request (e.g. a lightweight/buffered send
@@ -250,7 +265,9 @@ impl Completer {
 
     /// A [`Request`] handle observing this completer's operation.
     pub fn request(&self) -> Request {
-        Request { inner: self.inner.clone() }
+        Request {
+            inner: self.inner.clone(),
+        }
     }
 
     fn finish(&mut self, status: Status) {
@@ -262,6 +279,19 @@ impl Completer {
         // Release pairs with the Acquire in is_complete: a reader seeing
         // `true` also sees the status written above.
         self.inner.complete.store(true, Ordering::Release);
+        mpfa_obs::global_counters()
+            .request_completions
+            .fetch_add(1, Ordering::Relaxed);
+        mpfa_obs::record(|| mpfa_obs::EventKind::RequestComplete {
+            stream: self
+                .inner
+                .stream
+                .upgrade()
+                .map(|s| s.id().raw())
+                .unwrap_or(0),
+            bytes: status.bytes as u64,
+            cancelled: status.cancelled,
+        });
     }
 }
 
@@ -283,7 +313,9 @@ pub struct CompletionCounter {
 impl CompletionCounter {
     /// Start at `n` outstanding operations.
     pub fn new(n: usize) -> CompletionCounter {
-        CompletionCounter { count: Arc::new(AtomicUsize::new(n)) }
+        CompletionCounter {
+            count: Arc::new(AtomicUsize::new(n)),
+        }
     }
 
     /// Register one more outstanding operation.
@@ -325,7 +357,12 @@ mod tests {
     fn complete_publishes_status() {
         let s = Stream::create();
         let (req, c) = Request::pair(&s);
-        c.complete(Status { source: 3, tag: 7, bytes: 42, cancelled: false });
+        c.complete(Status {
+            source: 3,
+            tag: 7,
+            bytes: 42,
+            cancelled: false,
+        });
         assert!(req.is_complete());
         let st = req.status().unwrap();
         assert_eq!(st.source, 3);
@@ -501,7 +538,12 @@ mod tests {
         let s = Stream::create();
         let (req, c) = Request::pair(&s);
         let handle = std::thread::spawn(move || {
-            c.complete(Status { source: 1, tag: 2, bytes: 3, cancelled: false });
+            c.complete(Status {
+                source: 1,
+                tag: 2,
+                bytes: 3,
+                cancelled: false,
+            });
         });
         while !req.is_complete() {
             std::hint::spin_loop();

@@ -23,7 +23,9 @@ impl LatencyStats {
 
     /// Create an empty collector with room for `n` samples.
     pub fn with_capacity(n: usize) -> Self {
-        Self { samples: Vec::with_capacity(n) }
+        Self {
+            samples: Vec::with_capacity(n),
+        }
     }
 
     /// Record one latency sample (seconds). Equivalent of the paper's
@@ -58,12 +60,20 @@ impl LatencyStats {
 
     /// Minimum sample in seconds (0.0 when empty).
     pub fn min(&self) -> f64 {
-        self.samples.iter().copied().fold(f64::INFINITY, f64::min).pipe_finite()
+        self.samples
+            .iter()
+            .copied()
+            .fold(f64::INFINITY, f64::min)
+            .pipe_finite()
     }
 
     /// Maximum sample in seconds (0.0 when empty).
     pub fn max(&self) -> f64 {
-        self.samples.iter().copied().fold(f64::NEG_INFINITY, f64::max).pipe_finite()
+        self.samples
+            .iter()
+            .copied()
+            .fold(f64::NEG_INFINITY, f64::max)
+            .pipe_finite()
     }
 
     /// `q`-quantile (0.0 ..= 1.0) by nearest-rank on a sorted copy
@@ -94,8 +104,8 @@ impl LatencyStats {
         }
         let mut sorted = self.samples.clone();
         sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN latency sample"));
-        let n = ((sorted.len() as f64 * keep.clamp(0.0, 1.0)).ceil() as usize)
-            .clamp(1, sorted.len());
+        let n =
+            ((sorted.len() as f64 * keep.clamp(0.0, 1.0)).ceil() as usize).clamp(1, sorted.len());
         sorted[..n].iter().sum::<f64>() / n as f64
     }
 
@@ -175,6 +185,36 @@ mod tests {
     }
 
     #[test]
+    fn single_sample_dominates_every_stat() {
+        let mut s = LatencyStats::with_capacity(1);
+        s.add(4.5);
+        assert_eq!(s.len(), 1);
+        assert!(!s.is_empty());
+        assert_eq!(s.mean(), 4.5);
+        assert_eq!(s.min(), 4.5);
+        assert_eq!(s.max(), 4.5);
+        // Every quantile of a one-sample distribution is that sample.
+        for q in [0.0, 0.25, 0.5, 0.95, 1.0] {
+            assert_eq!(s.quantile(q), 4.5);
+        }
+        assert_eq!(s.trimmed_mean(0.5), 4.5);
+    }
+
+    #[test]
+    fn nearest_rank_rounds_to_closest_sample() {
+        // Four samples: ranks 0..=3; nearest-rank maps q to round(3q).
+        let mut s = LatencyStats::new();
+        for v in [10.0, 20.0, 30.0, 40.0] {
+            s.add(v);
+        }
+        assert_eq!(s.quantile(0.0), 10.0);
+        assert_eq!(s.quantile(0.33), 20.0); // 3*0.33 = 0.99 -> rank 1
+        assert_eq!(s.quantile(0.5), 30.0); // 3*0.5 = 1.5 -> rank 2 (round half up)
+        assert_eq!(s.quantile(0.84), 40.0); // 3*0.84 = 2.52 -> rank 3
+        assert_eq!(s.quantile(1.0), 40.0);
+    }
+
+    #[test]
     fn merge_combines_samples() {
         let mut a = LatencyStats::new();
         a.add(1.0);
@@ -183,6 +223,22 @@ mod tests {
         a.merge(&b);
         assert_eq!(a.len(), 2);
         assert!((a.mean() - 2.0).abs() < 1e-12);
+        assert_eq!(a.min(), 1.0);
+        assert_eq!(a.max(), 3.0);
+    }
+
+    #[test]
+    fn merge_with_empty_is_noop_both_ways() {
+        let mut a = LatencyStats::new();
+        a.add(2.0);
+        a.merge(&LatencyStats::new());
+        assert_eq!(a.len(), 1);
+        assert_eq!(a.mean(), 2.0);
+
+        let mut e = LatencyStats::new();
+        e.merge(&a);
+        assert_eq!(e.len(), 1);
+        assert_eq!(e.median(), 2.0);
     }
 
     #[test]

@@ -14,8 +14,8 @@
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, OnceLock, Weak};
 
-use crossbeam::queue::SegQueue;
-use parking_lot::Mutex;
+use crate::sync::InjectQueue;
+use crate::sync::Mutex;
 
 use crate::engine::{Engine, ProgressOutcome, ProgressState};
 use crate::hook::{HookId, ProgressHook, SubsystemClass};
@@ -81,7 +81,7 @@ pub(crate) struct StreamInner {
     engine: Mutex<Engine>,
     /// Lock-free injection queue so `async_start` never blocks behind a
     /// progress call in flight on another thread.
-    inject: SegQueue<Box<dyn AsyncTask>>,
+    inject: InjectQueue<Box<dyn AsyncTask>>,
     /// Pending user tasks: queued + in-engine (not yet Done/poisoned).
     pending: AtomicUsize,
     /// Total progress invocations (diagnostics).
@@ -133,7 +133,7 @@ impl Stream {
                 base_state: hints.to_state(),
                 name: hints.name,
                 engine: Mutex::new(Engine::new()),
-                inject: SegQueue::new(),
+                inject: InjectQueue::new(),
                 pending: AtomicUsize::new(0),
                 progress_calls: AtomicU64::new(0),
                 next_injected: AtomicU64::new(1 << 32),
@@ -163,17 +163,24 @@ impl Stream {
     /// A weak reference for storing inside requests/hooks without keeping
     /// the stream alive.
     pub fn weak(&self) -> StreamRef {
-        StreamRef { inner: Arc::downgrade(&self.inner) }
+        StreamRef {
+            inner: Arc::downgrade(&self.inner),
+        }
     }
 
     /// Register a subsystem progress hook. Returns an id usable with
     /// [`Stream::unregister_hook`].
     pub fn register_hook(&self, hook: impl ProgressHook + 'static) -> HookId {
-        self.inner.engine.lock().register_hook(Box::new(hook))
+        self.register_boxed_hook(Box::new(hook))
     }
 
     /// Register a boxed subsystem progress hook.
     pub fn register_boxed_hook(&self, hook: Box<dyn ProgressHook>) -> HookId {
+        mpfa_obs::record(|| mpfa_obs::EventKind::HookRegistered {
+            stream: self.inner.id.0,
+            class: hook.class() as u8,
+            name: mpfa_obs::NameId::intern(hook.name()),
+        });
         self.inner.engine.lock().register_hook(hook)
     }
 
@@ -203,6 +210,13 @@ impl Stream {
     pub fn async_start_task(&self, task: impl AsyncTask + 'static) -> TaskId {
         let id = TaskId(self.inner.next_injected.fetch_add(1, Ordering::Relaxed));
         self.inner.pending.fetch_add(1, Ordering::Release);
+        // Recorded at injection (not at the drain inside a progress call)
+        // so a task started on a never-polled stream is still visible to
+        // the doctor's no-poller check.
+        mpfa_obs::record(|| mpfa_obs::EventKind::TaskStart {
+            stream: self.inner.id.0,
+            task: id.0,
+        });
         self.inner.inject.push(Box::new(task));
         id
     }
@@ -263,7 +277,9 @@ impl Stream {
     /// the counter never transiently underflows.
     fn settle_pending(&self, out: &ProgressOutcome) {
         if out.tasks_spawned > 0 {
-            self.inner.pending.fetch_add(out.tasks_spawned, Ordering::Release);
+            self.inner
+                .pending
+                .fetch_add(out.tasks_spawned, Ordering::Release);
         }
         let finished = out.tasks_completed + out.tasks_poisoned;
         if finished > 0 {

@@ -56,7 +56,11 @@ pub struct AsyncThing {
 impl AsyncThing {
     /// Construct a fresh poll context (engine-internal).
     pub(crate) fn new(stream: StreamId) -> AsyncThing {
-        AsyncThing { stream, task: TaskId(0), spawned: Vec::new() }
+        AsyncThing {
+            stream,
+            task: TaskId(0),
+            spawned: Vec::new(),
+        }
     }
     /// The stream this task is attached to.
     pub fn stream_id(&self) -> StreamId {

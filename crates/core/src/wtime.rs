@@ -2,69 +2,9 @@
 //! arbitrary process-wide epoch.
 //!
 //! The paper's dummy tasks and latency benchmarks are all expressed in terms
-//! of `MPI_Wtime()` doubles; this module provides the same interface.
+//! of `MPI_Wtime()` doubles; this module provides the same interface. The
+//! implementation lives in [`mpfa_obs::clock`] — the bottom of the crate
+//! graph — so observability event timestamps and benchmark timestamps share
+//! one epoch and are directly comparable.
 
-use std::sync::OnceLock;
-use std::time::Instant;
-
-fn epoch() -> Instant {
-    static EPOCH: OnceLock<Instant> = OnceLock::new();
-    *EPOCH.get_or_init(Instant::now)
-}
-
-/// Seconds elapsed since the process-wide epoch, as a monotonic `f64`.
-///
-/// Equivalent to `MPI_Wtime()`. The epoch is fixed the first time any
-/// `wtime`-family function is called, so differences between two `wtime`
-/// readings in the same process are always meaningful.
-#[inline]
-pub fn wtime() -> f64 {
-    epoch().elapsed().as_secs_f64()
-}
-
-/// Resolution of [`wtime`] in seconds (equivalent to `MPI_Wtick`).
-///
-/// `Instant` on the supported platforms is nanosecond-granular.
-#[inline]
-pub fn wtick() -> f64 {
-    1e-9
-}
-
-/// Force the epoch to be initialized now. Useful at program start so the
-/// first timed measurement does not pay the one-time `OnceLock` cost.
-pub fn warmup() {
-    let _ = epoch();
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn monotonic() {
-        let a = wtime();
-        let b = wtime();
-        assert!(b >= a);
-    }
-
-    #[test]
-    fn advances() {
-        let a = wtime();
-        std::thread::sleep(std::time::Duration::from_millis(2));
-        let b = wtime();
-        assert!(b - a >= 0.001, "expected >=1ms elapsed, got {}", b - a);
-    }
-
-    #[test]
-    fn tick_is_positive_and_small() {
-        assert!(wtick() > 0.0);
-        assert!(wtick() < 1e-3);
-    }
-
-    #[test]
-    fn warmup_idempotent() {
-        warmup();
-        warmup();
-        assert!(wtime() >= 0.0);
-    }
-}
+pub use mpfa_obs::clock::{warmup, wtick, wtime};

@@ -53,7 +53,10 @@ impl FabricConfig {
     /// An instant fabric with `node_size` ranks per node, so that both the
     /// shmem and netmod paths get exercised.
     pub fn instant_nodes(ranks: usize, node_size: usize) -> FabricConfig {
-        FabricConfig { node_size, ..FabricConfig::instant(ranks) }
+        FabricConfig {
+            node_size,
+            ..FabricConfig::instant(ranks)
+        }
     }
 
     /// A "cluster-like" fabric: one rank per node, microsecond-scale
@@ -128,7 +131,10 @@ impl FabricConfig {
     pub fn validate(&self) {
         assert!(self.ranks > 0, "fabric needs at least one rank");
         assert!(self.node_size > 0, "node_size must be positive");
-        assert!(self.inter_latency >= 0.0 && self.intra_latency >= 0.0, "negative latency");
+        assert!(
+            self.inter_latency >= 0.0 && self.intra_latency >= 0.0,
+            "negative latency"
+        );
         assert!(
             self.inter_bandwidth >= 0.0 && self.intra_bandwidth >= 0.0,
             "negative bandwidth"

@@ -100,7 +100,10 @@ impl<M: Send> Endpoint<M> {
 
 impl<M> Clone for Endpoint<M> {
     fn clone(&self) -> Self {
-        Endpoint { fabric: self.fabric.clone(), rank: self.rank }
+        Endpoint {
+            fabric: self.fabric.clone(),
+            rank: self.rank,
+        }
     }
 }
 

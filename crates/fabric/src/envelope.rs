@@ -56,7 +56,12 @@ mod tests {
         InFlight {
             arrival,
             seq,
-            envelope: Envelope { src: 0, dst: 1, wire_bytes: 0, msg: seq as u32 },
+            envelope: Envelope {
+                src: 0,
+                dst: 1,
+                wire_bytes: 0,
+                msg: seq as u32,
+            },
         }
     }
 

@@ -5,8 +5,9 @@ use std::collections::BinaryHeap;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
+use mpfa_core::sync::Mutex;
 use mpfa_core::wtime;
-use parking_lot::Mutex;
+use mpfa_obs::{Counters, EventKind, PathKind};
 
 use crate::config::FabricConfig;
 use crate::endpoint::{Endpoint, TxHandle};
@@ -19,6 +20,27 @@ pub enum Path {
     Shmem,
     /// Cross-node (network) path.
     Net,
+}
+
+impl Path {
+    fn kind(self) -> PathKind {
+        match self {
+            Path::Shmem => PathKind::Shmem,
+            Path::Net => PathKind::Net,
+        }
+    }
+}
+
+/// Point-in-time traffic totals of one fabric instance (see
+/// [`Fabric::stats`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FabricStats {
+    /// Packets injected on the network path.
+    pub packets_net: u64,
+    /// Packets injected on the shared-memory path.
+    pub packets_shm: u64,
+    /// Wire bytes injected across both paths.
+    pub bytes_total: u64,
 }
 
 /// Deterministic hash of `x` into [0, 1) (splitmix64 finalizer).
@@ -64,9 +86,9 @@ pub(crate) struct FabricInner<M> {
     channels: Vec<Mutex<Channel>>,
     pub(crate) rx: Vec<RankQueues<M>>,
     seq: AtomicU64,
-    packets_net: AtomicU64,
-    packets_shm: AtomicU64,
-    bytes_total: AtomicU64,
+    /// This instance's traffic counters (each simulated fabric keeps its
+    /// own set; packets are also mirrored into the process-wide registry).
+    counters: Counters,
 }
 
 /// A simulated fabric connecting `config.ranks` endpoints. Cheap to clone.
@@ -76,7 +98,9 @@ pub struct Fabric<M> {
 
 impl<M> Clone for Fabric<M> {
     fn clone(&self) -> Self {
-        Fabric { inner: self.inner.clone() }
+        Fabric {
+            inner: self.inner.clone(),
+        }
     }
 }
 
@@ -91,9 +115,7 @@ impl<M: Send> Fabric<M> {
                 rx: (0..n).map(|_| RankQueues::new()).collect(),
                 config,
                 seq: AtomicU64::new(0),
-                packets_net: AtomicU64::new(0),
-                packets_shm: AtomicU64::new(0),
-                bytes_total: AtomicU64::new(0),
+                counters: Counters::new(),
             }),
         }
     }
@@ -112,29 +134,34 @@ impl<M: Send> Fabric<M> {
 
     /// Total packets injected on the network path so far.
     pub fn packets_net(&self) -> u64 {
-        self.inner.packets_net.load(Ordering::Relaxed)
+        self.inner.counters.msgs_net.load(Ordering::Relaxed)
     }
 
     /// Total packets injected on the shmem path so far.
     pub fn packets_shmem(&self) -> u64 {
-        self.inner.packets_shm.load(Ordering::Relaxed)
+        self.inner.counters.msgs_shm.load(Ordering::Relaxed)
     }
 
     /// Total wire bytes injected so far.
     pub fn bytes_total(&self) -> u64 {
-        self.inner.bytes_total.load(Ordering::Relaxed)
+        self.inner.counters.bytes_net.load(Ordering::Relaxed)
+            + self.inner.counters.bytes_shm.load(Ordering::Relaxed)
+    }
+
+    /// Point-in-time traffic totals for this fabric instance.
+    pub fn stats(&self) -> FabricStats {
+        let snap = self.inner.counters.snapshot();
+        FabricStats {
+            packets_net: snap.msgs_net,
+            packets_shm: snap.msgs_shm,
+            bytes_total: snap.bytes_total(),
+        }
     }
 
     /// Inject a packet. Returns the TX completion handle (done when the
     /// sender-side channel finishes serializing the payload — the "NIC
     /// signals completion" event of eager sends).
-    pub(crate) fn send(
-        &self,
-        src: usize,
-        dst: usize,
-        msg: M,
-        wire_bytes: usize,
-    ) -> TxHandle {
+    pub(crate) fn send(&self, src: usize, dst: usize, msg: M, wire_bytes: usize) -> TxHandle {
         let cfg = &self.inner.config;
         assert!(dst < cfg.ranks, "destination rank {dst} out of range");
         assert!(
@@ -164,18 +191,38 @@ impl<M: Send> Fabric<M> {
         let inflight = InFlight {
             arrival,
             seq,
-            envelope: Envelope { src, dst, wire_bytes, msg },
+            envelope: Envelope {
+                src,
+                dst,
+                wire_bytes,
+                msg,
+            },
         };
-        self.inner.bytes_total.fetch_add(wire_bytes as u64, Ordering::Relaxed);
         let q = &self.inner.rx[dst];
-        if cfg.same_node(src, dst) {
-            self.inner.packets_shm.fetch_add(1, Ordering::Relaxed);
-            q.shm.lock().push(inflight);
-            q.shm_count.fetch_add(1, Ordering::Release);
+        let path = if cfg.same_node(src, dst) {
+            Path::Shmem
         } else {
-            self.inner.packets_net.fetch_add(1, Ordering::Relaxed);
-            q.net.lock().push(inflight);
-            q.net_count.fetch_add(1, Ordering::Release);
+            Path::Net
+        };
+        self.inner
+            .counters
+            .record_packet(path.kind(), wire_bytes as u64);
+        mpfa_obs::global_counters().record_packet(path.kind(), wire_bytes as u64);
+        mpfa_obs::record_at(now, || EventKind::FabricTx {
+            src: src as u32,
+            dst: dst as u32,
+            path: path.kind(),
+            bytes: wire_bytes.min(u32::MAX as usize) as u32,
+        });
+        match path {
+            Path::Shmem => {
+                q.shm.lock().push(inflight);
+                q.shm_count.fetch_add(1, Ordering::Release);
+            }
+            Path::Net => {
+                q.net.lock().push(inflight);
+                q.net_count.fetch_add(1, Ordering::Release);
+            }
         }
         TxHandle::new(tx_end)
     }
@@ -195,6 +242,12 @@ impl<M: Send> Fabric<M> {
             if top.arrival <= wtime() {
                 let inflight = heap.pop().expect("peeked");
                 count.fetch_sub(1, Ordering::Release);
+                mpfa_obs::record(|| EventKind::FabricRx {
+                    rank: rank as u32,
+                    src: inflight.envelope.src as u32,
+                    path: path.kind(),
+                    bytes: inflight.envelope.wire_bytes.min(u32::MAX as usize) as u32,
+                });
                 return Some(inflight.envelope);
             }
         }

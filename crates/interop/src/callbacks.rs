@@ -10,8 +10,8 @@
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
+use mpfa_core::sync::Mutex;
 use mpfa_core::{AsyncPoll, Request, Status, Stream};
-use parking_lot::Mutex;
 
 type Callback = Box<dyn FnOnce(Status) + Send>;
 
@@ -123,7 +123,12 @@ mod tests {
             stream.progress();
         }
         assert_eq!(fired.remaining(), 1);
-        completer.complete(Status { source: 0, tag: 9, bytes: 0, cancelled: false });
+        completer.complete(Status {
+            source: 0,
+            tag: 9,
+            bytes: 0,
+            cancelled: false,
+        });
         assert!(stream.progress_until(|| fired.is_zero(), 1.0));
         assert_eq!(notifier.pending(), 0);
     }

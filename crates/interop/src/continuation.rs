@@ -12,8 +12,8 @@
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 
+use mpfa_core::sync::Mutex;
 use mpfa_core::{Completer, Request, Status, Stream};
-use parking_lot::Mutex;
 
 use crate::callbacks::CompletionNotifier;
 

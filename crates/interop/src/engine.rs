@@ -51,7 +51,13 @@ impl ProgressEngine {
                 })
                 .expect("spawn progress thread")
         };
-        ProgressEngine { stream, notifier, shutdown, iterations, thread: Some(thread) }
+        ProgressEngine {
+            stream,
+            notifier,
+            shutdown,
+            iterations,
+            thread: Some(thread),
+        }
     }
 
     /// The stream this engine drives.
@@ -99,7 +105,7 @@ impl Drop for ProgressEngine {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use mpfa_core::{AsyncPoll, CompletionCounter, wtime};
+    use mpfa_core::{wtime, AsyncPoll, CompletionCounter};
 
     #[test]
     fn engine_drives_async_tasks_without_caller_progress() {

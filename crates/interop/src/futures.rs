@@ -31,7 +31,11 @@ impl RequestFuture {
     /// Wrap `req`; completion wakeups are delivered through `notifier`
     /// (whose scan hook must run on a stream somebody progresses).
     pub fn new(req: Request, notifier: &CompletionNotifier) -> RequestFuture {
-        RequestFuture { req, notifier: notifier.clone(), registered: false }
+        RequestFuture {
+            req,
+            notifier: notifier.clone(),
+            registered: false,
+        }
     }
 }
 
@@ -45,7 +49,8 @@ impl Future for RequestFuture {
         if !self.registered {
             self.registered = true;
             let waker = cx.waker().clone();
-            self.notifier.watch(self.req.clone(), move |_status| waker.wake());
+            self.notifier
+                .watch(self.req.clone(), move |_status| waker.wake());
         }
         // Completion may have raced the registration; re-check so the
         // wake is never lost.

@@ -27,13 +27,18 @@ pub struct ScheduleBuilder {
 impl ScheduleBuilder {
     /// `MPIX_Schedule_create`.
     pub fn new() -> ScheduleBuilder {
-        ScheduleBuilder { rounds: vec![Vec::new()] }
+        ScheduleBuilder {
+            rounds: vec![Vec::new()],
+        }
     }
 
     /// `MPIX_Schedule_add_operation`: append an operation to the current
     /// round. All operations of a round start together.
     pub fn add_operation(&mut self, op: impl FnOnce() -> Request + Send + 'static) -> &mut Self {
-        self.rounds.last_mut().expect("builder has a round").push(Box::new(op));
+        self.rounds
+            .last_mut()
+            .expect("builder has a round")
+            .push(Box::new(op));
         self
     }
 
@@ -53,11 +58,8 @@ impl ScheduleBuilder {
     /// the request that completes when the final round does.
     pub fn commit(self, stream: &Stream) -> Request {
         let (request, completer) = Request::pair(stream);
-        let mut rounds: std::collections::VecDeque<Vec<OpFn>> = self
-            .rounds
-            .into_iter()
-            .filter(|r| !r.is_empty())
-            .collect();
+        let mut rounds: std::collections::VecDeque<Vec<OpFn>> =
+            self.rounds.into_iter().filter(|r| !r.is_empty()).collect();
         let mut completer = Some(completer);
         let mut inflight: Vec<Request> = Vec::new();
         stream.async_start(move |_t| {
@@ -87,7 +89,7 @@ impl ScheduleBuilder {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use parking_lot::Mutex;
+    use mpfa_core::sync::Mutex;
     use std::sync::Arc;
 
     /// An operation completing after `polls` probe calls, logging its

@@ -10,8 +10,8 @@ use std::collections::VecDeque;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
+use mpfa_core::sync::Mutex;
 use mpfa_core::{AsyncPoll, Stream};
-use parking_lot::Mutex;
 
 /// One queued task: a readiness probe and a completion action.
 struct Entry {
@@ -61,10 +61,10 @@ impl TaskClass {
         on_done: impl FnOnce() + Send + 'static,
     ) {
         self.shared.pending.fetch_add(1, Ordering::Release);
-        self.shared
-            .queue
-            .lock()
-            .push_back(Entry { ready: Box::new(ready), on_done: Box::new(on_done) });
+        self.shared.queue.lock().push_back(Entry {
+            ready: Box::new(ready),
+            on_done: Box::new(on_done),
+        });
         self.ensure_hook();
     }
 
@@ -151,14 +151,20 @@ mod tests {
         let fired = Arc::new(AtomicUsize::new(0));
         let g = gate.clone();
         let f1 = fired.clone();
-        class.push(move || g.load(Ordering::Acquire), move || {
-            f1.fetch_add(1, Ordering::Relaxed);
-        });
+        class.push(
+            move || g.load(Ordering::Acquire),
+            move || {
+                f1.fetch_add(1, Ordering::Relaxed);
+            },
+        );
         let f2 = fired.clone();
         // Tail is "ready" immediately but must wait for the head.
-        class.push(move || true, move || {
-            f2.fetch_add(1, Ordering::Relaxed);
-        });
+        class.push(
+            move || true,
+            move || {
+                f2.fetch_add(1, Ordering::Relaxed);
+            },
+        );
         for _ in 0..100 {
             stream.progress();
         }

@@ -16,8 +16,8 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
+use mpfa_core::sync::Mutex;
 use mpfa_core::{AsyncPoll, Request, Stream};
-use parking_lot::Mutex;
 
 /// Identifier of a node in a [`TaskGraph`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -90,7 +90,9 @@ impl TaskGraph {
         }
         let total = self.nodes.len();
         let done_flag = Arc::new(AtomicBool::new(total == 0));
-        let handle = GraphHandle { done: done_flag.clone() };
+        let handle = GraphHandle {
+            done: done_flag.clone(),
+        };
         if total == 0 {
             return handle;
         }

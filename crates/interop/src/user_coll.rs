@@ -12,9 +12,9 @@
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
+use mpfa_core::sync::Mutex;
 use mpfa_core::{AsyncPoll, Request};
 use mpfa_mpi::{Comm, MpiError, MpiResult, RecvRequest};
-use parking_lot::Mutex;
 
 /// Internal tag for user-level collectives (runs on the regular
 /// point-to-point context, like any user code would).
@@ -66,7 +66,10 @@ pub fn my_iallreduce(comm: &Comm, buf: Vec<i32>) -> MpiResult<UserCollFuture<i32
     }
     let done = Arc::new(AtomicBool::new(false));
     let out = Arc::new(Mutex::new(Vec::new()));
-    let fut = UserCollFuture { done: done.clone(), buf: out.clone() };
+    let fut = UserCollFuture {
+        done: done.clone(),
+        buf: out.clone(),
+    };
 
     if size == 1 {
         *out.lock() = buf;
@@ -133,7 +136,10 @@ pub fn my_ibarrier(comm: &Comm) -> MpiResult<UserCollFuture<i32>> {
     let size = comm.size();
     let done = Arc::new(AtomicBool::new(false));
     let out = Arc::new(Mutex::new(Vec::new()));
-    let fut = UserCollFuture { done: done.clone(), buf: out };
+    let fut = UserCollFuture {
+        done: done.clone(),
+        buf: out,
+    };
     if size == 1 {
         done.store(true, Ordering::Release);
         return Ok(fut);
@@ -196,17 +202,28 @@ pub fn my_ibcast(
     let rank = comm.rank() as usize;
     let done = Arc::new(AtomicBool::new(false));
     let out = Arc::new(Mutex::new(Vec::new()));
-    let fut = UserCollFuture { done: done.clone(), buf: out.clone() };
+    let fut = UserCollFuture {
+        done: done.clone(),
+        buf: out.clone(),
+    };
 
     let is_root = rank == 0;
     let buf = match (is_root, data) {
         (true, Some(d)) => {
             if d.len() != count {
-                return Err(MpiError::CountMismatch { got: d.len(), expected: count });
+                return Err(MpiError::CountMismatch {
+                    got: d.len(),
+                    expected: count,
+                });
             }
             d
         }
-        (true, None) => return Err(MpiError::CountMismatch { got: 0, expected: count }),
+        (true, None) => {
+            return Err(MpiError::CountMismatch {
+                got: 0,
+                expected: count,
+            })
+        }
         (false, _) => Vec::new(),
     };
     if size == 1 {
@@ -298,7 +315,10 @@ mod tests {
         let f = &f;
         std::thread::scope(|s| {
             let handles: Vec<_> = procs.into_iter().map(|p| s.spawn(move || f(p))).collect();
-            handles.into_iter().map(|h| h.join().expect("rank panicked")).collect()
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("rank panicked"))
+                .collect()
         })
     }
 
@@ -391,7 +411,11 @@ mod tests {
     fn my_bcast_agrees_with_native() {
         let results = run_ranks(6, |proc| {
             let comm = proc.world_comm();
-            let mut native = if proc.rank() == 0 { vec![1i32, 2, 3, 4] } else { Vec::new() };
+            let mut native = if proc.rank() == 0 {
+                vec![1i32, 2, 3, 4]
+            } else {
+                Vec::new()
+            };
             comm.bcast(&mut native, 4, 0).unwrap();
             let user = if proc.rank() == 0 {
                 my_bcast(&comm, Some(vec![1, 2, 3, 4]), 4).unwrap()

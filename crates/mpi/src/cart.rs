@@ -88,11 +88,17 @@ impl Comm {
     /// volume must equal the communicator size.
     pub fn cart_create(&self, dims: &[usize], periodic: &[bool]) -> MpiResult<CartComm> {
         if dims.len() != periodic.len() {
-            return Err(MpiError::CountMismatch { got: periodic.len(), expected: dims.len() });
+            return Err(MpiError::CountMismatch {
+                got: periodic.len(),
+                expected: dims.len(),
+            });
         }
         let volume: usize = dims.iter().product();
         if volume != self.size() || dims.contains(&0) {
-            return Err(MpiError::CountMismatch { got: volume, expected: self.size() });
+            return Err(MpiError::CountMismatch {
+                got: volume,
+                expected: self.size(),
+            });
         }
         Ok(CartComm {
             comm: self.dup()?,
@@ -213,9 +219,7 @@ mod tests {
                     let (src, dst) = cart.shift(dim, disp);
                     let (src, dst) = (src.unwrap(), dst.unwrap()); // periodic
                     let tag = (dim as i32) * 2 + (disp > 0) as i32;
-                    let (got, _) = c
-                        .sendrecv(&[c.rank()], dst, tag, 1, src, tag)
-                        .unwrap();
+                    let (got, _) = c.sendrecv(&[c.rank()], dst, tag, 1, src, tag).unwrap();
                     sums += got[0];
                 }
             }

@@ -65,19 +65,33 @@ impl<T: MpiType> CollTask for AllgatherTask<T> {
                 let send_block = (rank - r as i32).rem_euclid(size) as usize;
                 let recv_block = (rank - r as i32 - 1).rem_euclid(size) as usize;
                 let tag = Comm::coll_tag(self.seq, r);
-                let payload =
-                    to_bytes(self.blocks[send_block].as_ref().expect("send block present"));
-                let send = self.comm.isend_on_ctx(self.comm.coll_ctx(), payload, right, tag);
-                let (recv, slot) = self.comm.irecv_on_ctx(
-                    self.comm.coll_ctx(),
-                    self.count * T::SIZE,
-                    left,
-                    tag,
+                let payload = to_bytes(
+                    self.blocks[send_block]
+                        .as_ref()
+                        .expect("send block present"),
                 );
-                self.state = AgState::Wait { round: r, recv_block, send, recv, slot };
+                let send = self
+                    .comm
+                    .isend_on_ctx(self.comm.coll_ctx(), payload, right, tag);
+                let (recv, slot) =
+                    self.comm
+                        .irecv_on_ctx(self.comm.coll_ctx(), self.count * T::SIZE, left, tag);
+                self.state = AgState::Wait {
+                    round: r,
+                    recv_block,
+                    send,
+                    recv,
+                    slot,
+                };
                 AsyncPoll::Progress
             }
-            AgState::Wait { round, recv_block, send, recv, slot } => {
+            AgState::Wait {
+                round,
+                recv_block,
+                send,
+                recv,
+                slot,
+            } => {
                 if !(send.is_complete() && recv.is_complete()) {
                     return AsyncPoll::Pending;
                 }

@@ -87,19 +87,18 @@ impl<T: Reducible> AllreduceTask<T> {
         let partner_new = newrank ^ mask;
         let partner = self.real_of(partner_new);
         let tag = Comm::coll_tag(self.seq, ROUND_DOUBLE_BASE + mask.trailing_zeros());
-        let send = self.comm.isend_on_ctx(
-            self.comm.coll_ctx(),
-            to_bytes(&self.acc),
-            partner,
-            tag,
-        );
-        let (recv, slot) = self.comm.irecv_on_ctx(
-            self.comm.coll_ctx(),
-            self.acc.len() * T::SIZE,
-            partner,
-            tag,
-        );
-        self.state = ArState::Exchange { mask, send, recv, slot };
+        let send = self
+            .comm
+            .isend_on_ctx(self.comm.coll_ctx(), to_bytes(&self.acc), partner, tag);
+        let (recv, slot) =
+            self.comm
+                .irecv_on_ctx(self.comm.coll_ctx(), self.acc.len() * T::SIZE, partner, tag);
+        self.state = ArState::Exchange {
+            mask,
+            send,
+            recv,
+            slot,
+        };
         AsyncPoll::Progress
     }
 
@@ -186,7 +185,12 @@ impl<T: Reducible> CollTask for AllreduceTask<T> {
                     .expect("op validated at initiation");
                 self.next_round(1)
             }
-            ArState::Exchange { mask, send, recv, slot } => {
+            ArState::Exchange {
+                mask,
+                send,
+                recv,
+                slot,
+            } => {
                 if !(send.is_complete() && recv.is_complete()) {
                     return AsyncPoll::Pending;
                 }
@@ -213,7 +217,11 @@ impl Comm {
     pub fn iallreduce<T: Reducible>(&self, data: &[T], op: Op) -> MpiResult<CollFuture<T>> {
         op.apply::<T>(&mut [], &[])?;
         let size = self.size();
-        let pof2 = if size == 0 { 1 } else { 1usize << (usize::BITS - 1 - size.leading_zeros()) };
+        let pof2 = if size == 0 {
+            1
+        } else {
+            1usize << (usize::BITS - 1 - size.leading_zeros())
+        };
         let rem = size - pof2;
         let rank = self.rank() as usize;
         let newrank = if rank < 2 * rem {
@@ -262,7 +270,8 @@ mod tests {
         for n in [1, 2, 4, 8] {
             let results = run_ranks(n, |proc| {
                 let comm = proc.world_comm();
-                comm.allreduce(&[proc.rank() as i32 + 1, 100], Op::Sum).unwrap()
+                comm.allreduce(&[proc.rank() as i32 + 1, 100], Op::Sum)
+                    .unwrap()
             });
             let total: i32 = (1..=n as i32).sum();
             for (r, out) in results.iter().enumerate() {
@@ -305,7 +314,8 @@ mod tests {
     fn allreduce_float_sum() {
         let results = run_ranks(4, |proc| {
             let comm = proc.world_comm();
-            comm.allreduce(&[0.5f64 * (proc.rank() as f64 + 1.0)], Op::Sum).unwrap()
+            comm.allreduce(&[0.5f64 * (proc.rank() as f64 + 1.0)], Op::Sum)
+                .unwrap()
         });
         for out in results {
             assert!((out[0] - 5.0).abs() < 1e-12);
@@ -345,7 +355,10 @@ mod tests {
         let results = run_ranks(6, |proc| {
             let comm = proc.world_comm();
             (0..10)
-                .map(|round| comm.allreduce(&[round + proc.rank() as i32], Op::Sum).unwrap()[0])
+                .map(|round| {
+                    comm.allreduce(&[round + proc.rank() as i32], Op::Sum)
+                        .unwrap()[0]
+                })
                 .collect::<Vec<i32>>()
         });
         let expect: Vec<i32> = (0..10).map(|round| 6 * round + 15).collect();

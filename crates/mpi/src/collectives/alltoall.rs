@@ -59,7 +59,10 @@ impl Comm {
     pub fn ialltoall<T: MpiType>(&self, data: &[T], count: usize) -> MpiResult<CollFuture<T>> {
         let size = self.size();
         if data.len() != count * size {
-            return Err(MpiError::CountMismatch { got: data.len(), expected: count * size });
+            return Err(MpiError::CountMismatch {
+                got: data.len(),
+                expected: count * size,
+            });
         }
         let rank = self.rank() as usize;
         let seq = self.next_coll_seq();
@@ -119,8 +122,9 @@ mod tests {
             let results = run_ranks(n, |proc| {
                 let comm = proc.world_comm();
                 // data[dst] = rank * 100 + dst
-                let data: Vec<i32> =
-                    (0..n as i32).map(|dst| proc.rank() as i32 * 100 + dst).collect();
+                let data: Vec<i32> = (0..n as i32)
+                    .map(|dst| proc.rank() as i32 * 100 + dst)
+                    .collect();
                 comm.alltoall(&data, 1).unwrap()
             });
             for (r, out) in results.iter().enumerate() {

@@ -43,7 +43,9 @@ impl CollTask for BarrierTask {
         let dst = (self.comm.rank() + dist).rem_euclid(size);
         let src = (self.comm.rank() - dist).rem_euclid(size);
         let tag = Comm::coll_tag(self.seq, self.round);
-        let sreq = self.comm.isend_on_ctx(self.comm.coll_ctx(), Vec::new(), dst, tag);
+        let sreq = self
+            .comm
+            .isend_on_ctx(self.comm.coll_ctx(), Vec::new(), dst, tag);
         let (rreq, _slot) = self.comm.irecv_on_ctx(self.comm.coll_ctx(), 0, src, tag);
         self.pending = Some((sreq, rreq));
         AsyncPoll::Progress
@@ -56,7 +58,8 @@ impl Comm {
         let seq = self.next_coll_seq();
         let (req, completer) = Request::pair(self.stream());
         let (fut, out) = CollFuture::pair(req);
-        let nrounds = (usize::BITS - (self.size() - 1).leading_zeros()) * u32::from(self.size() > 1);
+        let nrounds =
+            (usize::BITS - (self.size() - 1).leading_zeros()) * u32::from(self.size() > 1);
         let task = BarrierTask {
             comm: self.clone(),
             seq,

@@ -61,20 +61,21 @@ impl<T: MpiType> BcastTask<T> {
 
     fn issue_sends(&mut self) -> Vec<Request> {
         let size = self.comm.size();
-        let relative =
-            (self.comm.rank() - self.root).rem_euclid(size as i32) as usize;
+        let relative = (self.comm.rank() - self.root).rem_euclid(size as i32) as usize;
         let (_, dsts) = binomial_peers(relative, size);
         let tag = Comm::coll_tag(self.seq, 0);
         dsts.into_iter()
             .map(|rel| {
                 let dst = self.absolute(rel);
-                self.comm.isend_on_ctx(self.comm.coll_ctx(), self.data.clone(), dst, tag)
+                self.comm
+                    .isend_on_ctx(self.comm.coll_ctx(), self.data.clone(), dst, tag)
             })
             .collect()
     }
 
     fn finish(&mut self) -> AsyncPoll {
-        self.out.deposit(from_bytes(&std::mem::take(&mut self.data)));
+        self.out
+            .deposit(from_bytes(&std::mem::take(&mut self.data)));
         if let Some(c) = self.completer.take() {
             c.complete(Status::empty());
         }
@@ -87,8 +88,7 @@ impl<T: MpiType> CollTask for BcastTask<T> {
         match &mut self.state {
             BcastState::Init => {
                 let size = self.comm.size();
-                let relative =
-                    (self.comm.rank() - self.root).rem_euclid(size as i32) as usize;
+                let relative = (self.comm.rank() - self.root).rem_euclid(size as i32) as usize;
                 let (recv_from, _) = binomial_peers(relative, size);
                 match recv_from {
                     None => {
@@ -103,7 +103,8 @@ impl<T: MpiType> CollTask for BcastTask<T> {
                         let src = self.absolute(src_rel);
                         let tag = Comm::coll_tag(self.seq, 0);
                         let (req, slot) =
-                            self.comm.irecv_on_ctx(self.comm.coll_ctx(), self.capacity, src, tag);
+                            self.comm
+                                .irecv_on_ctx(self.comm.coll_ctx(), self.capacity, src, tag);
                         self.state = BcastState::Receiving(req, slot);
                     }
                 }
@@ -142,18 +143,27 @@ impl Comm {
         root: i32,
     ) -> MpiResult<CollFuture<T>> {
         if root < 0 || root as usize >= self.size() {
-            return Err(MpiError::InvalidRank { rank: root, size: self.size() });
+            return Err(MpiError::InvalidRank {
+                rank: root,
+                size: self.size(),
+            });
         }
         let is_root = self.rank() == root;
         let bytes = match (is_root, data) {
             (true, Some(d)) => {
                 if d.len() != count {
-                    return Err(MpiError::CountMismatch { got: d.len(), expected: count });
+                    return Err(MpiError::CountMismatch {
+                        got: d.len(),
+                        expected: count,
+                    });
                 }
                 to_bytes(d)
             }
             (true, None) => {
-                return Err(MpiError::CountMismatch { got: 0, expected: count });
+                return Err(MpiError::CountMismatch {
+                    got: 0,
+                    expected: count,
+                });
             }
             (false, _) => Vec::new(),
         };
@@ -265,7 +275,11 @@ mod tests {
     fn bcast_from_nonzero_root() {
         let results = run_ranks(6, |proc| {
             let comm = proc.world_comm();
-            let mut buf: Vec<f64> = if proc.rank() == 3 { vec![2.5; 4] } else { Vec::new() };
+            let mut buf: Vec<f64> = if proc.rank() == 3 {
+                vec![2.5; 4]
+            } else {
+                Vec::new()
+            };
             comm.bcast(&mut buf, 4, 3).unwrap();
             buf
         });
@@ -289,7 +303,11 @@ mod tests {
             let comm = proc.world_comm();
             let mut got = Vec::new();
             for round in 0..10i32 {
-                let mut buf = if proc.rank() == 0 { vec![round] } else { Vec::new() };
+                let mut buf = if proc.rank() == 0 {
+                    vec![round]
+                } else {
+                    Vec::new()
+                };
                 comm.bcast(&mut buf, 1, 0).unwrap();
                 got.push(buf[0]);
             }

@@ -34,7 +34,10 @@ impl Comm {
         root: i32,
     ) -> MpiResult<CollFuture<T>> {
         if root < 0 || root as usize >= self.size() {
-            return Err(MpiError::InvalidRank { rank: root, size: self.size() });
+            return Err(MpiError::InvalidRank {
+                rank: root,
+                size: self.size(),
+            });
         }
         let size = self.size();
         let block = count.div_ceil(size).max(1);
@@ -42,9 +45,15 @@ impl Comm {
 
         // Phase 1: equal-block scatter of the padded payload.
         let scatter_fut = if self.rank() == root {
-            let data = data.ok_or(MpiError::CountMismatch { got: 0, expected: count })?;
+            let data = data.ok_or(MpiError::CountMismatch {
+                got: 0,
+                expected: count,
+            })?;
             if data.len() != count {
-                return Err(MpiError::CountMismatch { got: data.len(), expected: count });
+                return Err(MpiError::CountMismatch {
+                    got: data.len(),
+                    expected: count,
+                });
             }
             let mut buf = data.to_vec();
             buf.resize(padded, T::default());

@@ -2,8 +2,8 @@
 
 use std::sync::Arc;
 
+use mpfa_core::sync::Mutex;
 use mpfa_core::{Request, Status};
-use parking_lot::Mutex;
 
 /// The output side of a nonblocking collective: a request plus the typed
 /// result the schedule deposits at completion.
@@ -32,7 +32,13 @@ impl<T> CollFuture<T> {
     /// Build a future + writer pair around `req`.
     pub(crate) fn pair(req: Request) -> (CollFuture<T>, CollOutput<T>) {
         let out = Arc::new(Mutex::new(Vec::new()));
-        (CollFuture { req, out: out.clone() }, CollOutput { out })
+        (
+            CollFuture {
+                req,
+                out: out.clone(),
+            },
+            CollOutput { out },
+        )
     }
 
     /// `MPIX_Request_is_complete` semantics: atomic, no progress.

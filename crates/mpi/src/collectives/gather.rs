@@ -78,7 +78,10 @@ impl Comm {
     /// `root`. The root's future yields the rank-ordered concatenation.
     pub fn igather<T: MpiType>(&self, data: &[T], root: i32) -> MpiResult<CollFuture<T>> {
         if root < 0 || root as usize >= self.size() {
-            return Err(MpiError::InvalidRank { rank: root, size: self.size() });
+            return Err(MpiError::InvalidRank {
+                rank: root,
+                size: self.size(),
+            });
         }
         let seq = self.next_coll_seq();
         let tag = Comm::coll_tag(seq, 0);
@@ -91,12 +94,7 @@ impl Comm {
                     if src == root {
                         None
                     } else {
-                        Some(self.irecv_on_ctx(
-                            self.coll_ctx(),
-                            data.len() * T::SIZE,
-                            src,
-                            tag,
-                        ))
+                        Some(self.irecv_on_ctx(self.coll_ctx(), data.len() * T::SIZE, src, tag))
                     }
                 })
                 .collect();
@@ -121,7 +119,11 @@ impl Comm {
     /// the root, `None` elsewhere.
     pub fn gather<T: MpiType>(&self, data: &[T], root: i32) -> MpiResult<Option<Vec<T>>> {
         let (result, _) = self.igather(data, root)?.wait();
-        Ok(if self.rank() == root { Some(result) } else { None })
+        Ok(if self.rank() == root {
+            Some(result)
+        } else {
+            None
+        })
     }
 }
 
@@ -134,7 +136,8 @@ mod tests {
         for n in [1, 2, 5, 8] {
             let results = run_ranks(n, |proc| {
                 let comm = proc.world_comm();
-                comm.gather(&[proc.rank() as i32, -(proc.rank() as i32)], 0).unwrap()
+                comm.gather(&[proc.rank() as i32, -(proc.rank() as i32)], 0)
+                    .unwrap()
             });
             let mut expect = Vec::new();
             for r in 0..n as i32 {

@@ -58,7 +58,8 @@ impl Comm {
     /// made by all ranks in the same order (MPI semantics), so per-rank
     /// counters agree.
     pub(crate) fn next_coll_seq(&self) -> u64 {
-        self.coll_seq.fetch_add(1, std::sync::atomic::Ordering::AcqRel)
+        self.coll_seq
+            .fetch_add(1, std::sync::atomic::Ordering::AcqRel)
     }
 }
 
@@ -69,26 +70,20 @@ pub(crate) mod testutil {
 
     /// Run `f(proc)` on one thread per rank and return the outputs in rank
     /// order. The standard harness for collective tests.
-    pub fn run_ranks<R: Send>(
-        n: usize,
-        f: impl Fn(Proc) -> R + Send + Sync,
-    ) -> Vec<R> {
+    pub fn run_ranks<R: Send>(n: usize, f: impl Fn(Proc) -> R + Send + Sync) -> Vec<R> {
         run_ranks_cfg(WorldConfig::instant(n), f)
     }
 
     /// `run_ranks` with an explicit world configuration.
-    pub fn run_ranks_cfg<R: Send>(
-        cfg: WorldConfig,
-        f: impl Fn(Proc) -> R + Send + Sync,
-    ) -> Vec<R> {
+    pub fn run_ranks_cfg<R: Send>(cfg: WorldConfig, f: impl Fn(Proc) -> R + Send + Sync) -> Vec<R> {
         let procs = World::init(cfg);
         let f = &f;
         std::thread::scope(|s| {
-            let handles: Vec<_> = procs
+            let handles: Vec<_> = procs.into_iter().map(|p| s.spawn(move || f(p))).collect();
+            handles
                 .into_iter()
-                .map(|p| s.spawn(move || f(p)))
-                .collect();
-            handles.into_iter().map(|h| h.join().expect("rank thread panicked")).collect()
+                .map(|h| h.join().expect("rank thread panicked"))
+                .collect()
         })
     }
 }

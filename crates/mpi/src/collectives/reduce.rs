@@ -20,7 +20,11 @@ enum ReduceState {
     /// Working through mask rounds; `mask` is the next round's distance.
     Round { mask: usize },
     /// Waiting for a child's partial result.
-    Receiving { mask: usize, req: Request, slot: RecvSlot },
+    Receiving {
+        mask: usize,
+        req: Request,
+        slot: RecvSlot,
+    },
     /// Waiting for our send to the parent.
     SendingUp(Request),
 }
@@ -127,14 +131,12 @@ impl Comm {
     /// Nonblocking reduce (`MPI_Ireduce`) of `data` with `op` to `root`.
     /// The root's future yields the reduction; other ranks get an empty
     /// vector.
-    pub fn ireduce<T: Reducible>(
-        &self,
-        data: &[T],
-        op: Op,
-        root: i32,
-    ) -> MpiResult<CollFuture<T>> {
+    pub fn ireduce<T: Reducible>(&self, data: &[T], op: Op, root: i32) -> MpiResult<CollFuture<T>> {
         if root < 0 || root as usize >= self.size() {
-            return Err(MpiError::InvalidRank { rank: root, size: self.size() });
+            return Err(MpiError::InvalidRank {
+                rank: root,
+                size: self.size(),
+            });
         }
         // Validate op/type compatibility up front (e.g. Band on floats).
         op.apply::<T>(&mut [], &[])?;
@@ -158,14 +160,13 @@ impl Comm {
 
     /// Blocking reduce (`MPI_Reduce`). Returns `Some(result)` at the root,
     /// `None` elsewhere.
-    pub fn reduce<T: Reducible>(
-        &self,
-        data: &[T],
-        op: Op,
-        root: i32,
-    ) -> MpiResult<Option<Vec<T>>> {
+    pub fn reduce<T: Reducible>(&self, data: &[T], op: Op, root: i32) -> MpiResult<Option<Vec<T>>> {
         let (result, _) = self.ireduce(data, op, root)?.wait();
-        Ok(if self.rank() == root { Some(result) } else { None })
+        Ok(if self.rank() == root {
+            Some(result)
+        } else {
+            None
+        })
     }
 }
 
@@ -225,7 +226,9 @@ mod tests {
             let comm = proc.world_comm();
             let mut sums = Vec::new();
             for round in 0..8i32 {
-                let out = comm.reduce(&[round + proc.rank() as i32], Op::Sum, 0).unwrap();
+                let out = comm
+                    .reduce(&[round + proc.rank() as i32], Op::Sum, 0)
+                    .unwrap();
                 if let Some(v) = out {
                     sums.push(v[0]);
                 }

@@ -82,7 +82,10 @@ impl Comm {
         op.apply::<T>(&mut [], &[])?;
         let size = self.size();
         if data.len() != count * size {
-            return Err(MpiError::CountMismatch { got: data.len(), expected: count * size });
+            return Err(MpiError::CountMismatch {
+                got: data.len(),
+                expected: count * size,
+            });
         }
         let rank = self.rank() as usize;
         let seq = self.next_coll_seq();

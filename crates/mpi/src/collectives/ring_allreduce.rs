@@ -31,8 +31,12 @@ fn block_range(count: usize, size: usize, i: usize) -> std::ops::Range<usize> {
 }
 
 enum RingState {
-    ReduceScatter { step: usize },
-    Allgather { step: usize },
+    ReduceScatter {
+        step: usize,
+    },
+    Allgather {
+        step: usize,
+    },
     Wait {
         next: Box<RingState>,
         reducing: bool,
@@ -77,7 +81,9 @@ impl<T: Reducible> RingAllreduceTask<T> {
         let tag = Comm::coll_tag(self.seq, round);
         let count = self.data.len();
         let payload = to_bytes(&self.data[block_range(count, size as usize, send_block)]);
-        let send = self.comm.isend_on_ctx(self.comm.coll_ctx(), payload, right, tag);
+        let send = self
+            .comm
+            .isend_on_ctx(self.comm.coll_ctx(), payload, right, tag);
         let recv_len = block_range(count, size as usize, recv_block).len();
         let (recv, slot) =
             self.comm
@@ -101,7 +107,10 @@ impl<T: Reducible> CollTask for RingAllreduceTask<T> {
         if size == 1 {
             return self.finish();
         }
-        match std::mem::replace(&mut self.state, RingState::ReduceScatter { step: usize::MAX }) {
+        match std::mem::replace(
+            &mut self.state,
+            RingState::ReduceScatter { step: usize::MAX },
+        ) {
             RingState::ReduceScatter { step } => {
                 if step >= size - 1 {
                     self.state = RingState::Allgather { step: 0 };
@@ -132,10 +141,23 @@ impl<T: Reducible> CollTask for RingAllreduceTask<T> {
                     RingState::Allgather { step: step + 1 },
                 )
             }
-            RingState::Wait { next, reducing, recv_block, send, recv, slot } => {
+            RingState::Wait {
+                next,
+                reducing,
+                recv_block,
+                send,
+                recv,
+                slot,
+            } => {
                 if !(send.is_complete() && recv.is_complete()) {
-                    self.state =
-                        RingState::Wait { next, reducing, recv_block, send, recv, slot };
+                    self.state = RingState::Wait {
+                        next,
+                        reducing,
+                        recv_block,
+                        send,
+                        recv,
+                        slot,
+                    };
                     return AsyncPoll::Pending;
                 }
                 let incoming: Vec<T> = from_bytes(&slot.take());
@@ -161,11 +183,7 @@ impl Comm {
 
     /// Nonblocking ring allreduce (`MPI_Iallreduce`, large-message
     /// algorithm). Valid for any rank count.
-    pub fn iallreduce_ring<T: Reducible>(
-        &self,
-        data: &[T],
-        op: Op,
-    ) -> MpiResult<CollFuture<T>> {
+    pub fn iallreduce_ring<T: Reducible>(&self, data: &[T], op: Op) -> MpiResult<CollFuture<T>> {
         op.apply::<T>(&mut [], &[])?;
         let seq = self.next_coll_seq();
         let (req, completer) = Request::pair(self.stream());
@@ -186,11 +204,7 @@ impl Comm {
     /// Nonblocking allreduce with automatic algorithm selection:
     /// recursive doubling for latency-bound sizes, ring for
     /// bandwidth-bound sizes (≥ [`Comm::ALLREDUCE_RING_THRESHOLD`] bytes).
-    pub fn iallreduce_auto<T: Reducible>(
-        &self,
-        data: &[T],
-        op: Op,
-    ) -> MpiResult<CollFuture<T>> {
+    pub fn iallreduce_auto<T: Reducible>(&self, data: &[T], op: Op) -> MpiResult<CollFuture<T>> {
         if data.len() * T::SIZE >= Self::ALLREDUCE_RING_THRESHOLD && self.size() > 2 {
             self.iallreduce_ring(data, op)
         } else {
@@ -240,7 +254,10 @@ mod tests {
     fn ring_allreduce_single_rank() {
         let results = run_ranks(1, |proc| {
             let comm = proc.world_comm();
-            comm.iallreduce_ring(&[1i32, 2, 3], Op::Sum).unwrap().wait().0
+            comm.iallreduce_ring(&[1i32, 2, 3], Op::Sum)
+                .unwrap()
+                .wait()
+                .0
         });
         assert_eq!(results[0], vec![1, 2, 3]);
     }
@@ -250,7 +267,10 @@ mod tests {
         // Some blocks are empty; the algorithm must still terminate.
         let results = run_ranks(6, |proc| {
             let comm = proc.world_comm();
-            comm.iallreduce_ring(&[proc.rank() as i32 + 1], Op::Sum).unwrap().wait().0
+            comm.iallreduce_ring(&[proc.rank() as i32 + 1], Op::Sum)
+                .unwrap()
+                .wait()
+                .0
         });
         for out in results {
             assert_eq!(out, vec![21]);
@@ -262,7 +282,11 @@ mod tests {
         let results = run_ranks(4, |proc| {
             let comm = proc.world_comm();
             // Small: recursive doubling path.
-            let small = comm.iallreduce_auto(&[proc.rank() as i64], Op::Sum).unwrap().wait().0;
+            let small = comm
+                .iallreduce_auto(&[proc.rank() as i64], Op::Sum)
+                .unwrap()
+                .wait()
+                .0;
             // Large: ring path (> 32 KiB of i64).
             let big: Vec<i64> = (0..8000).map(|i| i + proc.rank() as i64).collect();
             let big_out = comm.iallreduce_auto(&big, Op::Sum).unwrap().wait().0;
@@ -281,7 +305,9 @@ mod tests {
     fn ring_max_reduction() {
         let results = run_ranks(3, |proc| {
             let comm = proc.world_comm();
-            let data: Vec<i32> = (0..10).map(|i| (i * (proc.rank() as i32 + 1)) % 7).collect();
+            let data: Vec<i32> = (0..10)
+                .map(|i| (i * (proc.rank() as i32 + 1)) % 7)
+                .collect();
             comm.iallreduce_ring(&data, Op::Max).unwrap().wait().0
         });
         for out in &results {

@@ -18,7 +18,9 @@ use crate::sched::CollTask;
 use super::future::{CollFuture, CollOutput};
 
 enum ScanState {
-    Round { mask: usize },
+    Round {
+        mask: usize,
+    },
     Wait {
         mask: usize,
         send: Option<Request>,
@@ -93,15 +95,16 @@ impl<T: Reducible> CollTask for ScanTask<T> {
                         self.state = ScanState::Round { mask: m << 1 };
                         continue;
                     }
-                    self.state = ScanState::Wait { mask: m, send, recv };
+                    self.state = ScanState::Wait {
+                        mask: m,
+                        send,
+                        recv,
+                    };
                     return AsyncPoll::Progress;
                 }
                 ScanState::Wait { mask, send, recv } => {
                     let send_done = send.as_ref().map(Request::is_complete).unwrap_or(true);
-                    let recv_done = recv
-                        .as_ref()
-                        .map(|(r, _)| r.is_complete())
-                        .unwrap_or(true);
+                    let recv_done = recv.as_ref().map(|(r, _)| r.is_complete()).unwrap_or(true);
                     if !(send_done && recv_done) {
                         return AsyncPoll::Pending;
                     }

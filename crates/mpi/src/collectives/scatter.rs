@@ -66,7 +66,10 @@ impl Comm {
         root: i32,
     ) -> MpiResult<CollFuture<T>> {
         if root < 0 || root as usize >= self.size() {
-            return Err(MpiError::InvalidRank { rank: root, size: self.size() });
+            return Err(MpiError::InvalidRank {
+                rank: root,
+                size: self.size(),
+            });
         }
         let seq = self.next_coll_seq();
         let tag = Comm::coll_tag(seq, 0);
@@ -96,12 +99,15 @@ impl Comm {
             }
             ScatterState::RootWait { sends, own }
         } else {
-            let (rreq, slot) =
-                self.irecv_on_ctx(self.coll_ctx(), count * T::SIZE, root, tag);
+            let (rreq, slot) = self.irecv_on_ctx(self.coll_ctx(), count * T::SIZE, root, tag);
             ScatterState::LeafWait(rreq, slot)
         };
 
-        let task = ScatterTask { state, out, completer: Some(completer) };
+        let task = ScatterTask {
+            state,
+            out,
+            completer: Some(completer),
+        };
         self.bundle().sched.submit(Box::new(task));
         Ok(fut)
     }
@@ -134,7 +140,11 @@ mod tests {
                 comm.scatter(data.as_deref(), 2, 0).unwrap()
             });
             for (r, out) in results.iter().enumerate() {
-                assert_eq!(out, &vec![2 * r as i32, 2 * r as i32 + 1], "rank {r} of {n}");
+                assert_eq!(
+                    out,
+                    &vec![2 * r as i32, 2 * r as i32 + 1],
+                    "rank {r} of {n}"
+                );
             }
         }
     }
@@ -143,7 +153,11 @@ mod tests {
     fn scatter_from_middle_root() {
         let results = run_ranks(3, |proc| {
             let comm = proc.world_comm();
-            let data = if proc.rank() == 1 { Some(vec![10.0f64, 20.0, 30.0]) } else { None };
+            let data = if proc.rank() == 1 {
+                Some(vec![10.0f64, 20.0, 30.0])
+            } else {
+                None
+            };
             comm.scatter(data.as_deref(), 1, 1).unwrap()
         });
         assert_eq!(results[0], vec![10.0]);

@@ -18,7 +18,11 @@ use super::future::{CollFuture, CollOutput};
 
 enum VState {
     /// Root of gatherv: per-source receive (None at own slot).
-    GatherRoot { recvs: Vec<Option<(Request, RecvSlot)>>, own: Vec<u8>, counts: Vec<usize> },
+    GatherRoot {
+        recvs: Vec<Option<(Request, RecvSlot)>>,
+        own: Vec<u8>,
+        counts: Vec<usize>,
+    },
     /// Non-root of gatherv / root of scatterv: wait for plain requests.
     Sends(Vec<Request>),
     /// Leaf of scatterv: one receive.
@@ -109,12 +113,7 @@ impl Comm {
             let recvs = (0..self.size() as i32)
                 .map(|src| {
                     (src != root).then(|| {
-                        self.irecv_on_ctx(
-                            self.coll_ctx(),
-                            counts[src as usize] * T::SIZE,
-                            src,
-                            tag,
-                        )
+                        self.irecv_on_ctx(self.coll_ctx(), counts[src as usize] * T::SIZE, src, tag)
                     })
                 })
                 .collect();
@@ -169,9 +168,15 @@ impl Comm {
 
         let task: VTask<T> = if self.rank() == root {
             let total: usize = counts.iter().sum();
-            let data = data.ok_or(MpiError::CountMismatch { got: 0, expected: total })?;
+            let data = data.ok_or(MpiError::CountMismatch {
+                got: 0,
+                expected: total,
+            })?;
             if data.len() != total {
-                return Err(MpiError::CountMismatch { got: data.len(), expected: total });
+                return Err(MpiError::CountMismatch {
+                    got: data.len(),
+                    expected: total,
+                });
             }
             let mut sends = Vec::new();
             let mut own = Vec::new();
@@ -236,10 +241,16 @@ impl Comm {
 
     fn validate_v(&self, counts: &[usize], root: i32) -> MpiResult<()> {
         if root < 0 || root as usize >= self.size() {
-            return Err(MpiError::InvalidRank { rank: root, size: self.size() });
+            return Err(MpiError::InvalidRank {
+                rank: root,
+                size: self.size(),
+            });
         }
         if counts.len() != self.size() {
-            return Err(MpiError::CountMismatch { got: counts.len(), expected: self.size() });
+            return Err(MpiError::CountMismatch {
+                got: counts.len(),
+                expected: self.size(),
+            });
         }
         Ok(())
     }
@@ -270,8 +281,7 @@ mod tests {
         let results = run_ranks(3, |proc| {
             let comm = proc.world_comm();
             let counts = vec![2usize, 0, 3];
-            let data = (proc.rank() == 0)
-                .then(|| vec![1i64, 2, 30, 31, 32]);
+            let data = (proc.rank() == 0).then(|| vec![1i64, 2, 30, 31, 32]);
             comm.scatterv(data.as_deref(), &counts, 0).unwrap()
         });
         assert_eq!(results[0], vec![1, 2]);
@@ -285,8 +295,9 @@ mod tests {
             let comm = proc.world_comm();
             let counts = vec![3usize, 1, 2];
             let r = proc.rank();
-            let data: Vec<u16> =
-                (0..counts[r] as u16).map(|i| (r as u16) * 100 + i).collect();
+            let data: Vec<u16> = (0..counts[r] as u16)
+                .map(|i| (r as u16) * 100 + i)
+                .collect();
             comm.allgatherv(&data, &counts).unwrap()
         });
         let expect = vec![0u16, 1, 2, 100, 200, 201];

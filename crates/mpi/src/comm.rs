@@ -110,12 +110,18 @@ impl Comm {
     /// Translate a world rank into this communicator's rank, if the world
     /// rank is a member.
     pub fn rank_of_world(&self, world_rank: usize) -> Option<i32> {
-        self.group.iter().position(|&w| w == world_rank).map(|p| p as i32)
+        self.group
+            .iter()
+            .position(|&w| w == world_rank)
+            .map(|p| p as i32)
     }
 
     fn check_rank(&self, r: i32) -> MpiResult<()> {
         if r < 0 || r as usize >= self.group.len() {
-            return Err(MpiError::InvalidRank { rank: r, size: self.group.len() });
+            return Err(MpiError::InvalidRank {
+                rank: r,
+                size: self.group.len(),
+            });
         }
         Ok(())
     }
@@ -173,22 +179,17 @@ impl Comm {
     }
 
     /// Nonblocking typed receive of up to `count` elements (`MPI_Irecv`).
-    pub fn irecv<T: MpiType>(
-        &self,
-        count: usize,
-        src: i32,
-        tag: i32,
-    ) -> MpiResult<RecvRequest<T>> {
+    pub fn irecv<T: MpiType>(&self, count: usize, src: i32, tag: i32) -> MpiResult<RecvRequest<T>> {
         if src != ANY_SOURCE {
             self.check_rank(src)?;
         }
         if tag != ANY_TAG {
             self.check_tag(tag)?;
         }
-        let (req, slot) =
-            self.bundle
-                .vci
-                .irecv_bytes(self.ptp_ctx(), src, tag, count * T::SIZE);
+        let (req, slot) = self
+            .bundle
+            .vci
+            .irecv_bytes(self.ptp_ctx(), src, tag, count * T::SIZE);
         Ok(RecvRequest::new(req, slot))
     }
 
@@ -249,7 +250,11 @@ impl Comm {
     /// Internal: send bytes on an explicit wire context (used by both the
     /// point-to-point and collective paths).
     pub(crate) fn isend_on_ctx(&self, ctx: u64, data: Vec<u8>, dst: i32, tag: i32) -> Request {
-        let hdr = MsgHeader { context_id: ctx, src_rank: self.rank, tag };
+        let hdr = MsgHeader {
+            context_id: ctx,
+            src_rank: self.rank,
+            tag,
+        };
         self.bundle.vci.isend_bytes(self.ep_of(dst), hdr, data)
     }
 
@@ -274,7 +279,13 @@ impl Comm {
     pub fn dup(&self) -> MpiResult<Comm> {
         let epoch = self.epoch.fetch_add(1, Ordering::AcqRel);
         let key = epoch << 32; // color field zero
-        let ctx = self.proc.world().inner.registry.lock().child_ctx(self.ctx, key);
+        let ctx = self
+            .proc
+            .world()
+            .inner
+            .registry
+            .lock()
+            .child_ctx(self.ctx, key);
         let vci_idx = self.proc.world().inner.registry.lock().vci_for_ctx(
             ctx,
             false,
@@ -335,7 +346,11 @@ impl Comm {
             (self.ctx, epoch, EX_SPLIT),
             self.size(),
             self.rank as usize,
-            vec![color as i64, key as i64, self.group[self.rank as usize] as i64],
+            vec![
+                color as i64,
+                key as i64,
+                self.group[self.rank as usize] as i64,
+            ],
         );
         if color < 0 {
             return Ok(None);
@@ -393,7 +408,7 @@ impl std::fmt::Debug for Comm {
 
 #[cfg(test)]
 mod tests {
-    
+
     use crate::collectives::testutil::run_ranks;
 
     #[test]

@@ -72,15 +72,16 @@ pub fn from_bytes<T: MpiType>(bytes: &[u8]) -> Vec<T> {
         T::SIZE,
         T::NAME
     );
-    bytes
-        .chunks_exact(T::SIZE)
-        .map(T::read_from)
-        .collect()
+    bytes.chunks_exact(T::SIZE).map(T::read_from).collect()
 }
 
 /// Deserialize bytes into an existing typed slice (exact fit required).
 pub fn read_into<T: MpiType>(bytes: &[u8], out: &mut [T]) {
-    assert_eq!(bytes.len(), out.len() * T::SIZE, "size mismatch in read_into");
+    assert_eq!(
+        bytes.len(),
+        out.len() * T::SIZE,
+        "size mismatch in read_into"
+    );
     for (i, slot) in out.iter_mut().enumerate() {
         *slot = T::read_from(&bytes[i * T::SIZE..(i + 1) * T::SIZE]);
     }
@@ -112,7 +113,9 @@ impl Layout {
     pub fn element_count(&self) -> usize {
         match *self {
             Layout::Contiguous { count } => count,
-            Layout::Vector { count, blocklen, .. } => count * blocklen,
+            Layout::Vector {
+                count, blocklen, ..
+            } => count * blocklen,
         }
     }
 
@@ -121,7 +124,11 @@ impl Layout {
     pub fn extent(&self) -> usize {
         match *self {
             Layout::Contiguous { count } => count,
-            Layout::Vector { count, blocklen, stride } => {
+            Layout::Vector {
+                count,
+                blocklen,
+                stride,
+            } => {
                 if count == 0 {
                     0
                 } else {
@@ -133,8 +140,14 @@ impl Layout {
 
     /// Validate the layout against a buffer length; panics on misuse.
     pub fn check(&self, buffer_len: usize) {
-        if let Layout::Vector { blocklen, stride, .. } = *self {
-            assert!(stride >= blocklen, "vector stride {stride} < blocklen {blocklen}");
+        if let Layout::Vector {
+            blocklen, stride, ..
+        } = *self
+        {
+            assert!(
+                stride >= blocklen,
+                "vector stride {stride} < blocklen {blocklen}"
+            );
         }
         assert!(
             self.extent() <= buffer_len,
@@ -151,7 +164,11 @@ impl Layout {
         self.check(data.len());
         match *self {
             Layout::Contiguous { count } => data[..count].to_vec(),
-            Layout::Vector { count, blocklen, stride } => {
+            Layout::Vector {
+                count,
+                blocklen,
+                stride,
+            } => {
                 let mut out = Vec::with_capacity(count * blocklen);
                 for b in 0..count {
                     let start = b * stride;
@@ -168,7 +185,11 @@ impl Layout {
         assert_eq!(packed.len(), self.element_count(), "packed length mismatch");
         match *self {
             Layout::Contiguous { count } => data[..count].copy_from_slice(packed),
-            Layout::Vector { count, blocklen, stride } => {
+            Layout::Vector {
+                count,
+                blocklen,
+                stride,
+            } => {
                 for b in 0..count {
                     let start = b * stride;
                     data[start..start + blocklen]
@@ -235,7 +256,11 @@ mod tests {
     #[test]
     fn vector_layout_pack_unpack() {
         // 3 blocks of 2 out of stride 4: indices 0,1, 4,5, 8,9
-        let l = Layout::Vector { count: 3, blocklen: 2, stride: 4 };
+        let l = Layout::Vector {
+            count: 3,
+            blocklen: 2,
+            stride: 4,
+        };
         assert_eq!(l.element_count(), 6);
         assert_eq!(l.extent(), 10);
         let data: Vec<i32> = (0..10).collect();
@@ -249,7 +274,11 @@ mod tests {
 
     #[test]
     fn empty_vector_layout() {
-        let l = Layout::Vector { count: 0, blocklen: 3, stride: 5 };
+        let l = Layout::Vector {
+            count: 0,
+            blocklen: 3,
+            stride: 5,
+        };
         assert_eq!(l.extent(), 0);
         assert_eq!(l.pack(&[0i32; 0]), Vec::<i32>::new());
     }
@@ -257,7 +286,11 @@ mod tests {
     #[test]
     #[should_panic(expected = "stride")]
     fn overlapping_vector_rejected() {
-        let l = Layout::Vector { count: 2, blocklen: 4, stride: 2 };
+        let l = Layout::Vector {
+            count: 2,
+            blocklen: 4,
+            stride: 2,
+        };
         l.check(100);
     }
 

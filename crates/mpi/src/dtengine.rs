@@ -10,7 +10,7 @@
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
-use parking_lot::Mutex;
+use mpfa_core::sync::Mutex;
 
 use crate::datatype::{Layout, MpiType};
 
@@ -41,7 +41,10 @@ impl Default for DtEngine {
 impl DtEngine {
     /// An empty engine.
     pub fn new() -> DtEngine {
-        DtEngine { jobs: Mutex::new(Vec::new()), pending: AtomicUsize::new(0) }
+        DtEngine {
+            jobs: Mutex::new(Vec::new()),
+            pending: AtomicUsize::new(0),
+        }
     }
 
     /// Shared handle.
@@ -92,7 +95,9 @@ impl DtEngine {
 fn block_of(layout: &Layout, i: usize) -> (usize, usize) {
     match *layout {
         Layout::Contiguous { count } => (0, count),
-        Layout::Vector { blocklen, stride, .. } => (i * stride, blocklen),
+        Layout::Vector {
+            blocklen, stride, ..
+        } => (i * stride, blocklen),
     }
 }
 
@@ -144,7 +149,11 @@ pub fn unpack_job<T: MpiType + Default>(
     segment_blocks: usize,
     on_done: impl FnOnce(Vec<T>) + Send + 'static,
 ) -> Job {
-    assert_eq!(packed.len(), layout.element_count(), "packed length mismatch");
+    assert_eq!(
+        packed.len(),
+        layout.element_count(),
+        "packed length mismatch"
+    );
     let segment_blocks = segment_blocks.max(1);
     let total_blocks = blocks_in(&layout);
     let mut out: Vec<T> = vec![T::default(); layout.extent()];
@@ -184,7 +193,11 @@ mod tests {
     #[test]
     fn pack_job_runs_in_segments() {
         let e = DtEngine::new();
-        let layout = Layout::Vector { count: 10, blocklen: 2, stride: 3 };
+        let layout = Layout::Vector {
+            count: 10,
+            blocklen: 2,
+            stride: 3,
+        };
         let data: Vec<i32> = (0..30).collect();
         let result = Arc::new(Mutex::new(None));
         let r = result.clone();
@@ -208,7 +221,11 @@ mod tests {
     #[test]
     fn unpack_job_restores_layout() {
         let e = DtEngine::new();
-        let layout = Layout::Vector { count: 3, blocklen: 2, stride: 4 };
+        let layout = Layout::Vector {
+            count: 3,
+            blocklen: 2,
+            stride: 4,
+        };
         let original: Vec<i32> = (0..10).collect();
         let packed = layout.pack(&original);
         let result = Arc::new(Mutex::new(None));
@@ -248,10 +265,19 @@ mod tests {
         let counter = Arc::new(AtomicUsize::new(0));
         for _ in 0..5 {
             let c = counter.clone();
-            let layout = Layout::Vector { count: 4, blocklen: 1, stride: 2 };
-            e.submit(pack_job((0..8).collect::<Vec<i32>>(), layout, 2, move |_| {
-                c.fetch_add(1, Ordering::Relaxed);
-            }));
+            let layout = Layout::Vector {
+                count: 4,
+                blocklen: 1,
+                stride: 2,
+            };
+            e.submit(pack_job(
+                (0..8).collect::<Vec<i32>>(),
+                layout,
+                2,
+                move |_| {
+                    c.fetch_add(1, Ordering::Relaxed);
+                },
+            ));
         }
         assert_eq!(e.pending(), 5);
         e.poll(); // all advance 2 of 4 blocks

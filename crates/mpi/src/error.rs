@@ -72,10 +72,15 @@ mod tests {
 
     #[test]
     fn display_messages() {
-        assert!(MpiError::InvalidRank { rank: 9, size: 4 }.to_string().contains("9"));
-        assert!(MpiError::Truncation { incoming: 10, capacity: 4 }
+        assert!(MpiError::InvalidRank { rank: 9, size: 4 }
             .to_string()
-            .contains("truncated"));
+            .contains("9"));
+        assert!(MpiError::Truncation {
+            incoming: 10,
+            capacity: 4
+        }
+        .to_string()
+        .contains("truncated"));
         assert!(MpiError::InvalidTag(-3).to_string().contains("-3"));
         assert!(MpiError::Timeout("barrier").to_string().contains("barrier"));
     }

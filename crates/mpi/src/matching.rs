@@ -10,8 +10,8 @@
 use std::collections::VecDeque;
 use std::sync::Arc;
 
+use mpfa_core::sync::Mutex;
 use mpfa_core::Completer;
-use parking_lot::Mutex;
 
 /// Wildcard source (`MPI_ANY_SOURCE`).
 pub const ANY_SOURCE: i32 = -1;
@@ -173,6 +173,20 @@ impl MatchState {
 
     /// Queue a message that matched nothing.
     pub fn push_unexpected(&mut self, msg: Unexpected) {
+        use std::sync::atomic::Ordering;
+        mpfa_obs::global_counters()
+            .unexpected_msgs
+            .fetch_add(1, Ordering::Relaxed);
+        mpfa_obs::record(|| {
+            let (src, tag) = match &msg {
+                Unexpected::Eager { src, tag, .. } => (*src, *tag),
+                Unexpected::Rts { src, tag, .. } => (*src, *tag),
+            };
+            mpfa_obs::EventKind::UnexpectedMsg {
+                src: src as u32,
+                tag: tag as i64,
+            }
+        });
         self.unexpected.push_back(msg);
     }
 
@@ -191,9 +205,7 @@ impl MatchState {
     pub fn probe_unexpected(&self, src: i32, tag: i32) -> Option<(i32, i32, usize)> {
         self.unexpected
             .iter()
-            .find(|u| {
-                (src == ANY_SOURCE || src == u.src()) && (tag == ANY_TAG || tag == u.tag())
-            })
+            .find(|u| (src == ANY_SOURCE || src == u.src()) && (tag == ANY_TAG || tag == u.tag()))
             .map(|u| (u.src(), u.tag(), u.bytes()))
     }
 }
@@ -207,13 +219,23 @@ mod tests {
         let stream = Stream::create();
         let (req, completer) = Request::pair(&stream);
         (
-            PostedRecv { src, tag, capacity: 1 << 20, slot: RecvSlot::new(), completer },
+            PostedRecv {
+                src,
+                tag,
+                capacity: 1 << 20,
+                slot: RecvSlot::new(),
+                completer,
+            },
             req,
         )
     }
 
     fn eager(src: i32, tag: i32, n: usize) -> Unexpected {
-        Unexpected::Eager { src, tag, data: vec![0xAB; n] }
+        Unexpected::Eager {
+            src,
+            tag,
+            data: vec![0xAB; n],
+        }
     }
 
     #[test]
@@ -313,7 +335,12 @@ mod tests {
         let (r, _q) = posted(4, ANY_TAG);
         let (_recv, unexp) = m.post_recv(r).unwrap();
         match unexp {
-            Unexpected::Rts { send_id, total, reply_ep, .. } => {
+            Unexpected::Rts {
+                send_id,
+                total,
+                reply_ep,
+                ..
+            } => {
                 assert_eq!(send_id, 77);
                 assert_eq!(total, 1 << 20);
                 assert_eq!(reply_ep, 12);

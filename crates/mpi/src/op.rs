@@ -171,7 +171,15 @@ mod tests {
 
     #[test]
     fn all_ops_commutative() {
-        for op in [Op::Sum, Op::Prod, Op::Max, Op::Min, Op::Band, Op::Bor, Op::Bxor] {
+        for op in [
+            Op::Sum,
+            Op::Prod,
+            Op::Max,
+            Op::Min,
+            Op::Band,
+            Op::Bor,
+            Op::Bxor,
+        ] {
             assert!(op.is_commutative());
         }
     }

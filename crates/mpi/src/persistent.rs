@@ -89,7 +89,10 @@ impl<T: MpiType> PersistentRecv<T> {
 
     /// True if the current round (if any) has completed.
     pub fn is_complete(&self) -> bool {
-        self.active.as_ref().map(RecvRequest::is_complete).unwrap_or(false)
+        self.active
+            .as_ref()
+            .map(RecvRequest::is_complete)
+            .unwrap_or(false)
     }
 
     /// Wait for the current round and take its payload. Errors if no
@@ -97,7 +100,9 @@ impl<T: MpiType> PersistentRecv<T> {
     pub fn wait(&mut self) -> MpiResult<(Vec<T>, Status)> {
         match self.active.take() {
             Some(recv) => Ok(recv.wait()),
-            None => Err(MpiError::Protocol("wait on an unstarted persistent recv".into())),
+            None => Err(MpiError::Protocol(
+                "wait on an unstarted persistent recv".into(),
+            )),
         }
     }
 }
@@ -137,13 +142,19 @@ impl Comm {
         if tag < 0 && tag != crate::matching::ANY_TAG {
             return Err(MpiError::InvalidTag(tag));
         }
-        Ok(PersistentRecv { comm: self.clone(), count, src, tag, active: None })
+        Ok(PersistentRecv {
+            comm: self.clone(),
+            count,
+            src,
+            tag,
+            active: None,
+        })
     }
 }
 
 #[cfg(test)]
 mod tests {
-    
+
     use crate::collectives::testutil::run_ranks;
 
     #[test]

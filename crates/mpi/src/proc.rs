@@ -7,8 +7,8 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
+use mpfa_core::sync::Mutex;
 use mpfa_core::{Stream, StreamHints};
-use parking_lot::Mutex;
 
 use crate::comm::Comm;
 use crate::dtengine::DtEngine;

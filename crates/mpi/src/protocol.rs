@@ -60,7 +60,10 @@ impl ProtoConfig {
 
     /// Validate invariants.
     pub fn validate(&self) {
-        assert!(self.buffered_max <= self.eager_max, "buffered_max > eager_max");
+        assert!(
+            self.buffered_max <= self.eager_max,
+            "buffered_max > eager_max"
+        );
         assert!(self.chunk > 0, "chunk must be positive");
         assert!(self.depth > 0, "depth must be positive");
     }
@@ -72,7 +75,12 @@ mod tests {
 
     #[test]
     fn mode_thresholds() {
-        let c = ProtoConfig { buffered_max: 100, eager_max: 1000, chunk: 256, depth: 2 };
+        let c = ProtoConfig {
+            buffered_max: 100,
+            eager_max: 1000,
+            chunk: 256,
+            depth: 2,
+        };
         assert_eq!(c.mode_for(0), SendMode::Buffered);
         assert_eq!(c.mode_for(100), SendMode::Buffered);
         assert_eq!(c.mode_for(101), SendMode::Eager);
@@ -82,7 +90,10 @@ mod tests {
 
     #[test]
     fn chunk_counts() {
-        let c = ProtoConfig { chunk: 100, ..ProtoConfig::default() };
+        let c = ProtoConfig {
+            chunk: 100,
+            ..ProtoConfig::default()
+        };
         assert_eq!(c.chunks_of(1), 1);
         assert_eq!(c.chunks_of(100), 1);
         assert_eq!(c.chunks_of(101), 2);
@@ -97,6 +108,12 @@ mod tests {
     #[test]
     #[should_panic(expected = "buffered_max")]
     fn inverted_thresholds_rejected() {
-        ProtoConfig { buffered_max: 10, eager_max: 5, chunk: 1, depth: 1 }.validate();
+        ProtoConfig {
+            buffered_max: 10,
+            eager_max: 5,
+            chunk: 1,
+            depth: 1,
+        }
+        .validate();
     }
 }

@@ -22,7 +22,11 @@ pub struct RecvRequest<T: MpiType> {
 
 impl<T: MpiType> RecvRequest<T> {
     pub(crate) fn new(req: Request, slot: RecvSlot) -> RecvRequest<T> {
-        RecvRequest { req, slot, _elem: PhantomData }
+        RecvRequest {
+            req,
+            slot,
+            _elem: PhantomData,
+        }
     }
 
     /// `MPIX_Request_is_complete`: atomic, no progress, no side effects.
@@ -89,7 +93,12 @@ mod tests {
         let (req, completer) = Request::pair(&stream);
         let slot = RecvSlot::new();
         slot.set(to_bytes(&data));
-        completer.complete(Status { source: 1, tag: 2, bytes: data.len() * 4, cancelled: false });
+        completer.complete(Status {
+            source: 1,
+            tag: 2,
+            bytes: data.len() * 4,
+            cancelled: false,
+        });
         RecvRequest::new(req, slot)
     }
 

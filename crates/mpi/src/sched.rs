@@ -11,8 +11,8 @@
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
+use mpfa_core::sync::Mutex;
 use mpfa_core::AsyncPoll;
-use parking_lot::Mutex;
 
 /// A multi-stage collective state machine.
 pub trait CollTask: Send {
@@ -46,7 +46,10 @@ impl Default for SchedQueue {
 impl SchedQueue {
     /// An empty queue.
     pub fn new() -> SchedQueue {
-        SchedQueue { tasks: Mutex::new(Vec::new()), pending: AtomicUsize::new(0) }
+        SchedQueue {
+            tasks: Mutex::new(Vec::new()),
+            pending: AtomicUsize::new(0),
+        }
     }
 
     /// Shared handle.

@@ -164,7 +164,11 @@ mod tests {
     use mpfa_fabric::{Fabric, FabricConfig};
 
     fn vci_on(stream: &Stream, fabric: &Fabric<WireMsg>, rank: usize) -> Arc<Vci> {
-        Vci::new(fabric.endpoint(rank), stream.clone(), ProtoConfig::default())
+        Vci::new(
+            fabric.endpoint(rank),
+            stream.clone(),
+            ProtoConfig::default(),
+        )
     }
 
     #[test]
@@ -172,8 +176,14 @@ mod tests {
         let fabric: Fabric<WireMsg> = Fabric::new(FabricConfig::instant(1));
         let s = Stream::create();
         let v = vci_on(&s, &fabric, 0);
-        assert_eq!(DtEngineHook::new(DtEngine::shared()).class(), SubsystemClass::DatatypeEngine);
-        assert_eq!(CollSchedHook::new(SchedQueue::shared()).class(), SubsystemClass::CollectiveSched);
+        assert_eq!(
+            DtEngineHook::new(DtEngine::shared()).class(),
+            SubsystemClass::DatatypeEngine
+        );
+        assert_eq!(
+            CollSchedHook::new(SchedQueue::shared()).class(),
+            SubsystemClass::CollectiveSched
+        );
         assert_eq!(ShmemHook::new(v.clone()).class(), SubsystemClass::Shmem);
         assert_eq!(NetmodHook::new(v).class(), SubsystemClass::Netmod);
     }
@@ -209,7 +219,11 @@ mod tests {
         let (rreq, slot) = v1.irecv_bytes(9, 0, 5, 1024);
         let sreq = v0.isend_bytes(
             v1.ep_index(),
-            MsgHeader { context_id: 9, src_rank: 0, tag: 5 },
+            MsgHeader {
+                context_id: 9,
+                src_rank: 0,
+                tag: 5,
+            },
             vec![1, 2, 3, 4],
         );
         while !(rreq.is_complete() && sreq.is_complete()) {
@@ -221,13 +235,24 @@ mod tests {
 
     #[test]
     fn netmod_reports_work_for_pending_tx() {
-        let proto = ProtoConfig { buffered_max: 0, ..ProtoConfig::default() };
+        let proto = ProtoConfig {
+            buffered_max: 0,
+            ..ProtoConfig::default()
+        };
         let fabric: Fabric<WireMsg> = Fabric::new(FabricConfig::instant(2));
         let s = Stream::create();
         let v0 = Vci::new(fabric.endpoint(0), s.clone(), proto);
         let hook = NetmodHook::new(v0.clone());
         assert!(!hook.has_work());
-        let _req = v0.isend_bytes(1, MsgHeader { context_id: 1, src_rank: 0, tag: 0 }, vec![0; 64]);
+        let _req = v0.isend_bytes(
+            1,
+            MsgHeader {
+                context_id: 1,
+                src_rank: 0,
+                tag: 0,
+            },
+            vec![0; 64],
+        );
         assert!(hook.has_work(), "pending TX must show as netmod work");
     }
 }

@@ -11,9 +11,9 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
+use mpfa_core::sync::Mutex;
 use mpfa_core::{Completer, Request, Status, Stream};
 use mpfa_fabric::{Endpoint, TxHandle};
-use parking_lot::Mutex;
 
 use crate::matching::{MatchState, PostedRecv, RecvSlot, Unexpected};
 use crate::protocol::{ProtoConfig, SendMode};
@@ -144,13 +144,36 @@ impl Vci {
             SendMode::Buffered => {
                 // Lightweight send: inject and complete immediately; the
                 // (copied) buffer is already safe to reuse.
+                mpfa_obs::global_counters()
+                    .eager_msgs
+                    .fetch_add(1, Ordering::Relaxed);
+                mpfa_obs::record(|| mpfa_obs::EventKind::EagerSend {
+                    src: self.ep.rank() as u32,
+                    dst: dst_ep as u32,
+                    bytes: n as u64,
+                    buffered: true,
+                });
                 self.ep.send(dst_ep, WireMsg::Eager { hdr, data: bytes }, n);
                 Request::completed(
                     &self.stream,
-                    Status { source: hdr.src_rank, tag: hdr.tag, bytes: n, cancelled: false },
+                    Status {
+                        source: hdr.src_rank,
+                        tag: hdr.tag,
+                        bytes: n,
+                        cancelled: false,
+                    },
                 )
             }
             SendMode::Eager => {
+                mpfa_obs::global_counters()
+                    .eager_msgs
+                    .fetch_add(1, Ordering::Relaxed);
+                mpfa_obs::record(|| mpfa_obs::EventKind::EagerSend {
+                    src: self.ep.rank() as u32,
+                    dst: dst_ep as u32,
+                    bytes: n as u64,
+                    buffered: false,
+                });
                 let (req, completer) = Request::pair(&self.stream);
                 let tx = self.ep.send(dst_ep, WireMsg::Eager { hdr, data: bytes }, n);
                 let mut st = self.state.lock();
@@ -189,7 +212,24 @@ impl Vci {
                     id
                 };
                 self.work.fetch_add(1, Ordering::Release);
-                self.ep.send(dst_ep, WireMsg::Rts { hdr, send_id, total: n }, 0);
+                mpfa_obs::global_counters()
+                    .rndv_started
+                    .fetch_add(1, Ordering::Relaxed);
+                mpfa_obs::record(|| mpfa_obs::EventKind::RndvRts {
+                    send_id,
+                    src: self.ep.rank() as u32,
+                    dst: dst_ep as u32,
+                    total: n as u64,
+                });
+                self.ep.send(
+                    dst_ep,
+                    WireMsg::Rts {
+                        hdr,
+                        send_id,
+                        total: n,
+                    },
+                    0,
+                );
                 req
             }
         }
@@ -207,7 +247,13 @@ impl Vci {
     ) -> (Request, RecvSlot) {
         let (req, completer) = Request::pair(&self.stream);
         let slot = RecvSlot::new();
-        let recv = PostedRecv { src, tag, capacity, slot: slot.clone(), completer };
+        let recv = PostedRecv {
+            src,
+            tag,
+            capacity,
+            slot: slot.clone(),
+            completer,
+        };
 
         let matched = {
             let mut st = self.state.lock();
@@ -223,7 +269,9 @@ impl Vci {
     /// matching unexpected message.
     pub fn iprobe(&self, ctx: u64, src: i32, tag: i32) -> Option<(i32, i32, usize)> {
         let st = self.state.lock();
-        st.matching.get(&ctx).and_then(|m| m.probe_unexpected(src, tag))
+        st.matching
+            .get(&ctx)
+            .and_then(|m| m.probe_unexpected(src, tag))
     }
 
     // ---------------------------------------------------------------
@@ -316,7 +364,11 @@ impl Vci {
                     Self::complete_eager_recv(recv, hdr.src_rank, hdr.tag, data);
                 }
             }
-            WireMsg::Rts { hdr, send_id, total } => {
+            WireMsg::Rts {
+                hdr,
+                send_id,
+                total,
+            } => {
                 let matched = {
                     let mut st = self.state.lock();
                     let ms = st.matching.entry(hdr.context_id).or_default();
@@ -341,11 +393,24 @@ impl Vci {
             WireMsg::Cts { send_id, recv_id } => {
                 let mut st = self.state.lock();
                 if let Some(send) = st.sends.get_mut(&send_id) {
+                    mpfa_obs::global_counters()
+                        .rndv_granted
+                        .fetch_add(1, Ordering::Relaxed);
+                    mpfa_obs::record(|| mpfa_obs::EventKind::RndvCts { send_id, recv_id });
                     send.recv_id = Some(recv_id);
                     Self::pump_chunks(&self.ep, &self.proto, send);
                 }
             }
-            WireMsg::Data { recv_id, offset, data } => {
+            WireMsg::Data {
+                recv_id,
+                offset,
+                data,
+            } => {
+                mpfa_obs::record(|| mpfa_obs::EventKind::RndvData {
+                    recv_id,
+                    offset: offset as u64,
+                    bytes: data.len().min(u32::MAX as usize) as u32,
+                });
                 let done = {
                     let mut st = self.state.lock();
                     let Some(recv) = st.recvs.get_mut(&recv_id) else {
@@ -354,8 +419,13 @@ impl Vci {
                     recv.slot.write_at(recv.total, offset, &data);
                     recv.received += data.len();
                     // Flow-control credit back to the sender.
-                    self.ep
-                        .send(recv.reply_ep, WireMsg::DataAck { send_id: recv.send_id }, 0);
+                    self.ep.send(
+                        recv.reply_ep,
+                        WireMsg::DataAck {
+                            send_id: recv.send_id,
+                        },
+                        0,
+                    );
                     if recv.received >= recv.total {
                         st.recvs.remove(&recv_id)
                     } else {
@@ -364,6 +434,11 @@ impl Vci {
                 };
                 if let Some(recv) = done {
                     self.work.fetch_sub(1, Ordering::Release);
+                    mpfa_obs::record(|| mpfa_obs::EventKind::RndvDone {
+                        id: recv_id,
+                        bytes: recv.total as u64,
+                        sender: false,
+                    });
                     if let Some(completer) = recv.completer {
                         completer.complete(Status {
                             source: recv.src_rank,
@@ -392,6 +467,14 @@ impl Vci {
                 };
                 if let Some(send) = done {
                     self.work.fetch_sub(1, Ordering::Release);
+                    mpfa_obs::global_counters()
+                        .rndv_completed
+                        .fetch_add(1, Ordering::Relaxed);
+                    mpfa_obs::record(|| mpfa_obs::EventKind::RndvDone {
+                        id: send_id,
+                        bytes: send.data.len() as u64,
+                        sender: true,
+                    });
                     if let Some(completer) = send.completer {
                         completer.complete(Status {
                             source: -1,
@@ -411,7 +494,13 @@ impl Vci {
             Unexpected::Eager { src, tag, data } => {
                 Self::complete_eager_recv(recv, src, tag, data);
             }
-            Unexpected::Rts { src, tag, send_id, total, reply_ep } => {
+            Unexpected::Rts {
+                src,
+                tag,
+                send_id,
+                total,
+                reply_ep,
+            } => {
                 self.start_rndv_recv(recv, src, tag, send_id, total, reply_ep);
             }
         }
@@ -428,7 +517,12 @@ impl Vci {
         );
         let bytes = data.len();
         recv.slot.set(data);
-        recv.completer.complete(Status { source: src, tag, bytes, cancelled: false });
+        recv.completer.complete(Status {
+            source: src,
+            tag,
+            bytes,
+            cancelled: false,
+        });
     }
 
     /// Begin the receiver half of a rendezvous transfer: register state and
@@ -482,7 +576,11 @@ impl Vci {
             let len = chunk.len();
             ep.send(
                 send.dst_ep,
-                WireMsg::Data { recv_id, offset: send.offset, data: chunk },
+                WireMsg::Data {
+                    recv_id,
+                    offset: send.offset,
+                    data: chunk,
+                },
                 len,
             );
             send.offset = end;
@@ -506,7 +604,11 @@ mod tests {
     }
 
     fn hdr(src_rank: i32, tag: i32) -> MsgHeader {
-        MsgHeader { context_id: 1, src_rank, tag }
+        MsgHeader {
+            context_id: 1,
+            src_rank,
+            tag,
+        }
     }
 
     /// Drive both VCIs until `cond` (test-only mini progress loop).
@@ -539,7 +641,10 @@ mod tests {
 
     #[test]
     fn eager_send_waits_for_tx() {
-        let proto = ProtoConfig { buffered_max: 0, ..ProtoConfig::default() };
+        let proto = ProtoConfig {
+            buffered_max: 0,
+            ..ProtoConfig::default()
+        };
         let (v0, v1, _s0, _s1) = pair(proto);
         let req = v0.isend_bytes(1, hdr(0, 1), vec![9; 1000]);
         // Instant fabric: TX completes at once, but only a sweep observes it.
@@ -553,7 +658,12 @@ mod tests {
 
     #[test]
     fn rendezvous_roundtrip_expected() {
-        let proto = ProtoConfig { buffered_max: 4, eager_max: 8, chunk: 16, depth: 2 };
+        let proto = ProtoConfig {
+            buffered_max: 4,
+            eager_max: 8,
+            chunk: 16,
+            depth: 2,
+        };
         let (v0, v1, _s0, _s1) = pair(proto);
         let payload: Vec<u8> = (0..=255).cycle().take(100).map(|b: u8| b).collect();
         // Receive posted FIRST (expected path, Figure 1(f)).
@@ -567,7 +677,12 @@ mod tests {
 
     #[test]
     fn rendezvous_roundtrip_unexpected() {
-        let proto = ProtoConfig { buffered_max: 4, eager_max: 8, chunk: 32, depth: 1 };
+        let proto = ProtoConfig {
+            buffered_max: 4,
+            eager_max: 8,
+            chunk: 32,
+            depth: 1,
+        };
         let (v0, v1, _s0, _s1) = pair(proto);
         let payload = vec![0x5A; 200];
         // Send first: RTS lands unexpected; CTS deferred until post.
@@ -582,7 +697,12 @@ mod tests {
 
     #[test]
     fn pipeline_chunks_with_bounded_depth() {
-        let proto = ProtoConfig { buffered_max: 0, eager_max: 8, chunk: 10, depth: 2 };
+        let proto = ProtoConfig {
+            buffered_max: 0,
+            eager_max: 8,
+            chunk: 10,
+            depth: 2,
+        };
         let (v0, v1, _s0, _s1) = pair(proto);
         let payload: Vec<u8> = (0..95).collect(); // 10 chunks
         let (rreq, slot) = v1.irecv_bytes(1, 0, 3, 4096);
@@ -595,9 +715,19 @@ mod tests {
 
     #[test]
     fn wildcard_receive_matches_rendezvous() {
-        let proto = ProtoConfig { buffered_max: 0, eager_max: 0, chunk: 64, depth: 4 };
+        let proto = ProtoConfig {
+            buffered_max: 0,
+            eager_max: 0,
+            chunk: 64,
+            depth: 4,
+        };
         let (v0, v1, _s0, _s1) = pair(proto);
-        let (rreq, slot) = v1.irecv_bytes(1, crate::matching::ANY_SOURCE, crate::matching::ANY_TAG, 4096);
+        let (rreq, slot) = v1.irecv_bytes(
+            1,
+            crate::matching::ANY_SOURCE,
+            crate::matching::ANY_TAG,
+            4096,
+        );
         let sreq = v0.isend_bytes(1, hdr(0, 42), vec![7; 50]);
         drive(&v0, &v1, || rreq.is_complete() && sreq.is_complete());
         let st = rreq.status().unwrap();
@@ -609,12 +739,7 @@ mod tests {
     fn mode_override_forces_rendezvous_for_small_payload() {
         let (v0, v1, _s0, _s1) = pair(ProtoConfig::default());
         // 3 bytes would normally be a buffered send; force rendezvous.
-        let sreq = v0.isend_bytes_mode(
-            1,
-            hdr(0, 5),
-            vec![1, 2, 3],
-            SendMode::Rendezvous,
-        );
+        let sreq = v0.isend_bytes_mode(1, hdr(0, 5), vec![1, 2, 3], SendMode::Rendezvous);
         assert!(!sreq.is_complete(), "rendezvous cannot complete pre-CTS");
         assert_eq!(v0.protocol_work(), 1);
         let (rreq, slot) = v1.irecv_bytes(1, 0, 5, 64);
@@ -627,12 +752,7 @@ mod tests {
         let (v0, v1, _s0, _s1) = pair(ProtoConfig::default());
         // 100 KB would normally be rendezvous; force buffered (a
         // zero-copy-unsafe choice in C, harmless here since we copy).
-        let sreq = v0.isend_bytes_mode(
-            1,
-            hdr(0, 6),
-            vec![7; 100_000],
-            SendMode::Buffered,
-        );
+        let sreq = v0.isend_bytes_mode(1, hdr(0, 6), vec![7; 100_000], SendMode::Buffered);
         assert!(sreq.is_complete(), "buffered send is born complete");
         let (rreq, slot) = v1.irecv_bytes(1, 0, 6, 200_000);
         drive(&v0, &v1, || rreq.is_complete());
@@ -663,7 +783,12 @@ mod tests {
 
     #[test]
     fn many_interleaved_messages_keep_order() {
-        let proto = ProtoConfig { buffered_max: 64, eager_max: 64, chunk: 64, depth: 2 };
+        let proto = ProtoConfig {
+            buffered_max: 64,
+            eager_max: 64,
+            chunk: 64,
+            depth: 2,
+        };
         let (v0, v1, _s0, _s1) = pair(proto);
         let n = 50;
         let mut rreqs = Vec::new();
@@ -675,7 +800,11 @@ mod tests {
         }
         drive(&v0, &v1, || rreqs.iter().all(|(r, _)| r.is_complete()));
         for (i, (_, slot)) in rreqs.iter().enumerate() {
-            assert_eq!(slot.take(), vec![i as u8; 8], "message order violated at {i}");
+            assert_eq!(
+                slot.take(),
+                vec![i as u8; 8],
+                "message order violated at {i}"
+            );
         }
     }
 
@@ -683,7 +812,15 @@ mod tests {
     fn distinct_contexts_do_not_cross_match() {
         let (v0, v1, _s0, _s1) = pair(ProtoConfig::default());
         let (r_ctx2, slot2) = v1.irecv_bytes(2, 0, 5, 64);
-        v0.isend_bytes(1, MsgHeader { context_id: 1, src_rank: 0, tag: 5 }, vec![1]);
+        v0.isend_bytes(
+            1,
+            MsgHeader {
+                context_id: 1,
+                src_rank: 0,
+                tag: 5,
+            },
+            vec![1],
+        );
         // ctx 1 message must NOT complete the ctx 2 receive.
         for _ in 0..1000 {
             v1.poll_net(16);
@@ -692,7 +829,15 @@ mod tests {
         assert!(!r_ctx2.is_complete());
         assert_eq!(v1.iprobe(1, 0, 5), Some((0, 5, 1)));
         // Now the right context.
-        v0.isend_bytes(1, MsgHeader { context_id: 2, src_rank: 0, tag: 5 }, vec![2]);
+        v0.isend_bytes(
+            1,
+            MsgHeader {
+                context_id: 2,
+                src_rank: 0,
+                tag: 5,
+            },
+            vec![2],
+        );
         let v0r = &v0;
         let v1r = &v1;
         drive(v0r, v1r, || r_ctx2.is_complete());

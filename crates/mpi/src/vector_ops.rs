@@ -11,8 +11,8 @@
 
 use std::sync::Arc;
 
+use mpfa_core::sync::Mutex;
 use mpfa_core::{AsyncPoll, Request, Status};
-use parking_lot::Mutex;
 
 use crate::comm::Comm;
 use crate::datatype::{to_bytes, Layout, MpiType};
@@ -43,7 +43,11 @@ impl<T: MpiType> VectorRecv<T> {
     /// Wait for receive + unpack and take the reconstructed buffer.
     pub fn wait(self) -> (Vec<T>, Status) {
         let status = self.req.wait();
-        let data = self.out.lock().take().expect("unpack deposited before completion");
+        let data = self
+            .out
+            .lock()
+            .take()
+            .expect("unpack deposited before completion");
         (data, status)
     }
 }
@@ -67,28 +71,30 @@ impl Comm {
         let stream = self.stream().clone();
         let data = data.to_vec();
         let mut completer = Some(completer);
-        self.bundle().dt.submit(pack_job(data, layout, SEGMENT_BLOCKS, move |packed| {
-            // Pack finished: inject the dense payload, then forward the
-            // inner send's completion to the caller's request.
-            let inner = comm
-                .isend_bytes(to_bytes(&packed), dst, tag)
-                .expect("dst validated at initiation");
-            let completer = completer.take().expect("pack_job completes once");
-            if inner.is_complete() {
-                completer.complete(inner.status().expect("complete"));
-                return;
-            }
-            let mut completer = Some(completer);
-            stream.async_start(move |_t| {
+        self.bundle()
+            .dt
+            .submit(pack_job(data, layout, SEGMENT_BLOCKS, move |packed| {
+                // Pack finished: inject the dense payload, then forward the
+                // inner send's completion to the caller's request.
+                let inner = comm
+                    .isend_bytes(to_bytes(&packed), dst, tag)
+                    .expect("dst validated at initiation");
+                let completer = completer.take().expect("pack_job completes once");
                 if inner.is_complete() {
-                    let c = completer.take().expect("forwarder completes once");
-                    c.complete(inner.status().expect("complete"));
-                    AsyncPoll::Done
-                } else {
-                    AsyncPoll::Pending
+                    completer.complete(inner.status().expect("complete"));
+                    return;
                 }
-            });
-        }));
+                let mut completer = Some(completer);
+                stream.async_start(move |_t| {
+                    if inner.is_complete() {
+                        let c = completer.take().expect("forwarder completes once");
+                        c.complete(inner.status().expect("complete"));
+                        AsyncPoll::Done
+                    } else {
+                        AsyncPoll::Pending
+                    }
+                });
+            }));
         Ok(req)
     }
 
@@ -118,10 +124,15 @@ impl Comm {
             let out_writer = out_writer.clone();
             let completer = completer.take().expect("completes once");
             let mut completer = Some(completer);
-            dt.submit(unpack_job(packed, layout, SEGMENT_BLOCKS, move |unpacked| {
-                *out_writer.lock() = Some(unpacked);
-                completer.take().expect("completes once").complete(status);
-            }));
+            dt.submit(unpack_job(
+                packed,
+                layout,
+                SEGMENT_BLOCKS,
+                move |unpacked| {
+                    *out_writer.lock() = Some(unpacked);
+                    completer.take().expect("completes once").complete(status);
+                },
+            ));
             AsyncPoll::Done
         });
         Ok(VectorRecv { req, out })
@@ -135,7 +146,11 @@ mod tests {
 
     #[test]
     fn vector_send_recv_roundtrip() {
-        let layout = Layout::Vector { count: 8, blocklen: 2, stride: 4 };
+        let layout = Layout::Vector {
+            count: 8,
+            blocklen: 2,
+            stride: 4,
+        };
         let results = run_ranks(2, move |proc| {
             let comm = proc.world_comm();
             if proc.rank() == 0 {
@@ -161,7 +176,11 @@ mod tests {
     fn vector_send_to_contiguous_recv() {
         // A strided send arrives as a dense message; a plain typed recv of
         // element_count() elements sees the packed data.
-        let layout = Layout::Vector { count: 3, blocklen: 1, stride: 2 };
+        let layout = Layout::Vector {
+            count: 3,
+            blocklen: 1,
+            stride: 2,
+        };
         let results = run_ranks(2, move |proc| {
             let comm = proc.world_comm();
             if proc.rank() == 0 {
@@ -177,7 +196,11 @@ mod tests {
 
     #[test]
     fn dt_engine_reports_work_during_vector_ops() {
-        let layout = Layout::Vector { count: 1000, blocklen: 1, stride: 2 };
+        let layout = Layout::Vector {
+            count: 1000,
+            blocklen: 1,
+            stride: 2,
+        };
         let results = run_ranks(2, move |proc| {
             let comm = proc.world_comm();
             if proc.rank() == 0 {

@@ -94,19 +94,47 @@ mod tests {
     use super::*;
 
     fn hdr() -> MsgHeader {
-        MsgHeader { context_id: 1, src_rank: 0, tag: 5 }
+        MsgHeader {
+            context_id: 1,
+            src_rank: 0,
+            tag: 5,
+        }
     }
 
     #[test]
     fn wire_bytes_charges_payload_only() {
-        assert_eq!(WireMsg::Eager { hdr: hdr(), data: vec![0; 10] }.wire_bytes(), 10);
         assert_eq!(
-            WireMsg::Rts { hdr: hdr(), send_id: 1, total: 1000 }.wire_bytes(),
+            WireMsg::Eager {
+                hdr: hdr(),
+                data: vec![0; 10]
+            }
+            .wire_bytes(),
+            10
+        );
+        assert_eq!(
+            WireMsg::Rts {
+                hdr: hdr(),
+                send_id: 1,
+                total: 1000
+            }
+            .wire_bytes(),
             0
         );
-        assert_eq!(WireMsg::Cts { send_id: 1, recv_id: 2 }.wire_bytes(), 0);
         assert_eq!(
-            WireMsg::Data { recv_id: 2, offset: 0, data: vec![0; 7] }.wire_bytes(),
+            WireMsg::Cts {
+                send_id: 1,
+                recv_id: 2
+            }
+            .wire_bytes(),
+            0
+        );
+        assert_eq!(
+            WireMsg::Data {
+                recv_id: 2,
+                offset: 0,
+                data: vec![0; 7]
+            }
+            .wire_bytes(),
             7
         );
         assert_eq!(WireMsg::DataAck { send_id: 1 }.wire_bytes(), 0);
@@ -114,7 +142,14 @@ mod tests {
 
     #[test]
     fn kinds() {
-        assert_eq!(WireMsg::Eager { hdr: hdr(), data: vec![] }.kind(), "eager");
+        assert_eq!(
+            WireMsg::Eager {
+                hdr: hdr(),
+                data: vec![]
+            }
+            .kind(),
+            "eager"
+        );
         assert_eq!(WireMsg::DataAck { send_id: 0 }.kind(), "ack");
     }
 }

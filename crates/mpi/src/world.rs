@@ -10,8 +10,8 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
+use mpfa_core::sync::Mutex;
 use mpfa_fabric::{Fabric, FabricConfig};
-use parking_lot::Mutex;
 
 use crate::error::{MpiError, MpiResult};
 use crate::proc::Proc;
@@ -64,7 +64,10 @@ impl WorldConfig {
 
     /// Instant fabric with `node_size` ranks per node.
     pub fn instant_nodes(ranks: usize, node_size: usize) -> WorldConfig {
-        WorldConfig { node_size, ..WorldConfig::instant(ranks) }
+        WorldConfig {
+            node_size,
+            ..WorldConfig::instant(ranks)
+        }
     }
 
     /// Cluster-like wire costs (µs latency, GB/s bandwidth), one rank per
@@ -86,7 +89,10 @@ impl WorldConfig {
 
     /// All ranks on one node (shmem path only).
     pub fn single_node(ranks: usize) -> WorldConfig {
-        WorldConfig { node_size: ranks.max(1), ..WorldConfig::cluster(ranks) }
+        WorldConfig {
+            node_size: ranks.max(1),
+            ..WorldConfig::cluster(ranks)
+        }
     }
 
     /// The fabric configuration realizing this world: each rank owns
@@ -126,7 +132,12 @@ impl Registry {
     fn new() -> Registry {
         let mut vci = HashMap::new();
         vci.insert(0, 0); // world comm
-        Registry { ctx: HashMap::new(), next_ctx: 1, vci, next_vci: 1 }
+        Registry {
+            ctx: HashMap::new(),
+            next_ctx: 1,
+            vci,
+            next_vci: 1,
+        }
     }
 
     /// Deterministic child-context allocation.
@@ -267,8 +278,11 @@ impl World {
                     deposited = true;
                 }
                 if slot.values.iter().all(Option::is_some) {
-                    let result: Vec<ExchangeValue> =
-                        slot.values.iter().map(|v| v.clone().expect("all some")).collect();
+                    let result: Vec<ExchangeValue> = slot
+                        .values
+                        .iter()
+                        .map(|v| v.clone().expect("all some"))
+                        .collect();
                     slot.reads += 1;
                     if slot.reads == size {
                         map.remove(&key);
@@ -337,9 +351,7 @@ mod tests {
             let handles: Vec<_> = worlds
                 .into_iter()
                 .enumerate()
-                .map(|(i, w)| {
-                    s.spawn(move || w.exchange((0, 0, 0), 3, i, vec![i as i64 * 10]))
-                })
+                .map(|(i, w)| s.spawn(move || w.exchange((0, 0, 0), 3, i, vec![i as i64 * 10])))
                 .collect();
             handles.into_iter().map(|h| h.join().unwrap()).collect()
         });

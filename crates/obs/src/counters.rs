@@ -1,0 +1,312 @@
+//! Always-on progress counters.
+//!
+//! Unlike event tracing (feature-gated, ring-buffered), counters are a
+//! handful of relaxed atomics that are always compiled in: cheap enough
+//! for production, and the raw material the [`crate::doctor`] and bench
+//! reports read. Hot paths batch their updates — the progress engine
+//! tallies a sweep locally and flushes once per sweep via
+//! [`Counters::record_sweep`], so the per-poll cost stays at plain
+//! integer arithmetic.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
+
+use crate::event::PathKind;
+
+/// A set of progress counters. One process-wide instance lives behind
+/// [`global`]; subsystems that need isolated counts (e.g. one per
+/// simulated fabric) can own their own instance.
+#[derive(Debug, Default)]
+pub struct Counters {
+    /// Subsystem hook polls issued.
+    pub hook_polls: AtomicU64,
+    /// Hook polls that reported progress.
+    pub hook_progress: AtomicU64,
+    /// Hook polls that reported no progress.
+    pub hook_no_progress: AtomicU64,
+    /// Longest run of consecutive no-progress hook polls seen so far.
+    pub max_no_progress_streak: AtomicU64,
+    /// Collated progress sweeps executed.
+    pub sweeps: AtomicU64,
+    /// User async tasks polled.
+    pub task_polls: AtomicU64,
+    /// User async tasks completed.
+    pub task_completions: AtomicU64,
+    /// Requests completed.
+    pub request_completions: AtomicU64,
+    /// Packets sent over the network path.
+    pub msgs_net: AtomicU64,
+    /// Packets sent over the shared-memory path.
+    pub msgs_shm: AtomicU64,
+    /// Wire bytes sent over the network path.
+    pub bytes_net: AtomicU64,
+    /// Wire bytes sent over the shared-memory path.
+    pub bytes_shm: AtomicU64,
+    /// Messages that completed under the eager (or buffered) protocol.
+    pub eager_msgs: AtomicU64,
+    /// Rendezvous handshakes started (RTS sent).
+    pub rndv_started: AtomicU64,
+    /// Rendezvous handshakes granted (CTS received by the sender).
+    pub rndv_granted: AtomicU64,
+    /// Rendezvous transfers fully completed on the sender side.
+    pub rndv_completed: AtomicU64,
+    /// Messages queued on an unexpected-message queue.
+    pub unexpected_msgs: AtomicU64,
+}
+
+/// Plain-integer copy of a [`Counters`] at a point in time.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CounterSnapshot {
+    /// Subsystem hook polls issued.
+    pub hook_polls: u64,
+    /// Hook polls that reported progress.
+    pub hook_progress: u64,
+    /// Hook polls that reported no progress.
+    pub hook_no_progress: u64,
+    /// Longest run of consecutive no-progress hook polls.
+    pub max_no_progress_streak: u64,
+    /// Collated progress sweeps executed.
+    pub sweeps: u64,
+    /// User async tasks polled.
+    pub task_polls: u64,
+    /// User async tasks completed.
+    pub task_completions: u64,
+    /// Requests completed.
+    pub request_completions: u64,
+    /// Packets sent over the network path.
+    pub msgs_net: u64,
+    /// Packets sent over the shared-memory path.
+    pub msgs_shm: u64,
+    /// Wire bytes sent over the network path.
+    pub bytes_net: u64,
+    /// Wire bytes sent over the shared-memory path.
+    pub bytes_shm: u64,
+    /// Messages that completed under the eager (or buffered) protocol.
+    pub eager_msgs: u64,
+    /// Rendezvous handshakes started.
+    pub rndv_started: u64,
+    /// Rendezvous handshakes granted.
+    pub rndv_granted: u64,
+    /// Rendezvous transfers completed.
+    pub rndv_completed: u64,
+    /// Messages queued unexpected.
+    pub unexpected_msgs: u64,
+}
+
+impl Counters {
+    /// A fresh, zeroed counter set.
+    pub fn new() -> Counters {
+        Counters::default()
+    }
+
+    /// Flush one progress sweep's locally-tallied totals. Called once per
+    /// sweep by the engine so the per-poll hot path never touches an
+    /// atomic.
+    pub fn record_sweep(
+        &self,
+        hook_polls: u64,
+        hook_progress: u64,
+        task_polls: u64,
+        task_completions: u64,
+    ) {
+        self.sweeps.fetch_add(1, Ordering::Relaxed);
+        if hook_polls > 0 {
+            self.hook_polls.fetch_add(hook_polls, Ordering::Relaxed);
+        }
+        if hook_progress > 0 {
+            self.hook_progress
+                .fetch_add(hook_progress, Ordering::Relaxed);
+        }
+        let no_prog = hook_polls.saturating_sub(hook_progress);
+        if no_prog > 0 {
+            self.hook_no_progress.fetch_add(no_prog, Ordering::Relaxed);
+        }
+        if task_polls > 0 {
+            self.task_polls.fetch_add(task_polls, Ordering::Relaxed);
+        }
+        if task_completions > 0 {
+            self.task_completions
+                .fetch_add(task_completions, Ordering::Relaxed);
+        }
+    }
+
+    /// Raise the recorded maximum no-progress streak to `streak` if it is
+    /// a new high-water mark.
+    pub fn observe_no_progress_streak(&self, streak: u64) {
+        self.max_no_progress_streak
+            .fetch_max(streak, Ordering::Relaxed);
+    }
+
+    /// Count one packet of `bytes` sent on `path`.
+    pub fn record_packet(&self, path: PathKind, bytes: u64) {
+        match path {
+            PathKind::Net => {
+                self.msgs_net.fetch_add(1, Ordering::Relaxed);
+                self.bytes_net.fetch_add(bytes, Ordering::Relaxed);
+            }
+            PathKind::Shmem => {
+                self.msgs_shm.fetch_add(1, Ordering::Relaxed);
+                self.bytes_shm.fetch_add(bytes, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Copy every counter.
+    pub fn snapshot(&self) -> CounterSnapshot {
+        CounterSnapshot {
+            hook_polls: self.hook_polls.load(Ordering::Relaxed),
+            hook_progress: self.hook_progress.load(Ordering::Relaxed),
+            hook_no_progress: self.hook_no_progress.load(Ordering::Relaxed),
+            max_no_progress_streak: self.max_no_progress_streak.load(Ordering::Relaxed),
+            sweeps: self.sweeps.load(Ordering::Relaxed),
+            task_polls: self.task_polls.load(Ordering::Relaxed),
+            task_completions: self.task_completions.load(Ordering::Relaxed),
+            request_completions: self.request_completions.load(Ordering::Relaxed),
+            msgs_net: self.msgs_net.load(Ordering::Relaxed),
+            msgs_shm: self.msgs_shm.load(Ordering::Relaxed),
+            bytes_net: self.bytes_net.load(Ordering::Relaxed),
+            bytes_shm: self.bytes_shm.load(Ordering::Relaxed),
+            eager_msgs: self.eager_msgs.load(Ordering::Relaxed),
+            rndv_started: self.rndv_started.load(Ordering::Relaxed),
+            rndv_granted: self.rndv_granted.load(Ordering::Relaxed),
+            rndv_completed: self.rndv_completed.load(Ordering::Relaxed),
+            unexpected_msgs: self.unexpected_msgs.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Zero every counter.
+    pub fn reset(&self) {
+        self.hook_polls.store(0, Ordering::Relaxed);
+        self.hook_progress.store(0, Ordering::Relaxed);
+        self.hook_no_progress.store(0, Ordering::Relaxed);
+        self.max_no_progress_streak.store(0, Ordering::Relaxed);
+        self.sweeps.store(0, Ordering::Relaxed);
+        self.task_polls.store(0, Ordering::Relaxed);
+        self.task_completions.store(0, Ordering::Relaxed);
+        self.request_completions.store(0, Ordering::Relaxed);
+        self.msgs_net.store(0, Ordering::Relaxed);
+        self.msgs_shm.store(0, Ordering::Relaxed);
+        self.bytes_net.store(0, Ordering::Relaxed);
+        self.bytes_shm.store(0, Ordering::Relaxed);
+        self.eager_msgs.store(0, Ordering::Relaxed);
+        self.rndv_started.store(0, Ordering::Relaxed);
+        self.rndv_granted.store(0, Ordering::Relaxed);
+        self.rndv_completed.store(0, Ordering::Relaxed);
+        self.unexpected_msgs.store(0, Ordering::Relaxed);
+    }
+}
+
+impl CounterSnapshot {
+    /// Total packets across both paths.
+    pub fn msgs_total(&self) -> u64 {
+        self.msgs_net + self.msgs_shm
+    }
+
+    /// Total wire bytes across both paths.
+    pub fn bytes_total(&self) -> u64 {
+        self.bytes_net + self.bytes_shm
+    }
+}
+
+impl std::fmt::Display for CounterSnapshot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "progress: {} sweeps, {} hook polls ({} progress / {} idle, max streak {})",
+            self.sweeps,
+            self.hook_polls,
+            self.hook_progress,
+            self.hook_no_progress,
+            self.max_no_progress_streak
+        )?;
+        writeln!(
+            f,
+            "tasks:    {} polls, {} completions; {} requests completed",
+            self.task_polls, self.task_completions, self.request_completions
+        )?;
+        writeln!(
+            f,
+            "fabric:   net {} msgs / {} B, shm {} msgs / {} B",
+            self.msgs_net, self.bytes_net, self.msgs_shm, self.bytes_shm
+        )?;
+        write!(
+            f,
+            "protocol: {} eager, rndv {} started / {} granted / {} done, {} unexpected",
+            self.eager_msgs,
+            self.rndv_started,
+            self.rndv_granted,
+            self.rndv_completed,
+            self.unexpected_msgs
+        )
+    }
+}
+
+/// The process-wide counter set.
+pub fn global() -> &'static Counters {
+    static GLOBAL: OnceLock<Counters> = OnceLock::new();
+    GLOBAL.get_or_init(Counters::new)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_sweep_accumulates_and_splits_idle_polls() {
+        let c = Counters::new();
+        c.record_sweep(5, 2, 10, 3);
+        c.record_sweep(4, 4, 0, 0);
+        let s = c.snapshot();
+        assert_eq!(s.sweeps, 2);
+        assert_eq!(s.hook_polls, 9);
+        assert_eq!(s.hook_progress, 6);
+        assert_eq!(s.hook_no_progress, 3);
+        assert_eq!(s.task_polls, 10);
+        assert_eq!(s.task_completions, 3);
+    }
+
+    #[test]
+    fn streak_is_a_high_water_mark() {
+        let c = Counters::new();
+        c.observe_no_progress_streak(10);
+        c.observe_no_progress_streak(3);
+        c.observe_no_progress_streak(17);
+        assert_eq!(c.snapshot().max_no_progress_streak, 17);
+    }
+
+    #[test]
+    fn packets_split_by_path() {
+        let c = Counters::new();
+        c.record_packet(PathKind::Net, 100);
+        c.record_packet(PathKind::Net, 50);
+        c.record_packet(PathKind::Shmem, 8);
+        let s = c.snapshot();
+        assert_eq!(s.msgs_net, 2);
+        assert_eq!(s.bytes_net, 150);
+        assert_eq!(s.msgs_shm, 1);
+        assert_eq!(s.bytes_shm, 8);
+        assert_eq!(s.msgs_total(), 3);
+        assert_eq!(s.bytes_total(), 158);
+    }
+
+    #[test]
+    fn reset_zeroes_everything() {
+        let c = Counters::new();
+        c.record_sweep(5, 2, 10, 3);
+        c.record_packet(PathKind::Net, 100);
+        c.observe_no_progress_streak(9);
+        c.rndv_started.fetch_add(2, Ordering::Relaxed);
+        c.reset();
+        assert_eq!(c.snapshot(), CounterSnapshot::default());
+    }
+
+    #[test]
+    fn display_mentions_key_figures() {
+        let c = Counters::new();
+        c.record_sweep(3, 1, 0, 0);
+        c.record_packet(PathKind::Shmem, 64);
+        let text = c.snapshot().to_string();
+        assert!(text.contains("hook polls"));
+        assert!(text.contains("64 B"));
+    }
+}

@@ -1,0 +1,548 @@
+//! The progress doctor: pathology detection over recorded events.
+//!
+//! "MPI Progress For All" moves progress responsibility to the user —
+//! which means the user can now get it wrong: start async work on a
+//! stream nobody polls, spin a progress hook that never advances, or
+//! leave a rendezvous handshake waiting for a CTS that cannot arrive.
+//! The doctor takes ring snapshots (see [`crate::ring`]) and reports
+//! these pathologies with actionable advice.
+//!
+//! The analysis is pure: it consumes `&[ThreadSnapshot]`, so tests can
+//! feed synthetic event streams without any recording infrastructure.
+
+use std::collections::HashMap;
+
+use crate::event::{EventKind, TaskVerdict};
+use crate::ring::ThreadSnapshot;
+
+/// Tunable thresholds for [`diagnose`].
+#[derive(Debug, Clone, Copy)]
+pub struct DoctorConfig {
+    /// Flag a hook once it reports no progress this many times in a row
+    /// on one stream.
+    pub no_progress_streak: u64,
+    /// Seconds a rendezvous RTS may wait for its CTS before being
+    /// flagged (measured against the newest event in the snapshots).
+    pub rndv_grace: f64,
+}
+
+impl Default for DoctorConfig {
+    fn default() -> Self {
+        DoctorConfig {
+            no_progress_streak: 1000,
+            rndv_grace: 0.0,
+        }
+    }
+}
+
+/// How bad a finding is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Suspicious but possibly benign (e.g. busy polling).
+    Warning,
+    /// Work that cannot complete without intervention.
+    Critical,
+}
+
+impl std::fmt::Display for Severity {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Severity::Warning => write!(f, "WARN"),
+            Severity::Critical => write!(f, "CRIT"),
+        }
+    }
+}
+
+/// One finding.
+#[derive(Debug, Clone)]
+pub struct Diagnosis {
+    /// How bad it is.
+    pub severity: Severity,
+    /// One-line statement of the pathology.
+    pub title: String,
+    /// Supporting evidence from the event record.
+    pub detail: String,
+    /// What the user should do about it.
+    pub advice: String,
+}
+
+/// The doctor's full report.
+#[derive(Debug, Clone, Default)]
+pub struct DoctorReport {
+    /// Findings, most severe first.
+    pub diagnoses: Vec<Diagnosis>,
+    /// Total events examined.
+    pub events_examined: u64,
+    /// Events lost to ring wraparound before the snapshot (analysis may
+    /// be incomplete if nonzero).
+    pub events_dropped: u64,
+}
+
+impl DoctorReport {
+    /// True when nothing suspicious was found.
+    pub fn healthy(&self) -> bool {
+        self.diagnoses.is_empty()
+    }
+
+    /// Findings at [`Severity::Critical`].
+    pub fn criticals(&self) -> impl Iterator<Item = &Diagnosis> {
+        self.diagnoses
+            .iter()
+            .filter(|d| d.severity == Severity::Critical)
+    }
+}
+
+impl std::fmt::Display for DoctorReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "== progress doctor: {} finding(s) over {} event(s){} ==",
+            self.diagnoses.len(),
+            self.events_examined,
+            if self.events_dropped > 0 {
+                format!(" ({} dropped to ring wraparound)", self.events_dropped)
+            } else {
+                String::new()
+            }
+        )?;
+        if self.diagnoses.is_empty() {
+            return write!(f, "no pathologies detected");
+        }
+        for (i, d) in self.diagnoses.iter().enumerate() {
+            writeln!(f, "[{}] {} {}", i + 1, d.severity, d.title)?;
+            writeln!(f, "    evidence: {}", d.detail)?;
+            write!(f, "    advice:   {}", d.advice)?;
+            if i + 1 < self.diagnoses.len() {
+                writeln!(f)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[derive(Default)]
+struct StreamState {
+    started: u64,
+    finished: u64,
+    last_task_start: f64,
+    last_progress: Option<f64>,
+    progress_sweeps: u64,
+}
+
+#[derive(Default)]
+struct HookStreak {
+    current: u64,
+    worst: u64,
+    worst_at: f64,
+}
+
+struct RndvState {
+    t_rts: f64,
+    src: u32,
+    dst: u32,
+    total: u64,
+    granted: bool,
+    done: bool,
+}
+
+/// Analyze event snapshots for progress pathologies.
+pub fn diagnose(snaps: &[ThreadSnapshot], cfg: &DoctorConfig) -> DoctorReport {
+    let mut report = DoctorReport::default();
+    let mut streams: HashMap<u64, StreamState> = HashMap::new();
+    let mut streaks: HashMap<(u64, u32), HookStreak> = HashMap::new();
+    let mut rndv: HashMap<u64, RndvState> = HashMap::new();
+    let mut now = 0.0f64;
+
+    // Merge all threads' events into one time-ordered view: streams can
+    // be polled from any thread, so per-thread analysis would report
+    // false stalls.
+    let mut events: Vec<_> = snaps.iter().flat_map(|s| s.events.iter()).collect();
+    events.sort_by(|a, b| a.t.partial_cmp(&b.t).unwrap_or(std::cmp::Ordering::Equal));
+    report.events_examined = events.len() as u64;
+    report.events_dropped = snaps.iter().map(|s| s.dropped).sum();
+
+    for ev in events {
+        now = now.max(ev.t);
+        match ev.kind {
+            EventKind::TaskStart { stream, .. } => {
+                let st = streams.entry(stream).or_default();
+                st.started += 1;
+                st.last_task_start = ev.t;
+            }
+            EventKind::TaskPoll {
+                stream, verdict, ..
+            } => {
+                if matches!(verdict, TaskVerdict::Done | TaskVerdict::Poisoned) {
+                    streams.entry(stream).or_default().finished += 1;
+                }
+            }
+            EventKind::StreamProgress { stream, .. } => {
+                let st = streams.entry(stream).or_default();
+                st.last_progress = Some(ev.t);
+                st.progress_sweeps += 1;
+            }
+            EventKind::HookPoll {
+                stream,
+                name,
+                verdict,
+                ..
+            } => {
+                let sk = streaks.entry((stream, name.0)).or_default();
+                match verdict {
+                    crate::event::PollVerdict::NoProgress => {
+                        sk.current += 1;
+                        if sk.current > sk.worst {
+                            sk.worst = sk.current;
+                            sk.worst_at = ev.t;
+                        }
+                    }
+                    crate::event::PollVerdict::Progress => sk.current = 0,
+                }
+            }
+            EventKind::RndvRts {
+                send_id,
+                src,
+                dst,
+                total,
+            } => {
+                rndv.insert(
+                    send_id,
+                    RndvState {
+                        t_rts: ev.t,
+                        src,
+                        dst,
+                        total,
+                        granted: false,
+                        done: false,
+                    },
+                );
+            }
+            EventKind::RndvCts { send_id, .. } => {
+                if let Some(r) = rndv.get_mut(&send_id) {
+                    r.granted = true;
+                }
+            }
+            EventKind::RndvDone {
+                id, sender: true, ..
+            } => {
+                if let Some(r) = rndv.get_mut(&id) {
+                    r.done = true;
+                }
+            }
+            _ => {}
+        }
+    }
+
+    // Pathology 1: a stream with pending work that nobody polls.
+    let mut stream_ids: Vec<_> = streams.keys().copied().collect();
+    stream_ids.sort_unstable();
+    for sid in stream_ids {
+        let st = &streams[&sid];
+        let pending = st.started.saturating_sub(st.finished);
+        if pending == 0 {
+            continue;
+        }
+        let polled_since_start = st.last_progress.is_some_and(|t| t >= st.last_task_start);
+        if !polled_since_start {
+            report.diagnoses.push(Diagnosis {
+                severity: Severity::Critical,
+                title: format!("stream {sid} has {pending} pending task(s) but no poller"),
+                detail: if st.progress_sweeps == 0 {
+                    format!(
+                        "{} task(s) started (last at t={:.6}s) and no progress sweep \
+                         was ever recorded on this stream",
+                        st.started, st.last_task_start
+                    )
+                } else {
+                    format!(
+                        "last progress sweep at t={:.6}s predates the last task start \
+                         at t={:.6}s",
+                        st.last_progress.unwrap_or(0.0),
+                        st.last_task_start
+                    )
+                },
+                advice: format!(
+                    "call MPIX_Stream_progress (stream {sid}) from some thread, or \
+                     attach the stream to a progress source; tasks never advance \
+                     without an explicit poller"
+                ),
+            });
+        }
+    }
+
+    // Pathology 2: a hook spinning without progress.
+    let mut streak_keys: Vec<_> = streaks.keys().copied().collect();
+    streak_keys.sort_unstable();
+    for key in streak_keys {
+        let sk = &streaks[&key];
+        if sk.worst >= cfg.no_progress_streak {
+            let (stream, name) = key;
+            report.diagnoses.push(Diagnosis {
+                severity: Severity::Warning,
+                title: format!(
+                    "hook '{}' returned no-progress {} times in a row on stream {}",
+                    crate::event::NameId(name).resolve(),
+                    sk.worst,
+                    stream
+                ),
+                detail: format!(
+                    "streak peaked at t={:.6}s (threshold {})",
+                    sk.worst_at, cfg.no_progress_streak
+                ),
+                advice: "the poller is spinning on an idle subsystem: check that the \
+                         peer side is being progressed too, or back off the polling \
+                         loop"
+                    .to_string(),
+            });
+        }
+    }
+
+    // Pathology 3: rendezvous stuck awaiting CTS.
+    let mut rndv_ids: Vec<_> = rndv.keys().copied().collect();
+    rndv_ids.sort_unstable();
+    for id in rndv_ids {
+        let r = &rndv[&id];
+        if r.done || r.granted {
+            continue;
+        }
+        if now - r.t_rts >= cfg.rndv_grace {
+            report.diagnoses.push(Diagnosis {
+                severity: Severity::Critical,
+                title: format!(
+                    "rendezvous send {} ({} -> {}, {} bytes) stuck awaiting CTS",
+                    id, r.src, r.dst, r.total
+                ),
+                detail: format!(
+                    "RTS sent at t={:.6}s, no CTS seen by t={:.6}s",
+                    r.t_rts, now
+                ),
+                advice: "the receiver has not granted clear-to-send: make sure the \
+                         destination rank posted a matching receive and that its \
+                         stream is being progressed"
+                    .to_string(),
+            });
+        }
+    }
+
+    report
+        .diagnoses
+        .sort_by_key(|d| std::cmp::Reverse(d.severity));
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{Event, EventKind, NameId, PollVerdict};
+
+    fn snap(events: Vec<Event>) -> ThreadSnapshot {
+        ThreadSnapshot {
+            label: "t0".into(),
+            pushed: events.len() as u64,
+            dropped: 0,
+            events,
+        }
+    }
+
+    fn task_start(t: f64, stream: u64, task: u64) -> Event {
+        Event {
+            t,
+            kind: EventKind::TaskStart { stream, task },
+        }
+    }
+
+    fn task_done(t: f64, stream: u64, task: u64) -> Event {
+        Event {
+            t,
+            kind: EventKind::TaskPoll {
+                stream,
+                task,
+                verdict: TaskVerdict::Done,
+            },
+        }
+    }
+
+    fn sweep(t: f64, stream: u64) -> Event {
+        Event {
+            t,
+            kind: EventKind::StreamProgress {
+                stream,
+                dur: 1e-6,
+                hook_polls: 4,
+                tasks_polled: 1,
+                tasks_completed: 0,
+                made_progress: false,
+            },
+        }
+    }
+
+    #[test]
+    fn healthy_run_produces_no_findings() {
+        let report = diagnose(
+            &[snap(vec![
+                task_start(0.0, 1, 1),
+                sweep(0.001, 1),
+                task_done(0.001, 1, 1),
+            ])],
+            &DoctorConfig::default(),
+        );
+        assert!(report.healthy(), "unexpected findings: {report}");
+        assert_eq!(report.events_examined, 3);
+    }
+
+    #[test]
+    fn flags_stream_with_pending_work_and_no_poller() {
+        let report = diagnose(
+            &[snap(vec![task_start(0.0, 7, 1), task_start(0.1, 7, 2)])],
+            &DoctorConfig::default(),
+        );
+        assert_eq!(report.diagnoses.len(), 1);
+        let d = &report.diagnoses[0];
+        assert_eq!(d.severity, Severity::Critical);
+        assert!(d.title.contains("stream 7"));
+        assert!(d.title.contains("2 pending"));
+        assert!(d.advice.contains("MPIX_Stream_progress"));
+    }
+
+    #[test]
+    fn poller_that_stopped_before_new_work_is_still_a_stall() {
+        let report = diagnose(
+            &[snap(vec![
+                task_start(0.0, 3, 1),
+                sweep(0.5, 3),
+                task_done(0.5, 3, 1),
+                // New work after the last sweep, never polled again.
+                task_start(1.0, 3, 2),
+            ])],
+            &DoctorConfig::default(),
+        );
+        assert_eq!(report.criticals().count(), 1);
+        assert!(report.diagnoses[0].detail.contains("predates"));
+    }
+
+    #[test]
+    fn cross_thread_poller_is_not_a_stall() {
+        // Task started on one thread, stream progressed from another.
+        let report = diagnose(
+            &[snap(vec![task_start(0.0, 5, 1)]), snap(vec![sweep(0.2, 5)])],
+            &DoctorConfig::default(),
+        );
+        assert!(report.healthy(), "{report}");
+    }
+
+    #[test]
+    fn flags_no_progress_streak_over_threshold() {
+        let name = NameId::intern("netmod-doctor-test");
+        let mut events = Vec::new();
+        for i in 0..50 {
+            events.push(Event {
+                t: i as f64 * 1e-6,
+                kind: EventKind::HookPoll {
+                    stream: 0,
+                    class: 3,
+                    name,
+                    verdict: PollVerdict::NoProgress,
+                    dur: 1e-7,
+                },
+            });
+        }
+        let cfg = DoctorConfig {
+            no_progress_streak: 50,
+            ..Default::default()
+        };
+        let report = diagnose(&[snap(events.clone())], &cfg);
+        assert_eq!(report.diagnoses.len(), 1);
+        assert!(report.diagnoses[0].title.contains("netmod-doctor-test"));
+        assert!(report.diagnoses[0].title.contains("50 times"));
+
+        // A single progress poll in the middle resets the streak.
+        events.insert(
+            25,
+            Event {
+                t: 24.5e-6,
+                kind: EventKind::HookPoll {
+                    stream: 0,
+                    class: 3,
+                    name,
+                    verdict: PollVerdict::Progress,
+                    dur: 1e-7,
+                },
+            },
+        );
+        let report = diagnose(&[snap(events)], &cfg);
+        assert!(report.healthy(), "{report}");
+    }
+
+    #[test]
+    fn flags_rendezvous_stuck_awaiting_cts() {
+        let events = vec![
+            Event {
+                t: 0.0,
+                kind: EventKind::RndvRts {
+                    send_id: 9,
+                    src: 0,
+                    dst: 1,
+                    total: 1 << 20,
+                },
+            },
+            sweep(1.0, 0),
+        ];
+        let report = diagnose(&[snap(events)], &DoctorConfig::default());
+        assert_eq!(report.criticals().count(), 1);
+        assert!(report.diagnoses[0].title.contains("awaiting CTS"));
+        assert!(report.diagnoses[0].advice.contains("matching receive"));
+    }
+
+    #[test]
+    fn granted_or_completed_rendezvous_is_healthy() {
+        let events = vec![
+            Event {
+                t: 0.0,
+                kind: EventKind::RndvRts {
+                    send_id: 9,
+                    src: 0,
+                    dst: 1,
+                    total: 100,
+                },
+            },
+            Event {
+                t: 0.1,
+                kind: EventKind::RndvCts {
+                    send_id: 9,
+                    recv_id: 1,
+                },
+            },
+            Event {
+                t: 0.2,
+                kind: EventKind::RndvDone {
+                    id: 9,
+                    bytes: 100,
+                    sender: true,
+                },
+            },
+        ];
+        let report = diagnose(&[snap(events)], &DoctorConfig::default());
+        assert!(report.healthy(), "{report}");
+    }
+
+    #[test]
+    fn report_display_is_actionable() {
+        let report = diagnose(
+            &[snap(vec![task_start(0.0, 7, 1)])],
+            &DoctorConfig::default(),
+        );
+        let text = report.to_string();
+        assert!(text.contains("CRIT"));
+        assert!(text.contains("advice:"));
+        assert!(text.contains("1 finding(s)"));
+    }
+
+    #[test]
+    fn dropped_events_are_reported() {
+        let mut s = snap(vec![]);
+        s.dropped = 42;
+        let report = diagnose(&[s], &DoctorConfig::default());
+        assert_eq!(report.events_dropped, 42);
+        assert!(report.to_string().contains("42 dropped"));
+    }
+}

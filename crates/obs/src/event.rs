@@ -1,0 +1,633 @@
+//! Typed progress events and their packed wire form.
+//!
+//! Events are recorded into per-thread ring buffers (see [`crate::ring`])
+//! as fixed-size words so the ring can stay lock-free without `unsafe`
+//! reads: every slot is a handful of `AtomicU64`s. This module owns the
+//! typed [`EventKind`] enum, the `pack`/`unpack` codec between the two
+//! representations, and the [`NameId`] interner that keeps hook names out
+//! of the hot path.
+
+use std::collections::HashMap;
+use std::sync::Mutex;
+use std::sync::OnceLock;
+
+/// Number of `u64` words one packed event occupies: timestamp, tag, and
+/// three payload words.
+pub const EVENT_WORDS: usize = 5;
+
+/// An interned string id. Interning happens on cold paths (hook
+/// registration); events store the 32-bit id.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct NameId(pub u32);
+
+struct Interner {
+    names: Vec<String>,
+    index: HashMap<String, u32>,
+}
+
+fn interner() -> &'static Mutex<Interner> {
+    static INTERNER: OnceLock<Mutex<Interner>> = OnceLock::new();
+    INTERNER.get_or_init(|| {
+        Mutex::new(Interner {
+            names: vec!["?".to_string()],
+            index: HashMap::new(),
+        })
+    })
+}
+
+impl NameId {
+    /// The id every unknown name decodes to.
+    pub const UNKNOWN: NameId = NameId(0);
+
+    /// Intern `name`, returning a stable id for the life of the process.
+    pub fn intern(name: &str) -> NameId {
+        let mut it = interner().lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(&id) = it.index.get(name) {
+            return NameId(id);
+        }
+        let id = it.names.len() as u32;
+        it.names.push(name.to_string());
+        it.index.insert(name.to_string(), id);
+        NameId(id)
+    }
+
+    /// The interned string (`"?"` for ids never interned).
+    pub fn resolve(self) -> String {
+        let it = interner().lock().unwrap_or_else(|e| e.into_inner());
+        it.names
+            .get(self.0 as usize)
+            .cloned()
+            .unwrap_or_else(|| "?".to_string())
+    }
+}
+
+/// What a subsystem hook poll reported.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PollVerdict {
+    /// The hook advanced something.
+    Progress,
+    /// The hook polled and found nothing to advance.
+    NoProgress,
+}
+
+/// What one user async-task poll returned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TaskVerdict {
+    /// `MPIX_ASYNC_DONE` — the task completed and was retired.
+    Done,
+    /// The task advanced but is not finished.
+    Progress,
+    /// `MPIX_ASYNC_NOPROGRESS` — nothing observed this poll.
+    Pending,
+    /// The task's poll panicked and the task was discarded.
+    Poisoned,
+}
+
+/// Which fabric delivery path a packet took.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PathKind {
+    /// Intra-node shared-memory path.
+    Shmem,
+    /// Inter-node network path.
+    Net,
+}
+
+impl PathKind {
+    /// Short display name (matches the subsystem hook names).
+    pub fn label(self) -> &'static str {
+        match self {
+            PathKind::Shmem => "shmem",
+            PathKind::Net => "net",
+        }
+    }
+}
+
+/// One typed observability event.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Event {
+    /// [`crate::clock::wtime`] seconds at which the event was recorded
+    /// (for duration events: the start).
+    pub t: f64,
+    /// What happened.
+    pub kind: EventKind,
+}
+
+/// The event vocabulary of the progress engine, fabric, and protocol
+/// layers.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum EventKind {
+    /// A subsystem hook was registered on a stream.
+    HookRegistered {
+        /// Stream the hook was registered on.
+        stream: u64,
+        /// `SubsystemClass` as its `u8` poll-order index.
+        class: u8,
+        /// Interned hook name.
+        name: NameId,
+    },
+    /// One subsystem hook poll (start time in `t`, duration in `dur`).
+    HookPoll {
+        /// Stream whose engine polled the hook.
+        stream: u64,
+        /// `SubsystemClass` as its `u8` poll-order index.
+        class: u8,
+        /// Interned hook name.
+        name: NameId,
+        /// What the poll reported.
+        verdict: PollVerdict,
+        /// Poll duration in seconds.
+        dur: f64,
+    },
+    /// One collated progress sweep over a stream (start in `t`).
+    StreamProgress {
+        /// The stream that was progressed.
+        stream: u64,
+        /// Sweep duration in seconds.
+        dur: f64,
+        /// Subsystem hook polls issued during the sweep.
+        hook_polls: u16,
+        /// User async tasks polled during the sweep.
+        tasks_polled: u32,
+        /// User async tasks that completed during the sweep.
+        tasks_completed: u16,
+        /// Whether anything at all advanced.
+        made_progress: bool,
+    },
+    /// A user async task was started on a stream (`MPIX_Async_start`).
+    TaskStart {
+        /// The stream the task was attached to.
+        stream: u64,
+        /// Task id within the stream.
+        task: u64,
+    },
+    /// A user async-task poll returned a non-`Pending` verdict.
+    TaskPoll {
+        /// The stream that polled the task.
+        stream: u64,
+        /// Task id within the stream.
+        task: u64,
+        /// What the poll returned.
+        verdict: TaskVerdict,
+    },
+    /// A request was completed (`MPIX_Request` turned complete).
+    RequestComplete {
+        /// Stream the request was bound to.
+        stream: u64,
+        /// Payload bytes of the completed operation.
+        bytes: u64,
+        /// True if completed as cancelled.
+        cancelled: bool,
+    },
+    /// A packet was injected into the fabric.
+    FabricTx {
+        /// Source endpoint.
+        src: u32,
+        /// Destination endpoint.
+        dst: u32,
+        /// Delivery path chosen.
+        path: PathKind,
+        /// Wire bytes charged.
+        bytes: u32,
+    },
+    /// A packet was popped from a fabric receive queue.
+    FabricRx {
+        /// Receiving endpoint.
+        rank: u32,
+        /// Originating endpoint.
+        src: u32,
+        /// Path it arrived on.
+        path: PathKind,
+        /// Wire bytes.
+        bytes: u32,
+    },
+    /// An eager-mode (or buffered) message left the protocol layer.
+    EagerSend {
+        /// Sender wire endpoint.
+        src: u32,
+        /// Destination wire endpoint.
+        dst: u32,
+        /// Payload bytes.
+        bytes: u64,
+        /// True for the buffered (lightweight) variant.
+        buffered: bool,
+    },
+    /// Rendezvous: sender issued a request-to-send.
+    RndvRts {
+        /// Sender-side transfer id.
+        send_id: u64,
+        /// Sender wire endpoint.
+        src: u32,
+        /// Destination wire endpoint.
+        dst: u32,
+        /// Total payload bytes of the transfer.
+        total: u64,
+    },
+    /// Rendezvous: receiver granted clear-to-send.
+    RndvCts {
+        /// Sender-side transfer id being acknowledged.
+        send_id: u64,
+        /// Receiver-side transfer id.
+        recv_id: u64,
+    },
+    /// Rendezvous: one payload chunk hit the wire.
+    RndvData {
+        /// Receiver-side transfer id.
+        recv_id: u64,
+        /// Byte offset of the chunk.
+        offset: u64,
+        /// Chunk length in bytes.
+        bytes: u32,
+    },
+    /// Rendezvous: a transfer finished on one side.
+    RndvDone {
+        /// Transfer id (sender- or receiver-side per `sender`).
+        id: u64,
+        /// Total bytes moved.
+        bytes: u64,
+        /// True when the sender side completed.
+        sender: bool,
+    },
+    /// An incoming message found no posted receive and was queued
+    /// unexpected.
+    UnexpectedMsg {
+        /// Source rank.
+        src: u32,
+        /// Message tag (as its bit pattern).
+        tag: i64,
+    },
+}
+
+const TAG_HOOK_REGISTERED: u64 = 1;
+const TAG_HOOK_POLL: u64 = 2;
+const TAG_STREAM_PROGRESS: u64 = 3;
+const TAG_TASK_START: u64 = 4;
+const TAG_TASK_POLL: u64 = 5;
+const TAG_REQUEST_COMPLETE: u64 = 6;
+const TAG_FABRIC_TX: u64 = 7;
+const TAG_FABRIC_RX: u64 = 8;
+const TAG_EAGER_SEND: u64 = 9;
+const TAG_RNDV_RTS: u64 = 10;
+const TAG_RNDV_CTS: u64 = 11;
+const TAG_RNDV_DATA: u64 = 12;
+const TAG_RNDV_DONE: u64 = 13;
+const TAG_UNEXPECTED: u64 = 14;
+
+fn path_bit(p: PathKind) -> u64 {
+    match p {
+        PathKind::Shmem => 0,
+        PathKind::Net => 1,
+    }
+}
+
+fn path_from(bit: u64) -> PathKind {
+    if bit & 1 == 0 {
+        PathKind::Shmem
+    } else {
+        PathKind::Net
+    }
+}
+
+impl Event {
+    /// Pack into the fixed ring-slot form: `[t, tag, a, b, c]`.
+    pub fn pack(&self) -> [u64; EVENT_WORDS] {
+        let (tag, a, b, c) = match self.kind {
+            EventKind::HookRegistered {
+                stream,
+                class,
+                name,
+            } => (
+                TAG_HOOK_REGISTERED,
+                stream,
+                (class as u64) | ((name.0 as u64) << 8),
+                0,
+            ),
+            EventKind::HookPoll {
+                stream,
+                class,
+                name,
+                verdict,
+                dur,
+            } => {
+                let v = match verdict {
+                    PollVerdict::Progress => 1u64,
+                    PollVerdict::NoProgress => 0u64,
+                };
+                (
+                    TAG_HOOK_POLL,
+                    stream,
+                    (class as u64) | (v << 7) | ((name.0 as u64) << 8),
+                    dur.to_bits(),
+                )
+            }
+            EventKind::StreamProgress {
+                stream,
+                dur,
+                hook_polls,
+                tasks_polled,
+                tasks_completed,
+                made_progress,
+            } => (
+                TAG_STREAM_PROGRESS,
+                stream,
+                (hook_polls as u64)
+                    | ((tasks_polled as u64) << 16)
+                    | ((tasks_completed as u64) << 48)
+                    | ((made_progress as u64) << 63),
+                dur.to_bits(),
+            ),
+            EventKind::TaskStart { stream, task } => (TAG_TASK_START, stream, task, 0),
+            EventKind::TaskPoll {
+                stream,
+                task,
+                verdict,
+            } => {
+                let v = match verdict {
+                    TaskVerdict::Done => 0u64,
+                    TaskVerdict::Progress => 1,
+                    TaskVerdict::Pending => 2,
+                    TaskVerdict::Poisoned => 3,
+                };
+                (TAG_TASK_POLL, stream, task, v)
+            }
+            EventKind::RequestComplete {
+                stream,
+                bytes,
+                cancelled,
+            } => (TAG_REQUEST_COMPLETE, stream, bytes, cancelled as u64),
+            EventKind::FabricTx {
+                src,
+                dst,
+                path,
+                bytes,
+            } => (
+                TAG_FABRIC_TX,
+                (src as u64) | ((dst as u64) << 32),
+                path_bit(path) | ((bytes as u64) << 8),
+                0,
+            ),
+            EventKind::FabricRx {
+                rank,
+                src,
+                path,
+                bytes,
+            } => (
+                TAG_FABRIC_RX,
+                (rank as u64) | ((src as u64) << 32),
+                path_bit(path) | ((bytes as u64) << 8),
+                0,
+            ),
+            EventKind::EagerSend {
+                src,
+                dst,
+                bytes,
+                buffered,
+            } => (
+                TAG_EAGER_SEND,
+                (src as u64) | ((dst as u64) << 32),
+                bytes,
+                buffered as u64,
+            ),
+            EventKind::RndvRts {
+                send_id,
+                src,
+                dst,
+                total,
+            } => (
+                TAG_RNDV_RTS,
+                send_id,
+                (src as u64) | ((dst as u64) << 32),
+                total,
+            ),
+            EventKind::RndvCts { send_id, recv_id } => (TAG_RNDV_CTS, send_id, recv_id, 0),
+            EventKind::RndvData {
+                recv_id,
+                offset,
+                bytes,
+            } => (TAG_RNDV_DATA, recv_id, offset, bytes as u64),
+            EventKind::RndvDone { id, bytes, sender } => (TAG_RNDV_DONE, id, bytes, sender as u64),
+            EventKind::UnexpectedMsg { src, tag } => (TAG_UNEXPECTED, src as u64, tag as u64, 0),
+        };
+        [self.t.to_bits(), tag, a, b, c]
+    }
+
+    /// Decode the packed form; `None` for an unknown tag (e.g. a zeroed
+    /// slot).
+    pub fn unpack(raw: [u64; EVENT_WORDS]) -> Option<Event> {
+        let t = f64::from_bits(raw[0]);
+        let (tag, a, b, c) = (raw[1], raw[2], raw[3], raw[4]);
+        let kind = match tag {
+            TAG_HOOK_REGISTERED => EventKind::HookRegistered {
+                stream: a,
+                class: (b & 0x7f) as u8,
+                name: NameId((b >> 8) as u32),
+            },
+            TAG_HOOK_POLL => EventKind::HookPoll {
+                stream: a,
+                class: (b & 0x7f) as u8,
+                name: NameId((b >> 8) as u32),
+                verdict: if (b >> 7) & 1 == 1 {
+                    PollVerdict::Progress
+                } else {
+                    PollVerdict::NoProgress
+                },
+                dur: f64::from_bits(c),
+            },
+            TAG_STREAM_PROGRESS => EventKind::StreamProgress {
+                stream: a,
+                dur: f64::from_bits(c),
+                hook_polls: (b & 0xffff) as u16,
+                tasks_polled: ((b >> 16) & 0xffff_ffff) as u32,
+                tasks_completed: ((b >> 48) & 0x7fff) as u16,
+                made_progress: (b >> 63) == 1,
+            },
+            TAG_TASK_START => EventKind::TaskStart { stream: a, task: b },
+            TAG_TASK_POLL => EventKind::TaskPoll {
+                stream: a,
+                task: b,
+                verdict: match c {
+                    0 => TaskVerdict::Done,
+                    1 => TaskVerdict::Progress,
+                    2 => TaskVerdict::Pending,
+                    _ => TaskVerdict::Poisoned,
+                },
+            },
+            TAG_REQUEST_COMPLETE => EventKind::RequestComplete {
+                stream: a,
+                bytes: b,
+                cancelled: c == 1,
+            },
+            TAG_FABRIC_TX => EventKind::FabricTx {
+                src: (a & 0xffff_ffff) as u32,
+                dst: (a >> 32) as u32,
+                path: path_from(b),
+                bytes: (b >> 8) as u32,
+            },
+            TAG_FABRIC_RX => EventKind::FabricRx {
+                rank: (a & 0xffff_ffff) as u32,
+                src: (a >> 32) as u32,
+                path: path_from(b),
+                bytes: (b >> 8) as u32,
+            },
+            TAG_EAGER_SEND => EventKind::EagerSend {
+                src: (a & 0xffff_ffff) as u32,
+                dst: (a >> 32) as u32,
+                bytes: b,
+                buffered: c == 1,
+            },
+            TAG_RNDV_RTS => EventKind::RndvRts {
+                send_id: a,
+                src: (b & 0xffff_ffff) as u32,
+                dst: (b >> 32) as u32,
+                total: c,
+            },
+            TAG_RNDV_CTS => EventKind::RndvCts {
+                send_id: a,
+                recv_id: b,
+            },
+            TAG_RNDV_DATA => EventKind::RndvData {
+                recv_id: a,
+                offset: b,
+                bytes: c as u32,
+            },
+            TAG_RNDV_DONE => EventKind::RndvDone {
+                id: a,
+                bytes: b,
+                sender: c == 1,
+            },
+            TAG_UNEXPECTED => EventKind::UnexpectedMsg {
+                src: a as u32,
+                tag: b as i64,
+            },
+            _ => return None,
+        };
+        Some(Event { t, kind })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(kind: EventKind) {
+        let ev = Event { t: 1.2345, kind };
+        let back = Event::unpack(ev.pack()).expect("known tag");
+        assert_eq!(back, ev);
+    }
+
+    #[test]
+    fn all_variants_roundtrip() {
+        let name = NameId::intern("netmod");
+        roundtrip(EventKind::HookRegistered {
+            stream: 7,
+            class: 3,
+            name,
+        });
+        roundtrip(EventKind::HookPoll {
+            stream: 7,
+            class: 3,
+            name,
+            verdict: PollVerdict::Progress,
+            dur: 3.5e-7,
+        });
+        roundtrip(EventKind::HookPoll {
+            stream: u64::MAX,
+            class: 4,
+            name: NameId::UNKNOWN,
+            verdict: PollVerdict::NoProgress,
+            dur: 0.0,
+        });
+        roundtrip(EventKind::StreamProgress {
+            stream: 3,
+            dur: 1e-6,
+            hook_polls: 65535,
+            tasks_polled: 1 << 20,
+            tasks_completed: 12345,
+            made_progress: true,
+        });
+        roundtrip(EventKind::TaskStart {
+            stream: 1,
+            task: 1 << 40,
+        });
+        roundtrip(EventKind::TaskPoll {
+            stream: 1,
+            task: 2,
+            verdict: TaskVerdict::Done,
+        });
+        roundtrip(EventKind::TaskPoll {
+            stream: 1,
+            task: 2,
+            verdict: TaskVerdict::Poisoned,
+        });
+        roundtrip(EventKind::RequestComplete {
+            stream: 9,
+            bytes: 4096,
+            cancelled: true,
+        });
+        roundtrip(EventKind::FabricTx {
+            src: 3,
+            dst: 250,
+            path: PathKind::Net,
+            bytes: u32::MAX >> 8,
+        });
+        roundtrip(EventKind::FabricRx {
+            rank: 0,
+            src: 9,
+            path: PathKind::Shmem,
+            bytes: 64,
+        });
+        roundtrip(EventKind::EagerSend {
+            src: 1,
+            dst: 2,
+            bytes: 1 << 33,
+            buffered: true,
+        });
+        roundtrip(EventKind::RndvRts {
+            send_id: 77,
+            src: 1,
+            dst: 2,
+            total: 1 << 30,
+        });
+        roundtrip(EventKind::RndvCts {
+            send_id: 77,
+            recv_id: 78,
+        });
+        roundtrip(EventKind::RndvData {
+            recv_id: 78,
+            offset: 65536,
+            bytes: 65536,
+        });
+        roundtrip(EventKind::RndvDone {
+            id: 77,
+            bytes: 1 << 30,
+            sender: true,
+        });
+        roundtrip(EventKind::UnexpectedMsg { src: 3, tag: -1 });
+    }
+
+    #[test]
+    fn unknown_tag_is_none() {
+        assert!(Event::unpack([0, 0, 0, 0, 0]).is_none());
+        assert!(Event::unpack([0, 999, 0, 0, 0]).is_none());
+    }
+
+    #[test]
+    fn interner_is_stable_and_idempotent() {
+        let a = NameId::intern("alpha-hook");
+        let b = NameId::intern("alpha-hook");
+        assert_eq!(a, b);
+        assert_eq!(a.resolve(), "alpha-hook");
+        let c = NameId::intern("beta-hook");
+        assert_ne!(a, c);
+        assert_eq!(NameId::UNKNOWN.resolve(), "?");
+        assert_eq!(NameId(9_999_999).resolve(), "?");
+    }
+
+    #[test]
+    fn timestamps_survive_packing() {
+        let ev = Event {
+            t: 123.456789,
+            kind: EventKind::TaskStart { stream: 0, task: 0 },
+        };
+        assert_eq!(Event::unpack(ev.pack()).unwrap().t, 123.456789);
+    }
+}

@@ -1,0 +1,124 @@
+//! # mpfa-obs — progress observability
+//!
+//! "MPI Progress For All" hands progress control to the user; this crate
+//! makes the resulting behavior visible. It provides four layers:
+//!
+//! * **Events** ([`event`], [`ring`]) — typed records of hook polls,
+//!   progress sweeps, request completions, fabric traffic, and protocol
+//!   transitions, captured into lock-free per-thread ring buffers. Event
+//!   recording is compiled in only with the `obs` cargo feature; without
+//!   it, [`record`] is an empty inline function and the event closure is
+//!   never even evaluated.
+//! * **Counters** ([`counters`]) — a small set of always-on relaxed
+//!   atomics (polls, idle streaks, messages/bytes per path, rendezvous
+//!   handshakes) with a [`counters::Counters::snapshot`] API.
+//! * **Trace export** ([`trace`]) — renders ring snapshots as
+//!   Chrome-trace JSON openable in `chrome://tracing` or Perfetto.
+//! * **Doctor** ([`doctor`]) — analyzes recorded events for progress
+//!   pathologies (pending work with no poller, no-progress spinning,
+//!   rendezvous stuck awaiting CTS) and prints an actionable report.
+//!
+//! This crate sits at the bottom of the workspace graph (it depends on
+//! nothing) so every other crate can be instrumented; it also owns the
+//! process-wide [`clock`] that `mpfa_core::wtime` re-exports.
+
+#![warn(missing_docs)]
+
+pub mod clock;
+pub mod counters;
+pub mod doctor;
+pub mod event;
+pub mod ring;
+pub mod trace;
+
+pub use counters::{global as global_counters, CounterSnapshot, Counters};
+pub use doctor::{diagnose, DoctorConfig, DoctorReport};
+pub use event::{Event, EventKind, NameId, PathKind, PollVerdict, TaskVerdict};
+pub use ring::{snapshot_all, ThreadSnapshot};
+
+/// True when event recording is compiled in (the `obs` cargo feature).
+pub const fn recording_enabled() -> bool {
+    cfg!(feature = "obs")
+}
+
+/// Record one event into the current thread's ring.
+///
+/// The closure builds the [`EventKind`] only when recording is compiled
+/// in; with the `obs` feature off this function is empty and the closure
+/// (and any `format!`/intern work inside it) is never evaluated, so call
+/// sites carry zero cost without needing their own `cfg` guards.
+#[inline]
+pub fn record<F: FnOnce() -> EventKind>(f: F) {
+    #[cfg(feature = "obs")]
+    {
+        let ev = Event {
+            t: clock::wtime(),
+            kind: f(),
+        };
+        ring::record_local(&ev);
+    }
+    #[cfg(not(feature = "obs"))]
+    {
+        let _ = f;
+    }
+}
+
+/// Record one event with an explicit timestamp (for duration events whose
+/// start was measured before the work ran). No-op unless the `obs`
+/// feature is on, like [`record`].
+#[inline]
+pub fn record_at<F: FnOnce() -> EventKind>(t: f64, f: F) {
+    #[cfg(feature = "obs")]
+    {
+        let ev = Event { t, kind: f() };
+        ring::record_local(&ev);
+    }
+    #[cfg(not(feature = "obs"))]
+    {
+        let _ = (t, f);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_matches_feature_flag() {
+        let base: u64 = snapshot_all().iter().map(|s| s.pushed).sum();
+        record(|| EventKind::TaskStart {
+            stream: 99,
+            task: 1,
+        });
+        let after: u64 = snapshot_all().iter().map(|s| s.pushed).sum();
+        if recording_enabled() {
+            assert!(after > base, "event should have been recorded");
+        } else {
+            assert_eq!(after, base, "recording must be compiled out");
+        }
+    }
+
+    #[test]
+    fn record_at_uses_given_timestamp() {
+        if !recording_enabled() {
+            return;
+        }
+        record_at(123.25, || EventKind::TaskStart {
+            stream: 98,
+            task: 7,
+        });
+        let found = snapshot_all().iter().any(|s| {
+            s.events.iter().any(|e| {
+                e.t == 123.25
+                    && matches!(
+                        e.kind,
+                        EventKind::TaskStart {
+                            stream: 98,
+                            task: 7
+                        }
+                    )
+            })
+        });
+        assert!(found);
+    }
+}

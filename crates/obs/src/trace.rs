@@ -1,0 +1,511 @@
+//! Chrome-trace (`chrome://tracing` / Perfetto) export.
+//!
+//! Converts ring snapshots into the Trace Event Format JSON that
+//! `chrome://tracing`, `ui.perfetto.dev`, and Speedscope all open:
+//! duration events (`"ph":"X"`) for hook polls and progress sweeps,
+//! instants (`"ph":"i"`) for everything else, and metadata (`"ph":"M"`)
+//! naming each recording thread. JSON is emitted by hand — the exporter
+//! runs off the hot path and the format is tiny, so no serializer
+//! dependency is warranted.
+
+use std::fmt::Write as _;
+use std::io;
+use std::path::Path;
+
+use crate::event::{Event, EventKind, PollVerdict, TaskVerdict};
+use crate::ring::ThreadSnapshot;
+
+fn esc(s: &str, out: &mut String) {
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn us(t_seconds: f64) -> f64 {
+    t_seconds * 1e6
+}
+
+struct TraceEvent {
+    name: String,
+    cat: &'static str,
+    ph: char,
+    ts: f64,
+    dur: Option<f64>,
+    args: Vec<(&'static str, String)>,
+}
+
+fn class_name(class: u8) -> &'static str {
+    match class {
+        0 => "dtengine",
+        1 => "collsched",
+        2 => "shmem",
+        3 => "netmod",
+        _ => "other",
+    }
+}
+
+fn convert(ev: &Event) -> TraceEvent {
+    let ts = us(ev.t);
+    match ev.kind {
+        EventKind::HookRegistered {
+            stream,
+            class,
+            name,
+        } => TraceEvent {
+            name: format!("register {}", name.resolve()),
+            cat: "engine",
+            ph: 'i',
+            ts,
+            dur: None,
+            args: vec![
+                ("stream", stream.to_string()),
+                ("class", format!("\"{}\"", class_name(class))),
+            ],
+        },
+        EventKind::HookPoll {
+            stream,
+            class,
+            name,
+            verdict,
+            dur,
+        } => TraceEvent {
+            name: format!("poll {}", name.resolve()),
+            cat: "engine",
+            ph: 'X',
+            ts,
+            dur: Some(us(dur)),
+            args: vec![
+                ("stream", stream.to_string()),
+                ("class", format!("\"{}\"", class_name(class))),
+                (
+                    "verdict",
+                    match verdict {
+                        PollVerdict::Progress => "\"progress\"".to_string(),
+                        PollVerdict::NoProgress => "\"no-progress\"".to_string(),
+                    },
+                ),
+            ],
+        },
+        EventKind::StreamProgress {
+            stream,
+            dur,
+            hook_polls,
+            tasks_polled,
+            tasks_completed,
+            made_progress,
+        } => TraceEvent {
+            name: format!("progress stream {stream}"),
+            cat: "engine",
+            ph: 'X',
+            ts,
+            dur: Some(us(dur)),
+            args: vec![
+                ("hook_polls", hook_polls.to_string()),
+                ("tasks_polled", tasks_polled.to_string()),
+                ("tasks_completed", tasks_completed.to_string()),
+                ("made_progress", made_progress.to_string()),
+            ],
+        },
+        EventKind::TaskStart { stream, task } => TraceEvent {
+            name: format!("task {task} start"),
+            cat: "task",
+            ph: 'i',
+            ts,
+            dur: None,
+            args: vec![("stream", stream.to_string())],
+        },
+        EventKind::TaskPoll {
+            stream,
+            task,
+            verdict,
+        } => TraceEvent {
+            name: format!(
+                "task {task} {}",
+                match verdict {
+                    TaskVerdict::Done => "done",
+                    TaskVerdict::Progress => "progress",
+                    TaskVerdict::Pending => "pending",
+                    TaskVerdict::Poisoned => "poisoned",
+                }
+            ),
+            cat: "task",
+            ph: 'i',
+            ts,
+            dur: None,
+            args: vec![("stream", stream.to_string())],
+        },
+        EventKind::RequestComplete {
+            stream,
+            bytes,
+            cancelled,
+        } => TraceEvent {
+            name: "request complete".to_string(),
+            cat: "request",
+            ph: 'i',
+            ts,
+            dur: None,
+            args: vec![
+                ("stream", stream.to_string()),
+                ("bytes", bytes.to_string()),
+                ("cancelled", cancelled.to_string()),
+            ],
+        },
+        EventKind::FabricTx {
+            src,
+            dst,
+            path,
+            bytes,
+        } => TraceEvent {
+            name: format!("tx {}", path.label()),
+            cat: "fabric",
+            ph: 'i',
+            ts,
+            dur: None,
+            args: vec![
+                ("src", src.to_string()),
+                ("dst", dst.to_string()),
+                ("bytes", bytes.to_string()),
+            ],
+        },
+        EventKind::FabricRx {
+            rank,
+            src,
+            path,
+            bytes,
+        } => TraceEvent {
+            name: format!("rx {}", path.label()),
+            cat: "fabric",
+            ph: 'i',
+            ts,
+            dur: None,
+            args: vec![
+                ("rank", rank.to_string()),
+                ("src", src.to_string()),
+                ("bytes", bytes.to_string()),
+            ],
+        },
+        EventKind::EagerSend {
+            src,
+            dst,
+            bytes,
+            buffered,
+        } => TraceEvent {
+            name: if buffered {
+                "buffered send"
+            } else {
+                "eager send"
+            }
+            .to_string(),
+            cat: "protocol",
+            ph: 'i',
+            ts,
+            dur: None,
+            args: vec![
+                ("src", src.to_string()),
+                ("dst", dst.to_string()),
+                ("bytes", bytes.to_string()),
+            ],
+        },
+        EventKind::RndvRts {
+            send_id,
+            src,
+            dst,
+            total,
+        } => TraceEvent {
+            name: format!("rndv {send_id} RTS"),
+            cat: "protocol",
+            ph: 'i',
+            ts,
+            dur: None,
+            args: vec![
+                ("src", src.to_string()),
+                ("dst", dst.to_string()),
+                ("total", total.to_string()),
+            ],
+        },
+        EventKind::RndvCts { send_id, recv_id } => TraceEvent {
+            name: format!("rndv {send_id} CTS"),
+            cat: "protocol",
+            ph: 'i',
+            ts,
+            dur: None,
+            args: vec![("recv_id", recv_id.to_string())],
+        },
+        EventKind::RndvData {
+            recv_id,
+            offset,
+            bytes,
+        } => TraceEvent {
+            name: format!("rndv recv {recv_id} data"),
+            cat: "protocol",
+            ph: 'i',
+            ts,
+            dur: None,
+            args: vec![("offset", offset.to_string()), ("bytes", bytes.to_string())],
+        },
+        EventKind::RndvDone { id, bytes, sender } => TraceEvent {
+            name: format!("rndv {id} done ({})", if sender { "send" } else { "recv" }),
+            cat: "protocol",
+            ph: 'i',
+            ts,
+            dur: None,
+            args: vec![("bytes", bytes.to_string())],
+        },
+        EventKind::UnexpectedMsg { src, tag } => TraceEvent {
+            name: "unexpected msg".to_string(),
+            cat: "matching",
+            ph: 'i',
+            ts,
+            dur: None,
+            args: vec![("src", src.to_string()), ("tag", tag.to_string())],
+        },
+    }
+}
+
+fn push_event(out: &mut String, tid: usize, te: &TraceEvent, first: &mut bool) {
+    if !*first {
+        out.push_str(",\n");
+    }
+    *first = false;
+    out.push_str("  {\"name\":");
+    esc(&te.name, out);
+    let _ = write!(
+        out,
+        ",\"cat\":\"{}\",\"ph\":\"{}\",\"pid\":0,\"tid\":{},\"ts\":{:.3}",
+        te.cat, te.ph, tid, te.ts
+    );
+    if let Some(d) = te.dur {
+        let _ = write!(out, ",\"dur\":{:.3}", d);
+    }
+    if te.ph == 'i' {
+        out.push_str(",\"s\":\"t\"");
+    }
+    out.push_str(",\"args\":{");
+    for (i, (k, v)) in te.args.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "\"{k}\":{v}");
+    }
+    out.push_str("}}");
+}
+
+/// Render snapshots as a complete Chrome-trace JSON document.
+pub fn chrome_trace_json(snaps: &[ThreadSnapshot]) -> String {
+    let mut out = String::new();
+    out.push_str("{\"traceEvents\":[\n");
+    let mut first = true;
+    for (tid, snap) in snaps.iter().enumerate() {
+        // Thread-name metadata so the timeline rows are labelled.
+        if !first {
+            out.push_str(",\n");
+        }
+        first = false;
+        out.push_str("  {\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":");
+        let _ = write!(out, "{tid},\"args\":{{\"name\":");
+        esc(&snap.label, &mut out);
+        out.push_str("}}");
+        for ev in &snap.events {
+            push_event(&mut out, tid, &convert(ev), &mut first);
+        }
+    }
+    out.push_str("\n],\"displayTimeUnit\":\"ms\"}\n");
+    out
+}
+
+/// Write [`chrome_trace_json`] output to `path`.
+pub fn write_chrome_trace(path: &Path, snaps: &[ThreadSnapshot]) -> io::Result<()> {
+    std::fs::write(path, chrome_trace_json(snaps))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{EventKind, NameId};
+
+    fn snap(events: Vec<Event>) -> ThreadSnapshot {
+        ThreadSnapshot {
+            label: "main \"worker\"".to_string(),
+            pushed: events.len() as u64,
+            dropped: 0,
+            events,
+        }
+    }
+
+    /// Minimal structural JSON check: balanced braces/brackets outside
+    /// strings, and every quote closed.
+    fn assert_balanced_json(s: &str) {
+        let mut depth_obj = 0i64;
+        let mut depth_arr = 0i64;
+        let mut in_str = false;
+        let mut escape = false;
+        for c in s.chars() {
+            if in_str {
+                if escape {
+                    escape = false;
+                } else if c == '\\' {
+                    escape = true;
+                } else if c == '"' {
+                    in_str = false;
+                }
+                continue;
+            }
+            match c {
+                '"' => in_str = true,
+                '{' => depth_obj += 1,
+                '}' => depth_obj -= 1,
+                '[' => depth_arr += 1,
+                ']' => depth_arr -= 1,
+                _ => {}
+            }
+            assert!(depth_obj >= 0 && depth_arr >= 0);
+        }
+        assert!(!in_str, "unterminated string");
+        assert_eq!(depth_obj, 0, "unbalanced braces");
+        assert_eq!(depth_arr, 0, "unbalanced brackets");
+    }
+
+    #[test]
+    fn emits_metadata_duration_and_instant_events() {
+        let name = NameId::intern("netmod");
+        let json = chrome_trace_json(&[snap(vec![
+            Event {
+                t: 0.001,
+                kind: EventKind::HookPoll {
+                    stream: 0,
+                    class: 3,
+                    name,
+                    verdict: PollVerdict::Progress,
+                    dur: 2e-6,
+                },
+            },
+            Event {
+                t: 0.002,
+                kind: EventKind::EagerSend {
+                    src: 0,
+                    dst: 1,
+                    bytes: 64,
+                    buffered: false,
+                },
+            },
+        ])]);
+        assert!(json.contains("\"ph\":\"M\""));
+        assert!(json.contains("\"ph\":\"X\""));
+        assert!(json.contains("\"ph\":\"i\""));
+        assert!(json.contains("poll netmod"));
+        assert!(json.contains("\"dur\":2.000"));
+        assert_balanced_json(&json);
+    }
+
+    #[test]
+    fn escapes_labels() {
+        let json = chrome_trace_json(&[snap(vec![])]);
+        assert!(json.contains("main \\\"worker\\\""));
+        assert_balanced_json(&json);
+    }
+
+    #[test]
+    fn empty_input_is_valid() {
+        let json = chrome_trace_json(&[]);
+        assert!(json.contains("traceEvents"));
+        assert_balanced_json(&json);
+    }
+
+    #[test]
+    fn every_event_kind_converts() {
+        let name = NameId::intern("x");
+        let kinds = vec![
+            EventKind::HookRegistered {
+                stream: 1,
+                class: 0,
+                name,
+            },
+            EventKind::HookPoll {
+                stream: 1,
+                class: 1,
+                name,
+                verdict: PollVerdict::NoProgress,
+                dur: 0.0,
+            },
+            EventKind::StreamProgress {
+                stream: 1,
+                dur: 1e-5,
+                hook_polls: 4,
+                tasks_polled: 2,
+                tasks_completed: 1,
+                made_progress: true,
+            },
+            EventKind::TaskStart { stream: 1, task: 9 },
+            EventKind::TaskPoll {
+                stream: 1,
+                task: 9,
+                verdict: TaskVerdict::Done,
+            },
+            EventKind::RequestComplete {
+                stream: 1,
+                bytes: 10,
+                cancelled: false,
+            },
+            EventKind::FabricTx {
+                src: 0,
+                dst: 1,
+                path: crate::event::PathKind::Net,
+                bytes: 5,
+            },
+            EventKind::FabricRx {
+                rank: 1,
+                src: 0,
+                path: crate::event::PathKind::Shmem,
+                bytes: 5,
+            },
+            EventKind::EagerSend {
+                src: 0,
+                dst: 1,
+                bytes: 5,
+                buffered: true,
+            },
+            EventKind::RndvRts {
+                send_id: 1,
+                src: 0,
+                dst: 1,
+                total: 1 << 20,
+            },
+            EventKind::RndvCts {
+                send_id: 1,
+                recv_id: 2,
+            },
+            EventKind::RndvData {
+                recv_id: 2,
+                offset: 0,
+                bytes: 65536,
+            },
+            EventKind::RndvDone {
+                id: 1,
+                bytes: 1 << 20,
+                sender: false,
+            },
+            EventKind::UnexpectedMsg { src: 0, tag: 42 },
+        ];
+        let events: Vec<Event> = kinds
+            .into_iter()
+            .enumerate()
+            .map(|(i, kind)| Event { t: i as f64, kind })
+            .collect();
+        let json = chrome_trace_json(&[snap(events)]);
+        assert_balanced_json(&json);
+        assert!(json.contains("rndv 1 RTS"));
+        assert!(json.contains("unexpected msg"));
+    }
+}

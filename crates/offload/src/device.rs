@@ -12,8 +12,10 @@ use std::collections::VecDeque;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
-use mpfa_core::{wtime, AsyncPoll, Completer, ProgressHook, Request, Status, Stream, SubsystemClass};
-use parking_lot::Mutex;
+use mpfa_core::sync::Mutex;
+use mpfa_core::{
+    wtime, AsyncPoll, Completer, ProgressHook, Request, Status, Stream, SubsystemClass,
+};
 
 /// Copy-engine timing model.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -27,18 +29,28 @@ pub struct DeviceConfig {
 impl Default for DeviceConfig {
     fn default() -> Self {
         // PCIe-ish: 10 µs launch, 16 GB/s.
-        DeviceConfig { latency: 10e-6, bandwidth: 16.0e9 }
+        DeviceConfig {
+            latency: 10e-6,
+            bandwidth: 16.0e9,
+        }
     }
 }
 
 impl DeviceConfig {
     /// An instant device (tests).
     pub fn instant() -> DeviceConfig {
-        DeviceConfig { latency: 0.0, bandwidth: 0.0 }
+        DeviceConfig {
+            latency: 0.0,
+            bandwidth: 0.0,
+        }
     }
 
     fn copy_time(&self, bytes: usize) -> f64 {
-        let bw = if self.bandwidth <= 0.0 { return self.latency } else { self.bandwidth };
+        let bw = if self.bandwidth <= 0.0 {
+            return self.latency;
+        } else {
+            self.bandwidth
+        };
         self.latency + bytes as f64 / bw
     }
 }
@@ -53,7 +65,9 @@ pub struct DeviceBuffer {
 impl DeviceBuffer {
     /// Allocate a zeroed device buffer of `len` bytes.
     pub fn alloc(len: usize) -> DeviceBuffer {
-        DeviceBuffer { data: Arc::new(Mutex::new(vec![0; len])) }
+        DeviceBuffer {
+            data: Arc::new(Mutex::new(vec![0; len])),
+        }
     }
 
     /// Buffer length in bytes.
@@ -153,7 +167,10 @@ impl ProgressHook for CopyHook {
 impl CopyEngine {
     /// Create an engine and register its hook on `stream`.
     pub fn register(stream: &Stream, config: DeviceConfig) -> CopyEngine {
-        let state = Arc::new(Mutex::new(EngineState { queue: VecDeque::new(), next_free: 0.0 }));
+        let state = Arc::new(Mutex::new(EngineState {
+            queue: VecDeque::new(),
+            next_free: 0.0,
+        }));
         let pending = Arc::new(AtomicUsize::new(0));
         let copied_bytes = Arc::new(AtomicUsize::new(0));
         stream.register_hook(CopyHook {
@@ -161,7 +178,13 @@ impl CopyEngine {
             pending: pending.clone(),
             copied_bytes: copied_bytes.clone(),
         });
-        CopyEngine { config, stream: stream.clone(), state, pending, copied_bytes }
+        CopyEngine {
+            config,
+            stream: stream.clone(),
+            state,
+            pending,
+            copied_bytes,
+        }
     }
 
     /// The stream whose progress drives this engine.
@@ -187,7 +210,12 @@ impl CopyEngine {
             let start = now.max(st.next_free);
             let done_at = start + self.config.copy_time(bytes);
             st.next_free = done_at;
-            st.queue.push_back(PendingCopy { done_at, apply, completer, bytes });
+            st.queue.push_back(PendingCopy {
+                done_at,
+                apply,
+                completer,
+                bytes,
+            });
         }
         self.pending.fetch_add(1, Ordering::Release);
         req
@@ -368,8 +396,13 @@ mod tests {
     #[test]
     fn copies_complete_in_fifo_order_with_latency() {
         let stream = Stream::create();
-        let engine =
-            CopyEngine::register(&stream, DeviceConfig { latency: 500e-6, bandwidth: 0.0 });
+        let engine = CopyEngine::register(
+            &stream,
+            DeviceConfig {
+                latency: 500e-6,
+                bandwidth: 0.0,
+            },
+        );
         let buf = DeviceBuffer::alloc(4);
         let t0 = wtime();
         let first = engine.h2d(&[1], &buf, 0);
@@ -384,7 +417,10 @@ mod tests {
         assert!(first.is_complete());
         first.wait();
         second.wait();
-        assert!(wtime() - t0 >= 1e-3, "two copies serialize to >= 2x latency");
+        assert!(
+            wtime() - t0 >= 1e-3,
+            "two copies serialize to >= 2x latency"
+        );
     }
 
     #[test]
@@ -406,20 +442,17 @@ mod tests {
                 .map(|proc| {
                     s.spawn(move || {
                         let comm = proc.world_comm();
-                        let engine =
-                            CopyEngine::register(comm.stream(), DeviceConfig::instant());
+                        let engine = CopyEngine::register(comm.stream(), DeviceConfig::instant());
                         if comm.rank() == 0 {
                             // Device-resident payload.
                             let dev = DeviceBuffer::alloc(64);
                             engine.h2d(&[0xCD; 64], &dev, 0).wait();
-                            let req =
-                                send_from_device(&comm, &engine, &dev, 0..64, 1, 7).unwrap();
+                            let req = send_from_device(&comm, &engine, &dev, 0..64, 1, 7).unwrap();
                             req.wait();
                             Vec::new()
                         } else {
                             let dev = DeviceBuffer::alloc(64);
-                            let req =
-                                recv_to_device(&comm, &engine, &dev, 0, 64, 0, 7).unwrap();
+                            let req = recv_to_device(&comm, &engine, &dev, 0, 64, 0, 7).unwrap();
                             req.wait();
                             dev.debug_snapshot()
                         }

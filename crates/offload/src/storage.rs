@@ -12,8 +12,8 @@ use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
+use mpfa_core::sync::Mutex;
 use mpfa_core::{wtime, Completer, ProgressHook, Request, Status, Stream, SubsystemClass};
-use parking_lot::Mutex;
 
 /// Storage timing model.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -27,14 +27,20 @@ pub struct StorageConfig {
 impl Default for StorageConfig {
     fn default() -> Self {
         // NVMe-ish: 80 µs access, 3 GB/s.
-        StorageConfig { latency: 80e-6, bandwidth: 3.0e9 }
+        StorageConfig {
+            latency: 80e-6,
+            bandwidth: 3.0e9,
+        }
     }
 }
 
 impl StorageConfig {
     /// Instant storage (tests).
     pub fn instant() -> StorageConfig {
-        StorageConfig { latency: 0.0, bandwidth: 0.0 }
+        StorageConfig {
+            latency: 0.0,
+            bandwidth: 0.0,
+        }
     }
 
     fn op_time(&self, bytes: usize) -> f64 {
@@ -126,8 +132,16 @@ impl Storage {
             next_free: 0.0,
         }));
         let pending = Arc::new(AtomicUsize::new(0));
-        stream.register_hook(StorageHook { state: state.clone(), pending: pending.clone() });
-        Storage { config, stream: stream.clone(), state, pending }
+        stream.register_hook(StorageHook {
+            state: state.clone(),
+            pending: pending.clone(),
+        });
+        Storage {
+            config,
+            stream: stream.clone(),
+            state,
+            pending,
+        }
     }
 
     /// Operations in flight.
@@ -148,7 +162,12 @@ impl Storage {
             let start = now.max(st.next_free);
             let done_at = start + self.config.op_time(bytes);
             st.next_free = done_at;
-            st.queue.push_back(PendingOp { done_at, apply, completer, bytes });
+            st.queue.push_back(PendingOp {
+                done_at,
+                apply,
+                completer,
+                bytes,
+            });
         }
         self.pending.fetch_add(1, Ordering::Release);
         req
@@ -246,8 +265,13 @@ mod tests {
     #[test]
     fn operations_serialize_fifo_with_latency() {
         let stream = Stream::create();
-        let vol =
-            Storage::register(&stream, StorageConfig { latency: 300e-6, bandwidth: 0.0 });
+        let vol = Storage::register(
+            &stream,
+            StorageConfig {
+                latency: 300e-6,
+                bandwidth: 0.0,
+            },
+        );
         let t0 = wtime();
         let a = vol.iwrite("f", 0, &[1]);
         let b = vol.iwrite("f", 0, &[2]);

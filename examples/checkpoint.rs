@@ -15,13 +15,13 @@
 //!
 //! Run with: `cargo run --release --example checkpoint`
 
+use mpfa::core::sync::Mutex;
 use mpfa::core::Request;
 use mpfa::mpi::{Proc, World, WorldConfig};
 use mpfa::offload::{
     device::{recv_to_device, send_from_device},
     CopyEngine, DeviceBuffer, DeviceConfig, Storage, StorageConfig,
 };
-use parking_lot::Mutex;
 use std::sync::Arc;
 
 const N: usize = 64 * 1024;
@@ -29,7 +29,10 @@ const N: usize = 64 * 1024;
 fn main() {
     let procs = World::init(WorldConfig::instant(2));
     let summaries: Vec<String> = std::thread::scope(|s| {
-        let handles: Vec<_> = procs.into_iter().map(|p| s.spawn(move || rank_main(p))).collect();
+        let handles: Vec<_> = procs
+            .into_iter()
+            .map(|p| s.spawn(move || rank_main(p)))
+            .collect();
         handles.into_iter().map(|h| h.join().unwrap()).collect()
     });
     for line in summaries {
@@ -73,7 +76,9 @@ fn rank_main(proc: Proc) -> String {
     engine.d2h(&incoming, 0..N, landing.clone()).wait();
     let received = landing.lock().clone();
     assert!(received.iter().all(|&b| b == peer as u8 + 1));
-    volume.iwrite(&format!("rank{rank}/halo"), 0, &received).wait();
+    volume
+        .iwrite(&format!("rank{rank}/halo"), 0, &received)
+        .wait();
 
     let stats = stream.stats();
     proc.finalize(1.0);

@@ -8,8 +8,8 @@
 //!
 //! Run with: `cargo run --release --example dummy_tasks`
 
+use mpfa::core::sync::Mutex;
 use mpfa::core::{stats::LatencyStats, wtime, AsyncPoll, CompletionCounter, Stream};
-use parking_lot::Mutex;
 use std::sync::Arc;
 
 const TASK_DURATION: f64 = 0.01; // 10 ms (the paper uses 1 s for demo)

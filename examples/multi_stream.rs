@@ -8,8 +8,8 @@
 //!
 //! Run with: `cargo run --release --example multi_stream`
 
+use mpfa::core::sync::Mutex;
 use mpfa::core::{stats::LatencyStats, wtime, AsyncPoll, CompletionCounter, Stream};
-use parking_lot::Mutex;
 use std::sync::Arc;
 
 const NUM_TASKS: usize = 10;
@@ -42,17 +42,23 @@ fn thread_fn(seed: u64) -> LatencyStats {
     while !counter.is_zero() {
         stream.progress();
     }
-    Arc::try_unwrap(stats).map(Mutex::into_inner).unwrap_or_default()
+    Arc::try_unwrap(stats)
+        .map(Mutex::into_inner)
+        .unwrap_or_default()
 }
 
 fn main() {
-    println!("per-thread streams, {} tasks each (Listing 1.5 / Figure 11):", NUM_TASKS);
+    println!(
+        "per-thread streams, {} tasks each (Listing 1.5 / Figure 11):",
+        NUM_TASKS
+    );
     println!("{:>8} {:>16}", "threads", "mean latency us");
     for num_threads in [1usize, 2, 4, 8, 10] {
         let mut all = LatencyStats::new();
         let per_thread: Vec<LatencyStats> = std::thread::scope(|s| {
-            let handles: Vec<_> =
-                (0..num_threads).map(|i| s.spawn(move || thread_fn(i as u64 + 1))).collect();
+            let handles: Vec<_> = (0..num_threads)
+                .map(|i| s.spawn(move || thread_fn(i as u64 + 1)))
+                .collect();
             handles.into_iter().map(|h| h.join().unwrap()).collect()
         });
         for st in &per_thread {

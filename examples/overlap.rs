@@ -33,11 +33,17 @@ enum Strategy {
 fn main() {
     let compute_units_total: u64 = 30_000_000;
 
-    println!("rendezvous overlap, {} MiB message, compute+transfer total (ms):", MSG_BYTES >> 20);
+    println!(
+        "rendezvous overlap, {} MiB message, compute+transfer total (ms):",
+        MSG_BYTES >> 20
+    );
     println!("(threaded ranks; on a single-core host the threads timeslice and the");
     println!(" overlap column is unreliable — `cargo run -p mpfa-bench --bin abl_overlap`");
     println!(" is the controlled version of this experiment)");
-    println!("{:>14} {:>12} {:>12} {:>12}", "strategy", "sender", "receiver", "overlap");
+    println!(
+        "{:>14} {:>12} {:>12} {:>12}",
+        "strategy", "sender", "receiver", "overlap"
+    );
     for (name, strategy) in [
         ("no-progress", Strategy::NoProgress),
         ("interspersed", Strategy::Interspersed),

@@ -28,7 +28,8 @@ fn rank_main(proc: mpfa::mpi::Proc) {
     let left = (rank - 1).rem_euclid(size);
     // Nonblocking receive first (expected path), then send.
     let recv = comm.irecv::<i64>(2, left, 7).unwrap();
-    comm.isend(&[rank as i64, rank as i64 * 10], right, 7).unwrap();
+    comm.isend(&[rank as i64, rank as i64 * 10], right, 7)
+        .unwrap();
     let (data, status) = recv.wait();
     assert_eq!(data, vec![left as i64, left as i64 * 10]);
     assert_eq!(status.source, left);
@@ -65,7 +66,10 @@ fn rank_main(proc: mpfa::mpi::Proc) {
     assert_eq!(total[0], (1..=size).sum::<i32>());
 
     if rank == 0 {
-        println!("rank 0: ring exchange, async task, rendezvous transfer, allreduce = {}", total[0]);
+        println!(
+            "rank 0: ring exchange, async task, rendezvous transfer, allreduce = {}",
+            total[0]
+        );
     }
     proc.finalize(1.0);
 }

@@ -21,13 +21,20 @@ fn main() {
     let ranks = 4;
     let procs = World::init(WorldConfig::instant_nodes(ranks, 2));
     let results: Vec<(f64, f64)> = std::thread::scope(|s| {
-        let handles: Vec<_> = procs.into_iter().map(|p| s.spawn(move || rank_main(p))).collect();
+        let handles: Vec<_> = procs
+            .into_iter()
+            .map(|p| s.spawn(move || rank_main(p)))
+            .collect();
         handles.into_iter().map(|h| h.join().unwrap()).collect()
     });
     let total: f64 = results.iter().map(|(_, checksum)| *checksum).sum();
     let elapsed = results.iter().map(|(t, _)| *t).fold(0.0, f64::max);
     println!("stencil: {ranks} ranks x {CELLS_PER_RANK} cells, {ITERS} iters");
-    println!("  max rank time: {:.3} ms, domain checksum {:.6}", elapsed * 1e3, total);
+    println!(
+        "  max rank time: {:.3} ms, domain checksum {:.6}",
+        elapsed * 1e3,
+        total
+    );
 }
 
 fn rank_main(proc: Proc) -> (f64, f64) {

@@ -18,13 +18,18 @@ const TAG_STOP: i32 = 3;
 /// The "expensive" computation: sum of squares below n (deliberately
 /// uneven cost per item).
 fn compute(n: u64) -> u64 {
-    (0..n * 1000).map(|i| i.wrapping_mul(i)).fold(0u64, u64::wrapping_add)
+    (0..n * 1000)
+        .map(|i| i.wrapping_mul(i))
+        .fold(0u64, u64::wrapping_add)
 }
 
 fn main() {
     let procs = World::init(WorldConfig::instant(4));
     let outputs: Vec<Option<(u64, Vec<usize>)>> = std::thread::scope(|s| {
-        let handles: Vec<_> = procs.into_iter().map(|p| s.spawn(move || rank_main(p))).collect();
+        let handles: Vec<_> = procs
+            .into_iter()
+            .map(|p| s.spawn(move || rank_main(p)))
+            .collect();
         handles.into_iter().map(|h| h.join().unwrap()).collect()
     });
     let (checksum, per_worker) = outputs[0].clone().expect("master output");

@@ -13,16 +13,19 @@
 //!
 //! Run with: `cargo run --release --example task_graph`
 
+use mpfa::core::sync::Mutex;
 use mpfa::core::{Request, Status};
 use mpfa::interop::TaskGraph;
 use mpfa::mpi::{Proc, World, WorldConfig};
-use parking_lot::Mutex;
 use std::sync::Arc;
 
 fn main() {
     let procs = World::init(WorldConfig::instant(2));
     let outputs: Vec<String> = std::thread::scope(|s| {
-        let handles: Vec<_> = procs.into_iter().map(|p| s.spawn(move || rank_main(p))).collect();
+        let handles: Vec<_> = procs
+            .into_iter()
+            .map(|p| s.spawn(move || rank_main(p)))
+            .collect();
         handles.into_iter().map(|h| h.join().unwrap()).collect()
     });
     for line in outputs {

@@ -16,11 +16,17 @@ fn main() {
     println!("(threaded ranks; on a single-core host this is dominated by");
     println!(" scheduler timeslicing — see `cargo run -p mpfa-bench --bin fig13`");
     println!(" for the software-overhead measurement that reproduces Figure 13)");
-    println!("{:>6} {:>14} {:>14} {:>8}", "ranks", "native (us)", "user (us)", "ratio");
+    println!(
+        "{:>6} {:>14} {:>14} {:>8}",
+        "ranks", "native (us)", "user (us)", "ratio"
+    );
     for p in [2usize, 4, 8] {
         let procs = World::init(WorldConfig::cluster(p));
         let results: Vec<(f64, f64)> = std::thread::scope(|s| {
-            let handles: Vec<_> = procs.into_iter().map(|pr| s.spawn(move || rank_main(pr))).collect();
+            let handles: Vec<_> = procs
+                .into_iter()
+                .map(|pr| s.spawn(move || rank_main(pr)))
+                .collect();
             handles.into_iter().map(|h| h.join().unwrap()).collect()
         });
         let (native, user) = results[0];

@@ -18,6 +18,9 @@
 //!   comparator APIs, an event loop.
 //! * [`baselines`] — the progress strategies the paper argues against:
 //!   global async-progress threads and request-polling loops.
+//! * [`obs`] — progress observability: event tracing (behind the `obs`
+//!   cargo feature), always-on counters, Chrome-trace export, and the
+//!   progress-stall doctor. See `docs/OBSERVABILITY.md`.
 //!
 //! See `README.md` for a tour and `EXPERIMENTS.md` for the figure-by-figure
 //! reproduction of the paper's evaluation.
@@ -27,4 +30,5 @@ pub use mpfa_core as core;
 pub use mpfa_fabric as fabric;
 pub use mpfa_interop as interop;
 pub use mpfa_mpi as mpi;
+pub use mpfa_obs as obs;
 pub use mpfa_offload as offload;

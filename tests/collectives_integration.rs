@@ -40,15 +40,17 @@ fn all_collectives_compose_in_one_program() {
         let rank = comm.rank();
 
         // bcast
-        let mut buf = if rank == 1 { vec![3i32, 1, 4] } else { Vec::new() };
+        let mut buf = if rank == 1 {
+            vec![3i32, 1, 4]
+        } else {
+            Vec::new()
+        };
         comm.bcast(&mut buf, 3, 1).unwrap();
         assert_eq!(buf, vec![3, 1, 4]);
 
         // gather -> scatter inverse property
         let gathered = comm.gather(&[rank * 2, rank * 2 + 1], 0).unwrap();
-        let scattered = comm
-            .scatter(gathered.as_deref(), 2, 0)
-            .unwrap();
+        let scattered = comm.scatter(gathered.as_deref(), 2, 0).unwrap();
         assert_eq!(scattered, vec![rank * 2, rank * 2 + 1]);
 
         // allgather
@@ -58,7 +60,10 @@ fn all_collectives_compose_in_one_program() {
         // alltoall (transpose)
         let data: Vec<i32> = (0..n as i32).map(|dst| rank * 10 + dst).collect();
         let transposed = comm.alltoall(&data, 1).unwrap();
-        assert_eq!(transposed, (0..n as i32).map(|src| src * 10 + rank).collect::<Vec<_>>());
+        assert_eq!(
+            transposed,
+            (0..n as i32).map(|src| src * 10 + rank).collect::<Vec<_>>()
+        );
 
         // reduce (max)
         let m = comm.reduce(&[rank], Op::Max, 2).unwrap();

@@ -16,6 +16,54 @@ pub fn run_ranks<R: Send>(cfg: WorldConfig, f: impl Fn(Proc) -> R + Send + Sync)
     })
 }
 
+/// Small deterministic PRNG (splitmix64) for randomized-case tests.
+///
+/// The property tests iterate a fixed number of seeded cases, so failures
+/// reproduce exactly: re-run with the printed seed.
+pub struct Rng(u64);
+
+impl Rng {
+    pub fn new(seed: u64) -> Rng {
+        Rng(seed.wrapping_add(0x9e37_79b9_7f4a_7c15))
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[lo, hi)`.
+    pub fn usize_in(&mut self, lo: usize, hi: usize) -> usize {
+        assert!(lo < hi);
+        lo + (self.next_u64() as usize) % (hi - lo)
+    }
+
+    /// Uniform in `[lo, hi)`.
+    pub fn i64_in(&mut self, lo: i64, hi: i64) -> i64 {
+        assert!(lo < hi);
+        lo + (self.next_u64() % (hi - lo) as u64) as i64
+    }
+
+    /// Uniform in `[lo, hi)`.
+    pub fn i32_in(&mut self, lo: i32, hi: i32) -> i32 {
+        self.i64_in(lo as i64, hi as i64) as i32
+    }
+
+    /// A vec of `len` values of `f(self)`.
+    pub fn vec_with<T>(&mut self, len: usize, mut f: impl FnMut(&mut Rng) -> T) -> Vec<T> {
+        (0..len).map(|_| f(self)).collect()
+    }
+
+    /// A vec of random length in `[lo, hi)` filled with `f(self)`.
+    pub fn vec_in<T>(&mut self, lo: usize, hi: usize, f: impl FnMut(&mut Rng) -> T) -> Vec<T> {
+        let len = self.usize_in(lo, hi);
+        self.vec_with(len, f)
+    }
+}
+
 /// Cooperative (single-thread) world: all ranks progressed round-robin.
 /// Use only nonblocking operations through this.
 pub struct Coop {
@@ -24,7 +72,9 @@ pub struct Coop {
 
 impl Coop {
     pub fn new(cfg: WorldConfig) -> Coop {
-        Coop { procs: World::init(cfg) }
+        Coop {
+            procs: World::init(cfg),
+        }
     }
 
     pub fn comms(&self) -> Vec<Comm> {

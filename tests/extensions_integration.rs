@@ -4,11 +4,11 @@
 mod common;
 
 use common::run_ranks;
+use mpfa::core::sync::Mutex;
 use mpfa::core::{
     grequest_start, wtime, AsyncPoll, CompletionCounter, GrequestOps, Status, Stream,
 };
 use mpfa::mpi::WorldConfig;
-use parking_lot::Mutex;
 use std::sync::Arc;
 
 #[test]
@@ -98,7 +98,12 @@ fn listing_1_7_grequest_wrapping_real_transfer() {
         impl GrequestOps for CountingOps {
             fn query(&mut self) -> Status {
                 *self.0.lock() += 1;
-                Status { source: -1, tag: -1, bytes: 64, cancelled: false }
+                Status {
+                    source: -1,
+                    tag: -1,
+                    bytes: 64,
+                    cancelled: false,
+                }
             }
         }
         let queries = Arc::new(Mutex::new(0));
@@ -111,24 +116,22 @@ fn listing_1_7_grequest_wrapping_real_transfer() {
         let mut stage = 0;
         let mut r2: Option<mpfa::mpi::RecvRequest<u8>> = None;
         let mut greq = Some(greq);
-        stream.async_start(move |_t| {
-            match stage {
-                0 => {
-                    if !r1.is_complete() {
-                        return AsyncPoll::Pending;
-                    }
-                    comm2.isend(&[2u8; 32], peer, 2).unwrap();
-                    r2 = Some(comm2.irecv::<u8>(32, peer, 2).unwrap());
-                    stage = 1;
-                    AsyncPoll::Progress
+        stream.async_start(move |_t| match stage {
+            0 => {
+                if !r1.is_complete() {
+                    return AsyncPoll::Pending;
                 }
-                _ => {
-                    if !r2.as_ref().expect("stage 1").is_complete() {
-                        return AsyncPoll::Pending;
-                    }
-                    greq.take().expect("once").complete();
-                    AsyncPoll::Done
+                comm2.isend(&[2u8; 32], peer, 2).unwrap();
+                r2 = Some(comm2.irecv::<u8>(32, peer, 2).unwrap());
+                stage = 1;
+                AsyncPoll::Progress
+            }
+            _ => {
+                if !r2.as_ref().expect("stage 1").is_complete() {
+                    return AsyncPoll::Pending;
                 }
+                greq.take().expect("once").complete();
+                AsyncPoll::Done
             }
         });
 

@@ -4,7 +4,7 @@ mod common;
 
 use common::run_ranks;
 use mpfa::core::{AsyncPoll, Request, Stream};
-use mpfa::mpi::{WorldConfig};
+use mpfa::mpi::WorldConfig;
 
 #[test]
 fn panicking_poll_poisons_only_its_task() {
@@ -147,7 +147,10 @@ fn zero_sized_world_operations() {
         let (data, _) = r.wait();
         assert_eq!(data, vec![4, 2]);
         comm.barrier().unwrap();
-        assert_eq!(comm.allreduce(&[7i32], mpfa::mpi::Op::Sum).unwrap(), vec![7]);
+        assert_eq!(
+            comm.allreduce(&[7i32], mpfa::mpi::Op::Sum).unwrap(),
+            vec![7]
+        );
         assert_eq!(comm.allgather(&[1u8]).unwrap(), vec![1]);
         true
     });

@@ -13,7 +13,11 @@ use mpfa::mpi::{Op, WorldConfig};
 
 #[test]
 fn user_allreduce_equals_native_on_various_configs() {
-    for cfg in [WorldConfig::instant(4), WorldConfig::cluster(8), WorldConfig::single_node(2)] {
+    for cfg in [
+        WorldConfig::instant(4),
+        WorldConfig::cluster(8),
+        WorldConfig::single_node(2),
+    ] {
         let results = run_ranks(cfg, |proc| {
             let comm = proc.world_comm();
             let data: Vec<i32> = (0..16).map(|i| i * (proc.rank() as i32 + 2)).collect();
@@ -161,7 +165,11 @@ fn vector_datatype_ops_through_engine() {
     use mpfa::mpi::Layout;
     let results = run_ranks(WorldConfig::instant(2), |proc| {
         let comm = proc.world_comm();
-        let layout = Layout::Vector { count: 50, blocklen: 3, stride: 5 };
+        let layout = Layout::Vector {
+            count: 50,
+            blocklen: 3,
+            stride: 5,
+        };
         if comm.rank() == 0 {
             let data: Vec<i32> = (0..250).collect();
             comm.isend_vector(&data, layout, 1, 1).unwrap().wait();
@@ -174,13 +182,21 @@ fn vector_datatype_ops_through_engine() {
     let original: Vec<i32> = (0..250).collect();
     let packed = {
         use mpfa::mpi::datatype::Layout as L;
-        let l = L::Vector { count: 50, blocklen: 3, stride: 5 };
+        let l = L::Vector {
+            count: 50,
+            blocklen: 3,
+            stride: 5,
+        };
         l.pack(&original)
     };
     let mut expect = vec![0i32; 248]; // extent = 49*5 + 3
     {
         use mpfa::mpi::datatype::Layout as L;
-        let l = L::Vector { count: 50, blocklen: 3, stride: 5 };
+        let l = L::Vector {
+            count: 50,
+            blocklen: 3,
+            stride: 5,
+        };
         l.unpack(&packed, &mut expect);
     }
     assert_eq!(results[1], expect);

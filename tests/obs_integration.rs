@@ -1,0 +1,186 @@
+//! End-to-end observability tests: real runtime activity recorded through
+//! the `obs` event layer, exported as a Chrome trace, and analyzed by the
+//! progress doctor. Compiled only with `--features obs` (without it there
+//! are no events to observe).
+#![cfg(feature = "obs")]
+
+use mpfa::core::{AsyncPoll, Stream};
+use mpfa::mpi::{World, WorldConfig};
+use mpfa::obs::{diagnose, DoctorConfig, EventKind};
+
+mod common;
+use common::Coop;
+
+/// Events recorded on this thread for the given stream ids.
+fn events_for(streams: &[u64]) -> Vec<mpfa::obs::Event> {
+    mpfa::obs::snapshot_all()
+        .iter()
+        .flat_map(|s| s.events.iter().cloned())
+        .filter(|e| match e.kind {
+            EventKind::HookRegistered { stream, .. }
+            | EventKind::HookPoll { stream, .. }
+            | EventKind::StreamProgress { stream, .. }
+            | EventKind::TaskStart { stream, .. }
+            | EventKind::TaskPoll { stream, .. }
+            | EventKind::RequestComplete { stream, .. } => streams.contains(&stream),
+            _ => false,
+        })
+        .collect()
+}
+
+fn snap_of(events: Vec<mpfa::obs::Event>) -> mpfa::obs::ThreadSnapshot {
+    mpfa::obs::ThreadSnapshot {
+        label: "test".into(),
+        pushed: events.len() as u64,
+        dropped: 0,
+        events,
+    }
+}
+
+#[test]
+fn doctor_flags_deliberate_no_poller_stall() {
+    // A task started on a stream that nobody ever progresses: the classic
+    // "progress for all" user error the doctor exists to catch.
+    let stalled = Stream::create();
+    stalled.async_start(|_t| AsyncPoll::Pending);
+    // Note: NO progress() call on `stalled`.
+
+    let events = events_for(&[stalled.id().raw()]);
+    let report = diagnose(&[snap_of(events)], &DoctorConfig::default());
+    assert!(!report.healthy(), "expected a finding, got: {report}");
+    let crit = report.criticals().next().expect("a critical finding");
+    assert!(
+        crit.title.contains("no poller"),
+        "wrong finding: {}",
+        crit.title
+    );
+    assert!(crit.advice.contains("MPIX_Stream_progress"));
+}
+
+#[test]
+fn doctor_is_healthy_for_progressed_stream() {
+    let s = Stream::create();
+    let mut polls = 0;
+    s.async_start(move |_t| {
+        polls += 1;
+        if polls >= 3 {
+            AsyncPoll::Done
+        } else {
+            AsyncPoll::Pending
+        }
+    });
+    assert!(s.drain(1.0));
+
+    let events = events_for(&[s.id().raw()]);
+    let report = diagnose(&[snap_of(events)], &DoctorConfig::default());
+    assert!(report.healthy(), "unexpected findings: {report}");
+    // The sweeps and the task lifecycle were all recorded.
+    assert!(events_for(&[s.id().raw()])
+        .iter()
+        .any(|e| matches!(e.kind, EventKind::StreamProgress { .. })));
+    assert!(events_for(&[s.id().raw()]).iter().any(|e| matches!(
+        e.kind,
+        EventKind::TaskPoll {
+            verdict: mpfa::obs::TaskVerdict::Done,
+            ..
+        }
+    )));
+}
+
+#[test]
+fn mpi_traffic_records_protocol_events_and_valid_trace() {
+    // Drive a real 2-rank exchange (eager + rendezvous) and check the
+    // protocol transitions show up and export as balanced Chrome JSON.
+    let w = Coop::new(WorldConfig::instant(2));
+    let comms = w.comms();
+    let small = comms[0].isend(&[1i32, 2, 3], 1, 7).unwrap();
+    let r_small = comms[1].irecv::<i32>(3, 0, 7).unwrap();
+    let big_payload = vec![7u8; 512 * 1024];
+    let big = comms[0].isend(&big_payload, 1, 8).unwrap();
+    let r_big = comms[1].irecv::<u8>(512 * 1024, 0, 8).unwrap();
+    w.drive(
+        || small.is_complete() && r_small.is_complete() && big.is_complete() && r_big.is_complete(),
+        10_000_000,
+    );
+
+    let snaps = mpfa::obs::snapshot_all();
+    let all: Vec<_> = snaps.iter().flat_map(|s| s.events.iter()).collect();
+    assert!(
+        all.iter()
+            .any(|e| matches!(e.kind, EventKind::FabricTx { .. })),
+        "no fabric TX events recorded"
+    );
+    assert!(
+        all.iter()
+            .any(|e| matches!(e.kind, EventKind::RndvRts { .. })),
+        "no rendezvous RTS recorded for a 512KiB send"
+    );
+    assert!(
+        all.iter()
+            .any(|e| matches!(e.kind, EventKind::RndvDone { sender: true, .. })),
+        "rendezvous never completed on the sender side"
+    );
+
+    // The exported trace must parse as one JSON object with traceEvents.
+    let json = mpfa::obs::trace::chrome_trace_json(&snaps);
+    assert!(json.starts_with('{') && json.trim_end().ends_with('}'));
+    assert!(json.contains("\"traceEvents\""));
+    let mut depth = 0i64;
+    let mut in_str = false;
+    let mut esc = false;
+    for c in json.chars() {
+        if esc {
+            esc = false;
+            continue;
+        }
+        match c {
+            '\\' if in_str => esc = true,
+            '"' => in_str = !in_str,
+            '{' | '[' if !in_str => depth += 1,
+            '}' | ']' if !in_str => depth -= 1,
+            _ => {}
+        }
+        assert!(depth >= 0, "unbalanced JSON");
+    }
+    assert_eq!(depth, 0, "unbalanced JSON");
+    assert!(!in_str, "unterminated string");
+}
+
+#[test]
+fn global_counters_track_real_traffic() {
+    let before = mpfa::obs::global_counters().snapshot();
+    let w = Coop::new(WorldConfig::instant(2));
+    let comms = w.comms();
+    let s = comms[0].isend(&[42i64], 1, 1).unwrap();
+    let r = comms[1].irecv::<i64>(1, 0, 1).unwrap();
+    w.drive(|| s.is_complete() && r.is_complete(), 10_000_000);
+    drop(w);
+    let after = mpfa::obs::global_counters().snapshot();
+    assert!(after.sweeps > before.sweeps, "no sweeps counted");
+    assert!(
+        after.msgs_total() > before.msgs_total(),
+        "no packets counted"
+    );
+    assert!(
+        after.request_completions > before.request_completions,
+        "no request completions counted"
+    );
+}
+
+#[test]
+fn world_streams_register_named_hooks() {
+    let procs = World::init(WorldConfig::instant(1));
+    let sid = procs[0].default_stream().id().raw();
+    let events = events_for(&[sid]);
+    let registered: Vec<String> = events
+        .iter()
+        .filter_map(|e| match e.kind {
+            EventKind::HookRegistered { name, .. } => Some(name.resolve()),
+            _ => None,
+        })
+        .collect();
+    assert!(
+        !registered.is_empty(),
+        "world construction should register progress hooks"
+    );
+}

@@ -4,13 +4,13 @@
 mod common;
 
 use common::run_ranks;
+use mpfa::core::sync::Mutex;
 use mpfa::core::Request;
 use mpfa::mpi::{Op, WorldConfig};
 use mpfa::offload::{
     device::{recv_to_device, send_from_device},
     CopyEngine, DeviceBuffer, DeviceConfig, Storage, StorageConfig,
 };
-use parking_lot::Mutex;
 use std::sync::Arc;
 
 #[test]
@@ -49,7 +49,9 @@ fn checkpoint_restart_roundtrip() {
         let volume = Storage::register(comm.stream(), StorageConfig::instant());
         let rank = comm.rank();
 
-        let data: Vec<u8> = (0..256).map(|i| (i as u8).wrapping_mul(rank as u8 + 1)).collect();
+        let data: Vec<u8> = (0..256)
+            .map(|i| (i as u8).wrapping_mul(rank as u8 + 1))
+            .collect();
         volume.iwrite("ckpt", 0, &data).wait();
 
         // Restart: read back asynchronously, overlapped with a barrier.
@@ -65,7 +67,11 @@ fn checkpoint_restart_roundtrip() {
         comm.allreduce(&[local_sum], Op::Sum).unwrap()[0]
     });
     let expect: i64 = (0..4i64)
-        .map(|r| (0..256).map(|i| ((i as u8).wrapping_mul(r as u8 + 1)) as i64).sum::<i64>())
+        .map(|r| {
+            (0..256)
+                .map(|i| ((i as u8).wrapping_mul(r as u8 + 1)) as i64)
+                .sum::<i64>()
+        })
         .sum();
     for v in results {
         assert_eq!(v, expect);

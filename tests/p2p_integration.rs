@@ -173,7 +173,11 @@ fn coop_bidirectional_flood() {
     w.drive(|| recvs.iter().all(|(_, r)| r.is_complete()), 1_000_000);
     for (owner, r) in recvs {
         let (data, status) = r.take();
-        let expect = if owner == 0 { status.tag as u32 + 1000 } else { status.tag as u32 };
+        let expect = if owner == 0 {
+            status.tag as u32 + 1000
+        } else {
+            status.tag as u32
+        };
         assert_eq!(data, vec![expect; 16]);
     }
 }

@@ -1,31 +1,29 @@
-//! Property-based tests: collectives (native and user-level) against
+//! Randomized-property tests: collectives (native and user-level) against
 //! serial references, for arbitrary payloads and rank counts, on the
-//! cooperative driver (deterministic on any host).
+//! cooperative driver (deterministic on any host). Cases are generated
+//! from fixed seeds (see `common::Rng`).
 
 mod common;
 
-use common::Coop;
+use common::{Coop, Rng};
 use mpfa::interop::user_coll::my_iallreduce;
 use mpfa::mpi::{Op, WorldConfig};
-use proptest::prelude::*;
 
 const MAX_SWEEPS: u64 = 10_000_000;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
+#[test]
+fn allreduce_sum_matches_serial() {
+    for seed in 0..24u64 {
+        let mut rng = Rng::new(seed);
+        let ranks = rng.usize_in(1, 9);
+        let data = rng.vec_in(1, 20, |r| r.i64_in(-1000, 1000));
 
-    #[test]
-    fn allreduce_sum_matches_serial(
-        ranks in 1usize..9,
-        data in proptest::collection::vec(-1000i64..1000, 1..20),
-    ) {
         let w = Coop::new(WorldConfig::instant(ranks));
         let comms = w.comms();
         let futs: Vec<_> = comms
             .iter()
             .map(|c| {
-                let mine: Vec<i64> =
-                    data.iter().map(|v| v * (c.rank() as i64 + 1)).collect();
+                let mine: Vec<i64> = data.iter().map(|v| v * (c.rank() as i64 + 1)).collect();
                 c.iallreduce(&mine, Op::Sum).unwrap()
             })
             .collect();
@@ -33,15 +31,18 @@ proptest! {
         let factor: i64 = (1..=ranks as i64).sum();
         let expect: Vec<i64> = data.iter().map(|v| v * factor).collect();
         for f in futs {
-            prop_assert_eq!(f.take(), expect.clone());
+            assert_eq!(f.take(), expect.clone(), "seed {seed}");
         }
     }
+}
 
-    #[test]
-    fn allreduce_min_max_match_serial(
-        ranks in 1usize..7,
-        base in proptest::collection::vec(any::<i32>(), 1..10),
-    ) {
+#[test]
+fn allreduce_min_max_match_serial() {
+    for seed in 0..24u64 {
+        let mut rng = Rng::new(seed);
+        let ranks = rng.usize_in(1, 7);
+        let base = rng.vec_in(1, 10, |r| r.next_u64() as i32);
+
         let w = Coop::new(WorldConfig::instant(ranks));
         let comms = w.comms();
         // Rank r's value at index i: base[i] rotated by r.
@@ -49,8 +50,9 @@ proptest! {
         let maxs: Vec<_> = comms
             .iter()
             .map(|c| {
-                let mine: Vec<i32> =
-                    (0..base.len()).map(|i| value(c.rank() as usize, i)).collect();
+                let mine: Vec<i32> = (0..base.len())
+                    .map(|i| value(c.rank() as usize, i))
+                    .collect();
                 c.iallreduce(&mine, Op::Max).unwrap()
             })
             .collect();
@@ -59,17 +61,19 @@ proptest! {
             let got = f.take();
             for (i, v) in got.iter().enumerate() {
                 let expect = (0..ranks).map(|r| value(r, i)).max().unwrap();
-                prop_assert_eq!(*v, expect);
+                assert_eq!(*v, expect, "seed {seed}");
             }
         }
     }
+}
 
-    #[test]
-    fn user_allreduce_equals_native_allreduce(
-        log_ranks in 0u32..4,
-        data in proptest::collection::vec(-10_000i32..10_000, 1..16),
-    ) {
-        let ranks = 1usize << log_ranks;
+#[test]
+fn user_allreduce_equals_native_allreduce() {
+    for seed in 0..24u64 {
+        let mut rng = Rng::new(seed);
+        let ranks = 1usize << rng.usize_in(0, 4);
+        let data = rng.vec_in(1, 16, |r| r.i32_in(-10_000, 10_000));
+
         let w = Coop::new(WorldConfig::instant(ranks));
         let comms = w.comms();
 
@@ -92,22 +96,26 @@ proptest! {
             .collect();
         w.drive(|| user.iter().all(|f| f.is_complete()), MAX_SWEEPS);
         for (n, u) in native.into_iter().zip(user) {
-            prop_assert_eq!(n, u.take());
+            assert_eq!(n, u.take(), "seed {seed}");
         }
     }
+}
 
-    #[test]
-    fn allgather_concatenates_in_rank_order(
-        ranks in 1usize..7,
-        block in 0usize..8,
-    ) {
+#[test]
+fn allgather_concatenates_in_rank_order() {
+    for seed in 0..24u64 {
+        let mut rng = Rng::new(seed);
+        let ranks = rng.usize_in(1, 7);
+        let block = rng.usize_in(0, 8);
+
         let w = Coop::new(WorldConfig::instant(ranks));
         let comms = w.comms();
         let futs: Vec<_> = comms
             .iter()
             .map(|c| {
-                let mine: Vec<u32> =
-                    (0..block).map(|i| (c.rank() as u32) * 1000 + i as u32).collect();
+                let mine: Vec<u32> = (0..block)
+                    .map(|i| (c.rank() as u32) * 1000 + i as u32)
+                    .collect();
                 c.iallgather(&mine).unwrap()
             })
             .collect();
@@ -119,12 +127,18 @@ proptest! {
             }
         }
         for f in futs {
-            prop_assert_eq!(f.take(), expect.clone());
+            assert_eq!(f.take(), expect.clone(), "seed {seed}");
         }
     }
+}
 
-    #[test]
-    fn alltoall_is_a_transpose(ranks in 1usize..6, count in 1usize..4) {
+#[test]
+fn alltoall_is_a_transpose() {
+    for seed in 0..24u64 {
+        let mut rng = Rng::new(seed);
+        let ranks = rng.usize_in(1, 6);
+        let count = rng.usize_in(1, 4);
+
         let w = Coop::new(WorldConfig::instant(ranks));
         let comms = w.comms();
         let futs: Vec<_> = comms
@@ -142,19 +156,21 @@ proptest! {
             for src in 0..ranks {
                 for k in 0..count {
                     let expect = (src * 10_000 + dst * count + k) as i32;
-                    prop_assert_eq!(got[src * count + k], expect);
+                    assert_eq!(got[src * count + k], expect, "seed {seed}");
                 }
             }
         }
     }
+}
 
-    #[test]
-    fn bcast_delivers_root_payload(
-        ranks in 1usize..7,
-        root_choice in any::<usize>(),
-        data in proptest::collection::vec(any::<i16>(), 0..12),
-    ) {
-        let root = (root_choice % ranks) as i32;
+#[test]
+fn bcast_delivers_root_payload() {
+    for seed in 0..24u64 {
+        let mut rng = Rng::new(seed);
+        let ranks = rng.usize_in(1, 7);
+        let root = (rng.next_u64() as usize % ranks) as i32;
+        let data = rng.vec_in(0, 12, |r| r.next_u64() as i16);
+
         let w = Coop::new(WorldConfig::instant(ranks));
         let comms = w.comms();
         let futs: Vec<_> = comms
@@ -169,7 +185,7 @@ proptest! {
             .collect();
         w.drive(|| futs.iter().all(|f| f.is_complete()), MAX_SWEEPS);
         for f in futs {
-            prop_assert_eq!(f.take(), data.clone());
+            assert_eq!(f.take(), data.clone(), "seed {seed}");
         }
     }
 }

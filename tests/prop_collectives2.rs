@@ -1,32 +1,32 @@
-//! Property-based tests for the second wave of collectives: scans,
+//! Randomized-property tests for the second wave of collectives: scans,
 //! reduce-scatter, ring allreduce, scatter-allgather bcast, and the
 //! variable-count family — all against serial references on the
-//! cooperative driver.
+//! cooperative driver. Cases are generated from fixed seeds (see
+//! `common::Rng`).
 
 mod common;
 
-use common::Coop;
+use common::{Coop, Rng};
 use mpfa::mpi::{Op, WorldConfig};
-use proptest::prelude::*;
 
 const MAX_SWEEPS: u64 = 10_000_000;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(20))]
+#[test]
+fn scan_matches_prefix_sums() {
+    for seed in 0..20u64 {
+        let mut rng = Rng::new(seed);
+        let ranks = rng.usize_in(1, 8);
+        let data = rng.vec_in(1, 8, |r| r.i64_in(-100, 100));
 
-    #[test]
-    fn scan_matches_prefix_sums(
-        ranks in 1usize..8,
-        data in proptest::collection::vec(-100i64..100, 1..8),
-    ) {
         let w = Coop::new(WorldConfig::instant(ranks));
         let comms = w.comms();
         let value = |r: usize, i: usize| data[i].wrapping_mul(r as i64 + 1);
         let futs: Vec<_> = comms
             .iter()
             .map(|c| {
-                let mine: Vec<i64> =
-                    (0..data.len()).map(|i| value(c.rank() as usize, i)).collect();
+                let mine: Vec<i64> = (0..data.len())
+                    .map(|i| value(c.rank() as usize, i))
+                    .collect();
                 c.iscan(&mine, Op::Sum).unwrap()
             })
             .collect();
@@ -35,16 +35,19 @@ proptest! {
             let got = f.take();
             for (i, v) in got.iter().enumerate() {
                 let expect: i64 = (0..=r).map(|rr| value(rr, i)).sum();
-                prop_assert_eq!(*v, expect, "rank {} index {}", r, i);
+                assert_eq!(*v, expect, "rank {r} index {i} (seed {seed})");
             }
         }
     }
+}
 
-    #[test]
-    fn exscan_excludes_self(
-        ranks in 2usize..8,
-        seed in -50i32..50,
-    ) {
+#[test]
+fn exscan_excludes_self() {
+    for case in 0..20u64 {
+        let mut rng = Rng::new(case);
+        let ranks = rng.usize_in(2, 8);
+        let seed = rng.i32_in(-50, 50);
+
         let w = Coop::new(WorldConfig::instant(ranks));
         let comms = w.comms();
         let futs: Vec<_> = comms
@@ -55,30 +58,36 @@ proptest! {
         for (r, f) in futs.into_iter().enumerate() {
             let got = f.take();
             if r == 0 {
-                prop_assert!(got.is_empty());
+                assert!(got.is_empty(), "case {case}");
             } else {
                 let expect: i32 = (0..r as i32).map(|rr| seed + rr).sum();
-                prop_assert_eq!(got, vec![expect]);
+                assert_eq!(got, vec![expect], "case {case}");
             }
         }
     }
+}
 
-    #[test]
-    fn reduce_scatter_equals_allreduce_block(
-        ranks in 1usize..7,
-        count in 1usize..5,
-        seed in any::<i32>(),
-    ) {
+#[test]
+fn reduce_scatter_equals_allreduce_block() {
+    for case in 0..20u64 {
+        let mut rng = Rng::new(case);
+        let ranks = rng.usize_in(1, 7);
+        let count = rng.usize_in(1, 5);
+        let seed = rng.next_u64() as i32;
+
         let w = Coop::new(WorldConfig::instant(ranks));
         let comms = w.comms();
         let value = |r: usize, i: usize| {
-            (seed as i64).wrapping_add((r as i64) << 16).wrapping_add(i as i64)
+            (seed as i64)
+                .wrapping_add((r as i64) << 16)
+                .wrapping_add(i as i64)
         };
         let rs: Vec<_> = comms
             .iter()
             .map(|c| {
-                let mine: Vec<i64> =
-                    (0..ranks * count).map(|i| value(c.rank() as usize, i)).collect();
+                let mine: Vec<i64> = (0..ranks * count)
+                    .map(|i| value(c.rank() as usize, i))
+                    .collect();
                 c.ireduce_scatter_block(&mine, count, Op::Sum).unwrap()
             })
             .collect();
@@ -88,16 +97,19 @@ proptest! {
             for (k, g) in got.iter().enumerate() {
                 let i = r * count + k;
                 let expect: i64 = (0..ranks).map(|rr| value(rr, i)).sum();
-                prop_assert_eq!(*g, expect, "rank {} block elem {}", r, k);
+                assert_eq!(*g, expect, "rank {r} block elem {k} (case {case})");
             }
         }
     }
+}
 
-    #[test]
-    fn ring_allreduce_equals_rd(
-        ranks in 2usize..7,
-        data in proptest::collection::vec(-1000i32..1000, 1..30),
-    ) {
+#[test]
+fn ring_allreduce_equals_rd() {
+    for seed in 0..20u64 {
+        let mut rng = Rng::new(seed);
+        let ranks = rng.usize_in(2, 7);
+        let data = rng.vec_in(1, 30, |r| r.i32_in(-1000, 1000));
+
         let w = Coop::new(WorldConfig::instant(ranks));
         let comms = w.comms();
         let mine = |r: usize| -> Vec<i32> { data.iter().map(|v| v ^ (r as i32)).collect() };
@@ -111,21 +123,26 @@ proptest! {
 
         let ring: Vec<_> = comms
             .iter()
-            .map(|c| c.iallreduce_ring(&mine(c.rank() as usize), Op::Sum).unwrap())
+            .map(|c| {
+                c.iallreduce_ring(&mine(c.rank() as usize), Op::Sum)
+                    .unwrap()
+            })
             .collect();
         w.drive(|| ring.iter().all(|f| f.is_complete()), MAX_SWEEPS);
         for (a, b) in rd.into_iter().zip(ring) {
-            prop_assert_eq!(a, b.take());
+            assert_eq!(a, b.take(), "seed {seed}");
         }
     }
+}
 
-    #[test]
-    fn sag_bcast_equals_binomial(
-        ranks in 2usize..7,
-        count in 1usize..40,
-        root_pick in any::<usize>(),
-    ) {
-        let root = (root_pick % ranks) as i32;
+#[test]
+fn sag_bcast_equals_binomial() {
+    for case in 0..20u64 {
+        let mut rng = Rng::new(case);
+        let ranks = rng.usize_in(2, 7);
+        let count = rng.usize_in(1, 40);
+        let root = (rng.next_u64() as usize % ranks) as i32;
+
         let payload: Vec<i32> = (0..count as i32).map(|i| i.wrapping_mul(37)).collect();
         let w = Coop::new(WorldConfig::instant(ranks));
         let comms = w.comms();
@@ -141,25 +158,32 @@ proptest! {
             .collect();
         w.drive(|| futs.iter().all(|f| f.is_complete()), MAX_SWEEPS);
         for f in futs {
-            prop_assert_eq!(f.take(), payload.clone());
+            assert_eq!(f.take(), payload.clone(), "case {case}");
         }
     }
+}
 
-    #[test]
-    fn gatherv_scatterv_are_inverses(
-        ranks in 1usize..6,
-        counts_seed in proptest::collection::vec(0usize..5, 1..6),
-    ) {
+#[test]
+fn gatherv_scatterv_are_inverses() {
+    for case in 0..20u64 {
+        let mut rng = Rng::new(case);
+        let ranks = rng.usize_in(1, 6);
+        let counts_seed = rng.vec_in(1, 6, |r| r.usize_in(0, 5));
+
         let w = Coop::new(WorldConfig::instant(ranks));
         let comms = w.comms();
-        let counts: Vec<usize> = (0..ranks).map(|r| counts_seed[r % counts_seed.len()]).collect();
+        let counts: Vec<usize> = (0..ranks)
+            .map(|r| counts_seed[r % counts_seed.len()])
+            .collect();
 
         // gatherv to rank 0…
         let g: Vec<_> = comms
             .iter()
             .map(|c| {
                 let r = c.rank() as usize;
-                let mine: Vec<i32> = (0..counts[r] as i32).map(|i| (r as i32) * 100 + i).collect();
+                let mine: Vec<i32> = (0..counts[r] as i32)
+                    .map(|i| (r as i32) * 100 + i)
+                    .collect();
                 c.igatherv(&mine, &counts, 0).unwrap()
             })
             .collect();
@@ -167,7 +191,7 @@ proptest! {
         let gathered = g.into_iter().map(|f| f.take()).collect::<Vec<_>>();
         let root_view = gathered[0].clone();
         let total: usize = counts.iter().sum();
-        prop_assert_eq!(root_view.len(), total);
+        assert_eq!(root_view.len(), total, "case {case}");
 
         // …then scatterv back: each rank recovers its original block.
         let s: Vec<_> = comms
@@ -183,8 +207,10 @@ proptest! {
         w.drive(|| s.iter().all(|f| f.is_complete()), MAX_SWEEPS);
         for (r, f) in s.into_iter().enumerate() {
             let got = f.take();
-            let expect: Vec<i32> = (0..counts[r] as i32).map(|i| (r as i32) * 100 + i).collect();
-            prop_assert_eq!(got, expect, "rank {}", r);
+            let expect: Vec<i32> = (0..counts[r] as i32)
+                .map(|i| (r as i32) * 100 + i)
+                .collect();
+            assert_eq!(got, expect, "rank {r} (case {case})");
         }
     }
 }

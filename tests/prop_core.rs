@@ -1,12 +1,15 @@
-//! Property-based tests of the core progress engine: for arbitrary
+//! Randomized-property tests of the core progress engine: for arbitrary
 //! mixtures of task behaviors, the engine must drain, account, and
-//! isolate correctly.
+//! isolate correctly. Cases are generated from fixed seeds (see
+//! `common::Rng`) so every run is deterministic.
 
+mod common;
+
+use common::Rng;
 use mpfa::core::{AsyncPoll, CompletionCounter, Stream};
-use proptest::prelude::*;
 
 /// A task's scripted behavior.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Copy)]
 enum Behavior {
     /// Complete after `polls` pending polls.
     CompleteAfter { polls: u8 },
@@ -18,20 +21,29 @@ enum Behavior {
     SpawnThenDone { children: u8 },
 }
 
-fn behavior_strategy() -> impl Strategy<Value = Behavior> {
-    prop_oneof![
-        (0u8..8).prop_map(|polls| Behavior::CompleteAfter { polls }),
-        (0u8..5).prop_map(|progresses| Behavior::ProgressThenDone { progresses }),
-        (0u8..4).prop_map(|at| Behavior::PanicAt { at }),
-        (0u8..6).prop_map(|children| Behavior::SpawnThenDone { children }),
-    ]
+fn random_behavior(rng: &mut Rng) -> Behavior {
+    match rng.usize_in(0, 4) {
+        0 => Behavior::CompleteAfter {
+            polls: rng.usize_in(0, 8) as u8,
+        },
+        1 => Behavior::ProgressThenDone {
+            progresses: rng.usize_in(0, 5) as u8,
+        },
+        2 => Behavior::PanicAt {
+            at: rng.usize_in(0, 4) as u8,
+        },
+        _ => Behavior::SpawnThenDone {
+            children: rng.usize_in(0, 6) as u8,
+        },
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+#[test]
+fn engine_drains_any_task_mixture() {
+    for seed in 0..64u64 {
+        let mut rng = Rng::new(seed);
+        let behaviors = rng.vec_in(0, 40, random_behavior);
 
-    #[test]
-    fn engine_drains_any_task_mixture(behaviors in proptest::collection::vec(behavior_strategy(), 0..40)) {
         let stream = Stream::create();
         let completions = CompletionCounter::new(0);
         let mut expected_completions = 0usize;
@@ -99,19 +111,25 @@ proptest! {
             }
         }
 
-        prop_assert!(stream.drain(10.0), "engine failed to drain");
-        prop_assert_eq!(stream.pending_tasks(), 0);
-        prop_assert_eq!(completions.remaining(), 0);
-        prop_assert_eq!(stream.poisoned_tasks(), expected_poisoned);
+        assert!(stream.drain(10.0), "engine failed to drain (seed {seed})");
+        assert_eq!(stream.pending_tasks(), 0, "seed {seed}");
+        assert_eq!(completions.remaining(), 0, "seed {seed}");
+        assert_eq!(stream.poisoned_tasks(), expected_poisoned, "seed {seed}");
         let stats = stream.stats();
-        prop_assert_eq!(stats.task_completions, expected_completions as u64);
-        prop_assert!(stats.task_polls >= stats.task_completions);
+        assert_eq!(
+            stats.task_completions, expected_completions as u64,
+            "seed {seed}"
+        );
+        assert!(stats.task_polls >= stats.task_completions, "seed {seed}");
     }
+}
 
-    #[test]
-    fn pending_count_is_exact_at_every_step(
-        batch_sizes in proptest::collection::vec(1usize..10, 1..6),
-    ) {
+#[test]
+fn pending_count_is_exact_at_every_step() {
+    for seed in 0..32u64 {
+        let mut rng = Rng::new(seed);
+        let batch_sizes = rng.vec_in(1, 6, |r| r.usize_in(1, 10));
+
         let stream = Stream::create();
         let mut alive = 0usize;
         for batch in &batch_sizes {
@@ -128,24 +146,26 @@ proptest! {
                 });
                 alive += 1;
             }
-            prop_assert_eq!(stream.pending_tasks(), alive);
+            assert_eq!(stream.pending_tasks(), alive, "seed {seed}");
             // One progress: nobody completes on the first poll.
             stream.progress();
-            prop_assert_eq!(stream.pending_tasks(), alive);
+            assert_eq!(stream.pending_tasks(), alive, "seed {seed}");
             // Second progress: this batch and all previous complete.
             stream.progress();
             alive = 0;
-            prop_assert_eq!(stream.pending_tasks(), 0);
+            assert_eq!(stream.pending_tasks(), 0, "seed {seed}");
         }
     }
+}
 
-    #[test]
-    fn drain_is_idempotent(extra_drains in 1usize..5) {
+#[test]
+fn drain_is_idempotent() {
+    for extra_drains in 1usize..5 {
         let stream = Stream::create();
         stream.async_start(|_t| AsyncPoll::Done);
         for _ in 0..extra_drains {
-            prop_assert!(stream.drain(1.0));
+            assert!(stream.drain(1.0));
         }
-        prop_assert_eq!(stream.pending_tasks(), 0);
+        assert_eq!(stream.pending_tasks(), 0);
     }
 }

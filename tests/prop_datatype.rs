@@ -1,51 +1,74 @@
-//! Property-based tests for the datatype layer: byte round-trips and
-//! pack/unpack invariants for arbitrary layouts.
+//! Randomized-property tests for the datatype layer: byte round-trips and
+//! pack/unpack invariants for arbitrary layouts. Cases are generated from
+//! fixed seeds (see `common::Rng`) so every run is deterministic.
 
+mod common;
+
+use common::Rng;
 use mpfa::mpi::datatype::{from_bytes, read_into, to_bytes, Layout};
-use proptest::prelude::*;
 
-proptest! {
-    #[test]
-    fn bytes_roundtrip_i32(data in proptest::collection::vec(any::<i32>(), 0..200)) {
+#[test]
+fn bytes_roundtrip_i32() {
+    for seed in 0..32u64 {
+        let mut rng = Rng::new(seed);
+        let data: Vec<i32> = rng.vec_in(0, 200, |r| r.next_u64() as i32);
         let bytes = to_bytes(&data);
-        prop_assert_eq!(bytes.len(), data.len() * 4);
+        assert_eq!(bytes.len(), data.len() * 4);
         let back: Vec<i32> = from_bytes(&bytes);
-        prop_assert_eq!(back, data);
+        assert_eq!(back, data, "seed {seed}");
     }
+}
 
-    #[test]
-    fn bytes_roundtrip_f64(data in proptest::collection::vec(any::<f64>(), 0..200)) {
+#[test]
+fn bytes_roundtrip_f64() {
+    for seed in 0..32u64 {
+        let mut rng = Rng::new(seed);
+        // Raw bit patterns: exercises NaNs, infinities, subnormals.
+        let data: Vec<f64> = rng.vec_in(0, 200, |r| f64::from_bits(r.next_u64()));
         let bytes = to_bytes(&data);
         let back: Vec<f64> = from_bytes(&bytes);
         // Bit-exact comparison (NaNs preserved).
-        prop_assert_eq!(back.len(), data.len());
+        assert_eq!(back.len(), data.len());
         for (a, b) in back.iter().zip(&data) {
-            prop_assert_eq!(a.to_bits(), b.to_bits());
+            assert_eq!(a.to_bits(), b.to_bits(), "seed {seed}");
         }
     }
+}
 
-    #[test]
-    fn bytes_roundtrip_u16(data in proptest::collection::vec(any::<u16>(), 0..300)) {
+#[test]
+fn bytes_roundtrip_u16() {
+    for seed in 0..32u64 {
+        let mut rng = Rng::new(seed);
+        let data: Vec<u16> = rng.vec_in(0, 300, |r| r.next_u64() as u16);
         let bytes = to_bytes(&data);
         let mut out = vec![0u16; data.len()];
         read_into(&bytes, &mut out);
-        prop_assert_eq!(out, data);
+        assert_eq!(out, data, "seed {seed}");
     }
+}
 
-    #[test]
-    fn vector_pack_unpack_roundtrip(
-        count in 0usize..20,
-        blocklen in 1usize..8,
-        extra_stride in 0usize..8,
-        seed in any::<u64>(),
-    ) {
+#[test]
+fn vector_pack_unpack_roundtrip() {
+    for case in 0..64u64 {
+        let mut rng = Rng::new(case);
+        let count = rng.usize_in(0, 20);
+        let blocklen = rng.usize_in(1, 8);
+        let extra_stride = rng.usize_in(0, 8);
+        let seed = rng.next_u64();
+
         let stride = blocklen + extra_stride;
-        let layout = Layout::Vector { count, blocklen, stride };
+        let layout = Layout::Vector {
+            count,
+            blocklen,
+            stride,
+        };
         let buf_len = layout.extent() + 3; // slack beyond the extent
-        let data: Vec<i64> = (0..buf_len as i64).map(|i| i.wrapping_mul(seed as i64 | 1)).collect();
+        let data: Vec<i64> = (0..buf_len as i64)
+            .map(|i| i.wrapping_mul(seed as i64 | 1))
+            .collect();
 
         let packed = layout.pack(&data);
-        prop_assert_eq!(packed.len(), layout.element_count());
+        assert_eq!(packed.len(), layout.element_count());
 
         let mut restored = vec![0i64; buf_len];
         layout.unpack(&packed, &mut restored);
@@ -59,33 +82,48 @@ proptest! {
         }
         for i in 0..layout.extent() {
             if selected[i] {
-                prop_assert_eq!(restored[i], data[i], "selected index {}", i);
+                assert_eq!(restored[i], data[i], "selected index {i} (case {case})");
             } else {
-                prop_assert_eq!(restored[i], 0, "gap index {}", i);
+                assert_eq!(restored[i], 0, "gap index {i} (case {case})");
             }
         }
     }
+}
 
-    #[test]
-    fn pack_is_order_preserving(
-        count in 1usize..16,
-        blocklen in 1usize..4,
-        extra in 0usize..4,
-    ) {
+#[test]
+fn pack_is_order_preserving() {
+    for case in 0..64u64 {
+        let mut rng = Rng::new(case);
+        let count = rng.usize_in(1, 16);
+        let blocklen = rng.usize_in(1, 4);
+        let extra = rng.usize_in(0, 4);
+
         let stride = blocklen + extra;
-        let layout = Layout::Vector { count, blocklen, stride };
+        let layout = Layout::Vector {
+            count,
+            blocklen,
+            stride,
+        };
         let data: Vec<i32> = (0..layout.extent() as i32).collect();
         let packed = layout.pack(&data);
         // Packed order must be monotonically increasing (source order).
         for w in packed.windows(2) {
-            prop_assert!(w[0] < w[1]);
+            assert!(w[0] < w[1], "case {case}");
         }
     }
+}
 
-    #[test]
-    fn contiguous_pack_is_prefix(count in 0usize..50, slack in 0usize..10) {
+#[test]
+fn contiguous_pack_is_prefix() {
+    for case in 0..64u64 {
+        let mut rng = Rng::new(case);
+        let count = rng.usize_in(0, 50);
+        let slack = rng.usize_in(0, 10);
+
         let layout = Layout::Contiguous { count };
-        let data: Vec<u8> = (0..(count + slack) as u32).map(|i| (i % 256) as u8).collect();
-        prop_assert_eq!(layout.pack(&data), data[..count].to_vec());
+        let data: Vec<u8> = (0..(count + slack) as u32)
+            .map(|i| (i % 256) as u8)
+            .collect();
+        assert_eq!(layout.pack(&data), data[..count].to_vec(), "case {case}");
     }
 }

@@ -1,18 +1,22 @@
-//! Property-based tests of the simulated fabric: completeness and
-//! per-channel FIFO under arbitrary traffic patterns.
+//! Randomized-property tests of the simulated fabric: completeness and
+//! per-channel FIFO under arbitrary traffic patterns. Cases are generated
+//! from fixed seeds (see `common::Rng`) so every run is deterministic.
 
+mod common;
+
+use common::Rng;
 use mpfa::fabric::{Fabric, FabricConfig};
-use proptest::prelude::*;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+#[test]
+fn every_packet_delivered_exactly_once() {
+    for seed in 0..64u64 {
+        let mut rng = Rng::new(seed);
+        let ranks = rng.usize_in(2, 6);
+        let node_size = rng.usize_in(1, 3);
+        let sends = rng.vec_in(0, 100, |r| {
+            (r.usize_in(0, 6), r.usize_in(0, 6), r.usize_in(0, 500))
+        });
 
-    #[test]
-    fn every_packet_delivered_exactly_once(
-        ranks in 2usize..6,
-        node_size in 1usize..3,
-        sends in proptest::collection::vec((0usize..6, 0usize..6, 0usize..500), 0..100),
-    ) {
         let fabric: Fabric<u64> = Fabric::new(FabricConfig::instant_nodes(ranks, node_size));
         let mut injected = 0u64;
         for (i, &(src, dst, bytes)) in sends.iter().enumerate() {
@@ -29,34 +33,42 @@ proptest! {
                 match env {
                     Some(env) => {
                         let idx = env.msg as usize;
-                        prop_assert!(!seen[idx], "duplicate delivery of packet {}", idx);
+                        assert!(
+                            !seen[idx],
+                            "duplicate delivery of packet {idx} (seed {seed})"
+                        );
                         seen[idx] = true;
                         // Delivered to the right destination.
-                        prop_assert_eq!(env.dst, rank);
+                        assert_eq!(env.dst, rank, "seed {seed}");
                         let (src, dst, bytes) = sends[idx];
-                        prop_assert_eq!(env.src, src % ranks);
-                        prop_assert_eq!(rank, dst % ranks);
-                        prop_assert_eq!(env.wire_bytes, bytes);
+                        assert_eq!(env.src, src % ranks, "seed {seed}");
+                        assert_eq!(rank, dst % ranks, "seed {seed}");
+                        assert_eq!(env.wire_bytes, bytes, "seed {seed}");
                         received += 1;
                     }
                     None => break,
                 }
             }
         }
-        prop_assert_eq!(received, injected);
+        assert_eq!(received, injected, "seed {seed}");
     }
+}
 
-    #[test]
-    fn per_channel_fifo_holds(
-        sends in proptest::collection::vec((0usize..3, 0usize..3), 1..120),
-    ) {
+#[test]
+fn per_channel_fifo_holds() {
+    for seed in 0..64u64 {
+        let mut rng = Rng::new(seed);
+        let sends = rng.vec_in(1, 120, |r| (r.usize_in(0, 3), r.usize_in(0, 3)));
+
         let fabric: Fabric<u64> = Fabric::new(FabricConfig::instant(3));
         // Sequence number per directed channel.
         let mut chan_seq = std::collections::HashMap::new();
         for &(src, dst) in &sends {
             let seq = chan_seq.entry((src, dst)).or_insert(0u64);
             // Encode (src, dst, per-channel seq) in the message.
-            fabric.endpoint(src).send(dst, ((src as u64) << 48) | ((dst as u64) << 32) | *seq, 8);
+            fabric
+                .endpoint(src)
+                .send(dst, ((src as u64) << 48) | ((dst as u64) << 32) | *seq, 8);
             *seq += 1;
         }
         for rank in 0..3 {
@@ -68,15 +80,16 @@ proptest! {
                 let seq = env.msg & 0xffff_ffff;
                 let key = (env.src, rank);
                 let expect = next_expected.entry(key).or_insert(0u64);
-                prop_assert_eq!(seq, *expect, "channel {:?} out of order", key);
+                assert_eq!(seq, *expect, "channel {key:?} out of order (seed {seed})");
                 *expect += 1;
             }
             // All packets for this rank drained in channel order.
             for ((src, dst), sent) in &chan_seq {
                 if *dst == rank {
-                    prop_assert_eq!(
+                    assert_eq!(
                         next_expected.get(&(*src, rank)).copied().unwrap_or(0),
-                        *sent
+                        *sent,
+                        "seed {seed}"
                     );
                 }
             }

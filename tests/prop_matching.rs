@@ -1,11 +1,15 @@
-//! Property-based tests of the tag-matching engine against a reference
-//! model implementing the MPI matching rules directly.
+//! Randomized-property tests of the tag-matching engine against a
+//! reference model implementing the MPI matching rules directly. Cases
+//! are generated from fixed seeds (see `common::Rng`) so every run is
+//! deterministic.
 
+mod common;
+
+use common::Rng;
 use mpfa::core::{Request, Status, Stream};
 use mpfa::mpi::matching::{MatchState, PostedRecv, RecvSlot, Unexpected, ANY_SOURCE, ANY_TAG};
-use proptest::prelude::*;
 
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Copy)]
 enum OpKind {
     /// Post a receive for (src, tag); negative = wildcard.
     Post { src: i32, tag: i32 },
@@ -13,12 +17,25 @@ enum OpKind {
     Incoming { src: i32, tag: i32 },
 }
 
-fn op_strategy() -> impl Strategy<Value = OpKind> {
-    prop_oneof![
-        (prop_oneof![Just(ANY_SOURCE), 0..4i32], prop_oneof![Just(ANY_TAG), 0..4i32])
-            .prop_map(|(src, tag)| OpKind::Post { src, tag }),
-        (0..4i32, 0..4i32).prop_map(|(src, tag)| OpKind::Incoming { src, tag }),
-    ]
+fn random_op(rng: &mut Rng) -> OpKind {
+    let wild_or = |rng: &mut Rng, wildcard: i32| {
+        if rng.usize_in(0, 2) == 0 {
+            wildcard
+        } else {
+            rng.i32_in(0, 4)
+        }
+    };
+    if rng.usize_in(0, 2) == 0 {
+        OpKind::Post {
+            src: wild_or(rng, ANY_SOURCE),
+            tag: wild_or(rng, ANY_TAG),
+        }
+    } else {
+        OpKind::Incoming {
+            src: rng.i32_in(0, 4),
+            tag: rng.i32_in(0, 4),
+        }
+    }
 }
 
 /// Reference model: the MPI matching rules, executed naively.
@@ -64,11 +81,12 @@ impl Model {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
+#[test]
+fn matching_agrees_with_reference_model() {
+    for seed in 0..128u64 {
+        let mut rng = Rng::new(seed);
+        let ops = rng.vec_in(0, 60, random_op);
 
-    #[test]
-    fn matching_agrees_with_reference_model(ops in proptest::collection::vec(op_strategy(), 0..60)) {
         let stream = Stream::create();
         let mut real = MatchState::new();
         let mut model = Model::default();
@@ -86,7 +104,8 @@ proptest! {
                     let (req, completer) = Request::pair(&stream);
                     let slot = RecvSlot::new();
                     let recv = PostedRecv {
-                        src, tag,
+                        src,
+                        tag,
                         capacity: 1024,
                         slot: slot.clone(),
                         completer,
@@ -119,8 +138,8 @@ proptest! {
         }
 
         // Same queue depths.
-        prop_assert_eq!(real.posted_len(), model.posted.len());
-        prop_assert_eq!(real.unexpected_len(), model.unexpected.len());
+        assert_eq!(real.posted_len(), model.posted.len(), "seed {seed}");
+        assert_eq!(real.unexpected_len(), model.unexpected.len(), "seed {seed}");
 
         // Same pairing: every completed post carries the incoming index
         // the model paired it with.
@@ -129,15 +148,15 @@ proptest! {
             if req.is_complete() {
                 completed += 1;
                 let bytes = slot.take();
-                prop_assert_eq!(bytes.len(), 8);
+                assert_eq!(bytes.len(), 8);
                 let inc_idx = u64::from_ne_bytes(bytes.try_into().unwrap()) as usize;
-                prop_assert!(
+                assert!(
                     model.pairs.contains(&(*post_idx, inc_idx)),
-                    "real paired post {} with incoming {}, model did not",
-                    post_idx, inc_idx
+                    "real paired post {post_idx} with incoming {inc_idx}, model did not \
+                     (seed {seed})"
                 );
             }
         }
-        prop_assert_eq!(completed, model.pairs.len());
+        assert_eq!(completed, model.pairs.len(), "seed {seed}");
     }
 }

@@ -40,12 +40,15 @@ fn default_stream_progress_does_not_drive_stream_comm() {
         let scomm = comm.with_stream(&user_stream).unwrap();
         if scomm.rank() == 0 {
             let req = scomm.isend(&vec![1u8; 100_000], 1, 1).unwrap(); // rendezvous
-            // Progress ONLY the default stream: handshake cannot advance
-            // on rank 0's side.
+                                                                       // Progress ONLY the default stream: handshake cannot advance
+                                                                       // on rank 0's side.
             for _ in 0..5000 {
                 proc.default_stream().progress();
             }
-            assert!(!req.is_complete(), "stream-comm traffic leaked onto default stream");
+            assert!(
+                !req.is_complete(),
+                "stream-comm traffic leaked onto default stream"
+            );
             // Now progress the right stream.
             while !req.is_complete() {
                 user_stream.progress();
@@ -127,7 +130,7 @@ fn stream_hints_skip_netmod_class() {
     // for local tasks (the paper's §3.2 scenario: latency-sensitive
     // streams decouple from inter-node progress).
     let stream = Stream::with_hints(StreamHints::new().skip(SubsystemClass::Netmod));
-    use mpfa::core::{ProgressHook};
+    use mpfa::core::ProgressHook;
     use std::sync::atomic::{AtomicU64, Ordering};
     use std::sync::Arc;
     struct Probe(Arc<AtomicU64>, SubsystemClass);
