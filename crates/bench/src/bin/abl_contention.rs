@@ -1,0 +1,348 @@
+//! Ablation: hot-path contention — progress-call latency and message rate
+//! as the number of threads driving ONE stream grows.
+//!
+//! Two workloads, both swept over 1/2/4/8 pollers:
+//!
+//! * **progress latency** — a shared stream with a steady set of
+//!   self-rearming tasks; every poller measures the wall time of each of
+//!   its own `Stream::progress` calls. Under a convoying engine lock the
+//!   tail explodes with the poller count; under the combining lock a
+//!   contended caller is served by the holder instead of blocking.
+//! * **message rate** — one receiving VCI with a deep posted-receive queue
+//!   (round-robin tags, sends issued tag-major so a linear matcher scans
+//!   across the whole window) drained by N pollers. Exercises bucketed tag
+//!   matching, the fabric batch drain, and the engine lock at once.
+//!
+//! A single-threaded fig07-style run (64 pending tasks, one poller) guards
+//! against regressing the uncontended path while optimizing the contended
+//! one.
+//!
+//! `--json PATH` writes a machine-readable record of the run;
+//! `--smoke` shrinks every dimension and arms a watchdog that exits with
+//! code 124 if the sweep wedges (CI deadlock guard).
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use mpfa_bench::json::JsonObj;
+use mpfa_bench::report::Series;
+use mpfa_bench::workload::{measure_batch, Lcg};
+use mpfa_core::stats::LatencyStats;
+use mpfa_core::{wtime, AsyncPoll, Stream};
+use mpfa_fabric::{Fabric, FabricConfig};
+use mpfa_mpi::protocol::ProtoConfig;
+use mpfa_mpi::subsys::{NetmodHook, ShmemHook};
+use mpfa_mpi::vci::Vci;
+use mpfa_mpi::wire::{MsgHeader, WireMsg};
+
+const POLLER_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+struct Config {
+    /// Seconds each latency measurement runs.
+    latency_duration: f64,
+    /// Steady task population for the latency workload.
+    latency_tasks: usize,
+    /// Messages per message-rate run.
+    msgs: usize,
+    /// Distinct tags in the posted-receive window.
+    tags: usize,
+    /// Repetitions of the fig07-style single-thread guard.
+    fig07_reps: u64,
+    /// Where to write the JSON record (empty = don't).
+    json_path: String,
+    /// Free-form label recorded in the JSON (`before` / `after` / ...).
+    label: String,
+}
+
+impl Config {
+    fn from_args() -> Config {
+        let mut cfg = Config {
+            latency_duration: 0.25,
+            latency_tasks: 16,
+            msgs: 6000,
+            tags: 16,
+            fig07_reps: 30,
+            json_path: String::new(),
+            label: "run".to_string(),
+        };
+        let args: Vec<String> = std::env::args().collect();
+        let mut i = 1;
+        while i < args.len() {
+            match args[i].as_str() {
+                "--smoke" => {
+                    cfg.latency_duration = 0.05;
+                    cfg.msgs = 1000;
+                    cfg.fig07_reps = 3;
+                    arm_watchdog(60.0);
+                }
+                "--json" => {
+                    i += 1;
+                    cfg.json_path = args.get(i).expect("--json needs a path").clone();
+                }
+                "--label" => {
+                    i += 1;
+                    cfg.label = args.get(i).expect("--label needs a value").clone();
+                }
+                "--trace" | "--doctor" => {} // handled by TraceGuard
+                other => {
+                    eprintln!("unknown flag {other}");
+                    std::process::exit(2);
+                }
+            }
+            i += 1;
+        }
+        cfg
+    }
+}
+
+/// Abort the process if the benchmark has not finished within `secs` —
+/// converts a deadlock in the concurrency hot path into a CI failure
+/// instead of a hung job.
+fn arm_watchdog(secs: f64) {
+    std::thread::spawn(move || {
+        std::thread::sleep(Duration::from_secs_f64(secs));
+        eprintln!("abl_contention: watchdog fired after {secs}s — deadlock?");
+        std::process::exit(124);
+    });
+}
+
+/// Per-call `Stream::progress` latency with `pollers` threads hammering
+/// one stream that carries a steady population of self-rearming tasks.
+fn progress_latency(pollers: usize, cfg: &Config) -> LatencyStats {
+    let stream = Stream::create();
+    let stop = Arc::new(AtomicBool::new(false));
+    let mut rng = Lcg::new(0xC0FFEE);
+    for _ in 0..cfg.latency_tasks {
+        let stop = stop.clone();
+        let period = 100e-6 + rng.next_f64() * 300e-6;
+        let mut next = wtime() + period * rng.next_f64();
+        stream.async_start(move |_t| {
+            if stop.load(Ordering::Acquire) {
+                return AsyncPoll::Done;
+            }
+            if wtime() >= next {
+                next = wtime() + period;
+                AsyncPoll::Progress
+            } else {
+                AsyncPoll::Pending
+            }
+        });
+    }
+    let mut agg = LatencyStats::new();
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..pollers)
+            .map(|_| {
+                let stream = stream.clone();
+                let stop = stop.clone();
+                s.spawn(move || {
+                    let mut local = LatencyStats::with_capacity(1 << 14);
+                    while !stop.load(Ordering::Acquire) {
+                        let t0 = wtime();
+                        stream.progress();
+                        local.add(wtime() - t0);
+                    }
+                    local
+                })
+            })
+            .collect();
+        std::thread::sleep(Duration::from_secs_f64(cfg.latency_duration));
+        stop.store(true, Ordering::Release);
+        for h in handles {
+            agg.merge(&h.join().expect("poller panicked"));
+        }
+    });
+    assert!(stream.drain(5.0), "latency workload did not drain");
+    agg
+}
+
+/// Message rate: `cfg.msgs` buffered sends against a pre-posted window of
+/// receives (tags round-robin; sends issued tag-major, i.e. worst-case for
+/// a linear matcher), drained by `pollers` threads on the receiving
+/// stream. Returns (msgs_per_sec, elapsed_s).
+fn message_rate(pollers: usize, cfg: &Config) -> (f64, f64) {
+    let fabric: Fabric<WireMsg> = Fabric::new(FabricConfig::instant(2));
+    let s0 = Stream::create();
+    let s1 = Stream::create();
+    let v0 = Vci::new(fabric.endpoint(0), s0.clone(), ProtoConfig::default());
+    let v1 = Vci::new(fabric.endpoint(1), s1.clone(), ProtoConfig::default());
+    s1.register_hook(ShmemHook::new(v1.clone()));
+    s1.register_hook(NetmodHook::new(v1.clone()));
+
+    let msgs = cfg.msgs;
+    let tags = cfg.tags;
+    // Post the whole receive window first: posted queue depth = msgs.
+    let reqs: Vec<_> = (0..msgs)
+        .map(|i| v1.irecv_bytes(1, 0, (i % tags) as i32, 64).0)
+        .collect();
+
+    let t0 = wtime();
+    // Tag-major sends: all of the last tag first, then the next, so every
+    // match lands mid-queue for a linear scan (per-tag FIFO preserved).
+    for tag in (0..tags).rev() {
+        let mut i = tag;
+        while i < msgs {
+            if i % tags == tag {
+                v0.isend_bytes(
+                    1,
+                    MsgHeader {
+                        context_id: 1,
+                        src_rank: 0,
+                        tag: tag as i32,
+                    },
+                    vec![0xA5; 32],
+                );
+            }
+            i += tags;
+        }
+    }
+
+    let cursor = AtomicUsize::new(0);
+    let cursor = &cursor;
+    let reqs = &reqs;
+    std::thread::scope(|s| {
+        for _ in 0..pollers {
+            let s1 = s1.clone();
+            s.spawn(move || loop {
+                s1.progress();
+                let mut c = cursor.load(Ordering::Acquire);
+                while c < msgs && reqs[c].is_complete() {
+                    match cursor.compare_exchange(c, c + 1, Ordering::AcqRel, Ordering::Acquire) {
+                        Ok(_) => c += 1,
+                        Err(actual) => c = actual.max(c),
+                    }
+                }
+                if c >= msgs {
+                    return;
+                }
+            });
+        }
+    });
+    let elapsed = wtime() - t0;
+    assert!(
+        reqs.iter().all(|r| r.is_complete()),
+        "message-rate run lost completions"
+    );
+    (msgs as f64 / elapsed, elapsed)
+}
+
+/// Single-threaded fig07-style guard: p50 progress-observation latency of
+/// 64 pending independent tasks with one poller. Contention fixes must not
+/// tax this number.
+fn fig07_guard(cfg: &Config) -> f64 {
+    let mut agg = LatencyStats::new();
+    for rep in 0..cfg.fig07_reps {
+        let stream = Stream::create();
+        let stats = measure_batch(&stream, 64, 0.0005, 0.002, 7000 + rep);
+        agg.merge(&stats);
+    }
+    agg.median() * 1e6
+}
+
+fn main() {
+    let _obs = mpfa_bench::obs::TraceGuard::from_args();
+    let cfg = Config::from_args();
+
+    // Warmup.
+    progress_latency(
+        1,
+        &Config {
+            latency_duration: 0.02,
+            ..Config::from_args()
+        },
+    );
+
+    let fig07_p50 = fig07_guard(&cfg);
+    println!("# fig07-style single-thread guard: p50 = {fig07_p50:.4} us\n");
+
+    let mut lat_series = Series::new(
+        "abl_contention: progress-call latency vs pollers on ONE stream",
+        "pollers",
+        &["p50_us", "p99_us", "calls_per_sec"],
+    );
+    let mut lat_rows = Vec::new();
+    for &pollers in &POLLER_COUNTS {
+        let stats = progress_latency(pollers, &cfg);
+        let p50 = stats.median() * 1e6;
+        let p99 = stats.quantile(0.99) * 1e6;
+        let rate = stats.len() as f64 / cfg.latency_duration;
+        lat_series.row(pollers, &[p50, p99, rate]);
+        let mut row = JsonObj::new();
+        row.int("pollers", pollers as u64)
+            .float("p50_us", p50)
+            .float("p99_us", p99)
+            .float("calls_per_sec", rate)
+            .int("calls", stats.len() as u64);
+        lat_rows.push(row);
+    }
+    lat_series.print();
+    println!();
+
+    let mut rate_series = Series::new(
+        "abl_contention: message rate vs pollers (deep posted queue, tag-major sends)",
+        "pollers",
+        &["msgs_per_sec", "elapsed_s"],
+    );
+    let mut rate_rows = Vec::new();
+    let counters_before = mpfa_obs::global_counters().snapshot();
+    for &pollers in &POLLER_COUNTS {
+        let (rate, elapsed) = message_rate(pollers, &cfg);
+        rate_series.row(pollers, &[rate, elapsed]);
+        let mut row = JsonObj::new();
+        row.int("pollers", pollers as u64)
+            .float("msgs_per_sec", rate)
+            .float("elapsed_s", elapsed);
+        rate_rows.push(row);
+    }
+    rate_series.print();
+    let counters = mpfa_obs::global_counters().snapshot();
+
+    if !cfg.json_path.is_empty() {
+        let mut record = JsonObj::new();
+        record
+            .str("bench", "abl_contention")
+            .str("label", &cfg.label)
+            .int(
+                "host_threads",
+                std::thread::available_parallelism()
+                    .map(|n| n.get() as u64)
+                    .unwrap_or(1),
+            )
+            .int("msgs", cfg.msgs as u64)
+            .int("tags", cfg.tags as u64)
+            .float("latency_duration_s", cfg.latency_duration)
+            .float("fig07_p50_us", fig07_p50)
+            .arr("progress_latency", &lat_rows)
+            .arr("message_rate", &rate_rows);
+        let mut cdelta = JsonObj::new();
+        cdelta
+            .int("sweeps", counters.sweeps - counters_before.sweeps)
+            .int(
+                "unexpected_msgs",
+                counters.unexpected_msgs - counters_before.unexpected_msgs,
+            )
+            .int(
+                "engine_lock_contended",
+                counters.engine_lock_contended - counters_before.engine_lock_contended,
+            )
+            .int(
+                "combining_handoffs",
+                counters.combining_handoffs - counters_before.combining_handoffs,
+            )
+            .int(
+                "match_bucket_hits",
+                counters.match_bucket_hits - counters_before.match_bucket_hits,
+            )
+            .int(
+                "match_wildcard_hits",
+                counters.match_wildcard_hits - counters_before.match_wildcard_hits,
+            );
+        record.obj("counter_delta", &cdelta);
+        record
+            .write_to(&cfg.json_path)
+            .expect("failed to write JSON record");
+        println!("\nwrote {}", cfg.json_path);
+    }
+    println!("\nexpected shape: p99 and message rate should hold or improve as pollers grow;");
+    println!("contrast the convoying engine lock, where both degrade past 1 poller");
+}

@@ -1,0 +1,141 @@
+//! Minimal JSON emission for per-run benchmark records.
+//!
+//! The workspace builds fully offline (no serde); benchmark binaries that
+//! want machine-readable output assemble it through this tiny builder and
+//! write one self-contained `.json` file per run under `results/`.
+
+use std::fmt::Write as _;
+
+/// A JSON object under construction. Keys are emitted in insertion order.
+#[derive(Debug, Default, Clone)]
+pub struct JsonObj {
+    fields: Vec<(String, String)>,
+}
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Format an f64 the way JSON expects (no NaN/inf — mapped to null).
+fn num(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+impl JsonObj {
+    /// An empty object.
+    pub fn new() -> JsonObj {
+        JsonObj::default()
+    }
+
+    fn push_raw(&mut self, key: &str, raw: String) -> &mut Self {
+        self.fields.push((escape(key), raw));
+        self
+    }
+
+    /// Add a string field.
+    pub fn str(&mut self, key: &str, value: &str) -> &mut Self {
+        self.push_raw(key, format!("\"{}\"", escape(value)))
+    }
+
+    /// Add an integer field.
+    pub fn int(&mut self, key: &str, value: u64) -> &mut Self {
+        self.push_raw(key, value.to_string())
+    }
+
+    /// Add a float field.
+    pub fn float(&mut self, key: &str, value: f64) -> &mut Self {
+        self.push_raw(key, num(value))
+    }
+
+    /// Add a boolean field.
+    pub fn bool(&mut self, key: &str, value: bool) -> &mut Self {
+        self.push_raw(key, value.to_string())
+    }
+
+    /// Add a nested object field.
+    pub fn obj(&mut self, key: &str, value: &JsonObj) -> &mut Self {
+        self.push_raw(key, value.render())
+    }
+
+    /// Add an array-of-objects field.
+    pub fn arr(&mut self, key: &str, values: &[JsonObj]) -> &mut Self {
+        let inner: Vec<String> = values.iter().map(|v| v.render()).collect();
+        self.push_raw(key, format!("[{}]", inner.join(",")))
+    }
+
+    /// Render to a compact JSON string.
+    pub fn render(&self) -> String {
+        let inner: Vec<String> = self
+            .fields
+            .iter()
+            .map(|(k, v)| format!("\"{k}\":{v}"))
+            .collect();
+        format!("{{{}}}", inner.join(","))
+    }
+
+    /// Write the object (pretty-ish: one trailing newline) to `path`.
+    pub fn write_to(&self, path: &str) -> std::io::Result<()> {
+        if let Some(dir) = std::path::Path::new(path).parent() {
+            if !dir.as_os_str().is_empty() {
+                std::fs::create_dir_all(dir)?;
+            }
+        }
+        std::fs::write(path, self.render() + "\n")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_scalars_in_order() {
+        let mut o = JsonObj::new();
+        o.str("name", "abl")
+            .int("n", 3)
+            .float("x", 1.5)
+            .bool("ok", true);
+        assert_eq!(o.render(), r#"{"name":"abl","n":3,"x":1.5,"ok":true}"#);
+    }
+
+    #[test]
+    fn escapes_strings() {
+        let mut o = JsonObj::new();
+        o.str("s", "a\"b\\c\nd");
+        assert_eq!(o.render(), r#"{"s":"a\"b\\c\nd"}"#);
+    }
+
+    #[test]
+    fn nested_objects_and_arrays() {
+        let mut inner = JsonObj::new();
+        inner.int("pollers", 4);
+        let mut o = JsonObj::new();
+        o.arr("rows", &[inner.clone(), inner]);
+        assert!(o.render().starts_with(r#"{"rows":[{"pollers":4},"#));
+    }
+
+    #[test]
+    fn non_finite_floats_become_null() {
+        let mut o = JsonObj::new();
+        o.float("bad", f64::NAN);
+        assert_eq!(o.render(), r#"{"bad":null}"#);
+    }
+}

@@ -31,6 +31,7 @@
 #![warn(missing_docs)]
 
 pub mod coop;
+pub mod json;
 pub mod obs;
 pub mod report;
 pub mod workload;

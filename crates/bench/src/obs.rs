@@ -15,7 +15,7 @@
 
 use std::path::PathBuf;
 
-use mpfa_obs::{diagnose, DoctorConfig};
+use mpfa_obs::{diagnose_with_counters, DoctorConfig};
 
 /// RAII exporter of the process's recorded observability data.
 ///
@@ -76,9 +76,10 @@ impl Drop for TraceGuard {
             }
         }
         if self.doctor {
-            let report = diagnose(&snaps, &DoctorConfig::default());
+            let counters = mpfa_obs::global_counters().snapshot();
+            let report = diagnose_with_counters(&snaps, Some(&counters), &DoctorConfig::default());
             eprintln!("{report}");
-            eprintln!("{}", mpfa_obs::global_counters().snapshot());
+            eprintln!("{counters}");
         }
     }
 }

@@ -131,9 +131,9 @@ struct TaskEntry {
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct EngineStats {
     /// Subsystem hook `poll` invocations, by [`SubsystemClass`] index.
-    pub hook_polls: [u64; 5],
+    pub hook_polls: [u64; SubsystemClass::COUNT],
     /// Hook polls that reported progress, by class index.
-    pub hook_progress: [u64; 5],
+    pub hook_progress: [u64; SubsystemClass::COUNT],
     /// Hook polls suppressed by a `has_work() == false` fast path.
     pub hook_idle_skips: u64,
     /// Hook polls skipped by the made-progress short-circuit.

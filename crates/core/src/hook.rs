@@ -37,6 +37,11 @@ pub enum SubsystemClass {
 }
 
 impl SubsystemClass {
+    /// Number of subsystem classes — sizes per-class arrays such as
+    /// [`crate::engine::EngineStats::hook_polls`], so adding a class can
+    /// never silently truncate stats.
+    pub const COUNT: usize = Self::ALL.len();
+
     /// All classes in poll order.
     pub const ALL: [SubsystemClass; 5] = [
         SubsystemClass::DatatypeEngine,

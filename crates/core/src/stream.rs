@@ -88,6 +88,18 @@ pub(crate) struct StreamInner {
     progress_calls: AtomicU64,
     /// Ids for injected tasks (assigned before they reach the engine).
     next_injected: AtomicU64,
+    /// Contended [`Stream::progress`] callers currently waiting for the
+    /// lock holder to sweep on their behalf (flat combining).
+    waiters: AtomicUsize,
+    /// Count of completed sweeps, published after each one. A waiter that
+    /// registered at epoch `e` is satisfied once it observes `e + 2`: the
+    /// sweep that published `e + 2` *started* after `e + 1` was published,
+    /// which in turn is after the waiter's registration — so one full
+    /// drain + poll ran after everything the waiter did beforehand.
+    sweep_epoch: AtomicU64,
+    /// Packed [`ProgressOutcome`] of the most recent completed sweep (see
+    /// [`pack_outcome`]); what a combined waiter reports to its caller.
+    last_sweep: AtomicU64,
 }
 
 /// An explicit progress stream — `MPIX_Stream`.
@@ -137,6 +149,9 @@ impl Stream {
                 pending: AtomicUsize::new(0),
                 progress_calls: AtomicU64::new(0),
                 next_injected: AtomicU64::new(1 << 32),
+                waiters: AtomicUsize::new(0),
+                sweep_epoch: AtomicU64::new(0),
+                last_sweep: AtomicU64::new(0),
             }),
         }
     }
@@ -243,15 +258,58 @@ impl Stream {
 
     /// Drive one collated progress sweep — `MPIX_Stream_progress(stream)`.
     ///
-    /// Blocks on the stream's engine lock if another thread is mid-progress
-    /// (this is the Figure 9 contention when many threads share a stream).
+    /// Contention is turned into useful work instead of a lock convoy
+    /// (flat combining): a caller that finds the engine lock held registers
+    /// as a waiter and spins briefly, while the lock holder re-sweeps on
+    /// behalf of registered waiters before releasing. The combined caller
+    /// returns the outcome of a sweep that fully ran after it arrived. If
+    /// the holder releases first, the spinning caller takes the lock
+    /// itself; after a bounded spin it falls back to a blocking sweep, so
+    /// the progress guarantee is unchanged.
     pub fn progress(&self) -> ProgressOutcome {
-        self.progress_with(&self.inner.base_state.clone())
+        let _reentry = ReentryGuard::enter(self.inner.id);
+        if let Some(mut engine) = self.inner.engine.try_lock() {
+            return self.sweep_holding(&mut engine, &self.inner.base_state.clone());
+        }
+        mpfa_obs::global_counters()
+            .engine_lock_contended
+            .fetch_add(1, Ordering::Relaxed);
+
+        // Register, then read the epoch: the sweep that publishes
+        // `target` is guaranteed to have started after this point.
+        self.inner.waiters.fetch_add(1, Ordering::SeqCst);
+        let target = self.inner.sweep_epoch.load(Ordering::Acquire) + 2;
+        let mut spins = 0u32;
+        loop {
+            // The holder may release before serving us — take over.
+            if let Some(mut engine) = self.inner.engine.try_lock() {
+                self.inner.waiters.fetch_sub(1, Ordering::SeqCst);
+                return self.sweep_holding(&mut engine, &self.inner.base_state.clone());
+            }
+            if self.inner.sweep_epoch.load(Ordering::Acquire) >= target {
+                self.inner.waiters.fetch_sub(1, Ordering::SeqCst);
+                mpfa_obs::global_counters()
+                    .combining_handoffs
+                    .fetch_add(1, Ordering::Relaxed);
+                return unpack_outcome(self.inner.last_sweep.load(Ordering::Acquire));
+            }
+            spins += 1;
+            if spins > COMBINING_SPIN_LIMIT {
+                // Holder is wedged in a long sweep (or past its combining
+                // budget): fall back to the blocking path.
+                self.inner.waiters.fetch_sub(1, Ordering::SeqCst);
+                let mut engine = self.inner.engine.lock();
+                return self.sweep_holding(&mut engine, &self.inner.base_state.clone());
+            }
+            // Single-core friendly: let the holder run.
+            std::thread::yield_now();
+        }
     }
 
     /// Progress with an explicit per-call [`ProgressState`]. The stream's
     /// creation hints are still honored (a class skipped by hints stays
-    /// skipped).
+    /// skipped). Blocks on the engine lock if another thread is
+    /// mid-progress (the pre-combining fallback semantics).
     ///
     /// # Panics
     ///
@@ -263,13 +321,40 @@ impl Stream {
     pub fn progress_with(&self, state: &ProgressState) -> ProgressOutcome {
         let merged = merge_states(&self.inner.base_state, state);
         let _reentry = ReentryGuard::enter(self.inner.id);
-        self.inner.progress_calls.fetch_add(1, Ordering::Relaxed);
         let mut engine = self.inner.engine.lock();
-        self.drain_inject(&mut engine);
-        let out = engine.poll(&merged, self.inner.id);
-        drop(engine);
+        self.sweep_holding(&mut engine, &merged)
+    }
+
+    /// One sweep with the engine lock held, plus the flat-combining
+    /// service loop: while contended `progress` callers are registered,
+    /// re-sweep on their behalf (bounded) before releasing the lock.
+    /// Extra sweeps use the stream's base state — that is what the
+    /// combined callers asked for.
+    fn sweep_holding(&self, engine: &mut Engine, state: &ProgressState) -> ProgressOutcome {
+        self.inner.progress_calls.fetch_add(1, Ordering::Relaxed);
+        self.drain_inject(engine);
+        let out = engine.poll(state, self.inner.id);
         self.settle_pending(&out);
+        self.publish_sweep(&out);
+        let mut served = 0u32;
+        while served < COMBINING_MAX_RESWEEPS && self.inner.waiters.load(Ordering::SeqCst) > 0 {
+            self.inner.progress_calls.fetch_add(1, Ordering::Relaxed);
+            self.drain_inject(engine);
+            let extra = engine.poll(&self.inner.base_state.clone(), self.inner.id);
+            self.settle_pending(&extra);
+            self.publish_sweep(&extra);
+            served += 1;
+        }
         out
+    }
+
+    /// Publish a completed sweep: outcome first, then the epoch bump that
+    /// waiters gate on.
+    fn publish_sweep(&self, out: &ProgressOutcome) {
+        self.inner
+            .last_sweep
+            .store(pack_outcome(out), Ordering::Release);
+        self.inner.sweep_epoch.fetch_add(1, Ordering::Release);
     }
 
     /// Reconcile the lock-free pending counter with a sweep's outcome.
@@ -287,17 +372,17 @@ impl Stream {
         }
     }
 
-    /// Like [`Stream::progress`] but returns `None` instead of blocking when
-    /// another thread holds the engine.
+    /// Like [`Stream::progress`] but returns `None` immediately when
+    /// another thread holds the engine (no spinning, no combining wait).
     pub fn try_progress(&self) -> Option<ProgressOutcome> {
         let _reentry = ReentryGuard::enter(self.inner.id);
-        let mut engine = self.inner.engine.try_lock()?;
-        self.inner.progress_calls.fetch_add(1, Ordering::Relaxed);
-        self.drain_inject(&mut engine);
-        let out = engine.poll(&self.inner.base_state.clone(), self.inner.id);
-        drop(engine);
-        self.settle_pending(&out);
-        Some(out)
+        let Some(mut engine) = self.inner.engine.try_lock() else {
+            mpfa_obs::global_counters()
+                .engine_lock_contended
+                .fetch_add(1, Ordering::Relaxed);
+            return None;
+        };
+        Some(self.sweep_holding(&mut engine, &self.inner.base_state.clone()))
     }
 
     fn drain_inject(&self, engine: &mut Engine) {
@@ -384,6 +469,40 @@ impl Drop for ReentryGuard {
                 v.remove(pos);
             }
         });
+    }
+}
+
+/// Yields a contended `progress` caller performs before abandoning the
+/// combining wait for a blocking lock. Generous: two sweeps normally
+/// complete within a few yields, and the fallback only exists so a caller
+/// can never be starved by a holder stuck inside a pathological hook.
+const COMBINING_SPIN_LIMIT: u32 = 10_000;
+
+/// Upper bound on extra sweeps a lock holder runs on behalf of waiters
+/// before releasing, so one holder cannot be captured indefinitely by a
+/// steady stream of contended callers.
+const COMBINING_MAX_RESWEEPS: u32 = 4;
+
+/// Pack the fields of a [`ProgressOutcome`] a combined waiter cares about
+/// into one atomic word: bit 0 = subsystem progress, then three 21-bit
+/// saturating task counts. `tasks_spawned` is deliberately dropped — the
+/// holder already settled the pending counter for its own sweep.
+fn pack_outcome(out: &ProgressOutcome) -> u64 {
+    const MASK: u64 = (1 << 21) - 1;
+    let completed = (out.tasks_completed as u64).min(MASK);
+    let progressed = (out.tasks_progressed as u64).min(MASK);
+    let poisoned = (out.tasks_poisoned as u64).min(MASK);
+    (out.subsystem_progress as u64) | completed << 1 | progressed << 22 | poisoned << 43
+}
+
+fn unpack_outcome(packed: u64) -> ProgressOutcome {
+    const MASK: u64 = (1 << 21) - 1;
+    ProgressOutcome {
+        subsystem_progress: packed & 1 != 0,
+        tasks_completed: (packed >> 1 & MASK) as usize,
+        tasks_progressed: (packed >> 22 & MASK) as usize,
+        tasks_poisoned: (packed >> 43 & MASK) as usize,
+        tasks_spawned: 0,
     }
 }
 

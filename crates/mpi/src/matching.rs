@@ -6,8 +6,26 @@
 //! the message's or are wildcards; a posted receive matches the *first*
 //! compatible unexpected message (in arrival order). Per-sender FIFO is
 //! inherited from the fabric's per-channel FIFO delivery.
+//!
+//! # Data structure
+//!
+//! [`MatchState`] buckets both queues by exact `(src, tag)` key, the way
+//! MPICH's CH4 buckets matching queues per source to escape the classic
+//! O(posted + unexpected) linear scan. Receives that use `ANY_SOURCE` or
+//! `ANY_TAG` go to an ordered wildcard side-queue instead. Every entry is
+//! stamped with a monotonically increasing sequence number at insertion,
+//! and a match always takes the *lowest-sequence* compatible entry, so the
+//! observable match order is exactly the historical post/arrival order even
+//! when a wildcard and an exact receive both qualify. The common exact-match
+//! case is an O(1) hash lookup; wildcard traffic pays O(wildcard queue) on
+//! the posted side and O(active buckets) on the unexpected side.
+//!
+//! [`LinearMatchState`] preserves the original two-`VecDeque` linear-scan
+//! implementation verbatim as the executable specification; the
+//! `match_equivalence` property suite drives both on random interleavings
+//! and requires identical observable behavior.
 
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
 
 use mpfa_core::sync::Mutex;
@@ -81,6 +99,12 @@ impl PostedRecv {
     fn matches(&self, src: i32, tag: i32) -> bool {
         (self.src == ANY_SOURCE || self.src == src) && (self.tag == ANY_TAG || self.tag == tag)
     }
+
+    /// True if either field is a wildcard (routes to the wildcard
+    /// side-queue instead of an exact bucket).
+    fn is_wild(&self) -> bool {
+        self.src == ANY_SOURCE || self.tag == ANY_TAG
+    }
 }
 
 /// A message that arrived before its receive was posted.
@@ -138,11 +162,42 @@ impl Unexpected {
     }
 }
 
-/// Matching state of one communicator context.
+fn record_unexpected_obs(msg: &Unexpected) {
+    use std::sync::atomic::Ordering;
+    mpfa_obs::global_counters()
+        .unexpected_msgs
+        .fetch_add(1, Ordering::Relaxed);
+    mpfa_obs::record(|| mpfa_obs::EventKind::UnexpectedMsg {
+        src: msg.src() as u32,
+        tag: msg.tag() as i64,
+    });
+}
+
+/// An entry stamped with its insertion sequence number. The sequence is
+/// what keeps bucketed matching order-equivalent to a single FIFO: all
+/// compatible candidates are compared by `seq` and the lowest wins.
+struct Stamped<T> {
+    seq: u64,
+    item: T,
+}
+
+/// Matching state of one communicator context (bucketed; see the module
+/// docs for the layout and the ordering argument).
 #[derive(Default)]
 pub struct MatchState {
-    posted: VecDeque<PostedRecv>,
-    unexpected: VecDeque<Unexpected>,
+    /// Next sequence number stamped on an inserted post or arrival.
+    next_seq: u64,
+    /// Exact-`(src, tag)` posted receives; FIFO (by seq) within a bucket.
+    posted_exact: HashMap<(i32, i32), VecDeque<Stamped<PostedRecv>>>,
+    /// Posted receives with `ANY_SOURCE` and/or `ANY_TAG`, in post order.
+    posted_wild: VecDeque<Stamped<PostedRecv>>,
+    /// Total posted receives across buckets + wildcard queue.
+    posted_count: usize,
+    /// Unexpected messages bucketed by their concrete `(src, tag)`;
+    /// FIFO (by seq) within a bucket.
+    unexpected: HashMap<(i32, i32), VecDeque<Stamped<Unexpected>>>,
+    /// Total unexpected messages across buckets.
+    unexpected_count: usize,
 }
 
 impl MatchState {
@@ -151,9 +206,163 @@ impl MatchState {
         MatchState::default()
     }
 
+    fn stamp(&mut self) -> u64 {
+        let s = self.next_seq;
+        self.next_seq += 1;
+        s
+    }
+
+    /// Sequence number of the oldest unexpected message matching
+    /// `recv`, with the bucket key it lives under.
+    fn oldest_unexpected_for(&self, src: i32, tag: i32) -> Option<((i32, i32), u64)> {
+        if src != ANY_SOURCE && tag != ANY_TAG {
+            // Exact probe: one hash lookup; bucket front is its oldest.
+            let key = (src, tag);
+            return self
+                .unexpected
+                .get(&key)
+                .and_then(|q| q.front())
+                .map(|e| (key, e.seq));
+        }
+        // Wildcard probe: compare the front (oldest) of every compatible
+        // bucket; the arrival order winner is the minimum sequence.
+        self.unexpected
+            .iter()
+            .filter(|((s, t), q)| {
+                !q.is_empty() && (src == ANY_SOURCE || src == *s) && (tag == ANY_TAG || tag == *t)
+            })
+            .filter_map(|(key, q)| q.front().map(|e| (*key, e.seq)))
+            .min_by_key(|(_, seq)| *seq)
+    }
+
+    fn take_unexpected(&mut self, key: (i32, i32)) -> Unexpected {
+        let q = self.unexpected.get_mut(&key).expect("bucket exists");
+        let entry = q.pop_front().expect("bucket non-empty");
+        if q.is_empty() {
+            self.unexpected.remove(&key);
+        }
+        self.unexpected_count -= 1;
+        entry.item
+    }
+
     /// Try to satisfy `recv` from the unexpected queue. If an unexpected
     /// message matches, it is removed and returned with the receive;
     /// otherwise the receive is enqueued.
+    pub fn post_recv(&mut self, recv: PostedRecv) -> Option<(PostedRecv, Unexpected)> {
+        if let Some((key, _)) = self.oldest_unexpected_for(recv.src, recv.tag) {
+            return Some((recv, self.take_unexpected(key)));
+        }
+        let seq = self.stamp();
+        let entry = Stamped { seq, item: recv };
+        if entry.item.is_wild() {
+            self.posted_wild.push_back(entry);
+        } else {
+            self.posted_exact
+                .entry((entry.item.src, entry.item.tag))
+                .or_default()
+                .push_back(entry);
+        }
+        self.posted_count += 1;
+        None
+    }
+
+    /// Try to match an incoming message against the posted queue. The
+    /// first matching receive (post order) is removed and returned.
+    pub fn match_incoming(&mut self, src: i32, tag: i32) -> Option<PostedRecv> {
+        use std::sync::atomic::Ordering;
+        // Oldest exact candidate: front of the (src, tag) bucket.
+        let exact_seq = self
+            .posted_exact
+            .get(&(src, tag))
+            .and_then(|q| q.front())
+            .map(|e| e.seq);
+        // Oldest wildcard candidate: first compatible entry in post order
+        // (the queue is seq-sorted, so the first hit is the oldest).
+        let wild_pos = self
+            .posted_wild
+            .iter()
+            .position(|e| e.item.matches(src, tag));
+        let wild_seq = wild_pos.map(|p| self.posted_wild[p].seq);
+
+        let use_exact = match (exact_seq, wild_seq) {
+            (None, None) => return None,
+            (Some(_), None) => true,
+            (None, Some(_)) => false,
+            // Both compatible: post order decides.
+            (Some(e), Some(w)) => e < w,
+        };
+        let counters = mpfa_obs::global_counters();
+        let recv = if use_exact {
+            counters.match_bucket_hits.fetch_add(1, Ordering::Relaxed);
+            let q = self.posted_exact.get_mut(&(src, tag)).expect("bucket");
+            let entry = q.pop_front().expect("front checked");
+            if q.is_empty() {
+                self.posted_exact.remove(&(src, tag));
+            }
+            entry.item
+        } else {
+            counters.match_wildcard_hits.fetch_add(1, Ordering::Relaxed);
+            self.posted_wild
+                .remove(wild_pos.expect("wildcard position"))
+                .expect("position valid")
+                .item
+        };
+        self.posted_count -= 1;
+        Some(recv)
+    }
+
+    /// Queue a message that matched nothing.
+    pub fn push_unexpected(&mut self, msg: Unexpected) {
+        record_unexpected_obs(&msg);
+        let seq = self.stamp();
+        let key = (msg.src(), msg.tag());
+        self.unexpected
+            .entry(key)
+            .or_default()
+            .push_back(Stamped { seq, item: msg });
+        self.unexpected_count += 1;
+    }
+
+    /// Number of posted receives waiting.
+    pub fn posted_len(&self) -> usize {
+        self.posted_count
+    }
+
+    /// Number of unexpected messages waiting.
+    pub fn unexpected_len(&self) -> usize {
+        self.unexpected_count
+    }
+
+    /// Peek for a matching unexpected message (probe semantics) using the
+    /// wildcard-aware predicate. Returns `(src, tag, bytes)`.
+    pub fn probe_unexpected(&self, src: i32, tag: i32) -> Option<(i32, i32, usize)> {
+        let (key, _) = self.oldest_unexpected_for(src, tag)?;
+        self.unexpected
+            .get(&key)
+            .and_then(|q| q.front())
+            .map(|e| (e.item.src(), e.item.tag(), e.item.bytes()))
+    }
+}
+
+/// The original linear-scan matching engine, retained verbatim as the
+/// executable specification of the MPI matching rules.
+///
+/// Tests (unit and the `match_equivalence` property suite) drive this and
+/// [`MatchState`] on identical operation sequences and assert the
+/// observable outcomes are the same. Not used on any production path.
+#[derive(Default)]
+pub struct LinearMatchState {
+    posted: VecDeque<PostedRecv>,
+    unexpected: VecDeque<Unexpected>,
+}
+
+impl LinearMatchState {
+    /// Fresh, empty state.
+    pub fn new() -> LinearMatchState {
+        LinearMatchState::default()
+    }
+
+    /// See [`MatchState::post_recv`].
     pub fn post_recv(&mut self, recv: PostedRecv) -> Option<(PostedRecv, Unexpected)> {
         if let Some(pos) = self.unexpected.iter().position(|u| u.matched_by(&recv)) {
             let unexpected = self.unexpected.remove(pos).expect("position valid");
@@ -164,29 +373,14 @@ impl MatchState {
         }
     }
 
-    /// Try to match an incoming message against the posted queue. The
-    /// first matching receive (post order) is removed and returned.
+    /// See [`MatchState::match_incoming`].
     pub fn match_incoming(&mut self, src: i32, tag: i32) -> Option<PostedRecv> {
         let pos = self.posted.iter().position(|r| r.matches(src, tag))?;
         self.posted.remove(pos)
     }
 
-    /// Queue a message that matched nothing.
+    /// See [`MatchState::push_unexpected`] (reference: no obs recording).
     pub fn push_unexpected(&mut self, msg: Unexpected) {
-        use std::sync::atomic::Ordering;
-        mpfa_obs::global_counters()
-            .unexpected_msgs
-            .fetch_add(1, Ordering::Relaxed);
-        mpfa_obs::record(|| {
-            let (src, tag) = match &msg {
-                Unexpected::Eager { src, tag, .. } => (*src, *tag),
-                Unexpected::Rts { src, tag, .. } => (*src, *tag),
-            };
-            mpfa_obs::EventKind::UnexpectedMsg {
-                src: src as u32,
-                tag: tag as i64,
-            }
-        });
         self.unexpected.push_back(msg);
     }
 
@@ -200,8 +394,7 @@ impl MatchState {
         self.unexpected.len()
     }
 
-    /// Peek for a matching unexpected message (probe semantics) using the
-    /// wildcard-aware predicate. Returns `(src, tag, bytes)`.
+    /// See [`MatchState::probe_unexpected`].
     pub fn probe_unexpected(&self, src: i32, tag: i32) -> Option<(i32, i32, usize)> {
         self.unexpected
             .iter()
@@ -361,6 +554,20 @@ mod tests {
     }
 
     #[test]
+    fn probe_wildcard_returns_oldest_arrival() {
+        let mut m = MatchState::new();
+        m.push_unexpected(eager(5, 2, 10));
+        m.push_unexpected(eager(1, 9, 20));
+        m.push_unexpected(eager(5, 9, 30));
+        // Oldest overall.
+        assert_eq!(m.probe_unexpected(ANY_SOURCE, ANY_TAG), Some((5, 2, 10)));
+        // Oldest with tag 9 is the (1, 9) arrival, not (5, 9).
+        assert_eq!(m.probe_unexpected(ANY_SOURCE, 9), Some((1, 9, 20)));
+        // Oldest from src 5 with any tag.
+        assert_eq!(m.probe_unexpected(5, ANY_TAG), Some((5, 2, 10)));
+    }
+
+    #[test]
     fn wildcard_post_vs_specific_post_ordering() {
         // A specific receive posted first must win over a later wildcard.
         let mut m = MatchState::new();
@@ -372,5 +579,84 @@ mod tests {
         hit.completer.complete_empty();
         assert!(sq.is_complete());
         assert!(!wq.is_complete());
+    }
+
+    #[test]
+    fn wildcard_posted_first_beats_later_exact() {
+        // The mirror case: an older wildcard must win over a newer exact
+        // receive for the same (src, tag).
+        let mut m = MatchState::new();
+        let (wild, wq) = posted(ANY_SOURCE, ANY_TAG);
+        let (specific, sq) = posted(1, 1);
+        m.post_recv(wild);
+        m.post_recv(specific);
+        let hit = m.match_incoming(1, 1).unwrap();
+        hit.completer.complete_empty();
+        assert!(wq.is_complete());
+        assert!(!sq.is_complete());
+        // The exact receive is still postable against the next message.
+        assert!(m.match_incoming(1, 1).is_some());
+        assert_eq!(m.posted_len(), 0);
+    }
+
+    #[test]
+    fn exact_buckets_do_not_cross_match() {
+        let mut m = MatchState::new();
+        let (r1, _q1) = posted(1, 1);
+        let (r2, _q2) = posted(2, 2);
+        m.post_recv(r1);
+        m.post_recv(r2);
+        assert!(m.match_incoming(2, 1).is_none());
+        assert!(m.match_incoming(1, 2).is_none());
+        assert!(m.match_incoming(2, 2).is_some());
+        assert!(m.match_incoming(1, 1).is_some());
+        assert_eq!(m.posted_len(), 0);
+    }
+
+    #[test]
+    fn counts_stay_consistent_across_bucket_churn() {
+        let mut m = MatchState::new();
+        for i in 0..10 {
+            let (r, _q) = posted(i % 3, i % 2);
+            m.post_recv(r);
+        }
+        assert_eq!(m.posted_len(), 10);
+        let mut matched = 0;
+        for i in 0..10 {
+            if m.match_incoming(i % 3, i % 2).is_some() {
+                matched += 1;
+            }
+        }
+        assert_eq!(matched, 10);
+        assert_eq!(m.posted_len(), 0);
+        for i in 0..6 {
+            m.push_unexpected(eager(i % 2, i % 3, 4));
+        }
+        assert_eq!(m.unexpected_len(), 6);
+        for i in 0..6 {
+            let (r, _q) = posted(i % 2, i % 3);
+            assert!(m.post_recv(r).is_some());
+        }
+        assert_eq!(m.unexpected_len(), 0);
+    }
+
+    #[test]
+    fn linear_reference_agrees_on_basic_cases() {
+        let mut lin = LinearMatchState::new();
+        let mut fast = MatchState::new();
+        lin.push_unexpected(eager(1, 7, 4));
+        fast.push_unexpected(eager(1, 7, 4));
+        lin.push_unexpected(eager(2, 7, 8));
+        fast.push_unexpected(eager(2, 7, 8));
+        assert_eq!(
+            lin.probe_unexpected(ANY_SOURCE, 7),
+            fast.probe_unexpected(ANY_SOURCE, 7)
+        );
+        let (rl, _ql) = posted(ANY_SOURCE, 7);
+        let (rf, _qf) = posted(ANY_SOURCE, 7);
+        let ul = lin.post_recv(rl).unwrap().1;
+        let uf = fast.post_recv(rf).unwrap().1;
+        assert_eq!((ul.src(), ul.tag()), (uf.src(), uf.tag()));
+        assert_eq!(lin.unexpected_len(), fast.unexpected_len());
     }
 }

@@ -52,6 +52,16 @@ pub struct Counters {
     pub rndv_completed: AtomicU64,
     /// Messages queued on an unexpected-message queue.
     pub unexpected_msgs: AtomicU64,
+    /// `Stream::progress`/`try_progress` callers that failed the engine
+    /// `try_lock` (the lock was held by another poller).
+    pub engine_lock_contended: AtomicU64,
+    /// Contended progress callers whose sweep was performed by the lock
+    /// holder on their behalf (flat-combining handoffs).
+    pub combining_handoffs: AtomicU64,
+    /// Tag matches satisfied from an exact-`(src, tag)` bucket.
+    pub match_bucket_hits: AtomicU64,
+    /// Tag matches satisfied from the wildcard side-queue.
+    pub match_wildcard_hits: AtomicU64,
 }
 
 /// Plain-integer copy of a [`Counters`] at a point in time.
@@ -91,6 +101,14 @@ pub struct CounterSnapshot {
     pub rndv_completed: u64,
     /// Messages queued unexpected.
     pub unexpected_msgs: u64,
+    /// Progress callers that failed the engine `try_lock`.
+    pub engine_lock_contended: u64,
+    /// Contended callers served by the lock holder (flat-combining).
+    pub combining_handoffs: u64,
+    /// Tag matches satisfied from an exact-`(src, tag)` bucket.
+    pub match_bucket_hits: u64,
+    /// Tag matches satisfied from the wildcard side-queue.
+    pub match_wildcard_hits: u64,
 }
 
 impl Counters {
@@ -171,6 +189,10 @@ impl Counters {
             rndv_granted: self.rndv_granted.load(Ordering::Relaxed),
             rndv_completed: self.rndv_completed.load(Ordering::Relaxed),
             unexpected_msgs: self.unexpected_msgs.load(Ordering::Relaxed),
+            engine_lock_contended: self.engine_lock_contended.load(Ordering::Relaxed),
+            combining_handoffs: self.combining_handoffs.load(Ordering::Relaxed),
+            match_bucket_hits: self.match_bucket_hits.load(Ordering::Relaxed),
+            match_wildcard_hits: self.match_wildcard_hits.load(Ordering::Relaxed),
         }
     }
 
@@ -193,6 +215,10 @@ impl Counters {
         self.rndv_granted.store(0, Ordering::Relaxed);
         self.rndv_completed.store(0, Ordering::Relaxed);
         self.unexpected_msgs.store(0, Ordering::Relaxed);
+        self.engine_lock_contended.store(0, Ordering::Relaxed);
+        self.combining_handoffs.store(0, Ordering::Relaxed);
+        self.match_bucket_hits.store(0, Ordering::Relaxed);
+        self.match_wildcard_hits.store(0, Ordering::Relaxed);
     }
 }
 
@@ -229,7 +255,7 @@ impl std::fmt::Display for CounterSnapshot {
             "fabric:   net {} msgs / {} B, shm {} msgs / {} B",
             self.msgs_net, self.bytes_net, self.msgs_shm, self.bytes_shm
         )?;
-        write!(
+        writeln!(
             f,
             "protocol: {} eager, rndv {} started / {} granted / {} done, {} unexpected",
             self.eager_msgs,
@@ -237,6 +263,15 @@ impl std::fmt::Display for CounterSnapshot {
             self.rndv_granted,
             self.rndv_completed,
             self.unexpected_msgs
+        )?;
+        write!(
+            f,
+            "locking:  {} contended progress calls, {} combining handoffs; \
+             matches {} bucket / {} wildcard",
+            self.engine_lock_contended,
+            self.combining_handoffs,
+            self.match_bucket_hits,
+            self.match_wildcard_hits
         )
     }
 }

@@ -12,6 +12,7 @@
 
 use std::collections::HashMap;
 
+use crate::counters::CounterSnapshot;
 use crate::event::{EventKind, TaskVerdict};
 use crate::ring::ThreadSnapshot;
 
@@ -24,6 +25,9 @@ pub struct DoctorConfig {
     /// Seconds a rendezvous RTS may wait for its CTS before being
     /// flagged (measured against the newest event in the snapshots).
     pub rndv_grace: f64,
+    /// Flag engine-lock contention once this many `try_lock` failures
+    /// were counted while only one thread recorded progress sweeps.
+    pub engine_contention_threshold: u64,
 }
 
 impl Default for DoctorConfig {
@@ -31,6 +35,7 @@ impl Default for DoctorConfig {
         DoctorConfig {
             no_progress_streak: 1000,
             rndv_grace: 0.0,
+            engine_contention_threshold: 64,
         }
     }
 }
@@ -147,11 +152,34 @@ struct RndvState {
 
 /// Analyze event snapshots for progress pathologies.
 pub fn diagnose(snaps: &[ThreadSnapshot], cfg: &DoctorConfig) -> DoctorReport {
+    diagnose_with_counters(snaps, None, cfg)
+}
+
+/// [`diagnose`], additionally cross-checking a [`CounterSnapshot`] for
+/// pathologies that events alone cannot show (counters are always on;
+/// events are feature-gated and ring-buffered).
+pub fn diagnose_with_counters(
+    snaps: &[ThreadSnapshot],
+    counters: Option<&CounterSnapshot>,
+    cfg: &DoctorConfig,
+) -> DoctorReport {
     let mut report = DoctorReport::default();
     let mut streams: HashMap<u64, StreamState> = HashMap::new();
     let mut streaks: HashMap<(u64, u32), HookStreak> = HashMap::new();
     let mut rndv: HashMap<u64, RndvState> = HashMap::new();
     let mut now = 0.0f64;
+
+    // Distinct threads that completed at least one progress sweep —
+    // needed by the contention pathology, and only visible before the
+    // per-thread snapshots are merged below.
+    let progress_threads = snaps
+        .iter()
+        .filter(|s| {
+            s.events
+                .iter()
+                .any(|e| matches!(e.kind, EventKind::StreamProgress { .. }))
+        })
+        .count() as u64;
 
     // Merge all threads' events into one time-ordered view: streams can
     // be polled from any thread, so per-thread analysis would report
@@ -319,6 +347,33 @@ pub fn diagnose(snaps: &[ThreadSnapshot], cfg: &DoctorConfig) -> DoctorReport {
                 advice: "the receiver has not granted clear-to-send: make sure the \
                          destination rank posted a matching receive and that its \
                          stream is being progressed"
+                    .to_string(),
+            });
+        }
+    }
+
+    // Pathology 4: heavy engine-lock contention while only one thread
+    // ever completes a sweep. Every sweep the contended callers wanted
+    // was done by that single holder — the extra threads only fight over
+    // the lock, which is a configuration smell, not a progress strategy.
+    if let Some(c) = counters {
+        if c.engine_lock_contended >= cfg.engine_contention_threshold && progress_threads <= 1 {
+            report.diagnoses.push(Diagnosis {
+                severity: Severity::Warning,
+                title: format!(
+                    "high engine-lock contention ({} failed try_locks) with a \
+                     single progress thread",
+                    c.engine_lock_contended
+                ),
+                detail: format!(
+                    "{} thread(s) recorded completed sweeps; {} contended \
+                     caller(s) were absorbed by the combining lock ({} handoffs)",
+                    progress_threads, c.engine_lock_contended, c.combining_handoffs
+                ),
+                advice: "many threads are hammering one stream's progress lock \
+                         while one thread does all the work: give threads their \
+                         own streams (per-VCI parallelism) or stop redundant \
+                         polling loops"
                     .to_string(),
             });
         }
@@ -535,6 +590,71 @@ mod tests {
         assert!(text.contains("CRIT"));
         assert!(text.contains("advice:"));
         assert!(text.contains("1 finding(s)"));
+    }
+
+    #[test]
+    fn flags_contention_with_single_progress_thread() {
+        let counters = CounterSnapshot {
+            engine_lock_contended: 500,
+            combining_handoffs: 480,
+            ..Default::default()
+        };
+        // One thread sweeps; another only starts (and finishes) a task.
+        let report = diagnose_with_counters(
+            &[
+                snap(vec![sweep(0.0, 1), task_done(0.1, 1, 1)]),
+                snap(vec![task_start(0.0, 1, 1)]),
+            ],
+            Some(&counters),
+            &DoctorConfig::default(),
+        );
+        assert_eq!(report.diagnoses.len(), 1);
+        let d = &report.diagnoses[0];
+        assert_eq!(d.severity, Severity::Warning);
+        assert!(d.title.contains("engine-lock contention"));
+        assert!(d.detail.contains("480 handoffs"));
+        assert!(d.advice.contains("own streams"));
+    }
+
+    #[test]
+    fn contention_with_many_progress_threads_is_expected() {
+        let counters = CounterSnapshot {
+            engine_lock_contended: 500,
+            ..Default::default()
+        };
+        // Two threads both complete sweeps: contention is real parallelism,
+        // not a lone poller being hammered.
+        let report = diagnose_with_counters(
+            &[
+                snap(vec![
+                    sweep(0.0, 1),
+                    task_start(0.0, 1, 1),
+                    task_done(0.1, 1, 1),
+                ]),
+                snap(vec![sweep(0.05, 1)]),
+            ],
+            Some(&counters),
+            &DoctorConfig::default(),
+        );
+        assert!(report.healthy(), "{report}");
+    }
+
+    #[test]
+    fn low_contention_is_not_flagged() {
+        let counters = CounterSnapshot {
+            engine_lock_contended: 3,
+            ..Default::default()
+        };
+        let report = diagnose_with_counters(
+            &[snap(vec![
+                sweep(0.0, 1),
+                task_start(0.0, 1, 1),
+                task_done(0.1, 1, 1),
+            ])],
+            Some(&counters),
+            &DoctorConfig::default(),
+        );
+        assert!(report.healthy(), "{report}");
     }
 
     #[test]

@@ -32,7 +32,7 @@ pub mod ring;
 pub mod trace;
 
 pub use counters::{global as global_counters, CounterSnapshot, Counters};
-pub use doctor::{diagnose, DoctorConfig, DoctorReport};
+pub use doctor::{diagnose, diagnose_with_counters, DoctorConfig, DoctorReport};
 pub use event::{Event, EventKind, NameId, PathKind, PollVerdict, TaskVerdict};
 pub use ring::{snapshot_all, ThreadSnapshot};
 

@@ -1,0 +1,191 @@
+//! Differential property test: the bucketed `MatchState` must be
+//! observably identical to `LinearMatchState` — the original linear-scan
+//! implementation, kept as the executable specification of the MPI
+//! matching rules — under random interleavings of wildcard/exact posts,
+//! incoming messages, and probes.
+//!
+//! Identity is checked *per operation*, not just at the end: each posted
+//! receive encodes its post index in `capacity` and each incoming message
+//! encodes its arrival index in the payload, so any divergence in match
+//! *order* (not merely match *count*) fails immediately with the seed.
+
+mod common;
+
+use common::Rng;
+use mpfa::core::{Request, Status, Stream};
+use mpfa::mpi::matching::{
+    LinearMatchState, MatchState, PostedRecv, RecvSlot, Unexpected, ANY_SOURCE, ANY_TAG,
+};
+
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    /// Post a receive for (src, tag); negative = wildcard.
+    Post { src: i32, tag: i32 },
+    /// An incoming eager message from (src, tag) (always concrete).
+    Incoming { src: i32, tag: i32 },
+    /// Probe the unexpected queue; negative = wildcard.
+    Probe { src: i32, tag: i32 },
+}
+
+fn random_op(rng: &mut Rng) -> Op {
+    let wild_or = |rng: &mut Rng, wildcard: i32| {
+        if rng.usize_in(0, 2) == 0 {
+            wildcard
+        } else {
+            rng.i32_in(0, 3)
+        }
+    };
+    match rng.usize_in(0, 5) {
+        0 | 1 => Op::Post {
+            src: wild_or(rng, ANY_SOURCE),
+            tag: wild_or(rng, ANY_TAG),
+        },
+        2 | 3 => Op::Incoming {
+            src: rng.i32_in(0, 3),
+            tag: rng.i32_in(0, 3),
+        },
+        _ => Op::Probe {
+            src: wild_or(rng, ANY_SOURCE),
+            tag: wild_or(rng, ANY_TAG),
+        },
+    }
+}
+
+/// Build two identical receives (same post index in `capacity`).
+fn recv_pair(
+    stream: &Stream,
+    src: i32,
+    tag: i32,
+    post_idx: usize,
+) -> ((PostedRecv, Request), (PostedRecv, Request)) {
+    let mk = || {
+        let (req, completer) = Request::pair(stream);
+        (
+            PostedRecv {
+                src,
+                tag,
+                // The post's identity, recoverable from a match result.
+                capacity: 10_000 + post_idx,
+                slot: RecvSlot::new(),
+                completer,
+            },
+            req,
+        )
+    };
+    (mk(), mk())
+}
+
+/// Payload for incoming message `idx`: the index, padded so `bytes()`
+/// also discriminates between messages.
+fn payload(idx: usize) -> Vec<u8> {
+    let mut data = (idx as u64).to_ne_bytes().to_vec();
+    data.resize(8 + idx % 5, 0xEE);
+    data
+}
+
+fn unexpected_id(u: &Unexpected) -> (i32, i32, usize) {
+    match u {
+        Unexpected::Eager { src, tag, data } => {
+            let idx = u64::from_ne_bytes(data[..8].try_into().unwrap()) as usize;
+            (*src, *tag, idx)
+        }
+        Unexpected::Rts { .. } => panic!("test only sends eager"),
+    }
+}
+
+#[test]
+fn bucketed_matching_equals_linear_reference() {
+    for seed in 0..256u64 {
+        let mut rng = Rng::new(seed);
+        let ops = rng.vec_in(0, 80, random_op);
+
+        let stream = Stream::create();
+        let mut fast = MatchState::new();
+        let mut lin = LinearMatchState::new();
+        let mut post_count = 0usize;
+        let mut incoming_count = 0usize;
+
+        for (step, op) in ops.iter().enumerate() {
+            match *op {
+                Op::Post { src, tag } => {
+                    let idx = post_count;
+                    post_count += 1;
+                    let ((rf, _qf), (rl, _ql)) = recv_pair(&stream, src, tag, idx);
+                    let hit_f = fast.post_recv(rf);
+                    let hit_l = lin.post_recv(rl);
+                    match (hit_f, hit_l) {
+                        (None, None) => {}
+                        (Some((recv_f, un_f)), Some((recv_l, un_l))) => {
+                            assert_eq!(
+                                unexpected_id(&un_f),
+                                unexpected_id(&un_l),
+                                "post consumed different unexpected msg \
+                                 (seed {seed}, step {step})"
+                            );
+                            recv_f.completer.complete(Status::empty());
+                            recv_l.completer.complete(Status::empty());
+                        }
+                        (f, l) => panic!(
+                            "post divergence: bucketed matched {} / linear matched {} \
+                             (seed {seed}, step {step})",
+                            f.is_some(),
+                            l.is_some()
+                        ),
+                    }
+                }
+                Op::Incoming { src, tag } => {
+                    let idx = incoming_count;
+                    incoming_count += 1;
+                    let hit_f = fast.match_incoming(src, tag);
+                    let hit_l = lin.match_incoming(src, tag);
+                    match (hit_f, hit_l) {
+                        (None, None) => {
+                            fast.push_unexpected(Unexpected::Eager {
+                                src,
+                                tag,
+                                data: payload(idx),
+                            });
+                            lin.push_unexpected(Unexpected::Eager {
+                                src,
+                                tag,
+                                data: payload(idx),
+                            });
+                        }
+                        (Some(recv_f), Some(recv_l)) => {
+                            assert_eq!(
+                                recv_f.capacity, recv_l.capacity,
+                                "incoming matched different posted recv \
+                                 (seed {seed}, step {step})"
+                            );
+                            recv_f.completer.complete(Status::empty());
+                            recv_l.completer.complete(Status::empty());
+                        }
+                        (f, l) => panic!(
+                            "incoming divergence: bucketed matched {} / linear \
+                             matched {} (seed {seed}, step {step})",
+                            f.is_some(),
+                            l.is_some()
+                        ),
+                    }
+                }
+                Op::Probe { src, tag } => {
+                    assert_eq!(
+                        fast.probe_unexpected(src, tag),
+                        lin.probe_unexpected(src, tag),
+                        "probe divergence (seed {seed}, step {step})"
+                    );
+                }
+            }
+            assert_eq!(
+                fast.posted_len(),
+                lin.posted_len(),
+                "seed {seed}, step {step}"
+            );
+            assert_eq!(
+                fast.unexpected_len(),
+                lin.unexpected_len(),
+                "seed {seed}, step {step}"
+            );
+        }
+    }
+}
