@@ -1,0 +1,213 @@
+//! Wire transport micro-benchmark: two-rank ping-pong over the simulated
+//! fabric, loopback TCP, and Unix domain sockets.
+//!
+//! For each transport and message size the benchmark measures half the
+//! round-trip time (the conventional "latency" of a ping-pong) and the
+//! realized bandwidth. The sim numbers are the no-syscall baseline; the
+//! TCP/UDS columns show what the same protocol stack pays for a real
+//! kernel socket path — which is exactly what `mpfa-transport` is for.
+//!
+//! `--json PATH` writes a machine-readable record (CI writes
+//! `results/wire_pingpong.json`); `--smoke` shrinks the sweep and arms a
+//! watchdog that exits 124 if a transport wedges.
+
+use std::sync::Arc;
+
+use mpfa_bench::json::JsonObj;
+use mpfa_core::wtime;
+use mpfa_mpi::wire::WireMsg;
+use mpfa_mpi::{Comm, World, WorldConfig};
+use mpfa_transport::{loopback_mesh, Transport, TransportKind, WireOpts};
+
+/// (payload bytes, measured iterations) — reps shrink as sizes grow so
+/// every point costs roughly the same wall time.
+const SWEEP: [(usize, usize); 5] = [
+    (8, 2000),
+    (256, 2000),
+    (4096, 1000),
+    (65536, 200),
+    (1 << 20, 30),
+];
+const WARMUP: usize = 20;
+
+struct Config {
+    json_path: String,
+    smoke: bool,
+}
+
+impl Config {
+    fn from_args() -> Config {
+        let mut cfg = Config {
+            json_path: String::new(),
+            smoke: false,
+        };
+        let mut args = std::env::args().skip(1);
+        while let Some(a) = args.next() {
+            match a.as_str() {
+                "--json" => cfg.json_path = args.next().unwrap_or_default(),
+                "--smoke" => cfg.smoke = true,
+                other => {
+                    eprintln!("usage: wire_pingpong [--json PATH] [--smoke] (got {other})");
+                    std::process::exit(2);
+                }
+            }
+        }
+        cfg
+    }
+}
+
+/// One measured point: half-RTT latency and realized bandwidth.
+struct Point {
+    bytes: usize,
+    reps: usize,
+    usec_half_rtt: f64,
+    mb_per_s: f64,
+}
+
+/// Progress-and-yield wait: like `Request::wait` but yields the core
+/// between polls. A hot spin would hand an oversubscribed box (both
+/// ranks pinned to one core) a full scheduler timeslice of dead time per
+/// message, and the bench would measure the OS quantum, not the wire.
+fn wait_yielding<T: mpfa_mpi::MpiType>(comm: &Comm, r: mpfa_mpi::RecvRequest<T>) -> Vec<T> {
+    while !r.is_complete() {
+        comm.stream().progress();
+        std::thread::yield_now();
+    }
+    r.take().0
+}
+
+/// Rank 0's side: send, await the echo, time the loop.
+fn ping(comm: &Comm, bytes: usize, reps: usize) -> f64 {
+    let payload = vec![0x2A_u8; bytes];
+    for _ in 0..WARMUP {
+        let r = comm.irecv::<u8>(bytes, 1, 1).unwrap();
+        comm.isend(&payload, 1, 0).unwrap();
+        wait_yielding(comm, r);
+    }
+    let t0 = wtime();
+    for _ in 0..reps {
+        let r = comm.irecv::<u8>(bytes, 1, 1).unwrap();
+        comm.isend(&payload, 1, 0).unwrap();
+        wait_yielding(comm, r);
+    }
+    wtime() - t0
+}
+
+/// Rank 1's side: echo everything back.
+fn pong(comm: &Comm, bytes: usize, reps: usize) {
+    for _ in 0..WARMUP + reps {
+        let r = comm.irecv::<u8>(bytes, 0, 0).unwrap();
+        let data = wait_yielding(comm, r);
+        comm.isend(&data, 0, 1).unwrap();
+    }
+}
+
+fn rank_main(comm: &Comm, sweep: &[(usize, usize)]) -> Vec<Point> {
+    let mut points = Vec::new();
+    for &(bytes, reps) in sweep {
+        if comm.rank() == 0 {
+            let secs = ping(comm, bytes, reps);
+            let half = secs / (2.0 * reps as f64);
+            points.push(Point {
+                bytes,
+                reps,
+                usec_half_rtt: half * 1e6,
+                // Each iteration moves the payload twice (there and back).
+                mb_per_s: (2 * bytes * reps) as f64 / secs / 1e6,
+            });
+        } else {
+            pong(comm, bytes, reps);
+        }
+        comm.barrier().unwrap();
+    }
+    points
+}
+
+fn run(kind: TransportKind, sweep: &[(usize, usize)]) -> Vec<Point> {
+    let cfg = WorldConfig::instant(2);
+    let ports: Vec<Arc<dyn Transport<WireMsg>>> = match kind {
+        TransportKind::Sim => Vec::new(),
+        _ => loopback_mesh::<WireMsg>(kind, 2, cfg.max_vcis, WireOpts::default())
+            .expect("loopback mesh"),
+    };
+    std::thread::scope(|s| {
+        let handles: Vec<_> = match kind {
+            TransportKind::Sim => World::init(cfg.clone())
+                .into_iter()
+                .map(|p| s.spawn(move || rank_main(&p.world_comm(), sweep)))
+                .collect(),
+            _ => (0..2)
+                .map(|rank| {
+                    let cfg = WorldConfig {
+                        transport: kind,
+                        ..cfg.clone()
+                    };
+                    let port = ports[rank].clone();
+                    s.spawn(move || {
+                        let p = World::init_with_transport(cfg, rank, port);
+                        rank_main(&p.world_comm(), sweep)
+                    })
+                })
+                .collect(),
+        };
+        let mut results: Vec<Vec<Point>> = handles
+            .into_iter()
+            .map(|h| h.join().expect("rank panicked"))
+            .collect();
+        results.swap_remove(0) // rank 0 holds the measurements
+    })
+}
+
+fn main() {
+    let cfg = Config::from_args();
+    let sweep: Vec<(usize, usize)> = if cfg.smoke {
+        // Tiny sweep + watchdog: CI only checks the path works.
+        std::thread::spawn(|| {
+            std::thread::sleep(std::time::Duration::from_secs(120));
+            eprintln!("wire_pingpong: smoke watchdog fired");
+            std::process::exit(124);
+        });
+        vec![(8, 50), (65536, 10)]
+    } else {
+        SWEEP.to_vec()
+    };
+
+    let kinds: &[TransportKind] = if cfg!(unix) {
+        &[TransportKind::Sim, TransportKind::Tcp, TransportKind::Uds]
+    } else {
+        &[TransportKind::Sim, TransportKind::Tcp]
+    };
+
+    let mut records = Vec::new();
+    for &kind in kinds {
+        println!("== {kind} ==");
+        let points = run(kind, &sweep);
+        let mut point_objs = Vec::new();
+        for p in &points {
+            println!(
+                "  {:>8} B  {:>10.2} us/half-rtt  {:>10.1} MB/s  ({} reps)",
+                p.bytes, p.usec_half_rtt, p.mb_per_s, p.reps
+            );
+            let mut o = JsonObj::new();
+            o.int("bytes", p.bytes as u64)
+                .int("reps", p.reps as u64)
+                .float("usec_half_rtt", p.usec_half_rtt)
+                .float("mb_per_s", p.mb_per_s);
+            point_objs.push(o);
+        }
+        let mut rec = JsonObj::new();
+        rec.str("transport", &kind.to_string())
+            .arr("points", &point_objs);
+        records.push(rec);
+    }
+
+    if !cfg.json_path.is_empty() {
+        let mut out = JsonObj::new();
+        out.str("bench", "wire_pingpong")
+            .bool("smoke", cfg.smoke)
+            .int("ranks", 2)
+            .arr("transports", &records);
+        out.write_to(&cfg.json_path).expect("write json");
+        println!("wrote {}", cfg.json_path);
+    }
+}

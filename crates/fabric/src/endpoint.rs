@@ -20,6 +20,14 @@ impl TxHandle {
         TxHandle { done_at }
     }
 
+    /// A handle that is already complete. Wire transports hand this back
+    /// once the payload has been copied into a kernel socket buffer (or a
+    /// local TX queue) — there is no modeled serialization delay to wait
+    /// out.
+    pub fn immediate() -> TxHandle {
+        TxHandle { done_at: 0.0 }
+    }
+
     /// Has the NIC signalled TX completion?
     #[inline]
     pub fn is_done(&self) -> bool {

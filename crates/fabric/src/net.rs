@@ -238,7 +238,10 @@ impl<M: Send> Fabric<M> {
     /// Inject a packet. Returns the TX completion handle (done when the
     /// sender-side channel finishes serializing the payload — the "NIC
     /// signals completion" event of eager sends).
-    pub(crate) fn send(&self, src: usize, dst: usize, msg: M, wire_bytes: usize) -> TxHandle {
+    ///
+    /// This is the raw fabric-level entry point; most callers go through
+    /// [`Endpoint::send`] or a `mpfa-transport` backend instead.
+    pub fn send(&self, src: usize, dst: usize, msg: M, wire_bytes: usize) -> TxHandle {
         let cfg = &self.inner.config;
         assert!(dst < cfg.ranks, "destination rank {dst} out of range");
         assert!(
@@ -296,7 +299,7 @@ impl<M: Send> Fabric<M> {
     }
 
     /// Pop the next arrived packet for `rank` on `path`, if any.
-    pub(crate) fn poll(&self, rank: usize, path: Path) -> Option<Envelope<M>> {
+    pub fn poll(&self, rank: usize, path: Path) -> Option<Envelope<M>> {
         let mut out = Vec::new();
         if self.poll_batch(rank, path, 1, &mut out) == 0 {
             return None;
@@ -310,7 +313,7 @@ impl<M: Send> Fabric<M> {
     /// yet (atomic count + earliest-arrival fast-outs). Returns the number
     /// of packets appended. Delivery events are recorded after the lock is
     /// released.
-    pub(crate) fn poll_batch(
+    pub fn poll_batch(
         &self,
         rank: usize,
         path: Path,
@@ -332,7 +335,7 @@ impl<M: Send> Fabric<M> {
     }
 
     /// Number of packets queued (arrived or still in flight) for `rank`.
-    pub(crate) fn queued(&self, rank: usize, path: Path) -> usize {
+    pub fn queued(&self, rank: usize, path: Path) -> usize {
         self.inner.rx[rank].lane(path).queued()
     }
 }

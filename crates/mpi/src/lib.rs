@@ -63,4 +63,6 @@ pub use persistent::{PersistentRecv, PersistentSend};
 pub use proc::Proc;
 pub use recv::RecvRequest;
 pub use vector_ops::VectorRecv;
-pub use world::{World, WorldConfig};
+pub use world::{Launch, World, WorldConfig};
+
+pub use mpfa_transport::TransportKind;

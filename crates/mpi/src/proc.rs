@@ -101,12 +101,12 @@ impl Proc {
         }
         let cfg = self.inner.world.config();
         assert!(idx < cfg.max_vcis, "VCI index {idx} out of range");
-        let ep = self
-            .inner
-            .world
-            .fabric()
-            .endpoint(cfg.ep_index(self.inner.rank, idx));
-        let vci = Vci::new(ep, stream.clone(), cfg.proto);
+        let vci = Vci::on_transport(
+            self.inner.world.transport(),
+            cfg.ep_index(self.inner.rank, idx),
+            stream.clone(),
+            cfg.proto,
+        );
         let dt = DtEngine::shared();
         let sched = SchedQueue::shared();
         subsys::register_all(&vci, &dt, &sched);

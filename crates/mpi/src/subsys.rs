@@ -129,7 +129,12 @@ impl ProgressHook for NetmodHook {
         SubsystemClass::Netmod
     }
     fn has_work(&self) -> bool {
-        self.vci.queued_net() > 0 || self.vci.protocol_work() > 0
+        // `transport_work` keeps wire backends polled even when no packet
+        // is visibly queued: bytes may sit in kernel socket buffers that
+        // only a `progress()` pump can surface. Always false on the
+        // simulated fabric, so sim worlds keep the poll-suppression
+        // behaviour unchanged.
+        self.vci.queued_net() > 0 || self.vci.protocol_work() > 0 || self.vci.transport_work()
     }
     fn poll(&self) -> bool {
         let pkts = self.vci.poll_net(POLL_BATCH);

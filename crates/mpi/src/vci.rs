@@ -13,7 +13,8 @@ use std::sync::Arc;
 
 use mpfa_core::sync::Mutex;
 use mpfa_core::{Completer, Request, Status, Stream};
-use mpfa_fabric::{Endpoint, TxHandle};
+use mpfa_fabric::{Endpoint, Path, TxHandle};
+use mpfa_transport::Transport;
 
 use crate::matching::{MatchState, PostedRecv, RecvSlot, Unexpected};
 use crate::protocol::{ProtoConfig, SendMode};
@@ -62,10 +63,14 @@ struct VciState {
     next_id: u64,
 }
 
-/// One virtual communication interface: endpoint + protocol state, served
-/// by a single stream's hooks.
+/// One virtual communication interface: transport endpoint + protocol
+/// state, served by a single stream's hooks.
 pub struct Vci {
-    ep: Endpoint<WireMsg>,
+    /// The packet substrate carrying this VCI's traffic (simulated
+    /// fabric or a real wire backend — the protocol code cannot tell).
+    port: Arc<dyn Transport<WireMsg>>,
+    /// This VCI's wire endpoint index on `port`.
+    ep: usize,
     stream: Stream,
     proto: ProtoConfig,
     state: Mutex<VciState>,
@@ -75,10 +80,31 @@ pub struct Vci {
 }
 
 impl Vci {
-    /// Create a VCI over `ep`, served by `stream`.
+    /// Create a VCI over the fabric endpoint `ep`, served by `stream`.
+    ///
+    /// Convenience wrapper over [`Vci::on_transport`] for the simulated
+    /// fabric (every `Fabric` is a [`Transport`]).
     pub fn new(ep: Endpoint<WireMsg>, stream: Stream, proto: ProtoConfig) -> Arc<Vci> {
+        let index = ep.rank();
+        Vci::on_transport(Arc::new(ep.fabric().clone()), index, stream, proto)
+    }
+
+    /// Create a VCI over wire endpoint `ep` of an arbitrary transport,
+    /// served by `stream`.
+    pub fn on_transport(
+        port: Arc<dyn Transport<WireMsg>>,
+        ep: usize,
+        stream: Stream,
+        proto: ProtoConfig,
+    ) -> Arc<Vci> {
         proto.validate();
+        assert!(
+            ep < port.endpoints(),
+            "endpoint {ep} out of range for a {}-endpoint transport",
+            port.endpoints()
+        );
         Arc::new(Vci {
+            port,
             ep,
             stream,
             proto,
@@ -94,7 +120,7 @@ impl Vci {
 
     /// The wire endpoint index of this VCI.
     pub fn ep_index(&self) -> usize {
-        self.ep.rank()
+        self.ep
     }
 
     /// Protocol tunables in force.
@@ -109,12 +135,19 @@ impl Vci {
 
     /// Packets queued for this VCI on the network path.
     pub fn queued_net(&self) -> usize {
-        self.ep.queued_net()
+        self.port.queued(self.ep, Path::Net)
     }
 
     /// Packets queued for this VCI on the shmem path.
     pub fn queued_shmem(&self) -> usize {
-        self.ep.queued_shmem()
+        self.port.queued(self.ep, Path::Shmem)
+    }
+
+    /// True when the transport can make progress invisible to
+    /// [`Vci::queued_net`] — bytes in kernel socket buffers, pending
+    /// reconnects. Always false on the simulated fabric.
+    pub fn transport_work(&self) -> bool {
+        self.port.external_work()
     }
 
     // ---------------------------------------------------------------
@@ -148,12 +181,13 @@ impl Vci {
                     .eager_msgs
                     .fetch_add(1, Ordering::Relaxed);
                 mpfa_obs::record(|| mpfa_obs::EventKind::EagerSend {
-                    src: self.ep.rank() as u32,
+                    src: self.ep as u32,
                     dst: dst_ep as u32,
                     bytes: n as u64,
                     buffered: true,
                 });
-                self.ep.send(dst_ep, WireMsg::Eager { hdr, data: bytes }, n);
+                self.port
+                    .send(self.ep, dst_ep, WireMsg::Eager { hdr, data: bytes }, n);
                 Request::completed(
                     &self.stream,
                     Status {
@@ -169,13 +203,15 @@ impl Vci {
                     .eager_msgs
                     .fetch_add(1, Ordering::Relaxed);
                 mpfa_obs::record(|| mpfa_obs::EventKind::EagerSend {
-                    src: self.ep.rank() as u32,
+                    src: self.ep as u32,
                     dst: dst_ep as u32,
                     bytes: n as u64,
                     buffered: false,
                 });
                 let (req, completer) = Request::pair(&self.stream);
-                let tx = self.ep.send(dst_ep, WireMsg::Eager { hdr, data: bytes }, n);
+                let tx = self
+                    .port
+                    .send(self.ep, dst_ep, WireMsg::Eager { hdr, data: bytes }, n);
                 let mut st = self.state.lock();
                 st.tx_pending.push(TxPending {
                     tx,
@@ -217,11 +253,12 @@ impl Vci {
                     .fetch_add(1, Ordering::Relaxed);
                 mpfa_obs::record(|| mpfa_obs::EventKind::RndvRts {
                     send_id,
-                    src: self.ep.rank() as u32,
+                    src: self.ep as u32,
                     dst: dst_ep as u32,
                     total: n as u64,
                 });
-                self.ep.send(
+                self.port.send(
+                    self.ep,
                     dst_ep,
                     WireMsg::Rts {
                         hdr,
@@ -288,20 +325,24 @@ impl Vci {
     /// hooks run under the stream's engine lock: only one thread processes
     /// this VCI's packets at a time.
     pub fn poll_net(&self, batch: usize) -> bool {
+        // Pump transport machinery first (flush TX queues, read sockets,
+        // drive reconnects); a no-op returning false on the simulated
+        // fabric.
+        let pumped = self.port.progress();
         let mut arrived = Vec::new();
-        self.ep.poll_net_batch(batch, &mut arrived);
+        self.port.poll(self.ep, Path::Net, batch, &mut arrived);
         let any = !arrived.is_empty();
         for env in arrived {
             self.process(env.src, env.msg);
         }
-        any
+        any || pumped
     }
 
     /// Process up to `batch` arrived shmem-path packets; see
     /// [`Vci::poll_net`].
     pub fn poll_shmem(&self, batch: usize) -> bool {
         let mut arrived = Vec::new();
-        self.ep.poll_shmem_batch(batch, &mut arrived);
+        self.port.poll(self.ep, Path::Shmem, batch, &mut arrived);
         let any = !arrived.is_empty();
         for env in arrived {
             self.process(env.src, env.msg);
@@ -398,7 +439,7 @@ impl Vci {
                         .fetch_add(1, Ordering::Relaxed);
                     mpfa_obs::record(|| mpfa_obs::EventKind::RndvCts { send_id, recv_id });
                     send.recv_id = Some(recv_id);
-                    Self::pump_chunks(&self.ep, &self.proto, send);
+                    Self::pump_chunks(&*self.port, self.ep, &self.proto, send);
                 }
             }
             WireMsg::Data {
@@ -419,7 +460,8 @@ impl Vci {
                     recv.slot.write_at(recv.total, offset, &data);
                     recv.received += data.len();
                     // Flow-control credit back to the sender.
-                    self.ep.send(
+                    self.port.send(
+                        self.ep,
                         recv.reply_ep,
                         WireMsg::DataAck {
                             send_id: recv.send_id,
@@ -457,7 +499,7 @@ impl Vci {
                     };
                     send.inflight -= 1;
                     send.acked += 1;
-                    Self::pump_chunks(&self.ep, &self.proto, send);
+                    Self::pump_chunks(&*self.port, self.ep, &self.proto, send);
                     let total_chunks = self.proto.chunks_of(send.data.len());
                     if send.acked >= total_chunks {
                         st.sends.remove(&send_id)
@@ -563,18 +605,25 @@ impl Vci {
             id
         };
         self.work.fetch_add(1, Ordering::Release);
-        self.ep.send(reply_ep, WireMsg::Cts { send_id, recv_id }, 0);
+        self.port
+            .send(self.ep, reply_ep, WireMsg::Cts { send_id, recv_id }, 0);
     }
 
     /// Inject chunks up to the pipeline depth.
-    fn pump_chunks(ep: &Endpoint<WireMsg>, proto: &ProtoConfig, send: &mut RndvSend) {
+    fn pump_chunks(
+        port: &dyn Transport<WireMsg>,
+        src_ep: usize,
+        proto: &ProtoConfig,
+        send: &mut RndvSend,
+    ) {
         let Some(recv_id) = send.recv_id else { return };
         let total = send.data.len();
         while send.inflight < proto.depth && send.offset < total {
             let end = (send.offset + proto.chunk).min(total);
             let chunk = send.data[send.offset..end].to_vec();
             let len = chunk.len();
-            ep.send(
+            port.send(
+                src_ep,
                 send.dst_ep,
                 WireMsg::Data {
                     recv_id,

@@ -10,6 +10,9 @@
 //!   ([`WireMsg::DataAck`] provides the pipeline-mode flow control with a
 //!   bounded number of in-flight chunks).
 
+use mpfa_transport::codec::{put_i32, put_u64, ByteReader};
+use mpfa_transport::FrameCodec;
+
 /// Matching metadata carried by message-bearing packets.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct MsgHeader {
@@ -89,6 +92,107 @@ impl WireMsg {
     }
 }
 
+// ---------------------------------------------------------------------
+// Wire framing: how WireMsg crosses a real socket.
+// ---------------------------------------------------------------------
+
+/// Variant tags of the frame encoding (one byte on the wire).
+const TAG_EAGER: u8 = 0;
+const TAG_RTS: u8 = 1;
+const TAG_CTS: u8 = 2;
+const TAG_DATA: u8 = 3;
+const TAG_DATA_ACK: u8 = 4;
+
+fn put_hdr(buf: &mut Vec<u8>, hdr: &MsgHeader) {
+    put_u64(buf, hdr.context_id);
+    put_i32(buf, hdr.src_rank);
+    put_i32(buf, hdr.tag);
+}
+
+fn read_hdr(r: &mut ByteReader<'_>) -> Option<MsgHeader> {
+    Some(MsgHeader {
+        context_id: r.u64()?,
+        src_rank: r.i32()?,
+        tag: r.i32()?,
+    })
+}
+
+/// [`FrameCodec`] lets [`WireMsg`] cross the real TCP/UDS backends of
+/// `mpfa-transport` unchanged: one leading variant byte, little-endian
+/// fixed-width fields, and — for the two data-bearing variants — the
+/// payload as the trailing rest of the frame (the frame header already
+/// carries the length, so none is repeated here).
+impl FrameCodec for WireMsg {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        match self {
+            WireMsg::Eager { hdr, data } => {
+                buf.push(TAG_EAGER);
+                put_hdr(buf, hdr);
+                buf.extend_from_slice(data);
+            }
+            WireMsg::Rts {
+                hdr,
+                send_id,
+                total,
+            } => {
+                buf.push(TAG_RTS);
+                put_hdr(buf, hdr);
+                put_u64(buf, *send_id);
+                put_u64(buf, *total as u64);
+            }
+            WireMsg::Cts { send_id, recv_id } => {
+                buf.push(TAG_CTS);
+                put_u64(buf, *send_id);
+                put_u64(buf, *recv_id);
+            }
+            WireMsg::Data {
+                recv_id,
+                offset,
+                data,
+            } => {
+                buf.push(TAG_DATA);
+                put_u64(buf, *recv_id);
+                put_u64(buf, *offset as u64);
+                buf.extend_from_slice(data);
+            }
+            WireMsg::DataAck { send_id } => {
+                buf.push(TAG_DATA_ACK);
+                put_u64(buf, *send_id);
+            }
+        }
+    }
+
+    fn decode(bytes: &[u8]) -> Option<Self> {
+        let mut r = ByteReader::new(bytes);
+        let tag = *r.take(1)?.first()?;
+        let msg = match tag {
+            TAG_EAGER => WireMsg::Eager {
+                hdr: read_hdr(&mut r)?,
+                data: r.rest().to_vec(),
+            },
+            TAG_RTS => WireMsg::Rts {
+                hdr: read_hdr(&mut r)?,
+                send_id: r.u64()?,
+                total: r.u64()? as usize,
+            },
+            TAG_CTS => WireMsg::Cts {
+                send_id: r.u64()?,
+                recv_id: r.u64()?,
+            },
+            TAG_DATA => WireMsg::Data {
+                recv_id: r.u64()?,
+                offset: r.u64()? as usize,
+                data: r.rest().to_vec(),
+            },
+            TAG_DATA_ACK => WireMsg::DataAck { send_id: r.u64()? },
+            _ => return None,
+        };
+        // Fixed-size variants must consume the payload exactly; the
+        // data-bearing ones drained it via rest().
+        r.is_empty().then_some(msg)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -138,6 +242,59 @@ mod tests {
             7
         );
         assert_eq!(WireMsg::DataAck { send_id: 1 }.wire_bytes(), 0);
+    }
+
+    #[test]
+    fn frame_codec_roundtrips_every_variant() {
+        let msgs = vec![
+            WireMsg::Eager {
+                hdr: MsgHeader {
+                    context_id: u64::MAX,
+                    src_rank: -1,
+                    tag: i32::MIN,
+                },
+                data: (0..=255).collect(),
+            },
+            WireMsg::Eager {
+                hdr: hdr(),
+                data: vec![],
+            },
+            WireMsg::Rts {
+                hdr: hdr(),
+                send_id: 7,
+                total: 1 << 40,
+            },
+            WireMsg::Cts {
+                send_id: 7,
+                recv_id: 9,
+            },
+            WireMsg::Data {
+                recv_id: 9,
+                offset: 123_456,
+                data: vec![0xAB; 3],
+            },
+            WireMsg::DataAck { send_id: 7 },
+        ];
+        for msg in msgs {
+            let mut buf = Vec::new();
+            msg.encode(&mut buf);
+            assert_eq!(WireMsg::decode(&buf), Some(msg));
+        }
+    }
+
+    #[test]
+    fn frame_codec_rejects_malformed_payloads() {
+        // Unknown variant tag.
+        assert_eq!(WireMsg::decode(&[99]), None);
+        // Empty payload.
+        assert_eq!(WireMsg::decode(&[]), None);
+        // Truncated fixed-size variant.
+        let mut buf = Vec::new();
+        WireMsg::DataAck { send_id: 1 }.encode(&mut buf);
+        assert_eq!(WireMsg::decode(&buf[..buf.len() - 1]), None);
+        // Trailing garbage after a fixed-size variant.
+        buf.push(0);
+        assert_eq!(WireMsg::decode(&buf), None);
     }
 
     #[test]

@@ -12,6 +12,8 @@ use std::sync::Arc;
 
 use mpfa_core::sync::Mutex;
 use mpfa_fabric::{Fabric, FabricConfig};
+use mpfa_transport::bootstrap::{self, BootEnv};
+use mpfa_transport::{SharedTransport, TransportKind, WireOpts};
 
 use crate::error::{MpiError, MpiResult};
 use crate::proc::Proc;
@@ -43,6 +45,10 @@ pub struct WorldConfig {
     /// Virtual communication interfaces per rank (VCI 0 is the default
     /// stream's; each stream communicator takes one more).
     pub max_vcis: usize,
+    /// Which packet substrate carries the traffic. [`TransportKind::Sim`]
+    /// (the default) is the in-process simulated fabric; the wire kinds
+    /// require [`World::launch`] under an `mpfarun`-style environment.
+    pub transport: TransportKind,
 }
 
 impl WorldConfig {
@@ -59,6 +65,7 @@ impl WorldConfig {
             jitter: 0.0,
             proto: ProtoConfig::default(),
             max_vcis: 8,
+            transport: TransportKind::Sim,
         }
     }
 
@@ -84,6 +91,7 @@ impl WorldConfig {
             jitter: 0.0,
             proto: ProtoConfig::default(),
             max_vcis: 8,
+            transport: TransportKind::Sim,
         }
     }
 
@@ -114,6 +122,27 @@ impl WorldConfig {
     #[inline]
     pub(crate) fn ep_index(&self, world_rank: usize, vci: usize) -> usize {
         world_rank * self.max_vcis + vci
+    }
+
+    /// Validate invariants across every layer this config feeds: protocol
+    /// thresholds, the derived fabric configuration, and the VCI count.
+    /// Panics with a descriptive message on nonsense configurations
+    /// (MPI_ERRORS_ARE_FATAL semantics, like the layers it checks).
+    pub fn validate(&self) {
+        self.proto.validate();
+        self.fabric_config().validate();
+        assert!(self.max_vcis >= 1, "need at least one VCI");
+    }
+
+    /// Apply the `MPFA_TRANSPORT` environment override, if set. Panics on
+    /// an unparseable value — a launcher bug, not a user error.
+    pub fn transport_from_env(mut self) -> WorldConfig {
+        match TransportKind::from_env() {
+            Ok(Some(kind)) => self.transport = kind,
+            Ok(None) => {}
+            Err(v) => panic!("bad MPFA_TRANSPORT={v} (want sim|tcp|uds)"),
+        }
+        self
     }
 }
 
@@ -191,7 +220,14 @@ struct ExchangeSlot {
 
 pub(crate) struct WorldInner {
     pub(crate) config: WorldConfig,
-    pub(crate) fabric: Fabric<WireMsg>,
+    /// The packet substrate every VCI sends and polls through.
+    pub(crate) port: SharedTransport<WireMsg>,
+    /// The simulated fabric behind `port`, kept for diagnostics; `None`
+    /// when the world runs over a real wire.
+    sim: Option<Fabric<WireMsg>>,
+    /// True when this process holds ONE rank of a multi-process world
+    /// (wire transport) rather than all ranks in-process.
+    distributed: bool,
     pub(crate) registry: Mutex<Registry>,
     exchanges: Mutex<HashMap<(u64, u64, u8), ExchangeSlot>>,
 }
@@ -200,6 +236,31 @@ pub(crate) struct WorldInner {
 #[derive(Clone)]
 pub struct World {
     pub(crate) inner: Arc<WorldInner>,
+}
+
+/// What [`World::launch`] booted, depending on the environment.
+pub enum Launch {
+    /// No launcher environment: every rank lives in this process (the
+    /// classic simulation mode; hand each [`Proc`] to its own thread).
+    InProcess(Vec<Proc>),
+    /// An `mpfarun`-style launcher started N OS processes; this is the
+    /// local process's single rank, connected to its peers over the wire.
+    Distributed(Proc),
+}
+
+impl Launch {
+    /// The ranks living in this process (one when distributed).
+    pub fn procs(self) -> Vec<Proc> {
+        match self {
+            Launch::InProcess(procs) => procs,
+            Launch::Distributed(proc) => vec![proc],
+        }
+    }
+
+    /// True when this process holds one rank of a multi-process world.
+    pub fn is_distributed(&self) -> bool {
+        matches!(self, Launch::Distributed(_))
+    }
 }
 
 impl World {
@@ -220,11 +281,19 @@ impl World {
     /// });
     /// ```
     pub fn init(config: WorldConfig) -> Vec<Proc> {
-        config.proto.validate();
-        assert!(config.max_vcis >= 1, "need at least one VCI");
+        config.validate();
+        assert_eq!(
+            config.transport,
+            TransportKind::Sim,
+            "World::init is in-process only; wire transports come up \
+             through World::launch under an mpfarun environment"
+        );
+        let fabric: Fabric<WireMsg> = Fabric::new(config.fabric_config());
         let world = World {
             inner: Arc::new(WorldInner {
-                fabric: Fabric::new(config.fabric_config()),
+                port: Arc::new(fabric.clone()),
+                sim: Some(fabric),
+                distributed: false,
                 registry: Mutex::new(Registry::new()),
                 exchanges: Mutex::new(HashMap::new()),
                 config,
@@ -233,6 +302,77 @@ impl World {
         (0..world.inner.config.ranks)
             .map(|rank| Proc::new(world.clone(), rank))
             .collect()
+    }
+
+    /// Boot ONE rank of a multi-process world over an established wire
+    /// transport. `rank` is this process's world rank; `port` must span
+    /// `ranks * max_vcis` endpoints (what [`bootstrap::establish`] hands
+    /// back for `eps_per_rank = max_vcis`).
+    ///
+    /// Most callers want [`World::launch`], which reads the launcher
+    /// environment and runs the bootstrap itself.
+    pub fn init_with_transport(
+        config: WorldConfig,
+        rank: usize,
+        port: SharedTransport<WireMsg>,
+    ) -> Proc {
+        config.validate();
+        assert!(rank < config.ranks, "rank {rank} out of range");
+        assert_eq!(
+            port.endpoints(),
+            config.ranks * config.max_vcis,
+            "transport endpoint count does not match ranks * max_vcis"
+        );
+        let world = World {
+            inner: Arc::new(WorldInner {
+                port,
+                sim: None,
+                distributed: true,
+                registry: Mutex::new(Registry::new()),
+                exchanges: Mutex::new(HashMap::new()),
+                config,
+            }),
+        };
+        Proc::new(world, rank)
+    }
+
+    /// `mpiexec`-style entry point: boot this process's view of the world,
+    /// wherever it runs.
+    ///
+    /// * Under a launcher environment (`MPFA_RANK`/`MPFA_RANKS`/
+    ///   `MPFA_PEERS` set, as `mpfarun` does) — run the wire bootstrap and
+    ///   return [`Launch::Distributed`] with this process's single rank.
+    ///   The launcher's world size and transport kind override the config.
+    /// * Otherwise — in-process simulation, [`Launch::InProcess`] with all
+    ///   ranks, exactly like [`World::init`].
+    ///
+    /// Panics if the wire bootstrap fails (rendezvous unreachable, mesh
+    /// timeout) — MPI_ERRORS_ARE_FATAL semantics.
+    pub fn launch(config: WorldConfig) -> Launch {
+        match bootstrap::boot_env() {
+            None => Launch::InProcess(World::init(WorldConfig {
+                transport: TransportKind::Sim,
+                ..config
+            })),
+            Some(env) => Launch::Distributed(World::launch_distributed(config, &env)),
+        }
+    }
+
+    fn launch_distributed(config: WorldConfig, env: &BootEnv) -> Proc {
+        let config = WorldConfig {
+            ranks: env.ranks,
+            transport: env.kind,
+            ..config
+        };
+        config.validate();
+        let port = bootstrap::establish::<WireMsg>(env, config.max_vcis, WireOpts::from_env())
+            .unwrap_or_else(|e| {
+                panic!(
+                    "wire bootstrap failed for rank {}/{} over {}: {e}",
+                    env.rank, env.ranks, env.kind
+                )
+            });
+        World::init_with_transport(config, env.rank, port)
     }
 
     /// The world configuration.
@@ -245,9 +385,20 @@ impl World {
         self.inner.config.ranks
     }
 
-    /// The underlying fabric (diagnostics).
-    pub fn fabric(&self) -> &Fabric<WireMsg> {
-        &self.inner.fabric
+    /// True when this process holds one rank of a multi-process world.
+    pub fn distributed(&self) -> bool {
+        self.inner.distributed
+    }
+
+    /// The packet substrate carrying this world's traffic.
+    pub fn transport(&self) -> SharedTransport<WireMsg> {
+        self.inner.port.clone()
+    }
+
+    /// The underlying simulated fabric (diagnostics). `None` when the
+    /// world runs over a real wire transport.
+    pub fn fabric(&self) -> Option<&Fabric<WireMsg>> {
+        self.inner.sim.as_ref()
     }
 
     /// Blocking all-to-all exchange of small agreement vectors among the
@@ -261,6 +412,12 @@ impl World {
         index: usize,
         value: ExchangeValue,
     ) -> Vec<ExchangeValue> {
+        assert!(
+            !self.inner.distributed,
+            "communicator splits need the in-process exchange table, which a \
+             distributed world does not share; split communicators are not \
+             yet supported over wire transports"
+        );
         let mut deposited = false;
         loop {
             {
@@ -358,6 +515,63 @@ mod tests {
         for r in &results {
             assert_eq!(r, &vec![vec![0], vec![10], vec![20]]);
         }
+    }
+
+    #[test]
+    #[should_panic(expected = "in-process only")]
+    fn init_rejects_wire_transport() {
+        let cfg = WorldConfig {
+            transport: TransportKind::Tcp,
+            ..WorldConfig::instant(2)
+        };
+        let _ = World::init(cfg);
+    }
+
+    #[test]
+    fn launch_without_env_is_in_process() {
+        // The test environment has no MPFA_RANK, so launch must fall back
+        // to the in-process world with every rank local.
+        let launch = World::launch(WorldConfig::instant(3));
+        assert!(!launch.is_distributed());
+        let procs = launch.procs();
+        assert_eq!(procs.len(), 3);
+        assert!(!procs[0].world().distributed());
+        assert!(procs[0].world().fabric().is_some(), "sim keeps the fabric");
+    }
+
+    #[test]
+    fn init_with_transport_boots_one_rank() {
+        use mpfa_transport::loopback_mesh;
+        let cfg = WorldConfig {
+            max_vcis: 2,
+            ..WorldConfig::instant(2)
+        };
+        let mesh = loopback_mesh::<crate::wire::WireMsg>(
+            TransportKind::Tcp,
+            2,
+            cfg.max_vcis,
+            mpfa_transport::WireOpts::default(),
+        )
+        .unwrap();
+        let proc = World::init_with_transport(
+            WorldConfig {
+                transport: TransportKind::Tcp,
+                ..cfg
+            },
+            1,
+            mesh[1].clone(),
+        );
+        assert_eq!(proc.rank(), 1);
+        assert_eq!(proc.size(), 2);
+        assert!(proc.world().distributed());
+        assert!(proc.world().fabric().is_none(), "no sim fabric on a wire");
+    }
+
+    #[test]
+    fn config_validate_accepts_presets() {
+        WorldConfig::instant(4).validate();
+        WorldConfig::cluster(4).validate();
+        WorldConfig::single_node(4).validate();
     }
 
     #[test]

@@ -62,10 +62,27 @@ pub struct Counters {
     pub match_bucket_hits: AtomicU64,
     /// Tag matches satisfied from the wildcard side-queue.
     pub match_wildcard_hits: AtomicU64,
+    /// Bytes handed to a wire transport for transmission (framed bytes
+    /// written toward a socket, including frame headers).
+    pub wire_bytes_tx: AtomicU64,
+    /// Bytes read off a wire transport's sockets (including frame
+    /// headers).
+    pub wire_bytes_rx: AtomicU64,
+    /// Wire-transport connection attempts after the first (retries after
+    /// a failed dial or a lost connection).
+    pub transport_reconnects: AtomicU64,
+    /// Peers a wire transport has given up on (reconnect budget
+    /// exhausted). Non-zero means part of the world is unreachable.
+    pub transport_dead_peers: AtomicU64,
+    /// Wall-clock seconds the bootstrap rendezvous + mesh establishment
+    /// took, stored as `f64::to_bits` (0 when no bootstrap ran).
+    pub bootstrap_secs: AtomicU64,
 }
 
 /// Plain-integer copy of a [`Counters`] at a point in time.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+///
+/// (`PartialEq` only — `bootstrap_secs` is an `f64`.)
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct CounterSnapshot {
     /// Subsystem hook polls issued.
     pub hook_polls: u64,
@@ -109,6 +126,16 @@ pub struct CounterSnapshot {
     pub match_bucket_hits: u64,
     /// Tag matches satisfied from the wildcard side-queue.
     pub match_wildcard_hits: u64,
+    /// Bytes handed to a wire transport for transmission.
+    pub wire_bytes_tx: u64,
+    /// Bytes read off a wire transport's sockets.
+    pub wire_bytes_rx: u64,
+    /// Wire-transport reconnect attempts.
+    pub transport_reconnects: u64,
+    /// Peers a wire transport has given up on.
+    pub transport_dead_peers: u64,
+    /// Seconds the bootstrap rendezvous took (0 when no bootstrap ran).
+    pub bootstrap_secs: f64,
 }
 
 impl Counters {
@@ -169,6 +196,22 @@ impl Counters {
         }
     }
 
+    /// Count `bytes` written toward a wire-transport socket.
+    pub fn record_wire_tx(&self, bytes: u64) {
+        self.wire_bytes_tx.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    /// Count `bytes` read off a wire-transport socket.
+    pub fn record_wire_rx(&self, bytes: u64) {
+        self.wire_bytes_rx.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    /// Record how long the bootstrap rendezvous took (overwrites; there
+    /// is one bootstrap per process).
+    pub fn record_bootstrap_secs(&self, secs: f64) {
+        self.bootstrap_secs.store(secs.to_bits(), Ordering::Relaxed);
+    }
+
     /// Copy every counter.
     pub fn snapshot(&self) -> CounterSnapshot {
         CounterSnapshot {
@@ -193,6 +236,11 @@ impl Counters {
             combining_handoffs: self.combining_handoffs.load(Ordering::Relaxed),
             match_bucket_hits: self.match_bucket_hits.load(Ordering::Relaxed),
             match_wildcard_hits: self.match_wildcard_hits.load(Ordering::Relaxed),
+            wire_bytes_tx: self.wire_bytes_tx.load(Ordering::Relaxed),
+            wire_bytes_rx: self.wire_bytes_rx.load(Ordering::Relaxed),
+            transport_reconnects: self.transport_reconnects.load(Ordering::Relaxed),
+            transport_dead_peers: self.transport_dead_peers.load(Ordering::Relaxed),
+            bootstrap_secs: f64::from_bits(self.bootstrap_secs.load(Ordering::Relaxed)),
         }
     }
 
@@ -219,6 +267,11 @@ impl Counters {
         self.combining_handoffs.store(0, Ordering::Relaxed);
         self.match_bucket_hits.store(0, Ordering::Relaxed);
         self.match_wildcard_hits.store(0, Ordering::Relaxed);
+        self.wire_bytes_tx.store(0, Ordering::Relaxed);
+        self.wire_bytes_rx.store(0, Ordering::Relaxed);
+        self.transport_reconnects.store(0, Ordering::Relaxed);
+        self.transport_dead_peers.store(0, Ordering::Relaxed);
+        self.bootstrap_secs.store(0, Ordering::Relaxed);
     }
 }
 
@@ -264,7 +317,7 @@ impl std::fmt::Display for CounterSnapshot {
             self.rndv_completed,
             self.unexpected_msgs
         )?;
-        write!(
+        writeln!(
             f,
             "locking:  {} contended progress calls, {} combining handoffs; \
              matches {} bucket / {} wildcard",
@@ -272,6 +325,16 @@ impl std::fmt::Display for CounterSnapshot {
             self.combining_handoffs,
             self.match_bucket_hits,
             self.match_wildcard_hits
+        )?;
+        write!(
+            f,
+            "wire:     {} B tx / {} B rx, {} reconnects, {} dead peers, \
+             bootstrap {:.3}s",
+            self.wire_bytes_tx,
+            self.wire_bytes_rx,
+            self.transport_reconnects,
+            self.transport_dead_peers,
+            self.bootstrap_secs
         )
     }
 }
@@ -331,6 +394,25 @@ mod tests {
         c.record_packet(PathKind::Net, 100);
         c.observe_no_progress_streak(9);
         c.rndv_started.fetch_add(2, Ordering::Relaxed);
+        c.reset();
+        assert_eq!(c.snapshot(), CounterSnapshot::default());
+    }
+
+    #[test]
+    fn wire_counters_accumulate_and_reset() {
+        let c = Counters::new();
+        c.record_wire_tx(100);
+        c.record_wire_tx(28);
+        c.record_wire_rx(128);
+        c.transport_reconnects.fetch_add(3, Ordering::Relaxed);
+        c.transport_dead_peers.fetch_add(1, Ordering::Relaxed);
+        c.record_bootstrap_secs(0.25);
+        let s = c.snapshot();
+        assert_eq!(s.wire_bytes_tx, 128);
+        assert_eq!(s.wire_bytes_rx, 128);
+        assert_eq!(s.transport_reconnects, 3);
+        assert_eq!(s.transport_dead_peers, 1);
+        assert_eq!(s.bootstrap_secs, 0.25);
         c.reset();
         assert_eq!(c.snapshot(), CounterSnapshot::default());
     }

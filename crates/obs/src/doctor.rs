@@ -28,6 +28,10 @@ pub struct DoctorConfig {
     /// Flag engine-lock contention once this many `try_lock` failures
     /// were counted while only one thread recorded progress sweeps.
     pub engine_contention_threshold: u64,
+    /// Flag a transport partition once the netmod has been polled this
+    /// many times while a wire transport reports at least one dead peer
+    /// (reconnect budget exhausted).
+    pub dead_peer_polls: u64,
 }
 
 impl Default for DoctorConfig {
@@ -36,6 +40,7 @@ impl Default for DoctorConfig {
             no_progress_streak: 1000,
             rndv_grace: 0.0,
             engine_contention_threshold: 64,
+            dead_peer_polls: 64,
         }
     }
 }
@@ -379,6 +384,33 @@ pub fn diagnose_with_counters(
         }
     }
 
+    // Pathology 5: peer unreachable / transport partition. A wire
+    // transport has exhausted its reconnect budget for at least one peer
+    // while the netmod keeps getting polled — every send toward that
+    // rank (and every collective spanning it) is now unfinishable.
+    if let Some(c) = counters {
+        if c.transport_dead_peers > 0 && c.hook_polls >= cfg.dead_peer_polls {
+            report.diagnoses.push(Diagnosis {
+                severity: Severity::Critical,
+                title: format!(
+                    "peer unreachable / transport partition: {} dead peer(s)",
+                    c.transport_dead_peers
+                ),
+                detail: format!(
+                    "{} reconnect attempt(s) recorded before giving up; the \
+                     netmod was polled {} time(s) (threshold {}) with the \
+                     peer's socket dead",
+                    c.transport_reconnects, c.hook_polls, cfg.dead_peer_polls
+                ),
+                advice: "a peer's wire connection is gone and the reconnect \
+                         budget is exhausted: check that the peer process is \
+                         alive and reachable; point-to-point traffic and \
+                         collectives involving that rank can never complete"
+                    .to_string(),
+            });
+        }
+    }
+
     report
         .diagnoses
         .sort_by_key(|d| std::cmp::Reverse(d.severity));
@@ -654,6 +686,51 @@ mod tests {
             Some(&counters),
             &DoctorConfig::default(),
         );
+        assert!(report.healthy(), "{report}");
+    }
+
+    #[test]
+    fn flags_dead_peer_transport_partition() {
+        let counters = CounterSnapshot {
+            transport_dead_peers: 1,
+            transport_reconnects: 20,
+            hook_polls: 500,
+            ..Default::default()
+        };
+        let report = diagnose_with_counters(&[], Some(&counters), &DoctorConfig::default());
+        assert_eq!(report.criticals().count(), 1);
+        let d = &report.diagnoses[0];
+        assert!(d.title.contains("transport partition"));
+        assert!(d.title.contains("1 dead peer"));
+        assert!(d.detail.contains("20 reconnect"));
+        assert!(d.advice.contains("alive and reachable"));
+    }
+
+    #[test]
+    fn dead_peer_needs_enough_polls_to_be_flagged() {
+        // The netmod was barely polled: too early to call it a partition
+        // (the poller may simply not have run yet).
+        let counters = CounterSnapshot {
+            transport_dead_peers: 1,
+            transport_reconnects: 20,
+            hook_polls: 3,
+            ..Default::default()
+        };
+        let report = diagnose_with_counters(&[], Some(&counters), &DoctorConfig::default());
+        assert!(report.healthy(), "{report}");
+    }
+
+    #[test]
+    fn live_peers_with_reconnects_are_healthy() {
+        // Reconnects happened but every peer came back: transient churn,
+        // not a partition.
+        let counters = CounterSnapshot {
+            transport_dead_peers: 0,
+            transport_reconnects: 7,
+            hook_polls: 10_000,
+            ..Default::default()
+        };
+        let report = diagnose_with_counters(&[], Some(&counters), &DoctorConfig::default());
         assert!(report.healthy(), "{report}");
     }
 

@@ -1,0 +1,177 @@
+//! `mpfarun` — the multi-process launcher.
+//!
+//! Spawns N copies of a command as separate OS processes, wiring the
+//! bootstrap environment (`MPFA_TRANSPORT`, `MPFA_RANK`, `MPFA_RANKS`,
+//! `MPFA_PEERS`) into each so that `World::launch` inside the child
+//! comes up distributed over a real wire:
+//!
+//! ```text
+//! mpfarun -n 4 [--transport tcp|uds] [--inject-retry] [--timeout SECS] -- CMD [ARGS...]
+//! ```
+//!
+//! A watchdog kills the whole job and exits 124 (the `timeout(1)`
+//! convention) if it overruns; otherwise the first nonzero child exit
+//! code is propagated.
+
+use std::process::{exit, Child, Command};
+use std::time::{Duration, Instant};
+
+use mpfa_transport::bootstrap::{
+    pick_tcp_rendezvous, ENV_INJECT_CONNECT_FAIL, ENV_PEERS, ENV_RANK, ENV_RANKS, ENV_TRANSPORT,
+};
+use mpfa_transport::TransportKind;
+
+struct Opts {
+    ranks: usize,
+    kind: TransportKind,
+    inject_retry: bool,
+    timeout: Duration,
+    cmd: Vec<String>,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: mpfarun -n RANKS [--transport tcp|uds] [--inject-retry] \
+         [--timeout SECS] -- CMD [ARGS...]"
+    );
+    exit(2);
+}
+
+fn parse_args() -> Opts {
+    let mut args = std::env::args().skip(1);
+    let mut ranks = None;
+    let mut kind = TransportKind::Tcp;
+    let mut inject_retry = false;
+    let mut timeout = Duration::from_secs(120);
+    let mut cmd = Vec::new();
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "-n" | "--ranks" => {
+                ranks = args.next().and_then(|v| v.parse().ok());
+            }
+            "--transport" => match args.next().as_deref().map(str::parse) {
+                Some(Ok(k)) if k != TransportKind::Sim => kind = k,
+                _ => usage(),
+            },
+            "--inject-retry" => inject_retry = true,
+            "--timeout" => match args.next().and_then(|v| v.parse::<f64>().ok()) {
+                Some(secs) if secs > 0.0 => timeout = Duration::from_secs_f64(secs),
+                _ => usage(),
+            },
+            "--" => {
+                cmd.extend(args);
+                break;
+            }
+            "-h" | "--help" => usage(),
+            _ => usage(),
+        }
+    }
+    let Some(ranks) = ranks else { usage() };
+    if ranks == 0 || cmd.is_empty() {
+        usage();
+    }
+    Opts {
+        ranks,
+        kind,
+        inject_retry,
+        timeout,
+        cmd,
+    }
+}
+
+fn rendezvous_for(kind: TransportKind) -> String {
+    match kind {
+        TransportKind::Tcp => pick_tcp_rendezvous().unwrap_or_else(|e| {
+            eprintln!("mpfarun: cannot pick a rendezvous port: {e}");
+            exit(1);
+        }),
+        TransportKind::Uds => {
+            let dir = std::env::temp_dir().join(format!("mpfarun-{}", std::process::id()));
+            if let Err(e) = std::fs::create_dir_all(&dir) {
+                eprintln!("mpfarun: cannot create {}: {e}", dir.display());
+                exit(1);
+            }
+            dir.join("boot.sock").to_string_lossy().into_owned()
+        }
+        TransportKind::Sim => unreachable!("parse_args rejects sim"),
+    }
+}
+
+fn kill_all(children: &mut [(usize, Child)]) {
+    for (_, child) in children.iter_mut() {
+        let _ = child.kill();
+    }
+    for (_, child) in children.iter_mut() {
+        let _ = child.wait();
+    }
+}
+
+fn main() {
+    let opts = parse_args();
+    let rendezvous = rendezvous_for(opts.kind);
+
+    let mut children: Vec<(usize, Child)> = Vec::with_capacity(opts.ranks);
+    for rank in 0..opts.ranks {
+        let mut c = Command::new(&opts.cmd[0]);
+        c.args(&opts.cmd[1..])
+            .env(ENV_TRANSPORT, opts.kind.to_string())
+            .env(ENV_RANK, rank.to_string())
+            .env(ENV_RANKS, opts.ranks.to_string())
+            .env(ENV_PEERS, &rendezvous);
+        if opts.inject_retry {
+            c.env(ENV_INJECT_CONNECT_FAIL, "1");
+        }
+        match c.spawn() {
+            Ok(child) => children.push((rank, child)),
+            Err(e) => {
+                eprintln!("mpfarun: cannot spawn rank {rank} ({}): {e}", opts.cmd[0]);
+                kill_all(&mut children);
+                exit(1);
+            }
+        }
+    }
+
+    let started = Instant::now();
+    let mut exit_code = 0;
+    while !children.is_empty() {
+        if started.elapsed() > opts.timeout {
+            eprintln!(
+                "mpfarun: job exceeded {:.0}s watchdog, killing {} remaining rank(s)",
+                opts.timeout.as_secs_f64(),
+                children.len()
+            );
+            kill_all(&mut children);
+            exit(124);
+        }
+        let mut i = 0;
+        while i < children.len() {
+            match children[i].1.try_wait() {
+                Ok(Some(status)) => {
+                    let (rank, _) = children.swap_remove(i);
+                    let code = status.code().unwrap_or(1);
+                    if code != 0 {
+                        eprintln!("mpfarun: rank {rank} exited with code {code}");
+                        if exit_code == 0 {
+                            exit_code = code;
+                        }
+                    }
+                }
+                Ok(None) => i += 1,
+                Err(e) => {
+                    eprintln!("mpfarun: wait on rank {} failed: {e}", children[i].0);
+                    let _ = children.swap_remove(i);
+                    if exit_code == 0 {
+                        exit_code = 1;
+                    }
+                }
+            }
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+
+    if opts.kind == TransportKind::Uds {
+        let dir = std::env::temp_dir().join(format!("mpfarun-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(dir);
+    }
+    exit(exit_code);
+}

@@ -1,0 +1,367 @@
+//! Bootstrap rendezvous: how N freshly-spawned processes find each
+//! other and come up as one connected world.
+//!
+//! The shape is the classic PMI handshake, shrunk to its essentials:
+//!
+//! 1. Every rank binds its **data** listener first (at an ephemeral
+//!    address), so its concrete address exists before anyone asks.
+//! 2. **Rank 0** binds a second, well-known **rendezvous** listener at
+//!    the address in `MPFA_PEERS`. Every other rank dials it (with
+//!    retry — rank 0 may not be up yet) and submits
+//!    `[rank: u32][len: u32][data address]`.
+//! 3. Once all `N-1` submissions are in, rank 0 answers each with the
+//!    full peer table `[count: u32]` + `count × [len: u32][bytes]`.
+//! 4. Everyone builds its [`WireTransport`] from the table and pumps
+//!    until the data mesh is fully connected.
+//! 5. Barrier: each rank sends one `READY` byte on its rendezvous
+//!    connection; rank 0 answers each with one `GO` byte after all
+//!    have reported. Nobody touches MPI traffic before `GO`, so no
+//!    rank can race ahead of a peer that is still dialing.
+//!
+//! The elapsed wall-clock of the whole dance lands in the
+//! `bootstrap_secs` obs counter. All handshake sockets are blocking
+//! with read timeouts; every stage has a deadline, so a missing peer
+//! fails the job instead of hanging it.
+
+use std::io::{self, Read, Write};
+use std::sync::Arc;
+use std::time::Duration;
+
+use mpfa_core::wtime;
+
+use crate::codec::FrameCodec;
+use crate::wire::{Bound, SockFamily, WireOpts, WireTransport};
+use crate::{Transport, TransportKind};
+
+/// Env var selecting the backend (`sim` | `tcp` | `uds`).
+pub const ENV_TRANSPORT: &str = "MPFA_TRANSPORT";
+/// Env var carrying this process's world rank.
+pub const ENV_RANK: &str = "MPFA_RANK";
+/// Env var carrying the world size.
+pub const ENV_RANKS: &str = "MPFA_RANKS";
+/// Env var carrying the rendezvous address (TCP `host:port` or a UDS
+/// socket path) where rank 0 collects the peer table.
+pub const ENV_PEERS: &str = "MPFA_PEERS";
+/// Env var (set to `1`) that makes every dialer artificially fail its
+/// first connection attempt to each peer, exercising the retry path.
+pub const ENV_INJECT_CONNECT_FAIL: &str = "MPFA_INJECT_CONNECT_FAIL";
+
+/// Seconds a rank waits for the whole rendezvous (submission, table,
+/// barrier) before giving up.
+const RENDEZVOUS_DEADLINE: f64 = 60.0;
+/// Seconds allowed for the data mesh to fully connect.
+const MESH_DEADLINE: f64 = 30.0;
+
+const READY: u8 = 0xA5;
+const GO: u8 = 0x5A;
+
+/// The launcher-provided identity of this process, read from the
+/// environment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BootEnv {
+    /// This process's world rank.
+    pub rank: usize,
+    /// World size.
+    pub ranks: usize,
+    /// Which wire backend to bring up.
+    pub kind: TransportKind,
+    /// The rendezvous address rank 0 listens on.
+    pub rendezvous: String,
+}
+
+/// Read the launcher environment, if present. Returns `None` when
+/// `MPFA_RANK` is unset (a plain in-process run). Panics on a malformed
+/// launcher environment — that is a launcher bug, not a user error.
+pub fn boot_env() -> Option<BootEnv> {
+    let rank = std::env::var(ENV_RANK).ok()?;
+    let rank: usize = rank
+        .parse()
+        .unwrap_or_else(|_| panic!("bad {ENV_RANK}={rank}"));
+    let ranks: usize = std::env::var(ENV_RANKS)
+        .unwrap_or_else(|_| panic!("{ENV_RANK} is set but {ENV_RANKS} is not"))
+        .parse()
+        .expect("bad MPFA_RANKS");
+    let kind = match TransportKind::from_env() {
+        Ok(Some(k)) => k,
+        Ok(None) => TransportKind::Tcp,
+        Err(v) => panic!("bad {ENV_TRANSPORT}={v} (want sim|tcp|uds)"),
+    };
+    let rendezvous = std::env::var(ENV_PEERS)
+        .unwrap_or_else(|_| panic!("{ENV_RANK} is set but {ENV_PEERS} is not"));
+    assert!(
+        rank < ranks,
+        "{ENV_RANK}={rank} out of range for {ENV_RANKS}={ranks}"
+    );
+    Some(BootEnv {
+        rank,
+        ranks,
+        kind,
+        rendezvous,
+    })
+}
+
+fn timeout_err(what: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::TimedOut, what.to_string())
+}
+
+fn write_u32<S: Write>(s: &mut S, v: u32) -> io::Result<()> {
+    s.write_all(&v.to_le_bytes())
+}
+
+fn read_u32<S: Read>(s: &mut S) -> io::Result<u32> {
+    let mut b = [0u8; 4];
+    s.read_exact(&mut b)?;
+    Ok(u32::from_le_bytes(b))
+}
+
+/// Where rank `r` binds its data listener, given the rendezvous
+/// address: TCP picks an ephemeral localhost port; UDS lays the data
+/// sockets next to the rendezvous socket.
+fn data_hint(kind: TransportKind, rendezvous: &str, rank: usize) -> String {
+    match kind {
+        TransportKind::Tcp => "127.0.0.1:0".to_string(),
+        TransportKind::Uds => format!("{rendezvous}.r{rank}"),
+        TransportKind::Sim => unreachable!("sim has no data listener"),
+    }
+}
+
+fn establish_family<M: FrameCodec, F: SockFamily>(
+    env: &BootEnv,
+    eps_per_rank: usize,
+    opts: WireOpts,
+) -> io::Result<Arc<dyn Transport<M>>> {
+    let t0 = wtime();
+    let bound: Bound<F> = Bound::bind(&data_hint(env.kind, &env.rendezvous, env.rank))?;
+
+    // --- stages 2+3: collect/receive the peer table ------------------
+    let io_timeout = Some(Duration::from_secs_f64(RENDEZVOUS_DEADLINE));
+    let (table, mut rendezvous_conns) = if env.rank == 0 {
+        let (listener, _) = F::bind(&env.rendezvous)?;
+        let mut table = vec![String::new(); env.ranks];
+        table[0] = bound.addr.clone();
+        let mut conns: Vec<Option<F::Stream>> = (0..env.ranks).map(|_| None).collect();
+        let mut missing = env.ranks - 1;
+        let deadline = wtime() + RENDEZVOUS_DEADLINE;
+        while missing > 0 {
+            match F::accept(&listener)? {
+                Some(mut sock) => {
+                    F::set_nonblocking(&sock, false)?;
+                    F::set_read_timeout(&sock, io_timeout)?;
+                    let rank = read_u32(&mut sock)? as usize;
+                    let len = read_u32(&mut sock)? as usize;
+                    if rank == 0 || rank >= env.ranks || len > 4096 {
+                        return Err(io::Error::new(
+                            io::ErrorKind::InvalidData,
+                            format!("bad rendezvous submission (rank {rank}, len {len})"),
+                        ));
+                    }
+                    let mut addr = vec![0u8; len];
+                    sock.read_exact(&mut addr)?;
+                    let addr = String::from_utf8(addr).map_err(|_| {
+                        io::Error::new(io::ErrorKind::InvalidData, "non-utf8 peer address")
+                    })?;
+                    if conns[rank].is_none() {
+                        missing -= 1;
+                    }
+                    table[rank] = addr;
+                    conns[rank] = Some(sock);
+                }
+                None => {
+                    if wtime() > deadline {
+                        return Err(timeout_err(&format!(
+                            "rendezvous: {missing} rank(s) never reported"
+                        )));
+                    }
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+            }
+        }
+        // Answer everyone with the full table.
+        for sock in conns.iter_mut().flatten() {
+            write_u32(sock, env.ranks as u32)?;
+            for addr in &table {
+                write_u32(sock, addr.len() as u32)?;
+                sock.write_all(addr.as_bytes())?;
+            }
+        }
+        (table, conns)
+    } else {
+        // Dial rank 0, retrying while it comes up.
+        let deadline = wtime() + RENDEZVOUS_DEADLINE;
+        let mut sock = loop {
+            match F::connect(&env.rendezvous, Duration::from_secs(1)) {
+                Ok(s) => break s,
+                Err(_) if wtime() < deadline => {
+                    std::thread::sleep(Duration::from_millis(20));
+                }
+                Err(e) => return Err(e),
+            }
+        };
+        F::set_read_timeout(&sock, io_timeout)?;
+        write_u32(&mut sock, env.rank as u32)?;
+        write_u32(&mut sock, bound.addr.len() as u32)?;
+        sock.write_all(bound.addr.as_bytes())?;
+        let count = read_u32(&mut sock)? as usize;
+        if count != env.ranks {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!(
+                    "rendezvous table has {count} entries, expected {}",
+                    env.ranks
+                ),
+            ));
+        }
+        let mut table = Vec::with_capacity(count);
+        for _ in 0..count {
+            let len = read_u32(&mut sock)? as usize;
+            if len > 4096 {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    "peer address too long",
+                ));
+            }
+            let mut addr = vec![0u8; len];
+            sock.read_exact(&mut addr)?;
+            table.push(String::from_utf8(addr).map_err(|_| {
+                io::Error::new(io::ErrorKind::InvalidData, "non-utf8 peer address")
+            })?);
+        }
+        let mut conns: Vec<Option<F::Stream>> = (0..env.ranks).map(|_| None).collect();
+        conns[0] = Some(sock);
+        (table, conns)
+    };
+
+    // --- stage 4: bring up the data mesh -----------------------------
+    let transport: WireTransport<M, F> =
+        WireTransport::new(bound, env.rank, table, eps_per_rank, opts);
+    transport.establish(MESH_DEADLINE)?;
+
+    // --- stage 5: READY/GO barrier over the rendezvous sockets -------
+    if env.rank == 0 {
+        for sock in rendezvous_conns.iter_mut().flatten() {
+            let mut b = [0u8; 1];
+            sock.read_exact(&mut b)?;
+            if b[0] != READY {
+                return Err(io::Error::new(io::ErrorKind::InvalidData, "bad READY byte"));
+            }
+        }
+        for sock in rendezvous_conns.iter_mut().flatten() {
+            sock.write_all(&[GO])?;
+        }
+    } else {
+        let sock = rendezvous_conns[0].as_mut().expect("rendezvous conn");
+        sock.write_all(&[READY])?;
+        let mut b = [0u8; 1];
+        sock.read_exact(&mut b)?;
+        if b[0] != GO {
+            return Err(io::Error::new(io::ErrorKind::InvalidData, "bad GO byte"));
+        }
+    }
+    if env.rank == 0 {
+        F::cleanup(&env.rendezvous);
+    }
+
+    mpfa_obs::global_counters().record_bootstrap_secs(wtime() - t0);
+    Ok(Arc::new(transport))
+}
+
+/// Run the full bootstrap for this process: bind the data listener,
+/// rendezvous for the peer table, connect the mesh, pass the barrier.
+/// Returns the ready-to-use transport.
+pub fn establish<M: FrameCodec>(
+    env: &BootEnv,
+    eps_per_rank: usize,
+    opts: WireOpts,
+) -> io::Result<Arc<dyn Transport<M>>> {
+    match env.kind {
+        TransportKind::Sim => Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            "the simulated transport is in-process and has no bootstrap",
+        )),
+        TransportKind::Tcp => establish_family::<M, crate::tcp::TcpFamily>(env, eps_per_rank, opts),
+        #[cfg(unix)]
+        TransportKind::Uds => establish_family::<M, crate::uds::UdsFamily>(env, eps_per_rank, opts),
+        #[cfg(not(unix))]
+        TransportKind::Uds => Err(io::Error::new(
+            io::ErrorKind::Unsupported,
+            "unix domain sockets are not available on this platform",
+        )),
+    }
+}
+
+/// Bind-and-release an ephemeral TCP port for use as a rendezvous
+/// address (used by `mpfarun` and tests; a tiny race against port reuse
+/// is accepted).
+pub fn pick_tcp_rendezvous() -> io::Result<String> {
+    let l = std::net::TcpListener::bind("127.0.0.1:0")?;
+    Ok(l.local_addr()?.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Path;
+
+    fn run_world(kind: TransportKind, rendezvous: String, ranks: usize) {
+        let handles: Vec<_> = (0..ranks)
+            .map(|rank| {
+                let env = BootEnv {
+                    rank,
+                    ranks,
+                    kind,
+                    rendezvous: rendezvous.clone(),
+                };
+                std::thread::spawn(move || {
+                    let t = establish::<Vec<u8>>(&env, 1, WireOpts::default())
+                        .unwrap_or_else(|e| panic!("rank {rank} bootstrap failed: {e}"));
+                    // Everyone sends one message to every other rank...
+                    for dst in 0..ranks {
+                        if dst != rank {
+                            t.send(rank, dst, vec![rank as u8; 8], 8);
+                        }
+                    }
+                    // ...and collects one from every other rank.
+                    let mut got = Vec::new();
+                    let deadline = wtime() + 20.0;
+                    while got.len() < ranks - 1 {
+                        t.progress();
+                        t.poll(rank, Path::Net, usize::MAX, &mut got);
+                        assert!(wtime() < deadline, "rank {rank} starved");
+                    }
+                    let mut froms: Vec<usize> = got.iter().map(|e| e.src).collect();
+                    froms.sort_unstable();
+                    let expect: Vec<usize> = (0..ranks).filter(|&r| r != rank).collect();
+                    assert_eq!(froms, expect);
+                    for env in &got {
+                        assert_eq!(env.msg, vec![env.src as u8; 8]);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("bootstrap world thread panicked");
+        }
+    }
+
+    #[test]
+    fn tcp_bootstrap_three_ranks() {
+        let rendezvous = pick_tcp_rendezvous().unwrap();
+        run_world(TransportKind::Tcp, rendezvous, 3);
+        assert!(mpfa_obs::global_counters().snapshot().bootstrap_secs > 0.0);
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn uds_bootstrap_three_ranks() {
+        let dir = std::env::temp_dir().join(format!("mpfa-boot-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let rendezvous = dir.join("boot.sock").to_string_lossy().into_owned();
+        run_world(TransportKind::Uds, rendezvous, 3);
+    }
+
+    #[test]
+    fn boot_env_absent_means_in_process() {
+        // The test runner does not set MPFA_RANK.
+        assert_eq!(boot_env(), None);
+    }
+}

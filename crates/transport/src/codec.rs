@@ -1,0 +1,141 @@
+//! Frame payload encoding for wire backends.
+//!
+//! The workspace builds fully offline (no serde), so message types that
+//! want to cross a real socket implement [`FrameCodec`] by hand:
+//! little-endian fixed-width integers, no implicit lengths (the frame
+//! header already carries the payload size, so a trailing byte blob can
+//! simply be "the rest of the payload"). The helpers here keep those
+//! hand-rolled impls short and uniform.
+
+/// A message that can be serialized into (and parsed out of) a wire
+/// frame's payload.
+///
+/// `decode` gets exactly the bytes `encode` appended — the frame layer
+/// guarantees payload boundaries — and returns `None` on malformed
+/// input (a protocol bug, not an I/O condition).
+pub trait FrameCodec: Send + Sized + 'static {
+    /// Append this message's payload bytes to `buf`.
+    fn encode(&self, buf: &mut Vec<u8>);
+
+    /// Parse a payload produced by [`FrameCodec::encode`].
+    fn decode(bytes: &[u8]) -> Option<Self>;
+}
+
+/// Raw byte payloads pass through unchanged (handy for tests and for
+/// protocols that do their own packing).
+impl FrameCodec for Vec<u8> {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        buf.extend_from_slice(self);
+    }
+
+    fn decode(bytes: &[u8]) -> Option<Self> {
+        Some(bytes.to_vec())
+    }
+}
+
+/// Append a `u32` little-endian.
+pub fn put_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Append a `u64` little-endian.
+pub fn put_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Append an `i32` little-endian.
+pub fn put_i32(buf: &mut Vec<u8>, v: i32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Bounds-checked little-endian reader over a payload slice.
+#[derive(Debug)]
+pub struct ByteReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> ByteReader<'a> {
+    /// Start reading `buf` from the beginning.
+    pub fn new(buf: &'a [u8]) -> ByteReader<'a> {
+        ByteReader { buf, pos: 0 }
+    }
+
+    /// Read a little-endian `u32`.
+    pub fn u32(&mut self) -> Option<u32> {
+        let b = self.take(4)?;
+        Some(u32::from_le_bytes(b.try_into().ok()?))
+    }
+
+    /// Read a little-endian `u64`.
+    pub fn u64(&mut self) -> Option<u64> {
+        let b = self.take(8)?;
+        Some(u64::from_le_bytes(b.try_into().ok()?))
+    }
+
+    /// Read a little-endian `i32`.
+    pub fn i32(&mut self) -> Option<i32> {
+        let b = self.take(4)?;
+        Some(i32::from_le_bytes(b.try_into().ok()?))
+    }
+
+    /// Take the next `n` bytes.
+    pub fn take(&mut self, n: usize) -> Option<&'a [u8]> {
+        let end = self.pos.checked_add(n)?;
+        if end > self.buf.len() {
+            return None;
+        }
+        let out = &self.buf[self.pos..end];
+        self.pos = end;
+        Some(out)
+    }
+
+    /// Take everything that remains (possibly empty).
+    pub fn rest(&mut self) -> &'a [u8] {
+        let out = &self.buf[self.pos..];
+        self.pos = self.buf.len();
+        out
+    }
+
+    /// True when every byte has been consumed.
+    pub fn is_empty(&self) -> bool {
+        self.pos == self.buf.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_roundtrip() {
+        let mut buf = Vec::new();
+        put_u32(&mut buf, 0xDEAD_BEEF);
+        put_u64(&mut buf, u64::MAX - 1);
+        put_i32(&mut buf, -42);
+        buf.extend_from_slice(b"tail");
+        let mut r = ByteReader::new(&buf);
+        assert_eq!(r.u32(), Some(0xDEAD_BEEF));
+        assert_eq!(r.u64(), Some(u64::MAX - 1));
+        assert_eq!(r.i32(), Some(-42));
+        assert_eq!(r.rest(), b"tail");
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn short_reads_return_none() {
+        let mut r = ByteReader::new(&[1, 2, 3]);
+        assert_eq!(r.u32(), None);
+        // A failed read consumes nothing.
+        assert_eq!(r.take(3), Some(&[1u8, 2, 3][..]));
+    }
+
+    #[test]
+    fn vec_u8_passthrough() {
+        let v = vec![9u8, 8, 7];
+        let mut buf = Vec::new();
+        v.encode(&mut buf);
+        assert_eq!(buf, v);
+        assert_eq!(<Vec<u8> as FrameCodec>::decode(&buf), Some(v));
+    }
+}

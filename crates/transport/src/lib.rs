@@ -1,0 +1,193 @@
+//! # mpfa-transport — the pluggable packet substrate
+//!
+//! The paper is explicit that its progress design does not care what
+//! "the NIC" is — *"here 'NIC' loosely refers to either hardware
+//! operations or software emulations"*. Until now the repo had exactly
+//! one substrate, the in-process simulated `mpfa-fabric`. This crate
+//! turns the substrate into a trait, [`Transport`], and adds two real
+//! kernel-socket backends next to the simulation:
+//!
+//! * **Sim** — [`sim::SimTransport`] wraps an existing [`Fabric`] with
+//!   zero behaviour change. (The blanket `impl Transport for Fabric`
+//!   means a bare fabric already *is* a transport.)
+//! * **TCP** — [`tcp::TcpTransport`]: localhost/LAN TCP with
+//!   length-prefixed framing, nonblocking sockets, per-peer TX
+//!   backpressure queues, and connect-timeout plus bounded
+//!   exponential-backoff reconnect.
+//! * **UDS** — [`uds::UdsTransport`]: the same wire engine over Unix
+//!   domain sockets, as the intra-node fast path.
+//!
+//! On top of the backends sit [`bootstrap`] (a PMI-style rendezvous:
+//! rank 0 listens, everyone exchanges a peer table, barrier on ready)
+//! and the `mpfarun` launcher binary, which spawns N OS processes and
+//! wires `MPFA_TRANSPORT` / `MPFA_RANK` / `MPFA_PEERS` into the
+//! environment so `mpfa-mpi` world creation, the netmod subsystem hook,
+//! and the eager/rendezvous/pipeline protocols run unmodified over a
+//! real wire with real syscall latency and partial reads.
+//!
+//! The trait deliberately reuses the fabric's vocabulary — endpoints
+//! are flat indices (`world_rank * max_vcis + vci`), packets are
+//! [`Envelope`]s, delivery paths are [`Path`]s — so the MPI layer's
+//! netmod/shmem split keeps working: wire backends deliver everything
+//! on [`Path::Net`] and report [`Path::Shmem`] as always empty.
+
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::str::FromStr;
+use std::sync::Arc;
+
+pub use mpfa_fabric::{Envelope, Fabric, Path, TxHandle};
+
+pub mod bootstrap;
+pub mod codec;
+pub mod sim;
+pub mod tcp;
+#[cfg(unix)]
+pub mod uds;
+pub mod wire;
+
+pub use codec::FrameCodec;
+pub use sim::SimTransport;
+pub use tcp::TcpTransport;
+#[cfg(unix)]
+pub use uds::UdsTransport;
+pub use wire::{loopback_mesh, Bound, WireOpts, WireTransport};
+
+/// Which packet substrate carries the world's traffic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum TransportKind {
+    /// The in-process simulated fabric (`mpfa-fabric`).
+    #[default]
+    Sim,
+    /// Kernel TCP sockets (localhost or LAN).
+    Tcp,
+    /// Unix domain sockets (intra-node).
+    Uds,
+}
+
+impl TransportKind {
+    /// Parse the `MPFA_TRANSPORT` environment variable, if set.
+    ///
+    /// Returns `Err` with the offending value when it is set to
+    /// something other than `sim`/`tcp`/`uds`.
+    pub fn from_env() -> Result<Option<TransportKind>, String> {
+        match std::env::var(bootstrap::ENV_TRANSPORT) {
+            Ok(v) => v.parse().map(Some).map_err(|()| v),
+            Err(_) => Ok(None),
+        }
+    }
+}
+
+impl FromStr for TransportKind {
+    type Err = ();
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "sim" => Ok(TransportKind::Sim),
+            "tcp" => Ok(TransportKind::Tcp),
+            "uds" | "unix" => Ok(TransportKind::Uds),
+            _ => Err(()),
+        }
+    }
+}
+
+impl fmt::Display for TransportKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TransportKind::Sim => write!(f, "sim"),
+            TransportKind::Tcp => write!(f, "tcp"),
+            TransportKind::Uds => write!(f, "uds"),
+        }
+    }
+}
+
+/// A packet substrate: something that can carry framed messages between
+/// the world's endpoints and hand arrived ones back to a poller.
+///
+/// The contract mirrors what the MPI layer's netmod/shmem hooks already
+/// relied on from the simulated fabric:
+///
+/// * **Non-overtaking per directed channel** — two packets from the
+///   same source endpoint to the same destination endpoint are
+///   delivered in send order. No ordering is promised across channels.
+/// * **Reliable while connected** — packets are not dropped, duplicated
+///   or corrupted on a live connection. (A wire backend that loses a
+///   connection mid-stream discards the partial frame and, after a
+///   reconnect, resumes from the next complete frame; see
+///   `docs/TRANSPORT.md` for the exact semantics.)
+/// * **Nonblocking** — every method returns without waiting on a peer.
+///   Wire backends move bytes only inside [`Transport::progress`] and
+///   opportunistically inside [`Transport::send`].
+pub trait Transport<M: Send>: Send + Sync {
+    /// Which backend this is.
+    fn kind(&self) -> TransportKind;
+
+    /// Total number of endpoints across the whole world
+    /// (`ranks * endpoints_per_rank`).
+    fn endpoints(&self) -> usize;
+
+    /// Inject a packet from `src_ep` to `dst_ep`. `wire_bytes` is the
+    /// payload size the wire charges for (control messages pass 0).
+    /// Returns a TX completion handle; wire backends complete
+    /// immediately once the frame is queued or written.
+    fn send(&self, src_ep: usize, dst_ep: usize, msg: M, wire_bytes: usize) -> TxHandle;
+
+    /// Drain up to `max` arrived packets for `ep` on `path` into `out`.
+    /// Returns the number appended.
+    fn poll(&self, ep: usize, path: Path, max: usize, out: &mut Vec<Envelope<M>>) -> usize;
+
+    /// Packets queued for `ep` on `path` (arrived or still in flight).
+    fn queued(&self, ep: usize, path: Path) -> usize;
+
+    /// Pump backend machinery: accept connections, flush TX queues,
+    /// read sockets, drive reconnects. Returns true if any bytes moved
+    /// or connection state changed. The simulated fabric has no
+    /// machinery to pump and returns false.
+    fn progress(&self) -> bool {
+        false
+    }
+
+    /// True when the backend can make progress that is invisible to
+    /// [`Transport::queued`] — e.g. bytes sitting in a kernel socket
+    /// buffer. Progress hooks must keep polling while this holds, even
+    /// if no packet is visibly queued.
+    fn external_work(&self) -> bool {
+        false
+    }
+
+    /// Is `rank`'s connection alive (or not yet needed)? The simulated
+    /// fabric's peers are always alive.
+    fn peer_alive(&self, _rank: usize) -> bool {
+        true
+    }
+
+    /// Number of peers whose reconnect budget is exhausted.
+    fn dead_peers(&self) -> usize {
+        0
+    }
+}
+
+/// Shared handle to a transport object, as stored by the MPI layer.
+pub type SharedTransport<M> = Arc<dyn Transport<M>>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_parses_and_displays() {
+        assert_eq!("sim".parse::<TransportKind>(), Ok(TransportKind::Sim));
+        assert_eq!("TCP".parse::<TransportKind>(), Ok(TransportKind::Tcp));
+        assert_eq!("uds".parse::<TransportKind>(), Ok(TransportKind::Uds));
+        assert_eq!("unix".parse::<TransportKind>(), Ok(TransportKind::Uds));
+        assert!("verbs".parse::<TransportKind>().is_err());
+        for k in [TransportKind::Sim, TransportKind::Tcp, TransportKind::Uds] {
+            assert_eq!(k.to_string().parse::<TransportKind>(), Ok(k));
+        }
+    }
+
+    #[test]
+    fn kind_defaults_to_sim() {
+        assert_eq!(TransportKind::default(), TransportKind::Sim);
+    }
+}

@@ -1,0 +1,61 @@
+//! TCP backend: the wire engine over kernel TCP sockets.
+//!
+//! Works on localhost and across a LAN. Nagle is disabled on every
+//! connection — the MPI layer sends many small control frames
+//! (RTS/CTS/acks) whose latency matters far more than segment packing.
+
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::time::Duration;
+
+use crate::wire::{SockFamily, WireTransport};
+use crate::TransportKind;
+
+/// The TCP address family.
+pub struct TcpFamily;
+
+impl SockFamily for TcpFamily {
+    type Listener = TcpListener;
+    type Stream = TcpStream;
+    const KIND: TransportKind = TransportKind::Tcp;
+
+    fn bind(hint: &str) -> io::Result<(TcpListener, String)> {
+        let listener = TcpListener::bind(hint)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?.to_string();
+        Ok((listener, addr))
+    }
+
+    fn accept(listener: &TcpListener) -> io::Result<Option<TcpStream>> {
+        match listener.accept() {
+            Ok((sock, _)) => {
+                let _ = sock.set_nodelay(true);
+                Ok(Some(sock))
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => Ok(None),
+            Err(e) => Err(e),
+        }
+    }
+
+    fn connect(addr: &str, timeout: Duration) -> io::Result<TcpStream> {
+        let sa: SocketAddr = addr
+            .parse()
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, format!("{addr}: {e}")))?;
+        let sock = TcpStream::connect_timeout(&sa, timeout)?;
+        let _ = sock.set_nodelay(true);
+        Ok(sock)
+    }
+
+    fn set_nonblocking(stream: &TcpStream, on: bool) -> io::Result<()> {
+        stream.set_nonblocking(on)
+    }
+
+    fn set_read_timeout(stream: &TcpStream, timeout: Option<Duration>) -> io::Result<()> {
+        stream.set_read_timeout(timeout)
+    }
+
+    fn cleanup(_addr: &str) {}
+}
+
+/// The TCP transport: see [`WireTransport`] for the full contract.
+pub type TcpTransport<M> = WireTransport<M, TcpFamily>;

@@ -1,0 +1,101 @@
+//! Unix-domain-socket backend: the wire engine over `AF_UNIX`.
+//!
+//! The intra-node fast path: same framing and state machine as TCP but
+//! without the TCP/IP stack — no checksums, no Nagle, no port
+//! namespace. Addresses are filesystem paths; the listener unlinks a
+//! stale socket file before binding and removes its own on drop.
+
+use std::io;
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::time::Duration;
+
+use crate::wire::{SockFamily, WireTransport};
+use crate::TransportKind;
+
+/// The Unix-domain address family.
+pub struct UdsFamily;
+
+impl SockFamily for UdsFamily {
+    type Listener = UnixListener;
+    type Stream = UnixStream;
+    const KIND: TransportKind = TransportKind::Uds;
+
+    fn bind(hint: &str) -> io::Result<(UnixListener, String)> {
+        // A stale socket file from a dead process would make bind fail.
+        let _ = std::fs::remove_file(hint);
+        let listener = UnixListener::bind(hint)?;
+        listener.set_nonblocking(true)?;
+        Ok((listener, hint.to_string()))
+    }
+
+    fn accept(listener: &UnixListener) -> io::Result<Option<UnixStream>> {
+        match listener.accept() {
+            Ok((sock, _)) => Ok(Some(sock)),
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => Ok(None),
+            Err(e) => Err(e),
+        }
+    }
+
+    fn connect(addr: &str, _timeout: Duration) -> io::Result<UnixStream> {
+        // AF_UNIX connects resolve locally and immediately; std offers
+        // no timeout variant and none is needed.
+        UnixStream::connect(addr)
+    }
+
+    fn set_nonblocking(stream: &UnixStream, on: bool) -> io::Result<()> {
+        stream.set_nonblocking(on)
+    }
+
+    fn set_read_timeout(stream: &UnixStream, timeout: Option<Duration>) -> io::Result<()> {
+        stream.set_read_timeout(timeout)
+    }
+
+    fn cleanup(addr: &str) {
+        let _ = std::fs::remove_file(addr);
+    }
+}
+
+/// The UDS transport: see [`WireTransport`] for the full contract.
+pub type UdsTransport<M> = WireTransport<M, UdsFamily>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wire::{loopback_mesh, WireOpts};
+    use crate::{Path, Transport};
+    use mpfa_core::wtime;
+    use std::sync::Arc;
+
+    #[test]
+    fn uds_pair_roundtrip() {
+        let mesh = loopback_mesh::<Vec<u8>>(TransportKind::Uds, 2, 1, WireOpts::default()).unwrap();
+        assert_eq!(mesh[0].kind(), TransportKind::Uds);
+        for i in 0..20u8 {
+            mesh[1].send(1, 0, vec![i; 33], 33);
+        }
+        let mut out = Vec::new();
+        let deadline = wtime() + 10.0;
+        while out.len() < 20 {
+            mesh[0].progress();
+            mesh[0].poll(0, Path::Net, usize::MAX, &mut out);
+            assert!(wtime() < deadline, "timed out at {}/20", out.len());
+        }
+        for (i, env) in out.iter().enumerate() {
+            assert_eq!(env.msg, vec![i as u8; 33]);
+        }
+    }
+
+    #[test]
+    fn socket_file_removed_on_drop() {
+        let mesh = loopback_mesh::<Vec<u8>>(TransportKind::Uds, 2, 1, WireOpts::default()).unwrap();
+        let t0: Arc<dyn Transport<Vec<u8>>> = mesh[0].clone();
+        drop(mesh);
+        drop(t0);
+        // All Arcs gone: the WireInner Drop unlinked the socket files.
+        // (Nothing to assert by path here without poking internals —
+        // a fresh mesh binding the same temp-dir pattern must succeed.)
+        let again =
+            loopback_mesh::<Vec<u8>>(TransportKind::Uds, 2, 1, WireOpts::default()).unwrap();
+        assert_eq!(again.len(), 2);
+    }
+}

@@ -1,0 +1,1032 @@
+//! The shared wire engine behind the TCP and UDS backends.
+//!
+//! Both kernel-socket backends are the same state machine over a
+//! different address family, so the engine is generic over a small
+//! [`SockFamily`] trait and the backends are one-page instantiations.
+//!
+//! ## Framing
+//!
+//! Every packet crosses the socket as one length-prefixed frame:
+//!
+//! ```text
+//! [payload_len: u32 LE][src_ep: u32 LE][dst_ep: u32 LE][wire_bytes: u32 LE][payload]
+//! ```
+//!
+//! a 16-byte header followed by `payload_len` bytes produced by the
+//! message type's [`FrameCodec`] impl. Sockets are nonblocking, so both
+//! sides must tolerate partial reads and writes: the receiver
+//! accumulates into a per-peer reassembly buffer and only parses
+//! complete frames; the sender keeps a per-peer TX queue with a byte
+//! offset into the front frame.
+//!
+//! ## Connection topology
+//!
+//! One socket per unordered rank pair. The **higher** rank dials the
+//! lower rank's listener and introduces itself with a 4-byte hello
+//! (its rank, u32 LE); the lower rank accepts. TCP's per-connection
+//! byte-stream ordering plus FIFO TX queues gives the non-overtaking
+//! guarantee per directed channel that the MPI layer relies on.
+//!
+//! ## Failure and reconnect
+//!
+//! A failed dial or a lost connection schedules a retry with bounded
+//! exponential backoff (`retry_base * 2^attempts`, capped at
+//! `retry_max`, at most `max_attempts` tries). When the budget runs
+//! out the peer is marked **dead**: queued frames for it are dropped,
+//! [`crate::Transport::dead_peers`] goes nonzero, and the obs doctor's
+//! "transport partition" pathology fires. Frames that were fully
+//! written before a connection died may be lost — the engine restores
+//! framing integrity across a reconnect (partial frames are discarded
+//! on both sides) but does not retransmit; see `docs/TRANSPORT.md`.
+
+use std::collections::VecDeque;
+use std::io::{self, Read, Write};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use mpfa_core::sync::Mutex;
+use mpfa_core::wtime;
+use mpfa_fabric::{Envelope, Path, TxHandle};
+
+use crate::codec::FrameCodec;
+use crate::{Transport, TransportKind};
+
+/// Frame header size in bytes.
+pub const FRAME_HEADER: usize = 16;
+
+/// Tuning knobs for the wire engine.
+#[derive(Debug, Clone, Copy)]
+pub struct WireOpts {
+    /// Dial timeout for one connection attempt.
+    pub connect_timeout: Duration,
+    /// First retry delay after a failed dial / lost connection.
+    pub retry_base: f64,
+    /// Retry delay ceiling (exponential backoff is capped here).
+    pub retry_max: f64,
+    /// Connection attempts per outage before the peer is declared dead.
+    pub max_attempts: u32,
+    /// Soft cap on a peer's queued-but-unsent TX bytes; `send` spends
+    /// bounded effort flushing above this before letting the queue grow.
+    pub tx_backlog_soft: usize,
+    /// Test hook: artificially fail the first dial to every peer once,
+    /// exercising the retry path (`MPFA_INJECT_CONNECT_FAIL=1`).
+    pub inject_connect_fail: bool,
+}
+
+impl Default for WireOpts {
+    fn default() -> Self {
+        WireOpts {
+            connect_timeout: Duration::from_secs(1),
+            retry_base: 0.01,
+            retry_max: 0.5,
+            max_attempts: 20,
+            tx_backlog_soft: 4 << 20,
+            inject_connect_fail: false,
+        }
+    }
+}
+
+impl WireOpts {
+    /// Defaults, with the failure-injection hook read from the
+    /// `MPFA_INJECT_CONNECT_FAIL` environment variable.
+    pub fn from_env() -> WireOpts {
+        WireOpts {
+            inject_connect_fail: std::env::var(crate::bootstrap::ENV_INJECT_CONNECT_FAIL)
+                .map(|v| v == "1" || v.eq_ignore_ascii_case("true"))
+                .unwrap_or(false),
+            ..WireOpts::default()
+        }
+    }
+}
+
+/// An address family the wire engine can run over.
+pub trait SockFamily: Send + Sync + 'static {
+    /// The listening socket type.
+    type Listener: Send + Sync;
+    /// The connected stream type.
+    type Stream: Read + Write + Send;
+    /// Which [`TransportKind`] this family implements.
+    const KIND: TransportKind;
+
+    /// Bind a nonblocking listener at `hint` (e.g. `127.0.0.1:0`) and
+    /// return it with the concrete bound address peers should dial.
+    fn bind(hint: &str) -> io::Result<(Self::Listener, String)>;
+    /// Accept one pending connection, or `Ok(None)` if none is waiting.
+    fn accept(listener: &Self::Listener) -> io::Result<Option<Self::Stream>>;
+    /// Dial `addr`, blocking at most `timeout`.
+    fn connect(addr: &str, timeout: Duration) -> io::Result<Self::Stream>;
+    /// Switch a stream between blocking and nonblocking mode.
+    fn set_nonblocking(stream: &Self::Stream, on: bool) -> io::Result<()>;
+    /// Set the blocking-read timeout (used by the bootstrap handshake,
+    /// which runs over blocking sockets).
+    fn set_read_timeout(stream: &Self::Stream, timeout: Option<Duration>) -> io::Result<()>;
+    /// Remove any filesystem residue of a bound address (UDS socket
+    /// files; a no-op for TCP).
+    fn cleanup(addr: &str);
+}
+
+/// A listener bound ahead of time, so a rank can learn (and publish)
+/// its concrete data address before the transport exists — the
+/// bootstrap needs the address to build the peer table that the
+/// transport is then constructed from.
+pub struct Bound<F: SockFamily> {
+    listener: F::Listener,
+    /// The concrete address peers should dial.
+    pub addr: String,
+}
+
+impl<F: SockFamily> Bound<F> {
+    /// Bind a listener at `hint`.
+    pub fn bind(hint: &str) -> io::Result<Bound<F>> {
+        let (listener, addr) = F::bind(hint)?;
+        Ok(Bound { listener, addr })
+    }
+}
+
+enum PeerState<S> {
+    /// No connection; a dialer will (re)try, an acceptor waits.
+    Idle,
+    /// Live socket.
+    Connected(S),
+    /// Reconnect budget exhausted; frames to this peer are dropped.
+    Dead,
+}
+
+struct Peer<S> {
+    addr: String,
+    /// True when we dial this peer (we are the higher rank).
+    dialer: bool,
+    state: PeerState<S>,
+    /// Outbound frames, oldest first.
+    txq: VecDeque<Vec<u8>>,
+    /// Bytes of `txq.front()` already written to the socket.
+    tx_off: usize,
+    /// Unsent bytes across the whole queue.
+    txq_bytes: usize,
+    /// Partial-frame reassembly buffer.
+    rx_buf: Vec<u8>,
+    /// Dialer: earliest time of the next dial. Acceptor (after a lost
+    /// connection): deadline for the peer to come back before being
+    /// declared dead.
+    next_retry: f64,
+    /// Dial attempts in the current outage.
+    attempts: u32,
+    /// Whether the injected first-dial failure already happened.
+    injected: bool,
+    /// Whether a connection to this peer ever succeeded.
+    ever_connected: bool,
+}
+
+struct RxLane<M> {
+    q: Mutex<VecDeque<Envelope<M>>>,
+    n: AtomicUsize,
+}
+
+impl<M> RxLane<M> {
+    fn new() -> Self {
+        RxLane {
+            q: Mutex::new(VecDeque::new()),
+            n: AtomicUsize::new(0),
+        }
+    }
+}
+
+struct WireInner<M, F: SockFamily> {
+    my_rank: usize,
+    ranks: usize,
+    eps_per_rank: usize,
+    opts: WireOpts,
+    listener: F::Listener,
+    addr: String,
+    /// Accepted sockets whose 4-byte hello has not fully arrived yet.
+    pending: Mutex<Vec<(F::Stream, Vec<u8>)>>,
+    peers: Vec<Mutex<Peer<F::Stream>>>,
+    /// Arrived packets per local endpoint, net and shmem path.
+    rx_net: Vec<RxLane<M>>,
+    rx_shm: Vec<RxLane<M>>,
+    rx_total: AtomicUsize,
+    dead: AtomicUsize,
+    /// Serializes socket pumping; contending pollers skip instead of
+    /// queueing up behind the syscalls.
+    pump: Mutex<()>,
+}
+
+impl<M, F: SockFamily> Drop for WireInner<M, F> {
+    fn drop(&mut self) {
+        F::cleanup(&self.addr);
+    }
+}
+
+/// The generic socket transport. Cheap to clone (shared inner state);
+/// see the module docs for framing, topology, and failure semantics.
+pub struct WireTransport<M: FrameCodec, F: SockFamily> {
+    inner: Arc<WireInner<M, F>>,
+}
+
+impl<M: FrameCodec, F: SockFamily> Clone for WireTransport<M, F> {
+    fn clone(&self) -> Self {
+        WireTransport {
+            inner: self.inner.clone(),
+        }
+    }
+}
+
+impl<M: FrameCodec, F: SockFamily> WireTransport<M, F> {
+    /// Build a transport for `my_rank` out of a pre-bound listener and
+    /// the full peer address table (`peer_addrs[r]` is rank `r`'s data
+    /// address; the entry for `my_rank` is ignored). `eps_per_rank` is
+    /// the number of wire endpoints each rank owns (the MPI layer's
+    /// `max_vcis`).
+    pub fn new(
+        bound: Bound<F>,
+        my_rank: usize,
+        peer_addrs: Vec<String>,
+        eps_per_rank: usize,
+        opts: WireOpts,
+    ) -> WireTransport<M, F> {
+        let ranks = peer_addrs.len();
+        assert!(
+            my_rank < ranks,
+            "rank {my_rank} out of range for {ranks} ranks"
+        );
+        assert!(eps_per_rank > 0, "need at least one endpoint per rank");
+        let peers = peer_addrs
+            .into_iter()
+            .enumerate()
+            .map(|(r, addr)| {
+                Mutex::new(Peer {
+                    addr,
+                    dialer: r < my_rank,
+                    state: PeerState::Idle,
+                    txq: VecDeque::new(),
+                    tx_off: 0,
+                    txq_bytes: 0,
+                    rx_buf: Vec::new(),
+                    next_retry: 0.0,
+                    attempts: 0,
+                    injected: false,
+                    ever_connected: false,
+                })
+            })
+            .collect();
+        WireTransport {
+            inner: Arc::new(WireInner {
+                my_rank,
+                ranks,
+                eps_per_rank,
+                opts,
+                listener: bound.listener,
+                addr: bound.addr,
+                pending: Mutex::new(Vec::new()),
+                peers,
+                rx_net: (0..eps_per_rank).map(|_| RxLane::new()).collect(),
+                rx_shm: (0..eps_per_rank).map(|_| RxLane::new()).collect(),
+                rx_total: AtomicUsize::new(0),
+                dead: AtomicUsize::new(0),
+                pump: Mutex::new(()),
+            }),
+        }
+    }
+
+    /// This rank's concrete data address (what peers dial).
+    pub fn addr(&self) -> &str {
+        &self.inner.addr
+    }
+
+    /// This transport's rank in the world.
+    pub fn rank(&self) -> usize {
+        self.inner.my_rank
+    }
+
+    /// True when every peer connection is live.
+    pub fn mesh_ready(&self) -> bool {
+        (0..self.inner.ranks)
+            .filter(|&r| r != self.inner.my_rank)
+            .all(|r| matches!(self.inner.peers[r].lock().state, PeerState::Connected(_)))
+    }
+
+    /// Pump until the full mesh is connected, a peer dies, or
+    /// `timeout_secs` passes.
+    pub fn establish(&self, timeout_secs: f64) -> io::Result<()> {
+        let deadline = wtime() + timeout_secs;
+        loop {
+            self.pump();
+            if self.mesh_ready() {
+                return Ok(());
+            }
+            if self.inner.dead.load(Ordering::Relaxed) > 0 {
+                return Err(io::Error::new(
+                    io::ErrorKind::ConnectionAborted,
+                    "peer declared dead during mesh establishment",
+                ));
+            }
+            if wtime() > deadline {
+                return Err(io::Error::new(
+                    io::ErrorKind::TimedOut,
+                    format!(
+                        "mesh not established within {timeout_secs}s (rank {})",
+                        self.inner.my_rank
+                    ),
+                ));
+            }
+            std::thread::yield_now();
+        }
+    }
+
+    fn local_ep(&self, ep: usize) -> usize {
+        let base = self.inner.my_rank * self.inner.eps_per_rank;
+        assert!(
+            ep >= base && ep < base + self.inner.eps_per_rank,
+            "endpoint {ep} does not belong to rank {} (eps/rank {})",
+            self.inner.my_rank,
+            self.inner.eps_per_rank
+        );
+        ep - base
+    }
+
+    fn lane(&self, local: usize, path: Path) -> &RxLane<M> {
+        match path {
+            Path::Net => &self.inner.rx_net[local],
+            Path::Shmem => &self.inner.rx_shm[local],
+        }
+    }
+
+    fn deliver(&self, env: Envelope<M>, path: Path) {
+        let local = env.dst - self.inner.my_rank * self.inner.eps_per_rank;
+        let lane = self.lane(local, path);
+        lane.q.lock().push_back(env);
+        lane.n.fetch_add(1, Ordering::Release);
+        self.inner.rx_total.fetch_add(1, Ordering::Release);
+    }
+
+    /// One pump pass over listener + every peer. Returns true if
+    /// anything moved. Contending pumpers skip (return false).
+    fn pump(&self) -> bool {
+        let Some(_g) = self.inner.pump.try_lock() else {
+            return false;
+        };
+        let mut moved = self.accept_new();
+        moved |= self.drive_pending();
+        for r in 0..self.inner.ranks {
+            if r != self.inner.my_rank {
+                moved |= self.drive_peer(r);
+            }
+        }
+        moved
+    }
+
+    fn accept_new(&self) -> bool {
+        let mut moved = false;
+        for _ in 0..32 {
+            match F::accept(&self.inner.listener) {
+                Ok(Some(sock)) => {
+                    if F::set_nonblocking(&sock, true).is_ok() {
+                        self.inner.pending.lock().push((sock, Vec::new()));
+                        moved = true;
+                    }
+                }
+                Ok(None) | Err(_) => break,
+            }
+        }
+        moved
+    }
+
+    /// Read hellos off accepted-but-unidentified sockets and promote
+    /// them to peer connections.
+    fn drive_pending(&self) -> bool {
+        let mut moved = false;
+        let mut pending = self.inner.pending.lock();
+        let mut i = 0;
+        while i < pending.len() {
+            let (sock, hello) = &mut pending[i];
+            let mut buf = [0u8; 4];
+            let need = 4 - hello.len();
+            match sock.read(&mut buf[..need]) {
+                Ok(0) => {
+                    pending.swap_remove(i);
+                    continue;
+                }
+                Ok(n) => {
+                    hello.extend_from_slice(&buf[..n]);
+                    moved = true;
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    i += 1;
+                    continue;
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    pending.swap_remove(i);
+                    continue;
+                }
+            }
+            if hello.len() < 4 {
+                i += 1;
+                continue;
+            }
+            let rank = u32::from_le_bytes(hello[..4].try_into().expect("4 bytes")) as usize;
+            let (sock, _) = pending.swap_remove(i);
+            // Only higher ranks dial us; anything else is a stray.
+            if rank <= self.inner.my_rank || rank >= self.inner.ranks {
+                continue;
+            }
+            let mut p = self.inner.peers[rank].lock();
+            if matches!(p.state, PeerState::Dead) {
+                continue;
+            }
+            // A reconnect replaces whatever was there; both sides'
+            // partial frames from the old connection are void.
+            p.rx_buf.clear();
+            p.txq_bytes += p.tx_off;
+            p.tx_off = 0;
+            p.state = PeerState::Connected(sock);
+            p.attempts = 0;
+            p.ever_connected = true;
+        }
+        moved
+    }
+
+    fn backoff(&self, attempts: u32) -> f64 {
+        let exp = attempts.min(16);
+        (self.inner.opts.retry_base * f64::from(1u32 << exp)).min(self.inner.opts.retry_max)
+    }
+
+    /// Record a failed dial; schedules a retry or declares the peer
+    /// dead once the budget is spent.
+    fn note_dial_failure(&self, p: &mut Peer<F::Stream>) {
+        p.attempts += 1;
+        mpfa_obs::global_counters()
+            .transport_reconnects
+            .fetch_add(1, Ordering::Relaxed);
+        if p.attempts > self.inner.opts.max_attempts {
+            self.mark_dead(p);
+        } else {
+            p.next_retry = wtime() + self.backoff(p.attempts - 1);
+        }
+    }
+
+    fn mark_dead(&self, p: &mut Peer<F::Stream>) {
+        if !matches!(p.state, PeerState::Dead) {
+            p.state = PeerState::Dead;
+            p.txq.clear();
+            p.tx_off = 0;
+            p.txq_bytes = 0;
+            p.rx_buf.clear();
+            self.inner.dead.fetch_add(1, Ordering::Relaxed);
+            mpfa_obs::global_counters()
+                .transport_dead_peers
+                .fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// A live connection broke: back to Idle. Dialers retry after
+    /// backoff; acceptors give the peer a grace window to come back.
+    fn disconnect(&self, p: &mut Peer<F::Stream>) {
+        p.state = PeerState::Idle;
+        p.rx_buf.clear();
+        p.txq_bytes += p.tx_off;
+        p.tx_off = 0;
+        p.attempts = 0;
+        let now = wtime();
+        if p.dialer {
+            mpfa_obs::global_counters()
+                .transport_reconnects
+                .fetch_add(1, Ordering::Relaxed);
+            p.next_retry = now + self.inner.opts.retry_base;
+        } else {
+            // Patience roughly matching the dialer's full retry budget.
+            let grace = self.inner.opts.retry_max * f64::from(self.inner.opts.max_attempts);
+            p.next_retry = now + grace.max(self.inner.opts.retry_base);
+        }
+    }
+
+    fn dial(&self, p: &mut Peer<F::Stream>) -> bool {
+        if self.inner.opts.inject_connect_fail && !p.injected {
+            p.injected = true;
+            self.note_dial_failure(p);
+            return true;
+        }
+        match F::connect(&p.addr, self.inner.opts.connect_timeout) {
+            Ok(mut sock) => {
+                let hello = (self.inner.my_rank as u32).to_le_bytes();
+                if sock.write_all(&hello).is_err() {
+                    self.note_dial_failure(p);
+                    return true;
+                }
+                if F::set_nonblocking(&sock, true).is_err() {
+                    self.note_dial_failure(p);
+                    return true;
+                }
+                p.rx_buf.clear();
+                p.txq_bytes += p.tx_off;
+                p.tx_off = 0;
+                p.state = PeerState::Connected(sock);
+                p.attempts = 0;
+                p.ever_connected = true;
+                true
+            }
+            Err(_) => {
+                self.note_dial_failure(p);
+                true
+            }
+        }
+    }
+
+    fn drive_peer(&self, r: usize) -> bool {
+        let mut p = self.inner.peers[r].lock();
+        match p.state {
+            PeerState::Dead => false,
+            PeerState::Idle => {
+                let now = wtime();
+                if p.dialer {
+                    if now < p.next_retry {
+                        false
+                    } else {
+                        self.dial(&mut p)
+                    }
+                } else {
+                    // Acceptor: after a lost connection, wait out the
+                    // grace window, then declare the peer dead.
+                    if p.ever_connected && now >= p.next_retry {
+                        self.mark_dead(&mut p);
+                        true
+                    } else {
+                        false
+                    }
+                }
+            }
+            PeerState::Connected(_) => {
+                let mut moved = self.flush(&mut p);
+                moved |= self.read_socket(r, &mut p);
+                moved
+            }
+        }
+    }
+
+    /// Write queued frames until the socket would block.
+    fn flush(&self, p: &mut Peer<F::Stream>) -> bool {
+        let mut moved = false;
+        while let Some(front) = p.txq.front() {
+            let off = p.tx_off;
+            let PeerState::Connected(sock) = &mut p.state else {
+                break;
+            };
+            let res = sock.write(&front[off..]);
+            match res {
+                Ok(0) => {
+                    self.disconnect(p);
+                    break;
+                }
+                Ok(n) => {
+                    moved = true;
+                    p.tx_off += n;
+                    p.txq_bytes -= n;
+                    mpfa_obs::global_counters().record_wire_tx(n as u64);
+                    if p.tx_off == p.txq.front().map_or(0, |f| f.len()) {
+                        p.txq.pop_front();
+                        p.tx_off = 0;
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    self.disconnect(p);
+                    break;
+                }
+            }
+        }
+        moved
+    }
+
+    /// Read until the socket would block (bounded per pass), parsing
+    /// complete frames into the local RX lanes.
+    fn read_socket(&self, src_rank: usize, p: &mut Peer<F::Stream>) -> bool {
+        let mut moved = false;
+        let mut buf = [0u8; 64 * 1024];
+        for _ in 0..64 {
+            let res = match &mut p.state {
+                PeerState::Connected(sock) => sock.read(&mut buf),
+                _ => break,
+            };
+            match res {
+                Ok(0) => {
+                    self.disconnect(p);
+                    break;
+                }
+                Ok(n) => {
+                    moved = true;
+                    mpfa_obs::global_counters().record_wire_rx(n as u64);
+                    p.rx_buf.extend_from_slice(&buf[..n]);
+                    self.parse_frames(src_rank, p);
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    self.disconnect(p);
+                    break;
+                }
+            }
+        }
+        moved
+    }
+
+    fn parse_frames(&self, src_rank: usize, p: &mut Peer<F::Stream>) {
+        let mut pos = 0;
+        while p.rx_buf.len() - pos >= FRAME_HEADER {
+            let h = &p.rx_buf[pos..pos + FRAME_HEADER];
+            let plen = u32::from_le_bytes(h[0..4].try_into().expect("4")) as usize;
+            let src = u32::from_le_bytes(h[4..8].try_into().expect("4")) as usize;
+            let dst = u32::from_le_bytes(h[8..12].try_into().expect("4")) as usize;
+            let wire_bytes = u32::from_le_bytes(h[12..16].try_into().expect("4")) as usize;
+            if p.rx_buf.len() - pos < FRAME_HEADER + plen {
+                break;
+            }
+            let payload = &p.rx_buf[pos + FRAME_HEADER..pos + FRAME_HEADER + plen];
+            pos += FRAME_HEADER + plen;
+            let base = self.inner.my_rank * self.inner.eps_per_rank;
+            assert!(
+                dst >= base && dst < base + self.inner.eps_per_rank,
+                "frame from rank {src_rank} addressed to foreign endpoint {dst}"
+            );
+            assert_eq!(
+                src / self.inner.eps_per_rank,
+                src_rank,
+                "frame source endpoint {src} does not match connection rank {src_rank}"
+            );
+            let msg = M::decode(payload).unwrap_or_else(|| {
+                panic!("undecodable {plen}-byte frame payload from rank {src_rank}")
+            });
+            self.deliver(
+                Envelope {
+                    src,
+                    dst,
+                    wire_bytes,
+                    msg,
+                },
+                Path::Net,
+            );
+        }
+        p.rx_buf.drain(..pos);
+    }
+}
+
+impl<M: FrameCodec, F: SockFamily> Transport<M> for WireTransport<M, F> {
+    fn kind(&self) -> TransportKind {
+        F::KIND
+    }
+
+    fn endpoints(&self) -> usize {
+        self.inner.ranks * self.inner.eps_per_rank
+    }
+
+    fn send(&self, src_ep: usize, dst_ep: usize, msg: M, wire_bytes: usize) -> TxHandle {
+        assert!(
+            dst_ep < self.endpoints(),
+            "destination endpoint {dst_ep} out of range"
+        );
+        self.local_ep(src_ep); // asserts src ownership
+        let dst_rank = dst_ep / self.inner.eps_per_rank;
+        if dst_rank == self.inner.my_rank {
+            // Same-process loopback: the intra-rank "shared memory"
+            // path, mirroring the sim fabric's same-node behaviour.
+            mpfa_obs::global_counters().record_packet(mpfa_obs::PathKind::Shmem, wire_bytes as u64);
+            self.deliver(
+                Envelope {
+                    src: src_ep,
+                    dst: dst_ep,
+                    wire_bytes,
+                    msg,
+                },
+                Path::Shmem,
+            );
+            return TxHandle::immediate();
+        }
+
+        mpfa_obs::global_counters().record_packet(mpfa_obs::PathKind::Net, wire_bytes as u64);
+        let mut frame = vec![0u8; FRAME_HEADER];
+        msg.encode(&mut frame);
+        let plen = frame.len() - FRAME_HEADER;
+        assert!(plen <= u32::MAX as usize, "frame payload too large");
+        frame[0..4].copy_from_slice(&(plen as u32).to_le_bytes());
+        frame[4..8].copy_from_slice(&(src_ep as u32).to_le_bytes());
+        frame[8..12].copy_from_slice(&(dst_ep as u32).to_le_bytes());
+        frame[12..16].copy_from_slice(&(wire_bytes as u32).to_le_bytes());
+
+        let mut p = self.inner.peers[dst_rank].lock();
+        if matches!(p.state, PeerState::Dead) {
+            // Unreachable peer: drop (the doctor reports the partition).
+            return TxHandle::immediate();
+        }
+        p.txq_bytes += frame.len();
+        p.txq.push_back(frame);
+        if matches!(p.state, PeerState::Connected(_)) {
+            // Opportunistic flush, with bounded extra effort when the
+            // backlog is over the soft cap (backpressure without ever
+            // blocking indefinitely).
+            self.flush(&mut p);
+            let mut spins = 0;
+            while p.txq_bytes > self.inner.opts.tx_backlog_soft
+                && matches!(p.state, PeerState::Connected(_))
+                && spins < 1000
+            {
+                spins += 1;
+                std::thread::yield_now();
+                self.flush(&mut p);
+            }
+        }
+        TxHandle::immediate()
+    }
+
+    fn poll(&self, ep: usize, path: Path, max: usize, out: &mut Vec<Envelope<M>>) -> usize {
+        let local = self.local_ep(ep);
+        let lane = self.lane(local, path);
+        if lane.n.load(Ordering::Acquire) == 0 {
+            return 0;
+        }
+        let mut q = lane.q.lock();
+        let n = max.min(q.len());
+        out.extend(q.drain(..n));
+        drop(q);
+        if n > 0 {
+            lane.n.fetch_sub(n, Ordering::Release);
+            self.inner.rx_total.fetch_sub(n, Ordering::Release);
+        }
+        n
+    }
+
+    fn queued(&self, ep: usize, path: Path) -> usize {
+        let local = self.local_ep(ep);
+        self.lane(local, path).n.load(Ordering::Acquire)
+    }
+
+    fn progress(&self) -> bool {
+        self.pump()
+    }
+
+    fn external_work(&self) -> bool {
+        // Bytes may be sitting in kernel buffers as long as any peer is
+        // (or may come back) alive; also anything already delivered but
+        // not yet drained.
+        let live_peers =
+            self.inner.ranks > 1 && self.inner.dead.load(Ordering::Relaxed) + 1 < self.inner.ranks;
+        live_peers || self.inner.rx_total.load(Ordering::Acquire) > 0
+    }
+
+    fn peer_alive(&self, rank: usize) -> bool {
+        rank == self.inner.my_rank
+            || !matches!(self.inner.peers[rank].lock().state, PeerState::Dead)
+    }
+
+    fn dead_peers(&self) -> usize {
+        self.inner.dead.load(Ordering::Relaxed)
+    }
+}
+
+static MESH_SEQ: AtomicUsize = AtomicUsize::new(0);
+
+/// Hint address for rank `r`'s data listener under `kind`.
+fn mesh_hint(kind: TransportKind, dir_tag: usize, r: usize) -> String {
+    match kind {
+        TransportKind::Tcp => "127.0.0.1:0".to_string(),
+        TransportKind::Uds => {
+            let dir =
+                std::env::temp_dir().join(format!("mpfa-mesh-{}-{}", std::process::id(), dir_tag));
+            let _ = std::fs::create_dir_all(&dir);
+            dir.join(format!("ep{r}.sock"))
+                .to_string_lossy()
+                .into_owned()
+        }
+        TransportKind::Sim => unreachable!("sim needs no socket address"),
+    }
+}
+
+fn mesh_family<M: FrameCodec, F: SockFamily>(
+    ranks: usize,
+    eps_per_rank: usize,
+    opts: WireOpts,
+    dir_tag: usize,
+) -> io::Result<Vec<Arc<dyn Transport<M>>>> {
+    let bounds: Vec<Bound<F>> = (0..ranks)
+        .map(|r| Bound::bind(&mesh_hint(F::KIND, dir_tag, r)))
+        .collect::<io::Result<_>>()?;
+    let table: Vec<String> = bounds.iter().map(|b| b.addr.clone()).collect();
+    let transports: Vec<WireTransport<M, F>> = bounds
+        .into_iter()
+        .enumerate()
+        .map(|(r, b)| WireTransport::new(b, r, table.clone(), eps_per_rank, opts))
+        .collect();
+    // Round-robin pumping from one thread until the full mesh is up
+    // (every pump is nonblocking, so no deadlock).
+    let deadline = wtime() + 30.0;
+    loop {
+        let mut ready = true;
+        for t in &transports {
+            t.pump();
+            ready &= t.mesh_ready();
+        }
+        if ready {
+            break;
+        }
+        if transports.iter().any(|t| t.dead_peers() > 0) {
+            return Err(io::Error::new(
+                io::ErrorKind::ConnectionAborted,
+                "peer declared dead during loopback mesh establishment",
+            ));
+        }
+        if wtime() > deadline {
+            return Err(io::Error::new(
+                io::ErrorKind::TimedOut,
+                "loopback mesh not established within 30s",
+            ));
+        }
+        std::thread::yield_now();
+    }
+    Ok(transports
+        .into_iter()
+        .map(|t| Arc::new(t) as Arc<dyn Transport<M>>)
+        .collect())
+}
+
+/// Build a fully-connected in-process mesh of `ranks` transports of
+/// `kind`, one per rank, all inside the current process — the harness
+/// for differential tests and benchmarks that want real sockets without
+/// spawning OS processes. For [`TransportKind::Sim`] every rank shares
+/// one instant fabric (laid out like the MPI world: `eps_per_rank`
+/// endpoints per rank, same-rank endpoints on one node).
+pub fn loopback_mesh<M: FrameCodec>(
+    kind: TransportKind,
+    ranks: usize,
+    eps_per_rank: usize,
+    opts: WireOpts,
+) -> io::Result<Vec<Arc<dyn Transport<M>>>> {
+    assert!(ranks > 0 && eps_per_rank > 0);
+    let dir_tag = MESH_SEQ.fetch_add(1, Ordering::Relaxed);
+    match kind {
+        TransportKind::Sim => {
+            let fabric: Arc<mpfa_fabric::Fabric<M>> = Arc::new(mpfa_fabric::Fabric::new(
+                mpfa_fabric::FabricConfig::instant_nodes(ranks * eps_per_rank, eps_per_rank),
+            ));
+            Ok((0..ranks)
+                .map(|_| fabric.clone() as Arc<dyn Transport<M>>)
+                .collect())
+        }
+        TransportKind::Tcp => {
+            mesh_family::<M, crate::tcp::TcpFamily>(ranks, eps_per_rank, opts, dir_tag)
+        }
+        #[cfg(unix)]
+        TransportKind::Uds => {
+            mesh_family::<M, crate::uds::UdsFamily>(ranks, eps_per_rank, opts, dir_tag)
+        }
+        #[cfg(not(unix))]
+        TransportKind::Uds => Err(io::Error::new(
+            io::ErrorKind::Unsupported,
+            "unix domain sockets are not available on this platform",
+        )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    type Msg = Vec<u8>;
+
+    fn fast_opts() -> WireOpts {
+        WireOpts {
+            retry_base: 1e-4,
+            retry_max: 2e-3,
+            max_attempts: 5,
+            ..WireOpts::default()
+        }
+    }
+
+    fn drain(t: &Arc<dyn Transport<Msg>>, ep: usize, want: usize) -> Vec<Envelope<Msg>> {
+        let mut out = Vec::new();
+        let deadline = wtime() + 10.0;
+        while out.len() < want {
+            t.progress();
+            t.poll(ep, Path::Net, usize::MAX, &mut out);
+            assert!(
+                wtime() < deadline,
+                "timed out: {}/{want} packets",
+                out.len()
+            );
+        }
+        out
+    }
+
+    #[test]
+    fn tcp_pair_roundtrip_fifo() {
+        let mesh = loopback_mesh::<Msg>(TransportKind::Tcp, 2, 1, WireOpts::default()).unwrap();
+        assert_eq!(mesh[0].kind(), TransportKind::Tcp);
+        assert_eq!(mesh[0].endpoints(), 2);
+        assert!(mesh[0].external_work());
+        for i in 0..50u8 {
+            mesh[0].send(0, 1, vec![i; (i as usize % 7) + 1], i as usize);
+        }
+        let got = drain(&mesh[1], 1, 50);
+        for (i, env) in got.iter().enumerate() {
+            assert_eq!(env.src, 0);
+            assert_eq!(env.dst, 1);
+            assert_eq!(env.wire_bytes, i);
+            assert_eq!(env.msg, vec![i as u8; (i % 7) + 1], "FIFO broken at {i}");
+        }
+        // Reverse direction too.
+        mesh[1].send(1, 0, b"pong".to_vec(), 4);
+        let got = drain(&mesh[0], 0, 1);
+        assert_eq!(got[0].msg, b"pong".to_vec());
+    }
+
+    #[test]
+    fn large_frames_cross_partial_reads() {
+        let mesh = loopback_mesh::<Msg>(TransportKind::Tcp, 2, 1, WireOpts::default()).unwrap();
+        // Several frames far larger than one read() buffer, filled with
+        // a position-dependent pattern to catch any reassembly slip.
+        for k in 0..4u64 {
+            let big: Vec<u8> = (0..300_000u64).map(|i| ((i * 7 + k) % 251) as u8).collect();
+            mesh[0].send(0, 1, big, 300_000);
+        }
+        let got = drain(&mesh[1], 1, 4);
+        for (k, env) in got.iter().enumerate() {
+            assert_eq!(env.msg.len(), 300_000);
+            for (i, &b) in env.msg.iter().enumerate() {
+                assert_eq!(
+                    b,
+                    ((i as u64 * 7 + k as u64) % 251) as u8,
+                    "byte {i} of frame {k}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn same_rank_loopback_uses_shmem_path() {
+        let mesh = loopback_mesh::<Msg>(TransportKind::Tcp, 2, 2, WireOpts::default()).unwrap();
+        // Rank 0 owns endpoints 0 and 1; a send between them stays local.
+        mesh[0].send(0, 1, b"local".to_vec(), 5);
+        assert_eq!(mesh[0].queued(1, Path::Shmem), 1);
+        assert_eq!(mesh[0].queued(1, Path::Net), 0);
+        let mut out = Vec::new();
+        assert_eq!(mesh[0].poll(1, Path::Shmem, 16, &mut out), 1);
+        assert_eq!(out[0].msg, b"local".to_vec());
+    }
+
+    #[test]
+    fn injected_connect_failure_retries_and_recovers() {
+        let before = mpfa_obs::global_counters()
+            .transport_reconnects
+            .load(Ordering::Relaxed);
+        let opts = WireOpts {
+            inject_connect_fail: true,
+            ..fast_opts()
+        };
+        let mesh = loopback_mesh::<Msg>(TransportKind::Tcp, 3, 1, opts).unwrap();
+        let after = mpfa_obs::global_counters()
+            .transport_reconnects
+            .load(Ordering::Relaxed);
+        // Ranks 1 and 2 dial rank 0, rank 2 dials rank 1: three injected
+        // failures, three retries.
+        assert!(
+            after >= before + 3,
+            "expected >=3 reconnects, got {}",
+            after - before
+        );
+        mesh[2].send(2, 0, b"ok".to_vec(), 2);
+        let got = drain(&mesh[0], 0, 1);
+        assert_eq!(got[0].msg, b"ok".to_vec());
+        assert_eq!(mesh[0].dead_peers(), 0);
+    }
+
+    #[test]
+    fn unreachable_peer_goes_dead_after_budget() {
+        // Rank 1 dials rank 0. Kill rank 0 entirely (listener closes),
+        // then watch rank 1 burn its reconnect budget.
+        let mesh = loopback_mesh::<Msg>(TransportKind::Tcp, 2, 1, fast_opts()).unwrap();
+        let t1 = mesh[1].clone();
+        drop(mesh); // rank 0's transport (and listener) are gone
+        t1.send(1, 0, b"into the void".to_vec(), 13);
+        let deadline = wtime() + 10.0;
+        while t1.dead_peers() == 0 {
+            t1.progress();
+            assert!(wtime() < deadline, "peer never declared dead");
+            std::thread::yield_now();
+        }
+        assert!(!t1.peer_alive(0));
+        assert!(t1.peer_alive(1));
+        // Sends to a dead peer are dropped, not hoarded.
+        t1.send(1, 0, b"more".to_vec(), 4);
+        assert_eq!(t1.dead_peers(), 1);
+    }
+
+    #[test]
+    fn foreign_endpoint_poll_panics() {
+        let mesh = loopback_mesh::<Msg>(TransportKind::Tcp, 2, 1, WireOpts::default()).unwrap();
+        let t0 = mesh[0].clone();
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let mut out = Vec::new();
+            t0.poll(1, Path::Net, 1, &mut out); // ep 1 belongs to rank 1
+        }));
+        assert!(err.is_err());
+    }
+}

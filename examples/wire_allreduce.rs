@@ -1,0 +1,77 @@
+//! Allreduce over whatever substrate the environment provides: the same
+//! binary runs in-process over the simulated fabric *and* as one rank of
+//! a multi-process job over a real wire.
+//!
+//! In-process (4 simulated ranks):
+//!
+//! ```text
+//! cargo run --release --example wire_allreduce
+//! ```
+//!
+//! Distributed (4 OS processes over localhost TCP):
+//!
+//! ```text
+//! cargo build --release --example wire_allreduce
+//! target/release/mpfarun -n 4 -- target/release/examples/wire_allreduce
+//! ```
+//!
+//! Every rank prints the same reduction result either way — the MPI
+//! layer's protocols cannot tell the substrates apart. The exit code is
+//! nonzero on any mismatch, which is what CI's wire-smoke job checks.
+
+use mpfa::mpi::{Launch, Op, Proc, World, WorldConfig};
+
+const RANKS: usize = 4;
+
+fn main() {
+    match World::launch(WorldConfig::instant(RANKS)) {
+        Launch::InProcess(procs) => {
+            println!(
+                "wire_allreduce: in-process, {} simulated ranks",
+                procs.len()
+            );
+            std::thread::scope(|s| {
+                for proc in procs {
+                    s.spawn(move || rank_main(proc));
+                }
+            });
+        }
+        Launch::Distributed(proc) => {
+            println!(
+                "wire_allreduce: rank {}/{} over {}",
+                proc.rank(),
+                proc.size(),
+                proc.world().config().transport
+            );
+            rank_main(proc);
+        }
+    }
+}
+
+fn rank_main(proc: Proc) {
+    let comm = proc.world_comm();
+    let rank = comm.rank();
+    let size = comm.size() as i64;
+
+    // A ring exchange first, to push point-to-point traffic (including a
+    // rendezvous-sized payload) over the substrate.
+    let right = (rank + 1) % size as i32;
+    let left = (rank - 1).rem_euclid(size as i32);
+    let recv = comm.irecv::<u8>(128 * 1024, left, 1).unwrap();
+    comm.isend(&vec![rank as u8; 100_000], right, 1).unwrap();
+    let (data, status) = recv.wait();
+    assert_eq!(status.source, left);
+    assert_eq!(data, vec![left as u8; 100_000]);
+
+    // The headline check: a sum-allreduce every rank can verify locally.
+    let mine: Vec<i64> = (0..16).map(|i| (rank as i64 + 1) * (i + 1)).collect();
+    let total = comm.allreduce(&mine, Op::Sum).unwrap();
+    let all: i64 = (1..=size).sum();
+    for (i, v) in total.iter().enumerate() {
+        assert_eq!(*v, all * (i as i64 + 1), "allreduce mismatch at {i}");
+    }
+
+    comm.barrier().unwrap();
+    println!("rank {rank}: allreduce ok, total[0] = {}", total[0]);
+    proc.finalize(1.0);
+}

@@ -16,6 +16,10 @@
 //! * [`interop`] — what the extensions enable: user-level collectives,
 //!   task classes, completion callbacks, continuation- and schedule-style
 //!   comparator APIs, an event loop.
+//! * [`transport`] — the pluggable packet substrate: the simulated
+//!   fabric behind a `Transport` trait plus real TCP and Unix-domain
+//!   wire backends, bootstrap rendezvous, and the `mpfarun` launcher.
+//!   See `docs/TRANSPORT.md`.
 //! * [`baselines`] — the progress strategies the paper argues against:
 //!   global async-progress threads and request-polling loops.
 //! * [`obs`] — progress observability: event tracing (behind the `obs`
@@ -32,3 +36,4 @@ pub use mpfa_interop as interop;
 pub use mpfa_mpi as mpi;
 pub use mpfa_obs as obs;
 pub use mpfa_offload as offload;
+pub use mpfa_transport as transport;

@@ -1,0 +1,199 @@
+//! Differential test: the MPI layer must behave identically over the
+//! simulated fabric and over the real wire backends.
+//!
+//! The same workload — point-to-point traffic crossing all three message
+//! modes (buffered, eager, rendezvous/pipeline) plus integer and float
+//! allreduces — runs over Sim, loopback TCP, and UDS. For each transport
+//! we record, per `(src, tag)` channel, the payloads in arrival order,
+//! and the allreduce results. Everything must match bitwise: payloads,
+//! per-channel match order, reduction results.
+
+mod common;
+
+use common::run_ranks;
+use mpfa::mpi::protocol::ProtoConfig;
+use mpfa::mpi::wire::WireMsg;
+use mpfa::mpi::{Comm, Op, Proc, World, WorldConfig};
+use mpfa::transport::{loopback_mesh, TransportKind, WireOpts};
+
+const RANKS: usize = 3;
+/// Messages per (src, dst, tag) channel.
+const MSGS: usize = 6;
+const TAGS: i32 = 2;
+/// Sizes cycle through the three protocol modes under [`proto`].
+const SIZES: [usize; 3] = [8, 1024, 40_000];
+
+/// Thresholds that make every size in [`SIZES`] take a different mode:
+/// 8 ≤ buffered_max, 1024 ≤ eager_max, 40 000 → rendezvous in 5 chunks.
+fn proto() -> ProtoConfig {
+    ProtoConfig {
+        buffered_max: 64,
+        eager_max: 4096,
+        chunk: 8192,
+        depth: 2,
+    }
+}
+
+fn config() -> WorldConfig {
+    WorldConfig {
+        proto: proto(),
+        ..WorldConfig::instant(RANKS)
+    }
+}
+
+fn payload(src: i32, tag: i32, k: usize) -> Vec<u8> {
+    let n = SIZES[k % SIZES.len()];
+    (0..n)
+        .map(|i| (src as usize * 31 + tag as usize * 17 + k * 7 + i) as u8)
+        .collect()
+}
+
+/// One (src, tag) channel and the payloads that arrived on it, in
+/// match order.
+type Channel = ((i32, i32), Vec<Vec<u8>>);
+
+/// What one rank observed: arrival payloads per (src, tag) channel in
+/// match order, plus both allreduce results (floats as raw bits so the
+/// comparison is exact).
+#[derive(Debug, PartialEq, Eq)]
+struct RankRecord {
+    channels: Vec<Channel>,
+    sum_i64: Vec<i64>,
+    sum_f64_bits: Vec<u64>,
+}
+
+fn workload(comm: &Comm) -> RankRecord {
+    let me = comm.rank();
+    let size = comm.size() as i32;
+
+    // Post every receive first (expected path for some, unexpected for
+    // others depending on timing — both must preserve channel order).
+    let mut recvs = Vec::new();
+    for src in 0..size {
+        if src == me {
+            continue;
+        }
+        for tag in 0..TAGS {
+            for k in 0..MSGS {
+                recvs.push((
+                    (src, tag),
+                    comm.irecv::<u8>(64 * 1024, src, tag).unwrap(),
+                    k,
+                ));
+            }
+        }
+    }
+
+    let mut sends = Vec::new();
+    for dst in 0..size {
+        if dst == me {
+            continue;
+        }
+        for tag in 0..TAGS {
+            for k in 0..MSGS {
+                sends.push(comm.isend_bytes(payload(me, tag, k), dst, tag).unwrap());
+            }
+        }
+    }
+
+    let mut channels: Vec<Channel> = Vec::new();
+    for ((src, tag), rreq, _) in recvs {
+        let (data, status) = rreq.wait();
+        assert_eq!(status.source, src);
+        assert_eq!(status.tag, tag);
+        match channels.iter_mut().find(|(key, _)| *key == (src, tag)) {
+            Some((_, v)) => v.push(data),
+            None => channels.push(((src, tag), vec![data])),
+        }
+    }
+    for s in sends {
+        s.wait();
+    }
+
+    let ints: Vec<i64> = (0..8).map(|i| (me as i64 + 1) * (i + 1)).collect();
+    let sum_i64 = comm.allreduce(&ints, Op::Sum).unwrap();
+    let floats: Vec<f64> = (0..8)
+        .map(|i| (me as f64 + 0.25) * 1.125_f64.powi(i))
+        .collect();
+    let sum_f64_bits = comm
+        .allreduce(&floats, Op::Sum)
+        .unwrap()
+        .into_iter()
+        .map(f64::to_bits)
+        .collect();
+    comm.barrier().unwrap();
+
+    RankRecord {
+        channels,
+        sum_i64,
+        sum_f64_bits,
+    }
+}
+
+/// Run the workload over a loopback wire mesh, one OS thread per rank
+/// (standing in for one OS process per rank, which `mpfarun` provides).
+fn run_wire(kind: TransportKind) -> Vec<RankRecord> {
+    let cfg = config();
+    let mesh = loopback_mesh::<WireMsg>(kind, RANKS, cfg.max_vcis, WireOpts::default())
+        .expect("loopback mesh");
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..RANKS)
+            .map(|rank| {
+                let cfg = WorldConfig {
+                    transport: kind,
+                    ..cfg.clone()
+                };
+                let port = mesh[rank].clone();
+                s.spawn(move || {
+                    let proc: Proc = World::init_with_transport(cfg, rank, port);
+                    workload(&proc.world_comm())
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("rank thread panicked"))
+            .collect()
+    })
+}
+
+fn check_expected(records: &[RankRecord], what: &str) {
+    for (rank, rec) in records.iter().enumerate() {
+        // (RANKS-1) peers × TAGS channels, MSGS messages each, in order.
+        assert_eq!(
+            rec.channels.len(),
+            (RANKS - 1) * TAGS as usize,
+            "{what}: rank {rank} channel count"
+        );
+        for ((src, tag), msgs) in &rec.channels {
+            assert_eq!(msgs.len(), MSGS, "{what}: rank {rank} ch ({src},{tag})");
+            for (k, got) in msgs.iter().enumerate() {
+                assert_eq!(
+                    got,
+                    &payload(*src, *tag, k),
+                    "{what}: rank {rank} channel ({src},{tag}) message {k} \
+                     out of order or corrupted"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn sim_and_tcp_agree() {
+    let sim = run_ranks(config(), |p| workload(&p.world_comm()));
+    let tcp = run_wire(TransportKind::Tcp);
+    check_expected(&sim, "sim");
+    check_expected(&tcp, "tcp");
+    assert_eq!(sim, tcp, "sim and TCP worlds diverged");
+}
+
+#[cfg(unix)]
+#[test]
+fn sim_and_uds_agree() {
+    let sim = run_ranks(config(), |p| workload(&p.world_comm()));
+    let uds = run_wire(TransportKind::Uds);
+    check_expected(&sim, "sim");
+    check_expected(&uds, "uds");
+    assert_eq!(sim, uds, "sim and UDS worlds diverged");
+}
