@@ -1,0 +1,192 @@
+//! Chaos recovery benchmark: how long the ULFM cycle takes, end to end.
+//!
+//! Each trial builds a fresh 4-rank in-process world with resilience
+//! enabled, kills one rank mid-collective via [`World::chaos_kill`], and
+//! times two spans on every survivor, both measured from the instant of
+//! the kill:
+//!
+//! * **detect** — until the failure first surfaces as a request error
+//!   (a `PeerFailed` from the transport evidence, or a `Revoked` from a
+//!   faster survivor's revoke flood reaching this rank first);
+//! * **recover** — until the survivor has completed the full
+//!   revoke → agree → shrink cycle *and* finished a verified allreduce
+//!   on the shrunken communicator.
+//!
+//! The gap between the two is the price of the recovery protocol itself;
+//! the detect span is the price of evidence propagation. `--json PATH`
+//! writes a machine-readable record (`results/chaos_recovery.json` is
+//! the committed reference run); `--smoke` shrinks the trial count and
+//! arms a watchdog that exits 124 if recovery wedges.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+use mpfa_bench::json::JsonObj;
+use mpfa_core::wtime;
+use mpfa_mpi::{DetectorConfig, Op, World, WorldConfig};
+
+const N: usize = 4;
+/// Never rank 0: the lowest alive rank coordinates agree/shrink.
+const VICTIM: usize = 2;
+
+struct Config {
+    trials: usize,
+    json_path: String,
+}
+
+impl Config {
+    fn from_args() -> Config {
+        let mut cfg = Config {
+            trials: 20,
+            json_path: String::new(),
+        };
+        let mut args = std::env::args().skip(1);
+        while let Some(a) = args.next() {
+            match a.as_str() {
+                "--json" => cfg.json_path = args.next().unwrap_or_default(),
+                "--trials" => {
+                    cfg.trials = args
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or(cfg.trials)
+                }
+                "--smoke" => {
+                    cfg.trials = 3;
+                    arm_watchdog(60.0);
+                }
+                other => {
+                    eprintln!(
+                        "usage: chaos_recovery [--trials N] [--json PATH] [--smoke] (got {other})"
+                    );
+                    std::process::exit(2);
+                }
+            }
+        }
+        cfg
+    }
+}
+
+fn arm_watchdog(secs: f64) {
+    std::thread::spawn(move || {
+        std::thread::sleep(std::time::Duration::from_secs_f64(secs));
+        eprintln!("chaos_recovery: watchdog fired after {secs}s — recovery wedged?");
+        std::process::exit(124);
+    });
+}
+
+/// One survivor's timings, in milliseconds from the kill instant.
+struct Sample {
+    detect_ms: f64,
+    recover_ms: f64,
+}
+
+/// Run one kill-and-recover cycle; returns one sample per survivor.
+fn one_trial() -> Vec<Sample> {
+    let procs = World::init(WorldConfig::instant(N));
+    let victim_done = AtomicBool::new(false);
+    let t_kill = AtomicU64::new(0);
+    let (victim_done, t_kill) = (&victim_done, &t_kill);
+
+    std::thread::scope(|s| {
+        let handles: Vec<_> = procs
+            .into_iter()
+            .map(|proc| {
+                s.spawn(move || {
+                    proc.enable_resilience(DetectorConfig::default());
+                    let comm = proc.world_comm();
+                    // Warmup proves the full world works pre-kill.
+                    let warm = comm.allreduce(&[1i64], Op::Sum);
+                    if proc.rank() == VICTIM {
+                        assert_eq!(warm.unwrap(), vec![N as i64]);
+                        victim_done.store(true, Ordering::Release);
+                        return None;
+                    }
+                    if proc.rank() == (VICTIM + 1) % N {
+                        while !victim_done.load(Ordering::Acquire) {
+                            std::hint::spin_loop();
+                        }
+                        t_kill.store(wtime().to_bits(), Ordering::SeqCst);
+                        assert!(proc.world().chaos_kill(VICTIM));
+                    }
+                    // Collective loop until the failure surfaces.
+                    let detect_at = loop {
+                        let fut = comm.iallreduce(&[1i64], Op::Sum).unwrap();
+                        if fut.wait_result().is_err() {
+                            break wtime();
+                        }
+                    };
+                    comm.revoke().expect("revoke");
+                    assert!(comm.agree(true).expect("agree"));
+                    let shrunk = comm.shrink().expect("shrink");
+                    let total = shrunk.allreduce(&[1i64], Op::Sum).expect("allreduce");
+                    assert_eq!(total, vec![shrunk.size() as i64]);
+                    let recover_at = wtime();
+                    proc.finalize(2.0);
+                    let killed = f64::from_bits(t_kill.load(Ordering::SeqCst));
+                    Some(Sample {
+                        detect_ms: (detect_at - killed) * 1e3,
+                        recover_ms: (recover_at - killed) * 1e3,
+                    })
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .filter_map(|h| h.join().expect("rank panicked"))
+            .collect()
+    })
+}
+
+/// (min, median, max) of a sorted-on-demand sample set.
+fn spread(values: &mut [f64]) -> (f64, f64, f64) {
+    values.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    (
+        values[0],
+        values[values.len() / 2],
+        values[values.len() - 1],
+    )
+}
+
+fn main() {
+    let cfg = Config::from_args();
+    println!(
+        "chaos_recovery: {} trials, {} ranks, victim {}",
+        cfg.trials, N, VICTIM
+    );
+
+    let mut detect = Vec::new();
+    let mut recover = Vec::new();
+    for t in 0..cfg.trials {
+        let samples = one_trial();
+        assert_eq!(samples.len(), N - 1, "trial {t}: survivor count");
+        for s in samples {
+            detect.push(s.detect_ms);
+            recover.push(s.recover_ms);
+        }
+    }
+
+    let (d_min, d_p50, d_max) = spread(&mut detect);
+    let (r_min, r_p50, r_max) = spread(&mut recover);
+    println!("                 min       p50       max");
+    println!("detect   ms  {d_min:8.3}  {d_p50:8.3}  {d_max:8.3}");
+    println!("recover  ms  {r_min:8.3}  {r_p50:8.3}  {r_max:8.3}");
+
+    if !cfg.json_path.is_empty() {
+        let span = |min: f64, p50: f64, max: f64| {
+            let mut o = JsonObj::new();
+            o.float("min_ms", min)
+                .float("p50_ms", p50)
+                .float("max_ms", max);
+            o
+        };
+        let mut root = JsonObj::new();
+        root.str("bench", "chaos_recovery")
+            .int("ranks", N as u64)
+            .int("victim", VICTIM as u64)
+            .int("trials", cfg.trials as u64)
+            .int("samples", detect.len() as u64)
+            .obj("detect", &span(d_min, d_p50, d_max))
+            .obj("recover", &span(r_min, r_p50, r_max));
+        root.write_to(&cfg.json_path).expect("write json");
+        println!("wrote {}", cfg.json_path);
+    }
+}

@@ -59,7 +59,7 @@ pub mod wtime;
 pub use engine::{EngineStats, ProgressOutcome, ProgressState};
 pub use grequest::{grequest_start, Grequest, GrequestOps, NoopOps};
 pub use hook::{HookId, ProgressHook, SubsystemClass};
-pub use request::{Completer, CompletionCounter, Request, Status};
+pub use request::{Completer, CompletionCounter, Request, RequestError, Status};
 pub use stream::{Stream, StreamHints, StreamId, StreamRef};
 pub use task::{async_start, AsyncPoll, AsyncTask, AsyncThing, TaskId};
 pub use wtime::{wtick, wtime};

@@ -58,9 +58,40 @@ impl Default for Status {
     }
 }
 
+/// Why an operation finished unsuccessfully.
+///
+/// Errored requests still *complete* — `is_complete` flips to true and every
+/// wait loop terminates — but the completion carries an error instead of a
+/// normal status. This is the ULFM discipline: a failure must surface as an
+/// error on the requests it dooms, never as a hang.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RequestError {
+    /// The peer this operation was exchanging data with was declared dead.
+    PeerFailed {
+        /// World rank of the failed peer (-1 if unknown).
+        rank: i32,
+    },
+    /// The communicator this operation ran on was revoked
+    /// (`MPIX_Comm_revoke` semantics): the operation can never complete
+    /// normally because some participant observed a failure.
+    Revoked,
+}
+
+impl std::fmt::Display for RequestError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RequestError::PeerFailed { rank } => write!(f, "peer rank {rank} failed"),
+            RequestError::Revoked => write!(f, "communicator revoked"),
+        }
+    }
+}
+
+impl std::error::Error for RequestError {}
+
 struct RequestInner {
     complete: AtomicBool,
     status: Mutex<Status>,
+    error: Mutex<Option<RequestError>>,
     stream: StreamRef,
 }
 
@@ -92,6 +123,7 @@ impl Request {
         let inner = Arc::new(RequestInner {
             complete: AtomicBool::new(false),
             status: Mutex::new(Status::empty()),
+            error: Mutex::new(None),
             stream: stream.weak(),
         });
         (
@@ -108,6 +140,20 @@ impl Request {
         let inner = Arc::new(RequestInner {
             complete: AtomicBool::new(true),
             status: Mutex::new(status),
+            error: Mutex::new(None),
+            stream: stream.weak(),
+        });
+        Request { inner }
+    }
+
+    /// Create an already-failed request (e.g. a send initiated toward a rank
+    /// the runtime already knows is dead — it fails at initiation rather
+    /// than queueing toward a peer that will never drain it).
+    pub fn failed(stream: &Stream, err: RequestError) -> Request {
+        let inner = Arc::new(RequestInner {
+            complete: AtomicBool::new(true),
+            status: Mutex::new(Status::cancelled()),
+            error: Mutex::new(Some(err)),
             stream: stream.weak(),
         });
         Request { inner }
@@ -126,6 +172,29 @@ impl Request {
             Some(*self.inner.status.lock())
         } else {
             None
+        }
+    }
+
+    /// The error, if the operation completed unsuccessfully. `None` means
+    /// either "not complete yet" or "completed without error" — disambiguate
+    /// with [`Request::is_complete`] or use [`Request::result`].
+    pub fn error(&self) -> Option<RequestError> {
+        if self.is_complete() {
+            *self.inner.error.lock()
+        } else {
+            None
+        }
+    }
+
+    /// The outcome, if complete: `Ok(status)` for a normal completion,
+    /// `Err(error)` for a failed one.
+    pub fn result(&self) -> Option<Result<Status, RequestError>> {
+        if !self.is_complete() {
+            return None;
+        }
+        match *self.inner.error.lock() {
+            Some(err) => Some(Err(err)),
+            None => Some(Ok(*self.inner.status.lock())),
         }
     }
 
@@ -179,9 +248,25 @@ impl Request {
         self.status()
     }
 
+    /// Like [`Request::wait`], but distinguishes failed completions:
+    /// `Err(RequestError)` instead of a neutral status. Never hangs on a
+    /// failed operation — failures complete the request.
+    pub fn wait_result(&self) -> Result<Status, RequestError> {
+        self.wait();
+        self.result().expect("wait returned, request is complete")
+    }
+
     /// `MPI_Waitall` over a slice of requests.
     pub fn wait_all(requests: &[Request]) -> Vec<Status> {
         requests.iter().map(Request::wait).collect()
+    }
+
+    /// `MPI_Waitall` with per-request outcomes — the ULFM shape: every
+    /// request is driven to completion (errored ones complete too), and the
+    /// caller gets an `Ok`/`Err` per request rather than a hang or a single
+    /// aggregate error.
+    pub fn wait_all_results(requests: &[Request]) -> Vec<Result<Status, RequestError>> {
+        requests.iter().map(Request::wait_result).collect()
     }
 
     /// `MPI_Testall`: true iff all requests are complete (no progress
@@ -244,7 +329,7 @@ impl std::fmt::Debug for Request {
 impl Completer {
     /// Mark the operation complete with `status`, releasing all waiters.
     pub fn complete(mut self, status: Status) {
-        self.finish(status);
+        self.finish(status, None);
     }
 
     /// Mark complete with an empty status.
@@ -255,6 +340,13 @@ impl Completer {
     /// Complete as cancelled.
     pub fn cancel(self) {
         self.complete(Status::cancelled());
+    }
+
+    /// Complete the operation *unsuccessfully*: the request flips to
+    /// complete (all wait loops terminate) but carries `err`, retrievable
+    /// via [`Request::error`] / [`Request::result`].
+    pub fn fail(mut self, err: RequestError) {
+        self.finish(Status::cancelled(), Some(err));
     }
 
     /// Peek: has this completer already fired? (Always false until one of
@@ -270,14 +362,17 @@ impl Completer {
         }
     }
 
-    fn finish(&mut self, status: Status) {
+    fn finish(&mut self, status: Status, error: Option<RequestError>) {
         if self.done {
             return;
         }
         self.done = true;
         *self.inner.status.lock() = status;
+        if error.is_some() {
+            *self.inner.error.lock() = error;
+        }
         // Release pairs with the Acquire in is_complete: a reader seeing
-        // `true` also sees the status written above.
+        // `true` also sees the status (and error) written above.
         self.inner.complete.store(true, Ordering::Release);
         mpfa_obs::global_counters()
             .request_completions
@@ -298,7 +393,7 @@ impl Completer {
 impl Drop for Completer {
     fn drop(&mut self) {
         if !self.done {
-            self.finish(Status::cancelled());
+            self.finish(Status::cancelled(), None);
         }
     }
 }
@@ -519,6 +614,54 @@ mod tests {
         });
         assert!(s.progress_until(|| observed.is_zero(), 1.0));
         assert_eq!(s.poisoned_tasks(), 0);
+    }
+
+    #[test]
+    fn failed_request_completes_with_error() {
+        let s = Stream::create();
+        let (req, c) = Request::pair(&s);
+        assert!(req.error().is_none());
+        c.fail(RequestError::PeerFailed { rank: 2 });
+        // The failure *completes* the request: waits terminate.
+        assert!(req.is_complete());
+        assert_eq!(req.error(), Some(RequestError::PeerFailed { rank: 2 }));
+        assert_eq!(req.wait_result(), Err(RequestError::PeerFailed { rank: 2 }));
+        assert_eq!(
+            req.result(),
+            Some(Err(RequestError::PeerFailed { rank: 2 }))
+        );
+    }
+
+    #[test]
+    fn failed_constructor_is_born_failed() {
+        let s = Stream::create();
+        let req = Request::failed(&s, RequestError::Revoked);
+        assert!(req.is_complete());
+        assert_eq!(req.error(), Some(RequestError::Revoked));
+    }
+
+    #[test]
+    fn normal_completion_has_no_error() {
+        let s = Stream::create();
+        let (req, c) = Request::pair(&s);
+        c.complete_empty();
+        assert!(req.error().is_none());
+        assert!(req.wait_result().is_ok());
+    }
+
+    #[test]
+    fn wait_all_results_mixes_outcomes() {
+        let s = Stream::create();
+        let (r1, c1) = Request::pair(&s);
+        let (r2, c2) = Request::pair(&s);
+        let (r3, c3) = Request::pair(&s);
+        c1.complete_empty();
+        c2.fail(RequestError::Revoked);
+        c3.fail(RequestError::PeerFailed { rank: 0 });
+        let outcomes = Request::wait_all_results(&[r1, r2, r3]);
+        assert!(outcomes[0].is_ok());
+        assert_eq!(outcomes[1], Err(RequestError::Revoked));
+        assert_eq!(outcomes[2], Err(RequestError::PeerFailed { rank: 0 }));
     }
 
     #[test]

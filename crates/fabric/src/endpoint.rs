@@ -13,11 +13,15 @@ use crate::net::{Fabric, Path};
 #[derive(Debug, Clone, Copy)]
 pub struct TxHandle {
     done_at: f64,
+    failed: bool,
 }
 
 impl TxHandle {
     pub(crate) fn new(done_at: f64) -> TxHandle {
-        TxHandle { done_at }
+        TxHandle {
+            done_at,
+            failed: false,
+        }
     }
 
     /// A handle that is already complete. Wire transports hand this back
@@ -25,7 +29,27 @@ impl TxHandle {
     /// local TX queue) — there is no modeled serialization delay to wait
     /// out.
     pub fn immediate() -> TxHandle {
-        TxHandle { done_at: 0.0 }
+        TxHandle {
+            done_at: 0.0,
+            failed: false,
+        }
+    }
+
+    /// A handle for a packet the transport refused to carry — e.g. the
+    /// destination peer is already marked dead. The handle is *complete*
+    /// (waiters never hang on it) but reports the delivery failure.
+    pub fn failed() -> TxHandle {
+        TxHandle {
+            done_at: 0.0,
+            failed: true,
+        }
+    }
+
+    /// True when the transport discarded the packet instead of carrying
+    /// it (see [`TxHandle::failed`]).
+    #[inline]
+    pub fn is_failed(&self) -> bool {
+        self.failed
     }
 
     /// Has the NIC signalled TX completion?

@@ -7,14 +7,14 @@
 //! Figure 13: datatype dispatch, op indirection, and the pre/post phases
 //! that fold non-power-of-two rank counts onto the nearest power of two.
 
-use mpfa_core::{AsyncPoll, Completer, Request, Status};
+use mpfa_core::{AsyncPoll, Completer, Request, RequestError, Status};
 
 use crate::comm::Comm;
 use crate::datatype::{from_bytes, to_bytes};
 use crate::error::MpiResult;
 use crate::matching::RecvSlot;
 use crate::op::{Op, Reducible};
-use crate::sched::CollTask;
+use crate::sched::{check_stage, CollTask, StageCheck};
 
 use super::future::{CollFuture, CollOutput};
 
@@ -74,6 +74,16 @@ impl<T: Reducible> AllreduceTask<T> {
         self.out.deposit(std::mem::take(&mut self.acc));
         if let Some(c) = self.completer.take() {
             c.complete(Status::empty());
+        }
+        AsyncPoll::Done
+    }
+
+    /// A stage request failed (peer death / revocation): fail the
+    /// collective's request so waiters unblock with the error.
+    fn abort(&mut self, err: RequestError) -> AsyncPoll {
+        self.out.deposit(Vec::new());
+        if let Some(c) = self.completer.take() {
+            c.fail(err);
         }
         AsyncPoll::Done
     }
@@ -153,8 +163,10 @@ impl<T: Reducible> CollTask for AllreduceTask<T> {
                 }
             }
             ArState::PreSendWait(req) => {
-                if !req.is_complete() {
-                    return AsyncPoll::Pending;
+                match check_stage(&[req]) {
+                    StageCheck::Wait => return AsyncPoll::Pending,
+                    StageCheck::Failed(err) => return self.abort(err),
+                    StageCheck::Ready => {}
                 }
                 // Wait for the final result from the partner.
                 let tag = Comm::coll_tag(self.seq, ROUND_POST);
@@ -169,15 +181,19 @@ impl<T: Reducible> CollTask for AllreduceTask<T> {
                 AsyncPoll::Progress
             }
             ArState::FinalRecv(req, slot) => {
-                if !req.is_complete() {
-                    return AsyncPoll::Pending;
+                match check_stage(&[req]) {
+                    StageCheck::Wait => return AsyncPoll::Pending,
+                    StageCheck::Failed(err) => return self.abort(err),
+                    StageCheck::Ready => {}
                 }
                 self.acc = from_bytes(&slot.take());
                 self.finish()
             }
             ArState::PreRecvWait(req, slot) => {
-                if !req.is_complete() {
-                    return AsyncPoll::Pending;
+                match check_stage(&[req]) {
+                    StageCheck::Wait => return AsyncPoll::Pending,
+                    StageCheck::Failed(err) => return self.abort(err),
+                    StageCheck::Ready => {}
                 }
                 let contribution: Vec<T> = from_bytes(&slot.take());
                 self.op
@@ -191,8 +207,10 @@ impl<T: Reducible> CollTask for AllreduceTask<T> {
                 recv,
                 slot,
             } => {
-                if !(send.is_complete() && recv.is_complete()) {
-                    return AsyncPoll::Pending;
+                match check_stage(&[send, recv]) {
+                    StageCheck::Wait => return AsyncPoll::Pending,
+                    StageCheck::Failed(err) => return self.abort(err),
+                    StageCheck::Ready => {}
                 }
                 let m = *mask;
                 let contribution: Vec<T> = from_bytes(&slot.take());
@@ -202,8 +220,10 @@ impl<T: Reducible> CollTask for AllreduceTask<T> {
                 self.next_round(m << 1)
             }
             ArState::PostSendWait(req) => {
-                if !req.is_complete() {
-                    return AsyncPoll::Pending;
+                match check_stage(&[req]) {
+                    StageCheck::Wait => return AsyncPoll::Pending,
+                    StageCheck::Failed(err) => return self.abort(err),
+                    StageCheck::Ready => {}
                 }
                 self.finish()
             }
@@ -216,6 +236,13 @@ impl Comm {
     /// any [`Reducible`] type, any built-in op, any rank count.
     pub fn iallreduce<T: Reducible>(&self, data: &[T], op: Op) -> MpiResult<CollFuture<T>> {
         op.apply::<T>(&mut [], &[])?;
+        if let Some(err) = self.coll_fault() {
+            // Revoked (or all-peers-dead) comm: a born-failed future,
+            // so callers see the error without touching the schedule.
+            let (fut, out) = CollFuture::<T>::pair(Request::failed(self.stream(), err));
+            out.deposit(Vec::new());
+            return Ok(fut);
+        }
         let size = self.size();
         let pof2 = if size == 0 {
             1
@@ -254,9 +281,10 @@ impl Comm {
     }
 
     /// Blocking allreduce (`MPI_Allreduce`): the reduction of `data`
-    /// across all ranks, on every rank.
+    /// across all ranks, on every rank. With resilience enabled, a peer
+    /// failure or revocation surfaces as `Err` rather than a hang.
     pub fn allreduce<T: Reducible>(&self, data: &[T], op: Op) -> MpiResult<Vec<T>> {
-        Ok(self.iallreduce(data, op)?.wait().0)
+        Ok(self.iallreduce(data, op)?.wait_result()?.0)
     }
 }
 

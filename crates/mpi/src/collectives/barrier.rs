@@ -8,7 +8,7 @@ use mpfa_core::{AsyncPoll, Completer, Request, Status};
 
 use crate::comm::Comm;
 use crate::error::MpiResult;
-use crate::sched::CollTask;
+use crate::sched::{check_stage, CollTask, StageCheck};
 
 use super::future::{CollFuture, CollOutput};
 
@@ -25,8 +25,16 @@ struct BarrierTask {
 impl CollTask for BarrierTask {
     fn advance(&mut self) -> AsyncPoll {
         if let Some((s, r)) = &self.pending {
-            if !(s.is_complete() && r.is_complete()) {
-                return AsyncPoll::Pending;
+            match check_stage(&[s, r]) {
+                StageCheck::Wait => return AsyncPoll::Pending,
+                StageCheck::Failed(err) => {
+                    self.out.deposit(Vec::new());
+                    if let Some(c) = self.completer.take() {
+                        c.fail(err);
+                    }
+                    return AsyncPoll::Done;
+                }
+                StageCheck::Ready => {}
             }
             self.pending = None;
             self.round += 1;
@@ -55,6 +63,11 @@ impl CollTask for BarrierTask {
 impl Comm {
     /// Nonblocking barrier (`MPI_Ibarrier`), dissemination algorithm.
     pub fn ibarrier(&self) -> MpiResult<CollFuture<u8>> {
+        if let Some(err) = self.coll_fault() {
+            let (fut, out) = CollFuture::<u8>::pair(Request::failed(self.stream(), err));
+            out.deposit(Vec::new());
+            return Ok(fut);
+        }
         let seq = self.next_coll_seq();
         let (req, completer) = Request::pair(self.stream());
         let (fut, out) = CollFuture::pair(req);
@@ -73,9 +86,10 @@ impl Comm {
         Ok(fut)
     }
 
-    /// Blocking barrier (`MPI_Barrier`).
+    /// Blocking barrier (`MPI_Barrier`). With resilience enabled, a peer
+    /// failure or revocation surfaces as `Err` rather than a hang.
     pub fn barrier(&self) -> MpiResult<()> {
-        self.ibarrier()?.wait();
+        self.ibarrier()?.wait_result()?;
         Ok(())
     }
 }

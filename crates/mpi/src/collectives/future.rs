@@ -3,7 +3,7 @@
 use std::sync::Arc;
 
 use mpfa_core::sync::Mutex;
-use mpfa_core::{Request, Status};
+use mpfa_core::{Request, RequestError, Status};
 
 /// The output side of a nonblocking collective: a request plus the typed
 /// result the schedule deposits at completion.
@@ -56,6 +56,14 @@ impl<T> CollFuture<T> {
     pub fn wait(self) -> (Vec<T>, Status) {
         let status = self.req.wait();
         (std::mem::take(&mut *self.out.lock()), status)
+    }
+
+    /// Wait (driving the communicator's stream) and take the result,
+    /// surfacing a fault instead of panicking: a collective aborted by
+    /// peer failure or revocation returns the schedule's error.
+    pub fn wait_result(self) -> Result<(Vec<T>, Status), RequestError> {
+        let status = self.req.wait_result()?;
+        Ok((std::mem::take(&mut *self.out.lock()), status))
     }
 
     /// Take the result of an already-complete collective.

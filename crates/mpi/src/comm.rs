@@ -16,13 +16,14 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use mpfa_core::{Request, Status, Stream};
+use mpfa_core::{Request, RequestError, Status, Stream};
 
 use crate::datatype::{to_bytes, MpiType};
 use crate::error::{MpiError, MpiResult};
 use crate::matching;
 use crate::proc::{Proc, VciBundle};
 use crate::recv::RecvRequest;
+use crate::resilience::Resilience;
 use crate::wire::MsgHeader;
 
 /// `MPI_ANY_SOURCE`.
@@ -36,21 +37,28 @@ const EX_SPLIT: u8 = 1;
 /// A communicator handle for one rank.
 #[derive(Clone)]
 pub struct Comm {
-    proc: Proc,
-    bundle: Arc<VciBundle>,
-    vci_idx: usize,
+    pub(crate) proc: Proc,
+    pub(crate) bundle: Arc<VciBundle>,
+    pub(crate) vci_idx: usize,
     /// Base context id; the wire uses `2*ctx` for point-to-point and
     /// `2*ctx + 1` for collectives (MPICH's dual-context scheme).
-    ctx: u64,
+    pub(crate) ctx: u64,
     /// Communicator rank → world rank.
-    group: Arc<Vec<usize>>,
-    rank: i32,
+    pub(crate) group: Arc<Vec<usize>>,
+    pub(crate) rank: i32,
     /// Creation counter for deriving child context keys (dup/split/
     /// with_stream must be called collectively and in the same order on
     /// every rank, per MPI semantics — this counter then agrees).
-    epoch: Arc<AtomicU64>,
+    pub(crate) epoch: Arc<AtomicU64>,
     /// Collective sequence number (same same-order requirement).
     pub(crate) coll_seq: Arc<AtomicU64>,
+    /// Agreement sequence number (`agree`/`shrink` calls must likewise be
+    /// collective and same-order).
+    pub(crate) agree_seq: Arc<AtomicU64>,
+    /// ULFM machinery, cached at construction (`None` when the proc
+    /// never called `enable_resilience`, keeping the fast path lock-free;
+    /// enable resilience *before* creating communicator handles).
+    pub(crate) resil: Option<Arc<Resilience>>,
 }
 
 impl Comm {
@@ -59,7 +67,8 @@ impl Comm {
         let bundle = proc.bundle(0).expect("VCI 0 exists");
         let group: Arc<Vec<usize>> = Arc::new((0..proc.size()).collect());
         let rank = proc.rank() as i32;
-        Comm {
+        let resil = proc.resilience();
+        let comm = Comm {
             proc,
             bundle,
             vci_idx: 0,
@@ -68,7 +77,11 @@ impl Comm {
             rank,
             epoch: Arc::new(AtomicU64::new(0)),
             coll_seq: Arc::new(AtomicU64::new(0)),
-        }
+            agree_seq: Arc::new(AtomicU64::new(0)),
+            resil,
+        };
+        comm.register_resilience();
+        comm
     }
 
     /// This rank within the communicator (`MPI_Comm_rank`).
@@ -186,10 +199,7 @@ impl Comm {
         if tag != ANY_TAG {
             self.check_tag(tag)?;
         }
-        let (req, slot) = self
-            .bundle
-            .vci
-            .irecv_bytes(self.ptp_ctx(), src, tag, count * T::SIZE);
+        let (req, slot) = self.irecv_on_ctx(self.ptp_ctx(), count * T::SIZE, src, tag);
         Ok(RecvRequest::new(req, slot))
     }
 
@@ -249,16 +259,27 @@ impl Comm {
 
     /// Internal: send bytes on an explicit wire context (used by both the
     /// point-to-point and collective paths).
+    ///
+    /// This is the choke point for the ULFM error path: every comm-level
+    /// send — including collective-internal rounds — is refused here once
+    /// the communicator is revoked or the destination failed, so waits on
+    /// the returned request terminate with an error instead of spinning.
     pub(crate) fn isend_on_ctx(&self, ctx: u64, data: Vec<u8>, dst: i32, tag: i32) -> Request {
+        if let Some(err) = self.fault_for(Some(dst)) {
+            return Request::failed(self.stream(), err);
+        }
         let hdr = MsgHeader {
             context_id: ctx,
             src_rank: self.rank,
             tag,
         };
-        self.bundle.vci.isend_bytes(self.ep_of(dst), hdr, data)
+        let req = self.bundle.vci.isend_bytes(self.ep_of(dst), hdr, data);
+        self.recheck_fault(Some(dst));
+        req
     }
 
-    /// Internal: receive bytes on an explicit wire context.
+    /// Internal: receive bytes on an explicit wire context (same ULFM
+    /// choke point as [`Comm::isend_on_ctx`]).
     pub(crate) fn irecv_on_ctx(
         &self,
         ctx: u64,
@@ -266,7 +287,65 @@ impl Comm {
         src: i32,
         tag: i32,
     ) -> (Request, matching::RecvSlot) {
-        self.bundle.vci.irecv_bytes(ctx, src, tag, capacity)
+        let known_src = (src != ANY_SOURCE).then_some(src);
+        if let Some(err) = self.fault_for(known_src) {
+            return (
+                Request::failed(self.stream(), err),
+                matching::RecvSlot::new(),
+            );
+        }
+        let out = self.bundle.vci.irecv_bytes(ctx, src, tag, capacity);
+        self.recheck_fault(known_src);
+        out
+    }
+
+    /// The error a fresh operation involving `peer` (communicator rank)
+    /// must be born with, if any.
+    fn fault_for(&self, peer: Option<i32>) -> Option<RequestError> {
+        let r = self.resil.as_ref()?;
+        if r.is_revoked(self.ctx) {
+            return Some(RequestError::Revoked);
+        }
+        let p = peer?;
+        let w = self.group[p as usize];
+        r.detector()
+            .is_failed(w)
+            .then_some(RequestError::PeerFailed { rank: w as i32 })
+    }
+
+    /// The error a fresh *collective* on this comm must be born with, if
+    /// any (initiation guard used by the schedule constructors; peer
+    /// failures surface later through the schedule's stage checks).
+    pub(crate) fn coll_fault(&self) -> Option<RequestError> {
+        self.fault_for(None)
+    }
+
+    /// Post-insert recheck closing the detect/post race: an operation
+    /// checked clean in [`Comm::fault_for`], was inserted into the
+    /// protocol tables, and the failure sweep may have run *between* the
+    /// two — in which case the sweep missed it and nothing would ever
+    /// fail it. If the fault is visible now, re-run the sweep (which
+    /// sees the inserted entry); if it becomes visible later, the
+    /// epoch-triggered sweep catches the entry instead.
+    fn recheck_fault(&self, peer: Option<i32>) {
+        if let Some(r) = &self.resil {
+            if self.fault_for(peer).is_some() {
+                r.sweep_now();
+            }
+        }
+    }
+
+    /// Register this handle's context/group/VCI with the resilience
+    /// layer so the failure sweep can fail its outstanding operations.
+    pub(crate) fn register_resilience(&self) {
+        if let Some(r) = &self.resil {
+            r.register_comm(
+                self.ctx,
+                self.group.clone(),
+                self.bundle.vci.clone(),
+                self.vci_idx,
+            );
+        }
     }
 
     // ---------------------------------------------------------------
@@ -296,7 +375,7 @@ impl Comm {
             .proc
             .bundle(vci_idx)
             .ok_or_else(|| MpiError::Protocol("dup: VCI bundle missing".into()))?;
-        Ok(Comm {
+        let comm = Comm {
             proc: self.proc.clone(),
             bundle,
             vci_idx,
@@ -305,7 +384,11 @@ impl Comm {
             rank: self.rank,
             epoch: Arc::new(AtomicU64::new(0)),
             coll_seq: Arc::new(AtomicU64::new(0)),
-        })
+            agree_seq: Arc::new(AtomicU64::new(0)),
+            resil: self.resil.clone(),
+        };
+        comm.register_resilience();
+        Ok(comm)
     }
 
     /// `MPIX_Stream_comm_create`: duplicate this communicator onto a user
@@ -323,7 +406,7 @@ impl Comm {
             world.config().max_vcis,
         )?;
         let bundle = self.proc.attach_vci(vci_idx, stream)?;
-        Ok(Comm {
+        let comm = Comm {
             proc: self.proc.clone(),
             bundle,
             vci_idx,
@@ -332,7 +415,11 @@ impl Comm {
             rank: self.rank,
             epoch: Arc::new(AtomicU64::new(0)),
             coll_seq: Arc::new(AtomicU64::new(0)),
-        })
+            agree_seq: Arc::new(AtomicU64::new(0)),
+            resil: self.resil.clone(),
+        };
+        comm.register_resilience();
+        Ok(comm)
     }
 
     /// `MPI_Comm_split`: partition by `color`, order by `(key, old rank)`.
@@ -382,7 +469,7 @@ impl Comm {
             .proc
             .bundle(vci_idx)
             .ok_or_else(|| MpiError::Protocol("split: VCI bundle missing".into()))?;
-        Ok(Some(Comm {
+        let comm = Comm {
             proc: self.proc.clone(),
             bundle,
             vci_idx,
@@ -391,7 +478,11 @@ impl Comm {
             rank,
             epoch: Arc::new(AtomicU64::new(0)),
             coll_seq: Arc::new(AtomicU64::new(0)),
-        }))
+            agree_seq: Arc::new(AtomicU64::new(0)),
+            resil: self.resil.clone(),
+        };
+        comm.register_resilience();
+        Ok(Some(comm))
     }
 }
 

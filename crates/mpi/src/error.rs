@@ -35,6 +35,15 @@ pub enum MpiError {
     /// The operation timed out (used by test harnesses; the runtime itself
     /// never gives up).
     Timeout(&'static str),
+    /// The communicator was revoked (`MPIX_ERR_REVOKED`): a rank called
+    /// `Comm::revoke` after observing a failure. Only `shrink` and
+    /// `agree` remain usable on the handle.
+    Revoked,
+    /// A participating process failed (`MPIX_ERR_PROC_FAILED`).
+    ProcFailed {
+        /// The failed process's world rank, or -1 when unattributable.
+        world_rank: i32,
+    },
     /// Internal protocol violation — indicates a bug, preserved in the
     /// error path rather than a panic so tests can assert on it.
     Protocol(String),
@@ -56,12 +65,27 @@ impl fmt::Display for MpiError {
             }
             MpiError::BadOpForType(what) => write!(f, "operation not defined: {what}"),
             MpiError::Timeout(what) => write!(f, "timed out: {what}"),
+            MpiError::Revoked => write!(f, "communicator revoked"),
+            MpiError::ProcFailed { world_rank } => {
+                write!(f, "process failed (world rank {world_rank})")
+            }
             MpiError::Protocol(what) => write!(f, "protocol violation: {what}"),
         }
     }
 }
 
 impl std::error::Error for MpiError {}
+
+impl From<mpfa_core::RequestError> for MpiError {
+    fn from(err: mpfa_core::RequestError) -> MpiError {
+        match err {
+            mpfa_core::RequestError::PeerFailed { rank } => {
+                MpiError::ProcFailed { world_rank: rank }
+            }
+            mpfa_core::RequestError::Revoked => MpiError::Revoked,
+        }
+    }
+}
 
 /// Result alias for runtime operations.
 pub type MpiResult<T> = Result<T, MpiError>;
@@ -83,6 +107,10 @@ mod tests {
         .contains("truncated"));
         assert!(MpiError::InvalidTag(-3).to_string().contains("-3"));
         assert!(MpiError::Timeout("barrier").to_string().contains("barrier"));
+        assert!(MpiError::Revoked.to_string().contains("revoked"));
+        assert!(MpiError::ProcFailed { world_rank: 2 }
+            .to_string()
+            .contains("2"));
     }
 
     #[test]

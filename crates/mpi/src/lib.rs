@@ -46,6 +46,7 @@ pub mod persistent;
 pub mod proc;
 pub mod protocol;
 pub mod recv;
+pub mod resilience;
 pub mod sched;
 pub mod subsys;
 pub mod vci;
@@ -62,6 +63,10 @@ pub use op::Op;
 pub use persistent::{PersistentRecv, PersistentSend};
 pub use proc::Proc;
 pub use recv::RecvRequest;
+pub use resilience::Resilience;
+// Re-export so callers of [`Proc::enable_resilience`] need not depend on
+// `mpfa-resil` directly.
+pub use mpfa_resil::DetectorConfig;
 pub use vector_ops::VectorRecv;
 pub use world::{Launch, World, WorldConfig};
 

@@ -342,6 +342,34 @@ impl MatchState {
             .and_then(|q| q.front())
             .map(|e| (e.item.src(), e.item.tag(), e.item.bytes()))
     }
+
+    /// Remove every posted receive `pred(src, tag)` accepts and hand the
+    /// entries back (the fault path: the caller fails their completers).
+    /// Wildcard fields are passed through as-is ([`ANY_SOURCE`] /
+    /// [`ANY_TAG`]), so a predicate testing `src == some_rank` naturally
+    /// leaves `ANY_SOURCE` receives in place.
+    pub fn drain_posted(&mut self, pred: &dyn Fn(i32, i32) -> bool) -> Vec<PostedRecv> {
+        let mut out = Vec::new();
+        self.posted_exact.retain(|&(src, tag), q| {
+            if pred(src, tag) {
+                out.extend(q.drain(..).map(|e| e.item));
+                false
+            } else {
+                true
+            }
+        });
+        let mut keep = VecDeque::with_capacity(self.posted_wild.len());
+        for e in self.posted_wild.drain(..) {
+            if pred(e.item.src, e.item.tag) {
+                out.push(e.item);
+            } else {
+                keep.push_back(e);
+            }
+        }
+        self.posted_wild = keep;
+        self.posted_count -= out.len();
+        out
+    }
 }
 
 /// The original linear-scan matching engine, retained verbatim as the
@@ -400,6 +428,21 @@ impl LinearMatchState {
             .iter()
             .find(|u| (src == ANY_SOURCE || src == u.src()) && (tag == ANY_TAG || tag == u.tag()))
             .map(|u| (u.src(), u.tag(), u.bytes()))
+    }
+
+    /// See [`MatchState::drain_posted`].
+    pub fn drain_posted(&mut self, pred: &dyn Fn(i32, i32) -> bool) -> Vec<PostedRecv> {
+        let mut out = Vec::new();
+        let mut keep = VecDeque::with_capacity(self.posted.len());
+        for r in self.posted.drain(..) {
+            if pred(r.src, r.tag) {
+                out.push(r);
+            } else {
+                keep.push_back(r);
+            }
+        }
+        self.posted = keep;
+        out
     }
 }
 
@@ -638,6 +681,47 @@ mod tests {
             assert!(m.post_recv(r).is_some());
         }
         assert_eq!(m.unexpected_len(), 0);
+    }
+
+    #[test]
+    fn drain_posted_by_source_spares_wildcards() {
+        let mut m = MatchState::new();
+        let mut lin = LinearMatchState::new();
+        for state in [0, 1] {
+            let (r1, q1) = posted(2, 5);
+            let (r2, q2) = posted(1, 5);
+            let (r3, q3) = posted(ANY_SOURCE, 5);
+            let (r4, q4) = posted(2, ANY_TAG);
+            if state == 0 {
+                m.post_recv(r1);
+                m.post_recv(r2);
+                m.post_recv(r3);
+                m.post_recv(r4);
+            } else {
+                lin.post_recv(r1);
+                lin.post_recv(r2);
+                lin.post_recv(r3);
+                lin.post_recv(r4);
+            }
+            let drained = if state == 0 {
+                m.drain_posted(&|src, _| src == 2)
+            } else {
+                lin.drain_posted(&|src, _| src == 2)
+            };
+            assert_eq!(drained.len(), 2);
+            assert!(drained.iter().all(|r| r.src == 2));
+            let left = if state == 0 {
+                m.posted_len()
+            } else {
+                lin.posted_len()
+            };
+            assert_eq!(left, 2, "exact(1,5) and ANY_SOURCE survive");
+            drop((q1, q2, q3, q4));
+        }
+        // Survivors still match.
+        assert!(m.match_incoming(1, 5).is_some());
+        assert!(m.match_incoming(7, 5).is_some(), "wildcard still posted");
+        assert_eq!(m.posted_len(), 0);
     }
 
     #[test]

@@ -9,10 +9,12 @@ use std::sync::Arc;
 
 use mpfa_core::sync::Mutex;
 use mpfa_core::{Stream, StreamHints};
+use mpfa_resil::DetectorConfig;
 
 use crate::comm::Comm;
 use crate::dtengine::DtEngine;
 use crate::error::{MpiError, MpiResult};
+use crate::resilience::Resilience;
 use crate::sched::SchedQueue;
 use crate::subsys;
 use crate::vci::Vci;
@@ -30,6 +32,10 @@ pub(crate) struct ProcInner {
     rank: usize,
     default_stream: Stream,
     bundles: Mutex<HashMap<usize, Arc<VciBundle>>>,
+    /// ULFM machinery, present once `enable_resilience` ran. Comm
+    /// handles cache this at construction: enable resilience *before*
+    /// creating the communicators that should honor it.
+    resilience: Mutex<Option<Arc<Resilience>>>,
 }
 
 /// One rank's runtime handle. Cheap to clone; typically moved onto the
@@ -49,6 +55,7 @@ impl Proc {
                 rank,
                 default_stream,
                 bundles: Mutex::new(HashMap::new()),
+                resilience: Mutex::new(None),
             }),
         };
         // VCI 0 serves the default stream from the start.
@@ -102,7 +109,7 @@ impl Proc {
         let cfg = self.inner.world.config();
         assert!(idx < cfg.max_vcis, "VCI index {idx} out of range");
         let vci = Vci::on_transport(
-            self.inner.world.transport(),
+            self.inner.world.rank_transport(self.inner.rank),
             cfg.ep_index(self.inner.rank, idx),
             stream.clone(),
             cfg.proto,
@@ -120,11 +127,38 @@ impl Proc {
         self.inner.bundles.lock().get(&idx).cloned()
     }
 
+    /// Switch on the ULFM machinery: start a failure detector watching
+    /// this rank's transport plus a resilience progress task (revoke
+    /// listener + failure sweep), both as `MPIX_Async` hooks on the
+    /// default stream. Idempotent — later calls return the existing
+    /// handle and ignore `cfg`. Communicators cache the handle at
+    /// construction, so call this *before* creating the comms that
+    /// should observe failures.
+    pub fn enable_resilience(&self, cfg: DetectorConfig) -> Arc<Resilience> {
+        let mut slot = self.inner.resilience.lock();
+        if let Some(r) = slot.as_ref() {
+            return r.clone();
+        }
+        let r = Resilience::install(self, cfg);
+        *slot = Some(r.clone());
+        r
+    }
+
+    /// The resilience handle, if `enable_resilience` ran.
+    pub fn resilience(&self) -> Option<Arc<Resilience>> {
+        self.inner.resilience.lock().clone()
+    }
+
     /// `MPI_Finalize` for this rank: spin the default stream until its
     /// user tasks drain (paper Listing 1.2 — "MPI_Finalize will spin
     /// progress until all async tasks complete"). Returns false on the
     /// safety timeout.
     pub fn finalize(&self, timeout_s: f64) -> bool {
+        // The detector and resilience tasks poll forever by design;
+        // retire them first or the drain below would never finish.
+        if let Some(r) = self.inner.resilience.lock().as_ref() {
+            r.shutdown();
+        }
         self.inner.default_stream.drain(timeout_s)
     }
 }

@@ -12,7 +12,41 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use mpfa_core::sync::Mutex;
-use mpfa_core::AsyncPoll;
+use mpfa_core::{AsyncPoll, Request, RequestError};
+
+/// The verdict on a schedule stage's outstanding requests.
+///
+/// With fault tolerance enabled, a stage request can complete *in error*
+/// (peer failure or revocation); a schedule gate must distinguish that
+/// from success so it can abort — failing its collective's request —
+/// instead of reading a receive slot that never filled.
+pub(crate) enum StageCheck {
+    /// Every request completed successfully.
+    Ready,
+    /// At least one request is still in flight (and none failed).
+    Wait,
+    /// A request completed in error: abort the schedule with this error.
+    Failed(RequestError),
+}
+
+/// Check a stage's requests. An error wins over incompleteness: the
+/// schedule can never make progress once any dependency has failed, so
+/// abort eagerly rather than waiting out the stragglers.
+pub(crate) fn check_stage(reqs: &[&Request]) -> StageCheck {
+    let mut ready = true;
+    for r in reqs {
+        match r.result() {
+            None => ready = false,
+            Some(Err(err)) => return StageCheck::Failed(err),
+            Some(Ok(_)) => {}
+        }
+    }
+    if ready {
+        StageCheck::Ready
+    } else {
+        StageCheck::Wait
+    }
+}
 
 /// A multi-stage collective state machine.
 pub trait CollTask: Send {

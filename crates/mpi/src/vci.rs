@@ -12,7 +12,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use mpfa_core::sync::Mutex;
-use mpfa_core::{Completer, Request, Status, Stream};
+use mpfa_core::{Completer, Request, RequestError, Status, Stream};
 use mpfa_fabric::{Endpoint, Path, TxHandle};
 use mpfa_transport::Transport;
 
@@ -50,6 +50,9 @@ struct RndvRecv {
 /// An eager send awaiting NIC TX completion.
 struct TxPending {
     tx: TxHandle,
+    /// Destination wire endpoint (the fault sweep fails pending sends
+    /// by where they were headed).
+    dst_ep: usize,
     completer: Completer,
     status: Status,
 }
@@ -186,8 +189,15 @@ impl Vci {
                     bytes: n as u64,
                     buffered: true,
                 });
-                self.port
+                let tx = self
+                    .port
                     .send(self.ep, dst_ep, WireMsg::Eager { hdr, data: bytes }, n);
+                if tx.is_failed() {
+                    // The transport refused delivery synchronously (dead
+                    // peer): even a buffered send must not report local
+                    // success for a message that can never arrive.
+                    return Request::failed(&self.stream, RequestError::PeerFailed { rank: -1 });
+                }
                 Request::completed(
                     &self.stream,
                     Status {
@@ -215,6 +225,7 @@ impl Vci {
                 let mut st = self.state.lock();
                 st.tx_pending.push(TxPending {
                     tx,
+                    dst_ep,
                     completer,
                     status: Status {
                         source: hdr.src_rank,
@@ -370,12 +381,102 @@ impl Vci {
         }
         let n = completed.len();
         for tx in completed {
-            tx.completer.complete(tx.status);
+            // A failed handle also reports done (so waits terminate);
+            // distinguish delivery failure from success here.
+            if tx.tx.is_failed() {
+                tx.completer.fail(RequestError::PeerFailed { rank: -1 });
+            } else {
+                tx.completer.complete(tx.status);
+            }
         }
         if n > 0 {
             self.work.fetch_sub(n, Ordering::Release);
         }
         n > 0
+    }
+
+    // ---------------------------------------------------------------
+    // Fault path (called by the resilience sweep)
+    // ---------------------------------------------------------------
+
+    /// Fail every in-flight send whose destination endpoint `dead_ep`
+    /// accepts — pending eager TX entries and rendezvous sends — plus
+    /// rendezvous receives whose *reply* endpoint is dead (their
+    /// remaining chunks can never arrive). Each affected request
+    /// completes with `err`. Returns how many operations were failed.
+    pub fn fail_sends_to(&self, dead_ep: &dyn Fn(usize) -> bool, err: RequestError) -> usize {
+        let mut failed_completers: Vec<Completer> = Vec::new();
+        let mut removed_work = 0usize;
+        {
+            let mut st = self.state.lock();
+            let mut i = 0;
+            while i < st.tx_pending.len() {
+                if dead_ep(st.tx_pending[i].dst_ep) {
+                    let tx = st.tx_pending.swap_remove(i);
+                    failed_completers.push(tx.completer);
+                    removed_work += 1;
+                } else {
+                    i += 1;
+                }
+            }
+            let dead_sends: Vec<u64> = st
+                .sends
+                .iter()
+                .filter(|(_, s)| dead_ep(s.dst_ep))
+                .map(|(id, _)| *id)
+                .collect();
+            for id in dead_sends {
+                if let Some(send) = st.sends.remove(&id) {
+                    failed_completers.extend(send.completer);
+                    removed_work += 1;
+                }
+            }
+            let dead_recvs: Vec<u64> = st
+                .recvs
+                .iter()
+                .filter(|(_, r)| dead_ep(r.reply_ep))
+                .map(|(id, _)| *id)
+                .collect();
+            for id in dead_recvs {
+                if let Some(recv) = st.recvs.remove(&id) {
+                    failed_completers.extend(recv.completer);
+                    removed_work += 1;
+                }
+            }
+        }
+        if removed_work > 0 {
+            self.work.fetch_sub(removed_work, Ordering::Release);
+        }
+        let n = failed_completers.len();
+        for c in failed_completers {
+            c.fail(err);
+        }
+        n
+    }
+
+    /// Fail every posted (not yet matched) receive on context `ctx`
+    /// whose `(src, tag)` the predicate accepts. Wildcard receives carry
+    /// `ANY_SOURCE` / `ANY_TAG` into the predicate unchanged, so a
+    /// `src == dead_rank` predicate leaves them posted. Returns how many
+    /// receives were failed.
+    pub fn fail_posted_recvs(
+        &self,
+        ctx: u64,
+        pred: &dyn Fn(i32, i32) -> bool,
+        err: RequestError,
+    ) -> usize {
+        let drained = {
+            let mut st = self.state.lock();
+            match st.matching.get_mut(&ctx) {
+                Some(ms) => ms.drain_posted(pred),
+                None => return 0,
+            }
+        };
+        let n = drained.len();
+        for recv in drained {
+            recv.completer.fail(err);
+        }
+        n
     }
 
     /// Handle one wire message. `from_ep` is the sender's wire endpoint.
@@ -855,6 +956,53 @@ mod tests {
                 "message order violated at {i}"
             );
         }
+    }
+
+    #[test]
+    fn fail_sends_to_drains_rendezvous_and_tx() {
+        let proto = ProtoConfig {
+            buffered_max: 0,
+            eager_max: 8,
+            chunk: 16,
+            depth: 2,
+        };
+        let (v0, _v1, _s0, _s1) = pair(proto);
+        // Rendezvous send with no receiver: RTS out, stuck pre-CTS.
+        let big = v0.isend_bytes(1, hdr(0, 3), vec![1; 100]);
+        // Eager send: TX pending until a sweep (instant fabric, so it
+        // would succeed — fail it before sweeping).
+        let small = v0.isend_bytes(1, hdr(0, 4), vec![1; 4]);
+        assert!(!big.is_complete() && !small.is_complete());
+        let n = v0.fail_sends_to(&|ep| ep == 1, RequestError::PeerFailed { rank: 1 });
+        assert_eq!(n, 2);
+        assert!(big.is_complete() && small.is_complete());
+        assert_eq!(big.error(), Some(RequestError::PeerFailed { rank: 1 }));
+        assert_eq!(small.error(), Some(RequestError::PeerFailed { rank: 1 }));
+        assert_eq!(v0.protocol_work(), 0);
+        // Idempotent: nothing left to fail.
+        assert_eq!(
+            v0.fail_sends_to(&|_| true, RequestError::PeerFailed { rank: 1 }),
+            0
+        );
+    }
+
+    #[test]
+    fn fail_posted_recvs_spares_other_sources() {
+        let (_v0, v1, _s0, _s1) = pair(ProtoConfig::default());
+        let (dead, _slot_d) = v1.irecv_bytes(1, 0, 7, 64);
+        let (live, _slot_l) = v1.irecv_bytes(1, 1, 7, 64);
+        let (wild, _slot_w) = v1.irecv_bytes(1, crate::matching::ANY_SOURCE, 7, 64);
+        let n = v1.fail_posted_recvs(1, &|src, _| src == 0, RequestError::PeerFailed { rank: 0 });
+        assert_eq!(n, 1);
+        assert!(dead.is_complete());
+        assert_eq!(dead.error(), Some(RequestError::PeerFailed { rank: 0 }));
+        assert!(!live.is_complete());
+        assert!(!wild.is_complete(), "wildcard receives are not failed");
+        // Unknown context: no-op.
+        assert_eq!(
+            v1.fail_posted_recvs(99, &|_, _| true, RequestError::Revoked),
+            0
+        );
     }
 
     #[test]

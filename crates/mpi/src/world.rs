@@ -13,7 +13,7 @@ use std::sync::Arc;
 use mpfa_core::sync::Mutex;
 use mpfa_fabric::{Fabric, FabricConfig};
 use mpfa_transport::bootstrap::{self, BootEnv};
-use mpfa_transport::{SharedTransport, TransportKind, WireOpts};
+use mpfa_transport::{sim_rank_views, SharedTransport, TransportKind, WireOpts};
 
 use crate::error::{MpiError, MpiResult};
 use crate::proc::Proc;
@@ -222,6 +222,12 @@ pub(crate) struct WorldInner {
     pub(crate) config: WorldConfig,
     /// The packet substrate every VCI sends and polls through.
     pub(crate) port: SharedTransport<WireMsg>,
+    /// Per-rank transport views (in-process sim only): each rank's VCIs
+    /// send and poll through its own view, so per-rank liveness
+    /// accounting (`dead_peers`, `kill_peer`) attributes correctly —
+    /// the same `Transport` surface a wire rank sees. Empty when
+    /// distributed (the single local rank owns `port` outright).
+    rank_ports: Vec<SharedTransport<WireMsg>>,
     /// The simulated fabric behind `port`, kept for diagnostics; `None`
     /// when the world runs over a real wire.
     sim: Option<Fabric<WireMsg>>,
@@ -289,9 +295,11 @@ impl World {
              through World::launch under an mpfarun environment"
         );
         let fabric: Fabric<WireMsg> = Fabric::new(config.fabric_config());
+        let rank_ports = sim_rank_views::<WireMsg>(fabric.clone(), config.ranks, config.max_vcis);
         let world = World {
             inner: Arc::new(WorldInner {
                 port: Arc::new(fabric.clone()),
+                rank_ports,
                 sim: Some(fabric),
                 distributed: false,
                 registry: Mutex::new(Registry::new()),
@@ -326,6 +334,7 @@ impl World {
         let world = World {
             inner: Arc::new(WorldInner {
                 port,
+                rank_ports: Vec::new(),
                 sim: None,
                 distributed: true,
                 registry: Mutex::new(Registry::new()),
@@ -393,6 +402,34 @@ impl World {
     /// The packet substrate carrying this world's traffic.
     pub fn transport(&self) -> SharedTransport<WireMsg> {
         self.inner.port.clone()
+    }
+
+    /// The transport surface `rank` sends and polls through: its own
+    /// per-rank view of the simulated fabric (liveness attributed to
+    /// `rank`), or the wire transport itself when distributed.
+    pub fn rank_transport(&self, rank: usize) -> SharedTransport<WireMsg> {
+        if self.inner.distributed || self.inner.rank_ports.is_empty() {
+            self.inner.port.clone()
+        } else {
+            self.inner.rank_ports[rank].clone()
+        }
+    }
+
+    /// Chaos kill switch (in-process sim worlds only): mark `victim` as
+    /// dead on every rank's transport view, the in-process analogue of
+    /// `mpfarun --kill-rank`. The victim's thread keeps running, but its
+    /// sends are refused and every peer's failure detector observes the
+    /// death. Returns false when the world is distributed (kill the OS
+    /// process instead), single-rank, or `victim` is out of range.
+    pub fn chaos_kill(&self, victim: usize) -> bool {
+        if self.inner.distributed || victim >= self.inner.rank_ports.len() {
+            return false;
+        }
+        if self.inner.rank_ports.len() < 2 {
+            return false;
+        }
+        let killer = (victim + 1) % self.inner.rank_ports.len();
+        self.inner.rank_ports[killer].kill_peer(victim)
     }
 
     /// The underlying simulated fabric (diagnostics). `None` when the

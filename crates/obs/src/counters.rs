@@ -77,6 +77,14 @@ pub struct Counters {
     /// Wall-clock seconds the bootstrap rendezvous + mesh establishment
     /// took, stored as `f64::to_bits` (0 when no bootstrap ran).
     pub bootstrap_secs: AtomicU64,
+    /// Ranks the failure detector has declared failed.
+    pub ranks_failed: AtomicU64,
+    /// Communicators revoked (locally observed or propagated).
+    pub comms_revoked: AtomicU64,
+    /// Fault-tolerant agreement operations completed.
+    pub agree_rounds: AtomicU64,
+    /// Failure-detector epoch bumps (each change of the failure set).
+    pub detector_epochs: AtomicU64,
 }
 
 /// Plain-integer copy of a [`Counters`] at a point in time.
@@ -136,6 +144,14 @@ pub struct CounterSnapshot {
     pub transport_dead_peers: u64,
     /// Seconds the bootstrap rendezvous took (0 when no bootstrap ran).
     pub bootstrap_secs: f64,
+    /// Ranks the failure detector has declared failed.
+    pub ranks_failed: u64,
+    /// Communicators revoked.
+    pub comms_revoked: u64,
+    /// Fault-tolerant agreement operations completed.
+    pub agree_rounds: u64,
+    /// Failure-detector epoch bumps.
+    pub detector_epochs: u64,
 }
 
 impl Counters {
@@ -241,6 +257,10 @@ impl Counters {
             transport_reconnects: self.transport_reconnects.load(Ordering::Relaxed),
             transport_dead_peers: self.transport_dead_peers.load(Ordering::Relaxed),
             bootstrap_secs: f64::from_bits(self.bootstrap_secs.load(Ordering::Relaxed)),
+            ranks_failed: self.ranks_failed.load(Ordering::Relaxed),
+            comms_revoked: self.comms_revoked.load(Ordering::Relaxed),
+            agree_rounds: self.agree_rounds.load(Ordering::Relaxed),
+            detector_epochs: self.detector_epochs.load(Ordering::Relaxed),
         }
     }
 
@@ -272,6 +292,10 @@ impl Counters {
         self.transport_reconnects.store(0, Ordering::Relaxed);
         self.transport_dead_peers.store(0, Ordering::Relaxed);
         self.bootstrap_secs.store(0, Ordering::Relaxed);
+        self.ranks_failed.store(0, Ordering::Relaxed);
+        self.comms_revoked.store(0, Ordering::Relaxed);
+        self.agree_rounds.store(0, Ordering::Relaxed);
+        self.detector_epochs.store(0, Ordering::Relaxed);
     }
 }
 
@@ -326,7 +350,7 @@ impl std::fmt::Display for CounterSnapshot {
             self.match_bucket_hits,
             self.match_wildcard_hits
         )?;
-        write!(
+        writeln!(
             f,
             "wire:     {} B tx / {} B rx, {} reconnects, {} dead peers, \
              bootstrap {:.3}s",
@@ -335,6 +359,12 @@ impl std::fmt::Display for CounterSnapshot {
             self.transport_reconnects,
             self.transport_dead_peers,
             self.bootstrap_secs
+        )?;
+        write!(
+            f,
+            "resil:    {} ranks failed, {} comms revoked, {} agree ops, \
+             {} detector epochs",
+            self.ranks_failed, self.comms_revoked, self.agree_rounds, self.detector_epochs
         )
     }
 }
@@ -413,6 +443,23 @@ mod tests {
         assert_eq!(s.transport_reconnects, 3);
         assert_eq!(s.transport_dead_peers, 1);
         assert_eq!(s.bootstrap_secs, 0.25);
+        c.reset();
+        assert_eq!(c.snapshot(), CounterSnapshot::default());
+    }
+
+    #[test]
+    fn resilience_counters_accumulate_and_reset() {
+        let c = Counters::new();
+        c.ranks_failed.fetch_add(1, Ordering::Relaxed);
+        c.comms_revoked.fetch_add(2, Ordering::Relaxed);
+        c.agree_rounds.fetch_add(3, Ordering::Relaxed);
+        c.detector_epochs.fetch_add(4, Ordering::Relaxed);
+        let s = c.snapshot();
+        assert_eq!(s.ranks_failed, 1);
+        assert_eq!(s.comms_revoked, 2);
+        assert_eq!(s.agree_rounds, 3);
+        assert_eq!(s.detector_epochs, 4);
+        assert!(s.to_string().contains("ranks failed"));
         c.reset();
         assert_eq!(c.snapshot(), CounterSnapshot::default());
     }

@@ -411,6 +411,53 @@ pub fn diagnose_with_counters(
         }
     }
 
+    // Pathology 6: rank failure / communicator revocation. The failure
+    // detector has declared at least one rank dead. If no communicator
+    // was revoked afterwards, survivors are likely still posting
+    // operations toward the corpse — that is the pre-ULFM hang. If a
+    // revoke *was* observed, the finding is informational: recovery
+    // machinery engaged (shrink/agree can be checked via agree_rounds).
+    if let Some(c) = counters {
+        if c.ranks_failed > 0 {
+            let recovering = c.comms_revoked > 0;
+            report.diagnoses.push(Diagnosis {
+                severity: if recovering {
+                    Severity::Warning
+                } else {
+                    Severity::Critical
+                },
+                title: if recovering {
+                    format!(
+                        "rank failure handled: {} rank(s) failed, {} comm(s) revoked",
+                        c.ranks_failed, c.comms_revoked
+                    )
+                } else {
+                    format!(
+                        "{} rank(s) failed but no communicator was revoked",
+                        c.ranks_failed
+                    )
+                },
+                detail: format!(
+                    "detector epochs {}, {} agree op(s) completed, {} dead \
+                     transport peer(s)",
+                    c.detector_epochs, c.agree_rounds, c.transport_dead_peers
+                ),
+                advice: if recovering {
+                    "recovery is underway: finish with Comm::agree on the \
+                     failure set and rebuild via Comm::shrink; operations on \
+                     the revoked communicator fail with RequestError::Revoked"
+                        .to_string()
+                } else {
+                    "call Comm::revoke on the affected communicator so every \
+                     rank's outstanding operations fail over to the error \
+                     path, then Comm::shrink to rebuild without the failed \
+                     rank(s); without a revoke, survivors can hang forever"
+                        .to_string()
+                },
+            });
+        }
+    }
+
     report
         .diagnoses
         .sort_by_key(|d| std::cmp::Reverse(d.severity));
@@ -728,6 +775,50 @@ mod tests {
             transport_dead_peers: 0,
             transport_reconnects: 7,
             hook_polls: 10_000,
+            ..Default::default()
+        };
+        let report = diagnose_with_counters(&[], Some(&counters), &DoctorConfig::default());
+        assert!(report.healthy(), "{report}");
+    }
+
+    #[test]
+    fn flags_unrevoked_rank_failure_as_critical() {
+        let counters = CounterSnapshot {
+            ranks_failed: 1,
+            detector_epochs: 1,
+            transport_dead_peers: 1,
+            ..Default::default()
+        };
+        let report = diagnose_with_counters(&[], Some(&counters), &DoctorConfig::default());
+        assert_eq!(report.criticals().count(), 1);
+        let d = &report.diagnoses[0];
+        assert!(d.title.contains("no communicator was revoked"));
+        assert!(d.advice.contains("Comm::revoke"));
+        assert!(d.advice.contains("Comm::shrink"));
+    }
+
+    #[test]
+    fn revoked_rank_failure_is_a_warning() {
+        let counters = CounterSnapshot {
+            ranks_failed: 1,
+            comms_revoked: 1,
+            agree_rounds: 2,
+            detector_epochs: 1,
+            ..Default::default()
+        };
+        let report = diagnose_with_counters(&[], Some(&counters), &DoctorConfig::default());
+        assert_eq!(report.criticals().count(), 0);
+        assert_eq!(report.diagnoses.len(), 1);
+        let d = &report.diagnoses[0];
+        assert_eq!(d.severity, Severity::Warning);
+        assert!(d.title.contains("rank failure handled"));
+        assert!(d.detail.contains("2 agree op(s)"));
+    }
+
+    #[test]
+    fn no_rank_failures_is_healthy() {
+        let counters = CounterSnapshot {
+            detector_epochs: 5, // epochs without failures are fine
             ..Default::default()
         };
         let report = diagnose_with_counters(&[], Some(&counters), &DoctorConfig::default());

@@ -1,0 +1,35 @@
+//! # mpfa-resil — fault tolerance as user-space progress machinery
+//!
+//! The paper's thesis is that explicit, interoperable progress lets
+//! MPI-adjacent machinery move *into user space*. A failure detector is
+//! exactly such machinery: it is "just" another piece of asynchronous
+//! work that must be driven alongside communication — so this crate
+//! implements it as an `MPIX_Async` task ([`FailureDetector::install`]
+//! starts it with [`mpfa_core::Stream::async_start`]) collated into the
+//! same progress engine that moves the messages whose peers it watches.
+//!
+//! The model is ULFM's (User-Level Failure Mitigation):
+//!
+//! * **fail-stop** — a failed rank stops executing and never comes
+//!   back; there are no byzantine or transient failures. Once a rank
+//!   enters the failure set it stays there.
+//! * **local detection** — each rank's detector watches *its own*
+//!   transport ([`Transport::peer_alive`] / [`Transport::dead_peers`])
+//!   plus optional per-peer heartbeat quiet-period timeouts for
+//!   substrates whose connections cannot break (the simulated fabric).
+//!   Detection is therefore not symmetric or simultaneous across
+//!   ranks — agreement about failures is a *communicator* operation
+//!   (`Comm::agree` in `mpfa-mpi`), not the detector's job.
+//! * **epoch-stamped publication** — every change of the failure set
+//!   bumps an epoch counter, so consumers can cheaply ask "anything new
+//!   since I last looked?" without diffing sets.
+//!
+//! The detector is deliberately below the MPI layer: it knows ranks and
+//! transports, not communicators or requests. `mpfa-mpi` subscribes to
+//! it to fail outstanding operations and drive revoke/shrink/agree.
+
+#![warn(missing_docs)]
+
+pub mod detector;
+
+pub use detector::{DetectorConfig, FailureDetector, FailureSet};

@@ -6,12 +6,23 @@
 //! comes up distributed over a real wire:
 //!
 //! ```text
-//! mpfarun -n 4 [--transport tcp|uds] [--inject-retry] [--timeout SECS] -- CMD [ARGS...]
+//! mpfarun -n 4 [--transport tcp|uds] [--inject-retry] [--timeout SECS]
+//!         [--kill-rank R [--kill-after-ms T]] -- CMD [ARGS...]
 //! ```
 //!
 //! A watchdog kills the whole job and exits 124 (the `timeout(1)`
 //! convention) if it overruns; otherwise the first nonzero child exit
 //! code is propagated.
+//!
+//! Each rank is spawned as the leader of its own process group, and
+//! every kill targets the *group*, so helper processes forked by a rank
+//! cannot outlive the job; every killed child is reaped (no zombies).
+//!
+//! The chaos flags (`--kill-rank R --kill-after-ms T`) SIGKILL one
+//! rank's process group `T` milliseconds into the run — the OS-process
+//! form of the in-process `mesh_kill` switch. The victim's death is
+//! *expected*: its (signal) exit is not propagated, so the job succeeds
+//! iff every survivor exits 0, i.e. iff the survivors actually recover.
 
 use std::process::{exit, Child, Command};
 use std::time::{Duration, Instant};
@@ -26,13 +37,15 @@ struct Opts {
     kind: TransportKind,
     inject_retry: bool,
     timeout: Duration,
+    kill_rank: Option<usize>,
+    kill_after: Duration,
     cmd: Vec<String>,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: mpfarun -n RANKS [--transport tcp|uds] [--inject-retry] \
-         [--timeout SECS] -- CMD [ARGS...]"
+         [--timeout SECS] [--kill-rank R [--kill-after-ms T]] -- CMD [ARGS...]"
     );
     exit(2);
 }
@@ -43,6 +56,8 @@ fn parse_args() -> Opts {
     let mut kind = TransportKind::Tcp;
     let mut inject_retry = false;
     let mut timeout = Duration::from_secs(120);
+    let mut kill_rank = None;
+    let mut kill_after = Duration::from_millis(50);
     let mut cmd = Vec::new();
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -58,6 +73,14 @@ fn parse_args() -> Opts {
                 Some(secs) if secs > 0.0 => timeout = Duration::from_secs_f64(secs),
                 _ => usage(),
             },
+            "--kill-rank" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(r) => kill_rank = Some(r),
+                None => usage(),
+            },
+            "--kill-after-ms" => match args.next().and_then(|v| v.parse::<u64>().ok()) {
+                Some(ms) => kill_after = Duration::from_millis(ms),
+                None => usage(),
+            },
             "--" => {
                 cmd.extend(args);
                 break;
@@ -70,11 +93,19 @@ fn parse_args() -> Opts {
     if ranks == 0 || cmd.is_empty() {
         usage();
     }
+    if let Some(r) = kill_rank {
+        if r >= ranks {
+            eprintln!("mpfarun: --kill-rank {r} out of range for {ranks} ranks");
+            exit(2);
+        }
+    }
     Opts {
         ranks,
         kind,
         inject_retry,
         timeout,
+        kill_rank,
+        kill_after,
         cmd,
     }
 }
@@ -97,12 +128,23 @@ fn rendezvous_for(kind: TransportKind) -> String {
     }
 }
 
+/// SIGKILL one child's whole process group (the child is its group
+/// leader, so `-pid` addresses the group), then the child itself as a
+/// backstop, and reap it so nothing is left as a zombie.
+fn kill_group(child: &mut Child) {
+    #[cfg(unix)]
+    {
+        let _ = Command::new("kill")
+            .args(["-9", "--", &format!("-{}", child.id())])
+            .status();
+    }
+    let _ = child.kill();
+    let _ = child.wait();
+}
+
 fn kill_all(children: &mut [(usize, Child)]) {
     for (_, child) in children.iter_mut() {
-        let _ = child.kill();
-    }
-    for (_, child) in children.iter_mut() {
-        let _ = child.wait();
+        kill_group(child);
     }
 }
 
@@ -118,6 +160,13 @@ fn main() {
             .env(ENV_RANK, rank.to_string())
             .env(ENV_RANKS, opts.ranks.to_string())
             .env(ENV_PEERS, &rendezvous);
+        // Each rank leads its own process group so a kill reaches any
+        // helpers it forked, not just the rank itself.
+        #[cfg(unix)]
+        {
+            use std::os::unix::process::CommandExt;
+            c.process_group(0);
+        }
         if opts.inject_retry {
             c.env(ENV_INJECT_CONNECT_FAIL, "1");
         }
@@ -133,6 +182,7 @@ fn main() {
 
     let started = Instant::now();
     let mut exit_code = 0;
+    let mut kill_pending = opts.kill_rank;
     while !children.is_empty() {
         if started.elapsed() > opts.timeout {
             eprintln!(
@@ -143,13 +193,26 @@ fn main() {
             kill_all(&mut children);
             exit(124);
         }
+        if let Some(victim) = kill_pending {
+            if started.elapsed() >= opts.kill_after {
+                kill_pending = None;
+                if let Some(i) = children.iter().position(|(r, _)| *r == victim) {
+                    eprintln!(
+                        "mpfarun: chaos: killing rank {victim} at {:.0}ms",
+                        started.elapsed().as_secs_f64() * 1e3
+                    );
+                    let (_, mut child) = children.swap_remove(i);
+                    kill_group(&mut child);
+                }
+            }
+        }
         let mut i = 0;
         while i < children.len() {
             match children[i].1.try_wait() {
                 Ok(Some(status)) => {
                     let (rank, _) = children.swap_remove(i);
                     let code = status.code().unwrap_or(1);
-                    if code != 0 {
+                    if code != 0 && Some(rank) != opts.kill_rank {
                         eprintln!("mpfarun: rank {rank} exited with code {code}");
                         if exit_code == 0 {
                             exit_code = code;

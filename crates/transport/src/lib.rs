@@ -48,7 +48,7 @@ pub mod uds;
 pub mod wire;
 
 pub use codec::FrameCodec;
-pub use sim::SimTransport;
+pub use sim::{sim_rank_views, SimRankTransport, SimTransport};
 pub use tcp::TcpTransport;
 #[cfg(unix)]
 pub use uds::UdsTransport;
@@ -164,6 +164,37 @@ pub trait Transport<M: Send>: Send + Sync {
     /// Number of peers whose reconnect budget is exhausted.
     fn dead_peers(&self) -> usize {
         0
+    }
+
+    /// Sends discarded because the destination peer was already dead.
+    /// Each such send also returns a failed [`TxHandle`] from
+    /// [`Transport::send`], so callers can fail the operation
+    /// immediately instead of queueing toward a peer that will never
+    /// drain it.
+    fn failed_sends(&self) -> usize {
+        0
+    }
+
+    /// Chaos hook: forcibly declare `rank` dead on this transport — the
+    /// in-process analogue of `rank`'s OS process being killed. Severs
+    /// any live connection, drops frames queued for it, and makes
+    /// [`Transport::peer_alive`]/[`Transport::dead_peers`] report the
+    /// failure immediately (no reconnect budget to burn). Returns false
+    /// when the backend does not support kill injection (the default).
+    fn kill_peer(&self, _rank: usize) -> bool {
+        false
+    }
+}
+
+/// Chaos helper: declare `victim` dead across a whole in-process mesh,
+/// as if its OS process had been killed — every other rank's transport
+/// severs its connection to the victim. The victim's own transport is
+/// left untouched (a killed process does not observe its own death).
+pub fn mesh_kill<M: Send>(mesh: &[Arc<dyn Transport<M>>], victim: usize) {
+    for (r, t) in mesh.iter().enumerate() {
+        if r != victim {
+            t.kill_peer(victim);
+        }
     }
 }
 

@@ -7,6 +7,11 @@
 //! impl below is the "extract the endpoint interface into a trait" step
 //! of the refactor: a bare [`Fabric`] *is* a transport.
 
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use mpfa_core::sync::Mutex;
 use mpfa_fabric::{Envelope, Fabric, Path, TxHandle};
 
 use crate::{Transport, TransportKind};
@@ -71,6 +76,118 @@ impl<M: Send + 'static> Transport<M> for SimTransport<M> {
 
     fn queued(&self, ep: usize, path: Path) -> usize {
         Fabric::queued(&self.fabric, ep, path)
+    }
+}
+
+/// Mesh-wide failure state shared by every rank's [`SimRankTransport`]
+/// view of one fabric: which ranks have been "killed" by the chaos
+/// harness. A process death is a global fact, so one board serves the
+/// whole mesh — each rank's view just excludes itself when counting.
+struct KillBoard {
+    dead: Mutex<HashSet<usize>>,
+}
+
+/// One rank's view of a shared simulated fabric, with a kill switch.
+///
+/// The bare fabric has no notion of failure — its peers are always
+/// alive. Chaos tests need the *same* kill schedule to produce the same
+/// `peer_alive`/`dead_peers` outcomes over sim as over the wire
+/// backends, so the in-process mesh hands each rank this wrapper:
+/// sends to (or from) a killed rank are discarded with a failed
+/// [`TxHandle`], exactly like a wire send to a dead peer.
+pub struct SimRankTransport<M> {
+    fabric: Fabric<M>,
+    my_rank: usize,
+    eps_per_rank: usize,
+    board: Arc<KillBoard>,
+    tx_failed: AtomicUsize,
+}
+
+impl<M: Send + 'static> SimRankTransport<M> {
+    fn ranks(&self) -> usize {
+        self.fabric.config().ranks / self.eps_per_rank
+    }
+}
+
+/// Build per-rank killable views of one shared instant fabric — the sim
+/// arm of [`crate::loopback_mesh`].
+pub fn sim_rank_views<M: Send + 'static>(
+    fabric: Fabric<M>,
+    ranks: usize,
+    eps_per_rank: usize,
+) -> Vec<Arc<dyn Transport<M>>> {
+    let board = Arc::new(KillBoard {
+        dead: Mutex::new(HashSet::new()),
+    });
+    (0..ranks)
+        .map(|r| {
+            Arc::new(SimRankTransport {
+                fabric: fabric.clone(),
+                my_rank: r,
+                eps_per_rank,
+                board: board.clone(),
+                tx_failed: AtomicUsize::new(0),
+            }) as Arc<dyn Transport<M>>
+        })
+        .collect()
+}
+
+impl<M: Send + 'static> Transport<M> for SimRankTransport<M> {
+    fn kind(&self) -> TransportKind {
+        TransportKind::Sim
+    }
+
+    fn endpoints(&self) -> usize {
+        self.fabric.config().ranks
+    }
+
+    fn send(&self, src_ep: usize, dst_ep: usize, msg: M, wire_bytes: usize) -> TxHandle {
+        let dst_rank = dst_ep / self.eps_per_rank;
+        {
+            let dead = self.board.dead.lock();
+            if dead.contains(&dst_rank) || dead.contains(&self.my_rank) {
+                self.tx_failed.fetch_add(1, Ordering::Relaxed);
+                return TxHandle::failed();
+            }
+        }
+        Fabric::send(&self.fabric, src_ep, dst_ep, msg, wire_bytes)
+    }
+
+    fn poll(&self, ep: usize, path: Path, max: usize, out: &mut Vec<Envelope<M>>) -> usize {
+        self.fabric.poll_batch(ep, path, max, out)
+    }
+
+    fn queued(&self, ep: usize, path: Path) -> usize {
+        Fabric::queued(&self.fabric, ep, path)
+    }
+
+    fn peer_alive(&self, rank: usize) -> bool {
+        rank == self.my_rank || !self.board.dead.lock().contains(&rank)
+    }
+
+    fn dead_peers(&self) -> usize {
+        self.board
+            .dead
+            .lock()
+            .iter()
+            .filter(|&&r| r != self.my_rank)
+            .count()
+    }
+
+    fn failed_sends(&self) -> usize {
+        self.tx_failed.load(Ordering::Relaxed)
+    }
+
+    fn kill_peer(&self, rank: usize) -> bool {
+        if rank == self.my_rank || rank >= self.ranks() {
+            return false;
+        }
+        if self.board.dead.lock().insert(rank) {
+            mpfa_obs::global_counters()
+                .transport_dead_peers
+                .fetch_add(1, Ordering::Relaxed);
+        }
+        true
     }
 }
 

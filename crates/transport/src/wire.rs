@@ -207,6 +207,8 @@ struct WireInner<M, F: SockFamily> {
     rx_shm: Vec<RxLane<M>>,
     rx_total: AtomicUsize,
     dead: AtomicUsize,
+    /// Sends discarded because the destination peer was already dead.
+    tx_failed: AtomicUsize,
     /// Serializes socket pumping; contending pollers skip instead of
     /// queueing up behind the syscalls.
     pump: Mutex<()>,
@@ -284,6 +286,7 @@ impl<M: FrameCodec, F: SockFamily> WireTransport<M, F> {
                 rx_shm: (0..eps_per_rank).map(|_| RxLane::new()).collect(),
                 rx_total: AtomicUsize::new(0),
                 dead: AtomicUsize::new(0),
+                tx_failed: AtomicUsize::new(0),
                 pump: Mutex::new(()),
             }),
         }
@@ -715,8 +718,13 @@ impl<M: FrameCodec, F: SockFamily> Transport<M> for WireTransport<M, F> {
 
         let mut p = self.inner.peers[dst_rank].lock();
         if matches!(p.state, PeerState::Dead) {
-            // Unreachable peer: drop (the doctor reports the partition).
-            return TxHandle::immediate();
+            // Unreachable peer: the frame is discarded *and the failure
+            // is reported* — a failed TxHandle plus the failed-sends
+            // counter, so callers fail the operation immediately instead
+            // of queueing into a FIFO that will never drain.
+            drop(p);
+            self.inner.tx_failed.fetch_add(1, Ordering::Relaxed);
+            return TxHandle::failed();
         }
         p.txq_bytes += frame.len();
         p.txq.push_back(frame);
@@ -780,6 +788,19 @@ impl<M: FrameCodec, F: SockFamily> Transport<M> for WireTransport<M, F> {
 
     fn dead_peers(&self) -> usize {
         self.inner.dead.load(Ordering::Relaxed)
+    }
+
+    fn failed_sends(&self) -> usize {
+        self.inner.tx_failed.load(Ordering::Relaxed)
+    }
+
+    fn kill_peer(&self, rank: usize) -> bool {
+        if rank == self.inner.my_rank || rank >= self.inner.ranks {
+            return false;
+        }
+        let mut p = self.inner.peers[rank].lock();
+        self.mark_dead(&mut p);
+        true
     }
 }
 
@@ -864,12 +885,13 @@ pub fn loopback_mesh<M: FrameCodec>(
     let dir_tag = MESH_SEQ.fetch_add(1, Ordering::Relaxed);
     match kind {
         TransportKind::Sim => {
-            let fabric: Arc<mpfa_fabric::Fabric<M>> = Arc::new(mpfa_fabric::Fabric::new(
+            let fabric: mpfa_fabric::Fabric<M> = mpfa_fabric::Fabric::new(
                 mpfa_fabric::FabricConfig::instant_nodes(ranks * eps_per_rank, eps_per_rank),
-            ));
-            Ok((0..ranks)
-                .map(|_| fabric.clone() as Arc<dyn Transport<M>>)
-                .collect())
+            );
+            // Per-rank views over the shared fabric, so the chaos kill
+            // switch has a rank to attribute deaths to (a bare fabric
+            // has no failure notion).
+            Ok(crate::sim::sim_rank_views(fabric, ranks, eps_per_rank))
         }
         TransportKind::Tcp => {
             mesh_family::<M, crate::tcp::TcpFamily>(ranks, eps_per_rank, opts, dir_tag)
@@ -1014,9 +1036,55 @@ mod tests {
         }
         assert!(!t1.peer_alive(0));
         assert!(t1.peer_alive(1));
-        // Sends to a dead peer are dropped, not hoarded.
-        t1.send(1, 0, b"more".to_vec(), 4);
+        // Sends to a dead peer are dropped, not hoarded — and the drop
+        // is reported, not silent: a failed handle plus the counter.
+        let before = t1.failed_sends();
+        let tx = t1.send(1, 0, b"more".to_vec(), 4);
+        assert!(tx.is_failed());
+        assert!(tx.is_done(), "failed handles must not hang waiters");
+        assert_eq!(t1.failed_sends(), before + 1);
         assert_eq!(t1.dead_peers(), 1);
+    }
+
+    #[test]
+    fn kill_peer_severs_immediately() {
+        let mesh = loopback_mesh::<Msg>(TransportKind::Tcp, 3, 1, fast_opts()).unwrap();
+        assert!(mesh[0].peer_alive(2));
+        // No budget to burn: the kill switch declares rank 2 dead now.
+        assert!(mesh[0].kill_peer(2));
+        assert!(mesh[1].kill_peer(2));
+        assert!(!mesh[0].kill_peer(0), "cannot kill self");
+        assert!(!mesh[0].peer_alive(2));
+        assert!(!mesh[1].peer_alive(2));
+        assert_eq!(mesh[0].dead_peers(), 1);
+        // Survivors still talk to each other.
+        mesh[0].send(0, 1, b"alive".to_vec(), 5);
+        let got = drain(&mesh[1], 1, 1);
+        assert_eq!(got[0].msg, b"alive".to_vec());
+        // Sends to the victim fail fast.
+        assert!(mesh[0].send(0, 2, b"late".to_vec(), 4).is_failed());
+    }
+
+    #[test]
+    fn sim_mesh_kill_matches_wire_semantics() {
+        let mesh = loopback_mesh::<Msg>(TransportKind::Sim, 3, 1, WireOpts::default()).unwrap();
+        assert_eq!(mesh[0].kind(), TransportKind::Sim);
+        assert!(mesh[0].peer_alive(2));
+        assert_eq!(mesh[0].dead_peers(), 0);
+        crate::mesh_kill(&mesh, 2);
+        assert!(!mesh[0].peer_alive(2));
+        assert!(!mesh[1].peer_alive(2));
+        assert_eq!(mesh[0].dead_peers(), 1);
+        assert_eq!(mesh[1].dead_peers(), 1);
+        // The victim's own view does not count itself dead.
+        assert_eq!(mesh[2].dead_peers(), 0);
+        // Survivor traffic flows; victim traffic is refused both ways.
+        mesh[0].send(0, 1, b"ok".to_vec(), 2);
+        let mut out = Vec::new();
+        assert_eq!(mesh[1].poll(1, Path::Net, 16, &mut out), 1);
+        assert!(mesh[0].send(0, 2, b"x".to_vec(), 1).is_failed());
+        assert!(mesh[2].send(2, 0, b"y".to_vec(), 1).is_failed());
+        assert_eq!(mesh[0].failed_sends(), 1);
     }
 
     #[test]

@@ -18,32 +18,64 @@
 //! Every rank prints the same reduction result either way — the MPI
 //! layer's protocols cannot tell the substrates apart. The exit code is
 //! nonzero on any mismatch, which is what CI's wire-smoke job checks.
+//!
+//! Chaos mode (`--chaos`) is the end-to-end ULFM recovery demo: one rank
+//! dies mid-allreduce and the survivors detect the failure, revoke the
+//! communicator, agree, shrink, and finish the collective without it.
+//! In-process the kill is [`World::chaos_kill`]; distributed it is the
+//! launcher's kill schedule:
+//!
+//! ```text
+//! target/release/mpfarun -n 4 --kill-rank 2 --kill-after-ms 50 --timeout 60 \
+//!     -- target/release/examples/wire_allreduce --chaos
+//! ```
+//!
+//! Every survivor prints `shrunk to 3 ranks`, which is what CI's
+//! chaos-smoke job greps for.
 
 use mpfa::mpi::{Launch, Op, Proc, World, WorldConfig};
+use mpfa::resil::DetectorConfig;
 
 const RANKS: usize = 4;
+/// The rank that dies in `--chaos` mode (must match CI's `--kill-rank`).
+const VICTIM: usize = 2;
 
 fn main() {
+    let chaos = std::env::args().any(|a| a == "--chaos");
     match World::launch(WorldConfig::instant(RANKS)) {
         Launch::InProcess(procs) => {
             println!(
-                "wire_allreduce: in-process, {} simulated ranks",
-                procs.len()
+                "wire_allreduce: in-process, {} simulated ranks{}",
+                procs.len(),
+                if chaos { ", chaos" } else { "" }
             );
+            let victim_done = std::sync::atomic::AtomicBool::new(false);
+            let victim_done = &victim_done;
             std::thread::scope(|s| {
                 for proc in procs {
-                    s.spawn(move || rank_main(proc));
+                    s.spawn(move || {
+                        if chaos {
+                            chaos_main(proc, Some(victim_done));
+                        } else {
+                            rank_main(proc);
+                        }
+                    });
                 }
             });
         }
         Launch::Distributed(proc) => {
             println!(
-                "wire_allreduce: rank {}/{} over {}",
+                "wire_allreduce: rank {}/{} over {}{}",
                 proc.rank(),
                 proc.size(),
-                proc.world().config().transport
+                proc.world().config().transport,
+                if chaos { ", chaos" } else { "" }
             );
-            rank_main(proc);
+            if chaos {
+                chaos_main(proc, None);
+            } else {
+                rank_main(proc);
+            }
         }
     }
 }
@@ -74,4 +106,68 @@ fn rank_main(proc: Proc) {
     comm.barrier().unwrap();
     println!("rank {rank}: allreduce ok, total[0] = {}", total[0]);
     proc.finalize(1.0);
+}
+
+/// The ULFM recovery loop. `victim_done` is the in-process kill
+/// coordination (None when a launcher kill schedule does the deed).
+fn chaos_main(proc: Proc, victim_done: Option<&std::sync::atomic::AtomicBool>) {
+    use std::sync::atomic::Ordering;
+
+    proc.enable_resilience(DetectorConfig::default());
+    let comm = proc.world_comm();
+    let rank = comm.rank();
+
+    if let Some(done) = victim_done {
+        // In-process choreography: the victim proves the comm works,
+        // announces itself done, and stops participating; its neighbor
+        // pulls the kill switch.
+        let warm = comm.allreduce(&[1i64], Op::Sum);
+        if proc.rank() == VICTIM {
+            assert_eq!(warm.unwrap(), vec![RANKS as i64]);
+            done.store(true, Ordering::Release);
+            return;
+        }
+        if proc.rank() == (VICTIM + 1) % RANKS {
+            while !done.load(Ordering::Acquire) {
+                std::hint::spin_loop();
+            }
+            assert!(proc.world().chaos_kill(VICTIM));
+        }
+    }
+
+    // Iterate the collective until the failure surfaces as an error (the
+    // victim under a launcher kill schedule simply dies somewhere in
+    // here). Every iteration either completes or errors — never hangs.
+    let t0 = mpfa::core::wtime();
+    loop {
+        let fut = comm.iallreduce(&[1i64], Op::Sum).unwrap();
+        match fut.wait_result() {
+            Ok(_) => {
+                assert!(
+                    mpfa::core::wtime() - t0 < 30.0,
+                    "rank {rank}: no failure observed within deadline"
+                );
+            }
+            Err(err) => {
+                println!("rank {rank}: allreduce failed ({err:?}), recovering");
+                break;
+            }
+        }
+    }
+
+    // ULFM recovery: revoke so every survivor unblocks, agree on the
+    // decision to continue, shrink past the dead rank, retry.
+    comm.revoke().expect("revoke");
+    assert!(comm.agree(true).expect("agree"));
+    let shrunk = comm.shrink().expect("shrink");
+    let total = shrunk
+        .allreduce(&[1i64], Op::Sum)
+        .expect("post-shrink allreduce");
+    assert_eq!(total, vec![shrunk.size() as i64]);
+    println!(
+        "rank {rank}: shrunk to {} ranks, allreduce = {}",
+        shrunk.size(),
+        total[0]
+    );
+    proc.finalize(2.0);
 }

@@ -20,6 +20,10 @@
 //!   fabric behind a `Transport` trait plus real TCP and Unix-domain
 //!   wire backends, bootstrap rendezvous, and the `mpfarun` launcher.
 //!   See `docs/TRANSPORT.md`.
+//! * [`resil`] — fault tolerance: an epoch-stamped failure detector
+//!   running as a progress hook, feeding the ULFM-style error path
+//!   (`RequestError`, `Comm::revoke`/`shrink`/`agree`) in [`mpi`]. See
+//!   `docs/RESILIENCE.md`.
 //! * [`baselines`] — the progress strategies the paper argues against:
 //!   global async-progress threads and request-polling loops.
 //! * [`obs`] — progress observability: event tracing (behind the `obs`
@@ -36,4 +40,5 @@ pub use mpfa_interop as interop;
 pub use mpfa_mpi as mpi;
 pub use mpfa_obs as obs;
 pub use mpfa_offload as offload;
+pub use mpfa_resil as resil;
 pub use mpfa_transport as transport;

@@ -138,6 +138,70 @@ fn truncation_is_fatal_by_default() {
 }
 
 #[test]
+fn injected_peer_death_completes_wait_all_with_errors() {
+    // ULFM shape: a peer dying with operations outstanding must complete
+    // every request — errored, not hung — so `wait_all_results` returns
+    // a per-request verdict.
+    use mpfa::core::RequestError;
+    use mpfa::resil::DetectorConfig;
+
+    const N: usize = 4;
+    const VICTIM: usize = 3;
+    let victim_gone = std::sync::atomic::AtomicBool::new(false);
+    let results = run_ranks(WorldConfig::instant(N), |proc| {
+        proc.enable_resilience(DetectorConfig::default());
+        let comm = proc.world_comm();
+        comm.barrier().unwrap();
+        if proc.rank() == VICTIM {
+            victim_gone.store(true, std::sync::atomic::Ordering::Release);
+            return Vec::new();
+        }
+        if proc.rank() == 0 {
+            while !victim_gone.load(std::sync::atomic::Ordering::Acquire) {
+                std::hint::spin_loop();
+            }
+            assert!(proc.world().chaos_kill(VICTIM));
+        }
+        // Ring among the survivors {0, 1, 2}.
+        let next = (proc.rank() + 1) % (N - 1);
+        let prev = (proc.rank() + N - 2) % (N - 1);
+        // A mix: receives from the dead rank (doomed), sends to the dead
+        // rank (doomed), and traffic between survivors (must succeed).
+        let doomed_recv = comm.irecv::<u8>(8, VICTIM as i32, 1).unwrap();
+        let doomed_send = comm.isend(&[1u8; 8], VICTIM as i32, 2).unwrap();
+        let good_recv = comm.irecv::<u8>(8, prev as i32, 3).unwrap();
+        let good_send = comm.isend(&[2u8; 8], next as i32, 3).unwrap();
+        let reqs = [
+            doomed_recv.request(),
+            doomed_send,
+            good_recv.request(),
+            good_send,
+        ];
+        Request::wait_all_results(&reqs)
+    });
+    for (rank, outcomes) in results.iter().enumerate() {
+        if rank == VICTIM {
+            continue;
+        }
+        assert_eq!(outcomes.len(), 4, "rank {rank}");
+        assert_eq!(
+            outcomes[0],
+            Err(RequestError::PeerFailed {
+                rank: VICTIM as i32
+            }),
+            "rank {rank}: recv from dead peer"
+        );
+        assert!(
+            matches!(outcomes[1], Err(RequestError::PeerFailed { .. })),
+            "rank {rank}: send to dead peer, got {:?}",
+            outcomes[1]
+        );
+        assert!(outcomes[2].is_ok(), "rank {rank}: survivor recv");
+        assert!(outcomes[3].is_ok(), "rank {rank}: survivor send");
+    }
+}
+
+#[test]
 fn zero_sized_world_operations() {
     // Single-rank edge cases: self-sends, collectives of one.
     let results = run_ranks(WorldConfig::instant(1), |proc| {

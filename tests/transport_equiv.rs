@@ -197,3 +197,93 @@ fn sim_and_uds_agree() {
     check_expected(&uds, "uds");
     assert_eq!(sim, uds, "sim and UDS worlds diverged");
 }
+
+/// What one rank's transport reports about the world after a kill
+/// schedule: its dead-peer count, per-peer liveness, and whether a send
+/// to the victim was refused.
+#[derive(Debug, PartialEq, Eq)]
+struct LivenessRecord {
+    dead_peers: usize,
+    alive: Vec<bool>,
+    send_to_victim_failed: bool,
+}
+
+/// Apply the same kill schedule (mesh-kill rank `VICTIM`) to a mesh of
+/// the given backend and record every rank's liveness view.
+fn run_kill_schedule(kind: TransportKind) -> Vec<LivenessRecord> {
+    use mpfa::mpi::wire::MsgHeader;
+    use mpfa::transport::mesh_kill;
+
+    const VICTIM: usize = 1;
+    let eps_per_rank = 2;
+    let mesh =
+        mpfa::transport::loopback_mesh::<WireMsg>(kind, RANKS, eps_per_rank, WireOpts::default())
+            .expect("mesh");
+    // Pre-kill: everyone sees everyone alive.
+    for (r, t) in mesh.iter().enumerate() {
+        assert_eq!(t.dead_peers(), 0, "{kind:?}: rank {r} pre-kill");
+        assert!((0..RANKS).all(|p| t.peer_alive(p)), "{kind:?}: rank {r}");
+    }
+
+    mesh_kill(&mesh, VICTIM);
+
+    mesh.iter()
+        .enumerate()
+        .map(|(r, t)| {
+            t.progress();
+            // Survivors try to reach the victim (must be refused); the
+            // victim itself does not self-send.
+            let send_to_victim_failed = r != VICTIM && {
+                let tx = t.send(
+                    r * eps_per_rank,
+                    VICTIM * eps_per_rank,
+                    WireMsg::Eager {
+                        hdr: MsgHeader {
+                            context_id: 0,
+                            src_rank: r as i32,
+                            tag: 7,
+                        },
+                        data: vec![0xAB; 16],
+                    },
+                    16,
+                );
+                tx.is_failed()
+            };
+            LivenessRecord {
+                dead_peers: t.dead_peers(),
+                alive: (0..RANKS).map(|p| t.peer_alive(p)).collect(),
+                send_to_victim_failed,
+            }
+        })
+        .collect()
+}
+
+/// Satellite of the resilience work: the failure *evidence* the detector
+/// consumes must be identical across backends — same kill schedule, same
+/// `dead_peers()` / `peer_alive()` / refused-send outcomes on every rank
+/// (including the victim's own view, which never observes its own death).
+#[test]
+fn peer_death_liveness_agrees_across_backends() {
+    const VICTIM: usize = 1;
+    let sim = run_kill_schedule(TransportKind::Sim);
+    let tcp = run_kill_schedule(TransportKind::Tcp);
+    assert_eq!(sim, tcp, "sim and TCP liveness diverged");
+    #[cfg(unix)]
+    {
+        let uds = run_kill_schedule(TransportKind::Uds);
+        assert_eq!(sim, uds, "sim and UDS liveness diverged");
+    }
+    // And the common view is the right one.
+    for (r, rec) in sim.iter().enumerate() {
+        if r == VICTIM {
+            // A killed process does not observe its own death.
+            assert_eq!(rec.dead_peers, 0, "victim's own view");
+            continue;
+        }
+        assert_eq!(rec.dead_peers, 1, "rank {r}");
+        assert!(rec.send_to_victim_failed, "rank {r}: send must be refused");
+        for (p, alive) in rec.alive.iter().enumerate() {
+            assert_eq!(*alive, p != VICTIM, "rank {r} view of {p}");
+        }
+    }
+}
