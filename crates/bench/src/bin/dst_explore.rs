@@ -1,0 +1,293 @@
+//! Schedule-exploration throughput + CI fuzz entry for the DST harness.
+//!
+//! Runs a suite of invariant scenarios (each must hold under *every*
+//! legal schedule) through [`mpfa_dst::explore`] for N seeds apiece and
+//! reports schedules/second. Any failing schedule writes a replayable
+//! artifact to `target/dst-failures/` (CI uploads the directory), prints
+//! the seed, and exits 1.
+//!
+//! Knobs:
+//!
+//! * `--seeds N` / `MPFA_DST_SEEDS=N` — schedules per scenario (CI
+//!   pushes run 64; the nightly cranks this to 4096);
+//! * `MPFA_DST_SEED=<u64>` — replay exactly one seed on every scenario;
+//! * `--planted` — self-check: the explorer must *break* the planted
+//!   wildcard-ordering bug within the seed budget (exit 1 if it can't —
+//!   a harness that can't break it is not exploring orderings);
+//! * `--json PATH` — machine-readable results;
+//! * `--smoke` — 64 seeds + a 120 s watchdog that exits 124 on a wedge.
+
+use std::time::Instant;
+
+use mpfa_bench::json::JsonObj;
+use mpfa_dst::{explore, fixtures, seeds, Failure, Sim, SimConfig};
+use mpfa_mpi::{DetectorConfig, ANY_SOURCE};
+
+struct Config {
+    seeds: usize,
+    json_path: String,
+    planted: bool,
+}
+
+impl Config {
+    fn from_args() -> Config {
+        let mut cfg = Config {
+            seeds: 256,
+            json_path: String::new(),
+            planted: false,
+        };
+        if let Some(n) = std::env::var("MPFA_DST_SEEDS")
+            .ok()
+            .and_then(|v| v.trim().parse().ok())
+        {
+            cfg.seeds = n;
+        }
+        let mut args = std::env::args().skip(1);
+        while let Some(a) = args.next() {
+            match a.as_str() {
+                "--json" => cfg.json_path = args.next().unwrap_or_default(),
+                "--seeds" => {
+                    cfg.seeds = args
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or(cfg.seeds)
+                }
+                "--planted" => cfg.planted = true,
+                "--smoke" => {
+                    cfg.seeds = 64;
+                    arm_watchdog(120.0);
+                }
+                other => {
+                    eprintln!(
+                        "usage: dst_explore [--seeds N] [--json PATH] [--planted] [--smoke] \
+                         (got {other})"
+                    );
+                    std::process::exit(2);
+                }
+            }
+        }
+        cfg
+    }
+}
+
+fn arm_watchdog(secs: f64) {
+    std::thread::spawn(move || {
+        std::thread::sleep(std::time::Duration::from_secs_f64(secs));
+        eprintln!("dst_explore: watchdog fired after {secs}s — exploration wedged?");
+        std::process::exit(124);
+    });
+}
+
+/// Three senders fan into two wildcard receives; every payload that
+/// lands must identify its sender, whichever two the schedule picks.
+fn fan_in(sim: &mut Sim) {
+    let comms = sim.world_comms();
+    let recvs: Vec<_> = (0..2)
+        .map(|_| comms[0].irecv::<u32>(1, ANY_SOURCE, 6).unwrap())
+        .collect();
+    let sends: Vec<_> = (1..3)
+        .map(|r| comms[r].isend(&[r as u32], 0, 6).unwrap())
+        .collect();
+    let reqs: Vec<_> = recvs.iter().map(|r| r.request()).collect();
+    assert!(
+        sim.run_until(|| reqs.iter().chain(sends.iter()).all(|r| r.is_complete())),
+        "fan-in never completed"
+    );
+    let mut sources: Vec<i32> = recvs
+        .into_iter()
+        .map(|r| {
+            let (data, st) = r.take();
+            assert_eq!(data, vec![st.source as u32], "payload/source mismatch");
+            st.source
+        })
+        .collect();
+    sources.sort_unstable();
+    assert_eq!(sources, vec![1, 2], "a sender was dropped or duplicated");
+}
+
+/// A scheduled kill must be detected by every survivor under every
+/// interleaving of progress, detector ticks, and time.
+fn kill_detect(sim: &mut Sim) {
+    const VICTIM: usize = 2;
+    assert!(sim.kill_at(VICTIM, 2e-6));
+    let detectors: Vec<_> = (0..2)
+        .map(|r| sim.resilience(r).detector().clone())
+        .collect();
+    assert!(
+        sim.run_until(|| detectors.iter().all(|d| d.is_failed(VICTIM))),
+        "kill never detected by all survivors"
+    );
+}
+
+fn resilient(ranks: usize) -> SimConfig {
+    SimConfig {
+        resilience: Some(DetectorConfig { quiet_period: 1e9 }),
+        ..SimConfig::ranks(ranks)
+    }
+}
+
+struct Outcome {
+    name: &'static str,
+    explored: u64,
+    elapsed_s: f64,
+    failure: Option<Failure>,
+}
+
+fn run_scenario(
+    name: &'static str,
+    cfg: &SimConfig,
+    seed_list: &[u64],
+    scenario: impl Fn(&mut Sim),
+) -> Outcome {
+    let t0 = Instant::now();
+    let result = explore(cfg, seed_list.iter().copied(), scenario);
+    let elapsed_s = t0.elapsed().as_secs_f64();
+    match result {
+        Ok(explored) => Outcome {
+            name,
+            explored,
+            elapsed_s,
+            failure: None,
+        },
+        Err(failure) => Outcome {
+            name,
+            explored: 0,
+            elapsed_s,
+            failure: Some(failure),
+        },
+    }
+}
+
+/// Mirror of the test-side artifact contract: seed + panic + trace into
+/// `target/dst-failures/<name>-<seed>.log` for CI upload.
+fn write_artifact(name: &str, failure: &Failure) -> String {
+    let dir = std::env::var("MPFA_DST_ARTIFACT_DIR")
+        .unwrap_or_else(|_| "target/dst-failures".to_string());
+    let path = format!("{dir}/{name}-{seed}.log", seed = failure.seed);
+    let body = format!(
+        "scenario: {name}\nseed: {seed}\npanic: {message}\n\n{trace}",
+        seed = failure.seed,
+        message = failure.message,
+        trace = failure.trace,
+    );
+    match std::fs::create_dir_all(&dir).and_then(|()| std::fs::write(&path, body)) {
+        Ok(()) => path,
+        Err(e) => format!("(unwritable: {e})"),
+    }
+}
+
+fn main() {
+    let cfg = Config::from_args();
+
+    // `--planted` inverts the contract: the run only passes if the
+    // explorer breaks the deliberately wrong scenario inside the budget.
+    if cfg.planted {
+        // The planted scenario panics on the breaking schedule; silence
+        // the hook so the expected panic doesn't read as an error.
+        std::panic::set_hook(Box::new(|_| {}));
+        let seed_list = seeds(mpfa_dst::name_base("dst_explore_planted"), cfg.seeds);
+        let t0 = Instant::now();
+        let result = explore(
+            &SimConfig::ranks(3),
+            seed_list,
+            fixtures::planted_wildcard_order_bug,
+        );
+        let _ = std::panic::take_hook();
+        match result {
+            Err(failure) => {
+                println!(
+                    "dst_explore --planted: bug caught under seed {} in {:.3}s ({})",
+                    failure.seed,
+                    t0.elapsed().as_secs_f64(),
+                    failure.message.lines().next().unwrap_or(""),
+                );
+            }
+            Ok(explored) => {
+                eprintln!(
+                    "dst_explore --planted: the planted ordering bug SURVIVED {explored} \
+                     schedules — the explorer is not exploring"
+                );
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
+
+    let seed_list = |name: &str| match mpfa_dst::replay_seed() {
+        Some(seed) => vec![seed],
+        None => seeds(mpfa_dst::name_base(name), cfg.seeds),
+    };
+    println!("dst_explore: {} seeds per scenario", cfg.seeds);
+
+    let outcomes = vec![
+        run_scenario(
+            "pingpong",
+            &SimConfig::ranks(2),
+            &seed_list("pingpong"),
+            fixtures::pingpong,
+        ),
+        run_scenario(
+            "tagged_pair_fifo",
+            &SimConfig::ranks(2),
+            &seed_list("tagged_pair_fifo"),
+            fixtures::tagged_pair_fifo,
+        ),
+        run_scenario("fan_in", &SimConfig::ranks(3), &seed_list("fan_in"), fan_in),
+        run_scenario(
+            "kill_detect",
+            &resilient(3),
+            &seed_list("kill_detect"),
+            kill_detect,
+        ),
+    ];
+
+    println!("scenario            schedules   elapsed_s   sched/s");
+    let mut failed = false;
+    for o in &outcomes {
+        match &o.failure {
+            None => println!(
+                "{:<18} {:>10} {:>11.3} {:>9.0}",
+                o.name,
+                o.explored,
+                o.elapsed_s,
+                o.explored as f64 / o.elapsed_s.max(1e-9),
+            ),
+            Some(f) => {
+                failed = true;
+                let artifact = write_artifact(o.name, f);
+                eprintln!(
+                    "{:<18} FAILED under seed {}\n  panic: {}\n  replay: MPFA_DST_SEED={} \
+                     cargo run -p mpfa-bench --bin dst_explore\n  artifact: {artifact}",
+                    o.name, f.seed, f.message, f.seed,
+                );
+            }
+        }
+    }
+
+    if !cfg.json_path.is_empty() {
+        let rows: Vec<JsonObj> = outcomes
+            .iter()
+            .map(|o| {
+                let mut row = JsonObj::new();
+                row.str("scenario", o.name)
+                    .int("schedules", o.explored)
+                    .float("elapsed_s", o.elapsed_s)
+                    .bool("failed", o.failure.is_some());
+                if let Some(f) = &o.failure {
+                    row.int("failing_seed", f.seed);
+                }
+                row
+            })
+            .collect();
+        let mut root = JsonObj::new();
+        root.str("bench", "dst_explore")
+            .int("seeds_per_scenario", cfg.seeds as u64)
+            .arr("scenarios", &rows);
+        root.write_to(&cfg.json_path).expect("write json");
+        println!("wrote {}", cfg.json_path);
+    }
+
+    if failed {
+        std::process::exit(1);
+    }
+}

@@ -12,10 +12,45 @@
 //!    it is never skipped), honoring deferred spawns and isolating panics.
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
 
 use crate::hook::{HookId, ProgressHook, SubsystemClass};
 use crate::stream::StreamId;
 use crate::task::{AsyncPoll, AsyncTask, AsyncThing, TaskId};
+
+/// Decides the order user async tasks are polled within one progress
+/// sweep — the deterministic-simulation scheduling hook.
+///
+/// MPI leaves the poll order of concurrently pending `MPIX_Async` tasks
+/// unspecified, so a correct program must tolerate *any* order. A
+/// deterministic-simulation harness installs one of these (via
+/// [`crate::Stream::set_sweep_order`]) to make the order a pure function
+/// of its seed and to deliberately explore adversarial orders.
+///
+/// `n` is the number of tasks pending at the start of the sweep and
+/// `sweep` a per-engine sweep sequence number. The returned vector must
+/// be a permutation of `0..n`; anything else is ignored and the engine
+/// falls back to registration order. Subsystem hooks are *not*
+/// permutable — their class order is the Listing-1.1 contract.
+pub trait SweepOrder: Send + Sync {
+    /// Produce the poll order for one sweep.
+    fn order(&self, stream: StreamId, sweep: u64, n: usize) -> Vec<usize>;
+}
+
+/// True when `perm` is a permutation of `0..n`.
+fn valid_perm(perm: &[usize], n: usize) -> bool {
+    if perm.len() != n {
+        return false;
+    }
+    let mut seen = vec![false; n];
+    for &i in perm {
+        if i >= n || seen[i] {
+            return false;
+        }
+        seen[i] = true;
+    }
+    true
+}
 
 /// Per-call tuning of a progress invocation — MPICH's
 /// `MPID_Progress_state`, surfaced.
@@ -163,6 +198,11 @@ pub(crate) struct Engine {
     /// Consecutive sweeps that made no progress (for the no-progress
     /// streak high-water mark in the global counters).
     idle_streak: u64,
+    /// Sweep sequence number (feeds the sweep-order hook).
+    sweep_seq: u64,
+    /// Deterministic-simulation task-order hook; `None` (production) uses
+    /// the registration-order fast path.
+    order_hook: Option<Arc<dyn SweepOrder>>,
     stats: EngineStats,
 }
 
@@ -175,8 +215,14 @@ impl Engine {
             next_task: 0,
             poisoned_total: 0,
             idle_streak: 0,
+            sweep_seq: 0,
+            order_hook: None,
             stats: EngineStats::default(),
         }
+    }
+
+    pub(crate) fn set_sweep_order(&mut self, hook: Option<Arc<dyn SweepOrder>>) {
+        self.order_hook = hook;
     }
 
     pub(crate) fn stats(&self) -> EngineStats {
@@ -233,10 +279,62 @@ impl Engine {
         self.poisoned_total
     }
 
+    /// Poll the task at `idx` once, recording its verdict. Returns true
+    /// when the task is finished (Done or poisoned) and must be retired
+    /// by the caller; removal is the caller's job so both the in-place
+    /// fast path and the permuted deferred-removal path share this body.
+    fn poll_one_task(
+        &mut self,
+        idx: usize,
+        thing: &mut AsyncThing,
+        stream: StreamId,
+        out: &mut ProgressOutcome,
+        sweep_task_polls: &mut u64,
+    ) -> bool {
+        use mpfa_obs::{EventKind, TaskVerdict};
+
+        let entry = &mut self.tasks[idx];
+        thing.task = entry.id;
+        let task_id = entry.id.0;
+        self.stats.task_polls += 1;
+        *sweep_task_polls += 1;
+        let polled = catch_unwind(AssertUnwindSafe(|| entry.task.poll(thing)));
+        match polled {
+            Ok(AsyncPoll::Done) => {
+                out.tasks_completed += 1;
+                self.stats.task_completions += 1;
+                mpfa_obs::record(|| EventKind::TaskPoll {
+                    stream: stream.0,
+                    task: task_id,
+                    verdict: TaskVerdict::Done,
+                });
+                true
+            }
+            Ok(AsyncPoll::Progress) => {
+                out.tasks_progressed += 1;
+                false
+            }
+            Ok(AsyncPoll::Pending) => false,
+            Err(_) => {
+                // A panicking poll poisons only its own task; the
+                // engine and the other tasks stay healthy.
+                out.tasks_poisoned += 1;
+                self.poisoned_total += 1;
+                mpfa_obs::record(|| EventKind::TaskPoll {
+                    stream: stream.0,
+                    task: task_id,
+                    verdict: TaskVerdict::Poisoned,
+                });
+                true
+            }
+        }
+    }
+
     /// One collated progress sweep. See the module docs for the policy.
     pub(crate) fn poll(&mut self, state: &ProgressState, stream: StreamId) -> ProgressOutcome {
-        use mpfa_obs::{EventKind, PollVerdict, TaskVerdict};
+        use mpfa_obs::{EventKind, PollVerdict};
 
+        self.sweep_seq += 1;
         let mut out = ProgressOutcome::default();
         // Sweep-local tallies for the batched counter flush at the end —
         // one set of atomic adds per sweep, not per hook/task.
@@ -292,47 +390,54 @@ impl Engine {
             // One reusable poll context for the whole sweep; its spawn
             // buffer is drained after the sweep.
             let mut thing = AsyncThing::new(stream);
-            let mut i = 0;
-            while i < self.tasks.len() {
-                let entry = &mut self.tasks[i];
-                thing.task = entry.id;
-                let task_id = entry.id.0;
-                self.stats.task_polls += 1;
-                sweep_task_polls += 1;
-                let polled = catch_unwind(AssertUnwindSafe(|| entry.task.poll(&mut thing)));
-                match polled {
-                    Ok(AsyncPoll::Done) => {
-                        out.tasks_completed += 1;
-                        self.stats.task_completions += 1;
-                        mpfa_obs::record(|| EventKind::TaskPoll {
-                            stream: stream.0,
-                            task: task_id,
-                            verdict: TaskVerdict::Done,
-                        });
-                        // Dropping the task value releases its state — the
-                        // Rust equivalent of poll_fn freeing extra_state
-                        // before returning MPIX_ASYNC_DONE.
-                        self.tasks.swap_remove(i);
+            match self.order_hook.clone() {
+                None => {
+                    // Production fast path: registration order, retiring
+                    // in place.
+                    let mut i = 0;
+                    while i < self.tasks.len() {
+                        let retire = self.poll_one_task(
+                            i,
+                            &mut thing,
+                            stream,
+                            &mut out,
+                            &mut sweep_task_polls,
+                        );
+                        if retire {
+                            // Dropping the task value releases its state —
+                            // the Rust equivalent of poll_fn freeing
+                            // extra_state before returning MPIX_ASYNC_DONE.
+                            self.tasks.swap_remove(i);
+                        } else {
+                            i += 1;
+                        }
                     }
-                    Ok(AsyncPoll::Progress) => {
-                        out.tasks_progressed += 1;
-                        i += 1;
+                }
+                Some(hook) => {
+                    // Simulation path: poll in the hook's order, deferring
+                    // removals so every task is still polled exactly once
+                    // per sweep regardless of the permutation.
+                    let n = self.tasks.len();
+                    let perm = hook.order(stream, self.sweep_seq, n);
+                    let identity: Vec<usize>;
+                    let order: &[usize] = if valid_perm(&perm, n) {
+                        &perm
+                    } else {
+                        identity = (0..n).collect();
+                        &identity
+                    };
+                    let mut dead = vec![false; n];
+                    for &idx in order {
+                        dead[idx] = self.poll_one_task(
+                            idx,
+                            &mut thing,
+                            stream,
+                            &mut out,
+                            &mut sweep_task_polls,
+                        );
                     }
-                    Ok(AsyncPoll::Pending) => {
-                        i += 1;
-                    }
-                    Err(_) => {
-                        // A panicking poll poisons only its own task; the
-                        // engine and the other tasks stay healthy.
-                        out.tasks_poisoned += 1;
-                        self.poisoned_total += 1;
-                        mpfa_obs::record(|| EventKind::TaskPoll {
-                            stream: stream.0,
-                            task: task_id,
-                            verdict: TaskVerdict::Poisoned,
-                        });
-                        self.tasks.swap_remove(i);
-                    }
+                    let mut flags = dead.into_iter();
+                    self.tasks.retain(|_| !flags.next().unwrap_or(false));
                 }
             }
             // Splice deferred spawns in *after* the sweep (MPIX_Async_spawn:
@@ -690,6 +795,98 @@ mod tests {
         e.poll(&ProgressState::default(), sid());
         assert_eq!(e.stats().hook_idle_skips, 2);
         assert_eq!(e.stats().total_hook_polls(), 0);
+    }
+
+    struct ReverseOrder;
+    impl SweepOrder for ReverseOrder {
+        fn order(&self, _stream: StreamId, _sweep: u64, n: usize) -> Vec<usize> {
+            (0..n).rev().collect()
+        }
+    }
+
+    struct BogusOrder;
+    impl SweepOrder for BogusOrder {
+        fn order(&self, _stream: StreamId, _sweep: u64, _n: usize) -> Vec<usize> {
+            vec![0, 0, 0] // not a permutation — must be ignored
+        }
+    }
+
+    fn order_recorder(e: &mut Engine, label: usize, log: &Arc<std::sync::Mutex<Vec<usize>>>) {
+        let log = log.clone();
+        e.add_task(Box::new(move |_t: &mut AsyncThing| {
+            log.lock().unwrap().push(label);
+            AsyncPoll::Pending
+        }));
+    }
+
+    #[test]
+    fn sweep_order_hook_permutes_task_polls() {
+        let mut e = Engine::new();
+        let log = Arc::new(std::sync::Mutex::new(Vec::new()));
+        for label in 0..4 {
+            order_recorder(&mut e, label, &log);
+        }
+        e.set_sweep_order(Some(Arc::new(ReverseOrder)));
+        e.poll(&ProgressState::default(), sid());
+        assert_eq!(*log.lock().unwrap(), vec![3, 2, 1, 0]);
+        // Uninstalling restores registration order.
+        e.set_sweep_order(None);
+        log.lock().unwrap().clear();
+        e.poll(&ProgressState::default(), sid());
+        assert_eq!(*log.lock().unwrap(), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn sweep_order_hook_with_retirements_polls_each_task_once() {
+        let mut e = Engine::new();
+        let log = Arc::new(std::sync::Mutex::new(Vec::new()));
+        // Tasks 0 and 2 finish on the first poll; 1 and 3 keep pending.
+        for label in 0..4usize {
+            let log = log.clone();
+            e.add_task(Box::new(move |_t: &mut AsyncThing| {
+                log.lock().unwrap().push(label);
+                if label % 2 == 0 {
+                    AsyncPoll::Done
+                } else {
+                    AsyncPoll::Pending
+                }
+            }));
+        }
+        e.set_sweep_order(Some(Arc::new(ReverseOrder)));
+        let out = e.poll(&ProgressState::default(), sid());
+        assert_eq!(out.tasks_completed, 2);
+        assert_eq!(*log.lock().unwrap(), vec![3, 2, 1, 0]);
+        assert_eq!(e.task_count(), 2);
+        // Survivors still polled on later sweeps.
+        log.lock().unwrap().clear();
+        e.poll(&ProgressState::default(), sid());
+        assert_eq!(*log.lock().unwrap(), vec![3, 1]);
+    }
+
+    #[test]
+    fn invalid_permutation_falls_back_to_registration_order() {
+        let mut e = Engine::new();
+        let log = Arc::new(std::sync::Mutex::new(Vec::new()));
+        for label in 0..3 {
+            order_recorder(&mut e, label, &log);
+        }
+        e.set_sweep_order(Some(Arc::new(BogusOrder)));
+        e.poll(&ProgressState::default(), sid());
+        assert_eq!(*log.lock().unwrap(), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn sweep_order_hook_isolates_panics() {
+        let mut e = Engine::new();
+        e.add_task(Box::new(|_t: &mut AsyncThing| -> AsyncPoll {
+            panic!("injected");
+        }));
+        e.add_task(Box::new(|_t: &mut AsyncThing| AsyncPoll::Pending));
+        e.set_sweep_order(Some(Arc::new(ReverseOrder)));
+        let out = e.poll(&ProgressState::default(), sid());
+        assert_eq!(out.tasks_poisoned, 1);
+        assert_eq!(e.task_count(), 1);
+        assert_eq!(e.poisoned_total(), 1);
     }
 
     #[test]

@@ -56,7 +56,7 @@ pub mod sync;
 pub mod task;
 pub mod wtime;
 
-pub use engine::{EngineStats, ProgressOutcome, ProgressState};
+pub use engine::{EngineStats, ProgressOutcome, ProgressState, SweepOrder};
 pub use grequest::{grequest_start, Grequest, GrequestOps, NoopOps};
 pub use hook::{HookId, ProgressHook, SubsystemClass};
 pub use request::{Completer, CompletionCounter, Request, RequestError, Status};

@@ -209,6 +209,14 @@ impl Stream {
         self.inner.engine.lock().hook_count()
     }
 
+    /// Install (or with `None`, remove) a deterministic-simulation hook
+    /// deciding the order user async tasks are polled each sweep. See
+    /// [`crate::engine::SweepOrder`]; production streams leave this unset
+    /// and poll in registration order.
+    pub fn set_sweep_order(&self, hook: Option<std::sync::Arc<dyn crate::engine::SweepOrder>>) {
+        self.inner.engine.lock().set_sweep_order(hook)
+    }
+
     /// Start a user async task on this stream — `MPIX_Async_start`.
     ///
     /// Never blocks behind an in-flight progress call: the task is pushed to

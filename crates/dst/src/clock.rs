@@ -1,0 +1,126 @@
+//! Guards over the process-wide virtual clock.
+//!
+//! [`mpfa_obs::clock`]'s virtual-time override is process-global — it has
+//! to be, because every layer (fabric arrivals, detector quiet periods,
+//! drain deadlines) reads the same `wtime()`. But `cargo test` runs many
+//! tests on parallel threads in one binary, so two tests touching the
+//! clock would corrupt each other. These guards serialize access:
+//!
+//! * [`virtual_time`] — take the clock, freeze it at `t0`, and hold it
+//!   until the guard drops (which restores real time);
+//! * [`real_time`] — take the clock *without* freezing it, for tests that
+//!   measure real elapsed time and must not race a virtual-time test in
+//!   the same binary.
+//!
+//! Both block until the clock is free. A test that panicked while holding
+//! the lock poisons nothing: the guards recover the mutex, and the
+//! virtual override is always cleared on re-acquisition.
+
+use std::sync::{Mutex, MutexGuard, OnceLock};
+
+use mpfa_obs::clock;
+
+fn time_lock() -> MutexGuard<'static, ()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    LOCK.get_or_init(|| Mutex::new(()))
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+}
+
+/// Exclusive ownership of the process clock, frozen at a virtual time.
+/// Real time resumes when the guard drops.
+pub struct VirtualClockGuard {
+    _lock: MutexGuard<'static, ()>,
+}
+
+/// Freeze the process clock at `t0` virtual seconds. Blocks until no
+/// other thread holds the clock.
+pub fn virtual_time(t0: f64) -> VirtualClockGuard {
+    let lock = time_lock();
+    // A previous holder that panicked may have left the override set;
+    // reset unconditionally before installing ours.
+    clock::virtual_stop();
+    clock::virtual_start(t0);
+    VirtualClockGuard { _lock: lock }
+}
+
+impl VirtualClockGuard {
+    /// Current virtual time.
+    pub fn now(&self) -> f64 {
+        clock::wtime()
+    }
+
+    /// Advance the clock by `dt >= 0` seconds; returns the new now.
+    pub fn advance(&self, dt: f64) -> f64 {
+        clock::virtual_advance(dt)
+    }
+
+    /// Jump the clock to absolute time `t` (must not move backwards).
+    pub fn set(&self, t: f64) {
+        clock::virtual_set(t)
+    }
+}
+
+impl Drop for VirtualClockGuard {
+    fn drop(&mut self) {
+        clock::virtual_stop();
+    }
+}
+
+/// Exclusive ownership of the process clock, running in real time.
+pub struct RealTimeGuard {
+    _lock: MutexGuard<'static, ()>,
+}
+
+/// Take the clock without freezing it. Use in tests that time real work
+/// (sleeps, wall-clock deadlines) and share a binary with virtual-time
+/// tests. Blocks until no other thread holds the clock.
+pub fn real_time() -> RealTimeGuard {
+    let lock = time_lock();
+    clock::virtual_stop();
+    RealTimeGuard { _lock: lock }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn virtual_guard_freezes_and_restores() {
+        {
+            let clk = virtual_time(10.0);
+            assert_eq!(clk.now(), 10.0);
+            assert_eq!(clk.advance(2.5), 12.5);
+            clk.set(20.0);
+            assert_eq!(mpfa_obs::clock::wtime(), 20.0);
+            assert!(mpfa_obs::clock::virtual_enabled());
+        }
+        assert!(!mpfa_obs::clock::virtual_enabled());
+    }
+
+    #[test]
+    fn real_time_guard_clears_any_override() {
+        let _rt = real_time();
+        assert!(!mpfa_obs::clock::virtual_enabled());
+        let t0 = mpfa_obs::clock::wtime();
+        let t1 = mpfa_obs::clock::wtime();
+        assert!(t1 >= t0);
+    }
+
+    #[test]
+    fn guards_serialize_across_threads() {
+        let clk = virtual_time(100.0);
+        let handle = std::thread::spawn(|| {
+            // Blocks until the main thread's guard drops, then sees a
+            // clean real-time clock.
+            let _rt = real_time();
+            mpfa_obs::clock::virtual_enabled()
+        });
+        // Give the spawned thread a chance to contend on the lock while
+        // we still hold it and virtual time is active.
+        std::thread::sleep(std::time::Duration::from_millis(5));
+        assert_eq!(clk.now(), 100.0);
+        drop(clk);
+        assert!(!handle.join().unwrap());
+    }
+}

@@ -1,0 +1,197 @@
+//! Schedule fuzzing: run one scenario under many seeds, report the
+//! first seed that breaks it, replay it on demand.
+//!
+//! [`check`] is the test-facing entry point. By default it derives a
+//! deterministic seed list from the scenario name and explores them all;
+//! two environment variables change that:
+//!
+//! * `MPFA_DST_SEED=<u64>` — replay exactly one seed (what you set after
+//!   a failure to debug it);
+//! * `MPFA_DST_SEEDS=<n>` — override how many seeds to explore (CI
+//!   nightlies crank this up).
+//!
+//! On failure the seed, panic message, and full schedule trace are
+//! written to `target/dst-failures/<name>-<seed>.log` (CI uploads these
+//! as artifacts) and the panic re-raised with replay instructions.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::Ordering;
+
+use crate::rng::SimRng;
+use crate::sim::{Sim, SimConfig};
+
+/// One broken schedule: everything needed to reproduce and debug it.
+#[derive(Debug, Clone)]
+pub struct Failure {
+    /// The seed that produced the failing schedule.
+    pub seed: u64,
+    /// The scenario's panic message.
+    pub message: String,
+    /// The full schedule trace up to the failure.
+    pub trace: String,
+}
+
+/// A deterministic list of `n` seeds derived from `base`.
+pub fn seeds(base: u64, n: usize) -> Vec<u64> {
+    let mut rng = SimRng::new(base);
+    (0..n).map(|_| rng.next_u64()).collect()
+}
+
+/// FNV-1a of a scenario name — the per-scenario seed-list base, so
+/// different scenarios explore different schedule regions by default.
+pub fn name_base(name: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Run `scenario` once per seed, stopping at the first failure. Returns
+/// the number of schedules explored on success. Each explored schedule
+/// (passing or failing) bumps the `dst_schedules_explored` counter.
+pub fn explore(
+    cfg: &SimConfig,
+    seed_list: impl IntoIterator<Item = u64>,
+    scenario: impl Fn(&mut Sim),
+) -> Result<u64, Failure> {
+    let mut explored = 0u64;
+    for seed in seed_list {
+        let mut sim = Sim::new(cfg.with_seed(seed));
+        let outcome = catch_unwind(AssertUnwindSafe(|| scenario(&mut sim)));
+        explored += 1;
+        mpfa_obs::global_counters()
+            .dst_schedules_explored
+            .fetch_add(1, Ordering::Relaxed);
+        match outcome {
+            Ok(()) => {
+                sim.shutdown();
+            }
+            Err(payload) => {
+                return Err(Failure {
+                    seed,
+                    message: panic_message(payload),
+                    trace: sim.trace_string(),
+                });
+            }
+        }
+    }
+    Ok(explored)
+}
+
+/// The replay seed from `MPFA_DST_SEED`, if set.
+pub fn replay_seed() -> Option<u64> {
+    std::env::var("MPFA_DST_SEED").ok()?.trim().parse().ok()
+}
+
+fn seed_count(default_seeds: usize) -> usize {
+    std::env::var("MPFA_DST_SEEDS")
+        .ok()
+        .and_then(|v| v.trim().parse().ok())
+        .unwrap_or(default_seeds)
+}
+
+/// Test entry point: explore `default_seeds` schedules of `scenario`
+/// (honoring `MPFA_DST_SEED` / `MPFA_DST_SEEDS`), panicking with replay
+/// instructions — and writing a `target/dst-failures` artifact — on the
+/// first failing schedule. Returns the number of schedules explored.
+pub fn check(
+    name: &str,
+    cfg: &SimConfig,
+    default_seeds: usize,
+    scenario: impl Fn(&mut Sim),
+) -> u64 {
+    let seed_list = match replay_seed() {
+        Some(seed) => vec![seed],
+        None => seeds(name_base(name), seed_count(default_seeds)),
+    };
+    match explore(cfg, seed_list, scenario) {
+        Ok(explored) => explored,
+        Err(failure) => {
+            let artifact = write_artifact(name, &failure);
+            panic!(
+                "dst scenario '{name}' failed under seed {seed}\n\
+                 panic: {message}\n\
+                 replay: MPFA_DST_SEED={seed} cargo test {name}\n\
+                 trace artifact: {artifact}\n\n{trace}",
+                seed = failure.seed,
+                message = failure.message,
+                trace = failure.trace,
+            );
+        }
+    }
+}
+
+/// Best-effort failure artifact for CI upload; returns its path (or a
+/// note that writing failed).
+fn write_artifact(name: &str, failure: &Failure) -> String {
+    let dir = std::env::var("MPFA_DST_ARTIFACT_DIR")
+        .unwrap_or_else(|_| "target/dst-failures".to_string());
+    let path = format!("{dir}/{name}-{seed}.log", seed = failure.seed);
+    let body = format!(
+        "scenario: {name}\nseed: {seed}\npanic: {message}\n\n{trace}",
+        seed = failure.seed,
+        message = failure.message,
+        trace = failure.trace,
+    );
+    match std::fs::create_dir_all(&dir).and_then(|()| std::fs::write(&path, body)) {
+        Ok(()) => path,
+        Err(e) => format!("(unwritable: {e})"),
+    }
+}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seed_lists_are_deterministic_and_name_scoped() {
+        assert_eq!(seeds(1, 8), seeds(1, 8));
+        assert_ne!(seeds(1, 8), seeds(2, 8));
+        assert_ne!(name_base("a"), name_base("b"));
+        assert_eq!(seeds(name_base("x"), 4), seeds(name_base("x"), 4));
+    }
+
+    #[test]
+    fn explore_counts_passing_schedules() {
+        let before = mpfa_obs::global_counters()
+            .dst_schedules_explored
+            .load(Ordering::Relaxed);
+        let cfg = SimConfig::ranks(1);
+        let explored = explore(&cfg, seeds(42, 3), |sim| {
+            sim.run_steps(8);
+        })
+        .expect("trivial scenario must pass");
+        assert_eq!(explored, 3);
+        let after = mpfa_obs::global_counters()
+            .dst_schedules_explored
+            .load(Ordering::Relaxed);
+        assert!(after >= before + 3);
+    }
+
+    #[test]
+    fn explore_reports_the_failing_seed_with_trace() {
+        let cfg = SimConfig::ranks(1);
+        let list = seeds(7, 5);
+        let bad = list[2];
+        let failure = explore(&cfg, list.clone(), |sim| {
+            sim.run_steps(4);
+            assert_ne!(sim.seed(), bad, "planted failure");
+        })
+        .expect_err("seed {bad} must fail");
+        assert_eq!(failure.seed, bad);
+        assert!(failure.message.contains("planted failure"));
+        assert!(failure.trace.starts_with(&format!("dst trace seed={bad}")));
+    }
+}

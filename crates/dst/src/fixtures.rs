@@ -1,0 +1,135 @@
+//! Canned scenarios: harness self-tests and planted bugs.
+//!
+//! Two kinds live here:
+//!
+//! * **invariant fixtures** ([`pingpong`], [`tagged_pair_fifo`]) — pass
+//!   under *every* legal schedule; run them under many seeds to check
+//!   the runtime, and to check the harness produces legal schedules;
+//! * **planted bugs** ([`planted_wildcard_order_bug`]) — deliberately
+//!   wrong assertions that only a schedule-dependent message ordering
+//!   exposes. The explorer must find a breaking seed quickly; that is
+//!   the acceptance test for the whole DST subsystem.
+
+use crate::sim::Sim;
+
+/// Nonblocking two-rank ping-pong; must hold under every schedule.
+pub fn pingpong(sim: &mut Sim) {
+    let comms = sim.world_comms();
+    let recv0 = comms[0].irecv::<u32>(1, 1, 2).unwrap();
+    let recv1 = comms[1].irecv::<u32>(1, 0, 1).unwrap();
+    let ping = comms[0].isend(&[7u32], 1, 1).unwrap();
+    let r1 = recv1.request();
+    assert!(
+        sim.run_until(|| ping.is_complete() && r1.is_complete()),
+        "ping never landed"
+    );
+    let (data, st) = recv1.take();
+    assert_eq!((data, st.source, st.tag), (vec![7], 0, 1));
+
+    let pong = comms[1].isend(&[8u32], 0, 2).unwrap();
+    let r0 = recv0.request();
+    assert!(
+        sim.run_until(|| pong.is_complete() && r0.is_complete()),
+        "pong never landed"
+    );
+    let (data, st) = recv0.take();
+    assert_eq!((data, st.source, st.tag), (vec![8], 1, 2));
+}
+
+/// MPI non-overtaking: two same-`(src, dst, tag)` sends must match two
+/// posted receives in order, under every schedule the controller can
+/// produce — the delivery hook may delay packets but can never break
+/// per-channel FIFO.
+pub fn tagged_pair_fifo(sim: &mut Sim) {
+    let comms = sim.world_comms();
+    let first = comms[1].irecv::<u64>(1, 0, 9).unwrap();
+    let second = comms[1].irecv::<u64>(1, 0, 9).unwrap();
+    let s1 = comms[0].isend(&[111u64], 1, 9).unwrap();
+    let s2 = comms[0].isend(&[222u64], 1, 9).unwrap();
+    let (r1, r2) = (first.request(), second.request());
+    assert!(
+        sim.run_until(|| s1.is_complete()
+            && s2.is_complete()
+            && r1.is_complete()
+            && r2.is_complete()),
+        "fifo pair never completed"
+    );
+    assert_eq!(first.take().0, vec![111], "same-channel sends overtook");
+    assert_eq!(second.take().0, vec![222]);
+}
+
+/// **Deliberately buggy.** Rank 0 posts one `ANY_SOURCE` receive while
+/// ranks 1 and 2 both send — then asserts the message came from rank 1.
+/// MPI promises no such thing: whichever packet the schedule delivers
+/// first matches. A correct explorer finds a breaking seed within a
+/// few dozen schedules; a harness that *can't* break this is not
+/// actually exploring orderings.
+pub fn planted_wildcard_order_bug(sim: &mut Sim) {
+    let comms = sim.world_comms();
+    let recv = comms[0].irecv::<u32>(1, mpfa_mpi::ANY_SOURCE, 4).unwrap();
+    let from1 = comms[1].isend(&[1u32], 0, 4).unwrap();
+    let from2 = comms[2].isend(&[2u32], 0, 4).unwrap();
+    let r = recv.request();
+    assert!(
+        sim.run_until(|| r.is_complete() && from1.is_complete() && from2.is_complete()),
+        "wildcard recv never completed"
+    );
+    let (_, st) = recv.take();
+    // The planted bug: baking in one arrival order.
+    assert_eq!(st.source, 1, "wildcard recv matched rank {}", st.source);
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::explore::{check, explore, seeds, Failure};
+    use crate::sim::SimConfig;
+
+    #[test]
+    fn pingpong_holds_under_many_schedules() {
+        let explored = check(
+            "fixture_pingpong",
+            &SimConfig::ranks(2),
+            16,
+            super::pingpong,
+        );
+        assert!(explored >= 1);
+    }
+
+    #[test]
+    fn fifo_pair_holds_under_many_schedules() {
+        check(
+            "fixture_tagged_pair_fifo",
+            &SimConfig::ranks(2),
+            16,
+            super::tagged_pair_fifo,
+        );
+    }
+
+    /// The subsystem's acceptance test: the planted ordering bug must be
+    /// caught within 64 explored seeds, and the failure must carry the
+    /// seed + trace needed to replay it.
+    #[test]
+    fn planted_ordering_bug_is_caught_within_64_seeds() {
+        let cfg = SimConfig::ranks(3);
+        let Failure {
+            seed,
+            message,
+            trace,
+        } = explore(
+            &cfg,
+            seeds(crate::explore::name_base("planted_wildcard_order_bug"), 64),
+            super::planted_wildcard_order_bug,
+        )
+        .expect_err("the planted bug survived 64 schedules — the explorer is not exploring");
+        assert!(
+            message.contains("wildcard recv matched rank 2"),
+            "unexpected failure mode: {message}"
+        );
+        assert!(trace.starts_with(&format!("dst trace seed={seed}")));
+        // The replay contract: the same seed fails the same way.
+        let replay = explore(&cfg, [seed], super::planted_wildcard_order_bug)
+            .expect_err("failing seed must fail on replay");
+        assert_eq!(replay.seed, seed);
+        assert_eq!(replay.message, message);
+    }
+}

@@ -1,0 +1,41 @@
+//! # mpfa-dst — deterministic simulation testing
+//!
+//! FoundationDB-style simulation testing for the mpfa runtime: a whole
+//! multi-rank MPI run — task poll orders, packet arrivals, failure
+//! detections, chaos kills — becomes a pure function of a `u64` seed,
+//! under a frozen virtual clock, on a single thread.
+//!
+//! The pieces:
+//!
+//! * [`rng::SimRng`] — the only randomness source (seeded splitmix64);
+//! * [`clock`] — guards over the process-wide virtual clock
+//!   ([`clock::virtual_time`] / [`clock::real_time`]);
+//! * [`schedule::Schedule`] — the controller installed into the
+//!   production hooks ([`mpfa_core::SweepOrder`],
+//!   [`mpfa_fabric::DeliveryHook`]) that owns every nondeterminism
+//!   point and records each decision in a [`trace::Trace`];
+//! * [`sim::Sim`] — the cooperative runner: one schedule step picks a
+//!   rank to progress, advances virtual time, or injects a detector
+//!   tick;
+//! * [`explore`] — seed fuzzing with `MPFA_DST_SEED` replay and CI
+//!   failure artifacts;
+//! * [`fixtures`] — invariant scenarios plus a planted ordering bug the
+//!   explorer must catch (the harness's own acceptance test).
+//!
+//! See `docs/TESTING.md` for the workflow and `tests/conformance/` for
+//! the MPI conformance suite built on this harness.
+
+pub mod clock;
+pub mod explore;
+pub mod fixtures;
+pub mod rng;
+pub mod schedule;
+pub mod sim;
+pub mod trace;
+
+pub use clock::{real_time, virtual_time, RealTimeGuard, VirtualClockGuard};
+pub use explore::{check, explore, name_base, replay_seed, seeds, Failure};
+pub use rng::SimRng;
+pub use schedule::{Schedule, ScheduleCfg};
+pub use sim::{Sim, SimConfig};
+pub use trace::{Action, Trace, TraceStep};

@@ -1,0 +1,348 @@
+//! The cooperative multi-rank simulation runner.
+//!
+//! A [`Sim`] owns an in-process MPI world under a frozen virtual clock
+//! and drives it one *schedule step* at a time. Each step the seeded
+//! action generator picks one of:
+//!
+//! * **progress** — one rank's default stream runs one sweep (the
+//!   schedule controller permutes its task poll order);
+//! * **advance** — virtual time moves forward by a randomized quantum,
+//!   letting in-flight packets arrive and timeouts fire;
+//! * **detector tick** — one rank's failure detector runs one injected
+//!   detection pass (only when resilience is enabled).
+//!
+//! Because the clock is virtual and the only thread is the caller's, the
+//! run is a pure function of [`SimConfig::seed`]: replaying a seed
+//! reproduces every poll order, packet arrival, and failure detection,
+//! byte-for-byte in the trace.
+//!
+//! **Scenarios must stay nonblocking.** All ranks run on the caller's
+//! thread, so `wait()`/`recv()` style blocking calls would spin forever
+//! waiting for peers that only make progress when *this* loop drives
+//! them. Use `isend`/`irecv` + `is_complete`/`take`, collective futures,
+//! and [`Sim::run_until`].
+
+use std::sync::Arc;
+
+use mpfa_mpi::{Comm, DetectorConfig, Proc, Resilience, World, WorldConfig};
+
+use crate::clock::{virtual_time, VirtualClockGuard};
+use crate::rng::SimRng;
+use crate::schedule::{Schedule, ScheduleCfg};
+use crate::trace::Action;
+
+/// Everything that defines one simulated world + schedule.
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// World size.
+    pub ranks: usize,
+    /// The seed; the entire run derives from it.
+    pub seed: u64,
+    /// Schedule-step budget for [`Sim::run_until`] (a liveness backstop,
+    /// not a tuning knob — runs that hit it count as failures).
+    pub max_steps: u64,
+    /// Base duration of one **advance** step, seconds; actual advances
+    /// are uniform in `[0.5, 1.5)` quanta.
+    pub time_quantum: f64,
+    /// One-way fabric latency, seconds (applies intra- and inter-node).
+    pub latency: f64,
+    /// Enable the ULFM resilience stack on every rank with this detector
+    /// configuration (required for [`Sim::kill_at`] scenarios).
+    pub resilience: Option<DetectorConfig>,
+    /// Perturbation knobs for the schedule controller.
+    pub schedule: ScheduleCfg,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            ranks: 2,
+            seed: 0,
+            max_steps: 100_000,
+            time_quantum: 1e-6,
+            latency: 1e-6,
+            resilience: None,
+            schedule: ScheduleCfg::default(),
+        }
+    }
+}
+
+impl SimConfig {
+    /// A default config over `ranks` ranks.
+    pub fn ranks(ranks: usize) -> SimConfig {
+        SimConfig {
+            ranks,
+            ..SimConfig::default()
+        }
+    }
+
+    /// The same config with a different seed (what the explorer uses to
+    /// fan one scenario out over many schedules).
+    pub fn with_seed(&self, seed: u64) -> SimConfig {
+        SimConfig {
+            seed,
+            ..self.clone()
+        }
+    }
+}
+
+/// One seeded, virtual-time, cooperative multi-rank simulation.
+pub struct Sim {
+    cfg: SimConfig,
+    schedule: Arc<Schedule>,
+    procs: Vec<Proc>,
+    resil: Vec<Arc<Resilience>>,
+    actions: SimRng,
+    steps: u64,
+    // Declared last: dropped after the world, so teardown of everything
+    // above happens under the still-held clock lock.
+    clock: VirtualClockGuard,
+}
+
+impl Sim {
+    /// Build the world and freeze the process clock at t=0. Blocks until
+    /// no other test holds the clock (see [`crate::clock`]).
+    pub fn new(cfg: SimConfig) -> Sim {
+        assert!(cfg.ranks >= 1, "a world needs at least one rank");
+        assert!(cfg.time_quantum > 0.0, "time must be able to move");
+        let clock = virtual_time(0.0);
+
+        let mut master = SimRng::new(cfg.seed);
+        let schedule = Arc::new(Schedule::with_rng(cfg.seed, cfg.schedule, master.fork()));
+        let actions = master.fork();
+
+        let mut wc = WorldConfig::instant(cfg.ranks);
+        wc.inter_latency = cfg.latency;
+        wc.intra_latency = cfg.latency;
+        let procs = World::init(wc);
+
+        // Resilience must exist before any communicator is created, or
+        // the comms won't observe failures (see Proc::enable_resilience).
+        let resil: Vec<Arc<Resilience>> = match cfg.resilience {
+            Some(dc) => procs.iter().map(|p| p.enable_resilience(dc)).collect(),
+            None => Vec::new(),
+        };
+
+        if let Some(fabric) = procs[0].world().fabric() {
+            fabric.set_delivery_hook(Some(schedule.clone()));
+        }
+        for p in &procs {
+            schedule.register_stream(p.default_stream().id(), p.rank());
+            p.default_stream().set_sweep_order(Some(schedule.clone()));
+        }
+
+        Sim {
+            cfg,
+            schedule,
+            procs,
+            resil,
+            actions,
+            steps: 0,
+            clock,
+        }
+    }
+
+    /// The generating seed.
+    pub fn seed(&self) -> u64 {
+        self.cfg.seed
+    }
+
+    /// The per-rank processes.
+    pub fn procs(&self) -> &[Proc] {
+        &self.procs
+    }
+
+    /// One rank's process handle.
+    pub fn proc(&self, rank: usize) -> &Proc {
+        &self.procs[rank]
+    }
+
+    /// World communicators for every rank, in rank order.
+    pub fn world_comms(&self) -> Vec<Comm> {
+        self.procs.iter().map(|p| p.world_comm()).collect()
+    }
+
+    /// This rank's resilience handle (panics unless
+    /// [`SimConfig::resilience`] was set).
+    pub fn resilience(&self, rank: usize) -> &Arc<Resilience> {
+        &self.resil[rank]
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> f64 {
+        self.clock.now()
+    }
+
+    /// Schedule steps taken so far.
+    pub fn steps(&self) -> u64 {
+        self.steps
+    }
+
+    /// Run one schedule step: draw an action, record it, execute it.
+    pub fn step(&mut self) {
+        self.steps += 1;
+        let ranks = self.cfg.ranks;
+        // Choice space: progress(rank) × ranks, advance, and — with
+        // resilience on — detector-tick(rank) × ranks.
+        let detector_ticks = if self.resil.is_empty() { 0 } else { ranks };
+        let choice = self.actions.usize_below(ranks + 1 + detector_ticks);
+        if choice < ranks {
+            self.schedule.record(Action::Progress { rank: choice });
+            self.procs[choice].default_stream().progress();
+        } else if choice == ranks {
+            let dt = self.cfg.time_quantum * (0.5 + self.actions.f64());
+            self.schedule.record(Action::Advance { dt });
+            self.clock.advance(dt);
+        } else {
+            let rank = choice - ranks - 1;
+            self.schedule.record(Action::DetectorTick { rank });
+            let transport = self.procs[rank].world().rank_transport(rank);
+            self.resil[rank].detector().tick(Some(transport.as_ref()));
+        }
+    }
+
+    /// Step until `cond` holds. Returns false if the
+    /// [`SimConfig::max_steps`] budget ran out first (treat that as the
+    /// scenario hanging under this schedule).
+    pub fn run_until(&mut self, mut cond: impl FnMut() -> bool) -> bool {
+        while !cond() {
+            if self.steps >= self.cfg.max_steps {
+                return false;
+            }
+            self.step();
+        }
+        true
+    }
+
+    /// Take exactly `n` schedule steps.
+    pub fn run_steps(&mut self, n: u64) {
+        for _ in 0..n {
+            self.step();
+        }
+    }
+
+    /// Schedule a chaos kill of `victim` at virtual time `at`. Requires
+    /// resilience to be useful (the kill itself needs only the world).
+    pub fn kill_at(&mut self, victim: usize, at: f64) -> bool {
+        let ok = self.procs[0].world().chaos_kill_at(victim, at);
+        if ok {
+            self.schedule.record(Action::KillAt { victim, at });
+        }
+        ok
+    }
+
+    /// Append a scenario annotation to the trace.
+    pub fn note(&self, text: impl Into<String>) {
+        self.schedule.record(Action::Note { text: text.into() });
+    }
+
+    /// The determinism artifact: the schedule trace rendered as a
+    /// string. Same seed ⇒ same bytes.
+    pub fn trace_string(&self) -> String {
+        self.schedule.trace_string()
+    }
+
+    /// Orderly teardown: stop the resilience stacks, then co-operatively
+    /// drain every rank's default stream, advancing virtual time so
+    /// in-flight work can land. Returns true if everything drained
+    /// within the step budget.
+    pub fn shutdown(&mut self) -> bool {
+        for r in &self.resil {
+            r.shutdown();
+        }
+        let ranks = self.cfg.ranks;
+        for _ in 0..self.cfg.max_steps {
+            let pending: usize = self
+                .procs
+                .iter()
+                .map(|p| p.default_stream().pending_tasks())
+                .sum();
+            if pending == 0 {
+                return true;
+            }
+            for r in 0..ranks {
+                self.procs[r].default_stream().progress();
+            }
+            self.clock.advance(self.cfg.time_quantum);
+        }
+        self.procs
+            .iter()
+            .all(|p| p.default_stream().pending_tasks() == 0)
+    }
+}
+
+impl Drop for Sim {
+    fn drop(&mut self) {
+        // Uninstall the hooks so the schedule's rng stops being consumed
+        // by any straggler teardown progress, and the Arc cycles clear.
+        if let Some(fabric) = self.procs[0].world().fabric() {
+            fabric.set_delivery_hook(None);
+        }
+        for p in &self.procs {
+            p.default_stream().set_sweep_order(None);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_rank_world_steps_and_shuts_down() {
+        let mut sim = Sim::new(SimConfig::ranks(1));
+        sim.run_steps(16);
+        assert!(sim.now() > 0.0 || sim.steps() == 16);
+        assert!(sim.shutdown());
+    }
+
+    #[test]
+    fn nonblocking_pingpong_completes_under_simulation() {
+        let mut sim = Sim::new(SimConfig::ranks(2));
+        let comms = sim.world_comms();
+        let recv = comms[1].irecv::<u64>(4, 0, 7).unwrap();
+        let send = comms[0].isend(&[1u64, 2, 3, 4], 1, 7).unwrap();
+        let req = recv.request();
+        assert!(sim.run_until(|| send.is_complete() && req.is_complete()));
+        let (data, status) = recv.take();
+        assert_eq!(data, vec![1, 2, 3, 4]);
+        assert_eq!(status.source, 0);
+        assert_eq!(status.tag, 7);
+        assert!(sim.shutdown());
+    }
+
+    #[test]
+    fn virtual_time_only_moves_when_the_schedule_says() {
+        let mut sim = Sim::new(SimConfig::ranks(2));
+        let t0 = sim.now();
+        assert_eq!(t0, 0.0);
+        sim.run_steps(64);
+        let t1 = sim.now();
+        // Only advance steps move the clock, and they move it forward.
+        assert!(t1 >= t0);
+        assert!(t1 < 64.0 * 1.5 * sim.cfg.time_quantum + f64::EPSILON);
+    }
+
+    #[test]
+    fn run_until_gives_up_at_max_steps() {
+        let mut sim = Sim::new(SimConfig {
+            max_steps: 50,
+            ..SimConfig::ranks(1)
+        });
+        assert!(!sim.run_until(|| false));
+        assert_eq!(sim.steps(), 50);
+    }
+
+    #[test]
+    fn killed_rank_is_detected_via_injected_ticks() {
+        let mut sim = Sim::new(SimConfig {
+            resilience: Some(DetectorConfig { quiet_period: 1e9 }),
+            ..SimConfig::ranks(3)
+        });
+        assert!(sim.kill_at(2, 5e-6));
+        let detector = sim.resilience(0).detector().clone();
+        assert!(sim.run_until(|| detector.is_failed(2)));
+        assert!(detector.epoch() >= 1);
+        sim.shutdown();
+    }
+}

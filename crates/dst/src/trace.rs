@@ -1,0 +1,217 @@
+//! The step-by-step record of one simulated run.
+//!
+//! Every schedule decision the controller makes — which rank progresses,
+//! how far time advances, how a packet was delayed, what poll order a
+//! sweep used — is appended here. The rendered trace is the determinism
+//! contract: the same seed must produce a byte-identical string, and a
+//! failing seed's trace is the artifact you diff against a passing one.
+//!
+//! Steps are also mirrored into the observability event rings as
+//! [`mpfa_obs::EventKind::DstStep`] (when the `obs` feature is on), so a
+//! Chrome-trace export interleaves schedule decisions with the runtime
+//! events they caused.
+
+use std::fmt::Write as _;
+
+use mpfa_obs::EventKind;
+
+/// One schedule decision.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Action {
+    /// A rank's default stream ran one progress sweep.
+    Progress { rank: usize },
+    /// Virtual time advanced by `dt` seconds.
+    Advance { dt: f64 },
+    /// A rank's failure detector ran one injected detection pass.
+    DetectorTick { rank: usize },
+    /// A chaos kill of `victim` was scheduled for virtual time `at`.
+    KillAt { victim: usize, at: f64 },
+    /// The delivery hook delayed packet `seq` on the `src → dst` channel
+    /// by `delay` seconds past its natural arrival.
+    Deliver {
+        src: usize,
+        dst: usize,
+        seq: u64,
+        delay: f64,
+    },
+    /// A sweep polled `order.len()` user tasks in this permuted order.
+    SweepOrder { rank: usize, order: Vec<usize> },
+    /// Free-form scenario annotation.
+    Note { text: String },
+}
+
+impl Action {
+    /// Compact `(code, subject)` encoding for the obs event mirror.
+    fn encode(&self) -> (u8, u32) {
+        match self {
+            Action::Progress { rank } => (1, *rank as u32),
+            Action::Advance { .. } => (2, 0),
+            Action::DetectorTick { rank } => (3, *rank as u32),
+            Action::KillAt { victim, .. } => (4, *victim as u32),
+            Action::Deliver { src, dst, .. } => (5, (*src as u32) << 16 | (*dst as u32)),
+            Action::SweepOrder { rank, .. } => (6, *rank as u32),
+            Action::Note { .. } => (7, 0),
+        }
+    }
+}
+
+/// One line of the trace: a schedule decision at a virtual time.
+#[derive(Debug, Clone)]
+pub struct TraceStep {
+    /// Ordinal of this decision within the run, from 0.
+    pub step: u32,
+    /// Virtual time at which the decision was made.
+    pub t: f64,
+    /// The decision.
+    pub action: Action,
+}
+
+/// The full record of one seeded run.
+#[derive(Debug, Clone)]
+pub struct Trace {
+    /// The seed that generated this schedule.
+    pub seed: u64,
+    /// Decisions in the order they were made.
+    pub steps: Vec<TraceStep>,
+}
+
+impl Trace {
+    /// An empty trace for `seed`.
+    pub fn new(seed: u64) -> Trace {
+        Trace {
+            seed,
+            steps: Vec::new(),
+        }
+    }
+
+    /// Append a decision at virtual time `t`, mirroring it into the obs
+    /// event ring.
+    pub fn push(&mut self, t: f64, action: Action) {
+        let step = self.steps.len() as u32;
+        let (code, subject) = action.encode();
+        let seed = self.seed;
+        mpfa_obs::record_at(t, || EventKind::DstStep {
+            seed,
+            step,
+            action: code,
+            subject,
+        });
+        self.steps.push(TraceStep { step, t, action });
+    }
+
+    /// Render the trace as a deterministic string: same steps, same
+    /// bytes. Times print with nine fractional digits (nanosecond
+    /// resolution at simulation scale).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "dst trace seed={} steps={}",
+            self.seed,
+            self.steps.len()
+        );
+        for s in &self.steps {
+            let _ = write!(out, "  [{:>5}] t={:<14.9} ", s.step, s.t);
+            match &s.action {
+                Action::Progress { rank } => {
+                    let _ = writeln!(out, "progress rank={rank}");
+                }
+                Action::Advance { dt } => {
+                    let _ = writeln!(out, "advance dt={dt:.9}");
+                }
+                Action::DetectorTick { rank } => {
+                    let _ = writeln!(out, "detector-tick rank={rank}");
+                }
+                Action::KillAt { victim, at } => {
+                    let _ = writeln!(out, "kill victim={victim} at={at:.9}");
+                }
+                Action::Deliver {
+                    src,
+                    dst,
+                    seq,
+                    delay,
+                } => {
+                    let _ = writeln!(out, "deliver {src}->{dst} seq={seq} delay={delay:.9}");
+                }
+                Action::SweepOrder { rank, order } => {
+                    let _ = writeln!(out, "sweep-order rank={rank} order={order:?}");
+                }
+                Action::Note { text } => {
+                    let _ = writeln!(out, "note {text}");
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_is_deterministic_and_ordered() {
+        let build = || {
+            let mut t = Trace::new(99);
+            t.push(0.0, Action::Progress { rank: 0 });
+            t.push(0.0, Action::Advance { dt: 1e-6 });
+            t.push(
+                1e-6,
+                Action::Deliver {
+                    src: 1,
+                    dst: 0,
+                    seq: 7,
+                    delay: 2.5e-7,
+                },
+            );
+            t.push(
+                1e-6,
+                Action::SweepOrder {
+                    rank: 2,
+                    order: vec![2, 0, 1],
+                },
+            );
+            t.push(
+                1e-6,
+                Action::Note {
+                    text: "checkpoint".into(),
+                },
+            );
+            t
+        };
+        let a = build().render();
+        let b = build().render();
+        assert_eq!(a, b);
+        assert!(a.starts_with("dst trace seed=99 steps=5\n"));
+        assert!(a.contains("deliver 1->0 seq=7 delay=0.000000250"));
+        assert!(a.contains("sweep-order rank=2 order=[2, 0, 1]"));
+        assert_eq!(build().steps[3].step, 3);
+    }
+
+    #[test]
+    fn action_codes_are_distinct() {
+        let actions = [
+            Action::Progress { rank: 1 },
+            Action::Advance { dt: 0.5 },
+            Action::DetectorTick { rank: 1 },
+            Action::KillAt { victim: 1, at: 2.0 },
+            Action::Deliver {
+                src: 0,
+                dst: 1,
+                seq: 0,
+                delay: 0.0,
+            },
+            Action::SweepOrder {
+                rank: 0,
+                order: vec![],
+            },
+            Action::Note {
+                text: String::new(),
+            },
+        ];
+        let mut codes: Vec<u8> = actions.iter().map(|a| a.encode().0).collect();
+        codes.sort_unstable();
+        codes.dedup();
+        assert_eq!(codes.len(), actions.len());
+    }
+}

@@ -102,6 +102,12 @@ impl<M: Send> Endpoint<M> {
         self.fabric.config().same_node(self.rank, dst)
     }
 
+    /// Install a [`crate::net::DeliveryHook`] on the owning fabric (all
+    /// endpoints share it — the fabric's delivery schedule is global).
+    pub fn set_delivery_hook(&self, hook: Option<std::sync::Arc<dyn crate::net::DeliveryHook>>) {
+        self.fabric.set_delivery_hook(hook)
+    }
+
     /// Inject a packet to `dst`. `wire_bytes` is the payload size the wire
     /// charges for (headers/control messages pass 0).
     pub fn send(&self, dst: usize, msg: M, wire_bytes: usize) -> TxHandle {

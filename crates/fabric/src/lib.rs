@@ -37,4 +37,4 @@ pub mod net;
 pub use config::FabricConfig;
 pub use endpoint::{Endpoint, TxHandle};
 pub use envelope::Envelope;
-pub use net::{Fabric, FabricStats, Path};
+pub use net::{DeliveryHook, Fabric, FabricStats, Path};

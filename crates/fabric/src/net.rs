@@ -2,7 +2,7 @@
 //! per-directed-channel serialization model.
 
 use std::collections::BinaryHeap;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use mpfa_core::sync::Mutex;
@@ -147,6 +147,24 @@ impl<M> RankQueues<M> {
     }
 }
 
+/// Perturbs packet arrival times — the deterministic-simulation hook on
+/// the fabric's delivery schedule.
+///
+/// Installed via [`Fabric::set_delivery_hook`] (production fabrics leave
+/// it unset). The hook sees each packet's computed arrival time *before*
+/// the per-channel FIFO clamp and returns a replacement; whatever it
+/// returns is still clamped so a directed channel never reorders — MPI
+/// non-overtaking survives any hook. Returning a time in the past is
+/// clamped to `now`. Cross-channel reordering (rank A's packet overtaking
+/// rank B's) is exactly the nondeterminism a schedule explorer wants to
+/// fuzz.
+pub trait DeliveryHook: Send + Sync {
+    /// Replacement arrival time for the packet `src -> dst` with fabric
+    /// sequence number `seq`, whose modeled arrival is `arrival` and
+    /// whose send happens at `now`.
+    fn arrival(&self, src: usize, dst: usize, seq: u64, arrival: f64, now: f64) -> f64;
+}
+
 /// Per-directed-channel wire state.
 #[derive(Default)]
 struct Channel {
@@ -166,6 +184,11 @@ pub(crate) struct FabricInner<M> {
     /// This instance's traffic counters (each simulated fabric keeps its
     /// own set; packets are also mirrored into the process-wide registry).
     counters: Counters,
+    /// Fast-out flag for the delivery hook (checked on every send with a
+    /// relaxed load; the Mutex below is touched only when set).
+    has_delivery_hook: AtomicBool,
+    /// Deterministic-simulation arrival perturbation, if installed.
+    delivery_hook: Mutex<Option<Arc<dyn DeliveryHook>>>,
 }
 
 /// A simulated fabric connecting `config.ranks` endpoints. Cheap to clone.
@@ -193,8 +216,20 @@ impl<M: Send> Fabric<M> {
                 config,
                 seq: AtomicU64::new(0),
                 counters: Counters::new(),
+                has_delivery_hook: AtomicBool::new(false),
+                delivery_hook: Mutex::new(None),
             }),
         }
+    }
+
+    /// Install (or with `None`, remove) a [`DeliveryHook`] perturbing
+    /// packet arrival times. Applies to packets sent after the call.
+    pub fn set_delivery_hook(&self, hook: Option<Arc<dyn DeliveryHook>>) {
+        let mut slot = self.inner.delivery_hook.lock();
+        self.inner
+            .has_delivery_hook
+            .store(hook.is_some(), Ordering::Release);
+        *slot = hook;
     }
 
     /// The fabric's configuration.
@@ -262,6 +297,15 @@ impl<M: Send> Fabric<M> {
                 // Deterministic per-packet jitter (hash of the sequence
                 // number), clamped to keep the channel FIFO.
                 arrival += cfg.latency(src, dst) * cfg.jitter * hash01(seq);
+            }
+            if self.inner.has_delivery_hook.load(Ordering::Acquire) {
+                let hook = self.inner.delivery_hook.lock().clone();
+                if let Some(hook) = hook {
+                    // The hook may move the arrival anywhere at-or-after
+                    // `now`; the FIFO clamp below still guarantees the
+                    // directed channel never reorders.
+                    arrival = hook.arrival(src, dst, seq, arrival, now).max(now);
+                }
             }
             arrival = arrival.max(chan.last_arrival);
             chan.last_arrival = arrival;
@@ -531,6 +575,79 @@ mod tests {
         }
         let expect: Vec<u32> = (0..200).collect();
         assert_eq!(got, expect, "jitter broke per-channel FIFO");
+    }
+
+    /// Hook that delays packets from even-numbered sources by a fixed
+    /// amount and delivers the rest as modeled.
+    struct DelayEvens(f64);
+    impl DeliveryHook for DelayEvens {
+        fn arrival(&self, src: usize, _dst: usize, _seq: u64, arrival: f64, now: f64) -> f64 {
+            if src.is_multiple_of(2) {
+                now + self.0
+            } else {
+                arrival
+            }
+        }
+    }
+
+    /// Hostile hook: tries to deliver every packet immediately (which
+    /// would reorder a busy channel if the FIFO clamp did not exist).
+    struct DeliverNow;
+    impl DeliveryHook for DeliverNow {
+        fn arrival(&self, _s: usize, _d: usize, _q: u64, _arrival: f64, now: f64) -> f64 {
+            now
+        }
+    }
+
+    #[test]
+    fn delivery_hook_reorders_across_channels() {
+        let f: Fabric<u32> = Fabric::new(FabricConfig::instant(3));
+        // Warm up lazily allocated paths (obs event ring, lane state) so
+        // the hook's delay window below isn't eaten by first-use costs.
+        f.send(1, 2, 0, 8);
+        while f.poll(2, Path::Net).is_none() {}
+        // Generous delay: the undelayed packet must win even if this
+        // thread is descheduled between send and first poll.
+        f.set_delivery_hook(Some(Arc::new(DelayEvens(20e-3))));
+        f.send(0, 2, 100, 8); // sent first, delayed by the hook
+        f.send(1, 2, 200, 8); // sent second, arrives immediately
+        let mut got = Vec::new();
+        while got.len() < 2 {
+            if let Some(env) = f.poll(2, Path::Net) {
+                got.push(env.msg);
+            }
+        }
+        assert_eq!(got, vec![200, 100], "hook did not reorder across channels");
+    }
+
+    #[test]
+    fn delivery_hook_cannot_break_channel_fifo() {
+        let mut cfg = FabricConfig::instant(2);
+        cfg.inter_latency = 50e-6;
+        cfg.jitter = 1.0;
+        let f: Fabric<u32> = Fabric::new(cfg);
+        f.set_delivery_hook(Some(Arc::new(DeliverNow)));
+        for i in 0..100u32 {
+            f.send(0, 1, i, 64);
+        }
+        let mut got = Vec::new();
+        while got.len() < 100 {
+            if let Some(env) = f.poll(1, Path::Net) {
+                got.push(env.msg);
+            }
+        }
+        let expect: Vec<u32> = (0..100).collect();
+        assert_eq!(got, expect, "delivery hook broke per-channel FIFO");
+    }
+
+    #[test]
+    fn delivery_hook_uninstalls() {
+        let f: Fabric<u32> = Fabric::new(FabricConfig::instant(2));
+        f.set_delivery_hook(Some(Arc::new(DelayEvens(1.0))));
+        f.set_delivery_hook(None);
+        f.send(0, 1, 7, 8); // would hang for 1s if the hook were still on
+        let env = f.poll(1, Path::Net).expect("instant delivery");
+        assert_eq!(env.msg, 7);
     }
 
     #[test]

@@ -432,6 +432,23 @@ impl World {
         self.inner.rank_ports[killer].kill_peer(victim)
     }
 
+    /// Schedule `victim`'s death for process-clock time `at` seconds (in-
+    /// process sim worlds only) — the virtual-time form of
+    /// [`World::chaos_kill`]. Under deterministic simulation the kill
+    /// lands at exactly `at` on the simulated timeline, so the same seed
+    /// replays the same death. Returns false when the world is
+    /// distributed, single-rank, or `victim` is out of range.
+    pub fn chaos_kill_at(&self, victim: usize, at: f64) -> bool {
+        if self.inner.distributed
+            || victim >= self.inner.rank_ports.len()
+            || self.inner.rank_ports.len() < 2
+        {
+            return false;
+        }
+        let killer = (victim + 1) % self.inner.rank_ports.len();
+        self.inner.rank_ports[killer].schedule_kill(victim, at)
+    }
+
     /// The underlying simulated fabric (diagnostics). `None` when the
     /// world runs over a real wire transport.
     pub fn fabric(&self) -> Option<&Fabric<WireMsg>> {

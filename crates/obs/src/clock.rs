@@ -6,6 +6,7 @@
 //! the crate graph, so event timestamps and benchmark timestamps share one
 //! epoch and are directly comparable.
 
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::OnceLock;
 use std::time::Instant;
 
@@ -14,14 +15,75 @@ fn epoch() -> Instant {
     *EPOCH.get_or_init(Instant::now)
 }
 
+/// Whether the process is currently running on virtual time. Checked on
+/// every [`wtime`] call with a relaxed load — a predictable branch on a
+/// cold cacheline, invisible in practice next to `Instant::elapsed`.
+static VIRT_ON: AtomicBool = AtomicBool::new(false);
+/// The virtual now, as `f64::to_bits`. Only meaningful while `VIRT_ON`.
+static VIRT_BITS: AtomicU64 = AtomicU64::new(0);
+
 /// Seconds elapsed since the process-wide epoch, as a monotonic `f64`.
 ///
 /// Equivalent to `MPI_Wtime()`. The epoch is fixed the first time any
 /// `wtime`-family function is called, so differences between two `wtime`
 /// readings in the same process are always meaningful.
+///
+/// Under deterministic simulation ([`virtual_start`]) this instead
+/// returns the virtual now, which advances only when the simulation
+/// explicitly moves it — every timestamp, fabric arrival deadline, and
+/// `wtime`-based timeout in the process then becomes a pure function of
+/// the simulation schedule.
 #[inline]
 pub fn wtime() -> f64 {
+    if VIRT_ON.load(Ordering::Relaxed) {
+        return f64::from_bits(VIRT_BITS.load(Ordering::Acquire));
+    }
     epoch().elapsed().as_secs_f64()
+}
+
+/// Switch the process-wide clock to virtual time, starting at `t0`
+/// seconds. All subsequent [`wtime`] readings (in every crate above obs)
+/// return the virtual now until [`virtual_stop`] is called.
+///
+/// This is process-global state: while one simulation drives virtual
+/// time, real-time measurements elsewhere in the process freeze. Callers
+/// (the `mpfa-dst` harness) serialize behind a process-wide lock so
+/// concurrent `cargo test` threads cannot interleave virtual and real
+/// time; use that harness rather than calling this directly.
+pub fn virtual_start(t0: f64) {
+    VIRT_BITS.store(t0.to_bits(), Ordering::Release);
+    VIRT_ON.store(true, Ordering::Release);
+}
+
+/// Set the virtual now to `t` seconds. Panics if time would move
+/// backwards — the clock must stay monotonic, virtual or not.
+pub fn virtual_set(t: f64) {
+    let prev = f64::from_bits(VIRT_BITS.load(Ordering::Acquire));
+    assert!(
+        t >= prev,
+        "virtual clock must be monotonic: {t} < current {prev}"
+    );
+    VIRT_BITS.store(t.to_bits(), Ordering::Release);
+}
+
+/// Advance the virtual now by `dt` seconds and return the new now.
+/// Panics on negative `dt`.
+pub fn virtual_advance(dt: f64) -> f64 {
+    assert!(dt >= 0.0, "virtual clock cannot advance by {dt}");
+    let now = f64::from_bits(VIRT_BITS.load(Ordering::Acquire)) + dt;
+    VIRT_BITS.store(now.to_bits(), Ordering::Release);
+    now
+}
+
+/// Return the clock to real (monotonic wall) time.
+pub fn virtual_stop() {
+    VIRT_ON.store(false, Ordering::Release);
+}
+
+/// Whether the process clock is currently virtual.
+#[inline]
+pub fn virtual_enabled() -> bool {
+    VIRT_ON.load(Ordering::Relaxed)
 }
 
 /// Resolution of [`wtime`] in seconds (equivalent to `MPI_Wtick`).
@@ -41,9 +103,18 @@ pub fn warmup() {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::Mutex;
+
+    /// Virtual time is process-global, so tests that enable it and tests
+    /// that measure real elapsed time must not overlap.
+    fn time_lock() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: Mutex<()> = Mutex::new(());
+        LOCK.lock().unwrap_or_else(|e| e.into_inner())
+    }
 
     #[test]
     fn monotonic() {
+        let _t = time_lock();
         let a = wtime();
         let b = wtime();
         assert!(b >= a);
@@ -51,10 +122,37 @@ mod tests {
 
     #[test]
     fn advances() {
+        let _t = time_lock();
         let a = wtime();
         std::thread::sleep(std::time::Duration::from_millis(2));
         let b = wtime();
         assert!(b - a >= 0.001, "expected >=1ms elapsed, got {}", b - a);
+    }
+
+    #[test]
+    fn virtual_time_overrides_and_releases_wtime() {
+        let _t = time_lock();
+        virtual_start(100.0);
+        assert!(virtual_enabled());
+        assert_eq!(wtime(), 100.0);
+        assert_eq!(wtime(), 100.0); // frozen until advanced
+        assert_eq!(virtual_advance(0.5), 100.5);
+        assert_eq!(wtime(), 100.5);
+        virtual_set(101.0);
+        assert_eq!(wtime(), 101.0);
+        virtual_stop();
+        assert!(!virtual_enabled());
+        let real = wtime();
+        assert!(real < 100.0, "real clock should resume, got {real}");
+    }
+
+    #[test]
+    fn virtual_set_rejects_backwards_motion() {
+        let _t = time_lock();
+        virtual_start(5.0);
+        let r = std::panic::catch_unwind(|| virtual_set(4.0));
+        virtual_stop();
+        assert!(r.is_err());
     }
 
     #[test]

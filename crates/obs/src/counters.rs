@@ -85,6 +85,9 @@ pub struct Counters {
     pub agree_rounds: AtomicU64,
     /// Failure-detector epoch bumps (each change of the failure set).
     pub detector_epochs: AtomicU64,
+    /// Deterministic-simulation schedules fully explored (one per seed
+    /// run to completion by the `mpfa-dst` explore runner).
+    pub dst_schedules_explored: AtomicU64,
 }
 
 /// Plain-integer copy of a [`Counters`] at a point in time.
@@ -152,6 +155,8 @@ pub struct CounterSnapshot {
     pub agree_rounds: u64,
     /// Failure-detector epoch bumps.
     pub detector_epochs: u64,
+    /// Deterministic-simulation schedules fully explored.
+    pub dst_schedules_explored: u64,
 }
 
 impl Counters {
@@ -261,6 +266,7 @@ impl Counters {
             comms_revoked: self.comms_revoked.load(Ordering::Relaxed),
             agree_rounds: self.agree_rounds.load(Ordering::Relaxed),
             detector_epochs: self.detector_epochs.load(Ordering::Relaxed),
+            dst_schedules_explored: self.dst_schedules_explored.load(Ordering::Relaxed),
         }
     }
 
@@ -296,6 +302,7 @@ impl Counters {
         self.comms_revoked.store(0, Ordering::Relaxed);
         self.agree_rounds.store(0, Ordering::Relaxed);
         self.detector_epochs.store(0, Ordering::Relaxed);
+        self.dst_schedules_explored.store(0, Ordering::Relaxed);
     }
 }
 
@@ -360,11 +367,16 @@ impl std::fmt::Display for CounterSnapshot {
             self.transport_dead_peers,
             self.bootstrap_secs
         )?;
-        write!(
+        writeln!(
             f,
             "resil:    {} ranks failed, {} comms revoked, {} agree ops, \
              {} detector epochs",
             self.ranks_failed, self.comms_revoked, self.agree_rounds, self.detector_epochs
+        )?;
+        write!(
+            f,
+            "dst:      {} schedules explored",
+            self.dst_schedules_explored
         )
     }
 }

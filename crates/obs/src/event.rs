@@ -255,6 +255,20 @@ pub enum EventKind {
         /// Message tag (as its bit pattern).
         tag: i64,
     },
+    /// One step of a deterministic-simulation schedule (the `mpfa-dst`
+    /// trace bridge: the harness mirrors its own trace into the event
+    /// ring so DST steps line up with engine/fabric events on a shared
+    /// timeline).
+    DstStep {
+        /// Schedule seed being explored.
+        seed: u64,
+        /// Step index within the schedule.
+        step: u32,
+        /// Harness-defined action discriminant.
+        action: u8,
+        /// Action subject (rank index, victim rank, ...).
+        subject: u32,
+    },
 }
 
 const TAG_HOOK_REGISTERED: u64 = 1;
@@ -271,6 +285,7 @@ const TAG_RNDV_CTS: u64 = 11;
 const TAG_RNDV_DATA: u64 = 12;
 const TAG_RNDV_DONE: u64 = 13;
 const TAG_UNEXPECTED: u64 = 14;
+const TAG_DST_STEP: u64 = 15;
 
 fn path_bit(p: PathKind) -> u64 {
     match p {
@@ -406,6 +421,17 @@ impl Event {
             } => (TAG_RNDV_DATA, recv_id, offset, bytes as u64),
             EventKind::RndvDone { id, bytes, sender } => (TAG_RNDV_DONE, id, bytes, sender as u64),
             EventKind::UnexpectedMsg { src, tag } => (TAG_UNEXPECTED, src as u64, tag as u64, 0),
+            EventKind::DstStep {
+                seed,
+                step,
+                action,
+                subject,
+            } => (
+                TAG_DST_STEP,
+                seed,
+                (step as u64) | ((action as u64) << 32),
+                subject as u64,
+            ),
         };
         [self.t.to_bits(), tag, a, b, c]
     }
@@ -497,6 +523,12 @@ impl Event {
             TAG_UNEXPECTED => EventKind::UnexpectedMsg {
                 src: a as u32,
                 tag: b as i64,
+            },
+            TAG_DST_STEP => EventKind::DstStep {
+                seed: a,
+                step: (b & 0xffff_ffff) as u32,
+                action: ((b >> 32) & 0xff) as u8,
+                subject: c as u32,
             },
             _ => return None,
         };
@@ -602,6 +634,12 @@ mod tests {
             sender: true,
         });
         roundtrip(EventKind::UnexpectedMsg { src: 3, tag: -1 });
+        roundtrip(EventKind::DstStep {
+            seed: u64::MAX,
+            step: u32::MAX,
+            action: 7,
+            subject: 42,
+        });
     }
 
     #[test]

@@ -271,6 +271,23 @@ fn convert(ev: &Event) -> TraceEvent {
             dur: None,
             args: vec![("src", src.to_string()), ("tag", tag.to_string())],
         },
+        EventKind::DstStep {
+            seed,
+            step,
+            action,
+            subject,
+        } => TraceEvent {
+            name: format!("dst step {step}"),
+            cat: "dst",
+            ph: 'i',
+            ts,
+            dur: None,
+            args: vec![
+                ("seed", seed.to_string()),
+                ("action", action.to_string()),
+                ("subject", subject.to_string()),
+            ],
+        },
     }
 }
 

@@ -127,6 +127,15 @@ impl FailureDetector {
         self.sweep(None::<&dyn Transport<u8>>)
     }
 
+    /// One full detection pass against `transport` — exactly what the
+    /// installed poll task runs each sweep, exposed so a deterministic
+    /// simulation can *inject* detector ticks at schedule-chosen points
+    /// instead of waiting for the stream's own poll cadence. Returns
+    /// true if the failure set grew.
+    pub fn tick<M: Send>(&self, transport: Option<&dyn Transport<M>>) -> bool {
+        self.sweep(transport)
+    }
+
     /// Merge all evidence; true if the failure set grew.
     fn sweep<M: Send>(&self, transport: Option<&dyn Transport<M>>) -> bool {
         let inner = &self.inner;

@@ -184,6 +184,18 @@ pub trait Transport<M: Send>: Send + Sync {
     fn kill_peer(&self, _rank: usize) -> bool {
         false
     }
+
+    /// Chaos hook: schedule `rank` to die when the process clock
+    /// ([`mpfa_core::wtime`]) reaches `at` seconds. Under deterministic
+    /// simulation the clock is virtual, so the kill lands at exactly the
+    /// scheduled instant of the simulated timeline — the same seed
+    /// replays the same death. The kill takes effect lazily: the next
+    /// liveness observation (send / `peer_alive` / `dead_peers`) at or
+    /// after `at` sees the rank dead. Returns false when the backend
+    /// does not support scheduled kills (the default).
+    fn schedule_kill(&self, _rank: usize, _at: f64) -> bool {
+        false
+    }
 }
 
 /// Chaos helper: declare `victim` dead across a whole in-process mesh,
@@ -196,6 +208,19 @@ pub fn mesh_kill<M: Send>(mesh: &[Arc<dyn Transport<M>>], victim: usize) {
             t.kill_peer(victim);
         }
     }
+}
+
+/// Chaos helper: schedule `victim`'s death at process-clock time `at`
+/// on every other rank's transport (see [`Transport::schedule_kill`]).
+/// Returns true if every non-victim transport accepted the schedule.
+pub fn mesh_schedule_kill<M: Send>(mesh: &[Arc<dyn Transport<M>>], victim: usize, at: f64) -> bool {
+    let mut all = true;
+    for (r, t) in mesh.iter().enumerate() {
+        if r != victim {
+            all &= t.schedule_kill(victim, at);
+        }
+    }
+    all
 }
 
 /// Shared handle to a transport object, as stored by the MPI layer.

@@ -12,6 +12,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use mpfa_core::sync::Mutex;
+use mpfa_core::wtime;
 use mpfa_fabric::{Envelope, Fabric, Path, TxHandle};
 
 use crate::{Transport, TransportKind};
@@ -85,6 +86,49 @@ impl<M: Send + 'static> Transport<M> for SimTransport<M> {
 /// whole mesh — each rank's view just excludes itself when counting.
 struct KillBoard {
     dead: Mutex<HashSet<usize>>,
+    /// Kills scheduled for a future process-clock instant, as
+    /// `(f64::to_bits(due), victim)`. Reaped lazily on every liveness
+    /// observation; under virtual time this makes a death land at an
+    /// exact simulated instant, replayable from the schedule seed.
+    scheduled: Mutex<Vec<(u64, usize)>>,
+}
+
+impl KillBoard {
+    /// Move every scheduled kill whose due time has passed into the dead
+    /// set. Returns how many ranks newly died.
+    fn reap(&self, now: f64) -> usize {
+        // Fast path: nothing scheduled (the common case outside chaos
+        // scenarios pays one uncontended lock, no allocation).
+        let due: Vec<usize> = {
+            let mut sched = self.scheduled.lock();
+            if sched.is_empty() {
+                return 0;
+            }
+            let mut due = Vec::new();
+            sched.retain(|&(at_bits, victim)| {
+                if f64::from_bits(at_bits) <= now {
+                    due.push(victim);
+                    false
+                } else {
+                    true
+                }
+            });
+            due
+        };
+        let mut newly = 0;
+        if !due.is_empty() {
+            let mut dead = self.dead.lock();
+            for victim in due {
+                if dead.insert(victim) {
+                    newly += 1;
+                    mpfa_obs::global_counters()
+                        .transport_dead_peers
+                        .fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+        newly
+    }
 }
 
 /// One rank's view of a shared simulated fabric, with a kill switch.
@@ -118,6 +162,7 @@ pub fn sim_rank_views<M: Send + 'static>(
 ) -> Vec<Arc<dyn Transport<M>>> {
     let board = Arc::new(KillBoard {
         dead: Mutex::new(HashSet::new()),
+        scheduled: Mutex::new(Vec::new()),
     });
     (0..ranks)
         .map(|r| {
@@ -142,6 +187,7 @@ impl<M: Send + 'static> Transport<M> for SimRankTransport<M> {
     }
 
     fn send(&self, src_ep: usize, dst_ep: usize, msg: M, wire_bytes: usize) -> TxHandle {
+        self.board.reap(wtime());
         let dst_rank = dst_ep / self.eps_per_rank;
         {
             let dead = self.board.dead.lock();
@@ -162,10 +208,12 @@ impl<M: Send + 'static> Transport<M> for SimRankTransport<M> {
     }
 
     fn peer_alive(&self, rank: usize) -> bool {
+        self.board.reap(wtime());
         rank == self.my_rank || !self.board.dead.lock().contains(&rank)
     }
 
     fn dead_peers(&self) -> usize {
+        self.board.reap(wtime());
         self.board
             .dead
             .lock()
@@ -186,6 +234,20 @@ impl<M: Send + 'static> Transport<M> for SimRankTransport<M> {
             mpfa_obs::global_counters()
                 .transport_dead_peers
                 .fetch_add(1, Ordering::Relaxed);
+        }
+        true
+    }
+
+    fn schedule_kill(&self, rank: usize, at: f64) -> bool {
+        if rank == self.my_rank || rank >= self.ranks() {
+            return false;
+        }
+        // The board is mesh-wide, so one schedule entry serves every
+        // rank's view; don't double-book the same (time, victim).
+        let mut sched = self.board.scheduled.lock();
+        let key = (at.to_bits(), rank);
+        if !sched.contains(&key) {
+            sched.push(key);
         }
         true
     }
@@ -215,6 +277,34 @@ mod tests {
         assert_eq!(out[0].src, 0);
         // Visible through the fabric handle too: same queues.
         assert_eq!(Transport::<u32>::queued(&f, 1, Path::Net), 0);
+    }
+
+    #[test]
+    fn scheduled_kill_fires_when_clock_reaches_it() {
+        let f: Fabric<u8> = Fabric::new(FabricConfig::instant(3));
+        let mesh = sim_rank_views(f, 3, 1);
+        let far_future = wtime() + 3600.0;
+        assert!(crate::mesh_schedule_kill(&mesh, 2, far_future));
+        // Not due yet: everyone still alive, sends still succeed.
+        assert!(mesh[0].peer_alive(2));
+        assert_eq!(mesh[0].dead_peers(), 0);
+        assert!(!mesh[0].send(0, 2, 1, 0).is_failed());
+        // A schedule already in the past is reaped at the next
+        // observation.
+        assert!(crate::mesh_schedule_kill(&mesh, 1, wtime() - 1.0));
+        assert!(!mesh[0].peer_alive(1));
+        assert_eq!(mesh[0].dead_peers(), 1);
+        assert!(mesh[0].send(0, 1, 1, 0).is_failed());
+        // The victim's own view never schedules against itself.
+        assert!(mesh[1].peer_alive(1));
+    }
+
+    #[test]
+    fn schedule_kill_rejects_self_and_out_of_range() {
+        let f: Fabric<u8> = Fabric::new(FabricConfig::instant(2));
+        let mesh = sim_rank_views(f, 2, 1);
+        assert!(!mesh[0].schedule_kill(0, 0.0));
+        assert!(!mesh[0].schedule_kill(7, 0.0));
     }
 
     #[test]

@@ -24,6 +24,10 @@
 //!   running as a progress hook, feeding the ULFM-style error path
 //!   (`RequestError`, `Comm::revoke`/`shrink`/`agree`) in [`mpi`]. See
 //!   `docs/RESILIENCE.md`.
+//! * [`dst`] — deterministic simulation testing: a seeded virtual-time
+//!   scheduler that owns every nondeterminism point (task poll order,
+//!   fabric delivery, detector ticks, chaos kill timing) so a whole
+//!   multi-rank run replays from a `u64` seed. See `docs/TESTING.md`.
 //! * [`baselines`] — the progress strategies the paper argues against:
 //!   global async-progress threads and request-polling loops.
 //! * [`obs`] — progress observability: event tracing (behind the `obs`
@@ -35,6 +39,7 @@
 
 pub use mpfa_baselines as baselines;
 pub use mpfa_core as core;
+pub use mpfa_dst as dst;
 pub use mpfa_fabric as fabric;
 pub use mpfa_interop as interop;
 pub use mpfa_mpi as mpi;

@@ -4,14 +4,19 @@
 //! observed exactly once and the pending count must settle to zero —
 //! regardless of whether a caller swept the engine itself, was absorbed
 //! by the lock holder (flat combining), or bounced off `try_progress`.
+//!
+//! Task deadlines run on the DST **virtual clock** (`mpfa::dst::
+//! virtual_time`): the main thread advances time deterministically while
+//! the workers hammer the lock, so a slow CI machine changes nothing —
+//! there is no wall-clock window to miss.
 
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use mpfa::core::{wtime, AsyncPoll, AsyncThing, Stream};
 
-/// Start `n` tasks that complete at staggered deadlines within `spread_s`
-/// seconds, each bumping `done` exactly once.
+/// Start `n` tasks that complete at staggered (virtual) deadlines within
+/// `spread_s` seconds, each bumping `done` exactly once.
 fn start_timed_tasks(stream: &Stream, n: usize, spread_s: f64, done: &Arc<AtomicUsize>) {
     for i in 0..n {
         let d = done.clone();
@@ -29,6 +34,7 @@ fn start_timed_tasks(stream: &Stream, n: usize, spread_s: f64, done: &Arc<Atomic
 
 #[test]
 fn mixed_progress_and_try_progress_lose_no_completions() {
+    let clk = mpfa::dst::virtual_time(0.0);
     let stream = Stream::create();
     let n = 256;
     let done = Arc::new(AtomicUsize::new(0));
@@ -50,6 +56,12 @@ fn mixed_progress_and_try_progress_lose_no_completions() {
                 }
             });
         }
+        // Walk virtual time across every deadline while the workers
+        // fight over the engine; they exit once everything completed.
+        while stream.pending_tasks() > 0 {
+            clk.advance(1e-3);
+            std::thread::yield_now();
+        }
     });
 
     assert_eq!(done.load(Ordering::Relaxed), n, "completions lost");
@@ -61,7 +73,10 @@ fn injection_races_with_contended_pollers() {
     // Tasks are injected continuously while 4 threads fight over the
     // engine lock: the combining protocol must keep draining the inject
     // queue (a combined waiter's task was possibly added after the
-    // holder's own drain).
+    // holder's own drain). A fixed batch count (not a wall-clock window)
+    // bounds the feeder, so machine speed changes contention, not
+    // correctness conditions.
+    let clk = mpfa::dst::virtual_time(0.0);
     let stream = Stream::create();
     let done = Arc::new(AtomicUsize::new(0));
     let stop_feeding = Arc::new(AtomicBool::new(false));
@@ -74,8 +89,7 @@ fn injection_races_with_contended_pollers() {
             let stop = stop_feeding.clone();
             let injected = injected.clone();
             scope.spawn(move || {
-                let t_end = wtime() + 0.05;
-                while wtime() < t_end {
+                for _ in 0..64 {
                     let batch = 16;
                     start_timed_tasks(&stream, batch, 0.001, &done);
                     injected.fetch_add(batch, Ordering::Relaxed);
@@ -93,6 +107,10 @@ fn injection_races_with_contended_pollers() {
                 }
             });
         }
+        while !stop_feeding.load(Ordering::Acquire) || stream.pending_tasks() > 0 {
+            clk.advance(5e-4);
+            std::thread::yield_now();
+        }
     });
 
     let total = injected.load(Ordering::Relaxed);
@@ -108,6 +126,7 @@ fn combined_waiters_report_sweeps_that_ran_for_them() {
     // still leave the stream functional, and total progress_calls must
     // cover at least every non-combined sweep. Smoke-checks the outcome
     // plumbing rather than exact counts (scheduling dependent).
+    let clk = mpfa::dst::virtual_time(0.0);
     let stream = Stream::create();
     let stop = Arc::new(AtomicBool::new(false));
     {
@@ -121,23 +140,33 @@ fn combined_waiters_report_sweeps_that_ran_for_them() {
         });
     }
     let sweeps_observed = Arc::new(AtomicUsize::new(0));
+    // One shared virtual deadline for every worker (computing it inside
+    // each thread would race the advancing clock: a late starter's window
+    // could outlive the main thread's advance loop and spin forever).
+    let t_end = 0.02;
     std::thread::scope(|scope| {
         for _ in 0..4 {
             let stream = stream.clone();
-            let stop = stop.clone();
             let sweeps = sweeps_observed.clone();
             scope.spawn(move || {
-                let t_end = wtime() + 0.02;
+                // Virtual window: ends when the main thread has advanced
+                // the clock far enough, not when a wall timer expires.
                 while wtime() < t_end {
                     let out = stream.progress();
                     if out.made_progress() {
                         sweeps.fetch_add(1, Ordering::Relaxed);
                     }
                 }
-                stop.store(true, Ordering::Release);
             });
         }
+        while clk.now() < t_end {
+            clk.advance(1e-3);
+            std::thread::yield_now();
+        }
     });
+    stop.store(true, Ordering::Release);
+    // The rearming task retires on its first post-stop poll; no timeout
+    // needed (the clock is still frozen at whatever we advanced to).
     assert!(stream.drain(5.0));
     assert!(
         sweeps_observed.load(Ordering::Relaxed) > 0,

@@ -1,0 +1,108 @@
+//! Generalized-request lifecycle (paper Listing 1.7) under explored
+//! schedules.
+
+use mpfa::core::{grequest_start, wtime, AsyncPoll, GrequestOps, NoopOps, Status};
+use mpfa::dst::{check, SimConfig};
+
+struct TaggedOps(i32);
+impl GrequestOps for TaggedOps {
+    fn query(&mut self) -> Status {
+        Status {
+            source: 0,
+            tag: self.0,
+            bytes: 0,
+            cancelled: false,
+        }
+    }
+}
+
+/// The Listing-1.7 pattern on virtual time: an async task completes the
+/// grequest once the schedule has advanced the clock past a deadline;
+/// the request must complete under every explored interleaving of
+/// progress and time.
+#[test]
+fn async_task_completes_grequest_at_virtual_deadline() {
+    check("conf_greq_deadline", &SimConfig::ranks(1), 24, |sim| {
+        let stream = sim.proc(0).default_stream().clone();
+        let (req, greq) = grequest_start(&stream, TaggedOps(42));
+        let deadline = sim.now() + 5e-6;
+        let mut greq = Some(greq);
+        stream.async_start(move |_t| {
+            if wtime() >= deadline {
+                greq.take().unwrap().complete();
+                AsyncPoll::Done
+            } else {
+                AsyncPoll::Pending
+            }
+        });
+        assert!(
+            sim.run_until(|| req.is_complete()),
+            "grequest never completed"
+        );
+        let st = req.status().unwrap();
+        assert_eq!(st.tag, 42, "query status must reach the waiter");
+        assert!(!st.cancelled);
+    });
+}
+
+/// Dropping the producer handle before completing must cancel the
+/// request (no waiter may hang on an abandoned operation) and leave the
+/// stream drainable — under every schedule, including ones that poll
+/// other tasks around the drop.
+#[test]
+fn drop_before_complete_cancels_without_leak_or_hang() {
+    check("conf_greq_drop", &SimConfig::ranks(1), 24, |sim| {
+        let stream = sim.proc(0).default_stream().clone();
+        let (req, greq) = grequest_start(&stream, NoopOps);
+        // Unrelated tasks on the same stream so the schedule has real
+        // interleavings to permute around the drop.
+        for _ in 0..3 {
+            let mut polls = 0;
+            stream.async_start(move |_t| {
+                polls += 1;
+                if polls >= 4 {
+                    AsyncPoll::Done
+                } else {
+                    AsyncPoll::Pending
+                }
+            });
+        }
+        sim.run_steps(8);
+        assert!(!req.is_complete());
+        drop(greq);
+        assert!(
+            req.is_complete(),
+            "abandoned grequest must complete at drop"
+        );
+        assert!(req.status().unwrap().cancelled, "…as cancelled");
+        assert!(
+            sim.run_until(|| stream.pending_tasks() == 0),
+            "stream failed to drain after grequest drop"
+        );
+    });
+}
+
+/// Completion racing a `Request::is_complete` poll from another thread:
+/// the waiter thread spins on the atomic completion flag only (no
+/// progress calls, so the sim thread stays the only driver) and must
+/// observe the completion exactly once, with the queried status.
+#[test]
+fn completion_races_cross_thread_is_complete() {
+    check("conf_greq_race", &SimConfig::ranks(1), 16, |sim| {
+        let stream = sim.proc(0).default_stream().clone();
+        let (req, greq) = grequest_start(&stream, TaggedOps(7));
+        let watcher_req = req.clone();
+        let watcher = std::thread::spawn(move || {
+            // Pure atomic polling; completes when the sim thread does.
+            while !watcher_req.is_complete() {
+                std::hint::spin_loop();
+            }
+            watcher_req.status().unwrap()
+        });
+        sim.run_steps(4);
+        greq.complete();
+        let st = watcher.join().expect("watcher thread panicked");
+        assert_eq!(st.tag, 7);
+        assert!(req.is_complete());
+    });
+}

@@ -1,0 +1,19 @@
+//! MPI conformance suite under deterministic schedule exploration.
+//!
+//! MPICH-testsuite-style semantic checks — p2p ordering, wildcard
+//! matching, generalized-request lifecycle, stream isolation, ULFM
+//! invariants — each run under many explored schedules via the
+//! `mpfa::dst` harness, so a passing suite means the semantics hold for
+//! *every schedule tried*, not just the one the host machine happened to
+//! produce.
+//!
+//! A failing test prints the seed; replay it alone with
+//! `MPFA_DST_SEED=<seed> cargo test --test conformance <name>`.
+//! `MPFA_DST_SEEDS=<n>` scales the exploration (CI nightlies raise it).
+
+mod determinism;
+mod grequest;
+mod p2p;
+mod resil;
+mod streams;
+mod wildcard;

@@ -1,0 +1,95 @@
+//! Point-to-point semantics under explored schedules.
+
+use mpfa::dst::{check, fixtures, SimConfig};
+
+/// Nonblocking ping-pong round trip completes with correct payloads and
+/// statuses under every explored schedule.
+#[test]
+fn pingpong_round_trip() {
+    check(
+        "conf_p2p_pingpong",
+        &SimConfig::ranks(2),
+        24,
+        fixtures::pingpong,
+    );
+}
+
+/// MPI non-overtaking: same-`(src, dst, tag)` sends match posted
+/// receives in order, no matter how the schedule delays packets.
+#[test]
+fn fifo_ordering_within_a_channel() {
+    check(
+        "conf_p2p_fifo",
+        &SimConfig::ranks(2),
+        24,
+        fixtures::tagged_pair_fifo,
+    );
+}
+
+/// Exact tags route payloads even when the receives are posted in the
+/// opposite order of the sends.
+#[test]
+fn exact_tags_route_regardless_of_post_order() {
+    check("conf_p2p_tags", &SimConfig::ranks(2), 24, |sim| {
+        let comms = sim.world_comms();
+        // Receives posted 6-then-5; sends issued 5-then-6.
+        let r6 = comms[1].irecv::<u32>(1, 0, 6).unwrap();
+        let r5 = comms[1].irecv::<u32>(1, 0, 5).unwrap();
+        let s5 = comms[0].isend(&[55u32], 1, 5).unwrap();
+        let s6 = comms[0].isend(&[66u32], 1, 6).unwrap();
+        let (q5, q6) = (r5.request(), r6.request());
+        assert!(
+            sim.run_until(|| s5.is_complete()
+                && s6.is_complete()
+                && q5.is_complete()
+                && q6.is_complete()),
+            "tagged pair never completed"
+        );
+        let (d5, st5) = r5.take();
+        let (d6, st6) = r6.take();
+        assert_eq!((d5, st5.tag), (vec![55], 5));
+        assert_eq!((d6, st6.tag), (vec![66], 6));
+    });
+}
+
+/// Zero-length messages complete and report zero bytes.
+#[test]
+fn empty_messages_complete() {
+    check("conf_p2p_empty", &SimConfig::ranks(2), 16, |sim| {
+        let comms = sim.world_comms();
+        let recv = comms[1].irecv::<u8>(0, 0, 1).unwrap();
+        let send = comms[0].isend(&[] as &[u8], 1, 1).unwrap();
+        let r = recv.request();
+        assert!(sim.run_until(|| send.is_complete() && r.is_complete()));
+        let (data, st) = recv.take();
+        assert!(data.is_empty());
+        assert_eq!(st.bytes, 0);
+    });
+}
+
+/// Many in-flight messages between many ranks all land exactly once.
+#[test]
+fn all_to_one_fan_in_delivers_every_message() {
+    check("conf_p2p_fan_in", &SimConfig::ranks(4), 16, |sim| {
+        let comms = sim.world_comms();
+        let recvs: Vec<_> = (0..6)
+            .map(|_| comms[0].irecv::<u64>(1, mpfa::mpi::ANY_SOURCE, 2).unwrap())
+            .collect();
+        let mut sends = Vec::new();
+        for (src, comm) in comms.iter().enumerate().skip(1) {
+            for k in 0..2u64 {
+                sends.push(comm.isend(&[(src as u64) * 10 + k], 0, 2).unwrap());
+            }
+        }
+        let reqs: Vec<_> = recvs.iter().map(|r| r.request()).collect();
+        assert!(
+            sim.run_until(
+                || sends.iter().all(|s| s.is_complete()) && reqs.iter().all(|r| r.is_complete())
+            ),
+            "fan-in never completed"
+        );
+        let mut got: Vec<u64> = recvs.into_iter().map(|r| r.take().0[0]).collect();
+        got.sort_unstable();
+        assert_eq!(got, vec![10, 11, 20, 21, 30, 31]);
+    });
+}

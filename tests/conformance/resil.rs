@@ -1,0 +1,129 @@
+//! ULFM invariants — revoke flooding, failure detection, agree/shrink —
+//! under the DST harness.
+//!
+//! Revoke and detection are nonblocking, so they run under full seeded
+//! schedule exploration. `agree`/`shrink` are internally blocking
+//! collectives (each caller spins its own stream), so they run with one
+//! thread per rank under the [`mpfa::dst::real_time`] guard — still
+//! serialized against virtual-time tests in this binary, just not
+//! schedule-fuzzed.
+
+use mpfa::dst::{check, SimConfig};
+use mpfa::mpi::{DetectorConfig, World, WorldConfig};
+
+fn resilient(ranks: usize) -> SimConfig {
+    SimConfig {
+        // Quiet-period effectively off: only transport liveness and
+        // manual reports fail ranks, keeping scenarios schedule-exact.
+        resilience: Some(DetectorConfig { quiet_period: 1e9 }),
+        ..SimConfig::ranks(ranks)
+    }
+}
+
+/// A revoke by any member floods to every alive rank, under every
+/// explored schedule.
+#[test]
+fn revoke_floods_to_all_ranks() {
+    check("conf_resil_revoke", &resilient(3), 16, |sim| {
+        let comms = sim.world_comms();
+        assert!(comms.iter().all(|c| !c.is_revoked()));
+        comms[1].revoke().unwrap();
+        assert!(comms[1].is_revoked(), "revoker sees it immediately");
+        let observers = comms.clone();
+        assert!(
+            sim.run_until(|| observers.iter().all(|c| c.is_revoked())),
+            "revoke never reached every rank"
+        );
+    });
+}
+
+/// A chaos kill scheduled on the virtual clock is detected by every
+/// survivor, whichever order the schedule lets them look.
+#[test]
+fn scheduled_kill_detected_by_every_survivor() {
+    check("conf_resil_kill", &resilient(4), 16, |sim| {
+        const VICTIM: usize = 3;
+        assert!(sim.kill_at(VICTIM, 3e-6));
+        let detectors: Vec<_> = (0..3)
+            .map(|r| sim.resilience(r).detector().clone())
+            .collect();
+        assert!(
+            sim.run_until(|| detectors.iter().all(|d| d.is_failed(VICTIM))),
+            "kill never detected by all survivors"
+        );
+        for d in &detectors {
+            assert!(d.epoch() >= 1);
+            assert!(!d.alive_ranks().contains(&VICTIM));
+        }
+    });
+}
+
+/// Requests touching a failed rank resolve with errors instead of
+/// hanging, under explored schedules.
+#[test]
+fn sends_to_dead_rank_error_instead_of_hanging() {
+    check("conf_resil_dead_send", &resilient(3), 16, |sim| {
+        const VICTIM: usize = 2;
+        assert!(sim.kill_at(VICTIM, 2e-6));
+        let comms = sim.world_comms();
+        let det = sim.resilience(0).detector().clone();
+        assert!(sim.run_until(|| det.is_failed(VICTIM)));
+        let req = comms[0].isend(&[1u32], VICTIM as i32, 5).unwrap();
+        assert!(
+            sim.run_until(|| req.is_complete()),
+            "send to dead rank hung"
+        );
+        assert!(
+            req.error().is_some(),
+            "send to dead rank must carry an error"
+        );
+    });
+}
+
+/// Agreement is the logical AND over alive members, identical on every
+/// survivor, and shrink yields a consistent survivor communicator —
+/// after a real failure. Threaded (agree/shrink block), under the
+/// real-time clock guard.
+#[test]
+fn agree_and_shrink_after_failure_are_consistent() {
+    let _rt = mpfa::dst::real_time();
+    const N: usize = 3;
+    const VICTIM: usize = 2;
+    let procs = World::init(WorldConfig::instant(N));
+    type SurvivorReport = Option<(bool, bool, usize, Vec<usize>)>;
+    let results: Vec<SurvivorReport> = std::thread::scope(|s| {
+        let handles: Vec<_> = procs
+            .iter()
+            .map(|proc| {
+                s.spawn(move || {
+                    let r = proc.enable_resilience(DetectorConfig::default());
+                    let comm = proc.world_comm();
+                    if proc.rank() == VICTIM {
+                        // Stops participating; survivors declare it dead.
+                        return None;
+                    }
+                    r.detector().report_failure(VICTIM);
+                    while !r.detector().is_failed(VICTIM) {
+                        proc.default_stream().progress();
+                    }
+                    let yes = comm.agree(true).unwrap();
+                    let mixed = comm.agree(proc.rank() == 0).unwrap();
+                    let shrunk = comm.shrink().unwrap();
+                    Some((yes, mixed, shrunk.size(), shrunk.group().to_vec()))
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    for (rank, res) in results.iter().enumerate() {
+        if rank == VICTIM {
+            assert!(res.is_none());
+            continue;
+        }
+        let (yes, mixed, size, group) = res.clone().unwrap();
+        assert!(yes, "unanimous true must agree true (rank {rank})");
+        assert!(!mixed, "one dissent must flip the AND (rank {rank})");
+        assert_eq!(size, N - 1, "shrink must drop exactly the victim");
+        assert_eq!(group, vec![0, 1], "survivor group must be consistent");
+    }
+}

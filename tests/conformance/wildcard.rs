@@ -1,0 +1,93 @@
+//! Wildcard (`MPI_ANY_SOURCE` / `MPI_ANY_TAG`) matching semantics under
+//! explored schedules. The planted-bug fixture shows what a *wrong*
+//! wildcard assumption looks like; these are the right ones.
+
+use mpfa::dst::{check, SimConfig};
+use mpfa::mpi::{ANY_SOURCE, ANY_TAG};
+
+/// `ANY_SOURCE` receives match *some* real sender — any arrival order is
+/// legal — and the payload must agree with the reported source.
+#[test]
+fn any_source_matches_consistent_sender() {
+    check("conf_wc_any_source", &SimConfig::ranks(3), 32, |sim| {
+        let comms = sim.world_comms();
+        let ra = comms[0].irecv::<u32>(1, ANY_SOURCE, 4).unwrap();
+        let rb = comms[0].irecv::<u32>(1, ANY_SOURCE, 4).unwrap();
+        let s1 = comms[1].isend(&[1u32], 0, 4).unwrap();
+        let s2 = comms[2].isend(&[2u32], 0, 4).unwrap();
+        let (qa, qb) = (ra.request(), rb.request());
+        assert!(
+            sim.run_until(|| s1.is_complete()
+                && s2.is_complete()
+                && qa.is_complete()
+                && qb.is_complete()),
+            "wildcard pair never completed"
+        );
+        let (da, sta) = ra.take();
+        let (db, stb) = rb.take();
+        // Status must be self-consistent with the payload...
+        assert_eq!(da[0], sta.source as u32);
+        assert_eq!(db[0], stb.source as u32);
+        // ...and both senders must be represented exactly once.
+        let mut sources = [sta.source, stb.source];
+        sources.sort_unstable();
+        assert_eq!(sources, [1, 2]);
+    });
+}
+
+/// `ANY_TAG` still honors channel FIFO: with two different-tag sends on
+/// one channel, the wildcard receive takes the *first* send.
+#[test]
+fn any_tag_takes_first_in_channel_order() {
+    check("conf_wc_any_tag", &SimConfig::ranks(2), 32, |sim| {
+        let comms = sim.world_comms();
+        let wc = comms[1].irecv::<u32>(1, 0, ANY_TAG).unwrap();
+        let rest = comms[1].irecv::<u32>(1, 0, ANY_TAG).unwrap();
+        let first = comms[0].isend(&[3u32], 1, 3).unwrap();
+        let second = comms[0].isend(&[4u32], 1, 4).unwrap();
+        let (q1, q2) = (wc.request(), rest.request());
+        assert!(
+            sim.run_until(|| first.is_complete()
+                && second.is_complete()
+                && q1.is_complete()
+                && q2.is_complete()),
+            "any-tag pair never completed"
+        );
+        let (d1, st1) = wc.take();
+        let (d2, st2) = rest.take();
+        assert_eq!(
+            (d1, st1.tag),
+            (vec![3], 3),
+            "wildcard overtook channel FIFO"
+        );
+        assert_eq!((d2, st2.tag), (vec![4], 4));
+    });
+}
+
+/// Exact and fully-wildcarded receives coexist: each incoming message
+/// matches the earliest-posted receive that accepts it, so the exact
+/// receive gets its message and the wildcard gets the rest — under every
+/// arrival order.
+#[test]
+fn exact_and_wildcard_receives_coexist() {
+    check("conf_wc_mixed", &SimConfig::ranks(3), 32, |sim| {
+        let comms = sim.world_comms();
+        // Exact posted first so the tag-9 message can never be stolen.
+        let exact = comms[0].irecv::<u32>(1, 1, 9).unwrap();
+        let wild = comms[0].irecv::<u32>(1, ANY_SOURCE, ANY_TAG).unwrap();
+        let s_match = comms[1].isend(&[9u32], 0, 9).unwrap();
+        let s_other = comms[2].isend(&[5u32], 0, 5).unwrap();
+        let (qe, qw) = (exact.request(), wild.request());
+        assert!(
+            sim.run_until(|| s_match.is_complete()
+                && s_other.is_complete()
+                && qe.is_complete()
+                && qw.is_complete()),
+            "mixed receives never completed"
+        );
+        let (de, ste) = exact.take();
+        let (dw, stw) = wild.take();
+        assert_eq!((de, ste.source, ste.tag), (vec![9], 1, 9));
+        assert_eq!((dw, stw.source, stw.tag), (vec![5], 2, 5));
+    });
+}

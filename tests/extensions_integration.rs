@@ -199,3 +199,109 @@ fn is_complete_from_poll_fn_never_recurses_progress() {
     });
     assert!(results.iter().all(|&ok| ok));
 }
+
+#[test]
+fn grequest_complete_races_is_complete_across_threads() {
+    // MPI_Grequest_complete on one thread vs MPI_Request_is_complete
+    // spinners on others: every watcher must observe the completion and
+    // read the queried status, every round, with no torn state.
+    struct RoundOps(i32);
+    impl GrequestOps for RoundOps {
+        fn query(&mut self) -> Status {
+            Status {
+                source: 0,
+                tag: self.0,
+                bytes: 0,
+                cancelled: false,
+            }
+        }
+    }
+
+    let stream = Stream::create();
+    for round in 0..200i32 {
+        let (req, greq) = grequest_start(&stream, RoundOps(round));
+        let watchers: Vec<_> = (0..3)
+            .map(|_| {
+                let r = req.clone();
+                std::thread::spawn(move || {
+                    // Pure atomic polling — no progress, no locks.
+                    while !r.is_complete() {
+                        std::hint::spin_loop();
+                    }
+                    r.status().expect("complete request must publish status")
+                })
+            })
+            .collect();
+        if round % 2 == 0 {
+            // Half the rounds give the watchers a head start so the
+            // complete lands while they are mid-spin.
+            std::thread::yield_now();
+        }
+        greq.complete();
+        for w in watchers {
+            let st = w.join().expect("watcher panicked");
+            assert_eq!(st.tag, round);
+            assert!(!st.cancelled);
+        }
+    }
+}
+
+#[test]
+fn grequest_drop_before_complete_neither_leaks_nor_deadlocks() {
+    // Abandoning the producer handle must cancel-complete the request —
+    // blocked waiters wake with a cancelled status instead of hanging —
+    // and must run free_fn exactly once per grequest (no leaked ops).
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    struct TrackedOps {
+        freed: Arc<AtomicUsize>,
+        cancelled: Arc<AtomicUsize>,
+    }
+    impl GrequestOps for TrackedOps {
+        fn on_free(&mut self) {
+            self.freed.fetch_add(1, Ordering::Relaxed);
+        }
+        fn on_cancel(&mut self, _already_complete: bool) {
+            self.cancelled.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    const N: usize = 8;
+    let stream = Stream::create();
+    let freed = Arc::new(AtomicUsize::new(0));
+    let cancelled = Arc::new(AtomicUsize::new(0));
+
+    let mut greqs = Vec::new();
+    let waiters: Vec<_> = (0..N)
+        .map(|_| {
+            let (req, greq) = grequest_start(
+                &stream,
+                TrackedOps {
+                    freed: freed.clone(),
+                    cancelled: cancelled.clone(),
+                },
+            );
+            greqs.push(greq);
+            std::thread::spawn(move || req.wait())
+        })
+        .collect();
+
+    // No waiter can finish yet; dropping every handle must release all
+    // of them promptly.
+    drop(greqs);
+    for w in waiters {
+        let st = w.join().expect("waiter panicked");
+        assert!(st.cancelled, "abandoned grequest must cancel its waiter");
+    }
+    assert_eq!(
+        freed.load(Ordering::Relaxed),
+        N,
+        "free_fn must run per grequest"
+    );
+    assert_eq!(cancelled.load(Ordering::Relaxed), N);
+    assert_eq!(
+        stream.pending_tasks(),
+        0,
+        "nothing may linger on the stream"
+    );
+}

@@ -1,4 +1,10 @@
 //! Failure injection: the runtime must degrade predictably, not hang.
+//!
+//! Timing-sensitive tests in this binary run on the DST clock
+//! ([`mpfa::dst::virtual_time`] / [`mpfa::dst::real_time`]): a virtual
+//! guard freezes `wtime()` so bounded spins can't flake on slow CI, and
+//! the guards serialize against each other so a frozen clock never leaks
+//! into a test that needs real fabric latencies.
 
 mod common;
 
@@ -8,6 +14,9 @@ use mpfa::mpi::WorldConfig;
 
 #[test]
 fn panicking_poll_poisons_only_its_task() {
+    // Frozen virtual clock: the 5.0s progress_until bound can never fire
+    // spuriously on an overloaded machine — only the condition exits.
+    let _clk = mpfa::dst::virtual_time(0.0);
     let stream = Stream::create();
     // One bad task among good ones.
     let mut polls_left = 3;
@@ -87,39 +96,58 @@ fn jittery_fabric_preserves_correctness() {
     cfg.inter_latency = 20e-6;
     cfg.inter_bandwidth = 0.5e9;
     cfg.jitter = 1.5; // per-packet delay variation (FIFO still guaranteed)
-    let results = run_ranks(cfg, |proc| {
-        let comm = proc.world_comm();
-        let rank = comm.rank();
-        let size = comm.size() as i32;
-        let right = (rank + 1) % size;
-        let left = (rank - 1).rem_euclid(size);
-        // Several in-flight rendezvous transfers both ways.
-        let recvs: Vec<_> = (0..4)
-            .map(|t| comm.irecv::<u8>(10_000, left, t).unwrap())
-            .collect();
-        let sends: Vec<_> = (0..4)
-            .map(|t| comm.isend(&vec![t as u8; 10_000], right, t).unwrap())
-            .collect();
-        for (t, r) in recvs.into_iter().enumerate() {
-            let (data, _) = r.wait();
-            assert_eq!(data, vec![t as u8; 10_000]);
-        }
-        // MPI semantics: sends must be completed too — a rank that stops
-        // progressing with chunks still un-pumped would stall its
-        // neighbor's pipelined receive.
-        for s in sends {
-            s.wait();
-        }
-        true
+
+    // The fabric's latency/bandwidth/jitter delays all come off `wtime()`,
+    // so drive them from the virtual clock: a pump thread advances time in
+    // fixed quanta while the rank threads block in wait(). Transfer
+    // completion then depends on simulated time, not machine speed.
+    let clk = mpfa::dst::virtual_time(0.0);
+    let stop_pump = std::sync::atomic::AtomicBool::new(false);
+    std::thread::scope(|scope| {
+        scope.spawn(|| {
+            while !stop_pump.load(std::sync::atomic::Ordering::Acquire) {
+                clk.advance(10e-6);
+                std::thread::yield_now();
+            }
+        });
+        let results = run_ranks(cfg, |proc| {
+            let comm = proc.world_comm();
+            let rank = comm.rank();
+            let size = comm.size() as i32;
+            let right = (rank + 1) % size;
+            let left = (rank - 1).rem_euclid(size);
+            // Several in-flight rendezvous transfers both ways.
+            let recvs: Vec<_> = (0..4)
+                .map(|t| comm.irecv::<u8>(10_000, left, t).unwrap())
+                .collect();
+            let sends: Vec<_> = (0..4)
+                .map(|t| comm.isend(&vec![t as u8; 10_000], right, t).unwrap())
+                .collect();
+            for (t, r) in recvs.into_iter().enumerate() {
+                let (data, _) = r.wait();
+                assert_eq!(data, vec![t as u8; 10_000]);
+            }
+            // MPI semantics: sends must be completed too — a rank that stops
+            // progressing with chunks still un-pumped would stall its
+            // neighbor's pipelined receive.
+            for s in sends {
+                s.wait();
+            }
+            true
+        });
+        stop_pump.store(true, std::sync::atomic::Ordering::Release);
+        assert!(results.iter().all(|&ok| ok));
     });
-    assert!(results.iter().all(|&ok| ok));
 }
 
 #[test]
 #[should_panic(expected = "truncation")]
 fn truncation_is_fatal_by_default() {
     // MPI_ERRORS_ARE_FATAL semantics surface as a panic in the receiving
-    // rank's progress.
+    // rank's progress. The give-up bound is 2.0 *virtual* seconds — the
+    // receiver advances the clock itself each sweep, so the deadline is a
+    // fixed iteration count, not a wall-clock race with a loaded CI box.
+    let clk = mpfa::dst::virtual_time(0.0);
     let procs = mpfa::mpi::World::init(WorldConfig::instant(2));
     let p0 = procs[0].clone();
     let p1 = procs[1].clone();
@@ -132,6 +160,7 @@ fn truncation_is_fatal_by_default() {
     let t0 = mpfa::core::wtime();
     while mpfa::core::wtime() - t0 < 2.0 {
         comm.stream().progress(); // panics when the message lands
+        clk.advance(1e-3);
     }
     sender.join().unwrap();
     unreachable!("truncation was not detected");
@@ -145,22 +174,39 @@ fn injected_peer_death_completes_wait_all_with_errors() {
     use mpfa::core::RequestError;
     use mpfa::resil::DetectorConfig;
 
+    // The failure detector's quiet-period accounting reads `wtime()`;
+    // hold the real-time guard so a concurrently scheduled virtual-clock
+    // test in this binary can't freeze time under it.
+    let _rt = mpfa::dst::real_time();
     const N: usize = 4;
     const VICTIM: usize = 3;
-    let victim_gone = std::sync::atomic::AtomicBool::new(false);
+    let past_barrier = std::sync::atomic::AtomicUsize::new(0);
     let results = run_ranks(WorldConfig::instant(N), |proc| {
-        proc.enable_resilience(DetectorConfig::default());
+        let r = proc.enable_resilience(DetectorConfig::default());
         let comm = proc.world_comm();
         comm.barrier().unwrap();
+        // The kill must wait for *every* rank to leave the barrier, not
+        // just the victim: a survivor still inside it when the victim is
+        // declared dead gets its barrier recvs failed (`ProcFailed`),
+        // which is legal ULFM behavior but not what this test probes.
+        past_barrier.fetch_add(1, std::sync::atomic::Ordering::AcqRel);
         if proc.rank() == VICTIM {
-            victim_gone.store(true, std::sync::atomic::Ordering::Release);
             return Vec::new();
         }
         if proc.rank() == 0 {
-            while !victim_gone.load(std::sync::atomic::Ordering::Acquire) {
+            while past_barrier.load(std::sync::atomic::Ordering::Acquire) < N {
                 std::hint::spin_loop();
             }
             assert!(proc.world().chaos_kill(VICTIM));
+        }
+        // Each survivor waits for its *own* detector to convict the
+        // victim before posting the doomed operations. Without this,
+        // `doomed_send` races the kill: an eager 8-byte send accepted
+        // while the victim is still (locally) alive legitimately
+        // completes Ok, and the per-request verdicts below would be
+        // schedule-dependent.
+        while !r.detector().is_failed(VICTIM) {
+            comm.stream().progress();
         }
         // Ring among the survivors {0, 1, 2}.
         let next = (proc.rank() + 1) % (N - 1);

@@ -189,3 +189,215 @@ fn bucketed_matching_equals_linear_reference() {
         }
     }
 }
+
+/// Wildcard-dense variant of the differential test: two thirds of posts
+/// and probes use `ANY_SOURCE`/`ANY_TAG`, over a tag space small enough
+/// that wildcard and exact receives constantly compete for the same
+/// messages. A fresh seed range keeps it from retreading the main test's
+/// interleavings.
+#[test]
+fn any_tag_heavy_interleavings_match_reference() {
+    let wildcard_heavy_op = |rng: &mut Rng| -> Op {
+        let wild_or = |rng: &mut Rng, wildcard: i32| {
+            if rng.usize_in(0, 3) < 2 {
+                wildcard
+            } else {
+                rng.i32_in(0, 2)
+            }
+        };
+        match rng.usize_in(0, 5) {
+            0 | 1 => Op::Post {
+                src: wild_or(rng, ANY_SOURCE),
+                tag: wild_or(rng, ANY_TAG),
+            },
+            2 | 3 => Op::Incoming {
+                src: rng.i32_in(0, 2),
+                tag: rng.i32_in(0, 2),
+            },
+            _ => Op::Probe {
+                src: wild_or(rng, ANY_SOURCE),
+                tag: wild_or(rng, ANY_TAG),
+            },
+        }
+    };
+
+    for seed in 1000..1256u64 {
+        let mut rng = Rng::new(seed);
+        let ops = rng.vec_in(0, 80, wildcard_heavy_op);
+
+        let stream = Stream::create();
+        let mut fast = MatchState::new();
+        let mut lin = LinearMatchState::new();
+        let mut post_count = 0usize;
+        let mut incoming_count = 0usize;
+
+        for (step, op) in ops.iter().enumerate() {
+            match *op {
+                Op::Post { src, tag } => {
+                    let idx = post_count;
+                    post_count += 1;
+                    let ((rf, _qf), (rl, _ql)) = recv_pair(&stream, src, tag, idx);
+                    match (fast.post_recv(rf), lin.post_recv(rl)) {
+                        (None, None) => {}
+                        (Some((recv_f, un_f)), Some((recv_l, un_l))) => {
+                            assert_eq!(
+                                unexpected_id(&un_f),
+                                unexpected_id(&un_l),
+                                "seed {seed}, step {step}"
+                            );
+                            recv_f.completer.complete(Status::empty());
+                            recv_l.completer.complete(Status::empty());
+                        }
+                        (f, l) => panic!(
+                            "post divergence: bucketed {} / linear {} (seed {seed}, step {step})",
+                            f.is_some(),
+                            l.is_some()
+                        ),
+                    }
+                }
+                Op::Incoming { src, tag } => {
+                    let idx = incoming_count;
+                    incoming_count += 1;
+                    match (fast.match_incoming(src, tag), lin.match_incoming(src, tag)) {
+                        (None, None) => {
+                            for state in [&mut fast as &mut dyn PushUnexpected, &mut lin] {
+                                state.push(Unexpected::Eager {
+                                    src,
+                                    tag,
+                                    data: payload(idx),
+                                });
+                            }
+                        }
+                        (Some(recv_f), Some(recv_l)) => {
+                            assert_eq!(
+                                recv_f.capacity, recv_l.capacity,
+                                "seed {seed}, step {step}"
+                            );
+                            recv_f.completer.complete(Status::empty());
+                            recv_l.completer.complete(Status::empty());
+                        }
+                        (f, l) => panic!(
+                            "incoming divergence: bucketed {} / linear {} \
+                             (seed {seed}, step {step})",
+                            f.is_some(),
+                            l.is_some()
+                        ),
+                    }
+                }
+                Op::Probe { src, tag } => {
+                    assert_eq!(
+                        fast.probe_unexpected(src, tag),
+                        lin.probe_unexpected(src, tag),
+                        "probe divergence (seed {seed}, step {step})"
+                    );
+                }
+            }
+            assert_eq!(
+                fast.posted_len(),
+                lin.posted_len(),
+                "seed {seed}, step {step}"
+            );
+            assert_eq!(
+                fast.unexpected_len(),
+                lin.unexpected_len(),
+                "seed {seed}, step {step}"
+            );
+        }
+    }
+}
+
+/// Unify the two implementations behind one trait so the wildcard-heavy
+/// test can push unexpected messages to both without duplicating the
+/// construction.
+trait PushUnexpected {
+    fn push(&mut self, msg: Unexpected);
+}
+impl PushUnexpected for MatchState {
+    fn push(&mut self, msg: Unexpected) {
+        self.push_unexpected(msg)
+    }
+}
+impl PushUnexpected for LinearMatchState {
+    fn push(&mut self, msg: Unexpected) {
+        self.push_unexpected(msg)
+    }
+}
+
+/// A hand-built mixed wildcard/exact interleaving where the *expected*
+/// outcome is asserted against the MPI matching rules themselves (not
+/// just cross-implementation identity): an incoming message matches the
+/// earliest-posted receive that accepts it, and a posted receive
+/// consumes unexpected messages in arrival order.
+#[test]
+fn mixed_wildcard_exact_interleaving_follows_posted_order() {
+    let stream = Stream::create();
+    let mut fast = MatchState::new();
+    let mut lin = LinearMatchState::new();
+
+    let post = |fast: &mut MatchState, lin: &mut LinearMatchState, src, tag, idx| {
+        let ((rf, _), (rl, _)) = recv_pair(&stream, src, tag, idx);
+        let (hf, hl) = (fast.post_recv(rf), lin.post_recv(rl));
+        assert_eq!(hf.is_some(), hl.is_some(), "post {idx} diverged");
+        hf.map(|(recv_f, un_f)| {
+            let (_, un_l) = hl.unwrap();
+            assert_eq!(unexpected_id(&un_f), unexpected_id(&un_l), "post {idx}");
+            recv_f.completer.complete(Status::empty());
+            unexpected_id(&un_f)
+        })
+    };
+
+    // Posted queue: [0] exact (0,0) · [1] wildcard (ANY,ANY) · [2] exact (1,1).
+    // (An empty unexpected queue: no post can match yet.)
+    // The wildcard at [1] shadows [2] for (1,1) messages — posted order wins.
+    let p = |f: &mut _, l: &mut _, s, t, i| assert!(post(f, l, s, t, i).is_none());
+    p(&mut fast, &mut lin, 0, 0, 0);
+    p(&mut fast, &mut lin, ANY_SOURCE, ANY_TAG, 1);
+    p(&mut fast, &mut lin, 1, 1, 2);
+
+    let expect_match =
+        |fast: &mut MatchState, lin: &mut LinearMatchState, src, tag, want: usize| {
+            let (hf, hl) = (fast.match_incoming(src, tag), lin.match_incoming(src, tag));
+            let (recv_f, recv_l) = (hf.expect("must match"), hl.expect("must match"));
+            assert_eq!(
+                recv_f.capacity,
+                10_000 + want,
+                "bucketed matched wrong post"
+            );
+            assert_eq!(recv_l.capacity, 10_000 + want, "linear matched wrong post");
+            recv_f.completer.complete(Status::empty());
+            recv_l.completer.complete(Status::empty());
+        };
+
+    // (0,0) → the exact post [0], which predates the wildcard.
+    expect_match(&mut fast, &mut lin, 0, 0, 0);
+    // (1,1) → the wildcard [1]: posted before the exact (1,1) at [2].
+    expect_match(&mut fast, &mut lin, 1, 1, 1);
+    // (1,1) again → now the exact [2].
+    expect_match(&mut fast, &mut lin, 1, 1, 2);
+    assert_eq!(fast.posted_len(), 0);
+    assert_eq!(lin.posted_len(), 0);
+
+    // Unexpected side: arrivals 0..2 from src 1 with mixed tags.
+    for (idx, tag) in [(0usize, 2i32), (1, 7), (2, 2)] {
+        for state in [&mut fast as &mut dyn PushUnexpected, &mut lin] {
+            state.push(Unexpected::Eager {
+                src: 1,
+                tag,
+                data: payload(idx),
+            });
+        }
+    }
+    // A wildcard-tag post takes the *earliest* arrival from src 1…
+    assert_eq!(post(&mut fast, &mut lin, 1, ANY_TAG, 3), Some((1, 2, 0)));
+    // …an exact-tag post skips the non-matching tag-7 arrival…
+    assert_eq!(post(&mut fast, &mut lin, ANY_SOURCE, 2, 4), Some((1, 2, 2)));
+    // …and the skipped message is still there for a full wildcard.
+    assert_eq!(
+        post(&mut fast, &mut lin, ANY_SOURCE, ANY_TAG, 5),
+        Some((1, 7, 1))
+    );
+    assert_eq!(fast.unexpected_len(), 0);
+    assert_eq!(lin.unexpected_len(), 0);
+    assert_eq!(fast.probe_unexpected(ANY_SOURCE, ANY_TAG), None);
+    assert_eq!(lin.probe_unexpected(ANY_SOURCE, ANY_TAG), None);
+}
