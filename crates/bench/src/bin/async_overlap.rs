@@ -1,0 +1,355 @@
+//! Completion-notification overhead: blocking wait vs continuation vs
+//! async/await, plus a 64-request fan-in through one awaiting task.
+//!
+//! Part A repeats a fixed-size two-rank ping-pong (the fig07-style
+//! repeated transfer) three times over, changing only how rank 0 learns
+//! its receive completed:
+//!
+//! * **blocking** — `RecvRequest::wait` (the paper's baseline);
+//! * **continuation** — `Request::on_complete` sets a flag, the caller
+//!   progresses until it flips (MPIX_Continue style);
+//! * **await** — `mpfa_async::block_on(recv_future)` through the
+//!   per-request waker bridge.
+//!
+//! The continuation and await paths ride the same sweep that the
+//! blocking wait drives, so their round-trip latency should sit within
+//! ~1.2x of blocking — the notification machinery must not tax the
+//! transfer itself.
+//!
+//! Part B posts 64 irregular receives (mixed sizes and peers) on rank 0
+//! and awaits them all from a *single* executor task via `join_all`. One
+//! thread drives progress; completion fan-in is waker-based, so
+//! `engine_lock_contended` must stay ~flat — no hidden busy-wait loops
+//! fighting over the engine lock.
+//!
+//! `--json PATH` writes the machine-readable record
+//! (`results/async_overlap.json` is the committed reference run);
+//! `--smoke` shrinks iteration counts and arms a watchdog.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use mpfa_async::{block_on, join_all, Executor};
+use mpfa_bench::json::JsonObj;
+use mpfa_core::wtime;
+use mpfa_mpi::{Proc, World, WorldConfig};
+
+/// Part A payload: one eager-path transfer, repeated.
+const PINGPONG_BYTES: usize = 4096;
+/// Part B: requests awaited by the single fan-in task.
+const FANIN_REQS: usize = 64;
+const FANIN_PEERS: usize = 3;
+
+struct Config {
+    iters: usize,
+    json_path: String,
+}
+
+impl Config {
+    fn from_args() -> Config {
+        let mut cfg = Config {
+            iters: 2000,
+            json_path: String::new(),
+        };
+        let mut args = std::env::args().skip(1);
+        while let Some(a) = args.next() {
+            match a.as_str() {
+                "--json" => cfg.json_path = args.next().unwrap_or_default(),
+                "--iters" => {
+                    cfg.iters = args
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or(cfg.iters)
+                }
+                "--smoke" => {
+                    cfg.iters = 200;
+                    arm_watchdog(60.0);
+                }
+                other => {
+                    eprintln!(
+                        "usage: async_overlap [--iters N] [--json PATH] [--smoke] (got {other})"
+                    );
+                    std::process::exit(2);
+                }
+            }
+        }
+        cfg
+    }
+}
+
+fn arm_watchdog(secs: f64) {
+    std::thread::spawn(move || {
+        std::thread::sleep(std::time::Duration::from_secs_f64(secs));
+        eprintln!("async_overlap: watchdog fired after {secs}s — a wait path wedged?");
+        std::process::exit(124);
+    });
+}
+
+#[derive(Clone, Copy)]
+enum Notify {
+    Blocking,
+    Continuation,
+    Await,
+}
+
+impl Notify {
+    fn name(self) -> &'static str {
+        match self {
+            Notify::Blocking => "blocking",
+            Notify::Continuation => "continuation",
+            Notify::Await => "await",
+        }
+    }
+}
+
+/// Progress `stream` until `done`, yielding between unproductive sweeps.
+/// Both ranks poll this way so that on an oversubscribed host (e.g. a
+/// single-core CI box) a waiting rank hands the core to its peer instead
+/// of burning a scheduler timeslice — otherwise every mode just measures
+/// the preemption quantum. The same loop shape backs all three modes, so
+/// the ratios isolate notification overhead.
+fn progress_until(stream: &mpfa_core::Stream, mut done: impl FnMut() -> bool) {
+    while !done() {
+        stream.progress();
+        if !done() {
+            std::thread::yield_now();
+        }
+    }
+}
+
+/// Rank 0 of the ping-pong: sends the ping, then learns of the pong via
+/// `mode`. Returns per-iteration round-trip seconds.
+fn pingpong_initiator(proc: &Proc, mode: Notify, iters: usize) -> Vec<f64> {
+    let comm = proc.world_comm();
+    let stream = proc.default_stream().clone();
+    let payload = vec![7u8; PINGPONG_BYTES];
+    let mut samples = Vec::with_capacity(iters);
+    for i in 0..iters {
+        let t0 = wtime();
+        let recv = comm.irecv::<u8>(PINGPONG_BYTES, 1, 2).unwrap();
+        comm.isend(&payload, 1, 1).unwrap();
+        match mode {
+            Notify::Blocking => {
+                // MPI_Wait: poll the completion flag.
+                let req = recv.request();
+                progress_until(&stream, || req.is_complete());
+                let (data, _) = recv.take();
+                assert_eq!(data.len(), PINGPONG_BYTES);
+            }
+            Notify::Continuation => {
+                // MPIX_Continue: poll a flag the continuation sets.
+                let flag = Arc::new(AtomicBool::new(false));
+                let f2 = flag.clone();
+                recv.request().on_complete(move |res| {
+                    res.expect("pong recv failed");
+                    f2.store(true, Ordering::Release);
+                });
+                progress_until(&stream, || flag.load(Ordering::Acquire));
+            }
+            Notify::Await => {
+                // Waker bridge: poll the future, progress until woken.
+                let (data, _) = block_on(&stream, recv).expect("pong recv failed");
+                assert_eq!(data.len(), PINGPONG_BYTES);
+            }
+        }
+        if i >= iters / 10 {
+            // First 10% is warmup.
+            samples.push(wtime() - t0);
+        }
+    }
+    samples
+}
+
+/// Rank 1 echoes every ping back, mode-agnostic.
+fn pingpong_echo(proc: &Proc, iters: usize) {
+    let comm = proc.world_comm();
+    let stream = proc.default_stream().clone();
+    for _ in 0..iters {
+        let recv = comm.irecv::<u8>(PINGPONG_BYTES, 0, 1).unwrap();
+        let req = recv.request();
+        progress_until(&stream, || req.is_complete());
+        let (data, _) = recv.take();
+        let send = comm.isend(&data, 0, 2).unwrap();
+        progress_until(&stream, || send.is_complete());
+    }
+}
+
+fn run_pingpong(mode: Notify, iters: usize) -> Vec<f64> {
+    let procs = World::init(WorldConfig::instant(2));
+    std::thread::scope(|s| {
+        let mut it = procs.iter();
+        let p0 = it.next().unwrap();
+        let p1 = it.next().unwrap();
+        let h0 = s.spawn(move || pingpong_initiator(p0, mode, iters));
+        let h1 = s.spawn(move || pingpong_echo(p1, iters));
+        h1.join().expect("echo rank panicked");
+        let samples = h0.join().expect("initiator rank panicked");
+        for p in &procs {
+            p.finalize(2.0);
+        }
+        samples
+    })
+}
+
+struct LatencyRow {
+    mean_us: f64,
+    p50_us: f64,
+    p95_us: f64,
+}
+
+fn summarize(samples: &mut [f64]) -> LatencyRow {
+    samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+    LatencyRow {
+        mean_us: mean * 1e6,
+        p50_us: samples[samples.len() / 2] * 1e6,
+        p95_us: samples[samples.len() * 95 / 100] * 1e6,
+    }
+}
+
+struct FaninOutcome {
+    duration_ms: f64,
+    lock_contended_delta: u64,
+    wakers_woken_delta: u64,
+    continuations_fired_delta: u64,
+}
+
+/// Part B: rank 0 posts 64 irregular receives and awaits them all from
+/// one executor task; peers send with mixed sizes (eager and rendezvous
+/// paths both exercised).
+fn run_fanin() -> FaninOutcome {
+    let procs = World::init(WorldConfig::instant(FANIN_PEERS + 1));
+    let before = mpfa_obs::global_counters().snapshot();
+    let t0 = wtime();
+    std::thread::scope(|s| {
+        for proc in &procs {
+            s.spawn(move || {
+                let comm = proc.world_comm();
+                if proc.rank() == 0 {
+                    let stream = proc.default_stream().clone();
+                    let exec = Executor::new(&stream);
+                    let mut reqs = Vec::with_capacity(FANIN_REQS);
+                    for i in 0..FANIN_REQS {
+                        let peer = 1 + (i % FANIN_PEERS) as i32;
+                        let bytes = irregular_bytes(i);
+                        let r = comm.irecv::<u8>(bytes, peer, i as i32 + 1).unwrap();
+                        reqs.push(r.request());
+                    }
+                    // The single awaiting task: one future fans in all 64
+                    // completions through the waker bridge. The main
+                    // thread just pumps the stream (which polls the task
+                    // from inside the sweep).
+                    let handle = exec.spawn(async move {
+                        join_all(reqs)
+                            .await
+                            .into_iter()
+                            .filter(|r| r.is_ok())
+                            .count()
+                    });
+                    progress_until(&stream, || handle.is_finished());
+                    assert_eq!(handle.join(), FANIN_REQS, "fan-in recv failed");
+                } else {
+                    let me = proc.rank();
+                    let stream = proc.default_stream().clone();
+                    for i in 0..FANIN_REQS {
+                        if 1 + (i % FANIN_PEERS) != me {
+                            continue;
+                        }
+                        let bytes = irregular_bytes(i);
+                        let send = comm.isend(&vec![me as u8; bytes], 0, i as i32 + 1).unwrap();
+                        progress_until(&stream, || send.is_complete());
+                    }
+                }
+                proc.finalize(2.0);
+            });
+        }
+    });
+    let duration_ms = (wtime() - t0) * 1e3;
+    let after = mpfa_obs::global_counters().snapshot();
+    FaninOutcome {
+        duration_ms,
+        lock_contended_delta: after.engine_lock_contended - before.engine_lock_contended,
+        wakers_woken_delta: after.wakers_woken - before.wakers_woken,
+        continuations_fired_delta: after.continuations_fired - before.continuations_fired,
+    }
+}
+
+/// Mixed sizes: every 4th transfer is rendezvous-sized, the rest eager.
+fn irregular_bytes(i: usize) -> usize {
+    if i % 4 == 3 {
+        96 * 1024
+    } else {
+        64 + 512 * (i % 7)
+    }
+}
+
+fn main() {
+    let _obs = mpfa_bench::obs::TraceGuard::from_args();
+    let cfg = Config::from_args();
+    println!(
+        "async_overlap: {} iters x {} B ping-pong; {}-request fan-in",
+        cfg.iters, PINGPONG_BYTES, FANIN_REQS
+    );
+
+    let modes = [Notify::Blocking, Notify::Continuation, Notify::Await];
+    let mut rows = Vec::new();
+    println!("mode           mean_us    p50_us    p95_us");
+    for mode in modes {
+        let mut samples = run_pingpong(mode, cfg.iters);
+        let row = summarize(&mut samples);
+        println!(
+            "{:<12} {:>9.3} {:>9.3} {:>9.3}",
+            mode.name(),
+            row.mean_us,
+            row.p50_us,
+            row.p95_us
+        );
+        rows.push(row);
+    }
+    let cont_ratio = rows[1].p50_us / rows[0].p50_us;
+    let await_ratio = rows[2].p50_us / rows[0].p50_us;
+    println!("continuation/blocking p50 ratio: {cont_ratio:.3}");
+    println!("await/blocking        p50 ratio: {await_ratio:.3}");
+    println!("expected shape: both ratios within ~1.2x of blocking wait");
+
+    let fanin = run_fanin();
+    println!(
+        "fan-in: {} reqs in {:.3} ms — engine_lock_contended +{}, \
+         wakers_woken +{}, continuations_fired +{}",
+        FANIN_REQS,
+        fanin.duration_ms,
+        fanin.lock_contended_delta,
+        fanin.wakers_woken_delta,
+        fanin.continuations_fired_delta
+    );
+    println!("expected shape: lock contention ~flat (single awaiting task, no busy-wait)");
+
+    if !cfg.json_path.is_empty() {
+        let lat = |r: &LatencyRow| {
+            let mut o = JsonObj::new();
+            o.float("mean_us", r.mean_us)
+                .float("p50_us", r.p50_us)
+                .float("p95_us", r.p95_us);
+            o
+        };
+        let mut fan = JsonObj::new();
+        fan.int("requests", FANIN_REQS as u64)
+            .int("peers", FANIN_PEERS as u64)
+            .float("duration_ms", fanin.duration_ms)
+            .int("engine_lock_contended_delta", fanin.lock_contended_delta)
+            .int("wakers_woken_delta", fanin.wakers_woken_delta)
+            .int("continuations_fired_delta", fanin.continuations_fired_delta);
+        let mut root = JsonObj::new();
+        root.str("bench", "async_overlap")
+            .int("iters", cfg.iters as u64)
+            .int("pingpong_bytes", PINGPONG_BYTES as u64)
+            .obj("blocking", &lat(&rows[0]))
+            .obj("continuation", &lat(&rows[1]))
+            .obj("await", &lat(&rows[2]))
+            .float("continuation_over_blocking_p50", cont_ratio)
+            .float("await_over_blocking_p50", await_ratio)
+            .obj("fanin", &fan);
+        root.write_to(&cfg.json_path).expect("write json");
+        println!("wrote {}", cfg.json_path);
+    }
+}

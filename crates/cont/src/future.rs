@@ -1,0 +1,172 @@
+//! Future combinators for requests: [`join_all`] (irregular fan-in) and
+//! [`block_on`] (the synchronous rim of the async world).
+
+use std::future::Future;
+use std::pin::Pin;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::task::{Context, Poll, Wake, Waker};
+
+use mpfa_core::{Request, RequestError, Status, Stream};
+
+/// Future returned by [`join_all`]: resolves once every request in the
+/// set has completed, yielding the per-request outcomes in order.
+pub struct JoinAll {
+    reqs: Vec<Request>,
+    done: Vec<Option<Result<Status, RequestError>>>,
+}
+
+/// Await a whole set of requests at once — `MPI_Waitall` as a future.
+///
+/// One awaiting task can sit on an arbitrary, irregular fan-in of
+/// operations: each completion wakes the task exactly once (through the
+/// per-request waker bridge), with no polling loop over the set in
+/// between.
+pub fn join_all(reqs: Vec<Request>) -> JoinAll {
+    let done = vec![None; reqs.len()];
+    JoinAll { reqs, done }
+}
+
+impl Future for JoinAll {
+    type Output = Vec<Result<Status, RequestError>>;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        let this = self.get_mut();
+        let mut all = true;
+        for i in 0..this.reqs.len() {
+            if this.done[i].is_none() {
+                match Pin::new(&mut this.reqs[i]).poll(cx) {
+                    Poll::Ready(r) => this.done[i] = Some(r),
+                    Poll::Pending => all = false,
+                }
+            }
+        }
+        if all {
+            Poll::Ready(
+                this.done
+                    .iter_mut()
+                    .map(|d| d.take().expect("all done"))
+                    .collect(),
+            )
+        } else {
+            Poll::Pending
+        }
+    }
+}
+
+/// Waker that records "something I await completed" in a flag the
+/// blocking loop re-checks between progress sweeps.
+struct FlagWake(AtomicBool);
+
+impl Wake for FlagWake {
+    fn wake(self: Arc<Self>) {
+        self.0.store(true, Ordering::Release);
+    }
+}
+
+/// Drive `stream`'s progress until `fut` resolves.
+///
+/// This is the synchronous entry point into async code — the moral
+/// equivalent of `MPI_Wait`, but over an arbitrary future. The future is
+/// polled once up front and then only after a waker fires (a request it
+/// awaits completed), so idle sweeps don't re-poll it.
+///
+/// Must not be called from inside a progress hook or async task poll
+/// (progress recursion is prohibited); use [`crate::Executor::spawn`]
+/// and `.await` there instead.
+pub fn block_on<F: Future>(stream: &Stream, fut: F) -> F::Output {
+    let flag = Arc::new(FlagWake(AtomicBool::new(false)));
+    let waker = Waker::from(flag.clone());
+    let mut cx = Context::from_waker(&waker);
+    let mut fut = std::pin::pin!(fut);
+    loop {
+        match fut.as_mut().poll(&mut cx) {
+            Poll::Ready(v) => return v,
+            Poll::Pending => {
+                while !flag.0.swap(false, Ordering::Acquire) {
+                    stream.progress();
+                    // Unwoken after a sweep: what we await depends on a
+                    // peer making progress. Yield so an oversubscribed
+                    // host schedules that peer instead of spinning out
+                    // the timeslice here.
+                    if !flag.0.load(Ordering::Acquire) {
+                        std::thread::yield_now();
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpfa_core::task::AsyncPoll;
+
+    /// A request completed by an async task after `polls` sweeps.
+    fn delayed(s: &Stream, polls: u32, source: i32) -> Request {
+        let (req, completer) = Request::pair(s);
+        let mut left = polls;
+        let mut completer = Some(completer);
+        s.async_start(move |_t| {
+            left -= 1;
+            if left == 0 {
+                completer.take().expect("once").complete(Status {
+                    source,
+                    tag: 0,
+                    bytes: 0,
+                    cancelled: false,
+                });
+                AsyncPoll::Done
+            } else {
+                AsyncPoll::Pending
+            }
+        });
+        req
+    }
+
+    #[test]
+    fn block_on_awaits_a_request() {
+        let s = Stream::create();
+        let req = delayed(&s, 3, 5);
+        let st = block_on(&s, req).expect("ok");
+        assert_eq!(st.source, 5);
+    }
+
+    #[test]
+    fn block_on_ready_future_never_sweeps() {
+        let s = Stream::create();
+        let calls = s.progress_calls();
+        let v = block_on(&s, async { 42 });
+        assert_eq!(v, 42);
+        assert_eq!(s.progress_calls(), calls);
+    }
+
+    #[test]
+    fn join_all_resolves_out_of_order_completions() {
+        let s = Stream::create();
+        let reqs: Vec<Request> = (0..8).map(|i| delayed(&s, 8 - i as u32, i)).collect();
+        let results = block_on(&s, join_all(reqs));
+        assert_eq!(results.len(), 8);
+        for (i, r) in results.iter().enumerate() {
+            assert_eq!(r.as_ref().expect("ok").source, i as i32);
+        }
+    }
+
+    #[test]
+    fn join_all_surfaces_per_request_errors() {
+        let s = Stream::create();
+        let ok = delayed(&s, 1, 0);
+        let (bad, bad_c) = Request::pair(&s);
+        bad_c.fail(RequestError::Revoked);
+        let results = block_on(&s, join_all(vec![ok, bad]));
+        assert!(results[0].is_ok());
+        assert_eq!(results[1], Err(RequestError::Revoked));
+    }
+
+    #[test]
+    fn join_all_empty_is_immediate() {
+        let s = Stream::create();
+        assert!(block_on(&s, join_all(Vec::new())).is_empty());
+    }
+}

@@ -213,6 +213,49 @@ mod tests {
     }
 
     #[test]
+    fn drop_after_on_complete_fires_continuation_exactly_once() {
+        // Regression: a grequest abandoned after a continuation was
+        // attached must run that continuation exactly once (via the
+        // cancel path), not zero times and not twice.
+        let s = Stream::create();
+        let (ops, _queried, _freed, _cancelled) = recording();
+        let (req, greq) = grequest_start(&s, ops);
+        let fired = Arc::new(AtomicUsize::new(0));
+        let fired2 = fired.clone();
+        req.on_complete(move |res| {
+            let st = res.expect("cancel is completion, not a fault");
+            assert!(st.cancelled);
+            fired2.fetch_add(1, Ordering::SeqCst);
+        });
+        assert_eq!(fired.load(Ordering::SeqCst), 0);
+        drop(greq);
+        // Drop enqueued the continuation on the stream; a progress call
+        // drains it.
+        s.progress();
+        assert_eq!(fired.load(Ordering::SeqCst), 1);
+        // Nothing further may re-fire it.
+        s.progress();
+        drop(req);
+        assert_eq!(fired.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn complete_then_attach_fires_exactly_once() {
+        let s = Stream::create();
+        let (req, greq) = grequest_start(&s, NoopOps);
+        greq.complete();
+        let fired = Arc::new(AtomicUsize::new(0));
+        let fired2 = fired.clone();
+        req.on_complete(move |res| {
+            assert!(res.is_ok());
+            fired2.fetch_add(1, Ordering::SeqCst);
+        });
+        s.progress();
+        s.progress();
+        assert_eq!(fired.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
     fn noop_ops_works() {
         let s = Stream::create();
         let (req, greq) = grequest_start(&s, NoopOps);

@@ -18,6 +18,7 @@
 //! | `MPIX_ASYNC_DONE` / `NOPROGRESS` / `PENDING` | [`AsyncPoll`] |
 //! | `MPIX_Request_is_complete(req)` | [`Request::is_complete`] |
 //! | `MPI_Grequest_start` / `MPI_Grequest_complete` | [`grequest::Grequest`] |
+//! | `MPIX_Continue(req, cb, ...)` | [`Request::on_complete`] (and `.await` — [`Request`] is a `Future`) |
 //!
 //! ## Architecture
 //!
@@ -59,7 +60,7 @@ pub mod wtime;
 pub use engine::{EngineStats, ProgressOutcome, ProgressState, SweepOrder};
 pub use grequest::{grequest_start, Grequest, GrequestOps, NoopOps};
 pub use hook::{HookId, ProgressHook, SubsystemClass};
-pub use request::{Completer, CompletionCounter, Request, RequestError, Status};
+pub use request::{Completer, CompletionCounter, Continuation, Request, RequestError, Status};
 pub use stream::{Stream, StreamHints, StreamId, StreamRef};
 pub use task::{async_start, AsyncPoll, AsyncTask, AsyncThing, TaskId};
 pub use wtime::{wtick, wtime};

@@ -8,13 +8,54 @@
 //! calls" — which makes it safe (and cheap) to call from inside `MPIX_Async`
 //! poll functions, where invoking progress recursively is prohibited.
 
+use std::future::Future;
+use std::pin::Pin;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
+use std::task::{Context, Poll, Waker};
 
 use crate::sync::Mutex;
 
 use crate::stream::{Stream, StreamRef};
 use crate::wtime::wtime;
+
+/// A completion callback attached with [`Request::on_complete`] — the
+/// `MPIX_Continue` continuation shape: it receives the request's outcome
+/// (`Ok(status)` or `Err(error)`) exactly once.
+pub type Continuation = Box<dyn FnOnce(Result<Status, RequestError>) + Send>;
+
+/// State of a request's continuation slot. `Fired` means the completion
+/// already dispatched earlier continuations; anything attached afterwards
+/// dispatches immediately. The transition happens exactly once, under the
+/// slot's lock, which is what makes every continuation fire exactly once
+/// even when attach races completion (or a grequest drop).
+enum ContSlot {
+    Pending(Vec<Continuation>),
+    Fired,
+}
+
+/// Route one continuation toward execution: enqueue on the bound stream's
+/// deferred-execution list (drained after the progress sweep releases the
+/// engine lock), or — when the stream is already freed and no sweep will
+/// ever drain it — run inline.
+fn dispatch_continuation(
+    stream: &StreamRef,
+    cb: Continuation,
+    result: Result<Status, RequestError>,
+) {
+    mpfa_obs::global_counters()
+        .continuations_ready
+        .fetch_add(1, Ordering::Relaxed);
+    match stream.upgrade() {
+        Some(s) => s.enqueue_continuation(Box::new(move || cb(result))),
+        None => {
+            mpfa_obs::global_counters()
+                .continuations_fired
+                .fetch_add(1, Ordering::Relaxed);
+            cb(result);
+        }
+    }
+}
 
 /// Completion status of a finished operation (an `MPI_Status`).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -93,6 +134,11 @@ struct RequestInner {
     status: Mutex<Status>,
     error: Mutex<Option<RequestError>>,
     stream: StreamRef,
+    /// Continuations attached via [`Request::on_complete`].
+    conts: Mutex<ContSlot>,
+    /// Waker of the task awaiting this request, if any (the async/await
+    /// bridge). Last poll wins; woken from `Completer::finish`.
+    waker: Mutex<Option<Waker>>,
 }
 
 /// The user-facing completion handle of an asynchronous operation.
@@ -125,6 +171,8 @@ impl Request {
             status: Mutex::new(Status::empty()),
             error: Mutex::new(None),
             stream: stream.weak(),
+            conts: Mutex::new(ContSlot::Pending(Vec::new())),
+            waker: Mutex::new(None),
         });
         (
             Request {
@@ -142,6 +190,8 @@ impl Request {
             status: Mutex::new(status),
             error: Mutex::new(None),
             stream: stream.weak(),
+            conts: Mutex::new(ContSlot::Fired),
+            waker: Mutex::new(None),
         });
         Request { inner }
     }
@@ -155,6 +205,8 @@ impl Request {
             status: Mutex::new(Status::cancelled()),
             error: Mutex::new(Some(err)),
             stream: stream.weak(),
+            conts: Mutex::new(ContSlot::Fired),
+            waker: Mutex::new(None),
         });
         Request { inner }
     }
@@ -201,6 +253,45 @@ impl Request {
     /// The stream this request is bound to (if still alive).
     pub fn stream(&self) -> Option<Stream> {
         self.inner.stream.upgrade()
+    }
+
+    /// Attach a continuation — the `MPIX_Continue` primitive.
+    ///
+    /// `cb` runs exactly once with the request's outcome, whether the
+    /// operation completes normally, is cancelled (a dropped grequest or
+    /// completer still fires it, with a cancelled status), or fails
+    /// (`Err(PeerFailed/Revoked)` — failures fire continuations, never
+    /// leak them).
+    ///
+    /// The callback is *not* run from inside the progress sweep: completion
+    /// hands it to the bound stream's deferred-execution list, which is
+    /// drained after the engine lock is released. A continuation may
+    /// therefore post new operations, attach further continuations, and
+    /// even wait — it observes the stream unlocked. If the request is
+    /// already complete when attached, the callback is enqueued (or, when
+    /// the bound stream has been freed, run inline before this returns).
+    pub fn on_complete<F>(&self, cb: F)
+    where
+        F: FnOnce(Result<Status, RequestError>) + Send + 'static,
+    {
+        mpfa_obs::global_counters()
+            .continuations_attached
+            .fetch_add(1, Ordering::Relaxed);
+        let cb: Continuation = Box::new(cb);
+        {
+            let mut slot = self.inner.conts.lock();
+            match &mut *slot {
+                ContSlot::Pending(v) => {
+                    v.push(cb);
+                    return;
+                }
+                // Completion already dispatched earlier continuations;
+                // fall through and dispatch this late arrival ourselves.
+                ContSlot::Fired => {}
+            }
+        }
+        let result = self.result().expect("Fired implies complete");
+        dispatch_continuation(&self.inner.stream, cb, result);
     }
 
     /// `MPI_Wait`: drive the bound stream's progress until complete.
@@ -289,19 +380,7 @@ impl Request {
     /// waitany is a program error here).
     pub fn wait_any(requests: &[Request]) -> (usize, Status) {
         assert!(!requests.is_empty(), "wait_any on an empty request set");
-        let streams: Vec<Stream> = {
-            let mut seen = Vec::new();
-            let mut streams = Vec::new();
-            for r in requests {
-                if let Some(s) = r.inner.stream.upgrade() {
-                    if !seen.contains(&s.id()) {
-                        seen.push(s.id());
-                        streams.push(s);
-                    }
-                }
-            }
-            streams
-        };
+        let streams = Self::distinct_streams(requests);
         loop {
             if let Some(idx) = Self::any_complete(requests) {
                 let status = requests[idx].status().expect("complete");
@@ -315,6 +394,82 @@ impl Request {
                 }
             }
         }
+    }
+
+    /// [`Request::wait_any`] with the ULFM outcome shape: the completed
+    /// request's index plus its `Ok`/`Err` result.
+    pub fn wait_any_result(requests: &[Request]) -> (usize, Result<Status, RequestError>) {
+        let (idx, _) = Self::wait_any(requests);
+        (idx, requests[idx].result().expect("complete"))
+    }
+
+    /// `MPI_Waitsome`: drive the bound streams until *at least one* request
+    /// in the set is complete, then return every complete request's index
+    /// and outcome (so a burst of completions is harvested in one call —
+    /// the executor's fallback path relies on this batching).
+    ///
+    /// # Panics
+    /// Panics on an empty set, like [`Request::wait_any`].
+    pub fn wait_some(requests: &[Request]) -> Vec<(usize, Result<Status, RequestError>)> {
+        assert!(!requests.is_empty(), "wait_some on an empty request set");
+        let streams = Self::distinct_streams(requests);
+        loop {
+            let done: Vec<(usize, Result<Status, RequestError>)> = requests
+                .iter()
+                .enumerate()
+                .filter(|(_, r)| r.is_complete())
+                .map(|(i, r)| (i, r.result().expect("complete")))
+                .collect();
+            if !done.is_empty() {
+                return done;
+            }
+            if streams.is_empty() {
+                std::hint::spin_loop();
+            } else {
+                for s in &streams {
+                    s.progress();
+                }
+            }
+        }
+    }
+
+    /// The distinct live streams a set of requests is bound to (round-robin
+    /// progress targets for the waitany/waitsome family).
+    fn distinct_streams(requests: &[Request]) -> Vec<Stream> {
+        let mut seen = Vec::new();
+        let mut streams = Vec::new();
+        for r in requests {
+            if let Some(s) = r.inner.stream.upgrade() {
+                if !seen.contains(&s.id()) {
+                    seen.push(s.id());
+                    streams.push(s);
+                }
+            }
+        }
+        streams
+    }
+}
+
+/// The native async/await bridge: a [`Request`] is a future resolving to
+/// its completion outcome. The waker is stored per request and woken from
+/// [`Completer::finish`] — the same completion point that dispatches
+/// continuations — so an executor task awaiting a request is re-polled on
+/// the sweep after the operation completes, with no busy-wait.
+impl Future for Request {
+    type Output = Result<Status, RequestError>;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        if let Some(r) = self.result() {
+            return Poll::Ready(r);
+        }
+        *self.inner.waker.lock() = Some(cx.waker().clone());
+        // Completion may have raced between the check above and the waker
+        // store; re-check so the wakeup is never lost (the completer takes
+        // the waker *after* publishing `complete`).
+        if let Some(r) = self.result() {
+            return Poll::Ready(r);
+        }
+        Poll::Pending
     }
 }
 
@@ -387,6 +542,31 @@ impl Completer {
             bytes: status.bytes as u64,
             cancelled: status.cancelled,
         });
+        // Wake an awaiting task, then dispatch continuations. Both happen
+        // after the Release store above, so the woken poll / fired callback
+        // observes the completed outcome.
+        if let Some(waker) = self.inner.waker.lock().take() {
+            mpfa_obs::global_counters()
+                .wakers_woken
+                .fetch_add(1, Ordering::Relaxed);
+            waker.wake();
+        }
+        let pending = {
+            let mut slot = self.inner.conts.lock();
+            match std::mem::replace(&mut *slot, ContSlot::Fired) {
+                ContSlot::Pending(v) => v,
+                ContSlot::Fired => Vec::new(),
+            }
+        };
+        if !pending.is_empty() {
+            let result = match *self.inner.error.lock() {
+                Some(err) => Err(err),
+                None => Ok(status),
+            };
+            for cb in pending {
+                dispatch_continuation(&self.inner.stream, cb, result);
+            }
+        }
     }
 }
 
@@ -694,6 +874,255 @@ mod tests {
         let st = req.status().unwrap();
         assert_eq!((st.source, st.tag, st.bytes), (1, 2, 3));
         handle.join().unwrap();
+    }
+
+    #[test]
+    fn wait_some_returns_completed_subset() {
+        let s = Stream::create();
+        let reqs: Vec<Request> = (0..4)
+            .map(|i| {
+                let (req, completer) = Request::pair(&s);
+                let mut completer = Some(completer);
+                let mut polls = 0;
+                s.async_start(move |_t| {
+                    polls += 1;
+                    // Requests 1 and 3 complete on the first sweep; 0 and 2
+                    // two sweeps later.
+                    if (i % 2 == 1 && polls >= 1) || polls >= 3 {
+                        completer.take().expect("once").complete(Status {
+                            source: i,
+                            tag: 0,
+                            bytes: 0,
+                            cancelled: false,
+                        });
+                        AsyncPoll::Done
+                    } else {
+                        AsyncPoll::Pending
+                    }
+                });
+                req
+            })
+            .collect();
+        let done = Request::wait_some(&reqs);
+        let idxs: Vec<usize> = done.iter().map(|(i, _)| *i).collect();
+        assert_eq!(idxs, vec![1, 3], "first harvest: the first-sweep pair");
+        for (i, r) in &done {
+            assert_eq!(r.as_ref().unwrap().source, *i as i32);
+        }
+        let rest = Request::wait_all_results(&reqs);
+        assert!(rest.iter().all(|r| r.is_ok()));
+    }
+
+    #[test]
+    fn wait_any_result_surfaces_errors() {
+        let s = Stream::create();
+        let (r1, _c1) = Request::pair(&s);
+        let (r2, c2) = Request::pair(&s);
+        c2.fail(RequestError::Revoked);
+        let (idx, res) = Request::wait_any_result(&[r1, r2]);
+        assert_eq!(idx, 1);
+        assert_eq!(res, Err(RequestError::Revoked));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn wait_some_empty_panics() {
+        let _ = Request::wait_some(&[]);
+    }
+
+    #[test]
+    fn continuation_fires_on_progress_after_completion() {
+        let s = Stream::create();
+        let (req, c) = Request::pair(&s);
+        let fired = Arc::new(AtomicUsize::new(0));
+        let f = fired.clone();
+        req.on_complete(move |res| {
+            assert_eq!(res.unwrap().source, 7);
+            f.fetch_add(1, Ordering::SeqCst);
+        });
+        // Attached but incomplete: nothing fires, even across sweeps.
+        s.progress();
+        assert_eq!(fired.load(Ordering::SeqCst), 0);
+        c.complete(Status {
+            source: 7,
+            tag: 0,
+            bytes: 0,
+            cancelled: false,
+        });
+        // Completion queues the continuation; the next progress drains it.
+        assert_eq!(fired.load(Ordering::SeqCst), 0);
+        assert_eq!(s.pending_continuations(), 1);
+        s.progress();
+        assert_eq!(fired.load(Ordering::SeqCst), 1);
+        assert_eq!(s.pending_continuations(), 0);
+        // Exactly once: more sweeps don't re-fire.
+        s.progress();
+        assert_eq!(fired.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn continuation_on_already_complete_request_fires() {
+        let s = Stream::create();
+        let (req, c) = Request::pair(&s);
+        c.complete_empty();
+        let fired = Arc::new(AtomicUsize::new(0));
+        let f = fired.clone();
+        req.on_complete(move |res| {
+            assert!(res.is_ok());
+            f.fetch_add(1, Ordering::SeqCst);
+        });
+        s.progress();
+        assert_eq!(fired.load(Ordering::SeqCst), 1);
+        // Born-complete constructors behave the same.
+        let born = Request::completed(&s, Status::empty());
+        let f2 = fired.clone();
+        born.on_complete(move |_| {
+            f2.fetch_add(1, Ordering::SeqCst);
+        });
+        s.progress();
+        assert_eq!(fired.load(Ordering::SeqCst), 2);
+    }
+
+    #[test]
+    fn continuation_fires_inline_when_stream_freed() {
+        let s = Stream::create();
+        let req = Request::completed(&s, Status::empty());
+        drop(s);
+        let fired = Arc::new(AtomicUsize::new(0));
+        let f = fired.clone();
+        req.on_complete(move |_| {
+            f.fetch_add(1, Ordering::SeqCst);
+        });
+        // No stream left to drain it: ran inline.
+        assert_eq!(fired.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn dropped_completer_still_fires_continuation_once() {
+        let s = Stream::create();
+        let (req, c) = Request::pair(&s);
+        let fired = Arc::new(AtomicUsize::new(0));
+        let f = fired.clone();
+        req.on_complete(move |res| {
+            assert!(res.unwrap().cancelled, "abandoned op completes cancelled");
+            f.fetch_add(1, Ordering::SeqCst);
+        });
+        drop(c);
+        s.progress();
+        s.progress();
+        assert_eq!(fired.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn failed_request_fires_continuation_with_error() {
+        let s = Stream::create();
+        let (req, c) = Request::pair(&s);
+        let seen = Arc::new(Mutex::new(None));
+        let sn = seen.clone();
+        req.on_complete(move |res| {
+            *sn.lock() = Some(res);
+        });
+        c.fail(RequestError::PeerFailed { rank: 3 });
+        s.progress();
+        assert_eq!(
+            *seen.lock(),
+            Some(Err(RequestError::PeerFailed { rank: 3 }))
+        );
+    }
+
+    #[test]
+    fn continuation_may_post_ops_and_chain() {
+        // Re-entrancy: a continuation posts a new async task, waits on the
+        // same stream, and attaches a further continuation.
+        let s = Stream::create();
+        let (req, c) = Request::pair(&s);
+        let (req2, c2) = Request::pair(&s);
+        let mut c2 = Some(c2);
+        let chained = Arc::new(AtomicUsize::new(0));
+        let ch = chained.clone();
+        let s2 = s.clone();
+        req.on_complete(move |res| {
+            assert!(res.is_ok());
+            // Post a new operation from inside the continuation...
+            s2.async_start(move |_t| {
+                c2.take().expect("once").complete_empty();
+                AsyncPoll::Done
+            });
+            // ...wait for it (legal: we run outside the engine lock)...
+            req2.wait();
+            // ...and chain another continuation onto the now-complete
+            // request; it must run in this same drain.
+            let ch2 = ch.clone();
+            req2.on_complete(move |_| {
+                ch2.fetch_add(1, Ordering::SeqCst);
+            });
+        });
+        c.complete_empty();
+        s.progress();
+        assert_eq!(chained.load(Ordering::SeqCst), 1);
+        assert_eq!(s.pending_continuations(), 0);
+        assert_eq!(s.poisoned_tasks(), 0);
+    }
+
+    #[test]
+    fn multiple_continuations_all_fire() {
+        let s = Stream::create();
+        let (req, c) = Request::pair(&s);
+        let fired = Arc::new(AtomicUsize::new(0));
+        for _ in 0..5 {
+            let f = fired.clone();
+            req.on_complete(move |_| {
+                f.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        c.complete_empty();
+        s.progress();
+        assert_eq!(fired.load(Ordering::SeqCst), 5);
+    }
+
+    struct FlagWake(AtomicBool);
+    impl std::task::Wake for FlagWake {
+        fn wake(self: Arc<Self>) {
+            self.0.store(true, Ordering::SeqCst);
+        }
+    }
+
+    #[test]
+    fn request_future_wakes_on_completion() {
+        let s = Stream::create();
+        let (mut req, c) = Request::pair(&s);
+        let flag = Arc::new(FlagWake(AtomicBool::new(false)));
+        let waker = Waker::from(flag.clone());
+        let mut cx = Context::from_waker(&waker);
+        assert!(Pin::new(&mut req).poll(&mut cx).is_pending());
+        assert!(!flag.0.load(Ordering::SeqCst));
+        c.complete(Status {
+            source: 9,
+            tag: 0,
+            bytes: 4,
+            cancelled: false,
+        });
+        assert!(flag.0.load(Ordering::SeqCst), "completion wakes the waker");
+        match Pin::new(&mut req).poll(&mut cx) {
+            Poll::Ready(Ok(st)) => assert_eq!((st.source, st.bytes), (9, 4)),
+            other => panic!("expected Ready(Ok), got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn request_future_resolves_to_error_on_failure() {
+        let s = Stream::create();
+        let (mut req, c) = Request::pair(&s);
+        let flag = Arc::new(FlagWake(AtomicBool::new(false)));
+        let waker = Waker::from(flag.clone());
+        let mut cx = Context::from_waker(&waker);
+        assert!(Pin::new(&mut req).poll(&mut cx).is_pending());
+        c.fail(RequestError::Revoked);
+        assert!(flag.0.load(Ordering::SeqCst));
+        assert_eq!(
+            Pin::new(&mut req).poll(&mut cx),
+            Poll::Ready(Err(RequestError::Revoked))
+        );
     }
 
     #[test]

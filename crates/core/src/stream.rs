@@ -100,6 +100,15 @@ pub(crate) struct StreamInner {
     /// Packed [`ProgressOutcome`] of the most recent completed sweep (see
     /// [`pack_outcome`]); what a combined waiter reports to its caller.
     last_sweep: AtomicU64,
+    /// Continuations of completed requests awaiting execution — the
+    /// deferred-execution list of `MPIX_Continue`. Filled at request
+    /// completion (which happens under the engine lock, inside a sweep),
+    /// drained by every progress caller *after* releasing the lock, so a
+    /// continuation observes the stream unlocked and may post operations,
+    /// attach further continuations, or wait.
+    ready_conts: InjectQueue<Box<dyn FnOnce() + Send>>,
+    /// Queued-but-unexecuted continuations (diagnostics + drain gating).
+    conts_pending: AtomicUsize,
 }
 
 /// An explicit progress stream — `MPIX_Stream`.
@@ -152,6 +161,8 @@ impl Stream {
                 waiters: AtomicUsize::new(0),
                 sweep_epoch: AtomicU64::new(0),
                 last_sweep: AtomicU64::new(0),
+                ready_conts: InjectQueue::new(),
+                conts_pending: AtomicUsize::new(0),
             }),
         }
     }
@@ -275,6 +286,14 @@ impl Stream {
     /// itself; after a bounded spin it falls back to a blocking sweep, so
     /// the progress guarantee is unchanged.
     pub fn progress(&self) -> ProgressOutcome {
+        let out = self.progress_inner();
+        self.run_ready_continuations();
+        out
+    }
+
+    /// The sweep itself; every return path has the [`ReentryGuard`] and the
+    /// engine lock released, so the caller can drain continuations.
+    fn progress_inner(&self) -> ProgressOutcome {
         let _reentry = ReentryGuard::enter(self.inner.id);
         if let Some(mut engine) = self.inner.engine.try_lock() {
             return self.sweep_holding(&mut engine, &self.inner.base_state.clone());
@@ -328,9 +347,13 @@ impl Stream {
     /// Use [`crate::Request::is_complete`] inside polls instead.
     pub fn progress_with(&self, state: &ProgressState) -> ProgressOutcome {
         let merged = merge_states(&self.inner.base_state, state);
-        let _reentry = ReentryGuard::enter(self.inner.id);
-        let mut engine = self.inner.engine.lock();
-        self.sweep_holding(&mut engine, &merged)
+        let out = {
+            let _reentry = ReentryGuard::enter(self.inner.id);
+            let mut engine = self.inner.engine.lock();
+            self.sweep_holding(&mut engine, &merged)
+        };
+        self.run_ready_continuations();
+        out
     }
 
     /// One sweep with the engine lock held, plus the flat-combining
@@ -383,19 +406,57 @@ impl Stream {
     /// Like [`Stream::progress`] but returns `None` immediately when
     /// another thread holds the engine (no spinning, no combining wait).
     pub fn try_progress(&self) -> Option<ProgressOutcome> {
-        let _reentry = ReentryGuard::enter(self.inner.id);
-        let Some(mut engine) = self.inner.engine.try_lock() else {
-            mpfa_obs::global_counters()
-                .engine_lock_contended
-                .fetch_add(1, Ordering::Relaxed);
-            return None;
+        let out = {
+            let _reentry = ReentryGuard::enter(self.inner.id);
+            let Some(mut engine) = self.inner.engine.try_lock() else {
+                mpfa_obs::global_counters()
+                    .engine_lock_contended
+                    .fetch_add(1, Ordering::Relaxed);
+                return None;
+            };
+            self.sweep_holding(&mut engine, &self.inner.base_state.clone())
         };
-        Some(self.sweep_holding(&mut engine, &self.inner.base_state.clone()))
+        self.run_ready_continuations();
+        Some(out)
     }
 
     fn drain_inject(&self, engine: &mut Engine) {
         while let Some(task) = self.inner.inject.pop() {
             engine.add_task(task);
+        }
+    }
+
+    /// Queue a completed request's continuation for deferred execution.
+    /// Lock-free push: completion happens inside a sweep, with the engine
+    /// lock held, and must never block there.
+    pub(crate) fn enqueue_continuation(&self, cb: Box<dyn FnOnce() + Send>) {
+        self.inner.conts_pending.fetch_add(1, Ordering::Release);
+        self.inner.ready_conts.push(cb);
+    }
+
+    /// Continuations queued but not yet executed (a nonzero value that
+    /// never drains means nobody is progressing this stream — the
+    /// doctor's "completed request with unfired continuation" pathology).
+    pub fn pending_continuations(&self) -> usize {
+        self.inner.conts_pending.load(Ordering::Acquire)
+    }
+
+    /// Run every queued continuation. Called with no locks held: a
+    /// continuation may post operations, attach further continuations
+    /// (which land back on this queue and run in the same loop if their
+    /// request is already complete), or even progress this stream
+    /// recursively — the pop-based loop makes each callback run exactly
+    /// once regardless of nesting.
+    fn run_ready_continuations(&self) {
+        while let Some(cb) = self.inner.ready_conts.pop() {
+            // Account before running so a panicking callback (which
+            // propagates to the progress caller) can't wedge the pending
+            // count that `drain` gates on.
+            self.inner.conts_pending.fetch_sub(1, Ordering::Release);
+            mpfa_obs::global_counters()
+                .continuations_fired
+                .fetch_add(1, Ordering::Relaxed);
+            cb();
         }
     }
 
@@ -405,10 +466,10 @@ impl Stream {
     /// tasks complete"), with a safety timeout.
     pub fn drain(&self, timeout_s: f64) -> bool {
         let deadline = wtime() + timeout_s;
-        while self.pending_tasks() > 0 {
+        while self.pending_tasks() > 0 || self.pending_continuations() > 0 {
             self.progress();
             if wtime() >= deadline {
-                return self.pending_tasks() == 0;
+                return self.pending_tasks() == 0 && self.pending_continuations() == 0;
             }
         }
         true

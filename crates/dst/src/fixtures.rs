@@ -79,6 +79,39 @@ pub fn planted_wildcard_order_bug(sim: &mut Sim) {
     assert_eq!(st.source, 1, "wildcard recv matched rank {}", st.source);
 }
 
+/// **Deliberately buggy.** Rank 0 attaches continuations to two receives
+/// fed by different senders and asserts the rank-1 continuation fires
+/// first. Continuation firing order follows completion order, which is
+/// schedule property, not a guarantee — the explorer must find a seed
+/// where rank 2's message lands first. This is the continuation-path twin
+/// of [`planted_wildcard_order_bug`]: it proves schedule exploration
+/// reaches the deferred-callback machinery, not just request completion.
+pub fn planted_continuation_order_bug(sim: &mut Sim) {
+    use std::sync::{Arc, Mutex};
+    let comms = sim.world_comms();
+    let order: Arc<Mutex<Vec<i32>>> = Arc::new(Mutex::new(Vec::new()));
+    let from1 = comms[0].irecv::<u32>(1, 1, 6).unwrap();
+    let from2 = comms[0].irecv::<u32>(1, 2, 6).unwrap();
+    for (req, src) in [(from1.request(), 1), (from2.request(), 2)] {
+        let order = order.clone();
+        req.on_complete(move |res| {
+            res.expect("recv failed");
+            order.lock().unwrap().push(src);
+        });
+    }
+    let s1 = comms[1].isend(&[1u32], 0, 6).unwrap();
+    let s2 = comms[2].isend(&[2u32], 0, 6).unwrap();
+    assert!(
+        sim.run_until(|| {
+            s1.is_complete() && s2.is_complete() && order.lock().unwrap().len() == 2
+        }),
+        "continuations never fired"
+    );
+    let got = order.lock().unwrap().clone();
+    // The planted bug: baking in one completion order.
+    assert_eq!(got, vec![1, 2], "continuations fired as {got:?}");
+}
+
 #[cfg(test)]
 mod tests {
     use crate::explore::{check, explore, seeds, Failure};
@@ -103,6 +136,37 @@ mod tests {
             16,
             super::tagged_pair_fifo,
         );
+    }
+
+    /// The continuation twin of the planted-bug acceptance test: a
+    /// schedule-dependent continuation firing order must be caught within
+    /// 64 seeds and replay identically.
+    #[test]
+    fn planted_continuation_bug_is_caught_within_64_seeds() {
+        let cfg = SimConfig::ranks(3);
+        let Failure {
+            seed,
+            message,
+            trace,
+        } = explore(
+            &cfg,
+            seeds(
+                crate::explore::name_base("planted_continuation_order_bug"),
+                64,
+            ),
+            super::planted_continuation_order_bug,
+        )
+        .expect_err("the planted continuation bug survived 64 schedules");
+        assert!(
+            message.contains("continuations fired as [2, 1]"),
+            "unexpected failure mode: {message}"
+        );
+        assert!(trace.starts_with(&format!("dst trace seed={seed}")));
+        let replay = explore(&cfg, [seed], super::planted_continuation_order_bug)
+            .expect_err("failing seed must fail on replay");
+        assert_eq!(replay.seed, seed);
+        assert_eq!(replay.message, message);
+        assert_eq!(replay.trace, trace, "replay trace must be byte-identical");
     }
 
     /// The subsystem's acceptance test: the planted ordering bug must be

@@ -1,0 +1,199 @@
+//! `async`/`await` entry points for communicator operations.
+//!
+//! Every nonblocking handle this runtime hands out is already a
+//! `Future` ([`mpfa_core::Request`], [`crate::RecvRequest`],
+//! [`crate::CollFuture`]); the methods here are the ergonomic layer on
+//! top: initiate the operation, get back a future resolving to typed
+//! data with MPI-level errors (`MpiError`), ready to be spawned on an
+//! `mpfa-async` executor or driven by `block_on`.
+//!
+//! Initiation errors (bad rank, bad tag) surface immediately from the
+//! method; completion-time faults (peer failure, revocation — the ULFM
+//! path) surface through the future's output.
+
+use std::future::Future;
+
+use mpfa_core::Status;
+
+use crate::comm::Comm;
+use crate::datatype::MpiType;
+use crate::error::{MpiError, MpiResult};
+use crate::op::{Op, Reducible};
+
+impl Comm {
+    /// Initiate a send and return a future resolving when the payload is
+    /// delivered (or the operation is doomed by a fault).
+    pub fn send_async<T: MpiType>(
+        &self,
+        data: &[T],
+        dst: i32,
+        tag: i32,
+    ) -> MpiResult<impl Future<Output = MpiResult<Status>>> {
+        let req = self.isend(data, dst, tag)?;
+        Ok(async move { req.await.map_err(MpiError::from) })
+    }
+
+    /// Initiate a receive of up to `count` elements and return a future
+    /// resolving to the typed payload and status.
+    pub fn recv_async<T: MpiType>(
+        &self,
+        count: usize,
+        src: i32,
+        tag: i32,
+    ) -> MpiResult<impl Future<Output = MpiResult<(Vec<T>, Status)>>> {
+        let recv = self.irecv::<T>(count, src, tag)?;
+        Ok(async move { recv.await.map_err(MpiError::from) })
+    }
+
+    /// Initiate an allreduce and return a future resolving to the
+    /// reduced vector.
+    pub fn allreduce_async<T: Reducible>(
+        &self,
+        data: &[T],
+        op: Op,
+    ) -> MpiResult<impl Future<Output = MpiResult<Vec<T>>>> {
+        let fut = self.iallreduce(data, op)?;
+        Ok(async move {
+            let (out, _status) = fut.await.map_err(MpiError::from)?;
+            Ok(out)
+        })
+    }
+
+    /// Initiate a barrier and return a future resolving when every rank
+    /// has entered it.
+    pub fn barrier_async(&self) -> MpiResult<impl Future<Output = MpiResult<()>>> {
+        let fut = self.ibarrier()?;
+        Ok(async move {
+            fut.await.map_err(MpiError::from)?;
+            Ok(())
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::collectives::testutil::run_ranks;
+    use std::future::Future;
+    use std::pin::pin;
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+    use std::task::{Context, Poll, Wake, Waker};
+
+    use mpfa_core::Stream;
+
+    struct FlagWake(AtomicBool);
+    impl Wake for FlagWake {
+        fn wake(self: Arc<Self>) {
+            self.0.store(true, Ordering::Release);
+        }
+    }
+
+    /// Local test-only block_on (the real one lives in `mpfa-async`,
+    /// which sits above this crate).
+    fn drive<F: Future>(stream: &Stream, fut: F) -> F::Output {
+        let flag = Arc::new(FlagWake(AtomicBool::new(false)));
+        let waker = Waker::from(flag.clone());
+        let mut cx = Context::from_waker(&waker);
+        let mut fut = pin!(fut);
+        loop {
+            if let Poll::Ready(v) = fut.as_mut().poll(&mut cx) {
+                return v;
+            }
+            while !flag.0.swap(false, Ordering::Acquire) {
+                stream.progress();
+            }
+        }
+    }
+
+    #[test]
+    fn send_recv_async_roundtrip() {
+        let results = run_ranks(2, |proc| {
+            let comm = proc.world_comm();
+            let stream = proc.default_stream().clone();
+            if comm.rank() == 0 {
+                let fut = comm.send_async(&[1i32, 2, 3], 1, 9).unwrap();
+                let st = drive(&stream, fut).unwrap();
+                assert!(!st.cancelled);
+                Vec::new()
+            } else {
+                let fut = comm.recv_async::<i32>(3, 0, 9).unwrap();
+                let (data, st) = drive(&stream, fut).unwrap();
+                assert_eq!(st.source, 0);
+                data
+            }
+        });
+        assert_eq!(results[1], vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn allreduce_async_reduces() {
+        let results = run_ranks(4, |proc| {
+            let comm = proc.world_comm();
+            let stream = proc.default_stream().clone();
+            let fut = comm
+                .allreduce_async(&[proc.rank() as i64 + 1], Op::Sum)
+                .unwrap();
+            drive(&stream, fut).unwrap()
+        });
+        for r in results {
+            assert_eq!(r, vec![10]);
+        }
+    }
+
+    #[test]
+    fn barrier_async_completes() {
+        run_ranks(3, |proc| {
+            let comm = proc.world_comm();
+            let stream = proc.default_stream().clone();
+            let fut = comm.barrier_async().unwrap();
+            drive(&stream, fut).unwrap();
+        });
+    }
+
+    #[test]
+    fn send_async_invalid_rank_fails_at_initiation() {
+        run_ranks(2, |proc| {
+            let comm = proc.world_comm();
+            assert!(matches!(
+                comm.send_async(&[0u8], 7, 0).map(|_| ()),
+                Err(MpiError::InvalidRank { rank: 7, .. })
+            ));
+        });
+    }
+
+    #[test]
+    fn awaited_recv_from_failed_peer_errors() {
+        use crate::DetectorConfig;
+        let victim_out = AtomicBool::new(false);
+        let results = run_ranks(2, |proc| {
+            proc.enable_resilience(DetectorConfig::default());
+            let comm = proc.world_comm();
+            let stream = proc.default_stream().clone();
+            if proc.rank() == 1 {
+                // Rank 1 posts a receive rank 0 will never satisfy, then
+                // kills rank 0 once it has stopped participating; the
+                // await must resolve to an error, not hang.
+                let fut = comm.recv_async::<u8>(8, 0, 5).unwrap();
+                while !victim_out.load(Ordering::Acquire) {
+                    std::hint::spin_loop();
+                }
+                assert!(proc.world().chaos_kill(0));
+                let res = drive(&stream, fut);
+                assert!(
+                    matches!(
+                        res,
+                        Err(MpiError::ProcFailed { .. }) | Err(MpiError::Revoked)
+                    ),
+                    "expected fault, got {res:?}"
+                );
+                true
+            } else {
+                // Rank 0: vanish without sending.
+                victim_out.store(true, Ordering::Release);
+                false
+            }
+        });
+        assert!(results[1]);
+    }
+}

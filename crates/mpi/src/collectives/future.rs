@@ -1,6 +1,9 @@
 //! Completion handle of a nonblocking collective.
 
+use std::future::Future;
+use std::pin::Pin;
 use std::sync::Arc;
+use std::task::{Context, Poll};
 
 use mpfa_core::sync::Mutex;
 use mpfa_core::{Request, RequestError, Status};
@@ -73,6 +76,23 @@ impl<T> CollFuture<T> {
     pub fn take(self) -> Vec<T> {
         assert!(self.is_complete(), "CollFuture::take before completion");
         std::mem::take(&mut *self.out.lock())
+    }
+}
+
+/// Awaiting a nonblocking collective resolves to its typed result and
+/// status at completion, or to the fault that aborted it.
+impl<T> Future for CollFuture<T> {
+    type Output = Result<(Vec<T>, Status), RequestError>;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        let this = self.get_mut();
+        match Pin::new(&mut this.req).poll(cx) {
+            Poll::Ready(Ok(status)) => {
+                Poll::Ready(Ok((std::mem::take(&mut *this.out.lock()), status)))
+            }
+            Poll::Ready(Err(err)) => Poll::Ready(Err(err)),
+            Poll::Pending => Poll::Pending,
+        }
     }
 }
 

@@ -34,6 +34,7 @@
 
 #![warn(missing_docs)]
 
+pub mod async_api;
 pub mod cart;
 pub mod collectives;
 pub mod comm;

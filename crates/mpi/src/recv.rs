@@ -6,9 +6,12 @@
 //! completion. `is_complete` remains the side-effect-free atomic query of
 //! the paper's `MPIX_Request_is_complete`.
 
+use std::future::Future;
 use std::marker::PhantomData;
+use std::pin::Pin;
+use std::task::{Context, Poll};
 
-use mpfa_core::{Request, Status};
+use mpfa_core::{Request, RequestError, Status};
 
 use crate::datatype::{from_bytes, MpiType};
 use crate::matching::RecvSlot;
@@ -17,7 +20,10 @@ use crate::matching::RecvSlot;
 pub struct RecvRequest<T: MpiType> {
     req: Request,
     slot: RecvSlot,
-    _elem: PhantomData<T>,
+    // `fn() -> T` rather than `T`: marks the element type without
+    // inheriting `T`'s auto traits, so the handle stays `Unpin` (its
+    // `Future` impl never pins `T` itself).
+    _elem: PhantomData<fn() -> T>,
 }
 
 impl<T: MpiType> RecvRequest<T> {
@@ -70,6 +76,23 @@ impl<T: MpiType> RecvRequest<T> {
             .status()
             .expect("RecvRequest::take on incomplete receive");
         (from_bytes(&self.slot.take()), status)
+    }
+}
+
+/// Awaiting a receive resolves to its typed payload and status once the
+/// message lands (or to the `RequestError` that doomed it). Uses the
+/// per-request waker bridge: the awaiting task is woken by the sweep that
+/// completes the receive.
+impl<T: MpiType> Future for RecvRequest<T> {
+    type Output = Result<(Vec<T>, Status), RequestError>;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        let this = self.get_mut();
+        match Pin::new(&mut this.req).poll(cx) {
+            Poll::Ready(Ok(status)) => Poll::Ready(Ok((from_bytes(&this.slot.take()), status))),
+            Poll::Ready(Err(err)) => Poll::Ready(Err(err)),
+            Poll::Pending => Poll::Pending,
+        }
     }
 }
 

@@ -374,9 +374,10 @@ impl Resilience {
             tag,
         };
         let ep = self.world.config().ep_index(dst_world, 0);
-        let _ = self
-            .vci0
-            .isend_bytes_mode(ep, hdr, payload, SendMode::Buffered);
+        drop(
+            self.vci0
+                .isend_bytes_mode(ep, hdr, payload, SendMode::Buffered),
+        );
     }
 
     /// Post a control-plane receive from `src_world` with exact `tag`.

@@ -88,6 +88,16 @@ pub struct Counters {
     /// Deterministic-simulation schedules fully explored (one per seed
     /// run to completion by the `mpfa-dst` explore runner).
     pub dst_schedules_explored: AtomicU64,
+    /// Continuations attached to requests (`Request::on_complete`).
+    pub continuations_attached: AtomicU64,
+    /// Continuations handed to a stream's deferred-execution list (the
+    /// request completed; the callback is queued awaiting a drain).
+    pub continuations_ready: AtomicU64,
+    /// Continuations actually executed (drained from the deferred list or
+    /// run inline when the bound stream was gone).
+    pub continuations_fired: AtomicU64,
+    /// Task wakers invoked by request completion (the async/await bridge).
+    pub wakers_woken: AtomicU64,
 }
 
 /// Plain-integer copy of a [`Counters`] at a point in time.
@@ -157,6 +167,14 @@ pub struct CounterSnapshot {
     pub detector_epochs: u64,
     /// Deterministic-simulation schedules fully explored.
     pub dst_schedules_explored: u64,
+    /// Continuations attached to requests.
+    pub continuations_attached: u64,
+    /// Continuations enqueued for deferred execution.
+    pub continuations_ready: u64,
+    /// Continuations executed.
+    pub continuations_fired: u64,
+    /// Task wakers invoked by request completion.
+    pub wakers_woken: u64,
 }
 
 impl Counters {
@@ -267,6 +285,10 @@ impl Counters {
             agree_rounds: self.agree_rounds.load(Ordering::Relaxed),
             detector_epochs: self.detector_epochs.load(Ordering::Relaxed),
             dst_schedules_explored: self.dst_schedules_explored.load(Ordering::Relaxed),
+            continuations_attached: self.continuations_attached.load(Ordering::Relaxed),
+            continuations_ready: self.continuations_ready.load(Ordering::Relaxed),
+            continuations_fired: self.continuations_fired.load(Ordering::Relaxed),
+            wakers_woken: self.wakers_woken.load(Ordering::Relaxed),
         }
     }
 
@@ -303,6 +325,10 @@ impl Counters {
         self.agree_rounds.store(0, Ordering::Relaxed);
         self.detector_epochs.store(0, Ordering::Relaxed);
         self.dst_schedules_explored.store(0, Ordering::Relaxed);
+        self.continuations_attached.store(0, Ordering::Relaxed);
+        self.continuations_ready.store(0, Ordering::Relaxed);
+        self.continuations_fired.store(0, Ordering::Relaxed);
+        self.wakers_woken.store(0, Ordering::Relaxed);
     }
 }
 
@@ -372,6 +398,15 @@ impl std::fmt::Display for CounterSnapshot {
             "resil:    {} ranks failed, {} comms revoked, {} agree ops, \
              {} detector epochs",
             self.ranks_failed, self.comms_revoked, self.agree_rounds, self.detector_epochs
+        )?;
+        writeln!(
+            f,
+            "async:    continuations {} attached / {} ready / {} fired, \
+             {} wakers woken",
+            self.continuations_attached,
+            self.continuations_ready,
+            self.continuations_fired,
+            self.wakers_woken
         )?;
         write!(
             f,

@@ -458,6 +458,34 @@ pub fn diagnose_with_counters(
         }
     }
 
+    // Pathology 7: completed request with an unfired continuation.
+    // `continuations_ready` counts callbacks handed to a stream's
+    // deferred-execution list at request completion; `continuations_fired`
+    // counts callbacks actually run by a later progress call. A lasting
+    // gap means requests completed but nobody progressed their stream
+    // afterwards — the callbacks (and anything chained on them) are
+    // stranded.
+    if let Some(c) = counters {
+        if c.continuations_ready > c.continuations_fired {
+            let stranded = c.continuations_ready - c.continuations_fired;
+            report.diagnoses.push(Diagnosis {
+                severity: Severity::Critical,
+                title: format!("{stranded} completed request(s) with an unfired continuation"),
+                detail: format!(
+                    "{} continuation(s) attached, {} became ready at completion, \
+                     only {} ran",
+                    c.continuations_attached, c.continuations_ready, c.continuations_fired
+                ),
+                advice: "continuations run deferred, on the next progress call \
+                         after the completing sweep: keep calling \
+                         MPIX_Stream_progress (or Stream::drain) on the stream \
+                         after the operation completes, or the attached \
+                         callbacks never execute"
+                    .to_string(),
+            });
+        }
+    }
+
     report
         .diagnoses
         .sort_by_key(|d| std::cmp::Reverse(d.severity));
@@ -819,6 +847,38 @@ mod tests {
     fn no_rank_failures_is_healthy() {
         let counters = CounterSnapshot {
             detector_epochs: 5, // epochs without failures are fine
+            ..Default::default()
+        };
+        let report = diagnose_with_counters(&[], Some(&counters), &DoctorConfig::default());
+        assert!(report.healthy(), "{report}");
+    }
+
+    #[test]
+    fn flags_stranded_continuation() {
+        let counters = CounterSnapshot {
+            continuations_attached: 3,
+            continuations_ready: 3,
+            continuations_fired: 1,
+            ..Default::default()
+        };
+        let report = diagnose_with_counters(&[], Some(&counters), &DoctorConfig::default());
+        assert_eq!(report.criticals().count(), 1);
+        let d = &report.diagnoses[0];
+        assert!(d
+            .title
+            .contains("2 completed request(s) with an unfired continuation"));
+        assert!(d.detail.contains("3 continuation(s) attached"));
+        assert!(d.advice.contains("MPIX_Stream_progress"));
+    }
+
+    #[test]
+    fn fired_continuations_are_healthy() {
+        // Attached-but-not-yet-ready is fine (operations still pending);
+        // ready == fired is fine (all callbacks ran).
+        let counters = CounterSnapshot {
+            continuations_attached: 5,
+            continuations_ready: 2,
+            continuations_fired: 2,
             ..Default::default()
         };
         let report = diagnose_with_counters(&[], Some(&counters), &DoctorConfig::default());

@@ -13,6 +13,10 @@
 //! * [`mpi`] — an MPI-like message-passing runtime (communicators,
 //!   point-to-point protocols, collectives) whose internal subsystems are
 //!   progress hooks on `core` streams.
+//! * [`cont`] — `MPIX_Continue` continuations and native Rust
+//!   async/await on top of the request/stream machinery: attach-to-many
+//!   continuation requests, a stream-driven executor, `block_on`,
+//!   `join_all`. See `docs/ASYNC.md`.
 //! * [`interop`] — what the extensions enable: user-level collectives,
 //!   task classes, completion callbacks, continuation- and schedule-style
 //!   comparator APIs, an event loop.
@@ -37,6 +41,7 @@
 //! See `README.md` for a tour and `EXPERIMENTS.md` for the figure-by-figure
 //! reproduction of the paper's evaluation.
 
+pub use mpfa_async as cont;
 pub use mpfa_baselines as baselines;
 pub use mpfa_core as core;
 pub use mpfa_dst as dst;

@@ -1,0 +1,254 @@
+//! Continuation and async/await semantics under explored schedules.
+//!
+//! The deferred-execution contract — continuations enqueue at the
+//! completing sweep and run on the *next* progress call, exactly once,
+//! outside any engine lock — has to hold whichever way the schedule
+//! interleaves attach, completion, drain, new-op posting, and failure
+//! detection. Scenarios here are nonblocking only (`is_complete` +
+//! `run_until`); the schedule owns every progress call.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+use mpfa::cont::{ContinuationRequest, Executor};
+use mpfa::dst::{check, explore, fixtures, seeds, Sim, SimConfig};
+use mpfa::mpi::DetectorConfig;
+
+fn resilient(ranks: usize) -> SimConfig {
+    SimConfig {
+        resilience: Some(DetectorConfig { quiet_period: 1e9 }),
+        ..SimConfig::ranks(ranks)
+    }
+}
+
+/// Attach racing completion: the schedule decides how far the transfer
+/// has progressed before `on_complete` runs — sometimes the request is
+/// still pending (callback parks in the registry), sometimes already
+/// complete (callback re-dispatches immediately). Either way it must
+/// fire exactly once.
+#[test]
+fn attach_racing_completion_fires_exactly_once() {
+    check("conf_cont_attach_race", &SimConfig::ranks(2), 64, |sim| {
+        let comms = sim.world_comms();
+        let recv = comms[1].irecv::<u32>(1, 0, 3).unwrap();
+        let send = comms[0].isend(&[5u32], 1, 3).unwrap();
+        // Let the schedule advance an arbitrary amount: the attach below
+        // lands before, during, or after completion depending on seed.
+        sim.run_steps(6);
+        let fired = Arc::new(AtomicUsize::new(0));
+        let f2 = fired.clone();
+        recv.request().on_complete(move |res| {
+            let st = res.expect("recv failed");
+            assert_eq!(st.source, 0);
+            f2.fetch_add(1, Ordering::SeqCst);
+        });
+        assert!(
+            sim.run_until(|| send.is_complete() && fired.load(Ordering::SeqCst) == 1),
+            "continuation never fired"
+        );
+        // Further progress must not re-fire it.
+        sim.run_steps(8);
+        assert_eq!(fired.load(Ordering::SeqCst), 1, "continuation re-fired");
+    });
+}
+
+/// A continuation may itself post new operations and attach new
+/// continuations (the paper's user-level chaining): ping's continuation
+/// posts the pong, pong's continuation sets the flag — under every
+/// schedule, including ones that complete the ping before the pong recv
+/// is even posted.
+#[test]
+fn continuation_posts_new_ops_and_chains() {
+    check("conf_cont_chain", &SimConfig::ranks(2), 64, |sim| {
+        let comms = sim.world_comms();
+        let done = Arc::new(AtomicUsize::new(0));
+
+        // Rank 0 will eventually get the pong back.
+        let pong_recv = comms[0].irecv::<u32>(1, 1, 8).unwrap();
+        let done2 = done.clone();
+        pong_recv.request().on_complete(move |res| {
+            res.expect("pong recv failed");
+            done2.fetch_add(1, Ordering::SeqCst);
+        });
+
+        // Rank 1's recv continuation posts the pong from inside the
+        // callback (which runs on whichever thread progressed rank 1's
+        // stream — here, the sim driver).
+        let ping_recv = comms[1].irecv::<u32>(1, 0, 7).unwrap();
+        let reply_comm = comms[1].clone();
+        ping_recv.request().on_complete(move |res| {
+            let st = res.expect("ping recv failed");
+            assert_eq!(st.source, 0);
+            // New op + new continuation from inside a continuation.
+            let pong = reply_comm.isend(&[9u32], 0, 8).unwrap();
+            pong.on_complete(|res| {
+                res.expect("pong send failed");
+            });
+        });
+
+        let ping = comms[0].isend(&[1u32], 1, 7).unwrap();
+        assert!(
+            sim.run_until(|| ping.is_complete() && done.load(Ordering::SeqCst) == 1),
+            "chained continuation never completed"
+        );
+    });
+}
+
+/// MPIX_Continue attach-to-many: an aggregate over a window of p2p
+/// operations completes exactly when the last member does, whatever
+/// completion order the schedule produces.
+#[test]
+fn aggregate_completes_when_all_members_do() {
+    check("conf_cont_aggregate", &SimConfig::ranks(3), 32, |sim| {
+        let comms = sim.world_comms();
+        let stream = sim.proc(0).default_stream().clone();
+        let agg = ContinuationRequest::new(&stream);
+
+        // Rank 0 receives one message from each peer and sends one back.
+        let mut recvs = Vec::new();
+        for peer in 1..3i32 {
+            let r = comms[0].irecv::<u64>(1, peer, 11).unwrap();
+            agg.attach(&r.request(), |res| {
+                res.expect("window recv failed");
+            });
+            recvs.push(r);
+            let s = comms[0].isend(&[peer as u64], peer, 12).unwrap();
+            agg.attach_all(&[s]);
+        }
+        for (peer, comm) in comms.iter().enumerate().skip(1) {
+            let _echo = comm.irecv::<u64>(1, 0, 12).unwrap();
+            comm.isend(&[peer as u64 * 10], 0, 11).unwrap();
+        }
+
+        let window = agg.start();
+        assert!(
+            sim.run_until(|| window.is_complete()),
+            "aggregate never completed"
+        );
+        assert!(window.result().unwrap().is_ok());
+        for r in recvs {
+            let (data, st) = r.take();
+            assert_eq!(data, vec![st.source as u64 * 10]);
+        }
+    });
+}
+
+/// Kill a peer mid-await: a continuation attached to a receive from the
+/// victim must fire with an error (never hang, never fire Ok), whichever
+/// schedule interleaves detection, completion, and drain.
+#[test]
+fn killed_peer_fires_continuation_with_error() {
+    check("conf_cont_kill", &resilient(3), 32, |sim| {
+        const VICTIM: usize = 2;
+        let comms = sim.world_comms();
+        let recv = comms[0].irecv::<u8>(4, VICTIM as i32, 13).unwrap();
+        let outcome: Arc<Mutex<Option<Result<(), String>>>> = Arc::new(Mutex::new(None));
+        let o2 = outcome.clone();
+        recv.request().on_complete(move |res| {
+            *o2.lock().unwrap() = Some(match res {
+                Ok(st) if st.cancelled => Err("cancelled".into()),
+                Ok(_) => Ok(()),
+                Err(e) => Err(format!("{e:?}")),
+            });
+        });
+        assert!(sim.kill_at(VICTIM, 2e-6));
+        assert!(
+            sim.run_until(|| outcome.lock().unwrap().is_some()),
+            "continuation never fired after peer death"
+        );
+        let got = outcome.lock().unwrap().clone().unwrap();
+        assert!(
+            got.is_err(),
+            "recv from a dead rank completed successfully: {got:?}"
+        );
+    });
+}
+
+/// The executor's pump is itself an MPIX_Async task, so awaiting works
+/// under the simulated schedule too: a spawned future awaits a receive
+/// and finishes once the message lands, driven purely by scheduled
+/// progress calls (never `join`, which would block the sim thread).
+#[test]
+fn executor_task_awaits_recv_under_schedules() {
+    check("conf_cont_executor", &SimConfig::ranks(2), 32, |sim| {
+        let comms = sim.world_comms();
+        let exec = Executor::new(sim.proc(1).default_stream());
+        let recv = comms[1].irecv::<u32>(1, 0, 14).unwrap();
+        let handle = exec.spawn(async move {
+            let (data, st) = recv.await.expect("awaited recv failed");
+            assert_eq!(st.source, 0);
+            data[0]
+        });
+        let send = comms[0].isend(&[77u32], 1, 14).unwrap();
+        assert!(
+            sim.run_until(|| send.is_complete() && handle.is_finished()),
+            "awaiting task never finished"
+        );
+        assert_eq!(handle.join(), 77);
+    });
+}
+
+/// Replay contract for the continuation machinery itself: a
+/// continuation-heavy scenario must produce byte-identical traces when a
+/// seed is rerun (the deferred-callback queue is part of the determinism
+/// surface now).
+#[test]
+fn continuation_scenario_replays_byte_identical() {
+    fn scenario(sim: &mut Sim) {
+        let comms = sim.world_comms();
+        let fired = Arc::new(AtomicUsize::new(0));
+        let mut sends = Vec::new();
+        for (src, dst) in [(0usize, 1usize), (1, 2), (2, 0)] {
+            let r = comms[dst].irecv::<u32>(1, src as i32, 15).unwrap();
+            let f = fired.clone();
+            r.request().on_complete(move |res| {
+                res.expect("ring recv failed");
+                f.fetch_add(1, Ordering::SeqCst);
+            });
+            sends.push(comms[src].isend(&[src as u32], dst as i32, 15).unwrap());
+        }
+        assert!(
+            sim.run_until(|| {
+                sends.iter().all(|s| s.is_complete()) && fired.load(Ordering::SeqCst) == 3
+            }),
+            "ring continuations never all fired"
+        );
+    }
+    let cfg = SimConfig::ranks(3);
+    for seed in seeds(0xC047, 4) {
+        let run = || {
+            let mut sim = Sim::new(cfg.with_seed(seed));
+            scenario(&mut sim);
+            let trace = sim.trace_string();
+            assert!(sim.shutdown(), "seed {seed} failed to drain");
+            trace
+        };
+        let (first, second) = (run(), run());
+        assert!(
+            first == second,
+            "seed {seed} diverged:\n--- run 1 ---\n{first}\n--- run 2 ---\n{second}"
+        );
+    }
+}
+
+/// The explorer must catch a schedule-dependent continuation-ordering
+/// bug within 64 seeds — proof the seeds actually reach the deferred
+/// firing order (integration twin of the unit test in `mpfa-dst`).
+#[test]
+fn explorer_catches_planted_continuation_bug() {
+    let cfg = SimConfig::ranks(3);
+    let failure = explore(
+        &cfg,
+        seeds(0xC047BAD, 64),
+        fixtures::planted_continuation_order_bug,
+    )
+    .expect_err("planted continuation bug escaped 64 schedules");
+    let replay = explore(
+        &cfg,
+        [failure.seed],
+        fixtures::planted_continuation_order_bug,
+    )
+    .expect_err("failing seed did not reproduce");
+    assert_eq!(replay.message, failure.message);
+    assert_eq!(replay.trace, failure.trace);
+}

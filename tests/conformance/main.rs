@@ -11,6 +11,7 @@
 //! `MPFA_DST_SEED=<seed> cargo test --test conformance <name>`.
 //! `MPFA_DST_SEEDS=<n>` scales the exploration (CI nightlies raise it).
 
+mod continuations;
 mod determinism;
 mod grequest;
 mod p2p;
