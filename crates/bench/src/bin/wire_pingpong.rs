@@ -1,22 +1,40 @@
 //! Wire transport micro-benchmark: two-rank ping-pong over the simulated
-//! fabric, loopback TCP, and Unix domain sockets.
+//! fabric, loopback TCP, Unix domain sockets, and shared-memory rings.
 //!
 //! For each transport and message size the benchmark measures half the
 //! round-trip time (the conventional "latency" of a ping-pong) and the
 //! realized bandwidth. The sim numbers are the no-syscall baseline; the
 //! TCP/UDS columns show what the same protocol stack pays for a real
-//! kernel socket path — which is exactly what `mpfa-transport` is for.
+//! kernel socket path; the SHM column shows the zero-copy ring datapath,
+//! where the only payload movement per hop is the sender's single
+//! `encode_into` write and the receiver completes with a refcounted view
+//! into the ring.
 //!
-//! `--json PATH` writes a machine-readable record (CI writes
-//! `results/wire_pingpong.json`); `--smoke` shrinks the sweep and arms a
-//! watchdog that exits 124 if a transport wedges.
+//! The traffic runs on the byte-level API (`Comm::isend_bytes` /
+//! `Comm::irecv_bytes`), so no typed pack/unpack copies pollute the
+//! transport comparison.
+//!
+//! Flags:
+//! * `--json PATH` — write a machine-readable record (CI writes
+//!   `results/wire_pingpong.json`).
+//! * `--smoke` — shrink the sweep and arm a watchdog that exits 124 if a
+//!   transport wedges.
+//! * `--transport NAME` — run only the named backend (`sim`/`tcp`/`uds`/
+//!   `shm`); repeatable.
+//! * `--large` — 4 KiB–4 MiB sweep over the wire backends plus a memcpy
+//!   reference row (`results/shm_pingpong.json` in CI): the reference
+//!   copies the payload through a ring-sized arena, i.e. exactly the
+//!   single data movement the SHM send path performs, so "within 2x of
+//!   memcpy" means "within 2x of the one copy that is fundamentally
+//!   required".
 
+use std::hint::black_box;
 use std::sync::Arc;
 
 use mpfa_bench::json::JsonObj;
 use mpfa_core::wtime;
 use mpfa_mpi::wire::WireMsg;
-use mpfa_mpi::{Comm, World, WorldConfig};
+use mpfa_mpi::{Comm, MpfaBytes, World, WorldConfig};
 use mpfa_transport::{loopback_mesh, Transport, TransportKind, WireOpts};
 
 /// (payload bytes, measured iterations) — reps shrink as sizes grow so
@@ -28,11 +46,39 @@ const SWEEP: [(usize, usize); 5] = [
     (65536, 200),
     (1 << 20, 30),
 ];
+/// The `--large` sweep: 4 KiB to 4 MiB, where the zero-copy datapath is
+/// what separates the backends.
+const LARGE_SWEEP: [(usize, usize); 6] = [
+    (4096, 1000),
+    (16384, 600),
+    (65536, 300),
+    (262144, 100),
+    (1 << 20, 40),
+    (1 << 22, 10),
+];
 const WARMUP: usize = 20;
+/// The memcpy reference cycles through an arena this large — the default
+/// SHM ring capacity — so it pays the same cache footprint as the ring.
+const MEMCPY_ARENA: usize = 16 << 20;
 
 struct Config {
     json_path: String,
     smoke: bool,
+    large: bool,
+    transports: Vec<TransportKind>,
+}
+
+fn parse_kind(name: &str) -> TransportKind {
+    match name {
+        "sim" => TransportKind::Sim,
+        "tcp" => TransportKind::Tcp,
+        "uds" => TransportKind::Uds,
+        "shm" => TransportKind::Shm,
+        other => {
+            eprintln!("wire_pingpong: unknown transport {other} (want sim|tcp|uds|shm)");
+            std::process::exit(2);
+        }
+    }
 }
 
 impl Config {
@@ -40,14 +86,23 @@ impl Config {
         let mut cfg = Config {
             json_path: String::new(),
             smoke: false,
+            large: false,
+            transports: Vec::new(),
         };
         let mut args = std::env::args().skip(1);
         while let Some(a) = args.next() {
             match a.as_str() {
                 "--json" => cfg.json_path = args.next().unwrap_or_default(),
                 "--smoke" => cfg.smoke = true,
+                "--large" => cfg.large = true,
+                "--transport" => cfg
+                    .transports
+                    .push(parse_kind(&args.next().unwrap_or_default())),
                 other => {
-                    eprintln!("usage: wire_pingpong [--json PATH] [--smoke] (got {other})");
+                    eprintln!(
+                        "usage: wire_pingpong [--json PATH] [--smoke] [--large] \
+                         [--transport sim|tcp|uds|shm]... (got {other})"
+                    );
                     std::process::exit(2);
                 }
             }
@@ -64,11 +119,11 @@ struct Point {
     mb_per_s: f64,
 }
 
-/// Progress-and-yield wait: like `Request::wait` but yields the core
-/// between polls. A hot spin would hand an oversubscribed box (both
+/// Progress-and-yield wait: like `RecvBytesRequest::wait` but yields the
+/// core between polls. A hot spin would hand an oversubscribed box (both
 /// ranks pinned to one core) a full scheduler timeslice of dead time per
 /// message, and the bench would measure the OS quantum, not the wire.
-fn wait_yielding<T: mpfa_mpi::MpiType>(comm: &Comm, r: mpfa_mpi::RecvRequest<T>) -> Vec<T> {
+fn wait_yielding(comm: &Comm, r: mpfa_mpi::RecvBytesRequest) -> MpfaBytes {
     while !r.is_complete() {
         comm.stream().progress();
         std::thread::yield_now();
@@ -76,29 +131,34 @@ fn wait_yielding<T: mpfa_mpi::MpiType>(comm: &Comm, r: mpfa_mpi::RecvRequest<T>)
     r.take().0
 }
 
-/// Rank 0's side: send, await the echo, time the loop.
+/// Rank 0's side: send, await the echo, time the loop. The payload is
+/// built once; `MpfaBytes::clone` per rep is a refcount bump.
 fn ping(comm: &Comm, bytes: usize, reps: usize) -> f64 {
-    let payload = vec![0x2A_u8; bytes];
+    let payload: MpfaBytes = vec![0x2A_u8; bytes].into();
     for _ in 0..WARMUP {
-        let r = comm.irecv::<u8>(bytes, 1, 1).unwrap();
-        comm.isend(&payload, 1, 0).unwrap();
+        let r = comm.irecv_bytes(bytes, 1, 1).unwrap();
+        comm.isend_bytes(payload.clone(), 1, 0).unwrap();
         wait_yielding(comm, r);
     }
     let t0 = wtime();
     for _ in 0..reps {
-        let r = comm.irecv::<u8>(bytes, 1, 1).unwrap();
-        comm.isend(&payload, 1, 0).unwrap();
+        let r = comm.irecv_bytes(bytes, 1, 1).unwrap();
+        comm.isend_bytes(payload.clone(), 1, 0).unwrap();
+        // The echo (on SHM: a view into the ring) drops here, releasing
+        // its ring span before the next iteration needs the space.
         wait_yielding(comm, r);
     }
     wtime() - t0
 }
 
-/// Rank 1's side: echo everything back.
+/// Rank 1's side: echo everything back. On SHM the received view itself
+/// is handed to `isend_bytes`, so the echo re-injects straight from the
+/// peer's ring without an intermediate owned buffer.
 fn pong(comm: &Comm, bytes: usize, reps: usize) {
     for _ in 0..WARMUP + reps {
-        let r = comm.irecv::<u8>(bytes, 0, 0).unwrap();
+        let r = comm.irecv_bytes(bytes, 0, 0).unwrap();
         let data = wait_yielding(comm, r);
-        comm.isend(&data, 0, 1).unwrap();
+        comm.isend_bytes(data, 0, 1).unwrap();
     }
 }
 
@@ -158,6 +218,42 @@ fn run(kind: TransportKind, sweep: &[(usize, usize)]) -> Vec<Point> {
     })
 }
 
+/// The floor every local transport is chasing: one memcpy of the payload,
+/// cycling through a ring-sized arena so the cache behavior matches the
+/// SHM ring's. `usec_half_rtt` is the time for one copy (≙ one one-way
+/// hop); `mb_per_s` is the copy bandwidth.
+fn memcpy_reference(sweep: &[(usize, usize)]) -> Vec<Point> {
+    let max = sweep.iter().map(|&(b, _)| b).max().unwrap_or(0);
+    let src = vec![0x2A_u8; max];
+    let mut arena = vec![0_u8; MEMCPY_ARENA + max];
+    sweep
+        .iter()
+        .map(|&(bytes, reps)| {
+            let mut off = 0;
+            let mut copy_once = |off: &mut usize| {
+                arena[*off..*off + bytes].copy_from_slice(&src[..bytes]);
+                *off = (*off + bytes) % MEMCPY_ARENA;
+            };
+            for _ in 0..WARMUP {
+                copy_once(&mut off);
+            }
+            // Measure round trips (2 copies/rep) like the wire points.
+            let t0 = wtime();
+            for _ in 0..2 * reps {
+                copy_once(&mut off);
+            }
+            let secs = wtime() - t0;
+            black_box(&arena);
+            Point {
+                bytes,
+                reps,
+                usec_half_rtt: secs / (2.0 * reps as f64) * 1e6,
+                mb_per_s: (2 * bytes * reps) as f64 / secs / 1e6,
+            }
+        })
+        .collect()
+}
+
 fn main() {
     let cfg = Config::from_args();
     let sweep: Vec<(usize, usize)> = if cfg.smoke {
@@ -168,22 +264,37 @@ fn main() {
             std::process::exit(124);
         });
         vec![(8, 50), (65536, 10)]
+    } else if cfg.large {
+        LARGE_SWEEP.to_vec()
     } else {
         SWEEP.to_vec()
     };
 
-    let kinds: &[TransportKind] = if cfg!(unix) {
-        &[TransportKind::Sim, TransportKind::Tcp, TransportKind::Uds]
+    let kinds: Vec<TransportKind> = if !cfg.transports.is_empty() {
+        cfg.transports.clone()
+    } else if cfg.large {
+        // The zero-copy story: wire backends only, sim adds nothing here.
+        if cfg!(unix) {
+            vec![TransportKind::Tcp, TransportKind::Uds, TransportKind::Shm]
+        } else {
+            vec![TransportKind::Tcp]
+        }
+    } else if cfg!(unix) {
+        vec![
+            TransportKind::Sim,
+            TransportKind::Tcp,
+            TransportKind::Uds,
+            TransportKind::Shm,
+        ]
     } else {
-        &[TransportKind::Sim, TransportKind::Tcp]
+        vec![TransportKind::Sim, TransportKind::Tcp]
     };
 
     let mut records = Vec::new();
-    for &kind in kinds {
-        println!("== {kind} ==");
-        let points = run(kind, &sweep);
+    let mut emit = |name: &str, points: &[Point]| {
+        println!("== {name} ==");
         let mut point_objs = Vec::new();
-        for p in &points {
+        for p in points {
             println!(
                 "  {:>8} B  {:>10.2} us/half-rtt  {:>10.1} MB/s  ({} reps)",
                 p.bytes, p.usec_half_rtt, p.mb_per_s, p.reps
@@ -196,15 +307,23 @@ fn main() {
             point_objs.push(o);
         }
         let mut rec = JsonObj::new();
-        rec.str("transport", &kind.to_string())
-            .arr("points", &point_objs);
+        rec.str("transport", name).arr("points", &point_objs);
         records.push(rec);
+    };
+
+    for &kind in &kinds {
+        let points = run(kind, &sweep);
+        emit(&kind.to_string(), &points);
+    }
+    if cfg.large {
+        emit("memcpy", &memcpy_reference(&sweep));
     }
 
     if !cfg.json_path.is_empty() {
         let mut out = JsonObj::new();
         out.str("bench", "wire_pingpong")
             .bool("smoke", cfg.smoke)
+            .bool("large", cfg.large)
             .int("ranks", 2)
             .arr("transports", &records);
         out.write_to(&cfg.json_path).expect("write json");

@@ -17,12 +17,13 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use mpfa_core::{Request, RequestError, Status, Stream};
+use mpfa_transport::MpfaBytes;
 
 use crate::datatype::{to_bytes, MpiType};
 use crate::error::{MpiError, MpiResult};
 use crate::matching;
 use crate::proc::{Proc, VciBundle};
-use crate::recv::RecvRequest;
+use crate::recv::{RecvBytesRequest, RecvRequest};
 use crate::resilience::Resilience;
 use crate::wire::MsgHeader;
 
@@ -178,11 +179,34 @@ impl Comm {
         Ok(self.isend_on_ctx(self.ptp_ctx(), to_bytes(data), dst, tag))
     }
 
-    /// Nonblocking raw-bytes send.
-    pub fn isend_bytes(&self, data: Vec<u8>, dst: i32, tag: i32) -> MpiResult<Request> {
+    /// Nonblocking raw-bytes send. Accepts an owned buffer or an
+    /// [`MpfaBytes`] view; either way the payload is captured by
+    /// refcount, not copied.
+    pub fn isend_bytes(
+        &self,
+        data: impl Into<MpfaBytes>,
+        dst: i32,
+        tag: i32,
+    ) -> MpiResult<Request> {
         self.check_rank(dst)?;
         self.check_tag(tag)?;
         Ok(self.isend_on_ctx(self.ptp_ctx(), data, dst, tag))
+    }
+
+    /// Nonblocking raw-bytes receive whose payload comes out as a
+    /// refcounted view — the zero-copy receive path. On a shared-memory
+    /// transport a large payload completes as a window into the peer's
+    /// ring (released when the view drops); no typed conversion, no
+    /// flatten copy.
+    pub fn irecv_bytes(&self, capacity: usize, src: i32, tag: i32) -> MpiResult<RecvBytesRequest> {
+        if src != ANY_SOURCE {
+            self.check_rank(src)?;
+        }
+        if tag != ANY_TAG {
+            self.check_tag(tag)?;
+        }
+        let (req, slot) = self.irecv_on_ctx(self.ptp_ctx(), capacity, src, tag);
+        Ok(RecvBytesRequest::new(req, slot))
     }
 
     /// Blocking typed send (`MPI_Send`): initiation + wait driving this
@@ -264,7 +288,13 @@ impl Comm {
     /// send — including collective-internal rounds — is refused here once
     /// the communicator is revoked or the destination failed, so waits on
     /// the returned request terminate with an error instead of spinning.
-    pub(crate) fn isend_on_ctx(&self, ctx: u64, data: Vec<u8>, dst: i32, tag: i32) -> Request {
+    pub(crate) fn isend_on_ctx(
+        &self,
+        ctx: u64,
+        data: impl Into<MpfaBytes>,
+        dst: i32,
+        tag: i32,
+    ) -> Request {
         if let Some(err) = self.fault_for(Some(dst)) {
             return Request::failed(self.stream(), err);
         }

@@ -63,7 +63,7 @@ pub use error::{MpiError, MpiResult};
 pub use op::Op;
 pub use persistent::{PersistentRecv, PersistentSend};
 pub use proc::Proc;
-pub use recv::RecvRequest;
+pub use recv::{RecvBytesRequest, RecvRequest};
 pub use resilience::Resilience;
 // Re-export so callers of [`Proc::enable_resilience`] need not depend on
 // `mpfa-resil` directly.
@@ -71,4 +71,4 @@ pub use mpfa_resil::DetectorConfig;
 pub use vector_ops::VectorRecv;
 pub use world::{Launch, World, WorldConfig};
 
-pub use mpfa_transport::TransportKind;
+pub use mpfa_transport::{MpfaBytes, TransportKind};

@@ -30,17 +30,41 @@ use std::sync::Arc;
 
 use mpfa_core::sync::Mutex;
 use mpfa_core::Completer;
+use mpfa_transport::MpfaBytes;
 
 /// Wildcard source (`MPI_ANY_SOURCE`).
 pub const ANY_SOURCE: i32 = -1;
 /// Wildcard tag (`MPI_ANY_TAG`).
 pub const ANY_TAG: i32 = -1;
 
+/// What a [`RecvSlot`] currently holds. Single-frame payloads (eager, or
+/// a one-chunk rendezvous) stay as the refcounted view the transport
+/// delivered — on a shared-memory backend that is a window into the ring
+/// itself, released when the view drops. Chunked reassembly needs an
+/// owned buffer to scatter into.
+#[derive(Default)]
+enum SlotData {
+    #[default]
+    Empty,
+    Owned(Vec<u8>),
+    View(MpfaBytes),
+}
+
+impl SlotData {
+    fn len(&self) -> usize {
+        match self {
+            SlotData::Empty => 0,
+            SlotData::Owned(v) => v.len(),
+            SlotData::View(b) => b.len(),
+        }
+    }
+}
+
 /// Destination buffer of an in-progress receive, shared between the posting
 /// context and the progress hooks that fill it.
 #[derive(Clone, Default)]
 pub struct RecvSlot {
-    data: Arc<Mutex<Vec<u8>>>,
+    data: Arc<Mutex<SlotData>>,
 }
 
 impl RecvSlot {
@@ -49,24 +73,69 @@ impl RecvSlot {
         RecvSlot::default()
     }
 
-    /// Replace the slot contents wholesale (eager path).
+    /// Replace the slot contents wholesale with an owned buffer.
     pub fn set(&self, bytes: Vec<u8>) {
-        *self.data.lock() = bytes;
+        *self.data.lock() = SlotData::Owned(bytes);
+    }
+
+    /// Replace the slot contents wholesale with a payload view, without
+    /// copying (the zero-copy eager landing).
+    pub fn set_bytes(&self, bytes: MpfaBytes) {
+        *self.data.lock() = SlotData::View(bytes);
     }
 
     /// Ensure capacity `total` and copy `bytes` at `offset` (rendezvous
-    /// chunk path).
+    /// chunk reassembly — necessarily a copy, counted as such).
     pub fn write_at(&self, total: usize, offset: usize, bytes: &[u8]) {
+        use std::sync::atomic::Ordering;
         let mut data = self.data.lock();
-        if data.len() < total {
-            data.resize(total, 0);
+        // Reassembly scatters into an owned buffer; a view that somehow
+        // got here first (protocol bug) would be silently aliased, so
+        // flatten it defensively.
+        if let SlotData::View(view) = &*data {
+            *data = SlotData::Owned(view.to_vec());
         }
-        data[offset..offset + bytes.len()].copy_from_slice(bytes);
+        if let SlotData::Empty = &*data {
+            *data = SlotData::Owned(Vec::new());
+        }
+        let SlotData::Owned(buf) = &mut *data else {
+            unreachable!("slot flattened to owned above");
+        };
+        if buf.len() < total {
+            buf.resize(total, 0);
+        }
+        buf[offset..offset + bytes.len()].copy_from_slice(bytes);
+        mpfa_obs::global_counters()
+            .bytes_copied
+            .fetch_add(bytes.len() as u64, Ordering::Relaxed);
     }
 
-    /// Take the accumulated bytes out of the slot.
+    /// Take the accumulated bytes out of the slot as an owned vector.
+    /// Flattening a view costs one (counted) copy; callers that can keep
+    /// the payload as a slice use [`RecvSlot::take_bytes`] instead.
     pub fn take(&self) -> Vec<u8> {
-        std::mem::take(&mut *self.data.lock())
+        use std::sync::atomic::Ordering;
+        match std::mem::take(&mut *self.data.lock()) {
+            SlotData::Empty => Vec::new(),
+            SlotData::Owned(v) => v,
+            SlotData::View(b) => {
+                mpfa_obs::global_counters()
+                    .bytes_copied
+                    .fetch_add(b.len() as u64, Ordering::Relaxed);
+                b.to_vec()
+            }
+        }
+    }
+
+    /// Take the accumulated bytes out of the slot without copying: a
+    /// delivered view passes through as-is, an owned buffer is moved
+    /// into a view.
+    pub fn take_bytes(&self) -> MpfaBytes {
+        match std::mem::take(&mut *self.data.lock()) {
+            SlotData::Empty => MpfaBytes::empty(),
+            SlotData::Owned(v) => MpfaBytes::from(v),
+            SlotData::View(b) => b,
+        }
     }
 
     /// Current byte length.
@@ -115,8 +184,10 @@ pub enum Unexpected {
         src: i32,
         /// Message tag.
         tag: i32,
-        /// Full payload.
-        data: Vec<u8>,
+        /// Full payload, still the view the transport delivered (on a
+        /// shared-memory backend: a window into the ring, held until a
+        /// matching receive consumes it).
+        data: MpfaBytes,
     },
     /// A rendezvous announcement whose CTS we must defer until a receive
     /// is posted.
@@ -470,7 +541,7 @@ mod tests {
         Unexpected::Eager {
             src,
             tag,
-            data: vec![0xAB; n],
+            data: vec![0xAB; n].into(),
         }
     }
 
@@ -482,6 +553,31 @@ mod tests {
         assert_eq!(slot.len(), 3);
         assert_eq!(slot.take(), vec![1, 2, 3]);
         assert!(slot.is_empty());
+    }
+
+    #[test]
+    fn recv_slot_view_passthrough_is_zero_copy() {
+        let slot = RecvSlot::new();
+        let view = MpfaBytes::from(vec![1u8, 2, 3, 4]);
+        let ptr = view.as_ptr();
+        slot.set_bytes(view);
+        assert_eq!(slot.len(), 4);
+        let out = slot.take_bytes();
+        assert_eq!(out.as_ptr(), ptr, "view must pass through uncopied");
+        assert_eq!(&out[..], &[1, 2, 3, 4]);
+        assert!(slot.is_empty());
+    }
+
+    #[test]
+    fn recv_slot_take_flattens_view_and_counts_copy() {
+        let slot = RecvSlot::new();
+        slot.set_bytes(MpfaBytes::from(vec![9u8; 100]));
+        let before = mpfa_obs::global_counters().snapshot().bytes_copied;
+        assert_eq!(slot.take(), vec![9u8; 100]);
+        let after = mpfa_obs::global_counters().snapshot().bytes_copied;
+        // >= because the counters are process-global and other tests run
+        // concurrently.
+        assert!(after - before >= 100, "flattening a view is a counted copy");
     }
 
     #[test]

@@ -12,6 +12,7 @@ use std::pin::Pin;
 use std::task::{Context, Poll};
 
 use mpfa_core::{Request, RequestError, Status};
+use mpfa_transport::MpfaBytes;
 
 use crate::datatype::{from_bytes, MpiType};
 use crate::matching::RecvSlot;
@@ -55,13 +56,13 @@ impl<T: MpiType> RecvRequest<T> {
     /// typed payload.
     pub fn wait(self) -> (Vec<T>, Status) {
         let status = self.req.wait();
-        (from_bytes(&self.slot.take()), status)
+        (from_bytes(&self.slot.take_bytes()), status)
     }
 
     /// `MPI_Test`: one progress call; on completion, the typed payload.
     pub fn test(self) -> Result<(Vec<T>, Status), RecvRequest<T>> {
         match self.req.test() {
-            Some(status) => Ok((from_bytes(&self.slot.take()), status)),
+            Some(status) => Ok((from_bytes(&self.slot.take_bytes()), status)),
             None => Err(self),
         }
     }
@@ -75,7 +76,7 @@ impl<T: MpiType> RecvRequest<T> {
             .req
             .status()
             .expect("RecvRequest::take on incomplete receive");
-        (from_bytes(&self.slot.take()), status)
+        (from_bytes(&self.slot.take_bytes()), status)
     }
 }
 
@@ -89,10 +90,86 @@ impl<T: MpiType> Future for RecvRequest<T> {
     fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
         let this = self.get_mut();
         match Pin::new(&mut this.req).poll(cx) {
-            Poll::Ready(Ok(status)) => Poll::Ready(Ok((from_bytes(&this.slot.take()), status))),
+            Poll::Ready(Ok(status)) => {
+                Poll::Ready(Ok((from_bytes(&this.slot.take_bytes()), status)))
+            }
             Poll::Ready(Err(err)) => Poll::Ready(Err(err)),
             Poll::Pending => Poll::Pending,
         }
+    }
+}
+
+/// A pending raw-bytes receive whose payload comes out as a refcounted
+/// view ([`MpfaBytes`]) — the end of the zero-copy receive path. On a
+/// shared-memory transport a large payload completes as a window into
+/// the peer's ring, released when the view drops; no typed conversion,
+/// no flatten.
+pub struct RecvBytesRequest {
+    req: Request,
+    slot: RecvSlot,
+}
+
+impl RecvBytesRequest {
+    pub(crate) fn new(req: Request, slot: RecvSlot) -> RecvBytesRequest {
+        RecvBytesRequest { req, slot }
+    }
+
+    /// `MPIX_Request_is_complete`: atomic, no progress, no side effects.
+    #[inline]
+    pub fn is_complete(&self) -> bool {
+        self.req.is_complete()
+    }
+
+    /// A clone of the underlying request (for waitall-style aggregation).
+    pub fn request(&self) -> Request {
+        self.req.clone()
+    }
+
+    /// Completion status, if complete.
+    pub fn status(&self) -> Option<Status> {
+        self.req.status()
+    }
+
+    /// `MPI_Wait`: drive the bound stream until complete, then take the
+    /// payload view without copying.
+    pub fn wait(self) -> (MpfaBytes, Status) {
+        let status = self.req.wait();
+        (self.slot.take_bytes(), status)
+    }
+
+    /// Take the payload of an already-complete receive without waiting.
+    ///
+    /// # Panics
+    /// Panics if the request is not complete yet.
+    pub fn take(self) -> (MpfaBytes, Status) {
+        let status = self
+            .req
+            .status()
+            .expect("RecvBytesRequest::take on incomplete receive");
+        (self.slot.take_bytes(), status)
+    }
+}
+
+/// Awaiting resolves to the payload view and status (or the error that
+/// doomed the receive); same waker bridge as [`RecvRequest`].
+impl Future for RecvBytesRequest {
+    type Output = Result<(MpfaBytes, Status), RequestError>;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        let this = self.get_mut();
+        match Pin::new(&mut this.req).poll(cx) {
+            Poll::Ready(Ok(status)) => Poll::Ready(Ok((this.slot.take_bytes(), status))),
+            Poll::Ready(Err(err)) => Poll::Ready(Err(err)),
+            Poll::Pending => Poll::Pending,
+        }
+    }
+}
+
+impl std::fmt::Debug for RecvBytesRequest {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RecvBytesRequest")
+            .field("complete", &self.is_complete())
+            .finish()
     }
 }
 

@@ -14,7 +14,7 @@ use std::sync::Arc;
 use mpfa_core::sync::Mutex;
 use mpfa_core::{Completer, Request, RequestError, Status, Stream};
 use mpfa_fabric::{Endpoint, Path, TxHandle};
-use mpfa_transport::Transport;
+use mpfa_transport::{MpfaBytes, Transport};
 
 use crate::matching::{MatchState, PostedRecv, RecvSlot, Unexpected};
 use crate::protocol::{ProtoConfig, SendMode};
@@ -22,7 +22,9 @@ use crate::wire::{MsgHeader, WireMsg};
 
 /// A rendezvous send in flight (sender side).
 struct RndvSend {
-    data: Vec<u8>,
+    /// Full payload; chunks are sliced out of this view, so pumping the
+    /// pipeline never copies on the send side.
+    data: MpfaBytes,
     dst_ep: usize,
     /// Next unsent byte offset.
     offset: usize,
@@ -160,9 +162,26 @@ impl Vci {
     /// Nonblocking byte send to wire endpoint `dst_ep`.
     ///
     /// Picks the message mode by size (Figure 1(a)–(c)) and returns the
-    /// request tracking completion.
-    pub fn isend_bytes(&self, dst_ep: usize, hdr: MsgHeader, bytes: Vec<u8>) -> Request {
-        let mode = self.proto.mode_for(bytes.len());
+    /// request tracking completion. A transport that carries large
+    /// contiguous frames cheaply (the shared-memory ring) advertises an
+    /// eager ceiling via [`Transport::eager_hint`]; rendezvous-size
+    /// payloads under that ceiling are promoted to a single eager frame,
+    /// which on such a backend travels — and lands — without a copy.
+    pub fn isend_bytes(
+        &self,
+        dst_ep: usize,
+        hdr: MsgHeader,
+        bytes: impl Into<MpfaBytes>,
+    ) -> Request {
+        let bytes = bytes.into();
+        let mut mode = self.proto.mode_for(bytes.len());
+        if mode == SendMode::Rendezvous {
+            if let Some(max) = self.port.eager_hint() {
+                if bytes.len() <= max {
+                    mode = SendMode::Eager;
+                }
+            }
+        }
         self.isend_bytes_mode(dst_ep, hdr, bytes, mode)
     }
 
@@ -172,14 +191,16 @@ impl Vci {
         &self,
         dst_ep: usize,
         hdr: MsgHeader,
-        bytes: Vec<u8>,
+        bytes: impl Into<MpfaBytes>,
         mode: SendMode,
     ) -> Request {
+        let bytes = bytes.into();
         let n = bytes.len();
         match mode {
             SendMode::Buffered => {
                 // Lightweight send: inject and complete immediately; the
-                // (copied) buffer is already safe to reuse.
+                // payload view is captured by the packet, so the caller
+                // holds no aliasing obligation.
                 mpfa_obs::global_counters()
                     .eager_msgs
                     .fetch_add(1, Ordering::Relaxed);
@@ -558,8 +579,16 @@ impl Vci {
                     let Some(recv) = st.recvs.get_mut(&recv_id) else {
                         return;
                     };
-                    recv.slot.write_at(recv.total, offset, &data);
-                    recv.received += data.len();
+                    let dlen = data.len();
+                    if offset == 0 && dlen == recv.total {
+                        // Whole payload in one chunk: keep the delivered
+                        // view instead of copying it out (zero-copy
+                        // single-chunk rendezvous).
+                        recv.slot.set_bytes(data);
+                    } else {
+                        recv.slot.write_at(recv.total, offset, &data);
+                    }
+                    recv.received += dlen;
                     // Flow-control credit back to the sender.
                     self.port.send(
                         self.ep,
@@ -649,8 +678,10 @@ impl Vci {
         }
     }
 
-    /// Fill a matched receive from a complete eager payload.
-    fn complete_eager_recv(recv: PostedRecv, src: i32, tag: i32, data: Vec<u8>) {
+    /// Fill a matched receive from a complete eager payload. The view is
+    /// handed through uncopied — on a shared-memory backend the receive
+    /// completes pointing into the ring.
+    fn complete_eager_recv(recv: PostedRecv, src: i32, tag: i32, data: MpfaBytes) {
         assert!(
             data.len() <= recv.capacity,
             "message truncation: {} bytes into {}-byte receive (src {src}, tag {tag}) — \
@@ -659,7 +690,7 @@ impl Vci {
             recv.capacity,
         );
         let bytes = data.len();
-        recv.slot.set(data);
+        recv.slot.set_bytes(data);
         recv.completer.complete(Status {
             source: src,
             tag,
@@ -721,7 +752,8 @@ impl Vci {
         let total = send.data.len();
         while send.inflight < proto.depth && send.offset < total {
             let end = (send.offset + proto.chunk).min(total);
-            let chunk = send.data[send.offset..end].to_vec();
+            // Chunks are slices of the payload view: no per-chunk copy.
+            let chunk = send.data.slice(send.offset..end);
             let len = chunk.len();
             port.send(
                 src_ep,

@@ -11,7 +11,7 @@
 //!   bounded number of in-flight chunks).
 
 use mpfa_transport::codec::{put_i32, put_u64, ByteReader};
-use mpfa_transport::FrameCodec;
+use mpfa_transport::{FrameCodec, MpfaBytes};
 
 /// Matching metadata carried by message-bearing packets.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -32,8 +32,10 @@ pub enum WireMsg {
     Eager {
         /// Match header.
         hdr: MsgHeader,
-        /// Full payload.
-        data: Vec<u8>,
+        /// Full payload — a refcounted view, so a send captures the
+        /// caller's buffer without copying and a zero-copy receive can
+        /// hand a transport ring view straight through to the match.
+        data: MpfaBytes,
     },
     /// Ready-to-send: start of a rendezvous transfer.
     Rts {
@@ -57,8 +59,9 @@ pub enum WireMsg {
         recv_id: u64,
         /// Byte offset of this chunk in the full payload.
         offset: usize,
-        /// Chunk bytes.
-        data: Vec<u8>,
+        /// Chunk bytes (a slice of the sender's payload view; no
+        /// per-chunk copy on the send side).
+        data: MpfaBytes,
     },
     /// Receiver flow-control credit: one chunk landed; the sender may
     /// inject another (pipeline mode's bounded concurrency).
@@ -168,7 +171,7 @@ impl FrameCodec for WireMsg {
         let msg = match tag {
             TAG_EAGER => WireMsg::Eager {
                 hdr: read_hdr(&mut r)?,
-                data: r.rest().to_vec(),
+                data: MpfaBytes::copy_from(r.rest()),
             },
             TAG_RTS => WireMsg::Rts {
                 hdr: read_hdr(&mut r)?,
@@ -182,7 +185,7 @@ impl FrameCodec for WireMsg {
             TAG_DATA => WireMsg::Data {
                 recv_id: r.u64()?,
                 offset: r.u64()? as usize,
-                data: r.rest().to_vec(),
+                data: MpfaBytes::copy_from(r.rest()),
             },
             TAG_DATA_ACK => WireMsg::DataAck { send_id: r.u64()? },
             _ => return None,
@@ -190,6 +193,91 @@ impl FrameCodec for WireMsg {
         // Fixed-size variants must consume the payload exactly; the
         // data-bearing ones drained it via rest().
         r.is_empty().then_some(msg)
+    }
+
+    /// Zero-copy decode: the data-bearing variants keep a *slice* of the
+    /// delivered view as their payload instead of copying it out. This
+    /// is how a shared-memory ring view flows through matching into the
+    /// application's receive without a memcpy.
+    fn decode_bytes(bytes: MpfaBytes) -> Option<Self> {
+        // Both data-bearing layouts put the payload at byte 17:
+        // Eager = tag(1) + header(16); Data = tag(1) + recv_id(8) + offset(8).
+        const PAYLOAD_AT: usize = 17;
+        match *bytes.first()? {
+            TAG_EAGER if bytes.len() >= PAYLOAD_AT => {
+                let mut r = ByteReader::new(&bytes[1..PAYLOAD_AT]);
+                Some(WireMsg::Eager {
+                    hdr: read_hdr(&mut r)?,
+                    data: bytes.slice(PAYLOAD_AT..bytes.len()),
+                })
+            }
+            TAG_DATA if bytes.len() >= PAYLOAD_AT => {
+                let mut r = ByteReader::new(&bytes[1..PAYLOAD_AT]);
+                Some(WireMsg::Data {
+                    recv_id: r.u64()?,
+                    offset: r.u64()? as usize,
+                    data: bytes.slice(PAYLOAD_AT..bytes.len()),
+                })
+            }
+            _ => Self::decode(&bytes),
+        }
+    }
+
+    /// Every variant's size is known up front, so backends with
+    /// preallocated frame space (the shared-memory ring) reserve the
+    /// frame in place and encode straight into it — no staging buffer.
+    fn encoded_len(&self) -> Option<usize> {
+        Some(match self {
+            WireMsg::Eager { data, .. } => 17 + data.len(),
+            WireMsg::Rts { .. } => 33,
+            WireMsg::Cts { .. } => 17,
+            WireMsg::Data { data, .. } => 17 + data.len(),
+            WireMsg::DataAck { .. } => 9,
+        })
+    }
+
+    fn encode_into(&self, buf: &mut [u8]) {
+        fn hdr_into(buf: &mut [u8], hdr: &MsgHeader) {
+            buf[0..8].copy_from_slice(&hdr.context_id.to_le_bytes());
+            buf[8..12].copy_from_slice(&hdr.src_rank.to_le_bytes());
+            buf[12..16].copy_from_slice(&hdr.tag.to_le_bytes());
+        }
+        match self {
+            WireMsg::Eager { hdr, data } => {
+                buf[0] = TAG_EAGER;
+                hdr_into(&mut buf[1..17], hdr);
+                buf[17..].copy_from_slice(data);
+            }
+            WireMsg::Rts {
+                hdr,
+                send_id,
+                total,
+            } => {
+                buf[0] = TAG_RTS;
+                hdr_into(&mut buf[1..17], hdr);
+                buf[17..25].copy_from_slice(&send_id.to_le_bytes());
+                buf[25..33].copy_from_slice(&(*total as u64).to_le_bytes());
+            }
+            WireMsg::Cts { send_id, recv_id } => {
+                buf[0] = TAG_CTS;
+                buf[1..9].copy_from_slice(&send_id.to_le_bytes());
+                buf[9..17].copy_from_slice(&recv_id.to_le_bytes());
+            }
+            WireMsg::Data {
+                recv_id,
+                offset,
+                data,
+            } => {
+                buf[0] = TAG_DATA;
+                buf[1..9].copy_from_slice(&recv_id.to_le_bytes());
+                buf[9..17].copy_from_slice(&(*offset as u64).to_le_bytes());
+                buf[17..].copy_from_slice(data);
+            }
+            WireMsg::DataAck { send_id } => {
+                buf[0] = TAG_DATA_ACK;
+                buf[1..9].copy_from_slice(&send_id.to_le_bytes());
+            }
+        }
     }
 }
 
@@ -210,7 +298,7 @@ mod tests {
         assert_eq!(
             WireMsg::Eager {
                 hdr: hdr(),
-                data: vec![0; 10]
+                data: vec![0; 10].into()
             }
             .wire_bytes(),
             10
@@ -236,7 +324,7 @@ mod tests {
             WireMsg::Data {
                 recv_id: 2,
                 offset: 0,
-                data: vec![0; 7]
+                data: vec![0; 7].into()
             }
             .wire_bytes(),
             7
@@ -253,11 +341,11 @@ mod tests {
                     src_rank: -1,
                     tag: i32::MIN,
                 },
-                data: (0..=255).collect(),
+                data: (0..=255).collect::<Vec<u8>>().into(),
             },
             WireMsg::Eager {
                 hdr: hdr(),
-                data: vec![],
+                data: vec![].into(),
             },
             WireMsg::Rts {
                 hdr: hdr(),
@@ -271,14 +359,47 @@ mod tests {
             WireMsg::Data {
                 recv_id: 9,
                 offset: 123_456,
-                data: vec![0xAB; 3],
+                data: vec![0xAB; 3].into(),
             },
             WireMsg::DataAck { send_id: 7 },
         ];
         for msg in msgs {
             let mut buf = Vec::new();
             msg.encode(&mut buf);
-            assert_eq!(WireMsg::decode(&buf), Some(msg));
+            assert_eq!(WireMsg::decode(&buf), Some(msg.clone()));
+            // decode_bytes agrees with decode on every variant.
+            assert_eq!(
+                WireMsg::decode_bytes(MpfaBytes::copy_from(&buf)),
+                Some(msg.clone())
+            );
+            // encoded_len/encode_into produce the exact same frame.
+            let len = msg.encoded_len().expect("every variant sizes itself");
+            assert_eq!(len, buf.len());
+            let mut direct = vec![0u8; len];
+            msg.encode_into(&mut direct);
+            assert_eq!(direct, buf);
+        }
+    }
+
+    #[test]
+    fn decode_bytes_slices_payload_without_copying() {
+        let payload: Vec<u8> = (0..200).collect();
+        let msg = WireMsg::Eager {
+            hdr: hdr(),
+            data: payload.clone().into(),
+        };
+        let mut buf = Vec::new();
+        msg.encode(&mut buf);
+        let view = MpfaBytes::from(buf);
+        let base = view.as_ptr();
+        match WireMsg::decode_bytes(view).unwrap() {
+            WireMsg::Eager { data, .. } => {
+                assert_eq!(&data[..], &payload[..]);
+                // The payload is a slice of the delivered frame view, not
+                // a fresh allocation: zero-copy receive.
+                assert_eq!(data.as_ptr(), unsafe { base.add(17) });
+            }
+            other => panic!("wrong variant: {}", other.kind()),
         }
     }
 
@@ -302,7 +423,7 @@ mod tests {
         assert_eq!(
             WireMsg::Eager {
                 hdr: hdr(),
-                data: vec![]
+                data: vec![].into()
             }
             .kind(),
             "eager"

@@ -140,7 +140,7 @@ impl WorldConfig {
         match TransportKind::from_env() {
             Ok(Some(kind)) => self.transport = kind,
             Ok(None) => {}
-            Err(v) => panic!("bad MPFA_TRANSPORT={v} (want sim|tcp|uds)"),
+            Err(v) => panic!("bad MPFA_TRANSPORT={v} (want sim|tcp|uds|shm)"),
         }
         self
     }

@@ -68,6 +68,17 @@ pub struct Counters {
     /// Bytes read off a wire transport's sockets (including frame
     /// headers).
     pub wire_bytes_rx: AtomicU64,
+    /// Payload bytes memcpy'd on the message datapath (TX frame
+    /// staging, RX socket reassembly, completion copy-out). The wire's
+    /// own injection write does not count — a socket `write` and a
+    /// direct encode into a shared-memory ring are the transfer itself,
+    /// not datapath overhead. A zero-copy path keeps this ~flat as
+    /// payload sizes grow.
+    pub bytes_copied: AtomicU64,
+    /// Times a shared-memory ring was full at send, diverting the frame
+    /// to the producer's overflow queue. Sustained growth with no RX
+    /// progress means the consumer is not draining its rings.
+    pub shm_ring_full: AtomicU64,
     /// Wire-transport connection attempts after the first (retries after
     /// a failed dial or a lost connection).
     pub transport_reconnects: AtomicU64,
@@ -151,6 +162,10 @@ pub struct CounterSnapshot {
     pub wire_bytes_tx: u64,
     /// Bytes read off a wire transport's sockets.
     pub wire_bytes_rx: u64,
+    /// Payload bytes memcpy'd on the message datapath.
+    pub bytes_copied: u64,
+    /// Sends diverted to overflow because a shm ring was full.
+    pub shm_ring_full: u64,
     /// Wire-transport reconnect attempts.
     pub transport_reconnects: u64,
     /// Peers a wire transport has given up on.
@@ -245,6 +260,12 @@ impl Counters {
         self.wire_bytes_rx.fetch_add(bytes, Ordering::Relaxed);
     }
 
+    /// Count `bytes` of payload memcpy'd on the message datapath.
+    /// Called at the site of the copy, never speculatively.
+    pub fn record_bytes_copied(&self, bytes: u64) {
+        self.bytes_copied.fetch_add(bytes, Ordering::Relaxed);
+    }
+
     /// Record how long the bootstrap rendezvous took (overwrites; there
     /// is one bootstrap per process).
     pub fn record_bootstrap_secs(&self, secs: f64) {
@@ -277,6 +298,8 @@ impl Counters {
             match_wildcard_hits: self.match_wildcard_hits.load(Ordering::Relaxed),
             wire_bytes_tx: self.wire_bytes_tx.load(Ordering::Relaxed),
             wire_bytes_rx: self.wire_bytes_rx.load(Ordering::Relaxed),
+            bytes_copied: self.bytes_copied.load(Ordering::Relaxed),
+            shm_ring_full: self.shm_ring_full.load(Ordering::Relaxed),
             transport_reconnects: self.transport_reconnects.load(Ordering::Relaxed),
             transport_dead_peers: self.transport_dead_peers.load(Ordering::Relaxed),
             bootstrap_secs: f64::from_bits(self.bootstrap_secs.load(Ordering::Relaxed)),
@@ -317,6 +340,8 @@ impl Counters {
         self.match_wildcard_hits.store(0, Ordering::Relaxed);
         self.wire_bytes_tx.store(0, Ordering::Relaxed);
         self.wire_bytes_rx.store(0, Ordering::Relaxed);
+        self.bytes_copied.store(0, Ordering::Relaxed);
+        self.shm_ring_full.store(0, Ordering::Relaxed);
         self.transport_reconnects.store(0, Ordering::Relaxed);
         self.transport_dead_peers.store(0, Ordering::Relaxed);
         self.bootstrap_secs.store(0, Ordering::Relaxed);
@@ -392,6 +417,11 @@ impl std::fmt::Display for CounterSnapshot {
             self.transport_reconnects,
             self.transport_dead_peers,
             self.bootstrap_secs
+        )?;
+        writeln!(
+            f,
+            "copies:   {} B memcpy'd on the datapath, {} shm ring-full stalls",
+            self.bytes_copied, self.shm_ring_full
         )?;
         writeln!(
             f,
@@ -481,12 +511,17 @@ mod tests {
         c.record_wire_tx(100);
         c.record_wire_tx(28);
         c.record_wire_rx(128);
+        c.record_bytes_copied(64);
+        c.record_bytes_copied(36);
+        c.shm_ring_full.fetch_add(2, Ordering::Relaxed);
         c.transport_reconnects.fetch_add(3, Ordering::Relaxed);
         c.transport_dead_peers.fetch_add(1, Ordering::Relaxed);
         c.record_bootstrap_secs(0.25);
         let s = c.snapshot();
         assert_eq!(s.wire_bytes_tx, 128);
         assert_eq!(s.wire_bytes_rx, 128);
+        assert_eq!(s.bytes_copied, 100);
+        assert_eq!(s.shm_ring_full, 2);
         assert_eq!(s.transport_reconnects, 3);
         assert_eq!(s.transport_dead_peers, 1);
         assert_eq!(s.bootstrap_secs, 0.25);

@@ -32,6 +32,10 @@ pub struct DoctorConfig {
     /// many times while a wire transport reports at least one dead peer
     /// (reconnect budget exhausted).
     pub dead_peer_polls: u64,
+    /// Flag a shared-memory consumer stall once this many ring-full
+    /// events were counted (each one is a frame that found no space in a
+    /// peer's inbound ring and had to be staged in overflow).
+    pub shm_ring_full_stalls: u64,
 }
 
 impl Default for DoctorConfig {
@@ -41,6 +45,7 @@ impl Default for DoctorConfig {
             rndv_grace: 0.0,
             engine_contention_threshold: 64,
             dead_peer_polls: 64,
+            shm_ring_full_stalls: 4096,
         }
     }
 }
@@ -486,6 +491,38 @@ pub fn diagnose_with_counters(
         }
     }
 
+    // Pathology 8: shm ring full with no consumer progress. A producer
+    // keeps finding a co-located peer's inbound ring out of space — the
+    // consumer side is mapped but nobody is draining it (its progress
+    // engine is not being polled). Every stalled frame is staged in an
+    // overflow queue (an extra counted copy) and the ring view release
+    // path cannot advance, so the stall is self-sustaining until the
+    // consumer progresses.
+    if let Some(c) = counters {
+        if c.shm_ring_full >= cfg.shm_ring_full_stalls {
+            report.diagnoses.push(Diagnosis {
+                severity: Severity::Critical,
+                title: format!(
+                    "shm ring full {} time(s) with no consumer progress",
+                    c.shm_ring_full
+                ),
+                detail: format!(
+                    "{} ring-full stall(s) recorded (threshold {}); {} B were \
+                     memcpy'd on the datapath, including overflow staging for \
+                     frames that found no ring space",
+                    c.shm_ring_full, cfg.shm_ring_full_stalls, c.bytes_copied
+                ),
+                advice: "a co-located peer's inbound ring is not being drained: \
+                         make sure the receiving rank polls its stream \
+                         (MPIX_Stream_progress) or runs a progress thread, and \
+                         that matched large receives are consumed promptly — \
+                         an undropped ring view holds its ring space until the \
+                         receive is taken"
+                    .to_string(),
+            });
+        }
+    }
+
     report
         .diagnoses
         .sort_by_key(|d| std::cmp::Reverse(d.severity));
@@ -879,6 +916,34 @@ mod tests {
             continuations_attached: 5,
             continuations_ready: 2,
             continuations_fired: 2,
+            ..Default::default()
+        };
+        let report = diagnose_with_counters(&[], Some(&counters), &DoctorConfig::default());
+        assert!(report.healthy(), "{report}");
+    }
+
+    #[test]
+    fn flags_shm_ring_full_stall() {
+        let counters = CounterSnapshot {
+            shm_ring_full: 5000,
+            bytes_copied: 1 << 20,
+            ..Default::default()
+        };
+        let report = diagnose_with_counters(&[], Some(&counters), &DoctorConfig::default());
+        assert_eq!(report.criticals().count(), 1);
+        let d = &report.diagnoses[0];
+        assert!(d.title.contains("shm ring full"));
+        assert!(d.title.contains("no consumer progress"));
+        assert!(d.detail.contains("5000 ring-full stall(s)"));
+        assert!(d.advice.contains("drained"));
+    }
+
+    #[test]
+    fn transient_shm_backpressure_is_healthy() {
+        // A handful of ring-full events during a burst is normal
+        // backpressure, not a stalled consumer.
+        let counters = CounterSnapshot {
+            shm_ring_full: 40,
             ..Default::default()
         };
         let report = diagnose_with_counters(&[], Some(&counters), &DoctorConfig::default());

@@ -6,7 +6,7 @@
 //! comes up distributed over a real wire:
 //!
 //! ```text
-//! mpfarun -n 4 [--transport tcp|uds] [--inject-retry] [--timeout SECS]
+//! mpfarun -n 4 [--transport tcp|uds|shm] [--inject-retry] [--timeout SECS]
 //!         [--kill-rank R [--kill-after-ms T]] -- CMD [ARGS...]
 //! ```
 //!
@@ -44,7 +44,7 @@ struct Opts {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: mpfarun -n RANKS [--transport tcp|uds] [--inject-retry] \
+        "usage: mpfarun -n RANKS [--transport tcp|uds|shm] [--inject-retry] \
          [--timeout SECS] [--kill-rank R [--kill-after-ms T]] -- CMD [ARGS...]"
     );
     exit(2);
@@ -116,7 +116,9 @@ fn rendezvous_for(kind: TransportKind) -> String {
             eprintln!("mpfarun: cannot pick a rendezvous port: {e}");
             exit(1);
         }),
-        TransportKind::Uds => {
+        // UDS and SHM both lay their files (sockets / mmap segments)
+        // next to a rendezvous socket in a per-job temp directory.
+        TransportKind::Uds | TransportKind::Shm => {
             let dir = std::env::temp_dir().join(format!("mpfarun-{}", std::process::id()));
             if let Err(e) = std::fs::create_dir_all(&dir) {
                 eprintln!("mpfarun: cannot create {}: {e}", dir.display());
@@ -232,7 +234,10 @@ fn main() {
         std::thread::sleep(Duration::from_millis(10));
     }
 
-    if opts.kind == TransportKind::Uds {
+    // Sweep the per-job directory: live ranks unlink their own files on
+    // clean exit, but a SIGKILLed rank (watchdog or chaos) leaves its
+    // socket or segment behind — the launcher is the cleanup backstop.
+    if matches!(opts.kind, TransportKind::Uds | TransportKind::Shm) {
         let dir = std::env::temp_dir().join(format!("mpfarun-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(dir);
     }

@@ -33,7 +33,7 @@ use crate::codec::FrameCodec;
 use crate::wire::{Bound, SockFamily, WireOpts, WireTransport};
 use crate::{Transport, TransportKind};
 
-/// Env var selecting the backend (`sim` | `tcp` | `uds`).
+/// Env var selecting the backend (`sim` | `tcp` | `uds` | `shm`).
 pub const ENV_TRANSPORT: &str = "MPFA_TRANSPORT";
 /// Env var carrying this process's world rank.
 pub const ENV_RANK: &str = "MPFA_RANK";
@@ -84,7 +84,7 @@ pub fn boot_env() -> Option<BootEnv> {
     let kind = match TransportKind::from_env() {
         Ok(Some(k)) => k,
         Ok(None) => TransportKind::Tcp,
-        Err(v) => panic!("bad {ENV_TRANSPORT}={v} (want sim|tcp|uds)"),
+        Err(v) => panic!("bad {ENV_TRANSPORT}={v} (want sim|tcp|uds|shm)"),
     };
     let rendezvous = std::env::var(ENV_PEERS)
         .unwrap_or_else(|_| panic!("{ENV_RANK} is set but {ENV_PEERS} is not"));
@@ -114,31 +114,32 @@ fn read_u32<S: Read>(s: &mut S) -> io::Result<u32> {
     Ok(u32::from_le_bytes(b))
 }
 
-/// Where rank `r` binds its data listener, given the rendezvous
-/// address: TCP picks an ephemeral localhost port; UDS lays the data
-/// sockets next to the rendezvous socket.
+/// Where rank `r` binds its data listener (or lays its shared-memory
+/// segment), given the rendezvous address: TCP picks an ephemeral
+/// localhost port; UDS and SHM lay their files next to the rendezvous
+/// socket.
 fn data_hint(kind: TransportKind, rendezvous: &str, rank: usize) -> String {
     match kind {
         TransportKind::Tcp => "127.0.0.1:0".to_string(),
         TransportKind::Uds => format!("{rendezvous}.r{rank}"),
+        TransportKind::Shm => format!("{rendezvous}.r{rank}.seg"),
         TransportKind::Sim => unreachable!("sim has no data listener"),
     }
 }
 
-fn establish_family<M: FrameCodec, F: SockFamily>(
+/// Stages 2+3: exchange data addresses through the rendezvous listener.
+/// Returns the full peer table plus the open rendezvous connections
+/// (used again for the stage-5 barrier).
+#[allow(clippy::type_complexity)]
+fn rendezvous_table<F: SockFamily>(
     env: &BootEnv,
-    eps_per_rank: usize,
-    opts: WireOpts,
-) -> io::Result<Arc<dyn Transport<M>>> {
-    let t0 = wtime();
-    let bound: Bound<F> = Bound::bind(&data_hint(env.kind, &env.rendezvous, env.rank))?;
-
-    // --- stages 2+3: collect/receive the peer table ------------------
+    my_addr: &str,
+) -> io::Result<(Vec<String>, Vec<Option<F::Stream>>)> {
     let io_timeout = Some(Duration::from_secs_f64(RENDEZVOUS_DEADLINE));
-    let (table, mut rendezvous_conns) = if env.rank == 0 {
+    if env.rank == 0 {
         let (listener, _) = F::bind(&env.rendezvous)?;
         let mut table = vec![String::new(); env.ranks];
-        table[0] = bound.addr.clone();
+        table[0] = my_addr.to_string();
         let mut conns: Vec<Option<F::Stream>> = (0..env.ranks).map(|_| None).collect();
         let mut missing = env.ranks - 1;
         let deadline = wtime() + RENDEZVOUS_DEADLINE;
@@ -184,7 +185,7 @@ fn establish_family<M: FrameCodec, F: SockFamily>(
                 sock.write_all(addr.as_bytes())?;
             }
         }
-        (table, conns)
+        Ok((table, conns))
     } else {
         // Dial rank 0, retrying while it comes up.
         let deadline = wtime() + RENDEZVOUS_DEADLINE;
@@ -199,8 +200,8 @@ fn establish_family<M: FrameCodec, F: SockFamily>(
         };
         F::set_read_timeout(&sock, io_timeout)?;
         write_u32(&mut sock, env.rank as u32)?;
-        write_u32(&mut sock, bound.addr.len() as u32)?;
-        sock.write_all(bound.addr.as_bytes())?;
+        write_u32(&mut sock, my_addr.len() as u32)?;
+        sock.write_all(my_addr.as_bytes())?;
         let count = read_u32(&mut sock)? as usize;
         if count != env.ranks {
             return Err(io::Error::new(
@@ -228,28 +229,30 @@ fn establish_family<M: FrameCodec, F: SockFamily>(
         }
         let mut conns: Vec<Option<F::Stream>> = (0..env.ranks).map(|_| None).collect();
         conns[0] = Some(sock);
-        (table, conns)
-    };
+        Ok((table, conns))
+    }
+}
 
-    // --- stage 4: bring up the data mesh -----------------------------
-    let transport: WireTransport<M, F> =
-        WireTransport::new(bound, env.rank, table, eps_per_rank, opts);
-    transport.establish(MESH_DEADLINE)?;
-
-    // --- stage 5: READY/GO barrier over the rendezvous sockets -------
+/// Stage 5: READY/GO barrier over the rendezvous sockets, then rank 0
+/// removes the rendezvous listener's filesystem residue.
+fn ready_go_barrier<F: SockFamily>(
+    env: &BootEnv,
+    conns: &mut [Option<F::Stream>],
+) -> io::Result<()> {
     if env.rank == 0 {
-        for sock in rendezvous_conns.iter_mut().flatten() {
+        for sock in conns.iter_mut().flatten() {
             let mut b = [0u8; 1];
             sock.read_exact(&mut b)?;
             if b[0] != READY {
                 return Err(io::Error::new(io::ErrorKind::InvalidData, "bad READY byte"));
             }
         }
-        for sock in rendezvous_conns.iter_mut().flatten() {
+        for sock in conns.iter_mut().flatten() {
             sock.write_all(&[GO])?;
         }
+        F::cleanup(&env.rendezvous);
     } else {
-        let sock = rendezvous_conns[0].as_mut().expect("rendezvous conn");
+        let sock = conns[0].as_mut().expect("rendezvous conn");
         sock.write_all(&[READY])?;
         let mut b = [0u8; 1];
         sock.read_exact(&mut b)?;
@@ -257,10 +260,53 @@ fn establish_family<M: FrameCodec, F: SockFamily>(
             return Err(io::Error::new(io::ErrorKind::InvalidData, "bad GO byte"));
         }
     }
-    if env.rank == 0 {
-        F::cleanup(&env.rendezvous);
-    }
+    Ok(())
+}
 
+fn establish_family<M: FrameCodec, F: SockFamily>(
+    env: &BootEnv,
+    eps_per_rank: usize,
+    opts: WireOpts,
+) -> io::Result<Arc<dyn Transport<M>>> {
+    let t0 = wtime();
+    let bound: Bound<F> = Bound::bind(&data_hint(env.kind, &env.rendezvous, env.rank))?;
+
+    // --- stages 2+3: collect/receive the peer table ------------------
+    let addr = bound.addr.clone();
+    let (table, mut rendezvous_conns) = rendezvous_table::<F>(env, &addr)?;
+
+    // --- stage 4: bring up the data mesh -----------------------------
+    let transport: WireTransport<M, F> =
+        WireTransport::new(bound, env.rank, table, eps_per_rank, opts);
+    transport.establish(MESH_DEADLINE)?;
+
+    // --- stage 5: READY/GO barrier over the rendezvous sockets -------
+    ready_go_barrier::<F>(env, &mut rendezvous_conns)?;
+
+    mpfa_obs::global_counters().record_bootstrap_secs(wtime() - t0);
+    Ok(Arc::new(transport))
+}
+
+/// The shared-memory bootstrap: same rendezvous dance, but the "data
+/// address" each rank publishes is the path of its freshly-created mmap
+/// segment, and the handshake legs run over Unix-domain sockets laid
+/// next to the rendezvous path. Creating the segment *before*
+/// submitting and attaching *after* the table arrives means every peer
+/// segment already exists at attach time; the READY/GO barrier then
+/// guarantees all ranks are fully mapped before any MPI traffic.
+#[cfg(unix)]
+fn establish_shm<M: FrameCodec>(
+    env: &BootEnv,
+    eps_per_rank: usize,
+    opts: WireOpts,
+) -> io::Result<Arc<dyn Transport<M>>> {
+    let t0 = wtime();
+    let seg_path = data_hint(TransportKind::Shm, &env.rendezvous, env.rank);
+    let own = crate::shm::ShmSegmentOwner::create(&seg_path, env.ranks, eps_per_rank)?;
+    let (table, mut rendezvous_conns) = rendezvous_table::<crate::uds::UdsFamily>(env, own.path())?;
+    let transport: crate::shm::ShmTransport<M> =
+        crate::shm::ShmTransport::new(own, env.rank, table, opts)?;
+    ready_go_barrier::<crate::uds::UdsFamily>(env, &mut rendezvous_conns)?;
     mpfa_obs::global_counters().record_bootstrap_secs(wtime() - t0);
     Ok(Arc::new(transport))
 }
@@ -285,6 +331,13 @@ pub fn establish<M: FrameCodec>(
         TransportKind::Uds => Err(io::Error::new(
             io::ErrorKind::Unsupported,
             "unix domain sockets are not available on this platform",
+        )),
+        #[cfg(unix)]
+        TransportKind::Shm => establish_shm::<M>(env, eps_per_rank, opts),
+        #[cfg(not(unix))]
+        TransportKind::Shm => Err(io::Error::new(
+            io::ErrorKind::Unsupported,
+            "shared-memory segments are not available on this platform",
         )),
     }
 }
@@ -357,6 +410,23 @@ mod tests {
         std::fs::create_dir_all(&dir).unwrap();
         let rendezvous = dir.join("boot.sock").to_string_lossy().into_owned();
         run_world(TransportKind::Uds, rendezvous, 3);
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn shm_bootstrap_three_ranks() {
+        let dir = std::env::temp_dir().join(format!("mpfa-boot-shm-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let rendezvous = dir.join("boot.sock").to_string_lossy().into_owned();
+        run_world(TransportKind::Shm, rendezvous.clone(), 3);
+        // Clean shutdown unlinks every rank's segment.
+        for r in 0..3 {
+            let seg = format!("{rendezvous}.r{r}.seg");
+            assert!(
+                !std::path::Path::new(&seg).exists(),
+                "stale segment {seg} left behind"
+            );
+        }
     }
 
     #[test]

@@ -7,6 +7,8 @@
 //! simply be "the rest of the payload"). The helpers here keep those
 //! hand-rolled impls short and uniform.
 
+use crate::bytes::MpfaBytes;
+
 /// A message that can be serialized into (and parsed out of) a wire
 /// frame's payload.
 ///
@@ -19,6 +21,38 @@ pub trait FrameCodec: Send + Sized + 'static {
 
     /// Parse a payload produced by [`FrameCodec::encode`].
     fn decode(bytes: &[u8]) -> Option<Self>;
+
+    /// Parse a payload delivered as a refcounted view ([`MpfaBytes`]).
+    ///
+    /// The default delegates to [`FrameCodec::decode`] on the borrowed
+    /// bytes, which copies any payload the message retains. Messages
+    /// with large byte fields override this to *slice* the view instead
+    /// — that is the zero-copy receive path: a shared-memory backend
+    /// hands ring views straight through to the matched receive without
+    /// a memcpy.
+    fn decode_bytes(bytes: MpfaBytes) -> Option<Self> {
+        Self::decode(&bytes)
+    }
+
+    /// Exact number of bytes [`FrameCodec::encode`] would append, when
+    /// the message can compute it without encoding.
+    ///
+    /// Backends with preallocated frame space (the shared-memory ring)
+    /// use this to reserve the frame in place and then call
+    /// [`FrameCodec::encode_into`], skipping the staging buffer — the
+    /// payload is memcpy'd exactly once, by the injection itself. The
+    /// default `None` routes the message through the staged-encode
+    /// fallback.
+    fn encoded_len(&self) -> Option<usize> {
+        None
+    }
+
+    /// Encode into exactly `buf` (whose length a caller obtained from
+    /// [`FrameCodec::encoded_len`]). Implementors must fill the whole
+    /// slice. Only called when `encoded_len` returned `Some`.
+    fn encode_into(&self, _buf: &mut [u8]) {
+        unreachable!("encode_into requires an encoded_len implementation");
+    }
 }
 
 /// Raw byte payloads pass through unchanged (handy for tests and for
@@ -30,6 +64,38 @@ impl FrameCodec for Vec<u8> {
 
     fn decode(bytes: &[u8]) -> Option<Self> {
         Some(bytes.to_vec())
+    }
+
+    fn encoded_len(&self) -> Option<usize> {
+        Some(self.len())
+    }
+
+    fn encode_into(&self, buf: &mut [u8]) {
+        buf.copy_from_slice(self);
+    }
+}
+
+/// Refcounted views pass through without copying in either direction on
+/// decode; encode necessarily appends (the frame buffer is owned).
+impl FrameCodec for MpfaBytes {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        buf.extend_from_slice(self);
+    }
+
+    fn decode(bytes: &[u8]) -> Option<Self> {
+        Some(MpfaBytes::copy_from(bytes))
+    }
+
+    fn decode_bytes(bytes: MpfaBytes) -> Option<Self> {
+        Some(bytes)
+    }
+
+    fn encoded_len(&self) -> Option<usize> {
+        Some(self.len())
+    }
+
+    fn encode_into(&self, buf: &mut [u8]) {
+        buf.copy_from_slice(self);
     }
 }
 
@@ -137,5 +203,20 @@ mod tests {
         v.encode(&mut buf);
         assert_eq!(buf, v);
         assert_eq!(<Vec<u8> as FrameCodec>::decode(&buf), Some(v));
+    }
+
+    #[test]
+    fn mpfa_bytes_decode_is_zero_copy() {
+        let view = MpfaBytes::from(vec![5u8, 6, 7, 8]);
+        let mut buf = Vec::new();
+        view.encode(&mut buf);
+        assert_eq!(buf, vec![5u8, 6, 7, 8]);
+        let ptr = view.as_ptr();
+        let decoded = <MpfaBytes as FrameCodec>::decode_bytes(view).unwrap();
+        assert_eq!(decoded.as_ptr(), ptr, "decode_bytes must not copy");
+        // The borrowed-slice path still works (and copies).
+        let copied = <MpfaBytes as FrameCodec>::decode(&buf).unwrap();
+        assert_eq!(copied, decoded);
+        assert_ne!(copied.as_ptr(), ptr);
     }
 }

@@ -40,14 +40,20 @@ use std::sync::Arc;
 pub use mpfa_fabric::{Envelope, Fabric, Path, TxHandle};
 
 pub mod bootstrap;
+pub mod bytes;
 pub mod codec;
+#[cfg(unix)]
+pub mod shm;
 pub mod sim;
 pub mod tcp;
 #[cfg(unix)]
 pub mod uds;
 pub mod wire;
 
+pub use bytes::{BufPool, BytesBacking, MpfaBytes};
 pub use codec::FrameCodec;
+#[cfg(unix)]
+pub use shm::ShmTransport;
 pub use sim::{sim_rank_views, SimRankTransport, SimTransport};
 pub use tcp::TcpTransport;
 #[cfg(unix)]
@@ -64,13 +70,15 @@ pub enum TransportKind {
     Tcp,
     /// Unix domain sockets (intra-node).
     Uds,
+    /// Memory-mapped shared-memory rings (co-located processes).
+    Shm,
 }
 
 impl TransportKind {
     /// Parse the `MPFA_TRANSPORT` environment variable, if set.
     ///
     /// Returns `Err` with the offending value when it is set to
-    /// something other than `sim`/`tcp`/`uds`.
+    /// something other than `sim`/`tcp`/`uds`/`shm`.
     pub fn from_env() -> Result<Option<TransportKind>, String> {
         match std::env::var(bootstrap::ENV_TRANSPORT) {
             Ok(v) => v.parse().map(Some).map_err(|()| v),
@@ -86,6 +94,7 @@ impl FromStr for TransportKind {
             "sim" => Ok(TransportKind::Sim),
             "tcp" => Ok(TransportKind::Tcp),
             "uds" | "unix" => Ok(TransportKind::Uds),
+            "shm" | "shmem" => Ok(TransportKind::Shm),
             _ => Err(()),
         }
     }
@@ -97,6 +106,7 @@ impl fmt::Display for TransportKind {
             TransportKind::Sim => write!(f, "sim"),
             TransportKind::Tcp => write!(f, "tcp"),
             TransportKind::Uds => write!(f, "uds"),
+            TransportKind::Shm => write!(f, "shm"),
         }
     }
 }
@@ -153,6 +163,16 @@ pub trait Transport<M: Send>: Send + Sync {
     /// if no packet is visibly queued.
     fn external_work(&self) -> bool {
         false
+    }
+
+    /// Largest payload this backend moves efficiently as a single eager
+    /// frame, or `None` to defer to the protocol layer's configured
+    /// thresholds. A shared-memory backend returns a large hint here so
+    /// big messages travel as one ring frame delivered as a zero-copy
+    /// view, instead of a rendezvous handshake that reassembles chunks
+    /// through an extra copy.
+    fn eager_hint(&self) -> Option<usize> {
+        None
     }
 
     /// Is `rank`'s connection alive (or not yet needed)? The simulated
@@ -236,8 +256,15 @@ mod tests {
         assert_eq!("TCP".parse::<TransportKind>(), Ok(TransportKind::Tcp));
         assert_eq!("uds".parse::<TransportKind>(), Ok(TransportKind::Uds));
         assert_eq!("unix".parse::<TransportKind>(), Ok(TransportKind::Uds));
+        assert_eq!("shm".parse::<TransportKind>(), Ok(TransportKind::Shm));
+        assert_eq!("shmem".parse::<TransportKind>(), Ok(TransportKind::Shm));
         assert!("verbs".parse::<TransportKind>().is_err());
-        for k in [TransportKind::Sim, TransportKind::Tcp, TransportKind::Uds] {
+        for k in [
+            TransportKind::Sim,
+            TransportKind::Tcp,
+            TransportKind::Uds,
+            TransportKind::Shm,
+        ] {
             assert_eq!(k.to_string().parse::<TransportKind>(), Ok(k));
         }
     }

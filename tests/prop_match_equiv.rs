@@ -143,12 +143,12 @@ fn bucketed_matching_equals_linear_reference() {
                             fast.push_unexpected(Unexpected::Eager {
                                 src,
                                 tag,
-                                data: payload(idx),
+                                data: payload(idx).into(),
                             });
                             lin.push_unexpected(Unexpected::Eager {
                                 src,
                                 tag,
-                                data: payload(idx),
+                                data: payload(idx).into(),
                             });
                         }
                         (Some(recv_f), Some(recv_l)) => {
@@ -264,7 +264,7 @@ fn any_tag_heavy_interleavings_match_reference() {
                                 state.push(Unexpected::Eager {
                                     src,
                                     tag,
-                                    data: payload(idx),
+                                    data: payload(idx).into(),
                                 });
                             }
                         }
@@ -383,7 +383,7 @@ fn mixed_wildcard_exact_interleaving_follows_posted_order() {
             state.push(Unexpected::Eager {
                 src: 1,
                 tag,
-                data: payload(idx),
+                data: payload(idx).into(),
             });
         }
     }

@@ -113,7 +113,7 @@ fn matching_agrees_with_reference_model() {
                     if let Some((recv, unexpected)) = real.post_recv(recv) {
                         // Satisfied from the unexpected queue.
                         if let Unexpected::Eager { data, .. } = unexpected {
-                            recv.slot.set(data);
+                            recv.slot.set_bytes(data);
                         }
                         recv.completer.complete(Status::empty());
                     }
@@ -130,7 +130,11 @@ fn matching_agrees_with_reference_model() {
                             recv.slot.set(data);
                             recv.completer.complete(Status::empty());
                         }
-                        None => real.push_unexpected(Unexpected::Eager { src, tag, data }),
+                        None => real.push_unexpected(Unexpected::Eager {
+                            src,
+                            tag,
+                            data: data.into(),
+                        }),
                     }
                     model.incoming(idx, src, tag);
                 }

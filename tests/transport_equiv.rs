@@ -3,7 +3,8 @@
 //!
 //! The same workload — point-to-point traffic crossing all three message
 //! modes (buffered, eager, rendezvous/pipeline) plus integer and float
-//! allreduces — runs over Sim, loopback TCP, and UDS. For each transport
+//! allreduces — runs over Sim, loopback TCP, UDS, and the shared-memory
+//! ring transport. For each transport
 //! we record, per `(src, tag)` channel, the payloads in arrival order,
 //! and the allreduce results. Everything must match bitwise: payloads,
 //! per-channel match order, reduction results.
@@ -198,6 +199,16 @@ fn sim_and_uds_agree() {
     assert_eq!(sim, uds, "sim and UDS worlds diverged");
 }
 
+#[cfg(unix)]
+#[test]
+fn sim_and_shm_agree() {
+    let sim = run_ranks(config(), |p| workload(&p.world_comm()));
+    let shm = run_wire(TransportKind::Shm);
+    check_expected(&sim, "sim");
+    check_expected(&shm, "shm");
+    assert_eq!(sim, shm, "sim and SHM worlds diverged");
+}
+
 /// What one rank's transport reports about the world after a kill
 /// schedule: its dead-peer count, per-peer liveness, and whether a send
 /// to the victim was refused.
@@ -243,7 +254,7 @@ fn run_kill_schedule(kind: TransportKind) -> Vec<LivenessRecord> {
                             src_rank: r as i32,
                             tag: 7,
                         },
-                        data: vec![0xAB; 16],
+                        data: vec![0xAB; 16].into(),
                     },
                     16,
                 );
@@ -272,6 +283,11 @@ fn peer_death_liveness_agrees_across_backends() {
     {
         let uds = run_kill_schedule(TransportKind::Uds);
         assert_eq!(sim, uds, "sim and UDS liveness diverged");
+        // The shared-memory transport must report the same evidence: a
+        // killed peer's ring is detected as dead (not spun on) and sends
+        // toward it are refused.
+        let shm = run_kill_schedule(TransportKind::Shm);
+        assert_eq!(sim, shm, "sim and SHM liveness diverged");
     }
     // And the common view is the right one.
     for (r, rec) in sim.iter().enumerate() {
