@@ -1,0 +1,206 @@
+//! Flow windowed-aggregation benchmark: event fan-in throughput and
+//! frontier-advance latency.
+//!
+//! Each trial runs the full mpfa-flow windowed pipeline (event fan-in →
+//! shuffle by key → per-window reduce → emit on frontier passage) on an
+//! in-process 4-rank world, one thread per rank, and measures:
+//!
+//! * **events/sec** — aggregate events produced (and therefore shuffled,
+//!   reduced and frontier-retired) across all ranks, divided by the
+//!   pipeline's wall time;
+//! * **frontier-advance latency** — per emitted window, the time between
+//!   the last partial contribution landing at the window's owner and the
+//!   frontier callback releasing the emission: the lag the capability
+//!   gossip adds on top of data delivery.
+//!
+//! Every trial also verifies each rank's emissions against the serially
+//! computed ground truth, so the numbers only count *correct* pipeline
+//! runs. `--json PATH` writes a machine-readable record
+//! (`results/flow_window.json` is the committed reference run);
+//! `--smoke` shrinks the workload and arms a watchdog that exits 124 if
+//! the pipeline wedges.
+
+use mpfa_bench::json::JsonObj;
+use mpfa_core::wtime;
+use mpfa_flow::window::{expected_output, WindowCfg, WindowWorker};
+use mpfa_flow::FlowContext;
+use mpfa_mpi::{World, WorldConfig};
+
+const N: usize = 4;
+
+struct Config {
+    trials: usize,
+    windows: u64,
+    events_per_window: u64,
+    json_path: String,
+}
+
+impl Config {
+    fn from_args() -> Config {
+        let mut cfg = Config {
+            trials: 5,
+            windows: 64,
+            events_per_window: 16 * 1024,
+            json_path: String::new(),
+        };
+        let mut args = std::env::args().skip(1);
+        while let Some(a) = args.next() {
+            match a.as_str() {
+                "--json" => cfg.json_path = args.next().unwrap_or_default(),
+                "--trials" => {
+                    cfg.trials = args
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or(cfg.trials)
+                }
+                "--windows" => {
+                    cfg.windows = args
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or(cfg.windows)
+                }
+                "--smoke" => {
+                    cfg.trials = 2;
+                    cfg.windows = 16;
+                    cfg.events_per_window = 2048;
+                    arm_watchdog(60.0);
+                }
+                other => {
+                    eprintln!(
+                        "usage: flow_window [--trials N] [--windows W] [--json PATH] [--smoke] \
+                         (got {other})"
+                    );
+                    std::process::exit(2);
+                }
+            }
+        }
+        cfg
+    }
+}
+
+fn arm_watchdog(secs: f64) {
+    std::thread::spawn(move || {
+        std::thread::sleep(std::time::Duration::from_secs_f64(secs));
+        eprintln!("flow_window: watchdog fired after {secs}s — pipeline wedged?");
+        std::process::exit(124);
+    });
+}
+
+struct Trial {
+    events_per_sec: f64,
+    emit_latencies_ms: Vec<f64>,
+}
+
+fn one_trial(wcfg: WindowCfg) -> Trial {
+    let procs = World::init(WorldConfig::instant(N));
+    let want = expected_output(&wcfg);
+    let want = &want;
+    let t0 = wtime();
+    let latencies: Vec<Vec<f64>> = std::thread::scope(|s| {
+        let handles: Vec<_> = procs
+            .into_iter()
+            .map(|proc| {
+                s.spawn(move || {
+                    let fx = FlowContext::install(&proc);
+                    let mut worker = WindowWorker::new(
+                        &fx,
+                        &proc.world_comm(),
+                        wcfg,
+                        &vec![false; wcfg.windows as usize],
+                        Default::default(),
+                    );
+                    while worker.step() {
+                        proc.default_stream().progress();
+                    }
+                    for (w, got) in worker.emitted() {
+                        assert_eq!(got, &want[w], "window {w} output mismatch");
+                    }
+                    assert!(worker.frontier_honest());
+                    let lat: Vec<f64> = worker.emit_latencies().iter().map(|&s| s * 1e3).collect();
+                    fx.shutdown();
+                    proc.finalize(2.0);
+                    lat
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("rank panicked"))
+            .collect()
+    });
+    let elapsed = wtime() - t0;
+    Trial {
+        events_per_sec: (wcfg.total_slots() as f64) / elapsed,
+        emit_latencies_ms: latencies.into_iter().flatten().collect(),
+    }
+}
+
+/// (min, median, max) of a sorted-on-demand sample set.
+fn spread(values: &mut [f64]) -> (f64, f64, f64) {
+    values.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    (
+        values[0],
+        values[values.len() / 2],
+        values[values.len() - 1],
+    )
+}
+
+fn main() {
+    let cfg = Config::from_args();
+    let wcfg = WindowCfg {
+        windows: cfg.windows,
+        events_per_window: cfg.events_per_window,
+        keys: 509,
+        seed: 0xbe9c,
+        batch: 512,
+    };
+    println!(
+        "flow_window: {} trials, {} ranks, {} windows x {} events = {} events/trial",
+        cfg.trials,
+        N,
+        wcfg.windows,
+        wcfg.events_per_window,
+        wcfg.total_slots()
+    );
+
+    let mut throughput = Vec::new();
+    let mut latencies = Vec::new();
+    for _ in 0..cfg.trials {
+        let t = one_trial(wcfg);
+        println!(
+            "  {:>10.0} events/s, {} latency samples",
+            t.events_per_sec,
+            t.emit_latencies_ms.len()
+        );
+        throughput.push(t.events_per_sec);
+        latencies.extend(t.emit_latencies_ms);
+    }
+
+    let (t_min, t_p50, t_max) = spread(&mut throughput);
+    let (l_min, l_p50, l_max) = spread(&mut latencies);
+    println!("                      min         p50         max");
+    println!("events/s     {t_min:12.0} {t_p50:12.0} {t_max:12.0}");
+    println!("frontier ms  {l_min:12.4} {l_p50:12.4} {l_max:12.4}");
+
+    if !cfg.json_path.is_empty() {
+        let mut thr = JsonObj::new();
+        thr.float("min", t_min)
+            .float("p50", t_p50)
+            .float("max", t_max);
+        let mut lat = JsonObj::new();
+        lat.float("min_ms", l_min)
+            .float("p50_ms", l_p50)
+            .float("max_ms", l_max);
+        let mut root = JsonObj::new();
+        root.str("bench", "flow_window")
+            .int("ranks", N as u64)
+            .int("trials", cfg.trials as u64)
+            .int("windows", wcfg.windows)
+            .int("events_per_window", wcfg.events_per_window)
+            .int("events_per_trial", wcfg.total_slots())
+            .obj("events_per_sec", &thr)
+            .obj("frontier_advance_latency", &lat);
+        root.write_to(&cfg.json_path).expect("write json");
+        println!("wrote {}", cfg.json_path);
+    }
+}

@@ -112,6 +112,63 @@ pub fn planted_continuation_order_bug(sim: &mut Sim) {
     assert_eq!(got, vec![1, 2], "continuations fired as {got:?}");
 }
 
+/// **Deliberately buggy.** Two flows close at the same instant, each
+/// held open by a different rank, and the observer bakes in the order
+/// its two frontier-close callbacks fire. The closing gossip rides two
+/// *independent* channels (rank 1 → 0 and rank 2 → 0), so arrival order
+/// is a schedule property: flow frontiers promise monotonicity and
+/// exactness, never cross-flow ordering. The explorer must find a seed
+/// where flow B's gossip lands (and a poll runs) before flow A's — the
+/// acceptance test that schedule exploration reaches the mpfa-flow
+/// progress-exchange and its continuation-driven frontier callbacks.
+pub fn planted_frontier_regression_bug(sim: &mut Sim) {
+    use mpfa_flow::{FlowContext, TS_CLOSED};
+    use std::sync::{Arc, Mutex};
+
+    let fxs: Vec<FlowContext> = sim.procs().iter().map(FlowContext::install).collect();
+    let comms = sim.world_comms();
+    let a: Vec<_> = fxs
+        .iter()
+        .zip(&comms)
+        .map(|(fx, c)| fx.create::<u64>(c))
+        .collect();
+    let b: Vec<_> = fxs
+        .iter()
+        .zip(&comms)
+        .map(|(fx, c)| fx.create::<u64>(c))
+        .collect();
+
+    let order: Arc<Mutex<Vec<char>>> = Arc::new(Mutex::new(Vec::new()));
+    for (rx, tag) in [(&a[0].1, 'a'), (&b[0].1, 'b')] {
+        let order = order.clone();
+        rx.on_frontier_advance(TS_CLOSED, move |ok| {
+            assert!(ok, "flow abandoned mid-scenario");
+            order.lock().unwrap().push(tag);
+        });
+    }
+
+    // Rank 1 is the last holder of flow A, rank 2 of flow B.
+    a[0].0.close().unwrap();
+    a[2].0.close().unwrap();
+    b[0].0.close().unwrap();
+    b[1].0.close().unwrap();
+    // Both last holders release at the same instant.
+    a[1].0.close().unwrap();
+    b[2].0.close().unwrap();
+
+    let watched = order.clone();
+    assert!(
+        sim.run_until(|| watched.lock().unwrap().len() == 2),
+        "flow closures never reached the observer"
+    );
+    let got = order.lock().unwrap().clone();
+    for fx in &fxs {
+        fx.shutdown();
+    }
+    // The planted bug: baking in one gossip arrival order.
+    assert_eq!(got, vec!['a', 'b'], "frontier callbacks fired as {got:?}");
+}
+
 #[cfg(test)]
 mod tests {
     use crate::explore::{check, explore, seeds, Failure};
@@ -163,6 +220,37 @@ mod tests {
         );
         assert!(trace.starts_with(&format!("dst trace seed={seed}")));
         let replay = explore(&cfg, [seed], super::planted_continuation_order_bug)
+            .expect_err("failing seed must fail on replay");
+        assert_eq!(replay.seed, seed);
+        assert_eq!(replay.message, message);
+        assert_eq!(replay.trace, trace, "replay trace must be byte-identical");
+    }
+
+    /// The mpfa-flow twin of the planted-bug acceptance tests: a
+    /// schedule-dependent frontier-callback ordering across two flows
+    /// must be caught within 64 seeds and replay byte-identically.
+    #[test]
+    fn planted_frontier_bug_is_caught_within_64_seeds() {
+        let cfg = SimConfig::ranks(3);
+        let Failure {
+            seed,
+            message,
+            trace,
+        } = explore(
+            &cfg,
+            seeds(
+                crate::explore::name_base("planted_frontier_regression_bug"),
+                64,
+            ),
+            super::planted_frontier_regression_bug,
+        )
+        .expect_err("the planted frontier bug survived 64 schedules");
+        assert!(
+            message.contains("frontier callbacks fired as ['b', 'a']"),
+            "unexpected failure mode: {message}"
+        );
+        assert!(trace.starts_with(&format!("dst trace seed={seed}")));
+        let replay = explore(&cfg, [seed], super::planted_frontier_regression_bug)
             .expect_err("failing seed must fail on replay");
         assert_eq!(replay.seed, seed);
         assert_eq!(replay.message, message);

@@ -1,0 +1,820 @@
+//! The flow engine: per-rank flow state, the progress-exchange poll
+//! task, and the `FlowSender`/`FlowReceiver` handles.
+//!
+//! ## Protocol
+//!
+//! A flow is created *collectively* (same-order rule, like communicator
+//! creation): every member derives the same flow id from a per-context
+//! monotone counter, and every member starts holding **one capability
+//! at timestamp 0** — mirrored into every peer's view, so no wire
+//! exchange is needed at creation.
+//!
+//! All traffic for a flow rides the reserved
+//! [`ReservedCtx::FlowCtrl`] context with `tag = flow id`, addressed by
+//! world rank. Two message kinds share each `(source → dest)` channel:
+//! record batches and capability-delta gossip (see [`crate::channel`]).
+//! The send side flushes a destination's pending record batch *before*
+//! emitting any capability downgrade, and the receive side drains each
+//! source channel strictly in arrival order — so by MPI non-overtaking,
+//! a record always enters the local pending queue before the retirement
+//! of the capability that covered it is applied. Queued records hold
+//! the frontier down until the application consumes them.
+//!
+//! `frontier()` at a rank is the minimum over its own capabilities, its
+//! queued record timestamps, and its view of every peer's capabilities.
+//! It is **exact** (converges to the true global minimum once gossip
+//! and records drain) and **monotone** (the in-band ordering above
+//! means no contribution can move backwards).
+//!
+//! ## Push, not poll
+//!
+//! [`FlowReceiver::frontier_probe`] returns a plain [`Request`] that
+//! completes when the frontier reaches a threshold; probes complete
+//! inside the engine's poll (under the progress sweep) and their
+//! continuations drain through the `mpfa-async` machinery — so
+//! emit-on-frontier work is delivered as a callback, never by spinning
+//! on `frontier()`.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use mpfa_core::sync::Mutex;
+use mpfa_core::{wtime, AsyncPoll, Completer, Request, RequestError, Status, Stream};
+use mpfa_mpi::matching::RecvSlot;
+use mpfa_mpi::{Comm, CtrlPort, Proc, ReservedCtx};
+
+use crate::channel::{
+    decode_message, progress_message, FlowData, FlowMsg, OutBatch, LISTENER_CAPACITY,
+};
+use crate::progress::{CapSet, Timestamp, TS_CLOSED};
+
+/// Flow-engine tunables.
+#[derive(Debug, Clone, Copy)]
+pub struct FlowConfig {
+    /// Seconds a frontier may sit still (while the flow is open) before
+    /// the engine reports a stall through the observability counters
+    /// (`flow_stalled_holder` / `flow_stalled_at`). Virtual seconds
+    /// under deterministic simulation.
+    pub stall_after: f64,
+    /// Auto-flush a destination's record batch after this many records
+    /// (batches also flush by bytes; see [`crate::channel`]).
+    pub flush_records: usize,
+}
+
+impl Default for FlowConfig {
+    fn default() -> FlowConfig {
+        FlowConfig {
+            stall_after: 0.5,
+            flush_records: 1024,
+        }
+    }
+}
+
+/// Why a flow operation failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlowError {
+    /// The flow was abandoned ([`FlowContext::abandon_all`], typically
+    /// during failure recovery); rebuild it on a shrunk communicator.
+    Abandoned,
+    /// The sender no longer holds a capability at or below the record's
+    /// timestamp (or tried to send on a closed stream).
+    CapabilityViolation {
+        /// The offending record timestamp.
+        ts: Timestamp,
+        /// The sender's oldest capability, or `TS_CLOSED` if none.
+        min_cap: Timestamp,
+    },
+}
+
+impl std::fmt::Display for FlowError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FlowError::Abandoned => write!(f, "flow abandoned (rebuild after recovery)"),
+            FlowError::CapabilityViolation { ts, min_cap } => write!(
+                f,
+                "capability violation: record at t={ts} but oldest held capability is {min_cap}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for FlowError {}
+
+/// Per-flow engine state. Everything lives under the context's flow
+/// lock; handles are thin `(context, id)` pairs.
+struct FlowState {
+    /// Member world ranks, communicator order.
+    group: Vec<usize>,
+    /// This rank's index in `group`.
+    me: usize,
+    /// Capabilities this rank holds.
+    caps: CapSet,
+    /// Views of each peer's capabilities (`views[me]` unused).
+    views: Vec<CapSet>,
+    /// Timestamps of received-but-unconsumed records (these hold the
+    /// frontier until the application takes them).
+    pending: CapSet,
+    /// Received records awaiting [`FlowReceiver::try_recv`].
+    queue: std::collections::VecDeque<(Timestamp, Vec<u8>)>,
+    /// Posted per-source receives (`listeners[me]` stays `None`).
+    listeners: Vec<Option<(Request, RecvSlot)>>,
+    /// Sources whose channel failed (peer death); no longer reposted.
+    dead: Vec<bool>,
+    /// Per-destination outgoing record batches.
+    out: Vec<OutBatch>,
+    /// Cached frontier (monotone).
+    frontier: Timestamp,
+    /// Lock-free mirror of `frontier` for the handles.
+    frontier_cell: Arc<AtomicU64>,
+    /// Waiting frontier probes: `(threshold, completer)`.
+    probes: Vec<(Timestamp, Completer)>,
+    /// When the frontier last moved (wtime; virtual under DST).
+    last_advance: f64,
+    /// Whether the stall counters currently name this flow.
+    stalled: bool,
+}
+
+struct Shared {
+    port: CtrlPort,
+    stream: Stream,
+    cfg: FlowConfig,
+    flows: Mutex<BTreeMap<u32, FlowState>>,
+    /// Monotone per-(rank, context) flow-id counter. Never reused, even
+    /// across `abandon_all` — stale wire messages for old ids are
+    /// dropped on the floor.
+    next_id: AtomicU64,
+    shutdown: AtomicBool,
+}
+
+/// Per-rank flow engine handle. Create once per rank with
+/// [`FlowContext::install`]; clones share the engine.
+#[derive(Clone)]
+pub struct FlowContext {
+    shared: Arc<Shared>,
+}
+
+/// The sending half of a flow: records plus capability management.
+pub struct FlowSender<T> {
+    shared: Arc<Shared>,
+    id: u32,
+    _marker: std::marker::PhantomData<fn(T)>,
+}
+
+/// The receiving half of a flow: records, `frontier()`, and frontier
+/// probes/callbacks.
+pub struct FlowReceiver<T> {
+    shared: Arc<Shared>,
+    id: u32,
+    frontier_cell: Arc<AtomicU64>,
+    _marker: std::marker::PhantomData<fn() -> T>,
+}
+
+impl<T> Clone for FlowSender<T> {
+    fn clone(&self) -> Self {
+        FlowSender {
+            shared: self.shared.clone(),
+            id: self.id,
+            _marker: std::marker::PhantomData,
+        }
+    }
+}
+
+impl<T> Clone for FlowReceiver<T> {
+    fn clone(&self) -> Self {
+        FlowReceiver {
+            shared: self.shared.clone(),
+            id: self.id,
+            frontier_cell: self.frontier_cell.clone(),
+            _marker: std::marker::PhantomData,
+        }
+    }
+}
+
+impl FlowContext {
+    /// Install the flow engine on `proc`'s default stream with default
+    /// tunables.
+    pub fn install(proc: &Proc) -> FlowContext {
+        FlowContext::install_with(proc, FlowConfig::default())
+    }
+
+    /// Install the flow engine on `proc`'s default stream: claims the
+    /// [`ReservedCtx::FlowCtrl`] control port and registers the
+    /// progress-exchange poll as an `MPIX_Async` task. Call once per
+    /// rank; call [`FlowContext::shutdown`] before finalize.
+    pub fn install_with(proc: &Proc, cfg: FlowConfig) -> FlowContext {
+        let shared = Arc::new(Shared {
+            port: CtrlPort::claim(proc, ReservedCtx::FlowCtrl),
+            stream: proc.default_stream().clone(),
+            cfg,
+            flows: Mutex::new(BTreeMap::new()),
+            next_id: AtomicU64::new(0),
+            shutdown: AtomicBool::new(false),
+        });
+        let task = shared.clone();
+        proc.default_stream().async_start(move |_t| {
+            if task.shutdown.load(Ordering::Acquire) {
+                return AsyncPoll::Done;
+            }
+            if task.poll() {
+                AsyncPoll::Progress
+            } else {
+                AsyncPoll::Pending
+            }
+        });
+        FlowContext { shared }
+    }
+
+    /// Create a flow over `comm`'s group. **Collective**: every member
+    /// must create its flows in the same order (the id is derived from
+    /// a local monotone counter, like communicator contexts). Every
+    /// member starts holding one capability at timestamp 0; a member
+    /// that will never send should [`FlowSender::close`] immediately.
+    pub fn create<T: FlowData>(&self, comm: &Comm) -> (FlowSender<T>, FlowReceiver<T>) {
+        let group: Vec<usize> = comm.group().to_vec();
+        let me = comm.rank() as usize;
+        debug_assert_eq!(group[me], self.shared.port.my_world());
+        let n = group.len();
+        let id = self.shared.next_id.fetch_add(1, Ordering::AcqRel) as u32;
+        let frontier_cell = Arc::new(AtomicU64::new(0));
+        let st = FlowState {
+            group,
+            me,
+            caps: CapSet::singleton(0),
+            views: (0..n).map(|_| CapSet::singleton(0)).collect(),
+            pending: CapSet::new(),
+            queue: std::collections::VecDeque::new(),
+            listeners: (0..n).map(|_| None).collect(),
+            dead: vec![false; n],
+            out: (0..n).map(|_| OutBatch::default()).collect(),
+            frontier: 0,
+            frontier_cell: frontier_cell.clone(),
+            probes: Vec::new(),
+            last_advance: wtime(),
+            stalled: false,
+        };
+        self.shared.flows.lock().insert(id, st);
+        (
+            FlowSender {
+                shared: self.shared.clone(),
+                id,
+                _marker: std::marker::PhantomData,
+            },
+            FlowReceiver {
+                shared: self.shared.clone(),
+                id,
+                frontier_cell,
+                _marker: std::marker::PhantomData,
+            },
+        )
+    }
+
+    /// Abandon every flow (failure recovery): posted receives are
+    /// failed, waiting probes fail with [`RequestError::Revoked`], and
+    /// every handle's operations return [`FlowError::Abandoned`] from
+    /// now on. Flow ids are not reused; recreate flows on the shrunk
+    /// communicator afterwards.
+    pub fn abandon_all(&self) {
+        let mut flows = self.shared.flows.lock();
+        let ids: Vec<u32> = flows.keys().copied().collect();
+        if !ids.is_empty() {
+            let _ = self.shared.port.fail_matching(
+                &|_, tag| ids.iter().any(|&id| id as i32 == tag),
+                RequestError::Revoked,
+            );
+        }
+        for (_, st) in std::mem::take(&mut *flows) {
+            for (_, completer) in st.probes {
+                completer.fail(RequestError::Revoked);
+            }
+        }
+        // Abandoning the flows resolves any stall they were reporting.
+        let counters = mpfa_obs::global_counters();
+        counters.flow_stalled_holder.store(0, Ordering::Relaxed);
+        counters.flow_stalled_at.store(0, Ordering::Relaxed);
+    }
+
+    /// Stop the poll task so the default stream can drain (and thus
+    /// `Proc::finalize` can complete). Idempotent.
+    pub fn shutdown(&self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+    }
+}
+
+impl std::fmt::Debug for FlowContext {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FlowContext")
+            .field("rank", &self.shared.port.my_world())
+            .field("flows", &self.shared.flows.lock().len())
+            .finish()
+    }
+}
+
+impl Shared {
+    /// One progress-exchange pass over every flow; true if anything
+    /// moved.
+    fn poll(&self) -> bool {
+        let mut progressed = false;
+        let now = wtime();
+        let mut flows = self.flows.lock();
+        for (&id, st) in flows.iter_mut() {
+            // Drain each source channel strictly in arrival order,
+            // reposting after every message. Iteration order is fixed
+            // (source index) so deterministic simulation replays
+            // byte-identically.
+            for src in 0..st.group.len() {
+                if src == st.me || st.dead[src] {
+                    continue;
+                }
+                loop {
+                    if st.listeners[src].is_none() {
+                        st.listeners[src] = Some(self.port.recv(
+                            st.group[src] as i32,
+                            id as i32,
+                            LISTENER_CAPACITY,
+                        ));
+                    }
+                    let complete = {
+                        let (req, _) = st.listeners[src].as_ref().expect("posted above");
+                        req.is_complete()
+                    };
+                    if !complete {
+                        break;
+                    }
+                    let (req, slot) = st.listeners[src].take().expect("present");
+                    match req.result() {
+                        Some(Ok(_)) => {
+                            let data = slot.take();
+                            Self::apply_message(st, src, &data);
+                            progressed = true;
+                        }
+                        _ => {
+                            // Failed by the resilience sweep (peer
+                            // death) or revoked: stop listening to this
+                            // source. Its capability view keeps pinning
+                            // the frontier — that is the stall the
+                            // doctor reports and shrink+replay resolves.
+                            st.dead[src] = true;
+                            progressed = true;
+                            break;
+                        }
+                    }
+                }
+            }
+            progressed |= Self::refresh_frontier(st, &self.cfg, now);
+        }
+        progressed
+    }
+
+    /// Apply one decoded wire message from source index `src`.
+    fn apply_message(st: &mut FlowState, src: usize, data: &[u8]) {
+        match decode_message(data) {
+            Some(FlowMsg::Records(records)) => {
+                let counters = mpfa_obs::global_counters();
+                counters
+                    .flow_records_recv
+                    .fetch_add(records.len() as u64, Ordering::Relaxed);
+                for (ts, payload) in records {
+                    debug_assert!(
+                        ts >= st.frontier,
+                        "record at t={ts} arrived behind the frontier {}",
+                        st.frontier
+                    );
+                    st.pending.update(ts, 1);
+                    st.queue.push_back((ts, payload));
+                }
+            }
+            Some(FlowMsg::Progress(deltas)) => {
+                for (ts, d) in deltas {
+                    st.views[src].update(ts, d);
+                }
+            }
+            None => debug_assert!(false, "malformed flow message ({} B)", data.len()),
+        }
+    }
+
+    /// Recompute the frontier; fire probes, maintain the stall report.
+    /// True if the frontier advanced.
+    fn refresh_frontier(st: &mut FlowState, cfg: &FlowConfig, now: f64) -> bool {
+        let mut f = st.caps.min().unwrap_or(TS_CLOSED);
+        if let Some(p) = st.pending.min() {
+            f = f.min(p);
+        }
+        for (i, view) in st.views.iter().enumerate() {
+            if i == st.me {
+                continue;
+            }
+            if let Some(v) = view.min() {
+                f = f.min(v);
+            }
+        }
+        debug_assert!(
+            f >= st.frontier,
+            "frontier regressed {} -> {f}",
+            st.frontier
+        );
+        let counters = mpfa_obs::global_counters();
+        if f > st.frontier {
+            st.frontier = f;
+            st.frontier_cell.store(f, Ordering::Release);
+            counters
+                .flow_frontier_updates
+                .fetch_add(1, Ordering::Relaxed);
+            st.last_advance = now;
+            if st.stalled {
+                st.stalled = false;
+                counters.flow_stalled_holder.store(0, Ordering::Relaxed);
+                counters.flow_stalled_at.store(0, Ordering::Relaxed);
+            }
+            let mut waiting = Vec::new();
+            for (ts, completer) in st.probes.drain(..) {
+                if ts <= f {
+                    completer.complete(Status::empty());
+                } else {
+                    waiting.push((ts, completer));
+                }
+            }
+            st.probes = waiting;
+            true
+        } else {
+            if f != TS_CLOSED && now - st.last_advance > cfg.stall_after {
+                // Stalled: name the rank whose contribution pins the
+                // frontier. Re-asserted every poll while it persists so
+                // the report survives concurrent counter writers.
+                let holder = Self::holder_of(st, f);
+                counters
+                    .flow_stalled_holder
+                    .store(holder as u64 + 1, Ordering::Relaxed);
+                counters.flow_stalled_at.store(f, Ordering::Relaxed);
+                st.stalled = true;
+            }
+            false
+        }
+    }
+
+    /// The world rank whose capability (or unconsumed record) pins the
+    /// frontier at `f`. When both this rank and a remote pin it, the
+    /// remote is named — a third-party holder (possibly dead, possibly
+    /// itself wedged behind one) is the actionable diagnosis; our own
+    /// capabilities are in our hands.
+    fn holder_of(st: &FlowState, f: Timestamp) -> usize {
+        for (i, view) in st.views.iter().enumerate() {
+            if i != st.me && view.min() == Some(f) {
+                return st.group[i];
+            }
+        }
+        st.group[st.me]
+    }
+
+    /// Flush `dst`'s record batch, if any (must precede any capability
+    /// downgrade gossip to `dst` — the in-band ordering invariant).
+    fn flush_dst(&self, st: &mut FlowState, id: u32, dst: usize) {
+        if let Some(msg) = st.out[dst].take_message() {
+            self.port.send(st.group[dst], id as i32, msg);
+        }
+    }
+
+    /// Broadcast capability deltas to every peer, flushing record
+    /// batches first so no peer applies a retirement before the records
+    /// it covered.
+    fn broadcast_progress(&self, st: &mut FlowState, id: u32, deltas: &[(Timestamp, i64)]) {
+        if deltas.is_empty() {
+            return;
+        }
+        let msg = progress_message(deltas);
+        let counters = mpfa_obs::global_counters();
+        for peer in 0..st.group.len() {
+            if peer == st.me {
+                continue;
+            }
+            self.flush_dst(st, id, peer);
+            self.port.send(st.group[peer], id as i32, msg.clone());
+            counters
+                .flow_capability_gossip_bytes
+                .fetch_add(msg.len() as u64, Ordering::Relaxed);
+        }
+    }
+}
+
+impl<T: FlowData> FlowSender<T> {
+    /// Send one record at timestamp `ts` to group member `dst`
+    /// (communicator rank). Requires a held capability at or below
+    /// `ts`. Records batch per destination; batches flush at the size
+    /// thresholds, on [`FlowSender::flush`], and always before any
+    /// capability downgrade.
+    pub fn send(&self, dst: usize, ts: Timestamp, value: &T) -> Result<(), FlowError> {
+        let mut flows = self.shared.flows.lock();
+        let st = flows.get_mut(&self.id).ok_or(FlowError::Abandoned)?;
+        let min_cap = st.caps.min().unwrap_or(TS_CLOSED);
+        if ts < min_cap || min_cap == TS_CLOSED {
+            return Err(FlowError::CapabilityViolation { ts, min_cap });
+        }
+        let counters = mpfa_obs::global_counters();
+        counters.flow_records_sent.fetch_add(1, Ordering::Relaxed);
+        if dst == st.me {
+            // Loopback: straight into the local queue, under the same
+            // lock that guards the frontier — trivially ordered.
+            let mut buf = Vec::new();
+            value.encode(&mut buf);
+            counters.flow_records_recv.fetch_add(1, Ordering::Relaxed);
+            st.pending.update(ts, 1);
+            st.queue.push_back((ts, buf));
+            return Ok(());
+        }
+        st.out[dst].push(ts, value);
+        if st.out[dst].should_flush(self.shared.cfg.flush_records) {
+            self.shared.flush_dst(st, self.id, dst);
+        }
+        Ok(())
+    }
+
+    /// Flush every destination's pending record batch.
+    pub fn flush(&self) -> Result<(), FlowError> {
+        let mut flows = self.shared.flows.lock();
+        let st = flows.get_mut(&self.id).ok_or(FlowError::Abandoned)?;
+        for dst in 0..st.group.len() {
+            if dst != st.me {
+                self.shared.flush_dst(st, self.id, dst);
+            }
+        }
+        Ok(())
+    }
+
+    /// Downgrade every held capability below `to` up to `to`: a promise
+    /// to never again send a record with timestamp `< to`. Monotone;
+    /// advancing to or below the current minimum is a no-op.
+    pub fn advance_to(&self, to: Timestamp) -> Result<(), FlowError> {
+        let mut flows = self.shared.flows.lock();
+        let st = flows.get_mut(&self.id).ok_or(FlowError::Abandoned)?;
+        let deltas = st.caps.advance_to(to);
+        self.shared.broadcast_progress(st, self.id, &deltas);
+        Shared::refresh_frontier(st, &self.shared.cfg, wtime());
+        Ok(())
+    }
+
+    /// Drop every held capability: this rank will never send on the
+    /// flow again. The flow closes globally (frontier
+    /// [`TS_CLOSED`]) once every member has closed and every record is
+    /// consumed.
+    pub fn close(&self) -> Result<(), FlowError> {
+        let mut flows = self.shared.flows.lock();
+        let st = flows.get_mut(&self.id).ok_or(FlowError::Abandoned)?;
+        let deltas = st.caps.drop_all();
+        self.shared.broadcast_progress(st, self.id, &deltas);
+        Shared::refresh_frontier(st, &self.shared.cfg, wtime());
+        Ok(())
+    }
+
+    /// This flow's current local frontier (see
+    /// [`FlowReceiver::frontier`]).
+    pub fn frontier(&self) -> Timestamp {
+        self.shared
+            .flows
+            .lock()
+            .get(&self.id)
+            .map(|st| st.frontier)
+            .unwrap_or(0)
+    }
+}
+
+impl<T: FlowData> FlowReceiver<T> {
+    /// Take the next queued record, in arrival order. `None` when the
+    /// queue is empty (or the flow was abandoned). A returned record's
+    /// timestamp is always `>=` the frontier observed *before* the
+    /// call — a rank never observes a record at or below a timestamp
+    /// its frontier has passed.
+    pub fn try_recv(&self) -> Option<(Timestamp, T)> {
+        let mut flows = self.shared.flows.lock();
+        let st = flows.get_mut(&self.id)?;
+        let (ts, payload) = st.queue.pop_front()?;
+        st.pending.update(ts, -1);
+        let value = T::decode(&payload)?;
+        Some((ts, value))
+    }
+
+    /// The local frontier: no record with timestamp `< frontier()` will
+    /// ever be returned by [`FlowReceiver::try_recv`] again.
+    /// Monotone; [`TS_CLOSED`] once the flow is globally closed and
+    /// drained. Lock-free.
+    pub fn frontier(&self) -> Timestamp {
+        self.frontier_cell.load(Ordering::Acquire)
+    }
+
+    /// A request that completes when the frontier reaches `ts`
+    /// (completes immediately if it already has; fails with
+    /// [`RequestError::Revoked`] if the flow is abandoned first).
+    /// Attach continuations with [`Request::on_complete`] or await it
+    /// on the `mpfa-async` executor.
+    pub fn frontier_probe(&self, ts: Timestamp) -> Request {
+        let mut flows = self.shared.flows.lock();
+        match flows.get_mut(&self.id) {
+            None => Request::failed(&self.shared.stream, RequestError::Revoked),
+            Some(st) if st.frontier >= ts => {
+                Request::completed(&self.shared.stream, Status::empty())
+            }
+            Some(st) => {
+                let (req, completer) = Request::pair(&self.shared.stream);
+                st.probes.push((ts, completer));
+                req
+            }
+        }
+    }
+
+    /// Run `cb(true)` (via the continuation machinery — push, not poll)
+    /// once the frontier reaches `ts`, or `cb(false)` if the flow is
+    /// abandoned first.
+    pub fn on_frontier_advance<F>(&self, ts: Timestamp, cb: F)
+    where
+        F: FnOnce(bool) + Send + 'static,
+    {
+        self.frontier_probe(ts).on_complete(move |res| {
+            cb(res.is_ok());
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpfa_mpi::{World, WorldConfig};
+
+    fn drive_all(procs: &[Proc], mut cond: impl FnMut() -> bool) {
+        for _ in 0..200_000 {
+            if cond() {
+                return;
+            }
+            for p in procs {
+                p.default_stream().progress();
+            }
+        }
+        panic!("condition not reached");
+    }
+
+    #[test]
+    fn records_flow_and_frontier_advances_to_closed() {
+        let procs = World::init(WorldConfig::instant(2));
+        let fx: Vec<FlowContext> = procs.iter().map(FlowContext::install).collect();
+        let (tx0, rx0) = fx[0].create::<u64>(&procs[0].world_comm());
+        let (tx1, rx1) = fx[1].create::<u64>(&procs[1].world_comm());
+
+        tx0.send(1, 5, &111).unwrap();
+        tx0.send(0, 6, &222).unwrap(); // loopback
+        tx0.flush().unwrap();
+        tx0.close().unwrap();
+        tx1.close().unwrap();
+
+        drive_all(&procs, || {
+            rx1.try_recv().is_some() || rx1.frontier() == TS_CLOSED
+        });
+        // Rank 0 still holds its loopback record; its frontier is
+        // pinned at 6 until the record is consumed.
+        drive_all(&procs, || rx0.frontier() == 6);
+        assert_eq!(rx0.try_recv(), Some((6, 222)));
+        drive_all(&procs, || rx0.frontier() == TS_CLOSED);
+        drive_all(&procs, || rx1.frontier() == TS_CLOSED);
+    }
+
+    #[test]
+    fn frontier_tracks_the_slowest_capability() {
+        let procs = World::init(WorldConfig::instant(3));
+        let fx: Vec<FlowContext> = procs.iter().map(FlowContext::install).collect();
+        let handles: Vec<_> = procs
+            .iter()
+            .zip(&fx)
+            .map(|(p, f)| f.create::<u64>(&p.world_comm()))
+            .collect();
+
+        handles[0].0.close().unwrap();
+        handles[1].0.advance_to(5).unwrap();
+        handles[2].0.advance_to(9).unwrap();
+        drive_all(&procs, || handles[0].1.frontier() == 5);
+        assert_eq!(handles[0].1.frontier(), 5, "pinned by rank 1's cap at 5");
+        handles[1].0.advance_to(20).unwrap();
+        drive_all(&procs, || handles[0].1.frontier() == 9);
+        handles[1].0.close().unwrap();
+        handles[2].0.close().unwrap();
+        drive_all(&procs, || handles[0].1.frontier() == TS_CLOSED);
+    }
+
+    #[test]
+    fn capability_violation_is_an_error() {
+        let procs = World::init(WorldConfig::instant(1));
+        let fx = FlowContext::install(&procs[0]);
+        let (tx, _rx) = fx.create::<u64>(&procs[0].world_comm());
+        tx.advance_to(10).unwrap();
+        assert_eq!(
+            tx.send(0, 9, &1),
+            Err(FlowError::CapabilityViolation { ts: 9, min_cap: 10 })
+        );
+        tx.close().unwrap();
+        assert!(matches!(
+            tx.send(0, 11, &1),
+            Err(FlowError::CapabilityViolation { .. })
+        ));
+    }
+
+    #[test]
+    fn probes_and_callbacks_fire_on_advance() {
+        let procs = World::init(WorldConfig::instant(2));
+        let fx: Vec<FlowContext> = procs.iter().map(FlowContext::install).collect();
+        let (tx0, rx0) = fx[0].create::<u64>(&procs[0].world_comm());
+        let (tx1, _rx1) = fx[1].create::<u64>(&procs[1].world_comm());
+
+        let fired = Arc::new(AtomicU64::new(0));
+        let f = fired.clone();
+        rx0.on_frontier_advance(7, move |ok| {
+            assert!(ok);
+            f.store(1, Ordering::Release);
+        });
+        let probe = rx0.frontier_probe(7);
+        assert!(!probe.is_complete());
+
+        tx0.advance_to(7).unwrap();
+        assert_eq!(fired.load(Ordering::Acquire), 0, "frontier still at 0");
+        tx1.advance_to(9).unwrap();
+        drive_all(&procs, || probe.is_complete());
+        drive_all(&procs, || fired.load(Ordering::Acquire) == 1);
+        assert_eq!(rx0.frontier(), 7);
+        // A probe at an already-passed threshold completes immediately.
+        assert!(rx0.frontier_probe(3).is_complete());
+        tx0.close().unwrap();
+        tx1.close().unwrap();
+    }
+
+    #[test]
+    fn abandon_fails_probes_and_errors_handles() {
+        let procs = World::init(WorldConfig::instant(1));
+        let fx = FlowContext::install(&procs[0]);
+        let (tx, rx) = fx.create::<u64>(&procs[0].world_comm());
+        let probe = rx.frontier_probe(5);
+        let aborted = Arc::new(AtomicU64::new(0));
+        let a = aborted.clone();
+        rx.on_frontier_advance(6, move |ok| {
+            if !ok {
+                a.store(1, Ordering::Release);
+            }
+        });
+        fx.abandon_all();
+        assert!(probe.error().is_some());
+        drive_all(&procs, || aborted.load(Ordering::Acquire) == 1);
+        assert_eq!(tx.send(0, 5, &1), Err(FlowError::Abandoned));
+        assert_eq!(tx.advance_to(9), Err(FlowError::Abandoned));
+        assert!(rx.try_recv().is_none());
+        // New flows can be created afterwards, with fresh ids.
+        let (tx2, _rx2) = fx.create::<u64>(&procs[0].world_comm());
+        tx2.close().unwrap();
+    }
+
+    #[test]
+    fn stall_sets_counters_and_advance_clears_them() {
+        let procs = World::init(WorldConfig::instant(2));
+        let cfg = FlowConfig {
+            stall_after: 0.02,
+            ..FlowConfig::default()
+        };
+        let fx: Vec<FlowContext> = procs
+            .iter()
+            .map(|p| FlowContext::install_with(p, cfg))
+            .collect();
+        let (tx0, rx0) = fx[0].create::<u64>(&procs[0].world_comm());
+        let (tx1, _rx1) = fx[1].create::<u64>(&procs[1].world_comm());
+        tx0.close().unwrap();
+        // Rank 1 holds its capability at 0 and never advances: rank 0's
+        // frontier stalls at 0 with rank 1 as the holder.
+        let counters = mpfa_obs::global_counters();
+        let t0 = wtime();
+        loop {
+            procs[0].default_stream().progress();
+            procs[1].default_stream().progress();
+            if counters.flow_stalled_holder.load(Ordering::Relaxed) == 2 {
+                break;
+            }
+            assert!(wtime() - t0 < 10.0, "stall never reported");
+        }
+        assert_eq!(counters.flow_stalled_at.load(Ordering::Relaxed), 0);
+        assert_eq!(rx0.frontier(), 0);
+        // The holder advances; the stall report clears.
+        tx1.close().unwrap();
+        let t0 = wtime();
+        loop {
+            procs[0].default_stream().progress();
+            procs[1].default_stream().progress();
+            if counters.flow_stalled_holder.load(Ordering::Relaxed) == 0
+                && rx0.frontier() == TS_CLOSED
+            {
+                break;
+            }
+            assert!(wtime() - t0 < 10.0, "stall report never cleared");
+        }
+    }
+
+    #[test]
+    fn shutdown_allows_finalize() {
+        let procs = World::init(WorldConfig::instant(1));
+        let fx = FlowContext::install(&procs[0]);
+        let (tx, _rx) = fx.create::<u64>(&procs[0].world_comm());
+        tx.close().unwrap();
+        fx.shutdown();
+        assert!(procs[0].finalize(2.0), "flow task must not block finalize");
+    }
+}

@@ -1,0 +1,44 @@
+//! # mpfa-flow — frontier-tracked dataflow over the progress engine
+//!
+//! Timestamped streams on top of mpfa: a [`FlowSender`] sends
+//! `(Timestamp, T)` records to any group member; every member holds
+//! *capabilities* (the right to still send at-or-after a timestamp) and
+//! the engine gossips `(timestamp, delta)` capability changes over a
+//! reserved control context ([`mpfa_mpi::ReservedCtx::FlowCtrl`]) so
+//! each rank answers [`FlowReceiver::frontier`] **locally**: the global
+//! lower bound on any timestamp that can still arrive.
+//!
+//! Two properties make the frontier trustworthy:
+//!
+//! - **exact** — it converges to the true minimum over every rank's
+//!   capabilities and in-flight records, because records and capability
+//!   gossip ride the *same* FIFO channel (in-band): a capability
+//!   retirement can never be applied before the records it covered are
+//!   queued.
+//! - **monotone** — it never moves backwards, so acting on
+//!   `frontier() >= t` (e.g. emitting a closed window) is safe forever.
+//!
+//! Emission is push-style: [`FlowReceiver::frontier_probe`] /
+//! [`FlowReceiver::on_frontier_advance`] complete through the
+//! continuation machinery when the frontier passes a threshold — no
+//! spinning.
+//!
+//! The [`window`] module builds a multi-rank windowed-aggregation
+//! pipeline on these primitives (event fan-in → shuffle by key →
+//! per-window reduce → emit when the frontier passes the window close),
+//! including deterministic replay-based recovery after a rank failure.
+//!
+//! See `docs/FLOW.md` for the protocol walkthrough and the recovery
+//! story.
+
+#![warn(missing_docs)]
+
+pub mod channel;
+pub mod engine;
+pub mod progress;
+pub mod window;
+
+pub use channel::{FlowData, FlowMsg, MAX_RECORD_BYTES};
+pub use engine::{FlowConfig, FlowContext, FlowError, FlowReceiver, FlowSender};
+pub use progress::{CapSet, Timestamp, TS_CLOSED};
+pub use window::{WindowCfg, WindowWorker};

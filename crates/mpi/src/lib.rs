@@ -47,6 +47,7 @@ pub mod persistent;
 pub mod proc;
 pub mod protocol;
 pub mod recv;
+pub mod reserved;
 pub mod resilience;
 pub mod sched;
 pub mod subsys;
@@ -64,6 +65,7 @@ pub use op::Op;
 pub use persistent::{PersistentRecv, PersistentSend};
 pub use proc::Proc;
 pub use recv::{RecvBytesRequest, RecvRequest};
+pub use reserved::{CtrlPort, ReservedCtx};
 pub use resilience::Resilience;
 // Re-export so callers of [`Proc::enable_resilience`] need not depend on
 // `mpfa-resil` directly.

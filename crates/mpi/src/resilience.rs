@@ -15,12 +15,14 @@
 //!   fail every outstanding send/receive involving a newly dead rank
 //!   (`RequestError::PeerFailed`), so `wait`/`wait_all` terminate with
 //!   errors instead of spinning.
-//! * **control plane** — a reserved wire context ([`CTRL_CTX`], never
-//!   allocated to a communicator) carries revoke notices, failure
-//!   gossip, and the agreement protocol. Control messages address peers
-//!   by *world* rank on VCI 0 and are sent buffered (born-complete, no
-//!   TX tracking), so the control plane keeps working while data-plane
-//!   requests are failing.
+//! * **control plane** — a reserved wire context
+//!   ([`ReservedCtx::ResilCtrl`], claimed from the [`crate::reserved`]
+//!   registry, never allocated to a communicator) carries revoke
+//!   notices, failure gossip, and the agreement protocol. Control
+//!   messages go through a [`CtrlPort`]: peers addressed by *world*
+//!   rank on VCI 0, sends buffered (born-complete, no TX tracking), so
+//!   the control plane keeps working while data-plane requests are
+//!   failing.
 //! * **recovery ops** — [`Comm::revoke`] (flood-propagated, idempotent),
 //!   [`Comm::agree`] (fault-tolerant boolean AND), [`Comm::shrink`]
 //!   (agree on the failed set, rebuild the communicator without it).
@@ -52,16 +54,9 @@ use crate::comm::Comm;
 use crate::error::{MpiError, MpiResult};
 use crate::matching::{RecvSlot, ANY_SOURCE};
 use crate::proc::Proc;
-use crate::protocol::SendMode;
+use crate::reserved::{CtrlPort, ReservedCtx};
 use crate::vci::Vci;
-use crate::wire::MsgHeader;
 use crate::world::World;
-
-/// The reserved control-plane wire context. The registry allocates
-/// communicator contexts upward from zero, so this value is never a
-/// communicator's; control traffic can share VCI 0 without colliding
-/// with any comm's matching state.
-pub(crate) const CTRL_CTX: u64 = u64::MAX;
 
 /// Control tag: communicator revoke notice. Payload: the revoked base
 /// context id, little-endian u64.
@@ -106,7 +101,9 @@ pub struct Resilience {
     detector: FailureDetector,
     world: World,
     my_world: usize,
-    vci0: Arc<Vci>,
+    /// The claimed control-plane port ([`ReservedCtx::ResilCtrl`] on
+    /// VCI 0); all control traffic goes through it.
+    port: CtrlPort,
     /// Registered communicators by base context id.
     comms: Mutex<HashMap<u64, CommReg>>,
     /// Revoked base context ids (the set only grows).
@@ -118,7 +115,7 @@ pub struct Resilience {
     /// The lazily (re)posted listener receives: `[0]` revoke notices,
     /// `[1]` failure gossip. Exact tags — a wildcard-tag listener would
     /// steal the agreement protocol's contribution/verdict messages,
-    /// which share [`CTRL_CTX`].
+    /// which share the control context.
     listeners: Mutex<[Option<(Request, RecvSlot)>; 2]>,
     shutdown: AtomicBool,
 }
@@ -131,12 +128,12 @@ impl Resilience {
         let rank = proc.rank();
         let detector = FailureDetector::new(rank, world.size(), cfg);
         detector.install(proc.default_stream(), world.rank_transport(rank));
-        let vci0 = proc.bundle(0).expect("VCI 0 exists").vci.clone();
+        let port = CtrlPort::claim(proc, ReservedCtx::ResilCtrl);
         let r = Arc::new(Resilience {
             detector,
             world,
             my_world: rank,
-            vci0,
+            port,
             comms: Mutex::new(HashMap::new()),
             revoked: Mutex::new(HashSet::new()),
             gossiped: Mutex::new(HashSet::new()),
@@ -193,7 +190,8 @@ impl Resilience {
     }
 
     /// Drive the control-plane listeners: one any-source receive per
-    /// control tag on [`CTRL_CTX`], each reposted after its message.
+    /// control tag on the control context, each reposted after its
+    /// message.
     fn poll_listener(&self) -> bool {
         let mut progressed = false;
         for (idx, tag) in [(0, CTRL_TAG_REVOKE), (1, CTRL_TAG_FAILURE)] {
@@ -204,7 +202,7 @@ impl Resilience {
                     // Payloads are tiny: one u64 ctx, or one u32 per
                     // gossiped world rank.
                     let cap = 8 * self.world.size().max(1);
-                    *slot = Some(self.vci0.irecv_bytes(CTRL_CTX, ANY_SOURCE, tag, cap));
+                    *slot = Some(self.port.recv(ANY_SOURCE, tag, cap));
                 }
                 let (req, _) = slot.as_ref().expect("posted above");
                 if req.is_complete() {
@@ -311,8 +309,7 @@ impl Resilience {
         // coordination protocol's contribution/verdict receives).
         for &w in &failed {
             let err = RequestError::PeerFailed { rank: w as i32 };
-            self.vci0
-                .fail_posted_recvs(CTRL_CTX, &|src, _| src == w as i32, err);
+            self.port.fail_matching(&|src, _| src == w as i32, err);
         }
         // Gossip failures we have not announced yet, so detectors
         // converge even on asymmetric evidence.
@@ -368,29 +365,19 @@ impl Resilience {
     /// Fire-and-forget control-plane send (buffered: born complete, no
     /// TX tracking — refusal by a dead-peer transport is harmless).
     fn ctrl_send(&self, dst_world: usize, tag: i32, payload: Vec<u8>) {
-        let hdr = MsgHeader {
-            context_id: CTRL_CTX,
-            src_rank: self.my_world as i32,
-            tag,
-        };
-        let ep = self.world.config().ep_index(dst_world, 0);
-        drop(
-            self.vci0
-                .isend_bytes_mode(ep, hdr, payload, SendMode::Buffered),
-        );
+        self.port.send(dst_world, tag, payload);
     }
 
     /// Post a control-plane receive from `src_world` with exact `tag`.
     fn ctrl_recv(&self, src_world: usize, tag: i32, capacity: usize) -> (Request, RecvSlot) {
-        self.vci0
-            .irecv_bytes(CTRL_CTX, src_world as i32, tag, capacity)
+        self.port.recv(src_world as i32, tag, capacity)
     }
 
     /// Drop this rank's posted coordination receives carrying `tag`
     /// (restart hygiene; completes them as cancelled-by-revoke).
     fn drain_ctrl_tag(&self, tag: i32) {
-        self.vci0
-            .fail_posted_recvs(CTRL_CTX, &|_, t| t == tag, RequestError::Revoked);
+        self.port
+            .fail_matching(&|_, t| t == tag, RequestError::Revoked);
     }
 }
 

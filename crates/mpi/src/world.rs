@@ -175,6 +175,12 @@ impl Registry {
             return ctx;
         }
         let ctx = self.next_ctx;
+        // Wire contexts are `ctx*2`/`ctx*2+1`; keep even those clear of
+        // the reserved control-plane band (resil, flow) by a huge margin.
+        assert!(
+            ctx < crate::reserved::RESERVED_CTX_FLOOR / 4,
+            "communicator context allocation ran into the reserved control band"
+        );
         self.next_ctx += 1;
         self.ctx.insert((parent, key), ctx);
         ctx

@@ -109,6 +109,21 @@ pub struct Counters {
     pub continuations_fired: AtomicU64,
     /// Task wakers invoked by request completion (the async/await bridge).
     pub wakers_woken: AtomicU64,
+    /// Timestamped flow records sent (mpfa-flow, loopback included).
+    pub flow_records_sent: AtomicU64,
+    /// Timestamped flow records received into a flow queue.
+    pub flow_records_recv: AtomicU64,
+    /// Times a flow frontier advanced (any flow, any rank in-process).
+    pub flow_frontier_updates: AtomicU64,
+    /// Bytes of capability-delta gossip sent on the flow control context.
+    pub flow_capability_gossip_bytes: AtomicU64,
+    /// When a flow frontier is stalled: the world rank holding the
+    /// oldest capability, **plus one** (0 = no stall). Re-asserted every
+    /// poll while the stall persists; cleared when the frontier moves.
+    pub flow_stalled_holder: AtomicU64,
+    /// When a flow frontier is stalled: the timestamp the frontier is
+    /// stuck at. Meaningless unless `flow_stalled_holder` is non-zero.
+    pub flow_stalled_at: AtomicU64,
 }
 
 /// Plain-integer copy of a [`Counters`] at a point in time.
@@ -190,6 +205,18 @@ pub struct CounterSnapshot {
     pub continuations_fired: u64,
     /// Task wakers invoked by request completion.
     pub wakers_woken: u64,
+    /// Timestamped flow records sent.
+    pub flow_records_sent: u64,
+    /// Timestamped flow records received.
+    pub flow_records_recv: u64,
+    /// Flow frontier advances.
+    pub flow_frontier_updates: u64,
+    /// Capability-delta gossip bytes sent.
+    pub flow_capability_gossip_bytes: u64,
+    /// Stalled-frontier capability holder world rank + 1 (0 = no stall).
+    pub flow_stalled_holder: u64,
+    /// Timestamp a stalled frontier is stuck at.
+    pub flow_stalled_at: u64,
 }
 
 impl Counters {
@@ -312,6 +339,12 @@ impl Counters {
             continuations_ready: self.continuations_ready.load(Ordering::Relaxed),
             continuations_fired: self.continuations_fired.load(Ordering::Relaxed),
             wakers_woken: self.wakers_woken.load(Ordering::Relaxed),
+            flow_records_sent: self.flow_records_sent.load(Ordering::Relaxed),
+            flow_records_recv: self.flow_records_recv.load(Ordering::Relaxed),
+            flow_frontier_updates: self.flow_frontier_updates.load(Ordering::Relaxed),
+            flow_capability_gossip_bytes: self.flow_capability_gossip_bytes.load(Ordering::Relaxed),
+            flow_stalled_holder: self.flow_stalled_holder.load(Ordering::Relaxed),
+            flow_stalled_at: self.flow_stalled_at.load(Ordering::Relaxed),
         }
     }
 
@@ -354,6 +387,13 @@ impl Counters {
         self.continuations_ready.store(0, Ordering::Relaxed);
         self.continuations_fired.store(0, Ordering::Relaxed);
         self.wakers_woken.store(0, Ordering::Relaxed);
+        self.flow_records_sent.store(0, Ordering::Relaxed);
+        self.flow_records_recv.store(0, Ordering::Relaxed);
+        self.flow_frontier_updates.store(0, Ordering::Relaxed);
+        self.flow_capability_gossip_bytes
+            .store(0, Ordering::Relaxed);
+        self.flow_stalled_holder.store(0, Ordering::Relaxed);
+        self.flow_stalled_at.store(0, Ordering::Relaxed);
     }
 }
 
@@ -437,6 +477,15 @@ impl std::fmt::Display for CounterSnapshot {
             self.continuations_ready,
             self.continuations_fired,
             self.wakers_woken
+        )?;
+        writeln!(
+            f,
+            "flow:     {} records sent / {} recv, {} frontier updates, \
+             {} B gossip",
+            self.flow_records_sent,
+            self.flow_records_recv,
+            self.flow_frontier_updates,
+            self.flow_capability_gossip_bytes
         )?;
         write!(
             f,
@@ -542,6 +591,28 @@ mod tests {
         assert_eq!(s.agree_rounds, 3);
         assert_eq!(s.detector_epochs, 4);
         assert!(s.to_string().contains("ranks failed"));
+        c.reset();
+        assert_eq!(c.snapshot(), CounterSnapshot::default());
+    }
+
+    #[test]
+    fn flow_counters_accumulate_and_reset() {
+        let c = Counters::new();
+        c.flow_records_sent.fetch_add(10, Ordering::Relaxed);
+        c.flow_records_recv.fetch_add(9, Ordering::Relaxed);
+        c.flow_frontier_updates.fetch_add(4, Ordering::Relaxed);
+        c.flow_capability_gossip_bytes
+            .fetch_add(96, Ordering::Relaxed);
+        c.flow_stalled_holder.store(3, Ordering::Relaxed);
+        c.flow_stalled_at.store(41, Ordering::Relaxed);
+        let s = c.snapshot();
+        assert_eq!(s.flow_records_sent, 10);
+        assert_eq!(s.flow_records_recv, 9);
+        assert_eq!(s.flow_frontier_updates, 4);
+        assert_eq!(s.flow_capability_gossip_bytes, 96);
+        assert_eq!(s.flow_stalled_holder, 3);
+        assert_eq!(s.flow_stalled_at, 41);
+        assert!(s.to_string().contains("frontier updates"));
         c.reset();
         assert_eq!(c.snapshot(), CounterSnapshot::default());
     }

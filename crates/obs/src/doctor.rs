@@ -523,6 +523,51 @@ pub fn diagnose_with_counters(
         }
     }
 
+    // Pathology 9: flow frontier stalled while capabilities are held by
+    // a dead or idle rank. The mpfa-flow engine re-asserts the stall
+    // counters every poll while a frontier has not moved for its stall
+    // threshold; the holder is the rank whose capability (or unsent
+    // record) pins the frontier's minimum. If the detector has also
+    // declared ranks dead, the holder is almost certainly a corpse and
+    // only shrink + replay can unstick the pipeline; otherwise it is an
+    // alive rank that stopped advancing its capabilities.
+    if let Some(c) = counters {
+        if c.flow_stalled_holder > 0 {
+            let holder = c.flow_stalled_holder - 1;
+            let dead = c.ranks_failed > 0;
+            report.diagnoses.push(Diagnosis {
+                severity: Severity::Critical,
+                title: format!(
+                    "flow frontier stalled at t={}: capabilities held by {} rank {}",
+                    c.flow_stalled_at,
+                    if dead { "dead/idle" } else { "idle" },
+                    holder
+                ),
+                detail: format!(
+                    "frontier stuck at timestamp {} with world rank {} holding \
+                     the oldest capability; {} frontier update(s) so far, {} \
+                     rank(s) declared failed",
+                    c.flow_stalled_at, holder, c.flow_frontier_updates, c.ranks_failed
+                ),
+                advice: if dead {
+                    "the capability holder is (or shares fate with) a failed \
+                     rank: revoke + shrink the communicator, abandon the flows \
+                     (FlowContext::abandon_all), rebuild them on the shrunk \
+                     comm, and replay unfinished work from the redo log"
+                        .to_string()
+                } else {
+                    format!(
+                        "world rank {holder} is alive but has not advanced or \
+                         dropped its capability at timestamp {}: make sure it \
+                         calls FlowSender::advance_to/close and that its \
+                         stream is being progressed",
+                        c.flow_stalled_at
+                    )
+                },
+            });
+        }
+    }
+
     report
         .diagnoses
         .sort_by_key(|d| std::cmp::Reverse(d.severity));
@@ -944,6 +989,56 @@ mod tests {
         // backpressure, not a stalled consumer.
         let counters = CounterSnapshot {
             shm_ring_full: 40,
+            ..Default::default()
+        };
+        let report = diagnose_with_counters(&[], Some(&counters), &DoctorConfig::default());
+        assert!(report.healthy(), "{report}");
+    }
+
+    #[test]
+    fn flags_flow_frontier_stall_naming_holder_and_timestamp() {
+        let counters = CounterSnapshot {
+            flow_stalled_holder: 3, // world rank 2, encoded +1
+            flow_stalled_at: 4000,
+            flow_frontier_updates: 17,
+            ranks_failed: 1,
+            comms_revoked: 1, // rank-failure finding downgraded to a warning
+            ..Default::default()
+        };
+        let report = diagnose_with_counters(&[], Some(&counters), &DoctorConfig::default());
+        assert_eq!(report.criticals().count(), 1);
+        let d = report.criticals().next().unwrap();
+        assert!(d.title.contains("flow frontier stalled at t=4000"), "{d:?}");
+        assert!(d.title.contains("dead/idle rank 2"), "{d:?}");
+        assert!(d.detail.contains("timestamp 4000"));
+        assert!(d.detail.contains("world rank 2"));
+        assert!(d.advice.contains("shrink"));
+        assert!(d.advice.contains("replay"));
+    }
+
+    #[test]
+    fn flow_stall_with_all_ranks_alive_names_the_idle_holder() {
+        let counters = CounterSnapshot {
+            flow_stalled_holder: 1, // world rank 0
+            flow_stalled_at: 12,
+            ..Default::default()
+        };
+        let report = diagnose_with_counters(&[], Some(&counters), &DoctorConfig::default());
+        assert_eq!(report.criticals().count(), 1);
+        let d = &report.diagnoses[0];
+        assert!(d.title.contains("idle rank 0"));
+        assert!(!d.title.contains("dead/idle"));
+        assert!(d.advice.contains("advance_to"));
+    }
+
+    #[test]
+    fn advancing_flow_frontier_is_healthy() {
+        let counters = CounterSnapshot {
+            flow_records_sent: 1_000_000,
+            flow_records_recv: 1_000_000,
+            flow_frontier_updates: 640,
+            flow_capability_gossip_bytes: 32_768,
+            flow_stalled_holder: 0,
             ..Default::default()
         };
         let report = diagnose_with_counters(&[], Some(&counters), &DoctorConfig::default());

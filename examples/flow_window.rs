@@ -1,0 +1,265 @@
+//! Windowed aggregation over frontier-tracked flows: the mpfa-flow
+//! pipeline demo. The same binary runs in-process over the simulated
+//! fabric *and* as one rank of a multi-process job over a real wire.
+//!
+//! Every rank produces deterministic keyed events, shuffles them by key
+//! to aggregators, reduces per-window partials, and emits each window's
+//! final `(sum, count)` from its owner **when the frontier passes the
+//! window close** — a continuation callback, not a poll. Every rank
+//! checks its emissions against the locally computable ground truth and
+//! prints `flow window ok`, which is what CI's flow-smoke job greps for.
+//!
+//! ```text
+//! cargo run --release --example flow_window
+//! target/release/mpfarun -n 4 -- target/release/examples/flow_window
+//! ```
+//!
+//! Chaos mode (`--chaos`) is the recovery demo: one rank dies
+//! mid-window, the survivors watch the frontier stall (and show the
+//! progress doctor naming the dead holder), then revoke → agree →
+//! shrink, abandon the flows, OR-allreduce their emitted-window masks,
+//! and replay the un-emitted windows from the event generator over the
+//! shrunk world. A final sum-allreduce of emitted-window counts proves
+//! the union of outputs covers every window **exactly once**; each
+//! survivor prints `exactly-once`, which CI's chaos variant greps for.
+//!
+//! ```text
+//! target/release/mpfarun -n 4 --kill-rank 2 --kill-after-ms 100 --timeout 120 \
+//!     -- target/release/examples/flow_window --chaos
+//! ```
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+use mpfa::flow::window::{expected_output, union_emitted_mask, WindowCfg, WindowWorker};
+use mpfa::flow::{FlowConfig, FlowContext};
+use mpfa::mpi::{Launch, Op, Proc, World, WorldConfig};
+use mpfa::obs::{diagnose_with_counters, DoctorConfig};
+use mpfa::resil::DetectorConfig;
+
+const RANKS: usize = 4;
+/// The rank that dies in `--chaos` mode (must match CI's `--kill-rank`).
+const VICTIM: usize = 2;
+
+fn cfg() -> WindowCfg {
+    WindowCfg {
+        windows: 24,
+        events_per_window: 512,
+        keys: 251,
+        seed: 0xf10f,
+        batch: 256,
+    }
+}
+
+fn main() {
+    let chaos = std::env::args().any(|a| a == "--chaos");
+    match World::launch(WorldConfig::instant(RANKS)) {
+        Launch::InProcess(procs) => {
+            println!(
+                "flow_window: in-process, {} simulated ranks{}",
+                procs.len(),
+                if chaos { ", chaos" } else { "" }
+            );
+            let victim_parked = AtomicBool::new(false);
+            let victim_parked = &victim_parked;
+            std::thread::scope(|s| {
+                for proc in procs {
+                    s.spawn(move || {
+                        if chaos {
+                            chaos_main(proc, Some(victim_parked));
+                        } else {
+                            rank_main(proc);
+                        }
+                    });
+                }
+            });
+        }
+        Launch::Distributed(proc) => {
+            println!(
+                "flow_window: rank {}/{} over {}{}",
+                proc.rank(),
+                proc.size(),
+                proc.world().config().transport,
+                if chaos { ", chaos" } else { "" }
+            );
+            if chaos {
+                chaos_main(proc, None);
+            } else {
+                rank_main(proc);
+            }
+        }
+    }
+}
+
+/// Drive the worker to completion, interleaving pipeline steps with
+/// stream progress.
+fn drive(proc: &Proc, worker: &mut WindowWorker) {
+    let t0 = mpfa::core::wtime();
+    while worker.step() {
+        proc.default_stream().progress();
+        assert!(
+            mpfa::core::wtime() - t0 < 60.0,
+            "rank {}: pipeline wedged",
+            proc.rank()
+        );
+    }
+}
+
+/// Check this rank's emissions against the serially computed ground
+/// truth (every rank can compute it locally — events are a pure
+/// function of the seed).
+fn verify_emitted(worker: &WindowWorker, cfg: &WindowCfg) {
+    let want = expected_output(cfg);
+    for (w, got) in worker.emitted() {
+        assert_eq!(got, &want[w], "window {w} output mismatch");
+    }
+    assert!(worker.frontier_honest(), "emitted before frontier covered");
+}
+
+fn rank_main(proc: Proc) {
+    let cfg = cfg();
+    let fx = FlowContext::install(&proc);
+    let comm = proc.world_comm();
+    let mut worker = WindowWorker::new(
+        &fx,
+        &comm,
+        cfg,
+        &vec![false; cfg.windows as usize],
+        Default::default(),
+    );
+    drive(&proc, &mut worker);
+    verify_emitted(&worker, &cfg);
+    assert_eq!(
+        worker.seen_emits().len(),
+        cfg.windows as usize,
+        "emitlog broadcast incomplete"
+    );
+    println!(
+        "rank {}: flow window ok ({} windows emitted here, {} events produced)",
+        proc.rank(),
+        worker.emitted().len(),
+        worker.produced_events()
+    );
+    fx.shutdown();
+    proc.finalize(2.0);
+}
+
+/// Kill-mid-window → frontier stall (doctor-visible) → shrink + replay
+/// → exactly-once union of outputs. `victim_parked` is the in-process
+/// kill choreography (None when the launcher's kill schedule does it).
+fn chaos_main(proc: Proc, victim_parked: Option<&AtomicBool>) {
+    let cfg = cfg();
+    proc.enable_resilience(DetectorConfig::default());
+    let fx = FlowContext::install_with(
+        &proc,
+        FlowConfig {
+            stall_after: 0.3,
+            ..FlowConfig::default()
+        },
+    );
+    let comm = proc.world_comm();
+    let mut worker = WindowWorker::new(
+        &fx,
+        &comm,
+        cfg,
+        &vec![false; cfg.windows as usize],
+        Default::default(),
+    );
+
+    if proc.rank() == VICTIM {
+        // Participate until at least one of our windows has emitted,
+        // then go silent mid-window: our unreleased capability pins
+        // everyone's frontier, windows already below it stay emitted at
+        // the survivors, and our own emitted output dies with us (the
+        // survivors must re-emit it — exactly-once is judged at the
+        // surviving sinks).
+        let t0 = mpfa::core::wtime();
+        while worker.emitted().is_empty() && mpfa::core::wtime() - t0 < 5.0 {
+            worker.step();
+            proc.default_stream().progress();
+        }
+        if let Some(parked) = victim_parked {
+            parked.store(true, Ordering::Release);
+            return;
+        }
+        // Distributed: hold the capabilities and wait for the
+        // launcher's SIGKILL (`mpfarun --kill-rank`) to land.
+        loop {
+            std::thread::sleep(std::time::Duration::from_millis(50));
+        }
+    }
+
+    // Run the pipeline until it either completes (it won't — the victim
+    // dies) or the frontier stalls with a failed rank.
+    let counters = mpfa::obs::global_counters();
+    let t0 = mpfa::core::wtime();
+    let mut killed = victim_parked.is_none();
+    loop {
+        let running = worker.step();
+        proc.default_stream().progress();
+        if !killed
+            && proc.rank() == (VICTIM + 1) % RANKS
+            && victim_parked.unwrap().load(Ordering::Acquire)
+        {
+            assert!(proc.world().chaos_kill(VICTIM));
+            killed = true;
+        }
+        let stalled = counters.flow_stalled_holder.load(Ordering::Relaxed) != 0;
+        let dead = counters.ranks_failed.load(Ordering::Relaxed) != 0;
+        if stalled && dead {
+            break;
+        }
+        assert!(running, "pipeline completed despite the kill");
+        assert!(
+            mpfa::core::wtime() - t0 < 60.0,
+            "rank {}: stall never detected",
+            proc.rank()
+        );
+    }
+
+    // The progress doctor names the pathology: frontier stalled while
+    // capabilities are held by a dead rank.
+    let snap = counters.snapshot();
+    let report = diagnose_with_counters(
+        &mpfa::obs::snapshot_all(),
+        Some(&snap),
+        &DoctorConfig::default(),
+    );
+    if let Some(d) = report
+        .criticals()
+        .find(|d| d.title.contains("flow frontier stalled"))
+    {
+        println!("rank {}: doctor: {}", proc.rank(), d.title);
+    }
+
+    // ULFM cycle, then rebuild the pipeline on the shrunk world.
+    comm.revoke().expect("revoke");
+    assert!(comm.agree(true).expect("agree"));
+    let shrunk = comm.shrink().expect("shrink");
+    fx.abandon_all();
+    let skip = union_emitted_mask(&shrunk, worker.emitted(), cfg.windows);
+    println!(
+        "rank {}: flow shrunk to {} ranks, replaying {} of {} windows",
+        proc.rank(),
+        shrunk.size(),
+        skip.iter().filter(|&&s| !s).count(),
+        cfg.windows
+    );
+    let mut replay = WindowWorker::new(&fx, &shrunk, cfg, &skip, worker.emitted().clone());
+    drive(&proc, &mut replay);
+    verify_emitted(&replay, &cfg);
+
+    // Exactly-once: across survivors, emitted-window counts sum to the
+    // window total (termination already guarantees at-least-once).
+    let counts = shrunk
+        .allreduce(&[replay.emitted().len() as i64], Op::Sum)
+        .expect("count allreduce");
+    assert_eq!(counts[0], cfg.windows as i64, "duplicate or lost windows");
+    println!(
+        "rank {}: exactly-once: {} windows total, {} emitted here after replay",
+        proc.rank(),
+        counts[0],
+        replay.emitted().len()
+    );
+    fx.shutdown();
+    proc.finalize(2.0);
+}

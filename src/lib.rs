@@ -17,6 +17,11 @@
 //!   async/await on top of the request/stream machinery: attach-to-many
 //!   continuation requests, a stream-driven executor, `block_on`,
 //!   `join_all`. See `docs/ASYNC.md`.
+//! * [`flow`] — frontier-tracked dataflow on top of the progress
+//!   engine: timestamped streams, per-stream capability counts, a
+//!   capability-gossip protocol on a reserved control context so every
+//!   rank answers `frontier()` locally, and push-style emit-on-frontier
+//!   callbacks via continuations. See `docs/FLOW.md`.
 //! * [`interop`] — what the extensions enable: user-level collectives,
 //!   task classes, completion callbacks, continuation- and schedule-style
 //!   comparator APIs, an event loop.
@@ -46,6 +51,7 @@ pub use mpfa_baselines as baselines;
 pub use mpfa_core as core;
 pub use mpfa_dst as dst;
 pub use mpfa_fabric as fabric;
+pub use mpfa_flow as flow;
 pub use mpfa_interop as interop;
 pub use mpfa_mpi as mpi;
 pub use mpfa_obs as obs;

@@ -1,0 +1,230 @@
+//! mpfa-flow frontier invariants under the DST harness.
+//!
+//! The frontier's two contracts — **exact** (a completed probe at `t`
+//! really means no record below `t` can ever arrive) and **monotone**
+//! (it never moves backwards) — are ordering properties, so they run
+//! under seeded schedule exploration: every test here holds for *every
+//! schedule tried*, and the planted-bug test proves the explorer can
+//! actually break a flow scenario that bakes in one ordering.
+
+use std::sync::{Arc, Mutex};
+
+use mpfa::dst::{check, explore, fixtures, seeds, Sim, SimConfig};
+use mpfa::flow::{FlowContext, TS_CLOSED};
+
+/// Install a flow engine on every simulated rank.
+fn contexts(sim: &Sim) -> Vec<FlowContext> {
+    sim.procs().iter().map(FlowContext::install).collect()
+}
+
+/// The core safety property, fuzzed: the frontier at every rank is
+/// monotone, and no rank ever receives a record at or below a timestamp
+/// its frontier has passed — under every explored schedule of a
+/// three-rank scatter with staggered capability advances.
+#[test]
+fn frontier_is_monotone_and_never_passed_by_records() {
+    check("conf_flow_monotone", &SimConfig::ranks(3), 24, |sim| {
+        let fxs = contexts(sim);
+        let comms = sim.world_comms();
+        let flows: Vec<_> = fxs
+            .iter()
+            .zip(&comms)
+            .map(|(fx, c)| fx.create::<u64>(c))
+            .collect();
+
+        // Rank 1 and 2 each scatter records at climbing timestamps to
+        // both other ranks, advancing capabilities between batches.
+        for (r, ts) in [(1usize, 0u64), (2, 0)] {
+            let tx = &flows[r].0;
+            tx.send((r + 1) % 3, ts + 2, &(r as u64)).unwrap();
+            tx.send((r + 2) % 3, ts + 4, &(r as u64 + 10)).unwrap();
+            tx.flush().unwrap();
+            tx.advance_to(6).unwrap();
+        }
+        flows[0].0.close().unwrap();
+
+        // Observe rank 0 under the explored schedule: sample frontier
+        // and drain records after every step, asserting both contracts.
+        let mut last_frontier = 0u64;
+        let rx0 = &flows[0].1;
+        assert!(
+            sim.run_until(|| {
+                let f = rx0.frontier();
+                assert!(
+                    f >= last_frontier,
+                    "frontier regressed {last_frontier} -> {f}"
+                );
+                while let Some((ts, _)) = rx0.try_recv() {
+                    assert!(
+                        ts >= last_frontier,
+                        "record at t={ts} observed after frontier passed {last_frontier}"
+                    );
+                }
+                last_frontier = f;
+                f >= 6
+            }),
+            "frontier never reached the advanced capabilities"
+        );
+
+        // Second wave under the moved frontier, then close everything.
+        for r in [1usize, 2] {
+            let tx = &flows[r].0;
+            tx.send(0, 8, &99).unwrap();
+            tx.flush().unwrap();
+            tx.close().unwrap();
+        }
+        assert!(
+            sim.run_until(|| {
+                while let Some((ts, _)) = rx0.try_recv() {
+                    assert!(ts >= last_frontier, "late record behind the frontier");
+                }
+                last_frontier = last_frontier.max(rx0.frontier());
+                rx0.frontier() == TS_CLOSED
+            }),
+            "flow never closed"
+        );
+        for fx in &fxs {
+            fx.shutdown();
+        }
+    });
+}
+
+/// Probe exactness, fuzzed: a `frontier_probe(t)` that completes means
+/// every record below `t` was already consumable — emission gated on a
+/// probe can never race ahead of its data, under any explored schedule.
+#[test]
+fn probes_never_complete_before_covered_records_arrive() {
+    check("conf_flow_probe_exact", &SimConfig::ranks(2), 24, |sim| {
+        let fxs = contexts(sim);
+        let comms = sim.world_comms();
+        let (tx0, rx0) = fxs[0].create::<u64>(&comms[0]);
+        let (tx1, _rx1) = fxs[1].create::<u64>(&comms[1]);
+
+        let got = Arc::new(Mutex::new(Vec::<u64>::new()));
+        let emitted = Arc::new(Mutex::new(false));
+        tx0.close().unwrap();
+
+        // Rank 1 sends a record at t=4, then promises nothing below 10.
+        tx1.send(0, 4, &44).unwrap();
+        tx1.flush().unwrap();
+        tx1.advance_to(10).unwrap();
+
+        let probe = rx0.frontier_probe(10);
+        {
+            let emitted = emitted.clone();
+            probe.on_complete(move |res| {
+                res.expect("probe failed");
+                *emitted.lock().unwrap() = true;
+            });
+        }
+
+        let watch_got = got.clone();
+        let watch_emitted = emitted.clone();
+        assert!(
+            sim.run_until(|| {
+                // The invariant: the probe (and its continuation) may
+                // only complete once the t=4 record is out of flight.
+                let e = *watch_emitted.lock().unwrap();
+                let mut g = watch_got.lock().unwrap();
+                if e {
+                    assert_eq!(
+                        g.as_slice(),
+                        &[44],
+                        "probe at t=10 completed before the t=4 record was consumed"
+                    );
+                }
+                while let Some((_, v)) = rx0.try_recv() {
+                    g.push(v);
+                }
+                e
+            }),
+            "probe never completed"
+        );
+        assert!(probe.is_complete());
+        assert!(rx0.frontier() >= 10);
+
+        tx1.close().unwrap();
+        assert!(sim.run_until(|| rx0.frontier() == TS_CLOSED));
+        for fx in &fxs {
+            fx.shutdown();
+        }
+    });
+}
+
+/// Replay contract for flow scenarios: the same seed drives the whole
+/// progress-exchange (gossip arrivals, poll orders, callback firing)
+/// byte-identically.
+#[test]
+fn flow_schedule_traces_replay_byte_identically() {
+    let cfg = SimConfig::ranks(3);
+    for seed in seeds(0xF10F, 4) {
+        let run = || {
+            let mut sim = Sim::new(cfg.with_seed(seed));
+            let fxs = contexts(&sim);
+            let comms = sim.world_comms();
+            let flows: Vec<_> = fxs
+                .iter()
+                .zip(&comms)
+                .map(|(fx, c)| fx.create::<u64>(c))
+                .collect();
+            for (r, (tx, _)) in flows.iter().enumerate() {
+                tx.send((r + 1) % 3, 1, &(r as u64)).unwrap();
+                tx.flush().unwrap();
+                tx.close().unwrap();
+            }
+            let receivers: Vec<_> = flows.iter().map(|(_, rx)| rx.clone()).collect();
+            assert!(
+                sim.run_until(|| {
+                    receivers.iter().all(|rx| {
+                        while rx.try_recv().is_some() {}
+                        rx.frontier() == TS_CLOSED
+                    })
+                }),
+                "ring flow never closed"
+            );
+            for fx in &fxs {
+                fx.shutdown();
+            }
+            let trace = sim.trace_string();
+            assert!(sim.shutdown(), "seed {seed} failed to drain");
+            trace
+        };
+        let first = run();
+        let second = run();
+        assert!(
+            first == second,
+            "seed {seed} diverged between flow runs:\n--- run 1 ---\n{first}\n--- run 2 ---\n{second}"
+        );
+    }
+}
+
+/// The explorer must catch the planted flow bug (a baked-in cross-flow
+/// frontier-callback order) within 64 seeds, and the failing seed must
+/// reproduce — proving schedule exploration reaches the flow
+/// progress-exchange, not just the p2p layer.
+#[test]
+fn explorer_catches_planted_frontier_bug_within_64_seeds() {
+    let cfg = SimConfig::ranks(3);
+    let failure = explore(
+        &cfg,
+        seeds(0xBADF10, 64),
+        fixtures::planted_frontier_regression_bug,
+    )
+    .expect_err("planted frontier bug escaped 64 schedules");
+    assert!(
+        failure.message.contains("frontier callbacks fired as"),
+        "unexpected failure mode: {}",
+        failure.message
+    );
+    let replay = explore(
+        &cfg,
+        [failure.seed],
+        fixtures::planted_frontier_regression_bug,
+    )
+    .expect_err("failing seed did not reproduce");
+    assert_eq!(replay.message, failure.message);
+    assert_eq!(
+        replay.trace, failure.trace,
+        "replay trace must be identical"
+    );
+}

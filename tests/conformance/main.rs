@@ -13,6 +13,7 @@
 
 mod continuations;
 mod determinism;
+mod flow;
 mod grequest;
 mod p2p;
 mod resil;
