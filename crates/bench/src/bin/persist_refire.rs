@@ -1,0 +1,308 @@
+//! Persistent re-fire micro-benchmark: repeated-transfer latency of the
+//! one-shot `isend`/`irecv` path versus pre-matched persistent
+//! descriptors (`send_init`/`recv_init` + `start`).
+//!
+//! Both modes run the same two-rank ping-pong; the only difference is
+//! that the persistent mode pays validation, route selection and the
+//! slot-binding handshake once at init and then re-fires slot-addressed
+//! rounds that never touch the tag matcher, while the one-shot mode
+//! re-posts (and re-matches) every message. The per-rep gap is the
+//! matching + setup overhead the paper's fig. 7 attributes to
+//! per-operation software costs rather than the wire.
+//!
+//! Each round trip is timed individually and the table reports the p50
+//! half-RTT, so a stray scheduler hiccup can't smear the comparison.
+//!
+//! Flags:
+//! * `--json PATH` — machine-readable record (CI commits
+//!   `results/persist_refire.json`).
+//! * `--smoke` — tiny sweep plus a watchdog that exits 124 on a wedge.
+//! * `--transport NAME` — run only `sim` or `shm`; repeatable.
+
+use std::sync::Arc;
+
+use mpfa_bench::json::JsonObj;
+use mpfa_core::wtime;
+use mpfa_mpi::wire::WireMsg;
+use mpfa_mpi::{Comm, MpfaBytes, World, WorldConfig};
+use mpfa_transport::{loopback_mesh, Transport, TransportKind, WireOpts};
+
+/// (payload bytes, measured round trips). Latency is the object here, so
+/// the sweep stays in the small/medium range where per-message software
+/// overhead — the thing persistence removes — dominates the transfer.
+const SWEEP: [(usize, usize); 4] = [(8, 4000), (256, 4000), (4096, 2000), (65536, 400)];
+/// Warmup round trips; the first persistent round also absorbs the
+/// one-time bind handshake here.
+const WARMUP: usize = 50;
+/// Tags: one pair per direction per mode, so the one-shot traffic can
+/// never collide with a disowned persistent slot's key.
+const ONESHOT_TAGS: (i32, i32) = (0, 1);
+const PERSIST_TAGS: (i32, i32) = (2, 3);
+
+struct Config {
+    json_path: String,
+    smoke: bool,
+    transports: Vec<TransportKind>,
+}
+
+impl Config {
+    fn from_args() -> Config {
+        let mut cfg = Config {
+            json_path: String::new(),
+            smoke: false,
+            transports: Vec::new(),
+        };
+        let mut args = std::env::args().skip(1);
+        while let Some(a) = args.next() {
+            match a.as_str() {
+                "--json" => cfg.json_path = args.next().unwrap_or_default(),
+                "--smoke" => cfg.smoke = true,
+                "--transport" => {
+                    let name = args.next().unwrap_or_default();
+                    cfg.transports.push(match name.as_str() {
+                        "sim" => TransportKind::Sim,
+                        "shm" => TransportKind::Shm,
+                        other => {
+                            eprintln!("persist_refire: unknown transport {other} (want sim|shm)");
+                            std::process::exit(2);
+                        }
+                    });
+                }
+                other => {
+                    eprintln!(
+                        "usage: persist_refire [--json PATH] [--smoke] \
+                         [--transport sim|shm]... (got {other})"
+                    );
+                    std::process::exit(2);
+                }
+            }
+        }
+        cfg
+    }
+}
+
+/// One measured point: p50 half-RTT for both modes.
+struct Point {
+    bytes: usize,
+    reps: usize,
+    oneshot_p50_us: f64,
+    persist_p50_us: f64,
+}
+
+/// p50 of half-RTTs, in microseconds, from raw round-trip samples.
+fn p50_half_us(samples: &mut [f64]) -> f64 {
+    samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    samples[samples.len() / 2] / 2.0 * 1e6
+}
+
+/// Progress-and-yield spin until `done` — both ranks share one core in
+/// this in-process harness, so a hot spin would measure the scheduler
+/// quantum instead of the path under test.
+fn drive_until(comm: &Comm, done: impl Fn() -> bool) {
+    while !done() {
+        comm.stream().progress();
+        std::thread::yield_now();
+    }
+}
+
+/// Rank 0, one-shot mode: post-send-wait per round, timing each RTT.
+fn oneshot_ping(comm: &Comm, payload: &MpfaBytes, reps: usize) -> Vec<f64> {
+    let (out_tag, back_tag) = ONESHOT_TAGS;
+    let bytes = payload.len();
+    let mut samples = Vec::with_capacity(reps);
+    for i in 0..WARMUP + reps {
+        let t0 = wtime();
+        let r = comm.irecv_bytes(bytes, 1, back_tag).unwrap();
+        comm.isend_bytes(payload.clone(), 1, out_tag).unwrap();
+        drive_until(comm, || r.is_complete());
+        r.take();
+        if i >= WARMUP {
+            samples.push(wtime() - t0);
+        }
+    }
+    samples
+}
+
+/// Rank 1, one-shot mode: echo the payload view straight back.
+fn oneshot_pong(comm: &Comm, bytes: usize, reps: usize) {
+    let (out_tag, back_tag) = ONESHOT_TAGS;
+    for _ in 0..WARMUP + reps {
+        let r = comm.irecv_bytes(bytes, 0, out_tag).unwrap();
+        drive_until(comm, || r.is_complete());
+        let (data, _) = r.take();
+        let s = comm.isend_bytes(data, 0, back_tag).unwrap();
+        drive_until(comm, || s.is_complete());
+    }
+}
+
+/// Rank 0, persistent mode: init once, then start/wait per round. After
+/// warmup every round is a slot-addressed re-fire — no matcher, no
+/// validation, no route lookup.
+fn persist_ping(comm: &Comm, payload: &MpfaBytes, reps: usize) -> Vec<f64> {
+    let (out_tag, back_tag) = PERSIST_TAGS;
+    let bytes = payload.len();
+    let mut ps = comm.send_init_bytes(payload.clone(), 1, out_tag).unwrap();
+    let mut pr = comm.recv_init_bytes(bytes, 1, back_tag).unwrap();
+    let mut samples = Vec::with_capacity(reps);
+    for i in 0..WARMUP + reps {
+        let t0 = wtime();
+        pr.start().unwrap();
+        let sreq = ps.start().unwrap();
+        drive_until(comm, || pr.is_complete() && sreq.is_complete());
+        pr.wait().unwrap();
+        if i >= WARMUP {
+            samples.push(wtime() - t0);
+        }
+    }
+    samples
+}
+
+/// Rank 1, persistent mode: the echo re-injects each round's received
+/// view as the next send payload — refcount bump, no copy.
+fn persist_pong(comm: &Comm, bytes: usize, reps: usize) {
+    let (out_tag, back_tag) = PERSIST_TAGS;
+    let mut pr = comm.recv_init_bytes(bytes, 0, out_tag).unwrap();
+    let mut ps = comm
+        .send_init_bytes(MpfaBytes::from(vec![0u8; bytes]), 0, back_tag)
+        .unwrap();
+    for _ in 0..WARMUP + reps {
+        pr.start().unwrap();
+        drive_until(comm, || pr.is_complete());
+        let (data, _) = pr.wait().unwrap();
+        ps.set_payload(data);
+        let sreq = ps.start().unwrap();
+        drive_until(comm, || sreq.is_complete());
+    }
+}
+
+fn rank_main(comm: &Comm, sweep: &[(usize, usize)]) -> Vec<Point> {
+    // All payloads allocated and page-touched before the first trial.
+    let payloads: Vec<MpfaBytes> = sweep
+        .iter()
+        .map(|&(bytes, _)| MpfaBytes::from(vec![0x2A_u8; bytes]))
+        .collect();
+    let mut points = Vec::new();
+    for (&(bytes, reps), payload) in sweep.iter().zip(&payloads) {
+        comm.barrier().unwrap();
+        let mut oneshot = if comm.rank() == 0 {
+            oneshot_ping(comm, payload, reps)
+        } else {
+            oneshot_pong(comm, bytes, reps);
+            Vec::new()
+        };
+        comm.barrier().unwrap();
+        let mut persist = if comm.rank() == 0 {
+            persist_ping(comm, payload, reps)
+        } else {
+            persist_pong(comm, bytes, reps);
+            Vec::new()
+        };
+        // Descriptor drop (slot disown / binding release) happens above,
+        // before the barrier, so it can't bleed into the next trial.
+        comm.barrier().unwrap();
+        if comm.rank() == 0 {
+            points.push(Point {
+                bytes,
+                reps,
+                oneshot_p50_us: p50_half_us(&mut oneshot),
+                persist_p50_us: p50_half_us(&mut persist),
+            });
+        }
+    }
+    points
+}
+
+fn run(kind: TransportKind, sweep: &[(usize, usize)]) -> Vec<Point> {
+    let cfg = WorldConfig::instant(2);
+    let ports: Vec<Arc<dyn Transport<WireMsg>>> = match kind {
+        TransportKind::Sim => Vec::new(),
+        _ => loopback_mesh::<WireMsg>(kind, 2, cfg.max_vcis, WireOpts::default())
+            .expect("loopback mesh"),
+    };
+    std::thread::scope(|s| {
+        let handles: Vec<_> = match kind {
+            TransportKind::Sim => World::init(cfg.clone())
+                .into_iter()
+                .map(|p| s.spawn(move || rank_main(&p.world_comm(), sweep)))
+                .collect(),
+            _ => (0..2)
+                .map(|rank| {
+                    let cfg = WorldConfig {
+                        transport: kind,
+                        ..cfg.clone()
+                    };
+                    let port = ports[rank].clone();
+                    s.spawn(move || {
+                        let p = World::init_with_transport(cfg, rank, port);
+                        rank_main(&p.world_comm(), sweep)
+                    })
+                })
+                .collect(),
+        };
+        let mut results: Vec<Vec<Point>> = handles
+            .into_iter()
+            .map(|h| h.join().expect("rank panicked"))
+            .collect();
+        results.swap_remove(0) // rank 0 holds the measurements
+    })
+}
+
+fn main() {
+    let cfg = Config::from_args();
+    let sweep: Vec<(usize, usize)> = if cfg.smoke {
+        std::thread::spawn(|| {
+            std::thread::sleep(std::time::Duration::from_secs(120));
+            eprintln!("persist_refire: smoke watchdog fired");
+            std::process::exit(124);
+        });
+        vec![(8, 100), (4096, 50)]
+    } else {
+        SWEEP.to_vec()
+    };
+    let kinds: Vec<TransportKind> = if !cfg.transports.is_empty() {
+        cfg.transports.clone()
+    } else if cfg!(unix) {
+        vec![TransportKind::Sim, TransportKind::Shm]
+    } else {
+        vec![TransportKind::Sim]
+    };
+
+    let mut records = Vec::new();
+    for &kind in &kinds {
+        let points = run(kind, &sweep);
+        println!("== {kind} ==");
+        println!("     bytes   one-shot p50   persist p50   speedup");
+        let mut point_objs = Vec::new();
+        for p in &points {
+            println!(
+                "  {:>8}   {:>9.3} us   {:>9.3} us   {:>6.2}x",
+                p.bytes,
+                p.oneshot_p50_us,
+                p.persist_p50_us,
+                p.oneshot_p50_us / p.persist_p50_us
+            );
+            let mut o = JsonObj::new();
+            o.int("bytes", p.bytes as u64)
+                .int("reps", p.reps as u64)
+                .float("oneshot_p50_us", p.oneshot_p50_us)
+                .float("persist_p50_us", p.persist_p50_us)
+                .float("speedup", p.oneshot_p50_us / p.persist_p50_us);
+            point_objs.push(o);
+        }
+        let mut rec = JsonObj::new();
+        rec.str("transport", &kind.to_string())
+            .arr("points", &point_objs);
+        records.push(rec);
+    }
+
+    if !cfg.json_path.is_empty() {
+        let mut out = JsonObj::new();
+        out.str("bench", "persist_refire")
+            .bool("smoke", cfg.smoke)
+            .int("ranks", 2)
+            .int("warmup", WARMUP as u64)
+            .arr("transports", &records);
+        out.write_to(&cfg.json_path).expect("write json");
+        println!("wrote {}", cfg.json_path);
+    }
+}

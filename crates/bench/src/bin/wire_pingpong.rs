@@ -131,10 +131,12 @@ fn wait_yielding(comm: &Comm, r: mpfa_mpi::RecvBytesRequest) -> MpfaBytes {
     r.take().0
 }
 
-/// Rank 0's side: send, await the echo, time the loop. The payload is
-/// built once; `MpfaBytes::clone` per rep is a refcount bump.
-fn ping(comm: &Comm, bytes: usize, reps: usize) -> f64 {
-    let payload: MpfaBytes = vec![0x2A_u8; bytes].into();
+/// Rank 0's side: send, await the echo, time the loop. The payload view
+/// is built (and page-touched) by the caller once per sweep —
+/// `MpfaBytes::clone` per rep is a refcount bump, so nothing inside the
+/// timed loop allocates or re-encodes the payload.
+fn ping(comm: &Comm, payload: &MpfaBytes, reps: usize) -> f64 {
+    let bytes = payload.len();
     for _ in 0..WARMUP {
         let r = comm.irecv_bytes(bytes, 1, 1).unwrap();
         comm.isend_bytes(payload.clone(), 1, 0).unwrap();
@@ -163,10 +165,21 @@ fn pong(comm: &Comm, bytes: usize, reps: usize) {
 }
 
 fn rank_main(comm: &Comm, sweep: &[(usize, usize)]) -> Vec<Point> {
+    // Per-trial setup hoisted out of the trials entirely: every
+    // payload for the sweep is allocated and filled up front, so a
+    // --large trial is never preceded by a multi-megabyte allocation
+    // whose page faults bleed into the first timed iterations.
+    let payloads: Vec<MpfaBytes> = sweep
+        .iter()
+        .map(|&(bytes, _)| MpfaBytes::from(vec![0x2A_u8; bytes]))
+        .collect();
     let mut points = Vec::new();
-    for &(bytes, reps) in sweep {
+    for (&(bytes, reps), payload) in sweep.iter().zip(&payloads) {
+        // Both ranks ready before the trial: rank 0's warmup (and
+        // clock) must not absorb rank 1's previous-trial teardown.
+        comm.barrier().unwrap();
         if comm.rank() == 0 {
-            let secs = ping(comm, bytes, reps);
+            let secs = ping(comm, payload, reps);
             let half = secs / (2.0 * reps as f64);
             points.push(Point {
                 bytes,

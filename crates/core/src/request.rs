@@ -311,8 +311,12 @@ impl Request {
     }
 
     /// [`Request::wait`] with a timeout; `None` on timeout.
-    pub fn wait_timeout(&self, timeout_s: f64) -> Option<Status> {
-        let deadline = wtime() + timeout_s;
+    ///
+    /// The deadline is measured on [`wtime`], so under deterministic
+    /// simulation the timeout counts virtual seconds and the call stays
+    /// replay-identical across runs.
+    pub fn wait_timeout(&self, timeout: std::time::Duration) -> Option<Status> {
+        let deadline = wtime() + timeout.as_secs_f64();
         while !self.is_complete() {
             if wtime() >= deadline {
                 return None;
@@ -687,7 +691,33 @@ mod tests {
     fn wait_timeout_expires() {
         let s = Stream::create();
         let (req, _c) = Request::pair(&s);
-        assert!(req.wait_timeout(0.01).is_none());
+        assert!(req
+            .wait_timeout(std::time::Duration::from_millis(10))
+            .is_none());
+    }
+
+    #[test]
+    fn wait_timeout_returns_status_on_completion() {
+        let s = Stream::create();
+        let (req, c) = Request::pair(&s);
+        let mut completer = Some(c);
+        let mut polls = 0;
+        s.async_start(move |_t: &mut AsyncThing| {
+            polls += 1;
+            if polls == 3 {
+                completer.take().unwrap().complete(Status {
+                    source: 2,
+                    ..Status::default()
+                });
+                AsyncPoll::Done
+            } else {
+                AsyncPoll::Pending
+            }
+        });
+        let st = req
+            .wait_timeout(std::time::Duration::from_secs(30))
+            .expect("completes well inside the timeout");
+        assert_eq!(st.source, 2);
     }
 
     #[test]

@@ -169,6 +169,53 @@ pub fn planted_frontier_regression_bug(sim: &mut Sim) {
     assert_eq!(got, vec!['a', 'b'], "frontier callbacks fired as {got:?}");
 }
 
+/// **Deliberately buggy.** A persistent pair proves one clean round,
+/// re-fires a rendezvous-sized round, and then the receiver revokes the
+/// communicator while the transfer is on the wire — and the scenario
+/// asserts the in-flight round still completes *cleanly*, as if the
+/// pre-matched slot survived the epoch change. The library invalidates
+/// pinned slots on revoke (resilience `drain_revoked` →
+/// `fail_persist`), so whether the round sneaks through depends on the
+/// race between the revoke sweep and the chunked data: a
+/// schedule-dependent escape the explorer must close. Run with a
+/// resilience-enabled [`crate::sim::SimConfig`].
+pub fn planted_stale_persist_slot_bug(sim: &mut Sim) {
+    let comms = sim.world_comms();
+    // Rendezvous-sized: the round takes several schedule steps to
+    // drain, leaving a window for the revoke to land mid-transfer.
+    let payload = vec![0xA5u8; 192 * 1024];
+    let mut ps = comms[0]
+        .send_init_bytes(payload.clone(), 1, 9)
+        .expect("send_init");
+    let mut pr = comms[1]
+        .recv_init_bytes(payload.len(), 0, 9)
+        .expect("recv_init");
+
+    // Round 0 proves the pre-matched pair works.
+    pr.start().expect("arm round 0");
+    let r0 = ps.start().expect("fire round 0");
+    let pr0 = pr.request().expect("armed");
+    assert!(
+        sim.run_until(|| r0.is_complete() && pr0.is_complete()),
+        "first persistent round never completed"
+    );
+    pr.wait().expect("round 0");
+
+    // Round 1 is in flight when the receiver revokes the communicator.
+    pr.start().expect("arm round 1");
+    let r1 = ps.start().expect("fire round 1");
+    comms[1].revoke().expect("revoke");
+
+    // The planted bug: "the round was already on the wire, surely it
+    // finishes". On schedules where the revoke sweep wins, the slot is
+    // invalidated mid-transfer and the round errors (or never
+    // completes) instead.
+    assert!(
+        sim.run_until(|| r1.is_complete() && r1.error().is_none()),
+        "stale persistent slot: in-flight round swallowed by the revoke epoch"
+    );
+}
+
 #[cfg(test)]
 mod tests {
     use crate::explore::{check, explore, seeds, Failure};
@@ -283,5 +330,41 @@ mod tests {
             .expect_err("failing seed must fail on replay");
         assert_eq!(replay.seed, seed);
         assert_eq!(replay.message, message);
+    }
+
+    /// The persistent-slot twin of the planted-bug acceptance tests: a
+    /// baked-in "pre-matched slots survive revoke" assumption must be
+    /// caught within 64 seeds and replay byte-identically — proving
+    /// schedule exploration reaches the slot-invalidation path in the
+    /// resilience sweep, not just the matcher.
+    #[test]
+    fn planted_stale_persist_slot_bug_is_caught_within_64_seeds() {
+        let cfg = SimConfig {
+            resilience: Some(mpfa_mpi::DetectorConfig { quiet_period: 1e9 }),
+            ..SimConfig::ranks(2)
+        };
+        let Failure {
+            seed,
+            message,
+            trace,
+        } = explore(
+            &cfg,
+            seeds(
+                crate::explore::name_base("planted_stale_persist_slot_bug"),
+                64,
+            ),
+            super::planted_stale_persist_slot_bug,
+        )
+        .expect_err("the planted stale-slot bug survived 64 schedules");
+        assert!(
+            message.contains("stale persistent slot"),
+            "unexpected failure mode: {message}"
+        );
+        assert!(trace.starts_with(&format!("dst trace seed={seed}")));
+        let replay = explore(&cfg, [seed], super::planted_stale_persist_slot_bug)
+            .expect_err("failing seed must fail on replay");
+        assert_eq!(replay.seed, seed);
+        assert_eq!(replay.message, message);
+        assert_eq!(replay.trace, trace, "replay trace must be byte-identical");
     }
 }

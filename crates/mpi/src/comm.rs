@@ -331,7 +331,7 @@ impl Comm {
 
     /// The error a fresh operation involving `peer` (communicator rank)
     /// must be born with, if any.
-    fn fault_for(&self, peer: Option<i32>) -> Option<RequestError> {
+    pub(crate) fn fault_for(&self, peer: Option<i32>) -> Option<RequestError> {
         let r = self.resil.as_ref()?;
         if r.is_revoked(self.ctx) {
             return Some(RequestError::Revoked);

@@ -43,7 +43,7 @@ pub mod dtengine;
 pub mod error;
 pub mod matching;
 pub mod op;
-pub mod persistent;
+pub mod persist;
 pub mod proc;
 pub mod protocol;
 pub mod recv;
@@ -62,7 +62,10 @@ pub use comm::{Comm, ANY_SOURCE, ANY_TAG};
 pub use datatype::{Layout, MpiType};
 pub use error::{MpiError, MpiResult};
 pub use op::Op;
-pub use persistent::{PersistentRecv, PersistentSend};
+pub use persist::{
+    PartitionedRecv, PartitionedSend, PersistentAllreduce, PersistentRecv, PersistentRecvBytes,
+    PersistentSend, PersistentSendBytes,
+};
 pub use proc::Proc;
 pub use recv::{RecvBytesRequest, RecvRequest};
 pub use reserved::{CtrlPort, ReservedCtx};

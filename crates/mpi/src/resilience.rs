@@ -266,6 +266,11 @@ impl Resilience {
                 .fail_posted_recvs(ctx * 2, &|_, _| true, RequestError::Revoked);
             reg.vci
                 .fail_posted_recvs(ctx * 2 + 1, &|_, _| true, RequestError::Revoked);
+            // Persistent descriptors on the revoked comm: flip bindings
+            // to revoked (next start takes the one-shot fallback) and
+            // fail armed rounds. Persist keys live on the ptp context.
+            reg.vci
+                .fail_persist(&|_| false, Some(ctx * 2), RequestError::Revoked);
         }
     }
 
@@ -303,6 +308,11 @@ impl Resilience {
                     .fail_posted_recvs(reg.ctx * 2, &|src, _| src == cr, err);
                 reg.vci
                     .fail_posted_recvs(reg.ctx * 2 + 1, &|src, _| src == cr, err);
+                // Persistent state bound to the dead peer: revoke the
+                // sender-side bindings and fail slot-armed / partitioned
+                // rounds so re-fires divert to the born-failed fallback.
+                reg.vci
+                    .fail_persist(&|ep| dead_eps.contains(&ep), None, err);
             }
         }
         // Control-plane receives address peers by world rank (the

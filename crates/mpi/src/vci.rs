@@ -7,18 +7,186 @@
 //! MPIX_Stream context" (paper §3.1) becomes freedom from cross-stream lock
 //! contention: two VCIs share no mutable state.
 
-use std::collections::HashMap;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use mpfa_core::sync::Mutex;
-use mpfa_core::{Completer, Request, RequestError, Status, Stream};
+use mpfa_core::{wtime, Completer, Request, RequestError, Status, Stream};
 use mpfa_fabric::{Endpoint, Path, TxHandle};
 use mpfa_transport::{MpfaBytes, Transport};
 
 use crate::matching::{MatchState, PostedRecv, RecvSlot, Unexpected};
 use crate::protocol::{ProtoConfig, SendMode};
 use crate::wire::{MsgHeader, WireMsg};
+
+/// Identity of a persistent pair before its slot is bound: the wire
+/// point-to-point context, the sender's comm rank, and the tag — the
+/// triple an ordinary send would have been *matched* on. After the
+/// [`WireMsg::PersistBind`] handshake the pair is addressed by a compact
+/// slot id instead and never touches tag matching again.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PersistKey {
+    /// Wire context id (a communicator's point-to-point context).
+    pub ctx: u64,
+    /// Sender's rank within the communicator.
+    pub src_rank: i32,
+    /// User tag.
+    pub tag: i32,
+}
+
+/// Sender-side view of one persistent binding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum BindState {
+    /// The receiver's `recv_init` bind has not arrived yet.
+    Unbound,
+    /// Bound to the receiver's slot id: fires are slot-addressed.
+    Bound(u64),
+    /// Invalidated by comm revoke or peer failure; `start` must take
+    /// the one-shot fallback path.
+    Revoked,
+}
+
+/// Per-partition arrival flags of a partitioned receive, shared with
+/// `parrived` callers lock-free. Reset at each `start` (re-fire
+/// generation); set as the last byte of each partition lands.
+pub struct PartFlags {
+    flags: Vec<AtomicBool>,
+}
+
+impl PartFlags {
+    fn new(n: usize) -> Arc<PartFlags> {
+        Arc::new(PartFlags {
+            flags: (0..n).map(|_| AtomicBool::new(false)).collect(),
+        })
+    }
+
+    /// `MPI_Parrived`: has partition `i` of the current round fully landed?
+    pub fn arrived(&self, i: usize) -> bool {
+        self.flags[i].load(Ordering::Acquire)
+    }
+
+    /// Number of partitions.
+    pub fn len(&self) -> usize {
+        self.flags.len()
+    }
+
+    /// True when the round has no partitions (never, in practice).
+    pub fn is_empty(&self) -> bool {
+        self.flags.is_empty()
+    }
+
+    fn set(&self, i: usize) {
+        if let Some(f) = self.flags.get(i) {
+            f.store(true, Ordering::Release);
+        }
+    }
+
+    fn reset(&self) {
+        for f in &self.flags {
+            f.store(false, Ordering::Release);
+        }
+    }
+}
+
+/// A fire that arrived before the receiver armed the matching round.
+/// FIFO transport order per endpoint pair keeps these in generation
+/// order, so a later `start` pops exactly its own round's arrival.
+enum PersistArrival {
+    Eager {
+        data: MpfaBytes,
+    },
+    Rts {
+        send_id: u64,
+        total: usize,
+        from_ep: usize,
+    },
+    Part {
+        offset: usize,
+        part: u32,
+        data: MpfaBytes,
+    },
+}
+
+/// The receiver's currently armed re-fire round.
+struct ArmedRound {
+    slot: RecvSlot,
+    completer: Completer,
+    /// Bytes landed so far (partitioned rounds).
+    received: usize,
+    /// Remaining bytes per partition (empty for plain slots).
+    part_remaining: Vec<usize>,
+}
+
+/// What a persistent receive slot is shaped for.
+enum SlotKind {
+    /// Ordinary persistent receive: one buffer per round.
+    Plain { capacity: usize },
+    /// Partitioned receive: per-partition arrival accounting.
+    Part {
+        total: usize,
+        partitions: usize,
+        arrived: Arc<PartFlags>,
+    },
+}
+
+/// One receiver-side persistent slot: the pinned matching bucket.
+///
+/// A slot is durable per key: freeing the descriptor *disowns* it but
+/// keeps it (and its pending queue) alive, because the sender's
+/// binding still addresses this id — stale-looking refires are the
+/// moral equivalent of the unexpected-message queue, and a later
+/// `recv_init` on the same key re-owns the slot without a second
+/// handshake. Only comm revoke / peer failure truly removes a slot.
+struct PersistSlot {
+    key: PersistKey,
+    /// The sender's wire endpoint (fault sweeps fail slots whose
+    /// sender died).
+    sender_ep: usize,
+    kind: SlotKind,
+    /// Fires that arrived before their round was armed.
+    pending: VecDeque<PersistArrival>,
+    armed: Option<ArmedRound>,
+    /// Whether a live persistent-recv descriptor owns this slot.
+    owned: bool,
+}
+
+/// Sender-side binding of a persistent send to its receiver slot.
+struct PersistBinding {
+    dst_ep: usize,
+    slot: Option<u64>,
+    revoked: bool,
+    /// Whether a live persistent-send descriptor owns this binding
+    /// (two concurrent descriptors on one key would corrupt rounds).
+    claimed: bool,
+}
+
+/// Readiness of one partition of an active partitioned send round.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum PartState {
+    Unready,
+    Ready,
+    Sent,
+}
+
+/// An active partitioned send round (sender side). `pready` flips
+/// partitions to `Ready` from any thread; the progress sweep feeds
+/// ready partitions into the wire as [`WireMsg::PartData`] chunks.
+struct PartRound {
+    ctx: u64,
+    slot: u64,
+    dst_ep: usize,
+    /// Full round payload; partition chunks are slices of this view.
+    data: MpfaBytes,
+    /// Partition size in bytes (the last partition may be shorter).
+    psize: usize,
+    state: Vec<PartState>,
+    sent: usize,
+    /// When the round started (virtual-clock aware) — feeds the
+    /// unready-partition stall gauge the doctor reads.
+    started_at: f64,
+    completer: Option<Completer>,
+}
 
 /// A rendezvous send in flight (sender side).
 struct RndvSend {
@@ -65,6 +233,14 @@ struct VciState {
     sends: HashMap<u64, RndvSend>,
     recvs: HashMap<u64, RndvRecv>,
     tx_pending: Vec<TxPending>,
+    /// Receiver-side persistent slots by slot id (the pinned buckets).
+    persist_slots: HashMap<u64, PersistSlot>,
+    /// Key → slot id, so a duplicate `recv_init` is rejected.
+    persist_keys: HashMap<PersistKey, u64>,
+    /// Sender-side bindings by key.
+    persist_bindings: HashMap<PersistKey, PersistBinding>,
+    /// Active partitioned send rounds by round id.
+    part_rounds: HashMap<u64, PartRound>,
     next_id: u64,
 }
 
@@ -82,6 +258,10 @@ pub struct Vci {
     /// Pending protocol items (rendezvous transfers + TX completions);
     /// lets the netmod hook's `has_work` stay one atomic read.
     work: AtomicUsize,
+    /// Whether this VCI currently asserts the partitioned-stall gauge
+    /// (so a VCI with no stalled rounds doesn't clobber another's
+    /// assertion every sweep).
+    stall_asserted: AtomicBool,
 }
 
 impl Vci {
@@ -115,6 +295,7 @@ impl Vci {
             proto,
             state: Mutex::new(VciState::default()),
             work: AtomicUsize::new(0),
+            stall_asserted: AtomicBool::new(false),
         })
     }
 
@@ -383,10 +564,13 @@ impl Vci {
     }
 
     /// Sweep eager TX completions (the sender-side wait block of
-    /// Figure 1(b)). Returns true if any send completed.
+    /// Figure 1(b)) and pump ready partitions of active partitioned
+    /// rounds into the wire. Returns true if any send completed or any
+    /// partition data moved.
     pub fn sweep_tx(&self) -> bool {
+        let pumped = self.pump_persist();
         if self.work.load(Ordering::Acquire) == 0 {
-            return false;
+            return pumped;
         }
         let mut completed = Vec::new();
         {
@@ -413,7 +597,7 @@ impl Vci {
         if n > 0 {
             self.work.fetch_sub(n, Ordering::Release);
         }
-        n > 0
+        n > 0 || pumped
     }
 
     // ---------------------------------------------------------------
@@ -657,6 +841,137 @@ impl Vci {
                     }
                 }
             }
+            WireMsg::PersistBind { key, slot } => {
+                // Receiver announced its slot: record the binding. The
+                // entry may not exist yet if the bind raced ahead of
+                // `send_init` registering interest; create it — the
+                // destination endpoint is where the bind came from,
+                // which is exactly where fires must go.
+                let pkey = PersistKey {
+                    ctx: key.context_id,
+                    src_rank: key.src_rank,
+                    tag: key.tag,
+                };
+                let mut st = self.state.lock();
+                let b = st.persist_bindings.entry(pkey).or_insert(PersistBinding {
+                    dst_ep: from_ep,
+                    slot: None,
+                    revoked: false,
+                    claimed: false,
+                });
+                b.slot = Some(slot);
+            }
+            WireMsg::Refire { slot, gen: _, data } => {
+                // Slot-addressed eager fire: no tag matching. Complete
+                // the armed round directly, or queue FIFO for the round
+                // the receiver hasn't started yet.
+                let completed = {
+                    let mut st = self.state.lock();
+                    let Some(ps) = st.persist_slots.get_mut(&slot) else {
+                        // Slot revoked/freed while the fire was in
+                        // flight; the sender's next start takes the
+                        // one-shot fallback.
+                        return;
+                    };
+                    match ps.armed.take() {
+                        Some(armed) => {
+                            let SlotKind::Plain { capacity } = ps.kind else {
+                                panic!("eager re-fire into a partitioned slot");
+                            };
+                            assert!(
+                                data.len() <= capacity,
+                                "message truncation: {} bytes into {capacity}-byte \
+                                 persistent receive (src {}, tag {}) — fatal under \
+                                 MPI_ERRORS_ARE_FATAL semantics",
+                                data.len(),
+                                ps.key.src_rank,
+                                ps.key.tag,
+                            );
+                            let bytes = data.len();
+                            armed.slot.set_bytes(data);
+                            Some((
+                                armed.completer,
+                                Status {
+                                    source: ps.key.src_rank,
+                                    tag: ps.key.tag,
+                                    bytes,
+                                    cancelled: false,
+                                },
+                            ))
+                        }
+                        None => {
+                            ps.pending.push_back(PersistArrival::Eager { data });
+                            None
+                        }
+                    }
+                };
+                if let Some((completer, status)) = completed {
+                    completer.complete(status);
+                }
+            }
+            WireMsg::RefireRts {
+                slot,
+                gen: _,
+                send_id,
+                total,
+            } => {
+                // Slot-addressed rendezvous fire: the armed round (or a
+                // later arm) replies with a standard CTS and the
+                // existing chunked Data/DataAck pipeline finishes the
+                // transfer — only the *match* was skipped.
+                let armed = {
+                    let mut st = self.state.lock();
+                    let Some(ps) = st.persist_slots.get_mut(&slot) else {
+                        return;
+                    };
+                    match ps.armed.take() {
+                        Some(armed) => {
+                            let SlotKind::Plain { capacity } = ps.kind else {
+                                panic!("rendezvous re-fire into a partitioned slot");
+                            };
+                            Some((armed, ps.key, capacity))
+                        }
+                        None => {
+                            ps.pending.push_back(PersistArrival::Rts {
+                                send_id,
+                                total,
+                                from_ep,
+                            });
+                            None
+                        }
+                    }
+                };
+                if let Some((armed, key, capacity)) = armed {
+                    self.persist_rndv_recv(armed, key, capacity, send_id, total, from_ep);
+                }
+            }
+            WireMsg::PartData {
+                slot,
+                offset,
+                part,
+                data,
+            } => {
+                let completed = {
+                    let mut st = self.state.lock();
+                    let Some(ps) = st.persist_slots.get_mut(&slot) else {
+                        return;
+                    };
+                    match ps.armed.as_mut() {
+                        Some(_) => Self::apply_part_chunk(ps, offset, part, data),
+                        None => {
+                            // Frames of the next generation arriving
+                            // before its `start`; FIFO order keeps them
+                            // behind any earlier queued round.
+                            ps.pending
+                                .push_back(PersistArrival::Part { offset, part, data });
+                            None
+                        }
+                    }
+                };
+                if let Some((completer, status)) = completed {
+                    completer.complete(status);
+                }
+            }
         }
     }
 
@@ -768,6 +1083,731 @@ impl Vci {
             send.offset = end;
             send.inflight += 1;
         }
+    }
+
+    // ---------------------------------------------------------------
+    // Persistent operations: pre-matched re-fire descriptors
+    // ---------------------------------------------------------------
+
+    /// Receiver half of persistent init: pin a matching-bucket slot for
+    /// `key`, announce it to the sender at `sender_ep`, and return the
+    /// slot id. Returns `None` if `key` is already bound (two
+    /// persistent receives on the same `(comm, src, tag)` would be
+    /// ambiguous to slot-address).
+    pub(crate) fn persist_recv_init(
+        &self,
+        key: PersistKey,
+        capacity: usize,
+        sender_ep: usize,
+    ) -> Option<u64> {
+        self.persist_init_slot(key, SlotKind::Plain { capacity }, sender_ep)
+    }
+
+    /// Receiver half of partitioned init: like
+    /// [`Vci::persist_recv_init`] but with per-partition arrival
+    /// accounting. Returns the slot id and the shared `parrived` flags.
+    pub(crate) fn persist_precv_init(
+        &self,
+        key: PersistKey,
+        total: usize,
+        partitions: usize,
+        sender_ep: usize,
+    ) -> Option<(u64, Arc<PartFlags>)> {
+        let arrived = PartFlags::new(partitions);
+        let kind = SlotKind::Part {
+            total,
+            partitions,
+            arrived: arrived.clone(),
+        };
+        self.persist_init_slot(key, kind, sender_ep)
+            .map(|id| (id, arrived))
+    }
+
+    fn persist_init_slot(&self, key: PersistKey, kind: SlotKind, sender_ep: usize) -> Option<u64> {
+        let slot_id = {
+            let mut st = self.state.lock();
+            if let Some(&id) = st.persist_keys.get(&key) {
+                // The key had a descriptor before. Its slot is kept
+                // alive (the sender's binding still addresses it); a
+                // second live descriptor is ambiguous, but a freed one
+                // is simply re-owned — no second handshake, and fires
+                // queued in the interim deliver like unexpected
+                // messages.
+                let ps = st.persist_slots.get_mut(&id)?;
+                if ps.owned {
+                    return None;
+                }
+                ps.owned = true;
+                ps.kind = kind;
+                ps.sender_ep = sender_ep;
+                ps.armed = None;
+                return Some(id);
+            }
+            let id = st.next_id;
+            st.next_id += 1;
+            st.persist_keys.insert(key, id);
+            st.persist_slots.insert(
+                id,
+                PersistSlot {
+                    key,
+                    sender_ep,
+                    kind,
+                    pending: VecDeque::new(),
+                    armed: None,
+                    owned: true,
+                },
+            );
+            id
+        };
+        // The bind handshake: from here on the sender addresses this
+        // pair by slot id and the matcher never sees it again.
+        self.port.send(
+            self.ep,
+            sender_ep,
+            WireMsg::PersistBind {
+                key: MsgHeader {
+                    context_id: key.ctx,
+                    src_rank: key.src_rank,
+                    tag: key.tag,
+                },
+                slot: slot_id,
+            },
+            0,
+        );
+        Some(slot_id)
+    }
+
+    /// Disown a receiver-side slot (persistent request freed). An armed
+    /// round's completer is dropped, which cancels its request. The slot
+    /// itself stays alive — the sender's binding still addresses it, so
+    /// late fires queue (unexpected-message semantics) until a new
+    /// descriptor re-owns the key. Only faults remove slots for real.
+    pub(crate) fn persist_free_slot(&self, slot_id: u64) {
+        let mut st = self.state.lock();
+        if let Some(ps) = st.persist_slots.get_mut(&slot_id) {
+            ps.owned = false;
+            ps.armed = None;
+        }
+    }
+
+    /// Sender half of persistent init: claim the binding for `key` (the
+    /// bind may already have arrived — the entry is shared either way).
+    /// Returns false when another live descriptor already owns the key.
+    pub(crate) fn persist_send_init(&self, key: PersistKey, dst_ep: usize) -> bool {
+        let mut st = self.state.lock();
+        let b = st.persist_bindings.entry(key).or_insert(PersistBinding {
+            dst_ep,
+            slot: None,
+            revoked: false,
+            claimed: false,
+        });
+        if b.claimed {
+            return false;
+        }
+        b.claimed = true;
+        true
+    }
+
+    /// Sender-side binding state for `key`.
+    pub(crate) fn persist_binding(&self, key: &PersistKey) -> BindState {
+        match self.state.lock().persist_bindings.get(key) {
+            None => BindState::Unbound,
+            Some(b) if b.revoked => BindState::Revoked,
+            Some(b) => b.slot.map(BindState::Bound).unwrap_or(BindState::Unbound),
+        }
+    }
+
+    /// Release a sender-side binding claim (persistent request freed).
+    /// The bound slot is retained so a later re-init of the same key
+    /// finds it without a fresh handshake.
+    pub(crate) fn persist_free_binding(&self, key: &PersistKey) {
+        if let Some(b) = self.state.lock().persist_bindings.get_mut(key) {
+            b.claimed = false;
+        }
+    }
+
+    /// Fire one re-fire generation at a bound slot: the persistent fast
+    /// path. Mode selection matches [`Vci::isend_bytes`] (buffered /
+    /// eager / rendezvous with the eager-hint promotion), but the wire
+    /// carries slot-addressed [`WireMsg::Refire`] / [`WireMsg::RefireRts`]
+    /// frames that bypass tag matching at the receiver.
+    pub(crate) fn persist_fire(
+        &self,
+        dst_ep: usize,
+        slot: u64,
+        gen: u64,
+        bytes: MpfaBytes,
+    ) -> Request {
+        mpfa_obs::global_counters()
+            .persist_refires
+            .fetch_add(1, Ordering::Relaxed);
+        let n = bytes.len();
+        let mut mode = self.proto.mode_for(n);
+        if mode == SendMode::Rendezvous {
+            if let Some(max) = self.port.eager_hint() {
+                if n <= max {
+                    mode = SendMode::Eager;
+                }
+            }
+        }
+        match mode {
+            SendMode::Buffered => {
+                let tx = self.port.send(
+                    self.ep,
+                    dst_ep,
+                    WireMsg::Refire {
+                        slot,
+                        gen,
+                        data: bytes,
+                    },
+                    n,
+                );
+                if tx.is_failed() {
+                    return Request::failed(&self.stream, RequestError::PeerFailed { rank: -1 });
+                }
+                Request::completed(
+                    &self.stream,
+                    Status {
+                        source: -1,
+                        tag: -1,
+                        bytes: n,
+                        cancelled: false,
+                    },
+                )
+            }
+            SendMode::Eager => {
+                let (req, completer) = Request::pair(&self.stream);
+                let tx = self.port.send(
+                    self.ep,
+                    dst_ep,
+                    WireMsg::Refire {
+                        slot,
+                        gen,
+                        data: bytes,
+                    },
+                    n,
+                );
+                let mut st = self.state.lock();
+                st.tx_pending.push(TxPending {
+                    tx,
+                    dst_ep,
+                    completer,
+                    status: Status {
+                        source: -1,
+                        tag: -1,
+                        bytes: n,
+                        cancelled: false,
+                    },
+                });
+                drop(st);
+                self.work.fetch_add(1, Ordering::Release);
+                req
+            }
+            SendMode::Rendezvous => {
+                let (req, completer) = Request::pair(&self.stream);
+                let send_id = {
+                    let mut st = self.state.lock();
+                    let id = st.next_id;
+                    st.next_id += 1;
+                    st.sends.insert(
+                        id,
+                        RndvSend {
+                            data: bytes,
+                            dst_ep,
+                            offset: 0,
+                            inflight: 0,
+                            acked: 0,
+                            recv_id: None,
+                            completer: Some(completer),
+                        },
+                    );
+                    id
+                };
+                self.work.fetch_add(1, Ordering::Release);
+                mpfa_obs::global_counters()
+                    .rndv_started
+                    .fetch_add(1, Ordering::Relaxed);
+                self.port.send(
+                    self.ep,
+                    dst_ep,
+                    WireMsg::RefireRts {
+                        slot,
+                        gen,
+                        send_id,
+                        total: n,
+                    },
+                    0,
+                );
+                req
+            }
+        }
+    }
+
+    /// Arm the next re-fire round of slot `slot_id`: hand the engine a
+    /// fresh request + landing slot. If a fire for this round already
+    /// arrived (queued FIFO), it completes — possibly immediately —
+    /// without the round ever being visibly armed. Returns `None` when
+    /// the slot was invalidated (comm revoke / peer failure); the
+    /// caller must take the one-shot fallback.
+    pub(crate) fn persist_arm(&self, slot_id: u64) -> Option<(Request, RecvSlot)> {
+        let (req, completer) = Request::pair(&self.stream);
+        let rslot = RecvSlot::new();
+
+        enum After {
+            None,
+            Complete(Completer, Status),
+            Rndv {
+                armed: ArmedRound,
+                key: PersistKey,
+                capacity: usize,
+                send_id: u64,
+                total: usize,
+                from_ep: usize,
+            },
+        }
+        let mut after = After::None;
+        {
+            let mut st = self.state.lock();
+            let ps = st.persist_slots.get_mut(&slot_id)?;
+            assert!(
+                ps.armed.is_none(),
+                "persistent round started while the previous round is still armed"
+            );
+            let part_remaining: Vec<usize> = match &ps.kind {
+                SlotKind::Plain { .. } => Vec::new(),
+                SlotKind::Part {
+                    total,
+                    partitions,
+                    arrived,
+                } => {
+                    arrived.reset();
+                    let psize = total.div_ceil((*partitions).max(1));
+                    let remaining: Vec<usize> = (0..*partitions)
+                        .map(|p| {
+                            let lo = (p * psize).min(*total);
+                            let hi = ((p + 1) * psize).min(*total);
+                            hi - lo
+                        })
+                        .collect();
+                    // Zero-byte partitions have nothing in flight: they
+                    // are arrived from the instant the round starts.
+                    for (p, rem) in remaining.iter().enumerate() {
+                        if *rem == 0 {
+                            arrived.set(p);
+                        }
+                    }
+                    remaining
+                }
+            };
+            ps.armed = Some(ArmedRound {
+                slot: rslot.clone(),
+                completer,
+                received: 0,
+                part_remaining,
+            });
+            // Drain fires that beat this arm (FIFO: the front entry is
+            // exactly this round's, earlier rounds having consumed
+            // theirs).
+            while ps.armed.is_some() {
+                let Some(arrival) = ps.pending.pop_front() else {
+                    break;
+                };
+                match arrival {
+                    PersistArrival::Eager { data } => {
+                        let SlotKind::Plain { capacity } = ps.kind else {
+                            panic!("eager re-fire queued on a partitioned slot");
+                        };
+                        assert!(
+                            data.len() <= capacity,
+                            "message truncation: {} bytes into {capacity}-byte \
+                             persistent receive (src {}, tag {}) — fatal under \
+                             MPI_ERRORS_ARE_FATAL semantics",
+                            data.len(),
+                            ps.key.src_rank,
+                            ps.key.tag,
+                        );
+                        let armed = ps.armed.take().unwrap();
+                        let bytes = data.len();
+                        armed.slot.set_bytes(data);
+                        after = After::Complete(
+                            armed.completer,
+                            Status {
+                                source: ps.key.src_rank,
+                                tag: ps.key.tag,
+                                bytes,
+                                cancelled: false,
+                            },
+                        );
+                    }
+                    PersistArrival::Rts {
+                        send_id,
+                        total,
+                        from_ep,
+                    } => {
+                        let SlotKind::Plain { capacity } = ps.kind else {
+                            panic!("rendezvous re-fire queued on a partitioned slot");
+                        };
+                        let armed = ps.armed.take().unwrap();
+                        after = After::Rndv {
+                            armed,
+                            key: ps.key,
+                            capacity,
+                            send_id,
+                            total,
+                            from_ep,
+                        };
+                    }
+                    PersistArrival::Part { offset, part, data } => {
+                        if let Some((c, s)) = Self::apply_part_chunk(ps, offset, part, data) {
+                            after = After::Complete(c, s);
+                        }
+                    }
+                }
+            }
+        }
+        match after {
+            After::None => {}
+            After::Complete(c, s) => c.complete(s),
+            After::Rndv {
+                armed,
+                key,
+                capacity,
+                send_id,
+                total,
+                from_ep,
+            } => {
+                self.persist_rndv_recv(armed, key, capacity, send_id, total, from_ep);
+            }
+        }
+        Some((req, rslot))
+    }
+
+    /// Begin the receiver half of a slot-addressed rendezvous re-fire:
+    /// register standard rendezvous state and reply CTS. From the CTS
+    /// on, the transfer is indistinguishable from a one-shot rendezvous
+    /// (same chunked pipeline, same flow-control credits).
+    fn persist_rndv_recv(
+        &self,
+        armed: ArmedRound,
+        key: PersistKey,
+        capacity: usize,
+        send_id: u64,
+        total: usize,
+        from_ep: usize,
+    ) {
+        assert!(
+            total <= capacity,
+            "message truncation: {total} bytes into {capacity}-byte persistent \
+             receive (src {}, tag {}) — fatal under MPI_ERRORS_ARE_FATAL semantics",
+            key.src_rank,
+            key.tag,
+        );
+        let recv_id = {
+            let mut st = self.state.lock();
+            let id = st.next_id;
+            st.next_id += 1;
+            st.recvs.insert(
+                id,
+                RndvRecv {
+                    slot: armed.slot,
+                    total,
+                    received: 0,
+                    src_rank: key.src_rank,
+                    tag: key.tag,
+                    send_id,
+                    reply_ep: from_ep,
+                    completer: Some(armed.completer),
+                },
+            );
+            id
+        };
+        self.work.fetch_add(1, Ordering::Release);
+        self.port
+            .send(self.ep, from_ep, WireMsg::Cts { send_id, recv_id }, 0);
+    }
+
+    /// Land one partition chunk in the armed round of a partitioned
+    /// slot. Returns the round's completion if this chunk finished it.
+    fn apply_part_chunk(
+        ps: &mut PersistSlot,
+        offset: usize,
+        part: u32,
+        data: MpfaBytes,
+    ) -> Option<(Completer, Status)> {
+        let (total, arrived) = match &ps.kind {
+            SlotKind::Part { total, arrived, .. } => (*total, arrived.clone()),
+            SlotKind::Plain { .. } => panic!("partition data on a plain persistent slot"),
+        };
+        let armed = ps.armed.as_mut().expect("partition chunk on unarmed slot");
+        let dlen = data.len();
+        assert!(
+            offset + dlen <= total,
+            "message truncation: partition chunk [{offset}, {}) overruns {total}-byte \
+             partitioned receive (src {}, tag {}) — fatal under MPI_ERRORS_ARE_FATAL \
+             semantics",
+            offset + dlen,
+            ps.key.src_rank,
+            ps.key.tag,
+        );
+        if offset == 0 && dlen == total {
+            // Whole round in one frame: keep the delivered view
+            // (zero-copy single-chunk partitioned transfer).
+            armed.slot.set_bytes(data);
+        } else {
+            armed.slot.write_at(total, offset, &data);
+        }
+        armed.received += dlen;
+        let p = part as usize;
+        if let Some(rem) = armed.part_remaining.get_mut(p) {
+            *rem = rem.saturating_sub(dlen);
+            if *rem == 0 {
+                arrived.set(p);
+            }
+        }
+        if armed.received >= total {
+            let armed = ps.armed.take().unwrap();
+            Some((
+                armed.completer,
+                Status {
+                    source: ps.key.src_rank,
+                    tag: ps.key.tag,
+                    bytes: total,
+                    cancelled: false,
+                },
+            ))
+        } else {
+            None
+        }
+    }
+
+    /// Start one partitioned send round against a bound slot. The round
+    /// sends nothing until partitions are marked ready; the progress
+    /// sweep feeds ready partitions into the wire. Returns the round id
+    /// (for `pready`) and the request completing when every partition
+    /// has been handed to the transport.
+    pub(crate) fn persist_part_start(
+        &self,
+        ctx: u64,
+        dst_ep: usize,
+        slot: u64,
+        data: MpfaBytes,
+        partitions: usize,
+    ) -> (u64, Request) {
+        mpfa_obs::global_counters()
+            .persist_refires
+            .fetch_add(1, Ordering::Relaxed);
+        let (req, completer) = Request::pair(&self.stream);
+        let total = data.len();
+        let psize = total.div_ceil(partitions.max(1));
+        let id = {
+            let mut st = self.state.lock();
+            let id = st.next_id;
+            st.next_id += 1;
+            st.part_rounds.insert(
+                id,
+                PartRound {
+                    ctx,
+                    slot,
+                    dst_ep,
+                    data,
+                    psize,
+                    state: vec![PartState::Unready; partitions],
+                    sent: 0,
+                    started_at: wtime(),
+                    completer: Some(completer),
+                },
+            );
+            id
+        };
+        self.work.fetch_add(1, Ordering::Release);
+        (id, req)
+    }
+
+    /// `MPI_Pready_range` on an active round: mark partitions
+    /// `[lo, hi)` ready for the wire. Callable from any thread (compute
+    /// threads overlapping with the progress stream). Returns how many
+    /// partitions transitioned.
+    pub(crate) fn persist_pready(&self, round: u64, lo: usize, hi: usize) -> usize {
+        let n = {
+            let mut st = self.state.lock();
+            let Some(r) = st.part_rounds.get_mut(&round) else {
+                return 0;
+            };
+            let hi = hi.min(r.state.len());
+            let mut n = 0;
+            for p in lo..hi {
+                if r.state[p] == PartState::Unready {
+                    r.state[p] = PartState::Ready;
+                    n += 1;
+                }
+            }
+            n
+        };
+        if n > 0 {
+            mpfa_obs::global_counters()
+                .partitions_ready
+                .fetch_add(n as u64, Ordering::Relaxed);
+        }
+        n
+    }
+
+    /// Feed ready partitions of active partitioned rounds into the wire
+    /// (chunked within partition boundaries, slices of the round's
+    /// payload view — no copies), complete rounds whose partitions have
+    /// all been sent, and re-assert the unready-partition stall gauge
+    /// the doctor reads. Returns true if any data moved.
+    fn pump_persist(&self) -> bool {
+        let clear_gauge = |vci: &Vci| {
+            if vci.stall_asserted.swap(false, Ordering::AcqRel) {
+                let c = mpfa_obs::global_counters();
+                c.persist_part_stalled.store(0, Ordering::Relaxed);
+                c.persist_part_stalled_ms.store(0, Ordering::Relaxed);
+            }
+        };
+        if self.work.load(Ordering::Acquire) == 0 {
+            clear_gauge(self);
+            return false;
+        }
+        let now = wtime();
+        let mut completed: Vec<(Completer, usize)> = Vec::new();
+        let mut oldest_stall: Option<(f64, usize)> = None;
+        let mut any = false;
+        {
+            let mut st = self.state.lock();
+            let ids: Vec<u64> = st.part_rounds.keys().copied().collect();
+            for id in ids {
+                let (done, unready, started_at) = {
+                    let r = st.part_rounds.get_mut(&id).unwrap();
+                    for p in 0..r.state.len() {
+                        if r.state[p] != PartState::Ready {
+                            continue;
+                        }
+                        let lo = (p * r.psize).min(r.data.len());
+                        let hi = ((p + 1) * r.psize).min(r.data.len());
+                        let mut off = lo;
+                        while off < hi {
+                            let end = (off + self.proto.chunk).min(hi);
+                            let chunk = r.data.slice(off..end);
+                            let len = chunk.len();
+                            self.port.send(
+                                self.ep,
+                                r.dst_ep,
+                                WireMsg::PartData {
+                                    slot: r.slot,
+                                    offset: off,
+                                    part: p as u32,
+                                    data: chunk,
+                                },
+                                len,
+                            );
+                            off = end;
+                        }
+                        r.state[p] = PartState::Sent;
+                        r.sent += 1;
+                        any = true;
+                    }
+                    let unready = r.state.iter().filter(|s| **s == PartState::Unready).count();
+                    (r.sent == r.state.len(), unready, r.started_at)
+                };
+                if done {
+                    let r = st.part_rounds.remove(&id).unwrap();
+                    let bytes = r.data.len();
+                    if let Some(c) = r.completer {
+                        completed.push((c, bytes));
+                    }
+                } else if unready > 0 {
+                    let older = oldest_stall.is_none_or(|(t, _)| started_at < t);
+                    if older {
+                        oldest_stall = Some((started_at, unready));
+                    }
+                }
+            }
+        }
+        match oldest_stall {
+            Some((t0, parts)) => {
+                let c = mpfa_obs::global_counters();
+                c.persist_part_stalled
+                    .store(parts as u64, Ordering::Relaxed);
+                c.persist_part_stalled_ms
+                    .store(((now - t0).max(0.0) * 1e3) as u64, Ordering::Relaxed);
+                self.stall_asserted.store(true, Ordering::Release);
+            }
+            None => clear_gauge(self),
+        }
+        let n = completed.len();
+        for (completer, bytes) in completed {
+            completer.complete(Status {
+                source: -1,
+                tag: -1,
+                bytes,
+                cancelled: false,
+            });
+        }
+        if n > 0 {
+            self.work.fetch_sub(n, Ordering::Release);
+        }
+        any || n > 0
+    }
+
+    /// Invalidate persistent state touched by a fault: bindings whose
+    /// destination endpoint died (or whose comm context was revoked)
+    /// flip to revoked — the next `start` takes the one-shot fallback —
+    /// and receiver slots / partitioned rounds against dead peers fail
+    /// their in-flight round with `err`. Returns how many in-flight
+    /// rounds were failed.
+    pub(crate) fn fail_persist(
+        &self,
+        dead_ep: &dyn Fn(usize) -> bool,
+        ctx: Option<u64>,
+        err: RequestError,
+    ) -> usize {
+        let hit_ctx = |c: u64| ctx == Some(c);
+        let mut failed: Vec<Completer> = Vec::new();
+        let mut removed_work = 0usize;
+        {
+            let mut st = self.state.lock();
+            for (key, b) in st.persist_bindings.iter_mut() {
+                if dead_ep(b.dst_ep) || hit_ctx(key.ctx) {
+                    b.revoked = true;
+                }
+            }
+            let dead_slots: Vec<u64> = st
+                .persist_slots
+                .iter()
+                .filter(|(_, s)| dead_ep(s.sender_ep) || hit_ctx(s.key.ctx))
+                .map(|(id, _)| *id)
+                .collect();
+            for id in dead_slots {
+                if let Some(mut s) = st.persist_slots.remove(&id) {
+                    st.persist_keys.remove(&s.key);
+                    if let Some(armed) = s.armed.take() {
+                        failed.push(armed.completer);
+                    }
+                }
+            }
+            let dead_rounds: Vec<u64> = st
+                .part_rounds
+                .iter()
+                .filter(|(_, r)| dead_ep(r.dst_ep) || hit_ctx(r.ctx))
+                .map(|(id, _)| *id)
+                .collect();
+            for id in dead_rounds {
+                if let Some(mut r) = st.part_rounds.remove(&id) {
+                    if let Some(c) = r.completer.take() {
+                        failed.push(c);
+                    }
+                    removed_work += 1;
+                }
+            }
+        }
+        if removed_work > 0 {
+            self.work.fetch_sub(removed_work, Ordering::Release);
+        }
+        let n = failed.len();
+        for c in failed {
+            c.fail(err);
+        }
+        n
     }
 }
 

@@ -69,6 +69,58 @@ pub enum WireMsg {
         /// Sender-side request id.
         send_id: u64,
     },
+    /// Persistent-pair handshake (receiver → sender): `recv_init` ran,
+    /// and the matching bucket for `key` is pinned to compact slot id
+    /// `slot`. From here on the sender addresses fires by slot and the
+    /// pair never touches tag matching again.
+    PersistBind {
+        /// The pair's identity: the wire context, the sender's comm
+        /// rank, and the tag — the same triple an ordinary eager send
+        /// would have been matched on.
+        key: MsgHeader,
+        /// Receiver-assigned slot id for all subsequent fires.
+        slot: u64,
+    },
+    /// One eager re-fire of a bound persistent send: the full payload,
+    /// addressed by slot — no match header, no tag matching.
+    Refire {
+        /// Receiver-side slot id from the [`WireMsg::PersistBind`].
+        slot: u64,
+        /// Re-fire generation (0 for the first start), for diagnostics
+        /// and partitioned-round bookkeeping.
+        gen: u64,
+        /// Full payload view (sliced zero-copy on decode).
+        data: MpfaBytes,
+    },
+    /// Rendezvous announce for a bound persistent send above the eager
+    /// threshold. The receiver registers the transfer against the slot's
+    /// armed buffer and replies with an ordinary [`WireMsg::Cts`]; the
+    /// chunked Data/DataAck pipeline is reused unchanged (it is already
+    /// id-addressed and match-free).
+    RefireRts {
+        /// Receiver-side slot id.
+        slot: u64,
+        /// Re-fire generation.
+        gen: u64,
+        /// Sender-side request id, echoed in the CTS.
+        send_id: u64,
+        /// Total payload size of the coming transfer.
+        total: usize,
+    },
+    /// One chunk of one *partition* of a partitioned persistent send.
+    /// Partition readiness (`pready`) feeds these into the wire as the
+    /// sweeps run; the receiver accounts arrival per partition so
+    /// `parrived` can answer before the whole round lands.
+    PartData {
+        /// Receiver-side slot id.
+        slot: u64,
+        /// Byte offset of this chunk in the full (round) payload.
+        offset: usize,
+        /// Partition index this chunk belongs to.
+        part: u32,
+        /// Chunk bytes (a slice of the sender's payload view).
+        data: MpfaBytes,
+    },
 }
 
 impl WireMsg {
@@ -79,7 +131,13 @@ impl WireMsg {
         match self {
             WireMsg::Eager { data, .. } => data.len(),
             WireMsg::Data { data, .. } => data.len(),
-            WireMsg::Rts { .. } | WireMsg::Cts { .. } | WireMsg::DataAck { .. } => 0,
+            WireMsg::Refire { data, .. } => data.len(),
+            WireMsg::PartData { data, .. } => data.len(),
+            WireMsg::Rts { .. }
+            | WireMsg::Cts { .. }
+            | WireMsg::DataAck { .. }
+            | WireMsg::PersistBind { .. }
+            | WireMsg::RefireRts { .. } => 0,
         }
     }
 
@@ -91,6 +149,10 @@ impl WireMsg {
             WireMsg::Cts { .. } => "cts",
             WireMsg::Data { .. } => "data",
             WireMsg::DataAck { .. } => "ack",
+            WireMsg::PersistBind { .. } => "bind",
+            WireMsg::Refire { .. } => "refire",
+            WireMsg::RefireRts { .. } => "refire-rts",
+            WireMsg::PartData { .. } => "part",
         }
     }
 }
@@ -105,6 +167,10 @@ const TAG_RTS: u8 = 1;
 const TAG_CTS: u8 = 2;
 const TAG_DATA: u8 = 3;
 const TAG_DATA_ACK: u8 = 4;
+const TAG_PERSIST_BIND: u8 = 5;
+const TAG_REFIRE: u8 = 6;
+const TAG_REFIRE_RTS: u8 = 7;
+const TAG_PART_DATA: u8 = 8;
 
 fn put_hdr(buf: &mut Vec<u8>, hdr: &MsgHeader) {
     put_u64(buf, hdr.context_id);
@@ -162,6 +228,41 @@ impl FrameCodec for WireMsg {
                 buf.push(TAG_DATA_ACK);
                 put_u64(buf, *send_id);
             }
+            WireMsg::PersistBind { key, slot } => {
+                buf.push(TAG_PERSIST_BIND);
+                put_hdr(buf, key);
+                put_u64(buf, *slot);
+            }
+            WireMsg::Refire { slot, gen, data } => {
+                buf.push(TAG_REFIRE);
+                put_u64(buf, *slot);
+                put_u64(buf, *gen);
+                buf.extend_from_slice(data);
+            }
+            WireMsg::RefireRts {
+                slot,
+                gen,
+                send_id,
+                total,
+            } => {
+                buf.push(TAG_REFIRE_RTS);
+                put_u64(buf, *slot);
+                put_u64(buf, *gen);
+                put_u64(buf, *send_id);
+                put_u64(buf, *total as u64);
+            }
+            WireMsg::PartData {
+                slot,
+                offset,
+                part,
+                data,
+            } => {
+                buf.push(TAG_PART_DATA);
+                put_u64(buf, *slot);
+                put_u64(buf, *offset as u64);
+                put_i32(buf, *part as i32);
+                buf.extend_from_slice(data);
+            }
         }
     }
 
@@ -188,6 +289,27 @@ impl FrameCodec for WireMsg {
                 data: MpfaBytes::copy_from(r.rest()),
             },
             TAG_DATA_ACK => WireMsg::DataAck { send_id: r.u64()? },
+            TAG_PERSIST_BIND => WireMsg::PersistBind {
+                key: read_hdr(&mut r)?,
+                slot: r.u64()?,
+            },
+            TAG_REFIRE => WireMsg::Refire {
+                slot: r.u64()?,
+                gen: r.u64()?,
+                data: MpfaBytes::copy_from(r.rest()),
+            },
+            TAG_REFIRE_RTS => WireMsg::RefireRts {
+                slot: r.u64()?,
+                gen: r.u64()?,
+                send_id: r.u64()?,
+                total: r.u64()? as usize,
+            },
+            TAG_PART_DATA => WireMsg::PartData {
+                slot: r.u64()?,
+                offset: r.u64()? as usize,
+                part: r.i32()? as u32,
+                data: MpfaBytes::copy_from(r.rest()),
+            },
             _ => return None,
         };
         // Fixed-size variants must consume the payload exactly; the
@@ -200,9 +322,12 @@ impl FrameCodec for WireMsg {
     /// is how a shared-memory ring view flows through matching into the
     /// application's receive without a memcpy.
     fn decode_bytes(bytes: MpfaBytes) -> Option<Self> {
-        // Both data-bearing layouts put the payload at byte 17:
-        // Eager = tag(1) + header(16); Data = tag(1) + recv_id(8) + offset(8).
+        // Three data-bearing layouts put the payload at byte 17:
+        // Eager = tag(1) + header(16); Data = tag(1) + recv_id(8) +
+        // offset(8); Refire = tag(1) + slot(8) + gen(8). PartData adds a
+        // partition index, so its payload sits at byte 21.
         const PAYLOAD_AT: usize = 17;
+        const PART_PAYLOAD_AT: usize = 21;
         match *bytes.first()? {
             TAG_EAGER if bytes.len() >= PAYLOAD_AT => {
                 let mut r = ByteReader::new(&bytes[1..PAYLOAD_AT]);
@@ -219,6 +344,23 @@ impl FrameCodec for WireMsg {
                     data: bytes.slice(PAYLOAD_AT..bytes.len()),
                 })
             }
+            TAG_REFIRE if bytes.len() >= PAYLOAD_AT => {
+                let mut r = ByteReader::new(&bytes[1..PAYLOAD_AT]);
+                Some(WireMsg::Refire {
+                    slot: r.u64()?,
+                    gen: r.u64()?,
+                    data: bytes.slice(PAYLOAD_AT..bytes.len()),
+                })
+            }
+            TAG_PART_DATA if bytes.len() >= PART_PAYLOAD_AT => {
+                let mut r = ByteReader::new(&bytes[1..PART_PAYLOAD_AT]);
+                Some(WireMsg::PartData {
+                    slot: r.u64()?,
+                    offset: r.u64()? as usize,
+                    part: r.i32()? as u32,
+                    data: bytes.slice(PART_PAYLOAD_AT..bytes.len()),
+                })
+            }
             _ => Self::decode(&bytes),
         }
     }
@@ -233,6 +375,10 @@ impl FrameCodec for WireMsg {
             WireMsg::Cts { .. } => 17,
             WireMsg::Data { data, .. } => 17 + data.len(),
             WireMsg::DataAck { .. } => 9,
+            WireMsg::PersistBind { .. } => 25,
+            WireMsg::Refire { data, .. } => 17 + data.len(),
+            WireMsg::RefireRts { .. } => 33,
+            WireMsg::PartData { data, .. } => 21 + data.len(),
         })
     }
 
@@ -276,6 +422,41 @@ impl FrameCodec for WireMsg {
             WireMsg::DataAck { send_id } => {
                 buf[0] = TAG_DATA_ACK;
                 buf[1..9].copy_from_slice(&send_id.to_le_bytes());
+            }
+            WireMsg::PersistBind { key, slot } => {
+                buf[0] = TAG_PERSIST_BIND;
+                hdr_into(&mut buf[1..17], key);
+                buf[17..25].copy_from_slice(&slot.to_le_bytes());
+            }
+            WireMsg::Refire { slot, gen, data } => {
+                buf[0] = TAG_REFIRE;
+                buf[1..9].copy_from_slice(&slot.to_le_bytes());
+                buf[9..17].copy_from_slice(&gen.to_le_bytes());
+                buf[17..].copy_from_slice(data);
+            }
+            WireMsg::RefireRts {
+                slot,
+                gen,
+                send_id,
+                total,
+            } => {
+                buf[0] = TAG_REFIRE_RTS;
+                buf[1..9].copy_from_slice(&slot.to_le_bytes());
+                buf[9..17].copy_from_slice(&gen.to_le_bytes());
+                buf[17..25].copy_from_slice(&send_id.to_le_bytes());
+                buf[25..33].copy_from_slice(&(*total as u64).to_le_bytes());
+            }
+            WireMsg::PartData {
+                slot,
+                offset,
+                part,
+                data,
+            } => {
+                buf[0] = TAG_PART_DATA;
+                buf[1..9].copy_from_slice(&slot.to_le_bytes());
+                buf[9..17].copy_from_slice(&(*offset as u64).to_le_bytes());
+                buf[17..21].copy_from_slice(&(*part as i32).to_le_bytes());
+                buf[21..].copy_from_slice(data);
             }
         }
     }
@@ -330,6 +511,43 @@ mod tests {
             7
         );
         assert_eq!(WireMsg::DataAck { send_id: 1 }.wire_bytes(), 0);
+        assert_eq!(
+            WireMsg::PersistBind {
+                key: hdr(),
+                slot: 3
+            }
+            .wire_bytes(),
+            0
+        );
+        assert_eq!(
+            WireMsg::Refire {
+                slot: 3,
+                gen: 4,
+                data: vec![0; 12].into()
+            }
+            .wire_bytes(),
+            12
+        );
+        assert_eq!(
+            WireMsg::RefireRts {
+                slot: 3,
+                gen: 4,
+                send_id: 5,
+                total: 100
+            }
+            .wire_bytes(),
+            0
+        );
+        assert_eq!(
+            WireMsg::PartData {
+                slot: 3,
+                offset: 64,
+                part: 1,
+                data: vec![0; 9].into()
+            }
+            .wire_bytes(),
+            9
+        );
     }
 
     #[test]
@@ -362,6 +580,42 @@ mod tests {
                 data: vec![0xAB; 3].into(),
             },
             WireMsg::DataAck { send_id: 7 },
+            WireMsg::PersistBind {
+                key: MsgHeader {
+                    context_id: 42,
+                    src_rank: 3,
+                    tag: 17,
+                },
+                slot: u64::MAX - 1,
+            },
+            WireMsg::Refire {
+                slot: 11,
+                gen: 1 << 33,
+                data: (0..=255).collect::<Vec<u8>>().into(),
+            },
+            WireMsg::Refire {
+                slot: 11,
+                gen: 0,
+                data: vec![].into(),
+            },
+            WireMsg::RefireRts {
+                slot: 11,
+                gen: 2,
+                send_id: 77,
+                total: 1 << 30,
+            },
+            WireMsg::PartData {
+                slot: 11,
+                offset: 4096,
+                part: u32::MAX,
+                data: vec![0xCD; 5].into(),
+            },
+            WireMsg::PartData {
+                slot: 11,
+                offset: 0,
+                part: 0,
+                data: vec![].into(),
+            },
         ];
         for msg in msgs {
             let mut buf = Vec::new();
@@ -404,6 +658,43 @@ mod tests {
     }
 
     #[test]
+    fn decode_bytes_slices_persist_payloads_without_copying() {
+        let payload: Vec<u8> = (0..150).collect();
+        for (msg, payload_at) in [
+            (
+                WireMsg::Refire {
+                    slot: 9,
+                    gen: 3,
+                    data: payload.clone().into(),
+                },
+                17usize,
+            ),
+            (
+                WireMsg::PartData {
+                    slot: 9,
+                    offset: 300,
+                    part: 2,
+                    data: payload.clone().into(),
+                },
+                21,
+            ),
+        ] {
+            let mut buf = Vec::new();
+            msg.encode(&mut buf);
+            let view = MpfaBytes::from(buf);
+            let base = view.as_ptr();
+            let decoded = WireMsg::decode_bytes(view).unwrap();
+            let data = match &decoded {
+                WireMsg::Refire { data, .. } => data,
+                WireMsg::PartData { data, .. } => data,
+                other => panic!("wrong variant: {}", other.kind()),
+            };
+            assert_eq!(&data[..], &payload[..]);
+            assert_eq!(data.as_ptr(), unsafe { base.add(payload_at) });
+        }
+    }
+
+    #[test]
     fn frame_codec_rejects_malformed_payloads() {
         // Unknown variant tag.
         assert_eq!(WireMsg::decode(&[99]), None);
@@ -416,6 +707,29 @@ mod tests {
         // Trailing garbage after a fixed-size variant.
         buf.push(0);
         assert_eq!(WireMsg::decode(&buf), None);
+        // Truncated persist handshake / rendezvous announce.
+        let mut bind = Vec::new();
+        WireMsg::PersistBind {
+            key: MsgHeader {
+                context_id: 1,
+                src_rank: 0,
+                tag: 0,
+            },
+            slot: 1,
+        }
+        .encode(&mut bind);
+        assert_eq!(WireMsg::decode(&bind[..bind.len() - 1]), None);
+        bind.push(0);
+        assert_eq!(WireMsg::decode(&bind), None);
+        let mut rts = Vec::new();
+        WireMsg::RefireRts {
+            slot: 1,
+            gen: 0,
+            send_id: 2,
+            total: 3,
+        }
+        .encode(&mut rts);
+        assert_eq!(WireMsg::decode(&rts[..rts.len() - 1]), None);
     }
 
     #[test]
@@ -429,5 +743,42 @@ mod tests {
             "eager"
         );
         assert_eq!(WireMsg::DataAck { send_id: 0 }.kind(), "ack");
+        assert_eq!(
+            WireMsg::PersistBind {
+                key: hdr(),
+                slot: 0
+            }
+            .kind(),
+            "bind"
+        );
+        assert_eq!(
+            WireMsg::Refire {
+                slot: 0,
+                gen: 0,
+                data: vec![].into()
+            }
+            .kind(),
+            "refire"
+        );
+        assert_eq!(
+            WireMsg::RefireRts {
+                slot: 0,
+                gen: 0,
+                send_id: 0,
+                total: 0
+            }
+            .kind(),
+            "refire-rts"
+        );
+        assert_eq!(
+            WireMsg::PartData {
+                slot: 0,
+                offset: 0,
+                part: 0,
+                data: vec![].into()
+            }
+            .kind(),
+            "part"
+        );
     }
 }

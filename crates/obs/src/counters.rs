@@ -124,6 +124,21 @@ pub struct Counters {
     /// When a flow frontier is stalled: the timestamp the frontier is
     /// stuck at. Meaningless unless `flow_stalled_holder` is non-zero.
     pub flow_stalled_at: AtomicU64,
+    /// Persistent-request re-fires: `start()` calls that went down the
+    /// slot-addressed fast path (plain and partitioned), skipping tag
+    /// matching entirely.
+    pub persist_refires: AtomicU64,
+    /// Partitions marked ready (`pready` / `pready_range`) on active
+    /// partitioned send rounds.
+    pub partitions_ready: AtomicU64,
+    /// Unready-partition count of the oldest stalled partitioned send
+    /// round (0 = no stall). Re-asserted by the progress sweep while
+    /// the stall persists; cleared when every round drains.
+    pub persist_part_stalled: AtomicU64,
+    /// How long the oldest stalled partitioned round has been waiting
+    /// for `pready`, in milliseconds. Meaningless unless
+    /// `persist_part_stalled` is non-zero.
+    pub persist_part_stalled_ms: AtomicU64,
 }
 
 /// Plain-integer copy of a [`Counters`] at a point in time.
@@ -217,6 +232,15 @@ pub struct CounterSnapshot {
     pub flow_stalled_holder: u64,
     /// Timestamp a stalled frontier is stuck at.
     pub flow_stalled_at: u64,
+    /// Persistent-request re-fires down the slot-addressed fast path.
+    pub persist_refires: u64,
+    /// Partitions marked ready on active partitioned send rounds.
+    pub partitions_ready: u64,
+    /// Unready partitions of the oldest stalled partitioned round
+    /// (0 = no stall).
+    pub persist_part_stalled: u64,
+    /// Milliseconds the oldest stalled partitioned round has waited.
+    pub persist_part_stalled_ms: u64,
 }
 
 impl Counters {
@@ -345,6 +369,10 @@ impl Counters {
             flow_capability_gossip_bytes: self.flow_capability_gossip_bytes.load(Ordering::Relaxed),
             flow_stalled_holder: self.flow_stalled_holder.load(Ordering::Relaxed),
             flow_stalled_at: self.flow_stalled_at.load(Ordering::Relaxed),
+            persist_refires: self.persist_refires.load(Ordering::Relaxed),
+            partitions_ready: self.partitions_ready.load(Ordering::Relaxed),
+            persist_part_stalled: self.persist_part_stalled.load(Ordering::Relaxed),
+            persist_part_stalled_ms: self.persist_part_stalled_ms.load(Ordering::Relaxed),
         }
     }
 
@@ -394,6 +422,10 @@ impl Counters {
             .store(0, Ordering::Relaxed);
         self.flow_stalled_holder.store(0, Ordering::Relaxed);
         self.flow_stalled_at.store(0, Ordering::Relaxed);
+        self.persist_refires.store(0, Ordering::Relaxed);
+        self.partitions_ready.store(0, Ordering::Relaxed);
+        self.persist_part_stalled.store(0, Ordering::Relaxed);
+        self.persist_part_stalled_ms.store(0, Ordering::Relaxed);
     }
 }
 
@@ -486,6 +518,11 @@ impl std::fmt::Display for CounterSnapshot {
             self.flow_records_recv,
             self.flow_frontier_updates,
             self.flow_capability_gossip_bytes
+        )?;
+        writeln!(
+            f,
+            "persist:  {} re-fires, {} partitions ready",
+            self.persist_refires, self.partitions_ready
         )?;
         write!(
             f,
@@ -613,6 +650,23 @@ mod tests {
         assert_eq!(s.flow_stalled_holder, 3);
         assert_eq!(s.flow_stalled_at, 41);
         assert!(s.to_string().contains("frontier updates"));
+        c.reset();
+        assert_eq!(c.snapshot(), CounterSnapshot::default());
+    }
+
+    #[test]
+    fn persist_counters_snapshot_display_and_reset() {
+        let c = Counters::new();
+        c.persist_refires.fetch_add(1000, Ordering::Relaxed);
+        c.partitions_ready.fetch_add(64, Ordering::Relaxed);
+        c.persist_part_stalled.store(3, Ordering::Relaxed);
+        c.persist_part_stalled_ms.store(750, Ordering::Relaxed);
+        let s = c.snapshot();
+        assert_eq!(s.persist_refires, 1000);
+        assert_eq!(s.partitions_ready, 64);
+        assert_eq!(s.persist_part_stalled, 3);
+        assert_eq!(s.persist_part_stalled_ms, 750);
+        assert!(s.to_string().contains("re-fires"));
         c.reset();
         assert_eq!(c.snapshot(), CounterSnapshot::default());
     }

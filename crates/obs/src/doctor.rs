@@ -36,6 +36,10 @@ pub struct DoctorConfig {
     /// events were counted (each one is a frame that found no space in a
     /// peer's inbound ring and had to be staged in overflow).
     pub shm_ring_full_stalls: u64,
+    /// Seconds a partitioned send round may sit with unready partitions
+    /// before it is flagged (the producer threads never called
+    /// `pready`, so the round can never complete).
+    pub partitioned_stall_grace: f64,
 }
 
 impl Default for DoctorConfig {
@@ -46,6 +50,7 @@ impl Default for DoctorConfig {
             engine_contention_threshold: 64,
             dead_peer_polls: 64,
             shm_ring_full_stalls: 4096,
+            partitioned_stall_grace: 1.0,
         }
     }
 }
@@ -568,6 +573,45 @@ pub fn diagnose_with_counters(
         }
     }
 
+    // Pathology 10: a partitioned send round started but partitions were
+    // never marked ready. The progress sweep re-asserts the stall gauges
+    // (`persist_part_stalled` = unready partitions of the oldest round,
+    // `persist_part_stalled_ms` = how long it has waited) every pass, so
+    // a non-zero reading is current, not historical. The wire cannot
+    // move data the producers never released: this is a user-side bug
+    // (missed `pready`) or a wedged producer thread, and the round will
+    // hold its request incomplete forever.
+    if let Some(c) = counters {
+        if c.persist_part_stalled > 0
+            && c.persist_part_stalled_ms as f64 / 1e3 >= cfg.partitioned_stall_grace
+        {
+            report.diagnoses.push(Diagnosis {
+                severity: Severity::Critical,
+                title: format!(
+                    "partitioned send stalled: {} partition(s) still unready after {} ms",
+                    c.persist_part_stalled, c.persist_part_stalled_ms
+                ),
+                detail: format!(
+                    "the oldest active partitioned send round has waited {} ms \
+                     with {} of its partitions never marked ready; the \
+                     transport has nothing to send and the round's request \
+                     cannot complete ({} partition(s) marked ready overall, \
+                     {} persistent re-fires)",
+                    c.persist_part_stalled_ms,
+                    c.persist_part_stalled,
+                    c.partitions_ready,
+                    c.persist_refires
+                ),
+                advice: "every partition of a started round must eventually be \
+                         released with pready/pready_range: check that the \
+                         producer threads cover all partition indices (a \
+                         missed index wedges the round) and that they are not \
+                         themselves blocked"
+                    .to_string(),
+            });
+        }
+    }
+
     report
         .diagnoses
         .sort_by_key(|d| std::cmp::Reverse(d.severity));
@@ -1039,6 +1083,52 @@ mod tests {
             flow_frontier_updates: 640,
             flow_capability_gossip_bytes: 32_768,
             flow_stalled_holder: 0,
+            ..Default::default()
+        };
+        let report = diagnose_with_counters(&[], Some(&counters), &DoctorConfig::default());
+        assert!(report.healthy(), "{report}");
+    }
+
+    #[test]
+    fn flags_partitioned_round_stalled_on_unready_partitions() {
+        let counters = CounterSnapshot {
+            persist_part_stalled: 3,
+            persist_part_stalled_ms: 2500,
+            partitions_ready: 5,
+            persist_refires: 12,
+            ..Default::default()
+        };
+        let report = diagnose_with_counters(&[], Some(&counters), &DoctorConfig::default());
+        assert_eq!(report.criticals().count(), 1);
+        let d = &report.diagnoses[0];
+        assert!(d.title.contains("partitioned send stalled"), "{d:?}");
+        assert!(d.title.contains("3 partition(s)"), "{d:?}");
+        assert!(d.detail.contains("2500 ms"));
+        assert!(d.advice.contains("pready"));
+    }
+
+    #[test]
+    fn young_partitioned_round_is_healthy() {
+        // Unready partitions inside the grace window are just a round
+        // whose producers have not caught up yet.
+        let counters = CounterSnapshot {
+            persist_part_stalled: 8,
+            persist_part_stalled_ms: 200,
+            ..Default::default()
+        };
+        let report = diagnose_with_counters(&[], Some(&counters), &DoctorConfig::default());
+        assert!(report.healthy(), "{report}");
+    }
+
+    #[test]
+    fn completed_partitioned_rounds_are_healthy() {
+        // Gauges cleared (no active stalled round): heavy persistent
+        // traffic alone is not a pathology.
+        let counters = CounterSnapshot {
+            persist_refires: 1_000_000,
+            partitions_ready: 4_000_000,
+            persist_part_stalled: 0,
+            persist_part_stalled_ms: 60_000,
             ..Default::default()
         };
         let report = diagnose_with_counters(&[], Some(&counters), &DoctorConfig::default());

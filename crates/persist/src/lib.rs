@@ -1,0 +1,254 @@
+//! # mpfa-persist — persistent & partitioned operations
+//!
+//! The facade over the persistent-operation machinery in `mpfa-mpi`
+//! (`MPI_Send_init` / `MPI_Recv_init` / `MPI_Start` / `MPI_Startall`,
+//! `MPI_Psend_init` / `MPI_Precv_init` / `MPI_Pready` /
+//! `MPI_Parrived`, `MPI_Allreduce_init`).
+//!
+//! A persistent descriptor front-loads the per-message costs of the
+//! one-shot path: argument validation and route/VCI selection happen at
+//! init, and — the part the paper's progress model makes interesting —
+//! `recv_init` pins a **matching-bucket slot** announced to the sender
+//! in a one-time handshake, so every re-fire is slot-addressed and
+//! skips tag matching entirely. See `docs/PERSISTENT.md` for the
+//! lifecycle, the pairing contract, and the partitioned-readiness
+//! rules.
+//!
+//! This crate re-exports the descriptor types, adds the
+//! [`Startable`] abstraction and [`start_all`] (`MPI_Startall`), and
+//! carries the cross-subsystem tests (continuations and async/await
+//! per re-fire generation via `mpfa-async`).
+
+#![warn(missing_docs)]
+
+pub use mpfa_mpi::persist::{
+    PartitionedRecv, PartitionedSend, PersistentAllreduce, PersistentRecv, PersistentRecvBytes,
+    PersistentSend, PersistentSendBytes,
+};
+pub use mpfa_mpi::vci::PartFlags;
+
+use mpfa_mpi::datatype::MpiType;
+use mpfa_mpi::error::MpiResult;
+use mpfa_mpi::op::Reducible;
+
+/// Anything `MPI_Startall` can start: one round of a persistent or
+/// partitioned operation.
+///
+/// The object-safe `start_round` discards the per-round request handle
+/// (send descriptors keep it internally — use the inherent `start`
+/// when you need the request itself).
+pub trait Startable {
+    /// Start one round. Errors if the previous round is still active
+    /// (starting an active persistent request is erroneous in MPI).
+    fn start_round(&mut self) -> MpiResult<()>;
+
+    /// True if the most recently started round has completed (false
+    /// when no round was ever started).
+    fn round_complete(&self) -> bool;
+}
+
+impl<T: MpiType> Startable for PersistentSend<T> {
+    fn start_round(&mut self) -> MpiResult<()> {
+        self.start().map(|_| ())
+    }
+    fn round_complete(&self) -> bool {
+        self.active().map(|r| r.is_complete()).unwrap_or(false)
+    }
+}
+
+impl<T: MpiType> Startable for PersistentRecv<T> {
+    fn start_round(&mut self) -> MpiResult<()> {
+        self.start()
+    }
+    fn round_complete(&self) -> bool {
+        self.is_complete()
+    }
+}
+
+impl Startable for PersistentSendBytes {
+    fn start_round(&mut self) -> MpiResult<()> {
+        self.start().map(|_| ())
+    }
+    fn round_complete(&self) -> bool {
+        // The bytes send keeps its request private; a fresh descriptor
+        // reports false until its first start like the others.
+        self.is_complete()
+    }
+}
+
+impl Startable for PersistentRecvBytes {
+    fn start_round(&mut self) -> MpiResult<()> {
+        self.start()
+    }
+    fn round_complete(&self) -> bool {
+        self.is_complete()
+    }
+}
+
+impl Startable for PartitionedSend {
+    fn start_round(&mut self) -> MpiResult<()> {
+        self.start().map(|_| ())
+    }
+    fn round_complete(&self) -> bool {
+        self.active().map(|r| r.is_complete()).unwrap_or(false)
+    }
+}
+
+impl Startable for PartitionedRecv {
+    fn start_round(&mut self) -> MpiResult<()> {
+        self.start()
+    }
+    fn round_complete(&self) -> bool {
+        self.is_complete()
+    }
+}
+
+impl<T: Reducible> Startable for PersistentAllreduce<T> {
+    fn start_round(&mut self) -> MpiResult<()> {
+        self.start()
+    }
+    fn round_complete(&self) -> bool {
+        self.is_complete()
+    }
+}
+
+/// `MPI_Startall`: start one round of every descriptor. Fails on the
+/// first descriptor that cannot start (an already-active round); the
+/// descriptors before it have started — as in MPI, where `Startall`
+/// with an active request is erroneous, there is no rollback.
+pub fn start_all(reqs: &mut [&mut dyn Startable]) -> MpiResult<()> {
+    for r in reqs.iter_mut() {
+        r.start_round()?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpfa_mpi::world::{World, WorldConfig};
+    use mpfa_mpi::Proc;
+
+    /// Single-process multi-rank driver: pump every proc's stream until
+    /// the condition holds.
+    fn drive_all(procs: &[Proc], mut cond: impl FnMut() -> bool) {
+        for _ in 0..200_000 {
+            if cond() {
+                return;
+            }
+            for p in procs {
+                p.default_stream().progress();
+            }
+        }
+        panic!("condition not reached");
+    }
+
+    #[test]
+    fn start_all_fires_heterogeneous_descriptors() {
+        let procs = World::init(WorldConfig::instant(2));
+        let c0 = procs[0].world_comm();
+        let c1 = procs[1].world_comm();
+
+        // Receiver descriptors first: their init sends the binds that
+        // the senders' first start waits for.
+        let mut ra = c1.recv_init::<u32>(2, 0, 1).unwrap();
+        let mut rb = c1.recv_init_bytes(64, 0, 2).unwrap();
+        let mut sa = c0.send_init(&[7u32, 9], 1, 1).unwrap();
+        let mut sb = c0.send_init_bytes(vec![3u8; 64], 1, 2).unwrap();
+
+        for round in 0..3 {
+            start_all(&mut [&mut ra, &mut rb]).unwrap();
+            start_all(&mut [&mut sa, &mut sb]).unwrap();
+            drive_all(&procs, || ra.is_complete() && rb.is_complete());
+            let (a, _) = ra.wait().unwrap();
+            let (b, st) = rb.wait().unwrap();
+            assert_eq!(a, vec![7u32, 9], "round {round}");
+            assert_eq!(st.bytes, 64);
+            assert_eq!(b[0], 3);
+            drive_all(&procs, || sa.round_complete() && sb.round_complete());
+        }
+    }
+
+    #[test]
+    fn start_all_propagates_active_round_errors() {
+        let procs = World::init(WorldConfig::instant(2));
+        let c0 = procs[0].world_comm();
+        let c1 = procs[1].world_comm();
+        let mut r = c1.recv_init::<u8>(1, 0, 0).unwrap();
+        let mut s = c0.send_init(&[1u8], 1, 0).unwrap();
+        r.start_round().unwrap();
+        // The recv round is still active: restarting it must error.
+        assert!(start_all(&mut [&mut r]).is_err());
+        s.start_round().unwrap();
+        drive_all(&procs, || r.is_complete());
+        r.wait().unwrap();
+    }
+
+    #[test]
+    fn refire_generations_complete_into_futures() {
+        // Each re-fire generation is a fresh request; awaiting the
+        // receiver's per-round request with the mpfa-async executor
+        // must yield that round's status, round after round.
+        let procs = World::init(WorldConfig::instant(2));
+        let c0 = procs[0].world_comm();
+        let c1 = procs[1].world_comm();
+        let mut pr = c1.recv_init::<u64>(1, 0, 4).unwrap();
+        let mut ps = c0.send_init(&[0u64], 1, 4).unwrap();
+        for round in 0..6u64 {
+            pr.start().unwrap();
+            ps.buffer_mut()[0] = round * 100;
+            // Round 0's fire waits on the sender's stream for the bind;
+            // later rounds buffer into the wire at start. Drive the
+            // sender until the round is on the wire, then hand the
+            // receiver side to the async executor.
+            let sent = ps.start().unwrap();
+            drive_all(&procs, || sent.is_complete());
+            let req = pr.request().expect("active round has a request");
+            let st = mpfa_async::block_on(procs[1].default_stream(), req).unwrap();
+            assert_eq!(st.source, 0);
+            assert_eq!(st.tag, 4);
+            let (data, _) = pr.wait().unwrap();
+            assert_eq!(data, vec![round * 100]);
+        }
+    }
+
+    #[test]
+    fn partitioned_round_via_start_all() {
+        let procs = World::init(WorldConfig::instant(2));
+        let c0 = procs[0].world_comm();
+        let c1 = procs[1].world_comm();
+        let mut pr = c1.precv_init(4096, 4, 0, 0).unwrap();
+        let mut ps = c0.psend_init(vec![0xabu8; 4096], 4, 1, 0).unwrap();
+        start_all(&mut [&mut pr as &mut dyn Startable]).unwrap();
+        start_all(&mut [&mut ps as &mut dyn Startable]).unwrap();
+        ps.pready_range(0, 4).unwrap();
+        drive_all(&procs, || pr.is_complete());
+        let (data, st) = pr.wait().unwrap();
+        assert_eq!(st.bytes, 4096);
+        assert!(data.iter().all(|&b| b == 0xab));
+        drive_all(&procs, || ps.round_complete());
+    }
+
+    #[test]
+    fn allreduce_descriptor_restarts_through_startable() {
+        let procs = World::init(WorldConfig::instant(3));
+        let mut descs: Vec<PersistentAllreduce<i32>> = procs
+            .iter()
+            .map(|p| {
+                let c = p.world_comm();
+                c.allreduce_init(&[c.rank() + 1], mpfa_mpi::Op::Max)
+                    .unwrap()
+            })
+            .collect();
+        for _ in 0..2 {
+            for d in descs.iter_mut() {
+                d.start_round().unwrap();
+            }
+            drive_all(&procs, || descs.iter().all(|d| d.round_complete()));
+            for d in descs.iter_mut() {
+                let (out, _) = d.wait().unwrap();
+                assert_eq!(out, vec![3]);
+            }
+        }
+    }
+}

@@ -13,6 +13,11 @@
 //! * [`mpi`] — an MPI-like message-passing runtime (communicators,
 //!   point-to-point protocols, collectives) whose internal subsystems are
 //!   progress hooks on `core` streams.
+//! * [`persist`] — persistent & partitioned operations
+//!   (`MPI_Send_init`/`MPI_Start`/`MPI_Startall`, `MPI_Psend_init`/
+//!   `MPI_Pready`/`MPI_Parrived`): init-time validation, routing, and a
+//!   pinned matching-bucket slot so re-fires skip tag matching
+//!   entirely. See `docs/PERSISTENT.md`.
 //! * [`cont`] — `MPIX_Continue` continuations and native Rust
 //!   async/await on top of the request/stream machinery: attach-to-many
 //!   continuation requests, a stream-driven executor, `block_on`,
@@ -56,5 +61,6 @@ pub use mpfa_interop as interop;
 pub use mpfa_mpi as mpi;
 pub use mpfa_obs as obs;
 pub use mpfa_offload as offload;
+pub use mpfa_persist as persist;
 pub use mpfa_resil as resil;
 pub use mpfa_transport as transport;

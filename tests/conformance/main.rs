@@ -16,6 +16,7 @@ mod determinism;
 mod flow;
 mod grequest;
 mod p2p;
+mod persist;
 mod resil;
 mod streams;
 mod wildcard;

@@ -1,0 +1,119 @@
+//! Persistent & partitioned semantics under the DST harness.
+//!
+//! Persistent rounds are slot-addressed — they bypass the tag matcher —
+//! so their ordering guarantees (per-generation delivery, partition
+//! readiness feeding the wire in any order) must be re-proven under
+//! explored schedules rather than inherited from the matcher's
+//! conformance shard. The planted-bug test closes the loop on slot
+//! *invalidation*: the explorer must catch a scenario that wrongly
+//! assumes a pre-matched slot survives a communicator revoke.
+
+use mpfa::dst::{check, explore, fixtures, seeds, SimConfig};
+use mpfa::mpi::DetectorConfig;
+
+/// Every re-fired round delivers its own generation's payload, intact
+/// and in order, under every explored schedule — including rounds the
+/// schedule lets pile up behind a slow receiver arm (the slot's pending
+/// queue, not the matcher, is what preserves order).
+#[test]
+fn refired_rounds_deliver_generation_payloads_in_order() {
+    check("conf_persist_refire", &SimConfig::ranks(2), 24, |sim| {
+        let comms = sim.world_comms();
+        let mut ps = comms[0]
+            .send_init_bytes(Vec::new(), 1, 3)
+            .expect("send_init");
+        let mut pr = comms[1].recv_init_bytes(2048, 0, 3).expect("recv_init");
+        for round in 0..5u8 {
+            // Distinct bytes *and* length per generation, so a stale or
+            // reordered round can't masquerade as the right one.
+            let payload = vec![round ^ 0x5A; 64 + round as usize * 173];
+            ps.set_payload(payload.clone());
+            pr.start().expect("arm");
+            let send = ps.start().expect("fire");
+            let recv = pr.request().expect("armed");
+            assert!(
+                sim.run_until(|| send.is_complete() && recv.is_complete()),
+                "round {round} wedged"
+            );
+            let (data, status) = pr.wait().expect("round");
+            assert_eq!(status.bytes, payload.len(), "round {round} length");
+            assert_eq!(&data[..], &payload[..], "round {round} bytes diverged");
+        }
+    });
+}
+
+/// Partitioned rounds complete with intact per-partition data whatever
+/// order the schedule interleaves `pready` calls with wire progress —
+/// here partitions are marked ready in *reverse* index order, one per
+/// schedule step, while the transfer drains.
+#[test]
+fn partitioned_round_survives_any_pready_schedule() {
+    check("conf_persist_partition", &SimConfig::ranks(2), 16, |sim| {
+        const PARTS: usize = 6;
+        const PART_BYTES: usize = 512;
+        let mut payload = vec![0u8; PARTS * PART_BYTES];
+        for (p, chunk) in payload.chunks_mut(PART_BYTES).enumerate() {
+            chunk.fill(p as u8 + 1);
+        }
+        let comms = sim.world_comms();
+        let mut ps = comms[0]
+            .psend_init(payload.clone(), PARTS, 1, 4)
+            .expect("psend_init");
+        let mut pr = comms[1]
+            .precv_init(PARTS * PART_BYTES, PARTS, 0, 4)
+            .expect("precv_init");
+        pr.start().expect("arm");
+        let send = ps.start().expect("start");
+        let mut next = PARTS;
+        assert!(
+            sim.run_until(|| {
+                // One partition per schedule step, highest index first.
+                if next > 0 {
+                    next -= 1;
+                    ps.pready(next).expect("pready");
+                }
+                send.is_complete() && pr.is_complete()
+            }),
+            "partitioned round wedged"
+        );
+        for p in 0..PARTS {
+            assert!(pr.parrived(p).expect("parrived"), "partition {p} unarrived");
+        }
+        let (data, status) = pr.wait().expect("round");
+        assert_eq!(status.bytes, payload.len());
+        assert_eq!(&data[..], &payload[..], "partitioned bytes diverged");
+    });
+}
+
+/// The explorer must catch the planted stale-slot bug — a scenario that
+/// assumes a pre-matched slot survives a communicator revoke — within
+/// 64 seeds, and the failing seed must replay byte-identically.
+#[test]
+fn explorer_catches_planted_stale_slot_bug_within_64_seeds() {
+    let cfg = SimConfig {
+        resilience: Some(DetectorConfig { quiet_period: 1e9 }),
+        ..SimConfig::ranks(2)
+    };
+    let failure = explore(
+        &cfg,
+        seeds(0x57A1E, 64),
+        fixtures::planted_stale_persist_slot_bug,
+    )
+    .expect_err("planted stale-slot bug escaped 64 schedules");
+    assert!(
+        failure.message.contains("stale persistent slot"),
+        "unexpected failure mode: {}",
+        failure.message
+    );
+    let replay = explore(
+        &cfg,
+        [failure.seed],
+        fixtures::planted_stale_persist_slot_bug,
+    )
+    .expect_err("failing seed did not reproduce");
+    assert_eq!(replay.message, failure.message);
+    assert_eq!(
+        replay.trace, failure.trace,
+        "replay trace must be identical"
+    );
+}

@@ -144,9 +144,11 @@ fn jittery_fabric_preserves_correctness() {
 #[should_panic(expected = "truncation")]
 fn truncation_is_fatal_by_default() {
     // MPI_ERRORS_ARE_FATAL semantics surface as a panic in the receiving
-    // rank's progress. The give-up bound is 2.0 *virtual* seconds — the
-    // receiver advances the clock itself each sweep, so the deadline is a
-    // fixed iteration count, not a wall-clock race with a loaded CI box.
+    // rank's progress. The give-up bound is 2 *virtual* seconds —
+    // `wait_timeout` measures its deadline on `wtime()`, a ticker thread
+    // is the only thing advancing the frozen clock, and each quantum of
+    // the wait drives the receiver's stream, so the landing message
+    // panics inside the wait itself.
     let clk = mpfa::dst::virtual_time(0.0);
     let procs = mpfa::mpi::World::init(WorldConfig::instant(2));
     let p0 = procs[0].clone();
@@ -155,15 +157,23 @@ fn truncation_is_fatal_by_default() {
         let comm = p0.world_comm();
         let _ = comm.isend(&[0u8; 100], 1, 1);
     });
-    let comm = p1.world_comm();
-    let _r = comm.irecv::<u8>(10, 0, 1).unwrap(); // too small
-    let t0 = mpfa::core::wtime();
-    while mpfa::core::wtime() - t0 < 2.0 {
-        comm.stream().progress(); // panics when the message lands
-        clk.advance(1e-3);
-    }
+    // The 100-byte message is committed to the fabric before the
+    // too-small receive starts waiting.
     sender.join().unwrap();
-    unreachable!("truncation was not detected");
+    let comm = p1.world_comm();
+    let r = comm.irecv::<u8>(10, 0, 1).unwrap(); // too small
+    std::thread::scope(|s| {
+        // Bounded ticker: advances past the deadline then exits, so an
+        // unwinding main thread never leaves it spinning.
+        s.spawn(|| {
+            while clk.now() < 3.0 {
+                clk.advance(1e-3);
+                std::thread::yield_now();
+            }
+        });
+        let _ = r.request().wait_timeout(std::time::Duration::from_secs(2));
+    });
+    unreachable!("the undersized receive never observed the message");
 }
 
 #[test]

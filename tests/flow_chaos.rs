@@ -111,14 +111,21 @@ fn survivor_main(
     fx.abandon_all();
     let skip = union_emitted_mask(&shrunk, worker.emitted(), cfg.windows);
     let mut replay = WindowWorker::new(&fx, &shrunk, cfg, &skip, worker.emitted().clone());
-    let t0 = mpfa::core::wtime();
+    // Wedge guard: a watchdog request that never completes. Each
+    // `wait_timeout` quantum drives this rank's stream (what the old
+    // hand-rolled loop's progress() call did) and meters the give-up
+    // deadline on `wtime()` — virtual-clock aware under DST.
+    let (watchdog, _wedge_hold) = mpfa::core::Request::pair(proc.default_stream());
+    let mut quanta: u32 = 0;
     while replay.step() {
-        proc.default_stream().progress();
         assert!(
-            mpfa::core::wtime() - t0 < 60.0,
-            "rank {}: replay wedged",
-            proc.rank()
+            watchdog
+                .wait_timeout(std::time::Duration::from_micros(500))
+                .is_none(),
+            "watchdog request must never complete"
         );
+        quanta += 1;
+        assert!(quanta < 120_000, "rank {}: replay wedged", proc.rank());
     }
     assert!(replay.frontier_honest(), "emitted before frontier covered");
 

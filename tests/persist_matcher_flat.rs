@@ -1,0 +1,123 @@
+//! The tentpole's acceptance proof: persistent re-fires **never touch
+//! the tag matcher**. The bucket-probe counters
+//! (`match_bucket_hits` + `match_wildcard_hits`) must stay flat across
+//! K re-fires of an established pair, and a one-shot pair run right
+//! after — as a positive control — must move them.
+//!
+//! This lives in its own integration-test binary: the counters are
+//! process-global, so any concurrently running test that sends ordinary
+//! messages would pollute the flat window. Rank coordination inside the
+//! measured window uses `std::sync::Barrier`, not `Comm::barrier` —
+//! collective traffic goes through the matcher and would bump the very
+//! counters under test.
+
+use std::sync::atomic::Ordering;
+use std::sync::Barrier;
+
+use mpfa::mpi::{World, WorldConfig};
+
+const K: usize = 64;
+const TAG: i32 = 2;
+
+#[test]
+fn refires_leave_matcher_counters_flat() {
+    let counters = mpfa::obs::global_counters();
+    let probes = || {
+        counters.match_bucket_hits.load(Ordering::Relaxed)
+            + counters.match_wildcard_hits.load(Ordering::Relaxed)
+    };
+
+    let procs = World::init(WorldConfig::instant(2));
+    let (p0, p1) = (procs[0].clone(), procs[1].clone());
+    let gate = Barrier::new(2);
+    let gate = &gate;
+
+    std::thread::scope(|s| {
+        // Rank 0: sender + the measuring rank.
+        s.spawn(move || {
+            let comm = p0.world_comm();
+            let mut ps = comm.send_init_bytes(vec![0xEEu8; 256], 1, TAG).unwrap();
+
+            // Round 0 absorbs the bind handshake and anything the world
+            // bring-up matched; the flat window starts after it.
+            let r = ps.start().unwrap();
+            while !r.is_complete() {
+                comm.stream().progress();
+                std::thread::yield_now();
+            }
+            gate.wait(); // receiver finished round 0 too
+            let before = probes();
+            let refires_before = counters.persist_refires.load(Ordering::Relaxed);
+            gate.wait();
+
+            for _ in 0..K {
+                let r = ps.start().unwrap();
+                while !r.is_complete() {
+                    comm.stream().progress();
+                    std::thread::yield_now();
+                }
+            }
+            gate.wait(); // receiver drained all K rounds
+            assert_eq!(
+                probes(),
+                before,
+                "a persistent re-fire entered the tag matcher"
+            );
+            assert!(
+                counters.persist_refires.load(Ordering::Relaxed) >= refires_before + K as u64,
+                "re-fires were not counted as re-fires"
+            );
+            gate.wait();
+
+            // Positive control: the same traffic shape as one-shots
+            // must probe the matcher.
+            let r = comm.isend_bytes(vec![0xEEu8; 256], 1, TAG + 1).unwrap();
+            while !r.is_complete() {
+                comm.stream().progress();
+                std::thread::yield_now();
+            }
+            gate.wait(); // one-shot round observed on both sides
+            assert!(
+                probes() > before,
+                "the control one-shot pair never probed the matcher — \
+                 the flat assertion above proves nothing"
+            );
+        });
+
+        // Rank 1: receiver.
+        s.spawn(move || {
+            let comm = p1.world_comm();
+            let mut pr = comm.recv_init_bytes(256, 0, TAG).unwrap();
+
+            pr.start().unwrap();
+            let req = pr.request().unwrap();
+            while !req.is_complete() {
+                comm.stream().progress();
+                std::thread::yield_now();
+            }
+            pr.wait().unwrap();
+            gate.wait(); // round 0 done everywhere
+            gate.wait(); // snapshot taken
+
+            for _ in 0..K {
+                pr.start().unwrap();
+                let req = pr.request().unwrap();
+                while !req.is_complete() {
+                    comm.stream().progress();
+                    std::thread::yield_now();
+                }
+                pr.wait().unwrap();
+            }
+            gate.wait(); // flat window closes
+            gate.wait(); // flat assertion done
+
+            let r = comm.irecv_bytes(256, 0, TAG + 1).unwrap();
+            while !r.is_complete() {
+                comm.stream().progress();
+                std::thread::yield_now();
+            }
+            r.take();
+            gate.wait();
+        });
+    });
+}

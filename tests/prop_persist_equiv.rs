@@ -1,0 +1,201 @@
+//! Differential property test: a persistent pair re-fired K times must
+//! be observably identical — bytes, lengths, statuses, and delivery
+//! order — to K one-shot `isend_bytes`/`irecv_bytes` pairs carrying the
+//! same payloads.
+//!
+//! The persistent path never enters the tag matcher (re-fires are
+//! slot-addressed), so this test is what ties it back to MPI matching
+//! semantics: the one-shot run *is* the specification of what K
+//! repeated transfers deliver, and `LinearMatchState` — the executable
+//! spec of the matching rules — independently confirms that spec run's
+//! expected order, so a divergence can always be blamed on the right
+//! side. Payload sizes straddle the eager/rendezvous boundary, so both
+//! `Refire` and `RefireRts` re-fires are compared against their
+//! one-shot twins. The matcher-flatness of the persistent run itself
+//! (bucket-probe counters across K re-fires) is proven in the
+//! process-isolated `persist_matcher_flat` test.
+
+mod common;
+
+use common::Rng;
+use mpfa::core::{Request, Status, Stream};
+use mpfa::mpi::matching::{LinearMatchState, PostedRecv, RecvSlot, Unexpected};
+use mpfa::mpi::{MpfaBytes, World, WorldConfig};
+
+const TAG: i32 = 11;
+/// Sizes up to ~96 KiB against the instant config's 64 KiB eager cutoff:
+/// roughly a third of the rounds go rendezvous.
+const MAX_BYTES: usize = 96 * 1024;
+
+/// One observed round on the receiver: payload bytes + status triple.
+type Round = (Vec<u8>, i32, i32, usize);
+
+fn random_payloads(rng: &mut Rng) -> Vec<Vec<u8>> {
+    let k = rng.usize_in(2, 10);
+    (0..k)
+        .map(|i| {
+            let len = if rng.usize_in(0, 8) == 0 {
+                0 // empty rounds must re-fire too
+            } else {
+                rng.usize_in(1, MAX_BYTES)
+            };
+            let mut v = vec![(i as u8) ^ 0xC3; len];
+            // A distinctive head and tail so truncation or stale-buffer
+            // reuse can't produce a false match.
+            if len >= 8 {
+                v[..8].copy_from_slice(&(i as u64).to_ne_bytes());
+                let end = len - 1;
+                v[end] = !(i as u8);
+            }
+            v
+        })
+        .collect()
+}
+
+/// Yield-spin a condition while driving `comm`'s stream.
+fn drive(comm: &mpfa::mpi::Comm, done: impl Fn() -> bool) {
+    while !done() {
+        comm.stream().progress();
+        std::thread::yield_now();
+    }
+}
+
+/// Run the K rounds with persistent descriptors: init once, start K
+/// times. Returns the receiver's observations in round order.
+fn run_persistent(payloads: &[Vec<u8>]) -> Vec<Round> {
+    let procs = World::init(WorldConfig::instant(2));
+    let (p0, p1) = (procs[0].clone(), procs[1].clone());
+    let payloads0 = payloads.to_vec();
+    let sender = std::thread::spawn(move || {
+        let comm = p0.world_comm();
+        let mut ps = comm.send_init_bytes(Vec::new(), 1, TAG).unwrap();
+        for payload in &payloads0 {
+            ps.set_payload(payload.clone());
+            let req = ps.start().unwrap();
+            drive(&comm, || req.is_complete());
+        }
+    });
+    let comm = p1.world_comm();
+    let mut pr = comm.recv_init_bytes(MAX_BYTES, 0, TAG).unwrap();
+    let mut rounds = Vec::new();
+    for _ in payloads {
+        pr.start().unwrap();
+        let req = pr.request().unwrap();
+        drive(&comm, || req.is_complete());
+        let (data, st) = pr.wait().unwrap();
+        rounds.push((data.to_vec(), st.source, st.tag, st.bytes));
+    }
+    sender.join().unwrap();
+    rounds
+}
+
+/// The same K rounds as one-shot pairs — the reference run.
+fn run_oneshot(payloads: &[Vec<u8>]) -> Vec<Round> {
+    let procs = World::init(WorldConfig::instant(2));
+    let (p0, p1) = (procs[0].clone(), procs[1].clone());
+    let payloads0 = payloads.to_vec();
+    let sender = std::thread::spawn(move || {
+        let comm = p0.world_comm();
+        for payload in &payloads0 {
+            let req = comm
+                .isend_bytes(MpfaBytes::from(payload.clone()), 1, TAG)
+                .unwrap();
+            drive(&comm, || req.is_complete());
+        }
+    });
+    let comm = p1.world_comm();
+    let mut rounds = Vec::new();
+    for _ in payloads {
+        let r = comm.irecv_bytes(MAX_BYTES, 0, TAG).unwrap();
+        drive(&comm, || r.is_complete());
+        let (data, st) = r.take();
+        rounds.push((data.to_vec(), st.source, st.tag, st.bytes));
+    }
+    sender.join().unwrap();
+    rounds
+}
+
+/// Confirm against `LinearMatchState` — the executable spec of the MPI
+/// matching rules — that K same-channel posts and arrivals match in
+/// round order under a random post/arrival interleaving (posts encode
+/// their round in `capacity`; matches must pair round i with round i).
+/// This is the spec-level statement both runtime runs were held to.
+fn confirm_linear_spec(rng: &mut Rng, k: usize, seed: u64) {
+    let stream = Stream::create();
+    let mut lin = LinearMatchState::new();
+    let mut posted = 0usize;
+    let mut arrived = 0usize;
+    let mut matched = 0usize;
+    while matched < k {
+        let post_next = arrived >= k || (posted < k && rng.usize_in(0, 2) == 0);
+        if post_next && posted < k {
+            let (_, completer) = Request::pair(&stream);
+            let hit = lin.post_recv(PostedRecv {
+                src: 0,
+                tag: TAG,
+                capacity: 10_000 + posted,
+                slot: RecvSlot::new(),
+                completer,
+            });
+            if let Some((recv, un)) = hit {
+                // The earliest unexpected arrival, which must be round
+                // `matched` — the round this post (also `matched`) sends.
+                let Unexpected::Eager { data, .. } = un else {
+                    panic!("eager-only spec run")
+                };
+                assert_eq!(recv.capacity, 10_000 + matched, "seed {seed}: post order");
+                assert_eq!(data[0] as usize, matched, "seed {seed}: arrival order");
+                recv.completer.complete(Status::empty());
+                matched += 1;
+            }
+            posted += 1;
+        } else if arrived < k {
+            match lin.match_incoming(0, TAG) {
+                Some(recv) => {
+                    assert_eq!(recv.capacity, 10_000 + matched, "seed {seed}: match order");
+                    recv.completer.complete(Status::empty());
+                    matched += 1;
+                }
+                None => lin.push_unexpected(Unexpected::Eager {
+                    src: 0,
+                    tag: TAG,
+                    data: vec![arrived as u8].into(),
+                }),
+            }
+            arrived += 1;
+        }
+    }
+    assert_eq!(lin.posted_len(), 0, "seed {seed}");
+    assert_eq!(lin.unexpected_len(), 0, "seed {seed}");
+}
+
+#[test]
+fn k_refires_equal_k_oneshot_pairs() {
+    for seed in 0..24u64 {
+        let mut rng = Rng::new(0x9E125 ^ seed);
+        let payloads = random_payloads(&mut rng);
+
+        let persistent = run_persistent(&payloads);
+        let oneshot = run_oneshot(&payloads);
+
+        assert_eq!(
+            persistent.len(),
+            oneshot.len(),
+            "seed {seed}: round counts diverged"
+        );
+        for (i, (p, o)) in persistent.iter().zip(&oneshot).enumerate() {
+            assert_eq!(
+                p,
+                o,
+                "seed {seed}, round {i}: persistent round diverged from one-shot \
+                 ({} vs {} bytes)",
+                p.0.len(),
+                o.0.len()
+            );
+            // And both must carry what was sent.
+            assert_eq!(&p.0, &payloads[i], "seed {seed}, round {i}: payload");
+            assert_eq!((p.1, p.2), (0, TAG), "seed {seed}, round {i}: status");
+        }
+        confirm_linear_spec(&mut rng, payloads.len(), seed);
+    }
+}
