@@ -296,13 +296,23 @@ impl Request {
 
     /// `MPI_Wait`: drive the bound stream's progress until complete.
     ///
+    /// Idle sweeps back off ([`crate::spin::idle_backoff`]): spinning
+    /// flat-out starves the producing rank when ranks outnumber cores,
+    /// while a fresh waiter still completes at spin latency.
+    ///
     /// If the bound stream has been freed, spins on the completion flag
     /// (some other context must complete the request).
     pub fn wait(&self) -> Status {
+        let mut idle = 0u32;
         while !self.is_complete() {
             match self.inner.stream.upgrade() {
                 Some(stream) => {
-                    stream.progress();
+                    if stream.progress().made_progress() {
+                        idle = 0;
+                    } else {
+                        idle = idle.saturating_add(1);
+                        crate::spin::idle_backoff(idle);
+                    }
                 }
                 None => std::hint::spin_loop(),
             }
@@ -317,13 +327,19 @@ impl Request {
     /// replay-identical across runs.
     pub fn wait_timeout(&self, timeout: std::time::Duration) -> Option<Status> {
         let deadline = wtime() + timeout.as_secs_f64();
+        let mut idle = 0u32;
         while !self.is_complete() {
             if wtime() >= deadline {
                 return None;
             }
             match self.inner.stream.upgrade() {
                 Some(stream) => {
-                    stream.progress();
+                    if stream.progress().made_progress() {
+                        idle = 0;
+                    } else {
+                        idle = idle.saturating_add(1);
+                        crate::spin::idle_backoff(idle);
+                    }
                 }
                 None => std::hint::spin_loop(),
             }

@@ -34,6 +34,29 @@ pub fn spin_until(mut cond: impl FnMut() -> bool, timeout_s: f64) -> bool {
     }
 }
 
+/// Escalating backoff for a wait loop that has seen `idle` consecutive
+/// progress sweeps with nothing to do.
+///
+/// A wait block that spins flat-out is right when completion is
+/// microseconds away, but on an oversubscribed box (many ranks per
+/// core) every spinning waiter steals the CPU from the rank that would
+/// have produced its message — at 64 ranks per core the job becomes a
+/// context-switch storm that makes *no* rank fast. So waiters escalate:
+/// pure spin while fresh (latency unchanged for the common case), then
+/// `yield_now` to hand the core to a runnable sibling, then real sleeps
+/// capped at 1ms so a parked world costs ~1k wakeups/s per rank instead
+/// of a saturated core. Any observed progress resets the caller's
+/// counter back to the spin tier.
+#[inline]
+pub fn idle_backoff(idle: u32) {
+    match idle {
+        0..=63 => std::hint::spin_loop(),
+        64..=255 => std::thread::yield_now(),
+        256..=1023 => std::thread::sleep(std::time::Duration::from_micros(100)),
+        _ => std::thread::sleep(std::time::Duration::from_millis(1)),
+    }
+}
+
 /// Perform `units` of synthetic CPU work (a cheap multiply-add chain),
 /// returning a value that depends on the computation so the optimizer cannot
 /// remove it. Used as the "computation" in overlap experiments.

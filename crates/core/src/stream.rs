@@ -480,6 +480,7 @@ impl Stream {
     /// of Listing 1.3 (`while (counter > 0) MPIX_Stream_progress(...)`).
     pub fn progress_until(&self, mut cond: impl FnMut() -> bool, timeout_s: f64) -> bool {
         let deadline = wtime() + timeout_s;
+        let mut idle = 0u32;
         loop {
             if cond() {
                 return true;
@@ -487,7 +488,12 @@ impl Stream {
             if wtime() >= deadline {
                 return cond();
             }
-            self.progress();
+            if self.progress().made_progress() {
+                idle = 0;
+            } else {
+                idle = idle.saturating_add(1);
+                crate::spin::idle_backoff(idle);
+            }
         }
     }
 }

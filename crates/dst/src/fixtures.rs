@@ -216,6 +216,64 @@ pub fn planted_stale_persist_slot_bug(sim: &mut Sim) {
     );
 }
 
+/// **Deliberately buggy.** The receiver side of the reactor's readiness
+/// contract, with the classic lost-wakeup bug planted: completions mark
+/// a per-peer bit in a real [`mpfa_transport::ReadySet`], and the pump
+/// clears the bit with `take` *before* a bounded drain that sweeps
+/// exactly one completion. `ReadySet::mark` coalesces — two completions
+/// landing inside one schedule step set the bit once — so the bounded
+/// drain strands the second frame with the bit already clear: peer
+/// readable, never swept again. A correct pump drains to empty after
+/// `take`, or re-marks when it stops early. Whether two completions
+/// coalesce is a schedule property (it takes consecutive sender-side
+/// progress steps before the receiver's sweep), which makes this the
+/// reactor twin of [`planted_wildcard_order_bug`].
+pub fn planted_lost_wakeup_bug(sim: &mut Sim) {
+    use mpfa_transport::ReadySet;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    const FRAMES: usize = 4;
+    let comms = sim.world_comms();
+    let ready = Arc::new(ReadySet::new(2));
+    // Completions the pump has not swept yet — the stand-in for "bytes
+    // sitting in the peer's ring".
+    let pending = Arc::new(AtomicUsize::new(0));
+    let swept = Arc::new(AtomicUsize::new(0));
+
+    let recvs: Vec<_> = (0..FRAMES)
+        .map(|_| comms[0].irecv::<u32>(1, 1, 7).unwrap())
+        .collect();
+    for r in &recvs {
+        let (ready, pending) = (ready.clone(), pending.clone());
+        r.request().on_complete(move |res| {
+            res.expect("recv failed");
+            pending.fetch_add(1, Ordering::SeqCst);
+            // No-op when the bit is already set: the coalescing that a
+            // correct pump must tolerate and this one does not.
+            ready.mark(1);
+        });
+    }
+    let sends: Vec<_> = (0..FRAMES)
+        .map(|k| comms[1].isend(&[k as u32], 0, 7).unwrap())
+        .collect();
+
+    // The planted bug: bit cleared first, then a drain bounded to one
+    // frame. One mark covering two completions sweeps only one.
+    let ok = sim.run_until(|| {
+        if ready.take(1) && pending.load(Ordering::SeqCst) > 0 {
+            pending.fetch_sub(1, Ordering::SeqCst);
+            swept.fetch_add(1, Ordering::SeqCst);
+        }
+        sends.iter().all(|s| s.is_complete()) && swept.load(Ordering::SeqCst) == FRAMES
+    });
+    assert!(
+        ok,
+        "reactor wakeup lost: peer readable but never swept ({}/{FRAMES} frames)",
+        swept.load(Ordering::SeqCst)
+    );
+}
+
 #[cfg(test)]
 mod tests {
     use crate::explore::{check, explore, seeds, Failure};
@@ -330,6 +388,36 @@ mod tests {
             .expect_err("failing seed must fail on replay");
         assert_eq!(replay.seed, seed);
         assert_eq!(replay.message, message);
+    }
+
+    /// The reactor twin of the planted-bug acceptance tests: a pump
+    /// that clears the readiness bit before a bounded drain must be
+    /// caught losing a coalesced wakeup within 64 seeds and replay
+    /// byte-identically — proving schedule exploration reaches the
+    /// mark/take coalescing window, not just message ordering.
+    #[test]
+    fn planted_lost_wakeup_bug_is_caught_within_64_seeds() {
+        let cfg = SimConfig::ranks(2);
+        let Failure {
+            seed,
+            message,
+            trace,
+        } = explore(
+            &cfg,
+            seeds(crate::explore::name_base("planted_lost_wakeup_bug"), 64),
+            super::planted_lost_wakeup_bug,
+        )
+        .expect_err("the planted lost-wakeup bug survived 64 schedules");
+        assert!(
+            message.contains("reactor wakeup lost"),
+            "unexpected failure mode: {message}"
+        );
+        assert!(trace.starts_with(&format!("dst trace seed={seed}")));
+        let replay = explore(&cfg, [seed], super::planted_lost_wakeup_bug)
+            .expect_err("failing seed must fail on replay");
+        assert_eq!(replay.seed, seed);
+        assert_eq!(replay.message, message);
+        assert_eq!(replay.trace, trace, "replay trace must be byte-identical");
     }
 
     /// The persistent-slot twin of the planted-bug acceptance tests: a

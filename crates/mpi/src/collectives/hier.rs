@@ -1,0 +1,280 @@
+//! Topology-aware hierarchical collectives: an intra-node leg over the
+//! fast substrate plus an inter-node leg among one leader per node.
+//!
+//! At 64–256 ranks a flat collective treats every pair of ranks as
+//! equidistant; a box (or rack) is not like that. [`Comm::hier_split`]
+//! carves the communicator into *nodes* of `node_size` consecutive
+//! ranks — `MPFA_NODE_SIZE` for launcher-provided topology — and
+//! returns a [`HierComm`] whose collectives compose the existing
+//! schedules into the classic three-stage shape:
+//!
+//! * **allreduce** — intra-node binomial reduce to the node leader,
+//!   leader-level allreduce (recursive doubling, or ring
+//!   reduce-scatter + allgather for bandwidth-bound payloads via
+//!   `iallreduce_auto`), intra-node binomial bcast back out.
+//! * **bcast** — root hands the payload to its node leader, binomial
+//!   bcast among leaders, binomial bcast inside every node.
+//! * **barrier** — node barrier, leader barrier, node barrier (the
+//!   second node pass is the release: nobody leaves before every node
+//!   has arrived).
+//!
+//! Only `n_nodes` ranks ever talk across node boundaries, so the
+//! inter-node leg shrinks from `size` to `size / node_size`
+//! participants while the intra-node legs run over whatever fast path
+//! the transport gives co-located ranks (shared-memory rings under
+//! `MPFA_TRANSPORT=shm`, loopback frames otherwise).
+//!
+//! The sub-communicators are built once (two collective `split`s) and
+//! cached in the `HierComm`, so per-operation cost is the stages
+//! themselves — no per-call communicator churn.
+
+use crate::comm::Comm;
+use crate::error::{MpiError, MpiResult};
+use crate::op::{Op, Reducible};
+use crate::MpiType;
+
+/// Env var declaring how many consecutive ranks share a node (the
+/// launcher's topology hint). Unset or `0` means "derive": the whole
+/// world is one node for worlds up to 8 ranks, else nodes of 8.
+pub const ENV_NODE_SIZE: &str = "MPFA_NODE_SIZE";
+
+/// Tag for the root→leader hop of a hierarchical bcast. Runs on the
+/// parent communicator's user context, so the tag is reserved by
+/// convention (collectives themselves use the collective context).
+const HIER_BCAST_TAG: i32 = 0x7f7f_0001;
+
+/// Node size from the environment, falling back to a derived default.
+pub fn node_size_from_env(world: usize) -> usize {
+    match std::env::var(ENV_NODE_SIZE)
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+    {
+        Some(n) if n > 0 => n,
+        _ => {
+            if world <= 8 {
+                world.max(1)
+            } else {
+                8
+            }
+        }
+    }
+}
+
+/// A communicator split into an intra-node leg and an inter-node
+/// (leader) leg. Built by [`Comm::hier_split`]; reusable for any
+/// number of operations.
+pub struct HierComm {
+    parent: Comm,
+    /// All ranks on my node; node rank 0 is the leader.
+    node: Comm,
+    /// One leader per node, ordered by node id. `None` on non-leaders.
+    leaders: Option<Comm>,
+    node_size: usize,
+}
+
+impl Comm {
+    /// Split this communicator into nodes of `node_size` consecutive
+    /// ranks and return the hierarchical view. Collective over the
+    /// communicator (two `split`s); every rank must pass the same
+    /// `node_size`.
+    pub fn hier_split(&self, node_size: usize) -> MpiResult<HierComm> {
+        if node_size == 0 {
+            return Err(MpiError::Protocol("hier_split: node_size 0".into()));
+        }
+        let me = self.rank() as usize;
+        let node_id = (me / node_size) as i32;
+        let node = self
+            .split(node_id, 0)?
+            .expect("non-negative color yields a comm");
+        let is_leader = node.rank() == 0;
+        // Leaders keep node order, so the leader of node k sits at
+        // leader-rank k — bcast root translation is then just an index.
+        let leaders = self.split(if is_leader { 0 } else { -1 }, node_id)?;
+        Ok(HierComm {
+            parent: self.clone(),
+            node,
+            leaders,
+            node_size,
+        })
+    }
+
+    /// [`Comm::hier_split`] with the node size from `MPFA_NODE_SIZE`
+    /// (or a derived default). Collective over the communicator.
+    pub fn hier_split_env(&self) -> MpiResult<HierComm> {
+        let n = node_size_from_env(self.size());
+        self.hier_split(n)
+    }
+}
+
+impl HierComm {
+    /// The parent communicator this hierarchy was carved from.
+    pub fn parent(&self) -> &Comm {
+        &self.parent
+    }
+
+    /// The intra-node communicator (node rank 0 is the leader).
+    pub fn node(&self) -> &Comm {
+        &self.node
+    }
+
+    /// The inter-node leader communicator (`None` on non-leaders).
+    pub fn leaders(&self) -> Option<&Comm> {
+        self.leaders.as_ref()
+    }
+
+    /// Ranks per node this hierarchy was built with.
+    pub fn node_size(&self) -> usize {
+        self.node_size
+    }
+
+    /// Number of nodes in the hierarchy.
+    pub fn nodes(&self) -> usize {
+        self.parent.size().div_ceil(self.node_size)
+    }
+
+    /// Hierarchical allreduce: intra-node reduce → leader allreduce →
+    /// intra-node bcast. Same result on every rank as the flat
+    /// algorithm, with only one rank per node on the inter-node leg.
+    pub fn allreduce<T: Reducible>(&self, data: &[T], op: Op) -> MpiResult<Vec<T>> {
+        // Stage 1: binomial reduce onto the node leader.
+        let partial = self.node.reduce(data, op, 0)?;
+        // Stage 2: leaders combine across nodes (ring for big payloads).
+        let mut full = match (&self.leaders, partial) {
+            (Some(leaders), Some(partial)) => {
+                Some(leaders.iallreduce_auto(&partial, op)?.wait_result()?.0)
+            }
+            _ => None,
+        };
+        // Stage 3: binomial bcast from the leader back over the node.
+        let mut buf = full.take().unwrap_or_default();
+        self.node.bcast(&mut buf, data.len(), 0)?;
+        Ok(buf)
+    }
+
+    /// Hierarchical bcast from parent-rank `root`: root→leader hop,
+    /// leader-level binomial bcast, intra-node binomial bcast.
+    pub fn bcast<T: MpiType>(&self, buf: &mut Vec<T>, count: usize, root: i32) -> MpiResult<()> {
+        let size = self.parent.size();
+        if root < 0 || root as usize >= size {
+            return Err(MpiError::Protocol(format!("hier bcast: bad root {root}")));
+        }
+        let me = self.parent.rank() as usize;
+        let root_node = root as usize / self.node_size;
+        let root_leader = root_node * self.node_size; // parent rank of root's node leader
+
+        // Hop 0: the payload reaches root's node leader. (Skipped when
+        // the root already is its node's leader.)
+        if root as usize != root_leader {
+            if me == root as usize {
+                self.parent
+                    .send(&buf[..count], root_leader as i32, HIER_BCAST_TAG)?;
+            } else if me == root_leader {
+                let (data, _) = self.parent.irecv::<T>(count, root, HIER_BCAST_TAG)?.wait();
+                *buf = data;
+            }
+        }
+
+        // Hop 1: leaders fan the payload across nodes. Leader order is
+        // node order, so the leaders-rank of root's node is root_node.
+        if let Some(leaders) = &self.leaders {
+            leaders.bcast(buf, count, root_node as i32)?;
+        }
+
+        // Hop 2: every leader fans out inside its node.
+        self.node.bcast(buf, count, 0)
+    }
+
+    /// Hierarchical barrier: node barrier (everyone on the node has
+    /// arrived), leader barrier (every node has arrived), node barrier
+    /// (release — nobody leaves early).
+    pub fn barrier(&self) -> MpiResult<()> {
+        self.node.barrier()?;
+        if let Some(leaders) = &self.leaders {
+            leaders.barrier()?;
+        }
+        self.node.barrier()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::testutil::run_ranks;
+    use super::*;
+
+    #[test]
+    fn node_size_default_derivation() {
+        // Without the env var: whole world while small, nodes of 8 after.
+        if std::env::var(ENV_NODE_SIZE).is_err() {
+            assert_eq!(node_size_from_env(4), 4);
+            assert_eq!(node_size_from_env(8), 8);
+            assert_eq!(node_size_from_env(64), 8);
+        }
+    }
+
+    #[test]
+    fn hier_allreduce_matches_flat() {
+        for (ranks, node_size) in [(8, 4), (8, 3), (6, 2), (8, 1), (4, 8)] {
+            let results = run_ranks(ranks, move |proc| {
+                let comm = proc.world_comm();
+                let hier = comm.hier_split(node_size).unwrap();
+                let mine: Vec<i64> = (0..5).map(|i| (proc.rank() as i64 + 1) * (i + 1)).collect();
+                let got = hier.allreduce(&mine, Op::Sum).unwrap();
+                let flat = comm.allreduce(&mine, Op::Sum).unwrap();
+                assert_eq!(got, flat, "ranks={ranks} node={node_size}");
+                got[0]
+            });
+            let expect: i64 = (1..=ranks as i64).sum();
+            assert!(results.iter().all(|&v| v == expect));
+        }
+    }
+
+    #[test]
+    fn hier_bcast_from_every_root() {
+        let ranks = 8;
+        let results = run_ranks(ranks, |proc| {
+            let comm = proc.world_comm();
+            let hier = comm.hier_split(3).unwrap();
+            let mut out = Vec::new();
+            for root in 0..ranks as i32 {
+                let mut buf = if comm.rank() == root {
+                    vec![root as i64 * 100 + 7; 6]
+                } else {
+                    Vec::new()
+                };
+                hier.bcast(&mut buf, 6, root).unwrap();
+                assert_eq!(buf, vec![root as i64 * 100 + 7; 6]);
+                out.push(buf[0]);
+            }
+            out
+        });
+        for r in results {
+            assert_eq!(
+                r,
+                (0..ranks as i64).map(|n| n * 100 + 7).collect::<Vec<_>>()
+            );
+        }
+    }
+
+    #[test]
+    fn hier_barrier_orders_all_nodes() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let arrived = AtomicUsize::new(0);
+        let arrived = &arrived;
+        let ranks = 6;
+        run_ranks(ranks, move |proc| {
+            let comm = proc.world_comm();
+            let hier = comm.hier_split(2).unwrap();
+            arrived.fetch_add(1, Ordering::SeqCst);
+            hier.barrier().unwrap();
+            // After the barrier, every rank must have arrived.
+            assert_eq!(arrived.load(Ordering::SeqCst), ranks);
+        });
+    }
+
+    #[test]
+    fn hier_split_rejects_zero_node_size() {
+        run_ranks(2, |proc| {
+            assert!(proc.world_comm().hier_split(0).is_err());
+        });
+    }
+}

@@ -26,6 +26,7 @@
 //! | alltoall | linear (pairwise irecv/isend) |
 //! | reduce_scatter_block | pairwise exchange + incremental local fold |
 //! | scan / exscan | distance doubling (commutative ops) |
+//! | hierarchical allreduce / bcast / barrier | intra-node leg + leader leg via [`HierComm`] (`Comm::hier_split`) |
 
 mod allgather;
 mod allreduce;
@@ -35,6 +36,7 @@ mod bcast;
 mod bcast_sag;
 mod future;
 mod gather;
+mod hier;
 mod reduce;
 mod reduce_scatter;
 mod ring_allreduce;
@@ -43,6 +45,7 @@ mod scatter;
 mod vcolls;
 
 pub use future::CollFuture;
+pub use hier::{node_size_from_env, HierComm, ENV_NODE_SIZE};
 
 use crate::comm::Comm;
 

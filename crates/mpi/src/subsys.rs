@@ -13,7 +13,7 @@
 //! module supplies the class assignments and the cheap `has_work` answers
 //! (a single atomic read each).
 
-use std::sync::Arc;
+use std::sync::{Arc, Weak};
 
 use mpfa_core::{ProgressHook, SubsystemClass};
 
@@ -81,14 +81,22 @@ impl ProgressHook for CollSchedHook {
 }
 
 /// `Shmem_progress`: processes intra-node packets for one VCI.
+///
+/// Holds its VCI weakly: the hook lives inside the stream's engine and
+/// the VCI holds the stream, so a strong reference here would form a
+/// `Stream → hook → Vci → Stream` cycle that keeps the whole
+/// world — transport sockets, reactor thread, segment mappings — alive
+/// forever after teardown.
 pub struct ShmemHook {
-    vci: Arc<Vci>,
+    vci: Weak<Vci>,
 }
 
 impl ShmemHook {
     /// Hook over a VCI's shmem path.
     pub fn new(vci: Arc<Vci>) -> Self {
-        ShmemHook { vci }
+        ShmemHook {
+            vci: Arc::downgrade(&vci),
+        }
     }
 }
 
@@ -100,10 +108,10 @@ impl ProgressHook for ShmemHook {
         SubsystemClass::Shmem
     }
     fn has_work(&self) -> bool {
-        self.vci.queued_shmem() > 0
+        self.vci.upgrade().is_some_and(|v| v.queued_shmem() > 0)
     }
     fn poll(&self) -> bool {
-        self.vci.poll_shmem(POLL_BATCH)
+        self.vci.upgrade().is_some_and(|v| v.poll_shmem(POLL_BATCH))
     }
 }
 
@@ -111,13 +119,16 @@ impl ProgressHook for ShmemHook {
 /// state (eager TX completions) for one VCI. Placed last in the collation
 /// order; skipped whenever an earlier subsystem progressed.
 pub struct NetmodHook {
-    vci: Arc<Vci>,
+    /// Weak for the same cycle-breaking reason as [`ShmemHook`].
+    vci: Weak<Vci>,
 }
 
 impl NetmodHook {
     /// Hook over a VCI's network path.
     pub fn new(vci: Arc<Vci>) -> Self {
-        NetmodHook { vci }
+        NetmodHook {
+            vci: Arc::downgrade(&vci),
+        }
     }
 }
 
@@ -129,16 +140,25 @@ impl ProgressHook for NetmodHook {
         SubsystemClass::Netmod
     }
     fn has_work(&self) -> bool {
-        // `transport_work` keeps wire backends polled even when no packet
-        // is visibly queued: bytes may sit in kernel socket buffers that
-        // only a `progress()` pump can surface. Always false on the
-        // simulated fabric, so sim worlds keep the poll-suppression
-        // behaviour unchanged.
-        self.vci.queued_net() > 0 || self.vci.protocol_work() > 0 || self.vci.transport_work()
+        // `transport_work` is the transport's `external_work`: under the
+        // epoll reactor it is wakeup-driven (readiness bitmap, dirty-TX
+        // and dirty-connection sets fed by the reactor thread), and the
+        // shm backend reports actual ring occupancy — so an idle wire
+        // world answers false here and the engine suppresses the netmod
+        // poll entirely. Only the legacy scan path (`MPFA_REACTOR=0`)
+        // still answers "live peers => maybe buffered bytes => work".
+        // Always false on the simulated fabric, so sim worlds keep the
+        // poll-suppression behaviour unchanged.
+        self.vci
+            .upgrade()
+            .is_some_and(|v| v.queued_net() > 0 || v.protocol_work() > 0 || v.transport_work())
     }
     fn poll(&self) -> bool {
-        let pkts = self.vci.poll_net(POLL_BATCH);
-        let tx = self.vci.sweep_tx();
+        let Some(v) = self.vci.upgrade() else {
+            return false;
+        };
+        let pkts = v.poll_net(POLL_BATCH);
+        let tx = v.sweep_tx();
         pkts || tx
     }
 }

@@ -139,6 +139,22 @@ pub struct Counters {
     /// for `pready`, in milliseconds. Meaningless unless
     /// `persist_part_stalled` is non-zero.
     pub persist_part_stalled_ms: AtomicU64,
+    /// Socket-touching syscalls issued by a wire transport (read,
+    /// write, accept, connect, epoll_ctl). The quantity the readiness
+    /// reactor exists to keep flat in ready peers.
+    pub wire_syscalls: AtomicU64,
+    /// Speculative per-peer socket polls a wire pump pass *skipped*
+    /// because the readiness reactor knew the peer had nothing: live
+    /// connected peers minus peers actually driven, summed per pass.
+    /// Zero under the legacy full-scan pump.
+    pub wire_syscalls_saved: AtomicU64,
+    /// Times the reactor thread returned from `epoll_wait` with at
+    /// least one readiness event to publish.
+    pub reactor_wakeups: AtomicU64,
+    /// Readiness bits currently published by the reactor but not yet
+    /// consumed by a pump pass (a gauge, not a total). A lasting
+    /// non-zero reading means a peer is readable but nobody sweeps.
+    pub reactor_ready_pending: AtomicU64,
 }
 
 /// Plain-integer copy of a [`Counters`] at a point in time.
@@ -241,6 +257,14 @@ pub struct CounterSnapshot {
     pub persist_part_stalled: u64,
     /// Milliseconds the oldest stalled partitioned round has waited.
     pub persist_part_stalled_ms: u64,
+    /// Socket-touching syscalls issued by a wire transport.
+    pub wire_syscalls: u64,
+    /// Speculative per-peer socket polls skipped thanks to the reactor.
+    pub wire_syscalls_saved: u64,
+    /// `epoll_wait` returns that carried at least one readiness event.
+    pub reactor_wakeups: u64,
+    /// Published-but-unconsumed readiness bits (gauge).
+    pub reactor_ready_pending: u64,
 }
 
 impl Counters {
@@ -373,6 +397,10 @@ impl Counters {
             partitions_ready: self.partitions_ready.load(Ordering::Relaxed),
             persist_part_stalled: self.persist_part_stalled.load(Ordering::Relaxed),
             persist_part_stalled_ms: self.persist_part_stalled_ms.load(Ordering::Relaxed),
+            wire_syscalls: self.wire_syscalls.load(Ordering::Relaxed),
+            wire_syscalls_saved: self.wire_syscalls_saved.load(Ordering::Relaxed),
+            reactor_wakeups: self.reactor_wakeups.load(Ordering::Relaxed),
+            reactor_ready_pending: self.reactor_ready_pending.load(Ordering::Relaxed),
         }
     }
 
@@ -426,6 +454,10 @@ impl Counters {
         self.partitions_ready.store(0, Ordering::Relaxed);
         self.persist_part_stalled.store(0, Ordering::Relaxed);
         self.persist_part_stalled_ms.store(0, Ordering::Relaxed);
+        self.wire_syscalls.store(0, Ordering::Relaxed);
+        self.wire_syscalls_saved.store(0, Ordering::Relaxed);
+        self.reactor_wakeups.store(0, Ordering::Relaxed);
+        self.reactor_ready_pending.store(0, Ordering::Relaxed);
     }
 }
 
@@ -489,6 +521,15 @@ impl std::fmt::Display for CounterSnapshot {
             self.transport_reconnects,
             self.transport_dead_peers,
             self.bootstrap_secs
+        )?;
+        writeln!(
+            f,
+            "reactor:  {} syscalls, {} speculative polls saved, {} wakeups, \
+             {} ready-unswept",
+            self.wire_syscalls,
+            self.wire_syscalls_saved,
+            self.reactor_wakeups,
+            self.reactor_ready_pending
         )?;
         writeln!(
             f,
@@ -667,6 +708,23 @@ mod tests {
         assert_eq!(s.persist_part_stalled, 3);
         assert_eq!(s.persist_part_stalled_ms, 750);
         assert!(s.to_string().contains("re-fires"));
+        c.reset();
+        assert_eq!(c.snapshot(), CounterSnapshot::default());
+    }
+
+    #[test]
+    fn reactor_counters_accumulate_and_reset() {
+        let c = Counters::new();
+        c.wire_syscalls.fetch_add(128, Ordering::Relaxed);
+        c.wire_syscalls_saved.fetch_add(63, Ordering::Relaxed);
+        c.reactor_wakeups.fetch_add(9, Ordering::Relaxed);
+        c.reactor_ready_pending.store(2, Ordering::Relaxed);
+        let s = c.snapshot();
+        assert_eq!(s.wire_syscalls, 128);
+        assert_eq!(s.wire_syscalls_saved, 63);
+        assert_eq!(s.reactor_wakeups, 9);
+        assert_eq!(s.reactor_ready_pending, 2);
+        assert!(s.to_string().contains("speculative polls saved"));
         c.reset();
         assert_eq!(c.snapshot(), CounterSnapshot::default());
     }

@@ -40,6 +40,9 @@ pub struct DoctorConfig {
     /// before it is flagged (the producer threads never called
     /// `pready`, so the round can never complete).
     pub partitioned_stall_grace: f64,
+    /// Flag a lost reactor wakeup once this many hook polls have run
+    /// while the reactor's published readiness bits stay unconsumed.
+    pub reactor_pending_polls: u64,
 }
 
 impl Default for DoctorConfig {
@@ -51,6 +54,7 @@ impl Default for DoctorConfig {
             dead_peer_polls: 64,
             shm_ring_full_stalls: 4096,
             partitioned_stall_grace: 1.0,
+            reactor_pending_polls: 64,
         }
     }
 }
@@ -612,6 +616,49 @@ pub fn diagnose_with_counters(
         }
     }
 
+    // Pathology 11: reactor wakeup lost / peer readable but never swept.
+    // `reactor_ready_pending` is a gauge of readiness bits the epoll
+    // reactor has published that no pump pass has consumed. The reactor
+    // only ever raises a bit when a socket is actually readable (or a
+    // listener has a pending accept), so a lasting non-zero reading
+    // while hook polls keep running means the progress engine is polling
+    // *something* but never the wire that has bytes waiting — a broken
+    // `has_work` wiring, a pump stuck behind its lock, or a consumer
+    // that cleared the bit without draining (the classic edge-trigger
+    // bug the DST fixture plants).
+    if let Some(c) = counters {
+        if c.reactor_ready_pending > 0
+            && c.reactor_wakeups > 0
+            && c.hook_polls >= cfg.reactor_pending_polls
+        {
+            report.diagnoses.push(Diagnosis {
+                severity: Severity::Critical,
+                title: format!(
+                    "reactor wakeup lost: {} peer(s) readable but never swept",
+                    c.reactor_ready_pending
+                ),
+                detail: format!(
+                    "the readiness reactor published {} wakeup(s) and {} \
+                     readiness bit(s) are still unconsumed after {} hook \
+                     poll(s) (threshold {}); {} socket syscall(s) issued so \
+                     far",
+                    c.reactor_wakeups,
+                    c.reactor_ready_pending,
+                    c.hook_polls,
+                    cfg.reactor_pending_polls,
+                    c.wire_syscalls
+                ),
+                advice: "a wire transport has readable sockets its progress \
+                         engine never drains: make sure some thread polls the \
+                         stream owning the netmod hook, and that nothing \
+                         consumes a readiness bit without reading the socket \
+                         to WouldBlock (an edge-triggered wakeup is delivered \
+                         once; clearing the bit before the drain loses it)"
+                    .to_string(),
+            });
+        }
+    }
+
     report
         .diagnoses
         .sort_by_key(|d| std::cmp::Reverse(d.severity));
@@ -1129,6 +1176,52 @@ mod tests {
             partitions_ready: 4_000_000,
             persist_part_stalled: 0,
             persist_part_stalled_ms: 60_000,
+            ..Default::default()
+        };
+        let report = diagnose_with_counters(&[], Some(&counters), &DoctorConfig::default());
+        assert!(report.healthy(), "{report}");
+    }
+
+    #[test]
+    fn flags_lost_reactor_wakeup() {
+        let counters = CounterSnapshot {
+            reactor_wakeups: 12,
+            reactor_ready_pending: 2,
+            wire_syscalls: 400,
+            hook_polls: 500,
+            ..Default::default()
+        };
+        let report = diagnose_with_counters(&[], Some(&counters), &DoctorConfig::default());
+        assert_eq!(report.criticals().count(), 1);
+        let d = &report.diagnoses[0];
+        assert!(d.title.contains("reactor wakeup lost"), "{d:?}");
+        assert!(d.title.contains("2 peer(s) readable but never swept"));
+        assert!(d.detail.contains("12 wakeup(s)"));
+        assert!(d.advice.contains("WouldBlock"));
+    }
+
+    #[test]
+    fn freshly_published_readiness_is_not_a_lost_wakeup() {
+        // Bits were just raised and the engine has barely polled: the
+        // very next sweep will consume them.
+        let counters = CounterSnapshot {
+            reactor_wakeups: 1,
+            reactor_ready_pending: 1,
+            hook_polls: 3,
+            ..Default::default()
+        };
+        let report = diagnose_with_counters(&[], Some(&counters), &DoctorConfig::default());
+        assert!(report.healthy(), "{report}");
+    }
+
+    #[test]
+    fn consumed_reactor_readiness_is_healthy() {
+        let counters = CounterSnapshot {
+            reactor_wakeups: 10_000,
+            reactor_ready_pending: 0,
+            wire_syscalls: 50_000,
+            wire_syscalls_saved: 900_000,
+            hook_polls: 1_000_000,
             ..Default::default()
         };
         let report = diagnose_with_counters(&[], Some(&counters), &DoctorConfig::default());

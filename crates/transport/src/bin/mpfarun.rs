@@ -28,7 +28,8 @@ use std::process::{exit, Child, Command};
 use std::time::{Duration, Instant};
 
 use mpfa_transport::bootstrap::{
-    pick_tcp_rendezvous, ENV_INJECT_CONNECT_FAIL, ENV_PEERS, ENV_RANK, ENV_RANKS, ENV_TRANSPORT,
+    pick_tcp_rendezvous, tree_fanout, ENV_INJECT_CONNECT_FAIL, ENV_PEERS, ENV_RANK, ENV_RANKS,
+    ENV_TRANSPORT, ENV_TREE,
 };
 use mpfa_transport::TransportKind;
 
@@ -154,6 +155,20 @@ fn main() {
     let opts = parse_args();
     let rendezvous = rendezvous_for(opts.kind);
 
+    // TCP tree rendezvous needs a pre-picked listener address per rank
+    // (internal nodes cannot derive ephemeral ports). UDS/SHM derive
+    // their tree sockets from the rendezvous path and need nothing.
+    let tree = (opts.kind == TransportKind::Tcp && opts.ranks > tree_fanout() + 1).then(|| {
+        let mut addrs = vec![rendezvous.clone()];
+        for _ in 1..opts.ranks {
+            addrs.push(pick_tcp_rendezvous().unwrap_or_else(|e| {
+                eprintln!("mpfarun: cannot pick a tree rendezvous port: {e}");
+                exit(1);
+            }));
+        }
+        addrs.join(",")
+    });
+
     let mut children: Vec<(usize, Child)> = Vec::with_capacity(opts.ranks);
     for rank in 0..opts.ranks {
         let mut c = Command::new(&opts.cmd[0]);
@@ -162,6 +177,9 @@ fn main() {
             .env(ENV_RANK, rank.to_string())
             .env(ENV_RANKS, opts.ranks.to_string())
             .env(ENV_PEERS, &rendezvous);
+        if let Some(tree) = &tree {
+            c.env(ENV_TREE, tree);
+        }
         // Each rank leads its own process group so a kill reaches any
         // helpers it forked, not just the rank itself.
         #[cfg(unix)]

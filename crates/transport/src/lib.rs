@@ -42,6 +42,7 @@ pub use mpfa_fabric::{Envelope, Fabric, Path, TxHandle};
 pub mod bootstrap;
 pub mod bytes;
 pub mod codec;
+pub mod reactor;
 #[cfg(unix)]
 pub mod shm;
 pub mod sim;
@@ -52,6 +53,7 @@ pub mod wire;
 
 pub use bytes::{BufPool, BytesBacking, MpfaBytes};
 pub use codec::FrameCodec;
+pub use reactor::{reactor_enabled, Reactor, ReadySet};
 #[cfg(unix)]
 pub use shm::ShmTransport;
 pub use sim::{sim_rank_views, SimRankTransport, SimTransport};

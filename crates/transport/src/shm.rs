@@ -79,7 +79,12 @@ pub const VIEW_MIN: usize = 4096;
 /// Default per-ring capacity; override with `MPFA_SHM_RING_BYTES`
 /// (power of two, ≥ 64 KiB). A world of N ranks maps N segments of
 /// N rings each, so total segment bytes are N² × ring capacity —
-/// file-backed and sparse until touched.
+/// file-backed and sparse until touched. Beyond 4 ranks the default
+/// shrinks automatically so one segment stays within a 64 MiB budget:
+/// on machines where the segment directory is disk-backed rather than
+/// tmpfs, oversized segments turn ring traffic into page-cache
+/// writeback and dominate many-rank wall clock (a 64-rank allreduce
+/// measured 7x slower with 1 GiB segments than with 64 MiB ones).
 pub const DEFAULT_RING_CAP: u64 = 16 << 20;
 /// Environment variable overriding the per-ring capacity in bytes.
 pub const ENV_RING_BYTES: &str = "MPFA_SHM_RING_BYTES";
@@ -183,9 +188,17 @@ fn align8(n: usize) -> usize {
     (n + 7) & !7
 }
 
-/// Per-ring capacity: env override or default. Panics on a value that
-/// is not a power of two ≥ 64 KiB (a launcher bug, not a user error).
-fn ring_cap_from_env() -> u64 {
+/// Per-ring capacity: env override or a rank-count-aware default.
+/// Panics on an override that is not a power of two ≥ 64 KiB (a
+/// launcher bug, not a user error).
+///
+/// Without an override, worlds beyond 4 ranks halve the 16 MiB ring
+/// until a whole segment (N rings) fits in a 64 MiB budget — a 64-rank
+/// world gets 1 MiB rings (64 MiB segments) instead of 1 GiB segments
+/// that thrash writeback on disk-backed segment directories, and a
+/// 256-rank world gets 256 KiB rings. The 64 KiB floor always wins
+/// over the budget.
+fn ring_cap_from_env(ranks: usize) -> u64 {
     match std::env::var(ENV_RING_BYTES) {
         Ok(v) => {
             let cap: u64 = v
@@ -197,8 +210,19 @@ fn ring_cap_from_env() -> u64 {
             );
             cap
         }
-        Err(_) => DEFAULT_RING_CAP,
+        Err(_) => default_ring_cap(ranks),
     }
+}
+
+/// The no-override default: halve [`DEFAULT_RING_CAP`] until one
+/// segment (`ranks` rings) fits in 64 MiB, floored at 64 KiB.
+fn default_ring_cap(ranks: usize) -> u64 {
+    const SEG_BUDGET: u64 = 64 << 20;
+    let mut cap = DEFAULT_RING_CAP;
+    while cap > 64 * 1024 && cap.saturating_mul(ranks as u64) > SEG_BUDGET {
+        cap /= 2;
+    }
+    cap
 }
 
 // --------------------------------------------------------------------
@@ -365,7 +389,7 @@ impl ShmSegmentOwner {
         assert!(ranks > 0 && eps_per_rank > 0);
         let geo = Geometry {
             ranks,
-            ring_cap: ring_cap_from_env(),
+            ring_cap: ring_cap_from_env(ranks),
         };
         // A stale segment from a dead process would alias the new one.
         let _ = std::fs::remove_file(path);
@@ -443,7 +467,10 @@ fn attach(path: &str, want: Geometry, want_eps: usize) -> io::Result<Arc<SegMap>
                 format!("peer segment {path} not initialized within {ATTACH_DEADLINE}s"),
             ));
         }
-        std::thread::yield_now();
+        // Each retry re-opens and re-maps the file, so spinning here is a
+        // syscall storm that starves the very peer we are waiting on when
+        // ranks outnumber cores. Sleep instead of yielding.
+        std::thread::sleep(std::time::Duration::from_micros(500));
     }
 }
 
@@ -1148,11 +1175,12 @@ impl<M: FrameCodec> Transport<M> for ShmTransport<M> {
     }
 
     fn external_work(&self) -> bool {
-        // Frames may be sitting in mapped rings as long as any peer is
-        // alive; also anything already delivered but not yet drained.
-        let live_peers =
-            self.inner.ranks > 1 && self.inner.dead.load(Ordering::Relaxed) + 1 < self.inner.ranks;
-        live_peers || self.inner.rx_total.load(Ordering::Acquire) > 0
+        // Delivered-but-undrained packets, or unparsed bytes actually
+        // present in a mapped ring. An idle world reports no work —
+        // the producer's futex doorbell (and the tail writes this
+        // checks) makes new traffic visible immediately, so nothing
+        // needs the old "some peer is alive, keep sweeping" answer.
+        self.inner.rx_total.load(Ordering::Acquire) > 0 || self.rings_nonempty()
     }
 
     fn eager_hint(&self) -> Option<usize> {
@@ -1248,11 +1276,14 @@ mod tests {
         let mesh = loopback_mesh::<Msg>(TransportKind::Shm, 2, 1, WireOpts::default()).unwrap();
         assert_eq!(mesh[0].kind(), TransportKind::Shm);
         assert_eq!(mesh[0].endpoints(), 2);
-        assert!(mesh[0].external_work());
+        // Idle world: nothing in any ring, so no speculative work.
+        assert!(!mesh[0].external_work());
         assert!(mesh[0].eager_hint().unwrap() >= 64 * 1024 / 4);
         for i in 0..50u8 {
             mesh[0].send(0, 1, vec![i; (i as usize % 7) + 1], i as usize);
         }
+        // Undrained ring bytes are visible work on the receiving side.
+        assert!(mesh[1].external_work());
         let got = drain(&mesh[1], 1, 50);
         for (i, env) in got.iter().enumerate() {
             assert_eq!(env.src, 0);
@@ -1295,6 +1326,20 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn default_ring_cap_scales_with_rank_count() {
+        // Small worlds keep the full 16 MiB ring; larger worlds halve
+        // it so one segment stays inside the 64 MiB budget; the 64 KiB
+        // floor wins at absurd rank counts.
+        assert_eq!(default_ring_cap(1), 16 << 20);
+        assert_eq!(default_ring_cap(4), 16 << 20);
+        assert_eq!(default_ring_cap(8), 8 << 20);
+        assert_eq!(default_ring_cap(16), 4 << 20);
+        assert_eq!(default_ring_cap(64), 1 << 20);
+        assert_eq!(default_ring_cap(256), 256 << 10);
+        assert_eq!(default_ring_cap(1 << 20), 64 << 10);
     }
 
     #[test]

@@ -54,6 +54,18 @@ impl SockFamily for TcpFamily {
         stream.set_read_timeout(timeout)
     }
 
+    #[cfg(unix)]
+    fn listener_fd(listener: &TcpListener) -> Option<i32> {
+        use std::os::fd::AsRawFd;
+        Some(listener.as_raw_fd())
+    }
+
+    #[cfg(unix)]
+    fn stream_fd(stream: &TcpStream) -> Option<i32> {
+        use std::os::fd::AsRawFd;
+        Some(stream.as_raw_fd())
+    }
+
     fn cleanup(_addr: &str) {}
 }
 

@@ -50,6 +50,16 @@ impl SockFamily for UdsFamily {
         stream.set_read_timeout(timeout)
     }
 
+    fn listener_fd(listener: &UnixListener) -> Option<i32> {
+        use std::os::fd::AsRawFd;
+        Some(listener.as_raw_fd())
+    }
+
+    fn stream_fd(stream: &UnixStream) -> Option<i32> {
+        use std::os::fd::AsRawFd;
+        Some(stream.as_raw_fd())
+    }
+
     fn cleanup(addr: &str) {
         let _ = std::fs::remove_file(addr);
     }

@@ -40,8 +40,52 @@ const RANKS: usize = 4;
 /// The rank that dies in `--chaos` mode (must match CI's `--kill-rank`).
 const VICTIM: usize = 2;
 
+/// Set when this process's ranks finish; quiets the stall doctor.
+static DONE: std::sync::atomic::AtomicBool = std::sync::atomic::AtomicBool::new(false);
+
+/// `--doctor-after SECS`: if the rank is still running once the
+/// deadline passes, print the progress doctor's diagnosis to stderr so
+/// a hung job's log names the pathology (lost reactor wakeup, stalled
+/// stream, dead peer, ...) instead of just tripping the launcher
+/// watchdog. The process keeps running — killing it stays the
+/// launcher's job.
+fn arm_stall_doctor() {
+    let mut args = std::env::args();
+    let secs: f64 = loop {
+        match args.next() {
+            Some(a) if a == "--doctor-after" => {
+                break args.next().and_then(|v| v.parse().ok()).unwrap_or(60.0)
+            }
+            Some(_) => continue,
+            None => return,
+        }
+    };
+    std::thread::spawn(move || {
+        let t0 = mpfa::core::wtime();
+        while mpfa::core::wtime() - t0 < secs {
+            std::thread::sleep(std::time::Duration::from_millis(200));
+            if DONE.load(std::sync::atomic::Ordering::Acquire) {
+                return;
+            }
+        }
+        let snap = mpfa::obs::global_counters().snapshot();
+        let report = mpfa::obs::diagnose_with_counters(
+            &mpfa::obs::snapshot_all(),
+            Some(&snap),
+            &mpfa::obs::DoctorConfig::default(),
+        );
+        if report.healthy() {
+            eprintln!("doctor: no pathology detected after {secs}s (still running)");
+        }
+        for d in report.criticals() {
+            eprintln!("doctor: {}", d.title);
+        }
+    });
+}
+
 fn main() {
     let chaos = std::env::args().any(|a| a == "--chaos");
+    arm_stall_doctor();
     match World::launch(WorldConfig::instant(RANKS)) {
         Launch::InProcess(procs) => {
             println!(
@@ -105,6 +149,7 @@ fn rank_main(proc: Proc) {
 
     comm.barrier().unwrap();
     println!("rank {rank}: allreduce ok, total[0] = {}", total[0]);
+    DONE.store(true, std::sync::atomic::Ordering::Release);
     proc.finalize(1.0);
 }
 
@@ -169,5 +214,6 @@ fn chaos_main(proc: Proc, victim_done: Option<&std::sync::atomic::AtomicBool>) {
         shrunk.size(),
         total[0]
     );
+    DONE.store(true, std::sync::atomic::Ordering::Release);
     proc.finalize(2.0);
 }

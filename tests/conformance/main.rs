@@ -17,6 +17,7 @@ mod flow;
 mod grequest;
 mod p2p;
 mod persist;
+mod reactor;
 mod resil;
 mod streams;
 mod wildcard;

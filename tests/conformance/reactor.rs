@@ -1,0 +1,124 @@
+//! Readiness-reactor contract under explored schedules.
+//!
+//! The planted lost-wakeup bug (bit cleared before a bounded drain)
+//! and its ≤64-seed acceptance test live in
+//! `mpfa::dst::fixtures::planted_lost_wakeup_bug`; this shard proves
+//! the two *correct* pump disciplines hold under every explored
+//! schedule: drain-to-empty after `take`, and re-mark when a bounded
+//! drain stops early. Both must survive the same coalescing windows
+//! that break the planted pump.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use mpfa::dst::{check, fixtures, SimConfig};
+use mpfa::transport::ReadySet;
+
+const FRAMES: usize = 4;
+
+/// Wire `FRAMES` receives so each completion bumps `pending` and marks
+/// peer 1 in `ready`, then fire the matching sends. Returns the send
+/// requests the pump loop must see complete.
+fn post_traffic(
+    sim: &mut mpfa::dst::Sim,
+    ready: &Arc<ReadySet>,
+    pending: &Arc<AtomicUsize>,
+) -> Vec<mpfa::core::Request> {
+    let comms = sim.world_comms();
+    let recvs: Vec<_> = (0..FRAMES)
+        .map(|_| comms[0].irecv::<u32>(1, 1, 7).unwrap())
+        .collect();
+    for r in &recvs {
+        let (ready, pending) = (ready.clone(), pending.clone());
+        r.request().on_complete(move |res| {
+            res.expect("recv failed");
+            pending.fetch_add(1, Ordering::SeqCst);
+            ready.mark(1);
+        });
+    }
+    (0..FRAMES)
+        .map(|k| comms[1].isend(&[k as u32], 0, 7).unwrap())
+        .collect()
+}
+
+/// Drain-to-empty after `take`: however many completions coalesced
+/// into one mark, a pump that sweeps until `pending` is empty loses
+/// none of them.
+#[test]
+fn drain_to_empty_sweeps_coalesced_completions() {
+    check(
+        "conf_reactor_drain_to_empty",
+        &SimConfig::ranks(2),
+        24,
+        |sim| {
+            let ready = Arc::new(ReadySet::new(2));
+            let pending = Arc::new(AtomicUsize::new(0));
+            let swept = Arc::new(AtomicUsize::new(0));
+            let sends = post_traffic(sim, &ready, &pending);
+            let ok = sim.run_until(|| {
+                if ready.take(1) {
+                    // Correct discipline: the bit is clear now, so sweep
+                    // everything that was published before the clear.
+                    while pending.load(Ordering::SeqCst) > 0 {
+                        pending.fetch_sub(1, Ordering::SeqCst);
+                        swept.fetch_add(1, Ordering::SeqCst);
+                    }
+                }
+                sends.iter().all(|s| s.is_complete()) && swept.load(Ordering::SeqCst) == FRAMES
+            });
+            assert!(
+                ok,
+                "drain-to-empty pump lost a wakeup ({}/{FRAMES} swept)",
+                swept.load(Ordering::SeqCst)
+            );
+        },
+    );
+}
+
+/// Bounded drain with re-mark: sweeping one frame per wakeup is fine
+/// as long as the pump re-marks the peer whenever work remains, so the
+/// next pass gets another wakeup.
+#[test]
+fn bounded_drain_with_re_mark_keeps_liveness() {
+    check(
+        "conf_reactor_bounded_re_mark",
+        &SimConfig::ranks(2),
+        24,
+        |sim| {
+            let ready = Arc::new(ReadySet::new(2));
+            let pending = Arc::new(AtomicUsize::new(0));
+            let swept = Arc::new(AtomicUsize::new(0));
+            let sends = post_traffic(sim, &ready, &pending);
+            let ok = sim.run_until(|| {
+                if ready.take(1) && pending.load(Ordering::SeqCst) > 0 {
+                    pending.fetch_sub(1, Ordering::SeqCst);
+                    swept.fetch_add(1, Ordering::SeqCst);
+                    // Correct discipline: stopped early with work left —
+                    // put the bit back so the frame is not stranded.
+                    if pending.load(Ordering::SeqCst) > 0 {
+                        ready.mark(1);
+                    }
+                }
+                sends.iter().all(|s| s.is_complete()) && swept.load(Ordering::SeqCst) == FRAMES
+            });
+            assert!(
+                ok,
+                "re-marking bounded pump lost a wakeup ({}/{FRAMES} swept)",
+                swept.load(Ordering::SeqCst)
+            );
+        },
+    );
+}
+
+/// The invariant fixtures still hold with a reactor-style pump running
+/// alongside them in the schedule loop — readiness bookkeeping must
+/// not perturb p2p semantics.
+#[test]
+fn pingpong_unperturbed_by_reactor_bookkeeping() {
+    check(
+        "conf_reactor_pingpong",
+        &SimConfig::ranks(2),
+        16,
+        fixtures::pingpong,
+    );
+}

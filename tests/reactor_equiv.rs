@@ -1,0 +1,359 @@
+//! Differential test for the epoll readiness reactor: the wire backends
+//! must produce byte-identical behaviour whether readiness comes from
+//! the reactor (default) or from the legacy speculative scan, and all
+//! backends must agree with the simulated fabric.
+//!
+//! Beyond payload equivalence (which `transport_equiv.rs` also covers),
+//! this binary checks the properties the reactor *changes*:
+//!
+//! * syscall economy — a workload over TCP must bank
+//!   `wire_syscalls_saved` (peers skipped because the reactor knew they
+//!   were quiet) and `reactor_wakeups` (epoll wakeups published);
+//! * settle-to-quiet — a drained mesh stops reporting `external_work`,
+//!   so the progress engine can suppress netmod polls at idle;
+//! * peer death — liveness evidence after a kill schedule is identical
+//!   across backends with the reactor consuming readiness;
+//! * reconnect backoff — retry timers run on `wtime()`, so a frozen
+//!   DST virtual clock steps the budget deterministically instead of
+//!   racing the wall clock (the `failure_injection.rs` idiom).
+//!
+//! Wire-backed tests hold [`mpfa::dst::real_time`] so a concurrently
+//! scheduled virtual-clock test can never freeze `wtime()` under their
+//! progress deadlines; the backoff test takes the virtual guard.
+
+mod common;
+
+use std::sync::Arc;
+
+use common::run_ranks;
+use mpfa::mpi::protocol::ProtoConfig;
+use mpfa::mpi::wire::WireMsg;
+use mpfa::mpi::{Comm, Op, Proc, World, WorldConfig};
+use mpfa::transport::{
+    loopback_mesh, mesh_kill, reactor_enabled, Path, Transport, TransportKind, WireOpts,
+};
+
+const RANKS: usize = 3;
+
+/// Sizes crossing buffered / eager / rendezvous under [`proto`].
+const SIZES: [usize; 3] = [16, 2048, 48_000];
+
+fn proto() -> ProtoConfig {
+    ProtoConfig {
+        buffered_max: 64,
+        eager_max: 4096,
+        chunk: 8192,
+        depth: 2,
+    }
+}
+
+fn config() -> WorldConfig {
+    WorldConfig {
+        proto: proto(),
+        ..WorldConfig::instant(RANKS)
+    }
+}
+
+fn payload(src: i32, k: usize) -> Vec<u8> {
+    (0..SIZES[k % SIZES.len()])
+        .map(|i| (src as usize * 37 + k * 11 + i) as u8)
+        .collect()
+}
+
+/// Everything one rank observed, compared bitwise across transports.
+#[derive(Debug, PartialEq, Eq)]
+struct RankRecord {
+    inbound: Vec<((i32, i32), Vec<u8>)>,
+    sum: Vec<i64>,
+}
+
+/// Bursty all-to-all: every rank fires a burst at every peer, then
+/// waits — exactly the pattern where the reactor's readiness bitmap
+/// (sweep only who has bytes) diverges from the legacy scan (touch
+/// every peer every pump).
+fn workload(comm: &Comm) -> RankRecord {
+    let me = comm.rank();
+    let size = comm.size() as i32;
+    let mut recvs = Vec::new();
+    for src in 0..size {
+        if src == me {
+            continue;
+        }
+        for k in 0..SIZES.len() {
+            recvs.push((src, comm.irecv::<u8>(64 * 1024, src, k as i32).unwrap()));
+        }
+    }
+    let mut sends = Vec::new();
+    for dst in 0..size {
+        if dst == me {
+            continue;
+        }
+        for k in 0..SIZES.len() {
+            sends.push(comm.isend_bytes(payload(me, k), dst, k as i32).unwrap());
+        }
+    }
+    let mut inbound = Vec::new();
+    for (src, r) in recvs {
+        let (data, status) = r.wait();
+        assert_eq!(status.source, src);
+        inbound.push(((src, status.tag), data));
+    }
+    for s in sends {
+        s.wait();
+    }
+    let mine: Vec<i64> = (0..6).map(|i| (me as i64 + 1) * (i + 3)).collect();
+    let sum = comm.allreduce(&mine, Op::Sum).unwrap();
+    comm.barrier().unwrap();
+    RankRecord { inbound, sum }
+}
+
+fn run_wire(kind: TransportKind) -> Vec<RankRecord> {
+    let cfg = config();
+    let mesh = loopback_mesh::<WireMsg>(kind, RANKS, cfg.max_vcis, WireOpts::default())
+        .expect("loopback mesh");
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..RANKS)
+            .map(|rank| {
+                let cfg = WorldConfig {
+                    transport: kind,
+                    ..cfg.clone()
+                };
+                let port = mesh[rank].clone();
+                s.spawn(move || {
+                    let proc: Proc = World::init_with_transport(cfg, rank, port);
+                    workload(&proc.world_comm())
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("rank thread panicked"))
+            .collect()
+    })
+}
+
+fn check_payloads(records: &[RankRecord], what: &str) {
+    for (rank, rec) in records.iter().enumerate() {
+        assert_eq!(
+            rec.inbound.len(),
+            (RANKS - 1) * SIZES.len(),
+            "{what} rank {rank}"
+        );
+        for ((src, tag), data) in &rec.inbound {
+            assert_eq!(
+                data,
+                &payload(*src, *tag as usize),
+                "{what}: rank {rank} payload from ({src},{tag})"
+            );
+        }
+    }
+}
+
+/// The tentpole differential: the same workload, byte-identical over
+/// the simulated fabric and all three reactor-driven wire backends —
+/// and the reactor must have banked saved syscalls and wakeups doing it.
+#[test]
+fn reactor_path_agrees_across_backends_and_saves_syscalls() {
+    let _rt = mpfa::dst::real_time();
+    let counters = mpfa::obs::global_counters();
+    let saved0 = counters
+        .wire_syscalls_saved
+        .load(std::sync::atomic::Ordering::Relaxed);
+    let wake0 = counters
+        .reactor_wakeups
+        .load(std::sync::atomic::Ordering::Relaxed);
+
+    let sim = run_ranks(config(), |p| workload(&p.world_comm()));
+    let tcp = run_wire(TransportKind::Tcp);
+    check_payloads(&sim, "sim");
+    check_payloads(&tcp, "tcp");
+    assert_eq!(sim, tcp, "sim and TCP diverged under the reactor");
+    #[cfg(unix)]
+    {
+        let uds = run_wire(TransportKind::Uds);
+        check_payloads(&uds, "uds");
+        assert_eq!(sim, uds, "sim and UDS diverged under the reactor");
+        let shm = run_wire(TransportKind::Shm);
+        check_payloads(&shm, "shm");
+        assert_eq!(sim, shm, "sim and SHM diverged under the reactor");
+    }
+
+    if reactor_enabled() {
+        let saved = counters
+            .wire_syscalls_saved
+            .load(std::sync::atomic::Ordering::Relaxed);
+        let wakes = counters
+            .reactor_wakeups
+            .load(std::sync::atomic::Ordering::Relaxed);
+        assert!(
+            saved > saved0,
+            "reactor pump never skipped a quiet peer (saved {saved0} -> {saved})"
+        );
+        assert!(
+            wakes > wake0,
+            "epoll thread never published a wakeup ({wake0} -> {wakes})"
+        );
+    }
+}
+
+/// A drained reactor-backed mesh must settle to "no external work" so
+/// the progress engine can stop polling it — and a fresh send must
+/// re-raise the flag via a reactor wakeup, without the receiver
+/// speculatively polling every peer.
+#[test]
+fn drained_mesh_settles_quiet_and_wakes_on_traffic() {
+    let _rt = mpfa::dst::real_time();
+    if !reactor_enabled() {
+        return; // legacy scan intentionally reports work while peers live
+    }
+    let mesh =
+        loopback_mesh::<Vec<u8>>(TransportKind::Tcp, 2, 1, WireOpts::default()).expect("mesh");
+    let deadline = mpfa::core::wtime() + 10.0;
+    // Let the hello handshakes finish and drain to quiet.
+    while mesh[0].external_work() || mesh[1].external_work() {
+        for t in mesh.iter() {
+            t.progress();
+            let mut sink = Vec::new();
+            t.poll(0, Path::Net, usize::MAX, &mut sink);
+            t.poll(1, Path::Net, usize::MAX, &mut sink);
+        }
+        assert!(
+            mpfa::core::wtime() < deadline,
+            "mesh never settled to external_work == false"
+        );
+    }
+    // Traffic from rank 0 must surface as work on rank 1 without rank 1
+    // having polled anything — the eventfd/epoll path, not a scan.
+    mesh[0].send(0, 1, vec![0xC3; 512], 512);
+    let deadline = mpfa::core::wtime() + 10.0;
+    while !mesh[1].external_work() {
+        mesh[0].progress(); // sender flushes; receiver only watches its flag
+        assert!(
+            mpfa::core::wtime() < deadline,
+            "reactor wakeup lost: peer readable but external_work stayed false"
+        );
+    }
+    let mut got = Vec::new();
+    let deadline = mpfa::core::wtime() + 10.0;
+    while got.is_empty() {
+        mesh[1].progress();
+        mesh[1].poll(1, Path::Net, usize::MAX, &mut got);
+        assert!(mpfa::core::wtime() < deadline, "frame never arrived");
+    }
+    assert_eq!(got[0].msg, vec![0xC3; 512]);
+}
+
+/// Liveness evidence after the same kill schedule must be identical
+/// across backends when the reactor is consuming readiness (dead-peer
+/// counts, per-peer views, refused sends).
+#[test]
+fn peer_death_liveness_identical_under_reactor() {
+    let _rt = mpfa::dst::real_time();
+    const VICTIM: usize = 1;
+
+    fn run_schedule(kind: TransportKind) -> Vec<(usize, Vec<bool>, bool)> {
+        use mpfa::mpi::wire::MsgHeader;
+        let eps = 2;
+        let mesh = loopback_mesh::<WireMsg>(kind, RANKS, eps, WireOpts::default()).expect("mesh");
+        mesh_kill(&mesh, VICTIM);
+        mesh.iter()
+            .enumerate()
+            .map(|(r, t)| {
+                t.progress();
+                let refused = r != VICTIM && {
+                    let tx = t.send(
+                        r * eps,
+                        VICTIM * eps,
+                        WireMsg::Eager {
+                            hdr: MsgHeader {
+                                context_id: 0,
+                                src_rank: r as i32,
+                                tag: 3,
+                            },
+                            data: vec![0x5A; 24].into(),
+                        },
+                        24,
+                    );
+                    tx.is_failed()
+                };
+                (
+                    t.dead_peers(),
+                    (0..RANKS).map(|p| t.peer_alive(p)).collect(),
+                    refused,
+                )
+            })
+            .collect()
+    }
+
+    let sim = run_schedule(TransportKind::Sim);
+    let tcp = run_schedule(TransportKind::Tcp);
+    assert_eq!(sim, tcp, "sim and TCP liveness diverged");
+    #[cfg(unix)]
+    {
+        assert_eq!(
+            sim,
+            run_schedule(TransportKind::Uds),
+            "UDS liveness diverged"
+        );
+        assert_eq!(
+            sim,
+            run_schedule(TransportKind::Shm),
+            "SHM liveness diverged"
+        );
+    }
+    for (r, (dead, alive, refused)) in sim.iter().enumerate() {
+        if r == VICTIM {
+            assert_eq!(*dead, 0, "victim never observes its own death");
+            continue;
+        }
+        assert_eq!(*dead, 1, "rank {r}");
+        assert!(*refused, "rank {r}: send to victim must be refused");
+        for (p, a) in alive.iter().enumerate() {
+            assert_eq!(*a, p != VICTIM, "rank {r} view of {p}");
+        }
+    }
+}
+
+/// Reconnect backoff on the DST virtual clock: retry timers are
+/// `wtime()`-based, so freezing the clock and advancing it in fixed
+/// quanta burns the retry budget deterministically — no wall-clock
+/// sleeps, no flaking on a loaded machine.
+#[test]
+fn reconnect_backoff_burns_budget_on_virtual_clock() {
+    let clk = mpfa::dst::virtual_time(0.0);
+    let opts = WireOpts {
+        retry_base: 0.05,
+        retry_max: 0.2,
+        max_attempts: 3,
+        ..WireOpts::default()
+    };
+    let mesh = loopback_mesh::<Vec<u8>>(TransportKind::Tcp, 2, 1, opts).expect("mesh");
+    let t1: Arc<dyn Transport<Vec<u8>>> = mesh[1].clone();
+    drop(mesh); // rank 0 (listener included) is gone
+    t1.send(1, 0, b"void".to_vec(), 4);
+
+    // Total budget: 0.05 + 0.1 + 0.2 virtual seconds of timers. Step in
+    // 50ms quanta; progress between steps retries (and fails) the dial.
+    // Bounded by *iterations*, not wall time.
+    let mut steps = 0u32;
+    while t1.dead_peers() == 0 {
+        t1.progress();
+        clk.advance(0.05);
+        steps += 1;
+        assert!(
+            steps < 200,
+            "peer not declared dead after {:.2} virtual seconds",
+            f64::from(steps) * 0.05
+        );
+    }
+    assert!(!t1.peer_alive(0));
+    assert!(t1.peer_alive(1));
+    // The budget is timers, not luck: at 50ms quanta the three retries
+    // cannot complete in fewer than 7 steps (0.35s of virtual time).
+    assert!(
+        steps >= 7,
+        "retry budget burned after only {steps} steps — backoff not honored"
+    );
+    let tx = t1.send(1, 0, b"more".to_vec(), 4);
+    assert!(tx.is_failed(), "sends to a dead peer must be refused");
+}
